@@ -1,0 +1,77 @@
+//===- bench/BenchUtil.h - Shared bench helpers -----------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure/table reproduction benches: banner
+/// printing, series downsampling, and the record granularity the benches
+/// trade wall-clock time against (simulated costs are unaffected; see
+/// sim::DeviceTraceConfig::RecordGranularityBytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_BENCH_BENCHUTIL_H
+#define PASTA_BENCH_BENCHUTIL_H
+
+#include "support/Env.h"
+#include "support/Format.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pasta {
+namespace bench {
+
+/// Wall-clock knob: one sampled record per this many access bytes.
+/// PASTA_BENCH_GRANULARITY overrides (larger = faster, identical
+/// simulated results).
+inline std::uint64_t recordGranularity() {
+  return static_cast<std::uint64_t>(
+      getEnvInt("PASTA_BENCH_GRANULARITY", 65536));
+}
+
+inline void banner(const char *Title, const char *PaperRef) {
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("%s\n  (reproduces %s)\n", Title, PaperRef);
+  std::printf("==========================================================="
+              "=====================\n");
+}
+
+/// Downsamples \p Series to at most \p Points entries (min/max preserved
+/// per bucket would hide ramps; plain stride keeps the shape).
+inline std::vector<std::uint64_t>
+downsample(const std::vector<std::uint64_t> &Series, std::size_t Points) {
+  if (Series.size() <= Points)
+    return Series;
+  std::vector<std::uint64_t> Out;
+  Out.reserve(Points);
+  for (std::size_t I = 0; I < Points; ++I)
+    Out.push_back(Series[I * Series.size() / Points]);
+  Out.push_back(Series.back());
+  return Out;
+}
+
+/// Renders a series as a compact ASCII sparkline row (8 height levels).
+inline std::string sparkline(const std::vector<std::uint64_t> &Series) {
+  static const char Levels[] = " .:-=+*#";
+  std::uint64_t Max = 0;
+  for (std::uint64_t Value : Series)
+    Max = std::max(Max, Value);
+  std::string Out;
+  for (std::uint64_t Value : Series) {
+    std::size_t Level =
+        Max == 0 ? 0 : static_cast<std::size_t>(Value * 7 / Max);
+    Out += Levels[Level];
+  }
+  return Out;
+}
+
+} // namespace bench
+} // namespace pasta
+
+#endif // PASTA_BENCH_BENCHUTIL_H

@@ -1,0 +1,100 @@
+//===- bench/bench_ablation_analysis_threads.cpp --------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation (google-benchmark, real wall-clock): throughput of the
+// GPU-resident analysis stand-in as a function of the device-analysis
+// thread-pool width. This measures the REAL host-side reduction PASTA's
+// event processor performs (chunked map-merge over record batches), the
+// mechanism behind Fig. 2b; the simulated costs of Fig. 9 are charged by
+// the device cost model independently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventProcessor.h"
+#include "tools/WorkingSetTool.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+namespace {
+
+/// Synthetic record batch spread over a fixed set of objects.
+std::vector<sim::MemAccessRecord> makeBatch(std::size_t Count) {
+  std::vector<sim::MemAccessRecord> Records(Count);
+  for (std::size_t I = 0; I < Count; ++I) {
+    Records[I].Address =
+        0x1000000 + (I % 64) * (1 << 20) + (I * 7919) % (1 << 20);
+    Records[I].Bytes = 32;
+    Records[I].Multiplicity = 128;
+  }
+  return Records;
+}
+
+void BM_DeviceAnalysisWidth(benchmark::State &State) {
+  std::size_t Threads = static_cast<std::size_t>(State.range(0));
+  EventProcessor Processor(Threads);
+  WorkingSetTool Tool(WsAnalysisMode::DeviceResident);
+  Processor.addTool(&Tool);
+
+  // Register 64 fake objects so lookups succeed.
+  for (int I = 0; I < 64; ++I) {
+    Event Alloc;
+    Alloc.Kind = EventKind::MemoryAlloc;
+    Alloc.Address = 0x1000000 + static_cast<sim::DeviceAddr>(I) * (1 << 20);
+    Alloc.Bytes = 1 << 20;
+    Processor.process(Alloc);
+  }
+  Event Launch;
+  Launch.Kind = EventKind::KernelLaunch;
+  Launch.GridId = 1;
+  Processor.process(Launch);
+
+  auto Batch = makeBatch(1 << 18);
+  sim::LaunchInfo Info;
+  Info.GridId = 1;
+  for (auto _ : State) {
+    (void)_;
+    Processor.onAccessBatch(Info, Batch.data(), Batch.size());
+  }
+  State.SetItemsProcessed(
+      static_cast<std::int64_t>(State.iterations() * Batch.size()));
+}
+
+void BM_HostAnalysisBaseline(benchmark::State &State) {
+  EventProcessor Processor(1);
+  WorkingSetTool Tool(WsAnalysisMode::HostSide);
+  Processor.addTool(&Tool);
+  for (int I = 0; I < 64; ++I) {
+    Event Alloc;
+    Alloc.Kind = EventKind::MemoryAlloc;
+    Alloc.Address = 0x1000000 + static_cast<sim::DeviceAddr>(I) * (1 << 20);
+    Alloc.Bytes = 1 << 20;
+    Processor.process(Alloc);
+  }
+  Event Launch;
+  Launch.Kind = EventKind::KernelLaunch;
+  Launch.GridId = 1;
+  Processor.process(Launch);
+
+  auto Batch = makeBatch(1 << 18);
+  sim::LaunchInfo Info;
+  Info.GridId = 1;
+  for (auto _ : State) {
+    (void)_;
+    Processor.onAccessBatch(Info, Batch.data(), Batch.size());
+  }
+  State.SetItemsProcessed(
+      static_cast<std::int64_t>(State.iterations() * Batch.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_DeviceAnalysisWidth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_HostAnalysisBaseline);
+
+BENCHMARK_MAIN();

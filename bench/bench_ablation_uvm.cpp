@@ -1,0 +1,71 @@
+//===- bench/bench_ablation_uvm.cpp ---------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation: UVM parameters (page size, fault latency) vs the benefit of
+// tensor-aware prefetching (Fig. 11/12's design space). Bigger pages
+// amortize faults but waste budget under oversubscription; higher fault
+// latencies widen the prefetching win.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "cuda/CudaRuntime.h"
+#include "dl/Executor.h"
+#include "dl/Models.h"
+#include "sim/System.h"
+#include "support/TablePrinter.h"
+#include "support/Units.h"
+#include "tools/UvmPrefetcher.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+namespace {
+
+SimTime runWith(std::uint64_t PageBytes, SimTime FaultLatency,
+                PrefetchLevel Level) {
+  sim::GpuSpec Spec = sim::a100Spec();
+  Spec.UvmPageBytes = PageBytes;
+  Spec.PageFaultLatency = FaultLatency;
+  sim::System System(Spec);
+  cuda::CudaRuntime Runtime(System);
+  dl::CudaDeviceApi Api(Runtime, 0);
+  dl::CallbackRegistry Callbacks;
+
+  dl::ScheduleBuilder::Options Opts;
+  Opts.Iterations = 1;
+  dl::Program Prog = dl::buildModelProgram("resnet18", Opts);
+
+  dl::ExecutorOptions ExecOpts;
+  ExecOpts.Managed = true;
+  dl::Executor Executor(Api, Callbacks, ExecOpts);
+  UvmPrefetcher Prefetcher(Level);
+  Prefetcher.install(Executor);
+  return Executor.run(Prog).wallTime();
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Ablation: UVM page size and fault latency",
+                "design space behind paper Figures 11-13");
+
+  TablePrinter Table({"Page Size", "Fault Latency", "No Prefetch",
+                      "Tensor Prefetch", "Speedup"});
+  for (std::uint64_t Page : {64 * KiB, 2 * MiB}) {
+    for (SimTime Latency : {10 * Microsecond, 25 * Microsecond,
+                            50 * Microsecond}) {
+      SimTime Base = runWith(Page, Latency, PrefetchLevel::None);
+      SimTime Pref = runWith(Page, Latency, PrefetchLevel::Tensor);
+      Table.addRow({formatBytes(Page), formatSimTime(Latency),
+                    formatSimTime(Base), formatSimTime(Pref),
+                    format("%.2fx", static_cast<double>(Base) /
+                                        static_cast<double>(Pref))});
+    }
+  }
+  Table.print(stdout);
+  return 0;
+}

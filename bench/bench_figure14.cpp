@@ -1,0 +1,75 @@
+//===- bench/bench_figure14.cpp - NVIDIA vs AMD memory timeline -----------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces paper Fig. 14: memory usage over logical time (tensor
+// allocation/deallocation event index) during one GPT-2 training
+// iteration under identical configurations on an NVIDIA A100 (CUDA/cuDNN
+// backend) and an AMD MI300X (HIP/MIOpen backend), with the difference
+// series. Expected shape: the same ramp-up/peak/ramp-down on both;
+// NVIDIA issues fewer allocation events but peaks slightly higher
+// (coarser kernel fusion, bigger fused workspaces).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/TablePrinter.h"
+#include "support/Units.h"
+#include "tools/MemUsageTimelineTool.h"
+#include "tools/RegisterTools.h"
+#include "tools/Workloads.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+int main() {
+  tools::registerBuiltinTools();
+  bench::banner(
+      "GPT-2 training-iteration memory usage: NVIDIA vs AMD",
+      "paper Figure 14");
+
+  std::vector<std::uint64_t> Series[2];
+  const char *Gpus[2] = {"A100", "MI300X"};
+  std::uint64_t Events[2] = {0, 0}, Peaks[2] = {0, 0};
+
+  for (int I = 0; I < 2; ++I) {
+    WorkloadConfig Config;
+    Config.Model = "gpt2";
+    Config.Training = true;
+    Config.Iterations = 1;
+    Config.Gpu = Gpus[I];
+    Profiler Prof;
+    auto *Timeline = static_cast<MemUsageTimelineTool *>(
+        Prof.addToolByName("mem_usage_timeline"));
+    runWorkload(Config, Prof);
+    Series[I] = Timeline->series(0);
+    Events[I] = Timeline->numEvents(0);
+    Peaks[I] = Timeline->peak(0);
+  }
+
+  TablePrinter Table({"Backend", "Tensor Events", "Peak Usage"});
+  Table.addRow({"NVIDIA (CUDA/cuDNN)", std::to_string(Events[0]),
+                formatBytes(Peaks[0])});
+  Table.addRow({"AMD (HIP/MIOpen)", std::to_string(Events[1]),
+                formatBytes(Peaks[1])});
+  Table.print(stdout);
+
+  std::printf("\nmemory usage over logical timestamps (downsampled):\n");
+  std::printf("NVIDIA |%s|\n",
+              bench::sparkline(bench::downsample(Series[0], 72)).c_str());
+  std::printf("AMD    |%s|\n",
+              bench::sparkline(bench::downsample(Series[1], 72)).c_str());
+
+  std::printf("\nchecks vs paper: AMD issues MORE alloc/dealloc events "
+              "(%llu > %llu: %s) and NVIDIA peaks slightly HIGHER "
+              "(%s > %s: %s); both curves ramp up, plateau and ramp "
+              "down.\n",
+              static_cast<unsigned long long>(Events[1]),
+              static_cast<unsigned long long>(Events[0]),
+              Events[1] > Events[0] ? "yes" : "NO",
+              formatBytes(Peaks[0]).c_str(), formatBytes(Peaks[1]).c_str(),
+              Peaks[0] > Peaks[1] ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/bench_table5.cpp - memory characteristics --------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces paper Table V: memory characteristics of the DNN model zoo —
+// kernel count, memory footprint, working set (max/min/avg/median/90th
+// percentile per-kernel footprint) for inference and training, measured
+// by the GPU-resident working-set tool (§V-B2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/TablePrinter.h"
+#include "support/Units.h"
+#include "tools/RegisterTools.h"
+#include "tools/WorkingSetTool.h"
+#include "tools/Workloads.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+int main() {
+  tools::registerBuiltinTools();
+  bench::banner("Memory characteristics of diverse DNN models",
+                "paper Table V");
+
+  for (bool Training : {false, true}) {
+    std::printf("\n--- %s ---\n", Training ? "Train" : "Inference");
+    TablePrinter Table({"Model", "Kernel Count", "Memory Footprint",
+                        "Working Set", "Min WS", "Avg WS", "Median WS",
+                        "90th pct WS"});
+    double SumRatio = 0;
+    int Rows = 0;
+    for (const dl::ModelConfig &Model : dl::modelZoo()) {
+      WorkloadConfig Config;
+      Config.Model = Model.Name;
+      Config.Training = Training;
+      Config.Gpu = "A100";
+      Config.Backend = TraceBackend::SanitizerGpu;
+      Config.RecordGranularityBytes = bench::recordGranularity();
+
+      Profiler Prof;
+      auto *Ws =
+          static_cast<WorkingSetTool *>(Prof.addToolByName("working_set"));
+      runWorkload(Config, Prof);
+      auto S = Ws->summary();
+      Table.addRow({Model.Abbrev, std::to_string(S.KernelCount),
+                    formatBytes(S.PeakFootprintBytes),
+                    formatBytes(S.WorkingSetBytes),
+                    formatBytes(static_cast<std::uint64_t>(S.MinWsBytes)),
+                    formatBytes(static_cast<std::uint64_t>(S.AvgWsBytes)),
+                    formatBytes(static_cast<std::uint64_t>(S.MedianWsBytes)),
+                    formatBytes(static_cast<std::uint64_t>(S.P90WsBytes))});
+      SumRatio += static_cast<double>(S.PeakFootprintBytes) /
+                  static_cast<double>(S.WorkingSetBytes);
+      ++Rows;
+    }
+    Table.print(stdout);
+    std::printf("average footprint / working-set ratio: %.2fx (paper: "
+                "2.22x inference, 3.79x training)\n",
+                SumRatio / Rows);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- examples/cross_vendor.cpp - NVIDIA vs AMD ----------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-vendor support (paper §V-D1, Fig. 14): the same GPT-2 training
+// iteration on an NVIDIA A100 (CUDA/cuDNN backend) and an AMD MI300X
+// (HIP/MIOpen backend), observed through the identical PASTA tool. The
+// event handler normalizes the divergent vendor formats (negative
+// deallocation deltas, microsecond ticks, "dispatches") so the tool code
+// is byte-for-byte the same.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Profiler.h"
+#include "tools/MemUsageTimelineTool.h"
+#include "tools/RegisterTools.h"
+#include "tools/Workloads.h"
+
+#include <cstdio>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+int main() {
+  registerBuiltinTools();
+  for (const char *Gpu : {"A100", "MI300X"}) {
+    WorkloadConfig Config;
+    Config.Model = "gpt2";
+    Config.Training = true;
+    Config.Iterations = 1;
+    Config.Gpu = Gpu;
+
+    Profiler Prof;
+    auto *Timeline = static_cast<MemUsageTimelineTool *>(
+        Prof.addToolByName("mem_usage_timeline"));
+    WorkloadResult Result = runWorkload(Config, Prof);
+
+    std::printf("[%s] one GPT-2 training iteration: %llu kernels, "
+                "%llu tensor alloc/free events, peak usage %s\n",
+                Gpu,
+                static_cast<unsigned long long>(Result.Stats.KernelsLaunched),
+                static_cast<unsigned long long>(Timeline->numEvents(0)),
+                formatBytes(Timeline->peak(0)).c_str());
+  }
+  std::printf("\nBoth backends show the ramp-up / peak / ramp-down shape "
+              "of the caching allocator; the AMD backend issues more "
+              "allocation events (finer MIOpen kernel decomposition) with "
+              "a slightly lower peak — the paper's Fig. 14 observation.\n");
+  return 0;
+}

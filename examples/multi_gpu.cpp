@@ -1,0 +1,69 @@
+//===- examples/multi_gpu.cpp - Megatron DP/TP/PP ---------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Multi-GPU profiling (paper §V-D2, Fig. 15): one training iteration of
+// the Megatron GPT-2 345M model on two simulated A100s under Data,
+// Tensor and Pipeline parallelism. PASTA associates every event with its
+// device, so one MemUsageTimelineTool sees both GPUs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaRuntime.h"
+#include "dl/Executor.h"
+#include "dl/Megatron.h"
+#include "pasta/Profiler.h"
+#include "sim/System.h"
+#include "tools/MemUsageTimelineTool.h"
+#include "tools/RegisterTools.h"
+
+#include <cstdio>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+int main() {
+  registerBuiltinTools();
+
+  for (dl::ParallelStrategy Strategy :
+       {dl::ParallelStrategy::Data, dl::ParallelStrategy::Tensor,
+        dl::ParallelStrategy::Pipeline}) {
+    // Two A100s in one machine (paper machine A).
+    sim::System System({sim::a100Spec(), sim::a100Spec()});
+    cuda::CudaRuntime Cuda(System);
+
+    Profiler Prof;
+    auto *Timeline = static_cast<MemUsageTimelineTool *>(
+        Prof.addToolByName("mem_usage_timeline"));
+    Prof.attachCuda(Cuda, 0);
+    Prof.attachCuda(Cuda, 1);
+
+    dl::MegatronConfig Config;
+    std::vector<dl::Program> Programs =
+        dl::buildMegatronGpt2(Strategy, Config);
+
+    // One executor (rank) per GPU, as Megatron spawns one process per
+    // device; the profiler sees both through device indices.
+    for (int Rank = 0; Rank < Config.NumGpus; ++Rank) {
+      dl::CudaDeviceApi Api(Cuda, Rank);
+      dl::CallbackRegistry Callbacks;
+      Prof.attachDl(Callbacks);
+      dl::Executor Executor(Api, Callbacks);
+      Executor.run(Programs[Rank]);
+    }
+
+    std::printf("[%s] per-GPU memory behaviour:\n",
+                dl::parallelStrategyName(Strategy));
+    for (int Rank = 0; Rank < Config.NumGpus; ++Rank)
+      std::printf("  GPU %d: %6llu tensor events, peak %s\n", Rank,
+                  static_cast<unsigned long long>(Timeline->numEvents(Rank)),
+                  formatBytes(Timeline->peak(Rank)).c_str());
+    Prof.finish();
+  }
+  std::printf("\nDP: identical usage on both GPUs. TP: about half of "
+              "DP's peak (weights sharded). PP: asymmetric — GPU 1 holds "
+              "the LM head and loss tail (paper Fig. 15).\n");
+  return 0;
+}

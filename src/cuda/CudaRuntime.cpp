@@ -1,0 +1,310 @@
+//===- cuda/CudaRuntime.cpp -----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaRuntime.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::cuda;
+
+const char *pasta::cuda::cudaErrorName(CudaError Error) {
+  switch (Error) {
+  case CudaError::Success:
+    return "cudaSuccess";
+  case CudaError::OutOfMemory:
+    return "cudaErrorMemoryAllocation";
+  case CudaError::InvalidValue:
+    return "cudaErrorInvalidValue";
+  case CudaError::InvalidDevice:
+    return "cudaErrorInvalidDevice";
+  case CudaError::NotManaged:
+    return "cudaErrorNotManaged";
+  }
+  PASTA_UNREACHABLE("unknown CudaError");
+}
+
+CudaRuntime::CudaRuntime(sim::System &System)
+    : System(System), Sanitizer(*this), Nvbit(*this) {
+  Streams.insert(DefaultStream);
+}
+
+CudaError CudaRuntime::cudaGetDeviceCount(int *Count) const {
+  if (!Count)
+    return CudaError::InvalidValue;
+  *Count = System.numDevices();
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaSetDevice(int Device) {
+  if (Device < 0 || Device >= System.numDevices())
+    return CudaError::InvalidDevice;
+  Current = Device;
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaDeviceSynchronize() {
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::SynchronizeBegin;
+  Data.DeviceIndex = Current;
+  Data.Timestamp = System.clock().now();
+  Sanitizer.dispatch(SanitizerDomain::Synchronize, Data);
+  device().synchronize();
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaMalloc(sim::DeviceAddr *Out, std::uint64_t Bytes) {
+  if (!Out || Bytes == 0)
+    return CudaError::InvalidValue;
+  sim::DeviceAddr Base = device().allocate(Bytes);
+  if (Base == 0)
+    return CudaError::OutOfMemory;
+  *Out = Base;
+
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::MemoryAlloc;
+  Data.DeviceIndex = Current;
+  Data.Timestamp = System.clock().now();
+  Data.Address = Base;
+  Data.Bytes = Bytes;
+  Sanitizer.dispatch(SanitizerDomain::Memory, Data);
+
+  NvbitEventData NvData;
+  NvData.Event = NvbitCudaEvent::MemAlloc;
+  NvData.DeviceIndex = Current;
+  NvData.Timestamp = Data.Timestamp;
+  NvData.Address = Base;
+  NvData.Bytes = Bytes;
+  Nvbit.dispatch(NvData);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaMallocManaged(sim::DeviceAddr *Out,
+                                         std::uint64_t Bytes) {
+  if (!Out || Bytes == 0)
+    return CudaError::InvalidValue;
+  sim::DeviceAddr Base = device().allocateManaged(Bytes);
+  if (Base == 0)
+    return CudaError::OutOfMemory;
+  *Out = Base;
+
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::ManagedMemoryAlloc;
+  Data.DeviceIndex = Current;
+  Data.Timestamp = System.clock().now();
+  Data.Address = Base;
+  Data.Bytes = Bytes;
+  Data.Managed = true;
+  Sanitizer.dispatch(SanitizerDomain::Memory, Data);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaFree(sim::DeviceAddr Base) {
+  // The real runtime frees on whichever device owns the pointer; our
+  // address spaces are disjoint, so search all devices.
+  for (int I = 0; I < System.numDevices(); ++I) {
+    auto Alloc = System.device(I).memory().find(Base);
+    if (!Alloc)
+      continue;
+    bool Managed = Alloc->Managed;
+    auto Freed = System.device(I).free(Base);
+    assert(Freed && "allocation vanished between find and free");
+
+    SanitizerCallbackData Data;
+    Data.Cbid = SanitizerCbid::MemoryFree;
+    Data.DeviceIndex = I;
+    Data.Timestamp = System.clock().now();
+    Data.Address = Base;
+    Data.Bytes = *Freed;
+    Data.Managed = Managed;
+    Sanitizer.dispatch(SanitizerDomain::Memory, Data);
+
+    NvbitEventData NvData;
+    NvData.Event = NvbitCudaEvent::MemFree;
+    NvData.DeviceIndex = I;
+    NvData.Timestamp = Data.Timestamp;
+    NvData.Address = Base;
+    NvData.Bytes = *Freed;
+    Nvbit.dispatch(NvData);
+    return CudaError::Success;
+  }
+  return CudaError::InvalidValue;
+}
+
+CudaError CudaRuntime::cudaMemcpy(sim::DeviceAddr Address,
+                                  std::uint64_t Bytes, CudaMemcpyKind Kind,
+                                  CudaStream Stream) {
+  if (Bytes == 0)
+    return CudaError::InvalidValue;
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::MemcpyBegin;
+  Data.DeviceIndex = Current;
+  Data.Stream = Stream;
+  Data.Timestamp = System.clock().now();
+  Data.Address = Address;
+  Data.Bytes = Bytes;
+  Data.CopyKind = Kind;
+  Sanitizer.dispatch(SanitizerDomain::Memcpy, Data);
+
+  sim::CopyKind SimKind = sim::CopyKind::HostToDevice;
+  if (Kind == CudaMemcpyKind::DeviceToHost)
+    SimKind = sim::CopyKind::DeviceToHost;
+  else if (Kind == CudaMemcpyKind::DeviceToDevice)
+    SimKind = sim::CopyKind::DeviceToDevice;
+  device().copy(SimKind, Bytes);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaMemset(sim::DeviceAddr Address,
+                                  std::uint64_t Bytes, CudaStream Stream) {
+  if (Bytes == 0)
+    return CudaError::InvalidValue;
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::MemsetBegin;
+  Data.DeviceIndex = Current;
+  Data.Stream = Stream;
+  Data.Timestamp = System.clock().now();
+  Data.Address = Address;
+  Data.Bytes = Bytes;
+  Sanitizer.dispatch(SanitizerDomain::Memset, Data);
+  device().memsetDevice(Address, Bytes);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaMemPrefetchAsync(sim::DeviceAddr Address,
+                                            std::uint64_t Bytes, int Device,
+                                            CudaStream Stream) {
+  if (Device < 0 || Device >= System.numDevices())
+    return CudaError::InvalidDevice;
+  sim::Device &Dev = System.device(Device);
+  if (!Dev.uvm().isManaged(Address))
+    return CudaError::NotManaged;
+
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::MemPrefetch;
+  Data.DeviceIndex = Device;
+  Data.Stream = Stream;
+  Data.Timestamp = System.clock().now();
+  Data.Address = Address;
+  Data.Bytes = Bytes;
+  Data.Managed = true;
+  Sanitizer.dispatch(SanitizerDomain::Uvm, Data);
+
+  SimTime Cost = Dev.uvm().prefetch(Address, Bytes);
+  System.clock().advance(Cost);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaMemAdvise(sim::DeviceAddr Address,
+                                     std::uint64_t Bytes,
+                                     CudaMemAdvice Advice, int Device) {
+  if (Device < 0 || Device >= System.numDevices())
+    return CudaError::InvalidDevice;
+  sim::Device &Dev = System.device(Device);
+  if (!Dev.uvm().isManaged(Address))
+    return CudaError::NotManaged;
+
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::MemAdvise;
+  Data.DeviceIndex = Device;
+  Data.Timestamp = System.clock().now();
+  Data.Address = Address;
+  Data.Bytes = Bytes;
+  Data.Managed = true;
+  Sanitizer.dispatch(SanitizerDomain::Uvm, Data);
+
+  if (Advice == CudaMemAdvice::SetPreferredLocationDevice)
+    Dev.uvm().advisePreferredDevice(Address, Bytes);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaStreamCreate(CudaStream *Out) {
+  if (!Out)
+    return CudaError::InvalidValue;
+  CudaStream Stream = NextStream++;
+  Streams.insert(Stream);
+  *Out = Stream;
+
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::StreamCreated;
+  Data.DeviceIndex = Current;
+  Data.Stream = Stream;
+  Data.Timestamp = System.clock().now();
+  Sanitizer.dispatch(SanitizerDomain::RuntimeApi, Data);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaStreamDestroy(CudaStream Stream) {
+  if (Stream == DefaultStream || Streams.erase(Stream) == 0)
+    return CudaError::InvalidValue;
+
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::StreamDestroyed;
+  Data.DeviceIndex = Current;
+  Data.Stream = Stream;
+  Data.Timestamp = System.clock().now();
+  Sanitizer.dispatch(SanitizerDomain::RuntimeApi, Data);
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaStreamSynchronize(CudaStream Stream) {
+  if (!Streams.count(Stream))
+    return CudaError::InvalidValue;
+  SanitizerCallbackData Data;
+  Data.Cbid = SanitizerCbid::SynchronizeBegin;
+  Data.DeviceIndex = Current;
+  Data.Stream = Stream;
+  Data.Timestamp = System.clock().now();
+  Sanitizer.dispatch(SanitizerDomain::Synchronize, Data);
+  device().synchronize();
+  return CudaError::Success;
+}
+
+CudaError CudaRuntime::cudaLaunchKernel(const sim::KernelDesc &Desc,
+                                        CudaStream Stream,
+                                        sim::LaunchResult *Result) {
+  if (!Streams.count(Stream))
+    return CudaError::InvalidValue;
+  if (Desc.Grid.count() == 0 || Desc.Block.count() == 0)
+    return CudaError::InvalidValue;
+
+  std::uint64_t GridId = device().nextGridId();
+
+  SanitizerCallbackData Begin;
+  Begin.Cbid = SanitizerCbid::LaunchBegin;
+  Begin.DeviceIndex = Current;
+  Begin.Stream = Stream;
+  Begin.Timestamp = System.clock().now();
+  Begin.Kernel = &Desc;
+  Begin.GridId = GridId;
+  Sanitizer.dispatch(SanitizerDomain::Launch, Begin);
+
+  NvbitEventData NvBegin;
+  NvBegin.Event = NvbitCudaEvent::KernelLaunchBegin;
+  NvBegin.DeviceIndex = Current;
+  NvBegin.Timestamp = Begin.Timestamp;
+  NvBegin.Kernel = &Desc;
+  NvBegin.GridId = GridId;
+  Nvbit.dispatch(NvBegin);
+
+  sim::LaunchResult Local = device().launchKernel(Desc, Stream);
+  assert(Local.GridId == GridId && "grid id drifted during launch");
+  if (Result)
+    *Result = Local;
+
+  SanitizerCallbackData End = Begin;
+  End.Cbid = SanitizerCbid::LaunchEnd;
+  End.Timestamp = System.clock().now();
+  Sanitizer.dispatch(SanitizerDomain::Launch, End);
+
+  NvbitEventData NvEnd = NvBegin;
+  NvEnd.Event = NvbitCudaEvent::KernelLaunchEnd;
+  NvEnd.Timestamp = End.Timestamp;
+  Nvbit.dispatch(NvEnd);
+  return CudaError::Success;
+}

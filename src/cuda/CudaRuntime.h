@@ -1,0 +1,102 @@
+//===- cuda/CudaRuntime.h - Simulated CUDA runtime --------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated CUDA runtime over sim::Device: allocation (including
+/// managed/UVM), transfers, streams, kernel launches, prefetch/advise.
+/// Every call dispatches Sanitizer- and NVBit-style callbacks exactly
+/// where the real runtime would, which is the hook surface PASTA's event
+/// handler subscribes to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_CUDA_CUDARUNTIME_H
+#define PASTA_CUDA_CUDARUNTIME_H
+
+#include "cuda/CudaTypes.h"
+#include "cuda/Nvbit.h"
+#include "cuda/Sanitizer.h"
+#include "sim/System.h"
+
+#include <cstdint>
+#include <set>
+
+namespace pasta {
+namespace cuda {
+
+/// One CUDA runtime instance bound to a sim::System (the analogue of the
+/// CUDA context a process initializes).
+class CudaRuntime {
+public:
+  explicit CudaRuntime(sim::System &System);
+
+  //===--------------------------------------------------------------------===
+  // Device management
+  //===--------------------------------------------------------------------===
+  CudaError cudaGetDeviceCount(int *Count) const;
+  CudaError cudaSetDevice(int Device);
+  int currentDevice() const { return Current; }
+  CudaError cudaDeviceSynchronize();
+
+  //===--------------------------------------------------------------------===
+  // Memory
+  //===--------------------------------------------------------------------===
+  CudaError cudaMalloc(sim::DeviceAddr *Out, std::uint64_t Bytes);
+  CudaError cudaMallocManaged(sim::DeviceAddr *Out, std::uint64_t Bytes);
+  CudaError cudaFree(sim::DeviceAddr Base);
+  CudaError cudaMemcpy(sim::DeviceAddr Address, std::uint64_t Bytes,
+                       CudaMemcpyKind Kind,
+                       CudaStream Stream = DefaultStream);
+  CudaError cudaMemset(sim::DeviceAddr Address, std::uint64_t Bytes,
+                       CudaStream Stream = DefaultStream);
+  CudaError cudaMemPrefetchAsync(sim::DeviceAddr Address,
+                                 std::uint64_t Bytes, int Device,
+                                 CudaStream Stream = DefaultStream);
+  CudaError cudaMemAdvise(sim::DeviceAddr Address, std::uint64_t Bytes,
+                          CudaMemAdvice Advice, int Device);
+
+  //===--------------------------------------------------------------------===
+  // Streams
+  //===--------------------------------------------------------------------===
+  CudaError cudaStreamCreate(CudaStream *Out);
+  CudaError cudaStreamDestroy(CudaStream Stream);
+  CudaError cudaStreamSynchronize(CudaStream Stream);
+
+  //===--------------------------------------------------------------------===
+  // Execution
+  //===--------------------------------------------------------------------===
+  /// cuLaunchKernel / cudaLaunchKernel: runs \p Desc on the current device
+  /// and fills \p Result when non-null.
+  CudaError cudaLaunchKernel(const sim::KernelDesc &Desc,
+                             CudaStream Stream = DefaultStream,
+                             sim::LaunchResult *Result = nullptr);
+
+  //===--------------------------------------------------------------------===
+  // Profiling-library access
+  //===--------------------------------------------------------------------===
+  SanitizerApi &sanitizer() { return Sanitizer; }
+  NvbitApi &nvbit() { return Nvbit; }
+
+  sim::System &system() { return System; }
+  sim::Device &device() { return System.device(Current); }
+  sim::Device &device(int Index) { return System.device(Index); }
+
+private:
+  friend class SanitizerApi;
+  friend class NvbitApi;
+
+  sim::System &System;
+  int Current = 0;
+  SanitizerApi Sanitizer;
+  NvbitApi Nvbit;
+  std::set<CudaStream> Streams;
+  CudaStream NextStream = 1;
+};
+
+} // namespace cuda
+} // namespace pasta
+
+#endif // PASTA_CUDA_CUDARUNTIME_H

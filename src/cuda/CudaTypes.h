@@ -1,0 +1,56 @@
+//===- cuda/CudaTypes.h - CUDA-like runtime types ---------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Status codes and small value types of the simulated CUDA runtime. The
+/// shapes mirror the real API closely enough that PASTA's event handler
+/// code reads like its real counterpart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_CUDA_CUDATYPES_H
+#define PASTA_CUDA_CUDATYPES_H
+
+#include "sim/Memory.h"
+
+#include <cstdint>
+
+namespace pasta {
+namespace cuda {
+
+/// Subset of cudaError_t the simulation can produce.
+enum class CudaError {
+  Success = 0,
+  OutOfMemory,
+  InvalidValue,
+  InvalidDevice,
+  NotManaged,
+};
+
+/// Returns a static human-readable name ("cudaSuccess", ...).
+const char *cudaErrorName(CudaError Error);
+
+/// Opaque stream handle; 0 is the default stream.
+using CudaStream = std::uint32_t;
+inline constexpr CudaStream DefaultStream = 0;
+
+/// cudaMemcpyKind subset.
+enum class CudaMemcpyKind {
+  HostToDevice,
+  DeviceToHost,
+  DeviceToDevice,
+};
+
+/// cudaMemAdvise subset.
+enum class CudaMemAdvice {
+  SetPreferredLocationDevice,
+  UnsetPreferredLocation,
+};
+
+} // namespace cuda
+} // namespace pasta
+
+#endif // PASTA_CUDA_CUDATYPES_H

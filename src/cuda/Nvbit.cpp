@@ -1,0 +1,50 @@
+//===- cuda/Nvbit.cpp -----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/Nvbit.h"
+
+#include "cuda/CudaRuntime.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::cuda;
+
+void NvbitApi::atCudaEvent(NvbitEventCallback Callback) {
+  assert(Callback && "null nvbit callback");
+  Callbacks.push_back(std::move(Callback));
+}
+
+void NvbitApi::instrumentAllInstructions(int DeviceIndex,
+                                         sim::TraceSink *Sink,
+                                         sim::AnalysisModel Model,
+                                         std::uint64_t DeviceBufferRecords,
+                                         double SampleRate,
+                                         std::uint64_t RecordGranularityBytes) {
+  sim::Device &Dev = Runtime.device(DeviceIndex);
+  sim::DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.TraceAllInstructions = true;
+  Config.PaySassParseCost = true;
+  Config.UseNvbitTrampoline = true;
+  Config.Model = Model;
+  Config.DeviceBufferRecords = DeviceBufferRecords;
+  Config.SampleRate = SampleRate;
+  Config.RecordGranularityBytes = RecordGranularityBytes;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(Sink);
+}
+
+void NvbitApi::removeInstrumentation(int DeviceIndex) {
+  sim::Device &Dev = Runtime.device(DeviceIndex);
+  Dev.setTraceSink(nullptr);
+  Dev.setTraceConfig(sim::DeviceTraceConfig());
+}
+
+void NvbitApi::dispatch(const NvbitEventData &Data) {
+  for (const NvbitEventCallback &Callback : Callbacks)
+    Callback(Data);
+}

@@ -1,0 +1,86 @@
+//===- cuda/Sanitizer.cpp -------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/Sanitizer.h"
+
+#include "cuda/CudaRuntime.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::cuda;
+
+SanitizerSubscriber SanitizerApi::subscribe(SanitizerCallback Callback) {
+  assert(Callback && "null sanitizer callback");
+  SanitizerSubscriber Id = NextId++;
+  Subscription Sub;
+  Sub.Callback = std::move(Callback);
+  Subscribers.emplace(Id, std::move(Sub));
+  return Id;
+}
+
+void SanitizerApi::unsubscribe(SanitizerSubscriber Subscriber) {
+  Subscribers.erase(Subscriber);
+}
+
+void SanitizerApi::enableDomain(SanitizerSubscriber Subscriber,
+                                SanitizerDomain Domain) {
+  auto It = Subscribers.find(Subscriber);
+  if (It == Subscribers.end())
+    return;
+  It->second.Domains[static_cast<unsigned>(Domain)] = true;
+}
+
+void SanitizerApi::disableDomain(SanitizerSubscriber Subscriber,
+                                 SanitizerDomain Domain) {
+  auto It = Subscribers.find(Subscriber);
+  if (It == Subscribers.end())
+    return;
+  It->second.Domains[static_cast<unsigned>(Domain)] = false;
+}
+
+void SanitizerApi::enableAllDomains(SanitizerSubscriber Subscriber) {
+  auto It = Subscribers.find(Subscriber);
+  if (It == Subscribers.end())
+    return;
+  for (unsigned I = 0; I < static_cast<unsigned>(SanitizerDomain::NumDomains);
+       ++I)
+    It->second.Domains[I] = true;
+}
+
+void SanitizerApi::patchMemoryAccesses(int DeviceIndex, sim::TraceSink *Sink,
+                                       sim::AnalysisModel Model,
+                                       std::uint64_t DeviceBufferRecords,
+                                       double SampleRate,
+                                       std::uint64_t RecordGranularityBytes) {
+  sim::Device &Dev = Runtime.device(DeviceIndex);
+  sim::DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  // Sanitizer patches can only see memory/barrier operations; full SASS
+  // coverage (TraceAllInstructions) is NVBit territory.
+  Config.TraceAllInstructions = false;
+  Config.PaySassParseCost = false;
+  Config.UseNvbitTrampoline = false;
+  Config.Model = Model;
+  Config.DeviceBufferRecords = DeviceBufferRecords;
+  Config.SampleRate = SampleRate;
+  Config.RecordGranularityBytes = RecordGranularityBytes;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(Sink);
+}
+
+void SanitizerApi::unpatch(int DeviceIndex) {
+  sim::Device &Dev = Runtime.device(DeviceIndex);
+  Dev.setTraceSink(nullptr);
+  Dev.setTraceConfig(sim::DeviceTraceConfig());
+}
+
+void SanitizerApi::dispatch(SanitizerDomain Domain,
+                            const SanitizerCallbackData &Data) {
+  for (auto &[Id, Sub] : Subscribers)
+    if (Sub.Domains[static_cast<unsigned>(Domain)])
+      Sub.Callback(Data);
+}

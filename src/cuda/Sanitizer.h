@@ -1,0 +1,138 @@
+//===- cuda/Sanitizer.h - Compute-Sanitizer-style callbacks -----*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated NVIDIA Compute Sanitizer API: lightweight host callbacks for
+/// runtime events (SANITIZER_CBID_*) organized in domains that subscribers
+/// enable individually (sanitizerEnableDomain), plus
+/// sanitizerPatchModule-style device-side instrumentation of memory
+/// operations. As in the real API, only a subset of instructions (memory
+/// and barrier operations) can be inspected — full SASS coverage requires
+/// the NVBit backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_CUDA_SANITIZER_H
+#define PASTA_CUDA_SANITIZER_H
+
+#include "cuda/CudaTypes.h"
+#include "sim/Trace.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace pasta {
+namespace cuda {
+
+/// Callback domains (sanitizerEnableDomain granularity).
+enum class SanitizerDomain : unsigned {
+  DriverApi = 0,
+  RuntimeApi,
+  Memory,
+  Launch,
+  Memcpy,
+  Memset,
+  Synchronize,
+  Uvm,
+  NumDomains,
+};
+
+/// Callback ids (SANITIZER_CBID_*).
+enum class SanitizerCbid {
+  MemoryAlloc,        // SANITIZER_CBID_RESOURCE_MEMORY_ALLOC
+  MemoryFree,         // SANITIZER_CBID_RESOURCE_MEMORY_FREE
+  ManagedMemoryAlloc, // managed variant
+  LaunchBegin,        // SANITIZER_CBID_LAUNCH_BEGIN
+  LaunchEnd,          // SANITIZER_CBID_LAUNCH_END
+  MemcpyBegin,
+  MemsetBegin,
+  SynchronizeBegin,
+  StreamCreated,
+  StreamDestroyed,
+  MemPrefetch,
+  MemAdvise,
+};
+
+/// Data handed to host callbacks. Which fields are meaningful depends on
+/// the cbid (as with the real, union-heavy API).
+struct SanitizerCallbackData {
+  SanitizerCbid Cbid = SanitizerCbid::MemoryAlloc;
+  int DeviceIndex = 0;
+  CudaStream Stream = DefaultStream;
+  SimTime Timestamp = 0;
+  /// Memory events.
+  sim::DeviceAddr Address = 0;
+  std::uint64_t Bytes = 0;
+  bool Managed = false;
+  /// Launch events.
+  const sim::KernelDesc *Kernel = nullptr;
+  std::uint64_t GridId = 0;
+  /// Memcpy events.
+  CudaMemcpyKind CopyKind = CudaMemcpyKind::HostToDevice;
+};
+
+using SanitizerCallback = std::function<void(const SanitizerCallbackData &)>;
+
+/// Handle identifying one subscription.
+using SanitizerSubscriber = std::uint32_t;
+
+/// The per-runtime Sanitizer registry. The CudaRuntime dispatches into it;
+/// clients (PASTA's event handler) subscribe and enable domains.
+class SanitizerApi {
+public:
+  /// sanitizerSubscribe: registers \p Callback; all domains start
+  /// disabled.
+  SanitizerSubscriber subscribe(SanitizerCallback Callback);
+
+  /// sanitizerUnsubscribe.
+  void unsubscribe(SanitizerSubscriber Subscriber);
+
+  /// sanitizerEnableDomain / sanitizerDisableDomain.
+  void enableDomain(SanitizerSubscriber Subscriber, SanitizerDomain Domain);
+  void disableDomain(SanitizerSubscriber Subscriber, SanitizerDomain Domain);
+  /// sanitizerEnableAllDomains.
+  void enableAllDomains(SanitizerSubscriber Subscriber);
+
+  /// sanitizerPatchModule + sanitizerPatchInstructions analogue: installs
+  /// device-side instrumentation of memory operations on device
+  /// \p DeviceIndex, streaming records into \p Sink under analysis model
+  /// \p Model. \p DeviceBufferRecords bounds the trace buffer for the
+  /// host-side model. Replaces any previous patch on that device.
+  void patchMemoryAccesses(int DeviceIndex, sim::TraceSink *Sink,
+                           sim::AnalysisModel Model,
+                           std::uint64_t DeviceBufferRecords = 1u << 20,
+                           double SampleRate = 1.0,
+                           std::uint64_t RecordGranularityBytes = 4096);
+
+  /// Removes device-side instrumentation installed by this API.
+  void unpatch(int DeviceIndex);
+
+  /// Dispatches \p Data to every subscriber with the matching domain
+  /// enabled (called by the CudaRuntime).
+  void dispatch(SanitizerDomain Domain, const SanitizerCallbackData &Data);
+
+  bool hasSubscribers() const { return !Subscribers.empty(); }
+
+private:
+  friend class CudaRuntime;
+  explicit SanitizerApi(class CudaRuntime &Runtime) : Runtime(Runtime) {}
+
+  struct Subscription {
+    SanitizerCallback Callback;
+    bool Domains[static_cast<unsigned>(SanitizerDomain::NumDomains)] = {};
+  };
+
+  class CudaRuntime &Runtime;
+  std::map<SanitizerSubscriber, Subscription> Subscribers;
+  SanitizerSubscriber NextId = 1;
+};
+
+} // namespace cuda
+} // namespace pasta
+
+#endif // PASTA_CUDA_SANITIZER_H

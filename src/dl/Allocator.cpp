@@ -1,0 +1,205 @@
+//===- dl/Allocator.cpp ---------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dl/Allocator.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::dl;
+
+/// Segment sizing mirrors PyTorch: small requests share 2 MiB segments,
+/// large requests get segments rounded to 2 MiB with a 20 MiB floor to
+/// amortize cudaMalloc calls.
+static constexpr std::uint64_t SmallSegmentBytes = 2 * MiB;
+static constexpr std::uint64_t LargeSegmentFloor = 20 * MiB;
+static constexpr std::uint64_t BlockGranularity = 512;
+/// Remainders smaller than this are not worth splitting off.
+static constexpr std::uint64_t MinSplitRemainder = 512;
+
+CachingAllocator::CachingAllocator(DeviceApi &Api, bool Managed)
+    : Api(Api), Managed(Managed) {}
+
+CachingAllocator::~CachingAllocator() {
+  // Return every segment to the runtime; leaked blocks are the caller's
+  // bug but must not leak simulated device memory.
+  for (const auto &[Base, Segment] : Segments)
+    Api.deviceFree(Base);
+}
+
+std::uint64_t CachingAllocator::roundedSize(std::uint64_t Bytes) {
+  return (Bytes + BlockGranularity - 1) / BlockGranularity * BlockGranularity;
+}
+
+sim::DeviceAddr CachingAllocator::allocate(std::uint64_t Bytes) {
+  assert(Bytes > 0 && "zero-byte tensor allocation");
+  std::uint64_t Need = roundedSize(Bytes);
+  bool SmallPool = isSmallRequest(Need);
+
+  sim::DeviceAddr Addr = allocFromPool(Need, SmallPool);
+  if (Addr == 0) {
+    if (!growPool(Need, SmallPool))
+      return 0;
+    Addr = allocFromPool(Need, SmallPool);
+    assert(Addr != 0 && "fresh segment cannot satisfy its own request");
+  }
+  Stats.Allocated += Need;
+  Stats.PeakAllocated = std::max(Stats.PeakAllocated, Stats.Allocated);
+  ++Stats.NumAllocs;
+  return Addr;
+}
+
+sim::DeviceAddr CachingAllocator::allocFromPool(std::uint64_t Bytes,
+                                                bool SmallPool) {
+  auto &Pool = SmallPool ? SmallBlocks : LargeBlocks;
+  // Best fit: smallest free block that satisfies the request.
+  auto Best = Pool.end();
+  for (auto It = Pool.begin(); It != Pool.end(); ++It) {
+    if (!It->second.Free || It->second.Bytes < Bytes)
+      continue;
+    if (Best == Pool.end() || It->second.Bytes < Best->second.Bytes)
+      Best = It;
+  }
+  if (Best == Pool.end())
+    return 0;
+
+  Block &Found = Best->second;
+  std::uint64_t Remainder = Found.Bytes - Bytes;
+  if (Remainder >= MinSplitRemainder) {
+    Block Rest;
+    Rest.Base = Found.Base + Bytes;
+    Rest.Bytes = Remainder;
+    Rest.SegmentBase = Found.SegmentBase;
+    Rest.Free = true;
+    Found.Bytes = Bytes;
+    Pool.emplace(Rest.Base, Rest);
+  }
+  Found.Free = false;
+  return Found.Base;
+}
+
+bool CachingAllocator::growPool(std::uint64_t Bytes, bool SmallPool) {
+  std::uint64_t SegmentBytes;
+  if (SmallPool)
+    SegmentBytes = SmallSegmentBytes;
+  else
+    SegmentBytes = std::max(LargeSegmentFloor,
+                            (Bytes + SmallSegmentBytes - 1) /
+                                SmallSegmentBytes * SmallSegmentBytes);
+
+  sim::DeviceAddr Base = Api.deviceMalloc(SegmentBytes, Managed);
+  if (Base == 0)
+    return false;
+  PoolSegment Segment;
+  Segment.Base = Base;
+  Segment.Bytes = SegmentBytes;
+  Segment.SmallPool = SmallPool;
+  Segments.emplace(Base, Segment);
+
+  Block Whole;
+  Whole.Base = Base;
+  Whole.Bytes = SegmentBytes;
+  Whole.SegmentBase = Base;
+  Whole.Free = true;
+  (SmallPool ? SmallBlocks : LargeBlocks).emplace(Base, Whole);
+
+  Stats.Reserved += SegmentBytes;
+  Stats.PeakReserved = std::max(Stats.PeakReserved, Stats.Reserved);
+  ++Stats.NumSegmentsRequested;
+  return true;
+}
+
+void CachingAllocator::free(sim::DeviceAddr Address) {
+  for (auto *Pool : {&SmallBlocks, &LargeBlocks}) {
+    auto It = Pool->find(Address);
+    if (It == Pool->end())
+      continue;
+    assert(!It->second.Free && "double free of pool block");
+    Stats.Allocated -= It->second.Bytes;
+    ++Stats.NumFrees;
+    It->second.Free = true;
+    coalesce(*Pool, It);
+    return;
+  }
+  reportFatalError("CachingAllocator::free of unknown address");
+}
+
+void CachingAllocator::coalesce(
+    std::map<sim::DeviceAddr, Block> &Pool,
+    std::map<sim::DeviceAddr, Block>::iterator It) {
+  // Merge with the next block when both are free within one segment.
+  auto Next = std::next(It);
+  if (Next != Pool.end() && Next->second.Free &&
+      Next->second.SegmentBase == It->second.SegmentBase &&
+      It->second.Base + It->second.Bytes == Next->second.Base) {
+    It->second.Bytes += Next->second.Bytes;
+    Pool.erase(Next);
+  }
+  // Merge with the previous block.
+  if (It != Pool.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second.Free &&
+        Prev->second.SegmentBase == It->second.SegmentBase &&
+        Prev->second.Base + Prev->second.Bytes == It->second.Base) {
+      Prev->second.Bytes += It->second.Bytes;
+      Pool.erase(It);
+    }
+  }
+}
+
+void CachingAllocator::emptyCache() {
+  for (auto *Pool : {&SmallBlocks, &LargeBlocks}) {
+    for (auto It = Pool->begin(); It != Pool->end();) {
+      const Block &Candidate = It->second;
+      // A segment is releasable when a single free block spans it fully.
+      auto SegIt = Segments.find(Candidate.SegmentBase);
+      bool WholeSegment = Candidate.Free && SegIt != Segments.end() &&
+                          Candidate.Base == SegIt->second.Base &&
+                          Candidate.Bytes == SegIt->second.Bytes;
+      if (!WholeSegment) {
+        ++It;
+        continue;
+      }
+      Api.deviceFree(SegIt->second.Base);
+      Stats.Reserved -= SegIt->second.Bytes;
+      Segments.erase(SegIt);
+      It = Pool->erase(It);
+    }
+  }
+}
+
+std::optional<PoolSegment>
+CachingAllocator::segmentContaining(sim::DeviceAddr Address) const {
+  auto It = Segments.upper_bound(Address);
+  if (It == Segments.begin())
+    return std::nullopt;
+  --It;
+  if (Address >= It->second.Base &&
+      Address < It->second.Base + It->second.Bytes)
+    return It->second;
+  return std::nullopt;
+}
+
+std::vector<PoolSegment> CachingAllocator::segments() const {
+  std::vector<PoolSegment> Out;
+  Out.reserve(Segments.size());
+  for (const auto &[Base, Segment] : Segments)
+    Out.push_back(Segment);
+  return Out;
+}
+
+std::optional<std::uint64_t>
+CachingAllocator::blockSize(sim::DeviceAddr Address) const {
+  for (const auto *Pool : {&SmallBlocks, &LargeBlocks}) {
+    auto It = Pool->find(Address);
+    if (It != Pool->end() && !It->second.Free)
+      return It->second.Bytes;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,118 @@
+//===- dl/Allocator.h - Caching pool allocator ------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A PyTorch-CUDACachingAllocator-style pool allocator. Large segments are
+/// requested from the vendor runtime (cudaMalloc / cudaMallocManaged /
+/// hipMalloc) and carved into blocks serving individual tensors; frees
+/// return blocks to the pool without releasing segments. This is the
+/// mechanism the paper leans on: vendor-level tools see only segments,
+/// tensor boundaries are visible only through framework callbacks — the
+/// gap PASTA's DL integration fills, and the reason object-level UVM
+/// prefetching drags dead tensors along (Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_DL_ALLOCATOR_H
+#define PASTA_DL_ALLOCATOR_H
+
+#include "dl/Backend.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+
+/// Allocator statistics (c10::cuda::CUDACachingAllocator::DeviceStats).
+struct AllocatorStats {
+  std::uint64_t Allocated = 0;     ///< Bytes currently serving tensors.
+  std::uint64_t Reserved = 0;      ///< Bytes held in segments.
+  std::uint64_t PeakAllocated = 0;
+  std::uint64_t PeakReserved = 0;
+  std::uint64_t NumAllocs = 0;
+  std::uint64_t NumFrees = 0;
+  std::uint64_t NumSegmentsRequested = 0;
+};
+
+/// One pool segment obtained from the vendor runtime.
+struct PoolSegment {
+  sim::DeviceAddr Base = 0;
+  std::uint64_t Bytes = 0;
+  bool SmallPool = false;
+};
+
+/// Pool-based caching allocator bound to one DeviceApi.
+class CachingAllocator {
+public:
+  /// When \p Managed, segments come from the UVM path so the whole pool is
+  /// oversubscribable (the paper's UVM-for-DL setting).
+  explicit CachingAllocator(DeviceApi &Api, bool Managed = false);
+  ~CachingAllocator();
+
+  CachingAllocator(const CachingAllocator &) = delete;
+  CachingAllocator &operator=(const CachingAllocator &) = delete;
+
+  /// Allocates \p Bytes; returns the block's device address or 0 when the
+  /// backing runtime is out of memory. Rounds to 512B like PyTorch.
+  sim::DeviceAddr allocate(std::uint64_t Bytes);
+
+  /// Returns the block at \p Address to the pool; asserts it is live.
+  void free(sim::DeviceAddr Address);
+
+  /// Releases every cached (unused) segment back to the vendor runtime
+  /// (torch.cuda.empty_cache()).
+  void emptyCache();
+
+  const AllocatorStats &stats() const { return Stats; }
+
+  /// The pool segment containing \p Address, if any.
+  std::optional<PoolSegment> segmentContaining(sim::DeviceAddr Address) const;
+
+  /// All live segments in address order.
+  std::vector<PoolSegment> segments() const;
+
+  /// Bytes of the block serving \p Address (its base), if live.
+  std::optional<std::uint64_t> blockSize(sim::DeviceAddr Address) const;
+
+  bool managed() const { return Managed; }
+
+private:
+  struct Block {
+    sim::DeviceAddr Base = 0;
+    std::uint64_t Bytes = 0;
+    sim::DeviceAddr SegmentBase = 0;
+    bool Free = true;
+  };
+
+  /// PyTorch-like size classes.
+  static bool isSmallRequest(std::uint64_t Bytes) { return Bytes < MiB; }
+  static std::uint64_t roundedSize(std::uint64_t Bytes);
+
+  /// Finds a free block >= Bytes in the matching pool; splits when the
+  /// remainder is worth keeping.
+  sim::DeviceAddr allocFromPool(std::uint64_t Bytes, bool SmallPool);
+  /// Requests a new segment sized for \p Bytes from the vendor runtime.
+  bool growPool(std::uint64_t Bytes, bool SmallPool);
+  void coalesce(std::map<sim::DeviceAddr, Block> &Pool,
+                std::map<sim::DeviceAddr, Block>::iterator It);
+
+  DeviceApi &Api;
+  bool Managed;
+  /// All blocks (free and used) keyed by base, per pool.
+  std::map<sim::DeviceAddr, Block> SmallBlocks;
+  std::map<sim::DeviceAddr, Block> LargeBlocks;
+  std::map<sim::DeviceAddr, PoolSegment> Segments;
+  AllocatorStats Stats;
+};
+
+} // namespace dl
+} // namespace pasta
+
+#endif // PASTA_DL_ALLOCATOR_H

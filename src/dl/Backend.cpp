@@ -1,0 +1,135 @@
+//===- dl/Backend.cpp -----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dl/Backend.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace pasta;
+using namespace pasta::dl;
+
+DeviceApi::~DeviceApi() = default;
+
+//===----------------------------------------------------------------------===//
+// CudaDeviceApi
+//===----------------------------------------------------------------------===//
+
+CudaDeviceApi::CudaDeviceApi(cuda::CudaRuntime &Runtime, int DeviceIndex)
+    : Runtime(Runtime), DeviceIndex(DeviceIndex) {}
+
+sim::DeviceAddr CudaDeviceApi::deviceMalloc(std::uint64_t Bytes,
+                                            bool Managed) {
+  Runtime.cudaSetDevice(DeviceIndex);
+  sim::DeviceAddr Base = 0;
+  cuda::CudaError Err = Managed ? Runtime.cudaMallocManaged(&Base, Bytes)
+                                : Runtime.cudaMalloc(&Base, Bytes);
+  if (Err != cuda::CudaError::Success)
+    return 0;
+  return Base;
+}
+
+void CudaDeviceApi::deviceFree(sim::DeviceAddr Base) {
+  cuda::CudaError Err = Runtime.cudaFree(Base);
+  if (Err != cuda::CudaError::Success)
+    reportFatalError("cudaFree failed on backend-owned pointer");
+}
+
+void CudaDeviceApi::launchKernel(const sim::KernelDesc &Desc,
+                                 sim::LaunchResult *Result) {
+  Runtime.cudaSetDevice(DeviceIndex);
+  cuda::CudaError Err =
+      Runtime.cudaLaunchKernel(Desc, cuda::DefaultStream, Result);
+  if (Err != cuda::CudaError::Success)
+    reportFatalError("cudaLaunchKernel failed");
+}
+
+void CudaDeviceApi::copyToDevice(std::uint64_t Bytes) {
+  Runtime.cudaSetDevice(DeviceIndex);
+  Runtime.cudaMemcpy(0, Bytes, cuda::CudaMemcpyKind::HostToDevice);
+}
+
+void CudaDeviceApi::copyToHost(std::uint64_t Bytes) {
+  Runtime.cudaSetDevice(DeviceIndex);
+  Runtime.cudaMemcpy(0, Bytes, cuda::CudaMemcpyKind::DeviceToHost);
+}
+
+void CudaDeviceApi::prefetch(sim::DeviceAddr Base, std::uint64_t Bytes) {
+  Runtime.cudaMemPrefetchAsync(Base, Bytes, DeviceIndex);
+}
+
+void CudaDeviceApi::advisePreferredDevice(sim::DeviceAddr Base,
+                                          std::uint64_t Bytes) {
+  Runtime.cudaMemAdvise(
+      Base, Bytes, cuda::CudaMemAdvice::SetPreferredLocationDevice,
+      DeviceIndex);
+}
+
+void CudaDeviceApi::synchronize() {
+  Runtime.cudaSetDevice(DeviceIndex);
+  Runtime.cudaDeviceSynchronize();
+}
+
+sim::Device &CudaDeviceApi::device() { return Runtime.device(DeviceIndex); }
+
+//===----------------------------------------------------------------------===//
+// HipDeviceApi
+//===----------------------------------------------------------------------===//
+
+HipDeviceApi::HipDeviceApi(hip::HipRuntime &Runtime, int DeviceIndex)
+    : Runtime(Runtime), DeviceIndex(DeviceIndex) {}
+
+sim::DeviceAddr HipDeviceApi::deviceMalloc(std::uint64_t Bytes,
+                                           bool Managed) {
+  Runtime.hipSetDevice(DeviceIndex);
+  sim::DeviceAddr Base = 0;
+  hip::HipError Err = Managed ? Runtime.hipMallocManaged(&Base, Bytes)
+                              : Runtime.hipMalloc(&Base, Bytes);
+  if (Err != hip::HipError::Success)
+    return 0;
+  return Base;
+}
+
+void HipDeviceApi::deviceFree(sim::DeviceAddr Base) {
+  hip::HipError Err = Runtime.hipFree(Base);
+  if (Err != hip::HipError::Success)
+    reportFatalError("hipFree failed on backend-owned pointer");
+}
+
+void HipDeviceApi::launchKernel(const sim::KernelDesc &Desc,
+                                sim::LaunchResult *Result) {
+  Runtime.hipSetDevice(DeviceIndex);
+  hip::HipError Err =
+      Runtime.hipLaunchKernel(Desc, hip::HipDefaultStream, Result);
+  if (Err != hip::HipError::Success)
+    reportFatalError("hipLaunchKernel failed");
+}
+
+void HipDeviceApi::copyToDevice(std::uint64_t Bytes) {
+  Runtime.hipSetDevice(DeviceIndex);
+  Runtime.hipMemcpy(0, Bytes, hip::HipMemcpyKind::HostToDevice);
+}
+
+void HipDeviceApi::copyToHost(std::uint64_t Bytes) {
+  Runtime.hipSetDevice(DeviceIndex);
+  Runtime.hipMemcpy(0, Bytes, hip::HipMemcpyKind::DeviceToHost);
+}
+
+void HipDeviceApi::prefetch(sim::DeviceAddr Base, std::uint64_t Bytes) {
+  Runtime.hipMemPrefetchAsync(Base, Bytes, DeviceIndex);
+}
+
+void HipDeviceApi::advisePreferredDevice(sim::DeviceAddr Base,
+                                         std::uint64_t Bytes) {
+  // HIP's advise path routes through the same UVM engine.
+  Runtime.device(DeviceIndex).uvm().advisePreferredDevice(Base, Bytes);
+}
+
+void HipDeviceApi::synchronize() {
+  Runtime.hipSetDevice(DeviceIndex);
+  Runtime.hipDeviceSynchronize();
+}
+
+sim::Device &HipDeviceApi::device() { return Runtime.device(DeviceIndex); }

@@ -1,0 +1,121 @@
+//===- dl/Backend.h - Vendor runtime adapters -------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DeviceApi abstracts the vendor runtime the DL framework sits on —
+/// exactly the role the CUDA/HIP dispatch layers play under PyTorch. Two
+/// adapters exist: CudaDeviceApi (cudaMalloc/cudaLaunchKernel/...) and
+/// HipDeviceApi (hipMalloc/hipLaunchKernel/...). Each adapter also names
+/// the kernel-decomposition flavour (cuDNN-like vs MIOpen-like), which is
+/// what makes the NVIDIA-vs-AMD memory timelines of paper Fig. 14 diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_DL_BACKEND_H
+#define PASTA_DL_BACKEND_H
+
+#include "cuda/CudaRuntime.h"
+#include "hip/HipRuntime.h"
+#include "sim/System.h"
+
+#include <cstdint>
+
+namespace pasta {
+namespace dl {
+
+/// Kernel-library flavour the backend dispatches to.
+enum class KernelFlavor {
+  /// cuDNN/cuBLAS: more aggressive fusion, fewer kernels, larger fused
+  /// workspaces.
+  Cudnn,
+  /// MIOpen/rocBLAS: finer decomposition, more kernels and temporaries,
+  /// slightly lower peak usage.
+  Miopen,
+};
+
+/// Minimal vendor-neutral device interface for the DL framework.
+class DeviceApi {
+public:
+  virtual ~DeviceApi();
+
+  /// Allocates device memory; 0 on failure. When \p Managed, uses the
+  /// UVM path (cudaMallocManaged / hipMallocManaged).
+  virtual sim::DeviceAddr deviceMalloc(std::uint64_t Bytes,
+                                       bool Managed) = 0;
+  virtual void deviceFree(sim::DeviceAddr Base) = 0;
+  virtual void launchKernel(const sim::KernelDesc &Desc,
+                            sim::LaunchResult *Result = nullptr) = 0;
+  virtual void copyToDevice(std::uint64_t Bytes) = 0;
+  virtual void copyToHost(std::uint64_t Bytes) = 0;
+  virtual void prefetch(sim::DeviceAddr Base, std::uint64_t Bytes) = 0;
+  virtual void advisePreferredDevice(sim::DeviceAddr Base,
+                                     std::uint64_t Bytes) = 0;
+  virtual void synchronize() = 0;
+
+  virtual sim::Device &device() = 0;
+  virtual int deviceIndex() const = 0;
+  virtual KernelFlavor kernelFlavor() const = 0;
+  virtual sim::VendorKind vendor() const = 0;
+};
+
+/// CUDA-backend adapter bound to one device of a CudaRuntime.
+class CudaDeviceApi final : public DeviceApi {
+public:
+  CudaDeviceApi(cuda::CudaRuntime &Runtime, int DeviceIndex);
+
+  sim::DeviceAddr deviceMalloc(std::uint64_t Bytes, bool Managed) override;
+  void deviceFree(sim::DeviceAddr Base) override;
+  void launchKernel(const sim::KernelDesc &Desc,
+                    sim::LaunchResult *Result) override;
+  void copyToDevice(std::uint64_t Bytes) override;
+  void copyToHost(std::uint64_t Bytes) override;
+  void prefetch(sim::DeviceAddr Base, std::uint64_t Bytes) override;
+  void advisePreferredDevice(sim::DeviceAddr Base,
+                             std::uint64_t Bytes) override;
+  void synchronize() override;
+
+  sim::Device &device() override;
+  int deviceIndex() const override { return DeviceIndex; }
+  KernelFlavor kernelFlavor() const override { return KernelFlavor::Cudnn; }
+  sim::VendorKind vendor() const override {
+    return sim::VendorKind::NVIDIA;
+  }
+
+private:
+  cuda::CudaRuntime &Runtime;
+  int DeviceIndex;
+};
+
+/// HIP-backend adapter bound to one device of a HipRuntime.
+class HipDeviceApi final : public DeviceApi {
+public:
+  HipDeviceApi(hip::HipRuntime &Runtime, int DeviceIndex);
+
+  sim::DeviceAddr deviceMalloc(std::uint64_t Bytes, bool Managed) override;
+  void deviceFree(sim::DeviceAddr Base) override;
+  void launchKernel(const sim::KernelDesc &Desc,
+                    sim::LaunchResult *Result) override;
+  void copyToDevice(std::uint64_t Bytes) override;
+  void copyToHost(std::uint64_t Bytes) override;
+  void prefetch(sim::DeviceAddr Base, std::uint64_t Bytes) override;
+  void advisePreferredDevice(sim::DeviceAddr Base,
+                             std::uint64_t Bytes) override;
+  void synchronize() override;
+
+  sim::Device &device() override;
+  int deviceIndex() const override { return DeviceIndex; }
+  KernelFlavor kernelFlavor() const override { return KernelFlavor::Miopen; }
+  sim::VendorKind vendor() const override { return sim::VendorKind::AMD; }
+
+private:
+  hip::HipRuntime &Runtime;
+  int DeviceIndex;
+};
+
+} // namespace dl
+} // namespace pasta
+
+#endif // PASTA_DL_BACKEND_H

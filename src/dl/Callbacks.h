@@ -1,0 +1,99 @@
+//===- dl/Callbacks.h - Framework callback registry -------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DL framework's observer hooks — the analogues of PyTorch's
+/// c10::reportMemoryUsage (tensor allocation/reclamation) and
+/// at::RecordFunction (operator start/end). PASTA's event handler
+/// registers here to obtain the "High-Level DL Framework Events" of the
+/// paper's Table II. The registry also carries the simulated Python-side
+/// call stack the executor maintains, enabling cross-layer stacks
+/// (paper Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_DL_CALLBACKS_H
+#define PASTA_DL_CALLBACKS_H
+
+#include "dl/Tensor.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+
+/// Forward / backward / optimizer phase of an operator.
+enum class ExecPhase : std::uint8_t { Forward, Backward, Optimizer };
+
+const char *execPhaseName(ExecPhase Phase);
+
+/// c10::reportMemoryUsage-style payload. \c SizeDelta is positive for
+/// allocation, negative for reclamation (the sign convention PASTA's
+/// handler normalizes across frameworks).
+struct MemoryUsageReport {
+  const TensorInfo *Tensor = nullptr;
+  std::int64_t SizeDelta = 0;
+  /// Pool statistics at the time of the report.
+  std::uint64_t TotalAllocated = 0;
+  std::uint64_t TotalReserved = 0;
+  int DeviceIndex = 0;
+  SimTime Timestamp = 0;
+};
+
+/// at::RecordFunction-style payload.
+struct RecordFunctionData {
+  std::string OpName;   ///< e.g. "aten::conv2d"
+  std::string LayerName;///< module path, e.g. "features.0"
+  ExecPhase Phase = ExecPhase::Forward;
+  bool IsBegin = true;
+  int DeviceIndex = 0;
+  SimTime Timestamp = 0;
+  /// Simulated Python frames innermost-first (Fig. 4's upper half).
+  std::vector<std::string> PythonStack;
+};
+
+using MemoryUsageCallback = std::function<void(const MemoryUsageReport &)>;
+using RecordFunctionCallback =
+    std::function<void(const RecordFunctionData &)>;
+
+/// Per-session callback registry (one per framework "process").
+class CallbackRegistry {
+public:
+  /// c10::reportMemoryUsage observer registration.
+  void addMemoryUsageCallback(MemoryUsageCallback Callback) {
+    MemoryCallbacks.push_back(std::move(Callback));
+  }
+  /// at::addGlobalCallback(RecordFunctionCallback...) analogue.
+  void addRecordFunctionCallback(RecordFunctionCallback Callback) {
+    FunctionCallbacks.push_back(std::move(Callback));
+  }
+
+  void reportMemoryUsage(const MemoryUsageReport &Report) const {
+    for (const MemoryUsageCallback &Callback : MemoryCallbacks)
+      Callback(Report);
+  }
+  void recordFunction(const RecordFunctionData &Data) const {
+    for (const RecordFunctionCallback &Callback : FunctionCallbacks)
+      Callback(Data);
+  }
+
+  bool empty() const {
+    return MemoryCallbacks.empty() && FunctionCallbacks.empty();
+  }
+
+private:
+  std::vector<MemoryUsageCallback> MemoryCallbacks;
+  std::vector<RecordFunctionCallback> FunctionCallbacks;
+};
+
+} // namespace dl
+} // namespace pasta
+
+#endif // PASTA_DL_CALLBACKS_H

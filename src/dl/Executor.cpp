@@ -1,0 +1,186 @@
+//===- dl/Executor.cpp ----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dl/Executor.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::dl;
+
+Executor::Executor(DeviceApi &Api, CallbackRegistry &Callbacks,
+                   ExecutorOptions Opts)
+    : Api(Api), Callbacks(Callbacks), Opts(Opts),
+      Allocator(Api, Opts.Managed) {}
+
+const TensorInfo &Executor::tensorInfo(SymTensor T) const {
+  assert(T < Tensors.size() && "tensor id out of range");
+  return Tensors[T];
+}
+
+std::pair<sim::DeviceAddr, std::uint64_t>
+Executor::resolve(SymTensor T) const {
+  const TensorInfo &Info = tensorInfo(T);
+  return {Info.Address, Info.bytes()};
+}
+
+void Executor::execAlloc(const Program &Prog, SymTensor T) {
+  TensorInfo &Info = Tensors[T];
+  if (Info.Address != 0)
+    reportFatalError(format("tensor allocated twice: %s (id %llu)",
+                            Info.Name.c_str(),
+                            static_cast<unsigned long long>(Info.Id)));
+  sim::DeviceAddr Addr = Allocator.allocate(std::max<std::uint64_t>(
+      Prog.Tensors[T].bytes(), 1));
+  if (Addr == 0)
+    reportFatalError(format("device out of memory allocating tensor %s "
+                            "(%llu bytes)",
+                            Prog.Tensors[T].Name.c_str(),
+                            static_cast<unsigned long long>(
+                                Prog.Tensors[T].bytes())));
+  Info.Address = Addr;
+
+  MemoryUsageReport Report;
+  Report.Tensor = &Info;
+  Report.SizeDelta = static_cast<std::int64_t>(Info.bytes());
+  Report.TotalAllocated = Allocator.stats().Allocated;
+  Report.TotalReserved = Allocator.stats().Reserved;
+  Report.DeviceIndex = Api.deviceIndex();
+  Report.Timestamp = Api.device().clock().now();
+  Callbacks.reportMemoryUsage(Report);
+}
+
+void Executor::execFree(SymTensor T) {
+  TensorInfo &Info = Tensors[T];
+  assert(Info.Address != 0 && "freeing unallocated tensor");
+
+  MemoryUsageReport Report;
+  Report.Tensor = &Info;
+  Report.SizeDelta = -static_cast<std::int64_t>(Info.bytes());
+  Report.DeviceIndex = Api.deviceIndex();
+  Report.Timestamp = Api.device().clock().now();
+
+  Allocator.free(Info.Address);
+  Info.Address = 0;
+  Report.TotalAllocated = Allocator.stats().Allocated;
+  Report.TotalReserved = Allocator.stats().Reserved;
+  Callbacks.reportMemoryUsage(Report);
+}
+
+void Executor::execKernel(const Program &Prog, const Step &S,
+                          RunStats &Stats) {
+  (void)Prog;
+  sim::KernelDesc Desc;
+  Desc.Name = S.Kernel.Name;
+  std::uint64_t Threads = std::max<std::uint64_t>(S.Kernel.Threads, 32);
+  Desc.Block.X = 256;
+  Desc.Grid.X = static_cast<unsigned>(
+      std::min<std::uint64_t>((Threads + 255) / 256, 1u << 26));
+  Desc.Flops = S.Kernel.Flops;
+  Desc.BarriersPerBlock = S.Kernel.BarriersPerBlock;
+  Desc.StaticInstrs = S.Kernel.StaticInstrs;
+
+  for (const KernelUse &Use : S.Kernel.Uses) {
+    auto [Addr, Bytes] = resolve(Use.Tensor);
+    assert(Addr != 0 && "kernel operand not allocated");
+    sim::AccessSegment Seg;
+    Seg.Base = Addr;
+    Seg.Extent = Bytes;
+    Seg.AccessBytes = static_cast<std::uint64_t>(
+        static_cast<double>(Bytes) * std::max(Use.Reuse, 0.0));
+    Seg.Kind = Use.Kind;
+    Seg.Space = sim::MemSpace::Global;
+    Desc.Segments.push_back(Seg);
+  }
+
+  if (Hook)
+    Hook(Desc, S, *this);
+
+  sim::LaunchResult Result;
+  Api.launchKernel(Desc, &Result);
+  ++Stats.KernelsLaunched;
+  Stats.Breakdown += Result.Breakdown;
+  Stats.UvmStallTime += Result.UvmStallTime;
+}
+
+void Executor::fireRecordFunction(const Step &S, bool IsBegin) {
+  if (Callbacks.empty())
+    return;
+  RecordFunctionData Data;
+  Data.OpName = S.Name;
+  Data.LayerName = S.LayerName;
+  Data.Phase = S.Phase;
+  Data.IsBegin = IsBegin;
+  Data.DeviceIndex = Api.deviceIndex();
+  Data.Timestamp = Api.device().clock().now();
+  Data.PythonStack = S.PythonStack;
+  Callbacks.recordFunction(Data);
+}
+
+RunStats Executor::run(const Program &Prog) {
+  RunStats Stats;
+  Stats.StartTime = Api.device().clock().now();
+
+  // Fresh tensor table mirroring the program declarations.
+  Tensors.clear();
+  Tensors.resize(Prog.Tensors.size());
+  for (std::size_t I = 0; I < Prog.Tensors.size(); ++I) {
+    TensorInfo &Info = Tensors[I];
+    Info.Id = I;
+    Info.Name = Prog.Tensors[I].Name;
+    Info.Shape = Prog.Tensors[I].Shape;
+    Info.Type = Prog.Tensors[I].Type;
+    Info.Role = Prog.Tensors[I].Role;
+    Info.DeviceIndex = Api.deviceIndex();
+  }
+
+  for (const Step &S : Prog.Steps) {
+    if (Listener)
+      Listener(S);
+    switch (S.Kind) {
+    case StepKind::Alloc:
+      execAlloc(Prog, S.Tensor);
+      break;
+    case StepKind::Free:
+      execFree(S.Tensor);
+      break;
+    case StepKind::Kernel:
+      execKernel(Prog, S, Stats);
+      break;
+    case StepKind::OpBegin:
+      fireRecordFunction(S, /*IsBegin=*/true);
+      break;
+    case StepKind::OpEnd:
+      fireRecordFunction(S, /*IsBegin=*/false);
+      break;
+    case StepKind::CopyH2D:
+      Api.copyToDevice(S.Bytes);
+      break;
+    case StepKind::CopyD2H:
+      Api.copyToHost(S.Bytes);
+      break;
+    case StepKind::LayerBegin:
+    case StepKind::LayerEnd:
+    case StepKind::PhaseBegin:
+    case StepKind::PhaseEnd:
+    case StepKind::IterBegin:
+    case StepKind::IterEnd:
+      break; // markers are for listeners only
+    }
+  }
+
+  Api.synchronize();
+  Stats.EndTime = Api.device().clock().now();
+  Stats.PeakAllocated = Allocator.stats().PeakAllocated;
+  Stats.PeakReserved = Allocator.stats().PeakReserved;
+  if (Opts.EmptyCacheAtEnd)
+    Allocator.emptyCache();
+  return Stats;
+}

@@ -1,0 +1,107 @@
+//===- dl/Executor.h - Program executor -------------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Executor replays a lowered Program against a vendor backend: it
+/// allocates tensors through the CachingAllocator, launches kernels
+/// through the DeviceApi, and fires the framework callbacks
+/// (reportMemoryUsage / RecordFunction) that PASTA's event handler
+/// consumes. A pre-kernel hook lets UVM prefetchers (paper §V-C) inject
+/// prefetch calls with full knowledge of the upcoming kernel's tensors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_DL_EXECUTOR_H
+#define PASTA_DL_EXECUTOR_H
+
+#include "dl/Allocator.h"
+#include "dl/Backend.h"
+#include "dl/Callbacks.h"
+#include "dl/Schedule.h"
+#include "sim/Trace.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+
+/// Executor configuration.
+struct ExecutorOptions {
+  /// Draw pool segments from managed (UVM) memory; required for the
+  /// oversubscription experiments.
+  bool Managed = false;
+  /// Release cached segments when the run finishes.
+  bool EmptyCacheAtEnd = true;
+};
+
+/// Summary of one Program run.
+struct RunStats {
+  SimTime StartTime = 0;
+  SimTime EndTime = 0;
+  std::uint64_t KernelsLaunched = 0;
+  sim::TraceTimeBreakdown Breakdown;
+  SimTime UvmStallTime = 0;
+  std::uint64_t PeakAllocated = 0;
+  std::uint64_t PeakReserved = 0;
+
+  SimTime wallTime() const { return EndTime - StartTime; }
+};
+
+/// Replays Programs; one executor per (backend, pool) pair.
+class Executor {
+public:
+  /// Called immediately before each kernel launch with the resolved
+  /// descriptor and the schedule step it came from.
+  using PreKernelHook =
+      std::function<void(const sim::KernelDesc &, const Step &, Executor &)>;
+  /// Observes every step (markers included) before it executes.
+  using StepListener = std::function<void(const Step &)>;
+
+  Executor(DeviceApi &Api, CallbackRegistry &Callbacks,
+           ExecutorOptions Opts = ExecutorOptions());
+
+  void setPreKernelHook(PreKernelHook Hook) {
+    this->Hook = std::move(Hook);
+  }
+  void setStepListener(StepListener Listener) {
+    this->Listener = std::move(Listener);
+  }
+
+  /// Runs \p Prog to completion and returns the summary.
+  RunStats run(const Program &Prog);
+
+  CachingAllocator &allocator() { return Allocator; }
+  DeviceApi &api() { return Api; }
+  CallbackRegistry &callbacks() { return Callbacks; }
+
+  /// Live tensor table of the current run (indexed by SymTensor). Address
+  /// is 0 for tensors not currently allocated.
+  const TensorInfo &tensorInfo(SymTensor T) const;
+
+  /// Resolves the current device address and size of \p Use's tensor.
+  std::pair<sim::DeviceAddr, std::uint64_t> resolve(SymTensor T) const;
+
+private:
+  void execAlloc(const Program &Prog, SymTensor T);
+  void execFree(SymTensor T);
+  void execKernel(const Program &Prog, const Step &S, RunStats &Stats);
+  void fireRecordFunction(const Step &S, bool IsBegin);
+
+  DeviceApi &Api;
+  CallbackRegistry &Callbacks;
+  ExecutorOptions Opts;
+  CachingAllocator Allocator;
+  PreKernelHook Hook;
+  StepListener Listener;
+  std::vector<TensorInfo> Tensors;
+};
+
+} // namespace dl
+} // namespace pasta
+
+#endif // PASTA_DL_EXECUTOR_H

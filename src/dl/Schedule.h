@@ -1,0 +1,117 @@
+//===- dl/Schedule.h - Lowered execution schedule ---------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is the fully lowered, linear schedule of one workload run:
+/// tensor allocations/frees with exact lifetimes, operator boundaries and
+/// kernel launches with per-tensor access descriptions. Model builders
+/// produce Programs; the Executor replays them against a DeviceApi +
+/// CachingAllocator, which is where all runtime events spring from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_DL_SCHEDULE_H
+#define PASTA_DL_SCHEDULE_H
+
+#include "dl/Callbacks.h"
+#include "dl/Tensor.h"
+#include "sim/Kernel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+
+/// Index into Program::Tensors.
+using SymTensor = std::uint32_t;
+inline constexpr SymTensor NoTensor = ~0u;
+
+/// Compile-time tensor declaration.
+struct TensorDecl {
+  std::string Name;
+  TensorShape Shape;
+  DataType Type = DataType::F32;
+  TensorRole Role = TensorRole::Activation;
+
+  std::uint64_t bytes() const {
+    return Shape.numel() * dataTypeBytes(Type);
+  }
+};
+
+/// One tensor operand of a scheduled kernel.
+struct KernelUse {
+  SymTensor Tensor = NoTensor;
+  sim::AccessKind Kind = sim::AccessKind::Load;
+  /// Dynamic access volume as a multiple of the tensor's size (GEMM tiles
+  /// re-read inputs; elementwise kernels have Reuse == 1).
+  double Reuse = 1.0;
+};
+
+/// One kernel launch in the schedule.
+struct KernelStep {
+  std::string Name;
+  std::vector<KernelUse> Uses;
+  double Flops = 0.0;
+  /// Logical work items; the executor derives grid/block from it.
+  std::uint64_t Threads = 0;
+  std::uint32_t BarriersPerBlock = 1;
+  std::uint64_t StaticInstrs = 512;
+};
+
+/// Schedule step kinds.
+enum class StepKind : std::uint8_t {
+  OpBegin,    ///< at::RecordFunction begin (Name/Layer/Phase/PythonStack).
+  OpEnd,      ///< at::RecordFunction end.
+  Alloc,      ///< Allocate Program::Tensors[Tensor].
+  Free,       ///< Free it.
+  Kernel,     ///< Launch Kernel.
+  LayerBegin, ///< Layer boundary (pasta annotation candidates).
+  LayerEnd,
+  PhaseBegin, ///< Forward / Backward / Optimizer phase boundary.
+  PhaseEnd,
+  CopyH2D,    ///< Host-to-device bulk copy of Bytes (input staging).
+  CopyD2H,    ///< Device-to-host copy (loss readback, outputs).
+  IterBegin,  ///< Iteration boundary (benches segment timelines by it).
+  IterEnd,
+};
+
+/// One step of the lowered schedule (tagged union kept flat for locality).
+struct Step {
+  StepKind Kind = StepKind::Kernel;
+  /// OpBegin/OpEnd: operator name; Layer*: layer name; Phase*: unused.
+  std::string Name;
+  std::string LayerName;
+  ExecPhase Phase = ExecPhase::Forward;
+  SymTensor Tensor = NoTensor;
+  std::uint64_t Bytes = 0;
+  KernelStep Kernel;
+  /// Simulated Python frames (innermost first) for OpBegin steps.
+  std::vector<std::string> PythonStack;
+};
+
+/// A fully lowered workload.
+struct Program {
+  std::string ModelName;
+  bool Training = false;
+  int Iterations = 1;
+  std::vector<TensorDecl> Tensors;
+  std::vector<Step> Steps;
+
+  std::uint64_t numKernels() const {
+    std::uint64_t N = 0;
+    for (const Step &S : Steps)
+      if (S.Kind == StepKind::Kernel)
+        ++N;
+    return N;
+  }
+};
+
+} // namespace dl
+} // namespace pasta
+
+#endif // PASTA_DL_SCHEDULE_H

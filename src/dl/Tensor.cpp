@@ -1,0 +1,55 @@
+//===- dl/Tensor.cpp ------------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dl/Tensor.h"
+
+#include "dl/Callbacks.h"
+
+#include "support/Format.h"
+
+using namespace pasta;
+using namespace pasta::dl;
+
+std::string TensorShape::str() const {
+  std::string Out = "[";
+  for (std::size_t I = 0; I < Dims.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += format("%lld", static_cast<long long>(Dims[I]));
+  }
+  Out += "]";
+  return Out;
+}
+
+const char *pasta::dl::tensorRoleName(TensorRole Role) {
+  switch (Role) {
+  case TensorRole::Weight:
+    return "weight";
+  case TensorRole::Activation:
+    return "activation";
+  case TensorRole::Gradient:
+    return "gradient";
+  case TensorRole::OptState:
+    return "opt_state";
+  case TensorRole::Workspace:
+    return "workspace";
+  case TensorRole::Input:
+    return "input";
+  }
+  return "unknown";
+}
+
+const char *pasta::dl::execPhaseName(ExecPhase Phase) {
+  switch (Phase) {
+  case ExecPhase::Forward:
+    return "forward";
+  case ExecPhase::Backward:
+    return "backward";
+  case ExecPhase::Optimizer:
+    return "optimizer";
+  }
+  return "unknown";
+}

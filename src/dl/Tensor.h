@@ -1,0 +1,108 @@
+//===- dl/Tensor.h - Tensor metadata ----------------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor metadata of the mini DL framework: shapes, dtypes and the roles
+/// tensors play in a training step. The framework never materializes
+/// element data — only sizes, addresses and lifetimes matter to the
+/// reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_DL_TENSOR_H
+#define PASTA_DL_TENSOR_H
+
+#include "sim/Memory.h"
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+
+/// Element types the model zoo uses.
+enum class DataType : std::uint8_t { F32, F16, I64 };
+
+inline std::uint64_t dataTypeBytes(DataType Type) {
+  switch (Type) {
+  case DataType::F32:
+    return 4;
+  case DataType::F16:
+    return 2;
+  case DataType::I64:
+    return 8;
+  }
+  return 4;
+}
+
+/// Dense row-major shape.
+class TensorShape {
+public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<std::int64_t> Dims) : Dims(Dims) {}
+  explicit TensorShape(std::vector<std::int64_t> Dims)
+      : Dims(std::move(Dims)) {}
+
+  std::size_t rank() const { return Dims.size(); }
+  std::int64_t dim(std::size_t I) const {
+    assert(I < Dims.size() && "shape dim out of range");
+    return Dims[I];
+  }
+  const std::vector<std::int64_t> &dims() const { return Dims; }
+
+  std::uint64_t numel() const {
+    std::uint64_t N = 1;
+    for (std::int64_t D : Dims) {
+      assert(D >= 0 && "negative dimension");
+      N *= static_cast<std::uint64_t>(D);
+    }
+    return N;
+  }
+
+  std::string str() const;
+
+private:
+  std::vector<std::int64_t> Dims;
+};
+
+/// Why a tensor exists; drives lifetime policy and analysis labels.
+enum class TensorRole : std::uint8_t {
+  Weight,     ///< Model parameter (persistent).
+  Activation, ///< Forward intermediate (freed after last use / backward).
+  Gradient,   ///< Backward product (freed after optimizer step).
+  OptState,   ///< Optimizer state (persistent in training).
+  Workspace,  ///< Scratch (e.g. im2col buffers; freed after the op).
+  Input,      ///< Mini-batch input.
+};
+
+const char *tensorRoleName(TensorRole Role);
+
+/// Stable tensor identity within one session.
+using TensorId = std::uint64_t;
+
+/// Framework-level tensor record.
+struct TensorInfo {
+  TensorId Id = 0;
+  std::string Name;
+  TensorShape Shape;
+  DataType Type = DataType::F32;
+  TensorRole Role = TensorRole::Activation;
+  /// Device address assigned by the caching allocator (0 when freed).
+  sim::DeviceAddr Address = 0;
+  int DeviceIndex = 0;
+
+  std::uint64_t bytes() const {
+    return Shape.numel() * dataTypeBytes(Type);
+  }
+};
+
+} // namespace dl
+} // namespace pasta
+
+#endif // PASTA_DL_TENSOR_H

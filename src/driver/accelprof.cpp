@@ -1,0 +1,183 @@
+//===- driver/accelprof.cpp - PASTA's command-line client -------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper artifact's entry point:
+//
+//   accelprof [-v] -t <tool> [-b <backend>] [-g <gpu>] [--train]
+//             [--iters N] [--managed] [--oversub F]
+//             [--prefetch none|object|tensor] <model>
+//
+// e.g.  accelprof -t working_set -b cs-gpu bert
+//       accelprof -t kernel_frequency --train resnet18
+//       accelprof -t hotness -b cs-gpu --managed --oversub 3 gpt2
+//
+// <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
+// bert, whisper). Tools: see `accelprof --list-tools`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Profiler.h"
+#include "support/Format.h"
+#include "support/Units.h"
+#include "tools/RegisterTools.h"
+#include "tools/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [-v] -t <tool> [-b cs-gpu|cs-cpu|nvbit-cpu|none]\n"
+      "          [-g A100|RTX3060|MI300X] [--train] [--iters N]\n"
+      "          [--managed] [--oversub F] [--prefetch none|object|tensor]\n"
+      "          [--granularity BYTES] [--sample-rate R] <model>\n"
+      "       %s --list-tools\n",
+      Argv0, Argv0);
+  return 2;
+}
+
+int listTools() {
+  registerBuiltinTools();
+  std::printf("available tools:\n");
+  for (const std::string &Name :
+       ToolRegistry::instance().registeredNames())
+    std::printf("  %s\n", Name.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerBuiltinTools();
+
+  WorkloadConfig Config;
+  Config.Model.clear();
+  std::string ToolName;
+  bool Verbose = false;
+  double Oversub = 0.0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--list-tools")
+      return listTools();
+    if (Arg == "-v") {
+      Verbose = true;
+    } else if (Arg == "-t") {
+      ToolName = NextValue("-t");
+    } else if (Arg == "-b") {
+      std::string Backend = NextValue("-b");
+      if (Backend == "cs-gpu")
+        Config.Backend = TraceBackend::SanitizerGpu;
+      else if (Backend == "cs-cpu")
+        Config.Backend = TraceBackend::SanitizerCpu;
+      else if (Backend == "nvbit-cpu")
+        Config.Backend = TraceBackend::NvbitCpu;
+      else if (Backend == "none")
+        Config.Backend = TraceBackend::None;
+      else {
+        std::fprintf(stderr, "error: unknown backend '%s'\n",
+                     Backend.c_str());
+        return 2;
+      }
+    } else if (Arg == "-g") {
+      Config.Gpu = NextValue("-g");
+    } else if (Arg == "--train") {
+      Config.Training = true;
+    } else if (Arg == "--iters") {
+      Config.Iterations = std::atoi(NextValue("--iters"));
+    } else if (Arg == "--managed") {
+      Config.Managed = true;
+    } else if (Arg == "--oversub") {
+      Oversub = std::atof(NextValue("--oversub"));
+      Config.Managed = true;
+    } else if (Arg == "--prefetch") {
+      std::string Level = NextValue("--prefetch");
+      if (Level == "none")
+        Config.Prefetch = PrefetchLevel::None;
+      else if (Level == "object")
+        Config.Prefetch = PrefetchLevel::Object;
+      else if (Level == "tensor")
+        Config.Prefetch = PrefetchLevel::Tensor;
+      else {
+        std::fprintf(stderr, "error: unknown prefetch level '%s'\n",
+                     Level.c_str());
+        return 2;
+      }
+      Config.Managed = true;
+    } else if (Arg == "--granularity") {
+      Config.RecordGranularityBytes =
+          static_cast<std::uint64_t>(std::atoll(NextValue("--granularity")));
+    } else if (Arg == "--sample-rate") {
+      Config.SampleRate = std::atof(NextValue("--sample-rate"));
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else {
+      Config.Model = Arg;
+    }
+  }
+
+  if (Config.Model.empty())
+    return usage(Argv[0]);
+  if (ToolName.empty())
+    ToolName = getEnvString("PASTA_TOOL", "kernel_frequency");
+
+  // Oversubscription needs the footprint: probe with an uninstrumented
+  // run first (the paper's pre-allocation trick needs the same number).
+  if (Oversub > 0.0) {
+    WorkloadConfig Probe = Config;
+    Probe.Backend = TraceBackend::None;
+    Probe.Prefetch = PrefetchLevel::None;
+    Probe.Managed = false;
+    Probe.MemoryLimitBytes = 0;
+    Profiler ProbeProf;
+    std::uint64_t Footprint =
+        runWorkload(Probe, ProbeProf).Stats.PeakReserved;
+    Config.MemoryLimitBytes =
+        static_cast<std::uint64_t>(static_cast<double>(Footprint) / Oversub);
+    if (Verbose)
+      std::fprintf(stderr,
+                   "accelprof: footprint %s, limiting device to %s\n",
+                   formatBytes(Footprint).c_str(),
+                   formatBytes(Config.MemoryLimitBytes).c_str());
+  }
+
+  Profiler Prof;
+  if (!Prof.addToolByName(ToolName)) {
+    std::fprintf(stderr, "error: unknown tool '%s' (try --list-tools)\n",
+                 ToolName.c_str());
+    return 2;
+  }
+
+  WorkloadResult Result = runWorkload(Config, Prof);
+  if (Verbose)
+    std::fprintf(stderr,
+                 "accelprof: %s %s on %s via %s: %llu kernels, %s "
+                 "simulated, peak %s\n",
+                 Config.Model.c_str(),
+                 Config.Training ? "training" : "inference",
+                 Config.Gpu.c_str(), traceBackendName(Config.Backend),
+                 static_cast<unsigned long long>(
+                     Result.Stats.KernelsLaunched),
+                 formatSimTime(Result.Stats.wallTime()).c_str(),
+                 formatBytes(Result.Stats.PeakReserved).c_str());
+  Prof.writeReports(stdout);
+  return 0;
+}

@@ -1,0 +1,211 @@
+//===- hip/HipRuntime.cpp -------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hip/HipRuntime.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::hip;
+
+HipRuntime::HipRuntime(sim::System &System)
+    : System(System), Rocprofiler(*this) {
+  Streams.insert(HipDefaultStream);
+}
+
+std::uint64_t HipRuntime::nowUs() const {
+  return System.clock().now() / Microsecond;
+}
+
+HipError HipRuntime::hipGetDeviceCount(int *Count) const {
+  if (!Count)
+    return HipError::InvalidValue;
+  *Count = System.numDevices();
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipSetDevice(int Device) {
+  if (Device < 0 || Device >= System.numDevices())
+    return HipError::InvalidDevice;
+  Current = Device;
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipDeviceSynchronize() {
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::Synchronize;
+  Record.AgentIndex = Current;
+  Record.TimestampUs = nowUs();
+  Rocprofiler.dispatch(Record);
+  device().synchronize();
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipMalloc(sim::DeviceAddr *Out, std::uint64_t Bytes) {
+  if (!Out || Bytes == 0)
+    return HipError::InvalidValue;
+  sim::DeviceAddr Base = device().allocate(Bytes);
+  if (Base == 0)
+    return HipError::OutOfMemory;
+  *Out = Base;
+
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::HipMallocOp;
+  Record.AgentIndex = Current;
+  Record.TimestampUs = nowUs();
+  Record.Address = Base;
+  Record.SizeDelta = static_cast<std::int64_t>(Bytes);
+  Rocprofiler.dispatch(Record);
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipMallocManaged(sim::DeviceAddr *Out,
+                                      std::uint64_t Bytes) {
+  if (!Out || Bytes == 0)
+    return HipError::InvalidValue;
+  sim::DeviceAddr Base = device().allocateManaged(Bytes);
+  if (Base == 0)
+    return HipError::OutOfMemory;
+  *Out = Base;
+
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::HipMallocManagedOp;
+  Record.AgentIndex = Current;
+  Record.TimestampUs = nowUs();
+  Record.Address = Base;
+  Record.SizeDelta = static_cast<std::int64_t>(Bytes);
+  Record.Managed = true;
+  Rocprofiler.dispatch(Record);
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipFree(sim::DeviceAddr Base) {
+  for (int I = 0; I < System.numDevices(); ++I) {
+    auto Alloc = System.device(I).memory().find(Base);
+    if (!Alloc)
+      continue;
+    bool Managed = Alloc->Managed;
+    auto Freed = System.device(I).free(Base);
+    assert(Freed && "allocation vanished between find and free");
+
+    // Quirk: frees arrive on the allocation op id with a negative delta.
+    RocprofilerRecord Record;
+    Record.Op = Managed ? RocprofilerOp::HipMallocManagedOp
+                        : RocprofilerOp::HipMallocOp;
+    Record.AgentIndex = I;
+    Record.TimestampUs = nowUs();
+    Record.Address = Base;
+    Record.SizeDelta = -static_cast<std::int64_t>(*Freed);
+    Record.Managed = Managed;
+    Rocprofiler.dispatch(Record);
+    return HipError::Success;
+  }
+  return HipError::InvalidValue;
+}
+
+HipError HipRuntime::hipMemcpy(sim::DeviceAddr Address, std::uint64_t Bytes,
+                               HipMemcpyKind Kind, HipStream Stream) {
+  if (Bytes == 0)
+    return HipError::InvalidValue;
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::MemoryCopy;
+  Record.AgentIndex = Current;
+  Record.QueueId = Stream;
+  Record.TimestampUs = nowUs();
+  Record.Address = Address;
+  Record.SizeDelta = static_cast<std::int64_t>(Bytes);
+  Record.CopyDirection = static_cast<int>(Kind);
+  Rocprofiler.dispatch(Record);
+
+  sim::CopyKind SimKind = sim::CopyKind::HostToDevice;
+  if (Kind == HipMemcpyKind::DeviceToHost)
+    SimKind = sim::CopyKind::DeviceToHost;
+  else if (Kind == HipMemcpyKind::DeviceToDevice)
+    SimKind = sim::CopyKind::DeviceToDevice;
+  device().copy(SimKind, Bytes);
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipMemset(sim::DeviceAddr Address, std::uint64_t Bytes,
+                               HipStream Stream) {
+  if (Bytes == 0)
+    return HipError::InvalidValue;
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::MemorySet;
+  Record.AgentIndex = Current;
+  Record.QueueId = Stream;
+  Record.TimestampUs = nowUs();
+  Record.Address = Address;
+  Record.SizeDelta = static_cast<std::int64_t>(Bytes);
+  Rocprofiler.dispatch(Record);
+  device().memsetDevice(Address, Bytes);
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipMemPrefetchAsync(sim::DeviceAddr Address,
+                                         std::uint64_t Bytes, int Device,
+                                         HipStream Stream) {
+  if (Device < 0 || Device >= System.numDevices())
+    return HipError::InvalidDevice;
+  sim::Device &Dev = System.device(Device);
+  if (!Dev.uvm().isManaged(Address))
+    return HipError::InvalidValue;
+
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::MemPrefetch;
+  Record.AgentIndex = Device;
+  Record.QueueId = Stream;
+  Record.TimestampUs = nowUs();
+  Record.Address = Address;
+  Record.SizeDelta = static_cast<std::int64_t>(Bytes);
+  Record.Managed = true;
+  Rocprofiler.dispatch(Record);
+
+  SimTime Cost = Dev.uvm().prefetch(Address, Bytes);
+  System.clock().advance(Cost);
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipStreamCreate(HipStream *Out) {
+  if (!Out)
+    return HipError::InvalidValue;
+  HipStream Stream = NextStream++;
+  Streams.insert(Stream);
+  *Out = Stream;
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipStreamDestroy(HipStream Stream) {
+  if (Stream == HipDefaultStream || Streams.erase(Stream) == 0)
+    return HipError::InvalidValue;
+  return HipError::Success;
+}
+
+HipError HipRuntime::hipLaunchKernel(const sim::KernelDesc &Desc,
+                                     HipStream Stream,
+                                     sim::LaunchResult *Result) {
+  if (!Streams.count(Stream))
+    return HipError::InvalidValue;
+  if (Desc.Grid.count() == 0 || Desc.Block.count() == 0)
+    return HipError::InvalidValue;
+
+  std::uint64_t DispatchId = device().nextGridId();
+
+  RocprofilerRecord Record;
+  Record.Op = RocprofilerOp::KernelDispatch;
+  Record.AgentIndex = Current;
+  Record.QueueId = Stream;
+  Record.TimestampUs = nowUs();
+  Record.Kernel = &Desc;
+  Record.DispatchId = DispatchId;
+  Rocprofiler.dispatch(Record);
+
+  sim::LaunchResult Local = device().launchKernel(Desc, Stream);
+  assert(Local.GridId == DispatchId && "dispatch id drifted during launch");
+  if (Result)
+    *Result = Local;
+  return HipError::Success;
+}

@@ -1,0 +1,90 @@
+//===- hip/HipRuntime.h - Simulated HIP runtime -----------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated HIP/ROCm runtime. Deliberately mirrors the CUDA runtime's
+/// semantics ("HIP memory management closely follows CUDA's design",
+/// paper §V-D1) while exposing AMD-shaped profiling callbacks through
+/// RocprofilerApi. Runs on AMD-vendor devices (MI300X preset).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_HIP_HIPRUNTIME_H
+#define PASTA_HIP_HIPRUNTIME_H
+
+#include "hip/Rocprofiler.h"
+#include "sim/System.h"
+
+#include <cstdint>
+#include <set>
+
+namespace pasta {
+namespace hip {
+
+/// Subset of hipError_t the simulation can produce.
+enum class HipError {
+  Success = 0,
+  OutOfMemory,
+  InvalidValue,
+  InvalidDevice,
+};
+
+using HipStream = std::uint32_t;
+inline constexpr HipStream HipDefaultStream = 0;
+
+enum class HipMemcpyKind { HostToDevice, DeviceToHost, DeviceToDevice };
+
+/// One HIP runtime instance bound to a sim::System.
+class HipRuntime {
+public:
+  explicit HipRuntime(sim::System &System);
+
+  HipError hipGetDeviceCount(int *Count) const;
+  HipError hipSetDevice(int Device);
+  int currentDevice() const { return Current; }
+  HipError hipDeviceSynchronize();
+
+  HipError hipMalloc(sim::DeviceAddr *Out, std::uint64_t Bytes);
+  HipError hipMallocManaged(sim::DeviceAddr *Out, std::uint64_t Bytes);
+  HipError hipFree(sim::DeviceAddr Base);
+  HipError hipMemcpy(sim::DeviceAddr Address, std::uint64_t Bytes,
+                     HipMemcpyKind Kind, HipStream Stream = HipDefaultStream);
+  HipError hipMemset(sim::DeviceAddr Address, std::uint64_t Bytes,
+                     HipStream Stream = HipDefaultStream);
+  HipError hipMemPrefetchAsync(sim::DeviceAddr Address, std::uint64_t Bytes,
+                               int Device,
+                               HipStream Stream = HipDefaultStream);
+
+  HipError hipStreamCreate(HipStream *Out);
+  HipError hipStreamDestroy(HipStream Stream);
+
+  HipError hipLaunchKernel(const sim::KernelDesc &Desc,
+                           HipStream Stream = HipDefaultStream,
+                           sim::LaunchResult *Result = nullptr);
+
+  RocprofilerApi &rocprofiler() { return Rocprofiler; }
+
+  sim::System &system() { return System; }
+  sim::Device &device() { return System.device(Current); }
+  sim::Device &device(int Index) { return System.device(Index); }
+
+private:
+  friend class RocprofilerApi;
+
+  /// AMD timestamps arrive in microsecond ticks (normalization quirk).
+  std::uint64_t nowUs() const;
+
+  sim::System &System;
+  int Current = 0;
+  RocprofilerApi Rocprofiler;
+  std::set<HipStream> Streams;
+  HipStream NextStream = 1;
+};
+
+} // namespace hip
+} // namespace pasta
+
+#endif // PASTA_HIP_HIPRUNTIME_H

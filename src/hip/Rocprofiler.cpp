@@ -1,0 +1,50 @@
+//===- hip/Rocprofiler.cpp ------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hip/Rocprofiler.h"
+
+#include "hip/HipRuntime.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::hip;
+
+void RocprofilerApi::configureCallback(RocprofilerCallback Callback) {
+  assert(Callback && "null rocprofiler callback");
+  Callbacks.push_back(std::move(Callback));
+}
+
+void RocprofilerApi::configureDeviceTracing(int AgentIndex,
+                                            sim::TraceSink *Sink,
+                                            sim::AnalysisModel Model,
+                                            std::uint64_t DeviceBufferRecords,
+                                            double SampleRate,
+                                            std::uint64_t RecordGranularityBytes) {
+  sim::Device &Dev = Runtime.device(AgentIndex);
+  sim::DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.TraceAllInstructions = false;
+  Config.PaySassParseCost = false;
+  Config.UseNvbitTrampoline = false;
+  Config.Model = Model;
+  Config.DeviceBufferRecords = DeviceBufferRecords;
+  Config.SampleRate = SampleRate;
+  Config.RecordGranularityBytes = RecordGranularityBytes;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(Sink);
+}
+
+void RocprofilerApi::stopDeviceTracing(int AgentIndex) {
+  sim::Device &Dev = Runtime.device(AgentIndex);
+  Dev.setTraceSink(nullptr);
+  Dev.setTraceConfig(sim::DeviceTraceConfig());
+}
+
+void RocprofilerApi::dispatch(const RocprofilerRecord &Record) {
+  for (const RocprofilerCallback &Callback : Callbacks)
+    Callback(Record);
+}

@@ -1,0 +1,98 @@
+//===- hip/Rocprofiler.h - ROCprofiler-SDK-style callbacks ------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated AMD ROCprofiler-SDK callback tracing. Semantically analogous
+/// to NVIDIA's Compute Sanitizer callbacks but with AMD's divergent event
+/// formats, which PASTA's event handler must normalize:
+///
+///  * deallocations arrive as *negative size deltas* on the same
+///    MemoryAllocate operation id instead of a separate Free cbid;
+///  * kernels are reported as "dispatches" with workgroup counts rather
+///    than launches with grids;
+///  * timestamps are reported in microsecond ticks, not nanoseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_HIP_ROCPROFILER_H
+#define PASTA_HIP_ROCPROFILER_H
+
+#include "sim/Trace.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pasta {
+namespace hip {
+
+/// Operation ids (ROCPROFILER_HIP_API_ID_* / buffer-tracing kinds).
+enum class RocprofilerOp {
+  HipMallocOp,       // allocation AND free (free = negative delta)
+  HipMallocManagedOp,
+  KernelDispatch,    // hipLaunchKernel / hipModuleLaunchKernel
+  MemoryCopy,
+  MemorySet,
+  Synchronize,
+  MemPrefetch,
+  MemAdvise,
+};
+
+/// One callback record. Mirrors rocprofiler_callback_tracing_record_t's
+/// union-style payload.
+struct RocprofilerRecord {
+  RocprofilerOp Op = RocprofilerOp::HipMallocOp;
+  int AgentIndex = 0; // AMD calls devices "agents".
+  std::uint32_t QueueId = 0;
+  /// Microsecond ticks (quirk: NOT nanoseconds).
+  std::uint64_t TimestampUs = 0;
+  /// Memory operations: negative on deallocation (quirk).
+  sim::DeviceAddr Address = 0;
+  std::int64_t SizeDelta = 0;
+  bool Managed = false;
+  /// Kernel dispatches.
+  const sim::KernelDesc *Kernel = nullptr;
+  std::uint64_t DispatchId = 0;
+  /// Memory copies: 0 = H2D, 1 = D2H, 2 = D2D.
+  int CopyDirection = 0;
+};
+
+using RocprofilerCallback = std::function<void(const RocprofilerRecord &)>;
+
+/// The per-runtime ROCprofiler registry.
+class RocprofilerApi {
+public:
+  /// rocprofiler_configure_callback_tracing_service analogue.
+  void configureCallback(RocprofilerCallback Callback);
+
+  /// Device-side memory tracing service: the ROCprofiler-SDK analogue of
+  /// Sanitizer patching (the paper notes the APIs are analogous and let
+  /// PASTA capture memory/kernel/sync events with the same interface).
+  void configureDeviceTracing(int AgentIndex, sim::TraceSink *Sink,
+                              sim::AnalysisModel Model,
+                              std::uint64_t DeviceBufferRecords = 1u << 20,
+                              double SampleRate = 1.0,
+                              std::uint64_t RecordGranularityBytes = 4096);
+
+  void stopDeviceTracing(int AgentIndex);
+
+  /// Dispatches to configured callbacks (called by the HipRuntime).
+  void dispatch(const RocprofilerRecord &Record);
+
+  bool hasCallbacks() const { return !Callbacks.empty(); }
+
+private:
+  friend class HipRuntime;
+  explicit RocprofilerApi(class HipRuntime &Runtime) : Runtime(Runtime) {}
+
+  class HipRuntime &Runtime;
+  std::vector<RocprofilerCallback> Callbacks;
+};
+
+} // namespace hip
+} // namespace pasta
+
+#endif // PASTA_HIP_ROCPROFILER_H

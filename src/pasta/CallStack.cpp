@@ -1,0 +1,88 @@
+//===- pasta/CallStack.cpp ------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/CallStack.h"
+
+#include <string_view>
+
+using namespace pasta;
+
+std::string CrossLayerStack::str() const {
+  std::string Out;
+  bool InPython = false;
+  Out += "--- C/C++ ---\n";
+  for (const StackFrame &Frame : Frames) {
+    if (Frame.Language == StackFrame::Lang::Python && !InPython) {
+      Out += "--- Python ---\n";
+      InPython = true;
+    }
+    Out += "  ";
+    Out += Frame.Text;
+    Out += '\n';
+  }
+  return Out;
+}
+
+static bool contains(std::string_view Haystack, std::string_view Needle) {
+  return Haystack.find(Needle) != std::string_view::npos;
+}
+
+CrossLayerStack CallStackBuilder::capture(const std::string &KernelName) const {
+  CrossLayerStack Stack;
+  auto Cpp = [&Stack](const char *Text) {
+    Stack.Frames.push_back({StackFrame::Lang::Cpp, Text});
+  };
+
+  // Innermost C++ frames depend on the kernel family — matching the
+  // paper's Fig. 4 example for the BERT GEMM.
+  if (contains(KernelName, "sgemm") || contains(KernelName, "Cijk")) {
+    Cpp("torch/aten/src/ATen/cuda/CUDABlas.cpp:771 "
+        "at::cuda::blas::gemm_and_bias()");
+    Cpp("torch/aten/src/ATen/native/cuda/Blas.cpp:281 operator()");
+    Cpp("torch/aten/src/ATen/native/cuda/Blas.cpp:281 "
+        "addmm_out_cuda_impl");
+    Cpp("torch/build/aten/src/ATen/RegisterCUDA.cpp:17434 "
+        "wrapper_CUDA_addmm");
+  } else if (contains(KernelName, "im2col") || contains(KernelName, "Col")) {
+    Cpp("torch/aten/src/ATen/native/cuda/im2col.cuh:98 "
+        "at::native::im2col()");
+    Cpp("torch/aten/src/ATen/native/cuda/ConvolutionMM2d.cu:147 "
+        "conv2d_forward_cuda");
+  } else if (contains(KernelName, "winograd") ||
+             contains(KernelName, "cudnn") ||
+             contains(KernelName, "miopen")) {
+    Cpp("torch/aten/src/ATen/native/cudnn/Conv_v8.cpp:612 "
+        "at::native::cudnn_convolution_forward()");
+    Cpp("torch/aten/src/ATen/native/cudnn/ConvShared.cpp:259 "
+        "cudnn_convolution");
+  } else if (contains(KernelName, "batch_norm") ||
+             contains(KernelName, "BatchNorm")) {
+    Cpp("torch/aten/src/ATen/native/cuda/Normalization.cu:521 "
+        "at::native::batch_norm_cuda()");
+  } else if (contains(KernelName, "softmax") ||
+             contains(KernelName, "SoftMax")) {
+    Cpp("torch/aten/src/ATen/native/cuda/SoftMax.cu:1012 "
+        "at::native::softmax_cuda()");
+  } else if (contains(KernelName, "nccl")) {
+    Cpp("torch/csrc/distributed/c10d/ProcessGroupNCCL.cpp:3210 "
+        "c10d::ProcessGroupNCCL::allreduce()");
+  } else {
+    Cpp("torch/aten/src/ATen/native/cuda/CUDALoops.cuh:312 "
+        "at::native::gpu_kernel()");
+    Cpp("torch/aten/src/ATen/native/cuda/Loops.cuh:78 "
+        "at::native::launch_vectorized_kernel");
+  }
+  Cpp("torch/aten/src/ATen/core/dispatch/Dispatcher.h:702 "
+      "c10::Dispatcher::call");
+
+  for (const std::string &Frame : PythonFrames)
+    Stack.Frames.push_back({StackFrame::Lang::Python, Frame});
+
+  // Process entry frames close the stack like the paper's figure.
+  Cpp("../sysdeps/nptl/libc_start_call_main.h:58 __libc_start_call_main");
+  Cpp("../csu/libc-start.c:392 __libc_start_main_impl");
+  return Stack;
+}

@@ -1,0 +1,286 @@
+//===- pasta/EventHandler.cpp ---------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventHandler.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace pasta;
+
+const char *pasta::traceBackendName(TraceBackend Backend) {
+  switch (Backend) {
+  case TraceBackend::None:
+    return "none";
+  case TraceBackend::SanitizerGpu:
+    return "CS-GPU";
+  case TraceBackend::SanitizerCpu:
+    return "CS-CPU";
+  case TraceBackend::NvbitCpu:
+    return "NVBIT-CPU";
+  }
+  PASTA_UNREACHABLE("unknown TraceBackend");
+}
+
+EventHandler::EventHandler(EventProcessor &Processor)
+    : Processor(Processor) {}
+
+EventHandler::~EventHandler() { detach(); }
+
+void EventHandler::attachCuda(cuda::CudaRuntime &Runtime, int DeviceIndex,
+                              const TraceOptions &Opts) {
+  CudaAttachment Attachment;
+  Attachment.Runtime = &Runtime;
+  Attachment.DeviceIndex = DeviceIndex;
+  Attachment.Backend = Opts.Backend;
+
+  // Host-level events: subscribe on every Sanitizer domain.
+  Attachment.Subscriber = Runtime.sanitizer().subscribe(
+      [this](const cuda::SanitizerCallbackData &Data) {
+        handleSanitizer(Data);
+      });
+  Runtime.sanitizer().enableAllDomains(Attachment.Subscriber);
+
+  // Fine-grained device tracing per the chosen backend.
+  switch (Opts.Backend) {
+  case TraceBackend::None:
+    break;
+  case TraceBackend::SanitizerGpu:
+    Runtime.sanitizer().patchMemoryAccesses(
+        DeviceIndex, &Processor, sim::AnalysisModel::DeviceResident,
+        Opts.DeviceBufferRecords, Opts.SampleRate,
+        Opts.RecordGranularityBytes);
+    break;
+  case TraceBackend::SanitizerCpu:
+    Runtime.sanitizer().patchMemoryAccesses(
+        DeviceIndex, &Processor, sim::AnalysisModel::HostSide,
+        Opts.DeviceBufferRecords, Opts.SampleRate,
+        Opts.RecordGranularityBytes);
+    break;
+  case TraceBackend::NvbitCpu:
+    Runtime.nvbit().instrumentAllInstructions(
+        DeviceIndex, &Processor, sim::AnalysisModel::HostSide,
+        Opts.DeviceBufferRecords, Opts.SampleRate,
+        Opts.RecordGranularityBytes);
+    break;
+  }
+  CudaAttachments.push_back(Attachment);
+}
+
+void EventHandler::attachHip(hip::HipRuntime &Runtime, int AgentIndex,
+                             const TraceOptions &Opts) {
+  if (Opts.Backend == TraceBackend::NvbitCpu)
+    reportFatalError("NVBit backends are NVIDIA-only; use the "
+                     "ROCprofiler device-tracing service on AMD");
+
+  HipAttachment Attachment;
+  Attachment.Runtime = &Runtime;
+  Attachment.AgentIndex = AgentIndex;
+  Attachment.Backend = Opts.Backend;
+
+  int Slot = static_cast<int>(HipAttachments.size());
+  Runtime.rocprofiler().configureCallback(
+      [this, Slot](const hip::RocprofilerRecord &Record) {
+        handleRocprofiler(Slot, Record);
+      });
+
+  switch (Opts.Backend) {
+  case TraceBackend::None:
+  case TraceBackend::NvbitCpu:
+    break;
+  case TraceBackend::SanitizerGpu:
+    Runtime.rocprofiler().configureDeviceTracing(
+        AgentIndex, &Processor, sim::AnalysisModel::DeviceResident,
+        Opts.DeviceBufferRecords, Opts.SampleRate,
+        Opts.RecordGranularityBytes);
+    break;
+  case TraceBackend::SanitizerCpu:
+    Runtime.rocprofiler().configureDeviceTracing(
+        AgentIndex, &Processor, sim::AnalysisModel::HostSide,
+        Opts.DeviceBufferRecords, Opts.SampleRate,
+        Opts.RecordGranularityBytes);
+    break;
+  }
+  HipAttachments.push_back(Attachment);
+}
+
+void EventHandler::attachDl(dl::CallbackRegistry &Callbacks) {
+  Callbacks.addMemoryUsageCallback([this](const dl::MemoryUsageReport &R) {
+    Event E;
+    E.Kind = R.SizeDelta >= 0 ? EventKind::TensorAlloc
+                              : EventKind::TensorReclaim;
+    E.DeviceIndex = R.DeviceIndex;
+    E.Timestamp = R.Timestamp;
+    E.Tensor = R.Tensor;
+    // Normalization: sizes are always positive in PASTA events.
+    E.Bytes = static_cast<std::uint64_t>(
+        R.SizeDelta >= 0 ? R.SizeDelta : -R.SizeDelta);
+    E.Address = R.Tensor ? R.Tensor->Address : 0;
+    E.PoolAllocated = R.TotalAllocated;
+    E.PoolReserved = R.TotalReserved;
+    Processor.process(std::move(E));
+  });
+  Callbacks.addRecordFunctionCallback(
+      [this](const dl::RecordFunctionData &Data) {
+        Event E;
+        E.Kind = Data.IsBegin ? EventKind::OperatorStart
+                              : EventKind::OperatorEnd;
+        E.DeviceIndex = Data.DeviceIndex;
+        E.Timestamp = Data.Timestamp;
+        E.OpName = Data.OpName;
+        E.LayerName = Data.LayerName;
+        E.Phase = Data.Phase;
+        E.PythonStack = Data.PythonStack;
+        Processor.process(std::move(E));
+      });
+}
+
+void EventHandler::detach() {
+  for (CudaAttachment &Attachment : CudaAttachments) {
+    Attachment.Runtime->sanitizer().unsubscribe(Attachment.Subscriber);
+    if (Attachment.Backend == TraceBackend::NvbitCpu)
+      Attachment.Runtime->nvbit().removeInstrumentation(
+          Attachment.DeviceIndex);
+    else if (Attachment.Backend != TraceBackend::None)
+      Attachment.Runtime->sanitizer().unpatch(Attachment.DeviceIndex);
+  }
+  CudaAttachments.clear();
+  for (HipAttachment &Attachment : HipAttachments) {
+    if (Attachment.Backend != TraceBackend::None)
+      Attachment.Runtime->rocprofiler().stopDeviceTracing(
+          Attachment.AgentIndex);
+  }
+  HipAttachments.clear();
+}
+
+void EventHandler::handleSanitizer(const cuda::SanitizerCallbackData &Data) {
+  Event E;
+  E.Vendor = sim::VendorKind::NVIDIA;
+  E.DeviceIndex = Data.DeviceIndex;
+  E.Stream = Data.Stream;
+  E.Timestamp = Data.Timestamp;
+
+  switch (Data.Cbid) {
+  case cuda::SanitizerCbid::MemoryAlloc:
+  case cuda::SanitizerCbid::ManagedMemoryAlloc:
+    E.Kind = EventKind::MemoryAlloc;
+    E.Address = Data.Address;
+    E.Bytes = Data.Bytes;
+    E.Managed = Data.Managed;
+    break;
+  case cuda::SanitizerCbid::MemoryFree:
+    E.Kind = EventKind::MemoryFree;
+    E.Address = Data.Address;
+    E.Bytes = Data.Bytes;
+    E.Managed = Data.Managed;
+    break;
+  case cuda::SanitizerCbid::LaunchBegin:
+    E.Kind = EventKind::KernelLaunch;
+    E.Kernel = Data.Kernel;
+    E.GridId = Data.GridId;
+    break;
+  case cuda::SanitizerCbid::LaunchEnd:
+    E.Kind = EventKind::KernelComplete;
+    E.Kernel = Data.Kernel;
+    E.GridId = Data.GridId;
+    break;
+  case cuda::SanitizerCbid::MemcpyBegin:
+    E.Kind = EventKind::MemoryCopy;
+    E.Address = Data.Address;
+    E.Bytes = Data.Bytes;
+    switch (Data.CopyKind) {
+    case cuda::CudaMemcpyKind::HostToDevice:
+      E.Direction = CopyDirection::HostToDevice;
+      break;
+    case cuda::CudaMemcpyKind::DeviceToHost:
+      E.Direction = CopyDirection::DeviceToHost;
+      break;
+    case cuda::CudaMemcpyKind::DeviceToDevice:
+      E.Direction = CopyDirection::DeviceToDevice;
+      break;
+    }
+    break;
+  case cuda::SanitizerCbid::MemsetBegin:
+    E.Kind = EventKind::MemorySet;
+    E.Address = Data.Address;
+    E.Bytes = Data.Bytes;
+    break;
+  case cuda::SanitizerCbid::SynchronizeBegin:
+    E.Kind = EventKind::Synchronization;
+    break;
+  case cuda::SanitizerCbid::StreamCreated:
+    E.Kind = EventKind::StreamCreate;
+    break;
+  case cuda::SanitizerCbid::StreamDestroyed:
+    E.Kind = EventKind::StreamDestroy;
+    break;
+  case cuda::SanitizerCbid::MemPrefetch:
+  case cuda::SanitizerCbid::MemAdvise:
+    E.Kind = EventKind::BatchMemoryOp;
+    E.Address = Data.Address;
+    E.Bytes = Data.Bytes;
+    E.Managed = true;
+    break;
+  }
+  Processor.process(std::move(E));
+}
+
+void EventHandler::handleRocprofiler(int RuntimeSlot,
+                                     const hip::RocprofilerRecord &Record) {
+  (void)RuntimeSlot;
+  Event E;
+  E.Vendor = sim::VendorKind::AMD;
+  E.DeviceIndex = Record.AgentIndex;
+  E.Stream = Record.QueueId;
+  // Normalization: AMD reports microsecond ticks.
+  E.Timestamp = Record.TimestampUs * Microsecond;
+
+  switch (Record.Op) {
+  case hip::RocprofilerOp::HipMallocOp:
+  case hip::RocprofilerOp::HipMallocManagedOp:
+    // Normalization: frees arrive as negative deltas on the alloc op.
+    E.Kind = Record.SizeDelta >= 0 ? EventKind::MemoryAlloc
+                                   : EventKind::MemoryFree;
+    E.Address = Record.Address;
+    E.Bytes = static_cast<std::uint64_t>(
+        Record.SizeDelta >= 0 ? Record.SizeDelta : -Record.SizeDelta);
+    E.Managed = Record.Managed;
+    break;
+  case hip::RocprofilerOp::KernelDispatch:
+    // Normalization: AMD "dispatch" == kernel launch.
+    E.Kind = EventKind::KernelLaunch;
+    E.Kernel = Record.Kernel;
+    E.GridId = Record.DispatchId;
+    break;
+  case hip::RocprofilerOp::MemoryCopy:
+    E.Kind = EventKind::MemoryCopy;
+    E.Address = Record.Address;
+    E.Bytes = static_cast<std::uint64_t>(Record.SizeDelta);
+    E.Direction = Record.CopyDirection == 0
+                      ? CopyDirection::HostToDevice
+                      : Record.CopyDirection == 1
+                            ? CopyDirection::DeviceToHost
+                            : CopyDirection::DeviceToDevice;
+    break;
+  case hip::RocprofilerOp::MemorySet:
+    E.Kind = EventKind::MemorySet;
+    E.Address = Record.Address;
+    E.Bytes = static_cast<std::uint64_t>(Record.SizeDelta);
+    break;
+  case hip::RocprofilerOp::Synchronize:
+    E.Kind = EventKind::Synchronization;
+    break;
+  case hip::RocprofilerOp::MemPrefetch:
+  case hip::RocprofilerOp::MemAdvise:
+    E.Kind = EventKind::BatchMemoryOp;
+    E.Address = Record.Address;
+    E.Bytes = static_cast<std::uint64_t>(Record.SizeDelta);
+    E.Managed = true;
+    break;
+  }
+  Processor.process(std::move(E));
+}

@@ -1,0 +1,143 @@
+//===- pasta/EventProcessor.cpp -------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventProcessor.h"
+
+#include <algorithm>
+
+using namespace pasta;
+
+EventProcessor::EventProcessor(std::size_t DeviceAnalysisThreads)
+    : AnalysisThreads(DeviceAnalysisThreads) {}
+
+EventProcessor::~EventProcessor() = default;
+
+void EventProcessor::process(Event E) {
+  // Range filtering: kernel-scoped events outside the analysis window are
+  // dropped; resource/DL bookkeeping events always pass so tools keep a
+  // consistent view of allocations.
+  bool KernelScoped = E.Kind == EventKind::KernelLaunch ||
+                      E.Kind == EventKind::KernelComplete;
+  if (KernelScoped && !Filter.kernelActive(E.GridId)) {
+    ++Stats.EventsFiltered;
+    return;
+  }
+  if (eventLevel(E.Kind) == EventLevel::DlFramework &&
+      !Filter.regionActive() && E.Kind != EventKind::TensorAlloc &&
+      E.Kind != EventKind::TensorReclaim) {
+    ++Stats.EventsFiltered;
+    return;
+  }
+
+  // CPU preprocessing: keep the cross-layer stack context current.
+  if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
+    Stacks.setPythonStack(E.PythonStack);
+
+  ++Stats.EventsProcessed;
+  dispatch(E);
+}
+
+void EventProcessor::dispatch(const Event &E) {
+  for (Tool *T : Tools) {
+    switch (E.Kind) {
+    case EventKind::KernelLaunch:
+      T->onKernelLaunch(E);
+      break;
+    case EventKind::KernelComplete:
+      T->onKernelComplete(E);
+      break;
+    case EventKind::MemoryAlloc:
+      T->onMemoryAlloc(E);
+      break;
+    case EventKind::MemoryFree:
+      T->onMemoryFree(E);
+      break;
+    case EventKind::MemoryCopy:
+      T->onMemoryCopy(E);
+      break;
+    case EventKind::MemorySet:
+      T->onMemorySet(E);
+      break;
+    case EventKind::Synchronization:
+      T->onSynchronization(E);
+      break;
+    case EventKind::BatchMemoryOp:
+      T->onBatchMemoryOp(E);
+      break;
+    case EventKind::OperatorStart:
+      T->onOperatorStart(E);
+      break;
+    case EventKind::OperatorEnd:
+      T->onOperatorEnd(E);
+      break;
+    case EventKind::TensorAlloc:
+      T->onTensorAlloc(E);
+      break;
+    case EventKind::TensorReclaim:
+      T->onTensorReclaim(E);
+      break;
+    case EventKind::DriverFunction:
+    case EventKind::RuntimeFunction:
+    case EventKind::StreamCreate:
+    case EventKind::StreamDestroy:
+    case EventKind::ThreadBlockEntry:
+    case EventKind::ThreadBlockExit:
+    case EventKind::BarrierInstruction:
+    case EventKind::DeviceMalloc:
+    case EventKind::DeviceFree:
+    case EventKind::LayerBoundary:
+    case EventKind::FwdBwdBoundary:
+    case EventKind::CustomRegion:
+      break; // only the generic hook sees these
+    }
+    T->onEvent(E);
+  }
+}
+
+void EventProcessor::onKernelBegin(const sim::LaunchInfo &Info) {
+  (void)Info;
+}
+
+void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
+                                   const sim::MemAccessRecord *Records,
+                                   std::size_t Count) {
+  if (!Filter.kernelActive(Info.GridId))
+    return;
+  ++Stats.RecordBatches;
+  Stats.RecordsDelivered += Count;
+
+  for (Tool *T : Tools) {
+    if (DeviceAnalysis *Analysis = T->deviceAnalysis()) {
+      // GPU-resident model: reduce the batch concurrently on the device
+      // analysis threads (paper Fig. 2b).
+      AnalysisThreads.parallelFor(
+          Count, [&](std::size_t Begin, std::size_t End) {
+            Analysis->processRecords(Info, Records + Begin, End - Begin);
+          });
+      Stats.DeviceAnalyzedRecords += Count;
+    } else {
+      // Conventional host-side model: one thread sees the whole batch.
+      T->onAccessBatch(Info, Records, Count);
+      Stats.HostAnalyzedRecords += Count;
+    }
+  }
+}
+
+void EventProcessor::onInstrMix(const sim::LaunchInfo &Info,
+                                const sim::InstrMix &Mix) {
+  if (!Filter.kernelActive(Info.GridId))
+    return;
+  for (Tool *T : Tools)
+    T->onInstrMix(Info, Mix);
+}
+
+void EventProcessor::onKernelEnd(const sim::LaunchInfo &Info,
+                                 const sim::TraceTimeBreakdown &Breakdown) {
+  if (!Filter.kernelActive(Info.GridId))
+    return;
+  for (Tool *T : Tools)
+    T->onKernelTraceEnd(Info, Breakdown);
+}

@@ -1,0 +1,124 @@
+//===- pasta/Events.h - Unified event taxonomy ------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PASTA's normalized event model — the paper's Table II. Three levels:
+///
+///  * coarse-grained host-called API events (driver/runtime functions,
+///    kernel launches, memory copies/sets, synchronization, resource and
+///    batch-memory operations),
+///  * fine-grained device-side operations (thread-block entry/exit,
+///    global/shared memory accesses, barriers, device malloc/free, ...),
+///    which arrive as high-volume record batches rather than individual
+///    Events, and
+///  * high-level DL framework events (operator start/end, tensor
+///    allocation/reclamation, layer and forward/backward boundaries,
+///    custom annotated regions).
+///
+/// Whatever the vendor source (Sanitizer, NVBit, ROCprofiler) or the
+/// framework, events are normalized into this one shape: positive sizes,
+/// nanosecond timestamps, uniform naming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_EVENTS_H
+#define PASTA_PASTA_EVENTS_H
+
+#include "dl/Callbacks.h"
+#include "sim/GpuSpec.h"
+#include "sim/Kernel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+/// Table II, first column.
+enum class EventLevel : std::uint8_t {
+  HostApi,     ///< Coarse-grained host-called API events.
+  DeviceOp,    ///< Fine-grained device-side operations.
+  DlFramework, ///< High-level DL framework events.
+};
+
+/// Table II, second column (the subset that arrives as discrete Events;
+/// per-instruction device operations flow through record batches).
+enum class EventKind : std::uint8_t {
+  // Host API events.
+  DriverFunction,
+  RuntimeFunction,
+  Synchronization,
+  KernelLaunch,
+  KernelComplete,
+  MemoryCopy,
+  MemorySet,
+  MemoryAlloc,   ///< resource operation: allocation
+  MemoryFree,    ///< resource operation: release
+  StreamCreate,  ///< resource operation: stream
+  StreamDestroy,
+  BatchMemoryOp, ///< cudaMemPrefetchAsync / cudaMemAdvise style
+  // Device-side operations surfaced as discrete events.
+  ThreadBlockEntry,
+  ThreadBlockExit,
+  BarrierInstruction,
+  DeviceMalloc,
+  DeviceFree,
+  // DL framework events.
+  OperatorStart,
+  OperatorEnd,
+  TensorAlloc,
+  TensorReclaim,
+  LayerBoundary,
+  FwdBwdBoundary,
+  CustomRegion,
+};
+
+/// Human-readable kind name ("KernelLaunch", ...).
+const char *eventKindName(EventKind Kind);
+
+/// The taxonomy level a kind belongs to.
+EventLevel eventLevel(EventKind Kind);
+
+/// Copy directions normalized across vendors.
+enum class CopyDirection : std::uint8_t {
+  HostToDevice,
+  DeviceToHost,
+  DeviceToDevice,
+};
+
+/// One normalized runtime event.
+struct Event {
+  EventKind Kind = EventKind::RuntimeFunction;
+  sim::VendorKind Vendor = sim::VendorKind::NVIDIA;
+  int DeviceIndex = 0;
+  std::uint32_t Stream = 0;
+  /// Nanoseconds (AMD microsecond ticks are converted by the handler).
+  SimTime Timestamp = 0;
+
+  /// Memory events: always positive sizes (the handler folds AMD's
+  /// negative-delta frees into MemoryFree/TensorReclaim).
+  sim::DeviceAddr Address = 0;
+  std::uint64_t Bytes = 0;
+  bool Managed = false;
+  CopyDirection Direction = CopyDirection::HostToDevice;
+
+  /// Kernel events.
+  const sim::KernelDesc *Kernel = nullptr;
+  std::uint64_t GridId = 0;
+
+  /// DL framework events.
+  const dl::TensorInfo *Tensor = nullptr;
+  std::uint64_t PoolAllocated = 0;
+  std::uint64_t PoolReserved = 0;
+  std::string OpName;
+  std::string LayerName;
+  dl::ExecPhase Phase = dl::ExecPhase::Forward;
+  std::vector<std::string> PythonStack;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_EVENTS_H

@@ -1,0 +1,90 @@
+//===- pasta/Injection.h - Process-injection policy -------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process injection policy of paper §IV-D. Multi-GPU
+/// applications spawn one worker process per GPU plus auxiliary helpers
+/// (e.g. Megatron-LM's JIT compilation workers). Blanket LD_PRELOAD
+/// injection instruments the helpers too — they never create a CUDA
+/// context, producing spurious initialization and potential runtime
+/// errors. The CUDA_INJECTION64_PATH mechanism instead injects the
+/// profiler only into processes that actually initialize a CUDA context.
+///
+/// InjectionPolicy models both mechanisms over a small process registry,
+/// so the behavioural difference is testable without real processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_INJECTION_H
+#define PASTA_PASTA_INJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+/// How the profiler shared library reaches target processes.
+enum class InjectionMechanism {
+  /// LD_PRELOAD: every spawned process loads the profiler.
+  LdPreload,
+  /// CUDA_INJECTION64_PATH: only processes initializing a CUDA context
+  /// load it.
+  CudaInjectionPath,
+};
+
+/// One process of a (simulated) multi-process job.
+struct ProcessInfo {
+  std::uint32_t Pid = 0;
+  std::string Command;
+  /// Worker processes initialize a CUDA context; auxiliary helpers (JIT
+  /// compilers, data loaders) do not.
+  bool InitializesCudaContext = false;
+};
+
+/// Decides which processes get instrumented under a mechanism.
+class InjectionPolicy {
+public:
+  explicit InjectionPolicy(InjectionMechanism Mechanism)
+      : Mechanism(Mechanism) {}
+
+  /// Registers a spawned process; returns true when the profiler is
+  /// injected into it under this policy.
+  bool onProcessSpawn(const ProcessInfo &Process) {
+    bool Injected = Mechanism == InjectionMechanism::LdPreload ||
+                    Process.InitializesCudaContext;
+    if (Injected)
+      Instrumented.push_back(Process);
+    else
+      Skipped.push_back(Process);
+    return Injected;
+  }
+
+  /// Processes that were instrumented but never created a CUDA context —
+  /// the spurious-injection hazard §IV-D describes for LD_PRELOAD.
+  std::vector<ProcessInfo> spuriouslyInstrumented() const {
+    std::vector<ProcessInfo> Out;
+    for (const ProcessInfo &Process : Instrumented)
+      if (!Process.InitializesCudaContext)
+        Out.push_back(Process);
+    return Out;
+  }
+
+  const std::vector<ProcessInfo> &instrumented() const {
+    return Instrumented;
+  }
+  const std::vector<ProcessInfo> &skipped() const { return Skipped; }
+  InjectionMechanism mechanism() const { return Mechanism; }
+
+private:
+  InjectionMechanism Mechanism;
+  std::vector<ProcessInfo> Instrumented;
+  std::vector<ProcessInfo> Skipped;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_INJECTION_H

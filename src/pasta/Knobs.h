@@ -1,0 +1,42 @@
+//===- pasta/Knobs.h - Inefficiency-location knobs --------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predefined selective-analysis knobs (paper §III-F2): rather than
+/// capturing full context for every runtime event, users enable knobs
+/// like MAX_MEM_REFERENCED_KERNEL or MAX_CALLED_KERNEL and PASTA captures
+/// the cross-layer call stack only for the selected kernel. Custom knobs
+/// extend the same mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_KNOBS_H
+#define PASTA_PASTA_KNOBS_H
+
+#include "support/Env.h"
+
+namespace pasta {
+
+/// Knob settings resolved from the environment.
+struct Knobs {
+  /// Capture the call stack of the kernel with the most memory
+  /// references (the paper's Fig. 4 selection).
+  bool MaxMemReferencedKernel = false;
+  /// Capture the call stack of the most frequently invoked kernel.
+  bool MaxCalledKernel = false;
+
+  static Knobs fromEnv() {
+    Knobs K;
+    K.MaxMemReferencedKernel =
+        getEnvBool("MAX_MEM_REFERENCED_KERNEL", false);
+    K.MaxCalledKernel = getEnvBool("MAX_CALLED_KERNEL", false);
+    return K;
+  }
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_KNOBS_H

@@ -1,0 +1,95 @@
+//===- pasta/Profiler.cpp -------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Profiler.h"
+
+#include "support/Logging.h"
+
+#include <cassert>
+
+using namespace pasta;
+
+ProfilerOptions ProfilerOptions::fromEnv() {
+  ProfilerOptions Opts;
+  std::string Backend = getEnvString("PASTA_BACKEND", "none");
+  if (Backend == "cs-gpu")
+    Opts.Trace.Backend = TraceBackend::SanitizerGpu;
+  else if (Backend == "cs-cpu")
+    Opts.Trace.Backend = TraceBackend::SanitizerCpu;
+  else if (Backend == "nvbit-cpu")
+    Opts.Trace.Backend = TraceBackend::NvbitCpu;
+  else if (Backend != "none")
+    logWarning("unknown PASTA_BACKEND '" + Backend + "', tracing disabled");
+  Opts.Trace.SampleRate =
+      getEnvDouble("ACCEL_PROF_ENV_SAMPLE_RATE", 1.0);
+  Opts.Trace.RecordGranularityBytes = static_cast<std::uint64_t>(
+      getEnvInt("PASTA_TRACE_GRANULARITY", 4096));
+  Opts.Trace.DeviceBufferRecords = static_cast<std::uint64_t>(
+      getEnvInt("PASTA_DEVICE_BUFFER_RECORDS", 1 << 20));
+  Opts.AnalysisThreads = static_cast<std::size_t>(
+      getEnvInt("PASTA_ANALYSIS_THREADS", 0));
+  return Opts;
+}
+
+Profiler::Profiler(ProfilerOptions Opts)
+    : Opts(Opts), ActiveKnobs(Knobs::fromEnv()),
+      Processor(Opts.AnalysisThreads), Handler(Processor) {}
+
+Profiler::~Profiler() {
+  if (!Finished)
+    finish();
+}
+
+Tool *Profiler::addTool(std::unique_ptr<Tool> T) {
+  assert(T && "null tool");
+  Tool *Raw = T.get();
+  Tools.push_back(std::move(T));
+  Processor.addTool(Raw);
+  Raw->onStart();
+  return Raw;
+}
+
+Tool *Profiler::addToolByName(const std::string &Name) {
+  std::unique_ptr<Tool> T = ToolRegistry::instance().create(Name);
+  if (!T) {
+    logWarning("unknown PASTA tool: " + Name);
+    return nullptr;
+  }
+  return addTool(std::move(T));
+}
+
+Tool *Profiler::addToolFromEnv() {
+  auto Name = getEnv("PASTA_TOOL");
+  if (!Name)
+    return nullptr;
+  return addToolByName(*Name);
+}
+
+void Profiler::attachCuda(cuda::CudaRuntime &Runtime, int DeviceIndex) {
+  Handler.attachCuda(Runtime, DeviceIndex, Opts.Trace);
+}
+
+void Profiler::attachHip(hip::HipRuntime &Runtime, int AgentIndex) {
+  Handler.attachHip(Runtime, AgentIndex, Opts.Trace);
+}
+
+void Profiler::attachDl(dl::CallbackRegistry &Callbacks) {
+  Handler.attachDl(Callbacks);
+}
+
+void Profiler::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  Handler.detach();
+  for (auto &T : Tools)
+    T->onFinish();
+}
+
+void Profiler::writeReports(std::FILE *Out) {
+  for (auto &T : Tools)
+    T->writeReport(Out);
+}

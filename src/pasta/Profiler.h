@@ -1,0 +1,108 @@
+//===- pasta/Profiler.h - PASTA facade --------------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level PASTA object — the analogue of the LD_PRELOAD-injected
+/// "accelprof" shared library. It owns the event processor and handler,
+/// hosts the selected tools, and exposes the user-facing annotation API
+/// (pasta.start / pasta.stop). Typical use:
+///
+/// \code
+///   pasta::Profiler Prof;                       // options from env
+///   Prof.addToolByName("kernel_frequency");     // or PASTA_TOOL env var
+///   Prof.attachCuda(Runtime, /*Device=*/0);
+///   Prof.attachDl(Callbacks);
+///   ... run workload ...
+///   Prof.finish();
+///   Prof.writeReports(stdout);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_PROFILER_H
+#define PASTA_PASTA_PROFILER_H
+
+#include "pasta/EventHandler.h"
+#include "pasta/EventProcessor.h"
+#include "pasta/Knobs.h"
+#include "pasta/Tool.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+/// Profiler-wide options; fromEnv() resolves the paper's environment
+/// variables (PASTA_TOOL, ACCEL_PROF_ENV_SAMPLE_RATE,
+/// PASTA_TRACE_GRANULARITY, START_GRID_ID/END_GRID_ID are read by the
+/// range filter itself).
+struct ProfilerOptions {
+  TraceOptions Trace;
+  /// Device-analysis thread-pool width (0 = hardware concurrency).
+  std::size_t AnalysisThreads = 0;
+
+  static ProfilerOptions fromEnv();
+};
+
+/// Owns the PASTA pipeline and the active tools.
+class Profiler {
+public:
+  explicit Profiler(ProfilerOptions Opts = ProfilerOptions::fromEnv());
+  ~Profiler();
+
+  //===--------------------------------------------------------------------===
+  // Tool management
+  //===--------------------------------------------------------------------===
+  /// Adds a tool instance; the profiler owns it. Returns the raw pointer
+  /// for convenience.
+  Tool *addTool(std::unique_ptr<Tool> T);
+  /// Creates a tool from the global registry; null when unknown.
+  Tool *addToolByName(const std::string &Name);
+  /// Adds the tool named by the PASTA_TOOL environment variable, if set.
+  Tool *addToolFromEnv();
+  const std::vector<std::unique_ptr<Tool>> &tools() const { return Tools; }
+
+  //===--------------------------------------------------------------------===
+  // Attachment (the LD_PRELOAD moment)
+  //===--------------------------------------------------------------------===
+  void attachCuda(cuda::CudaRuntime &Runtime, int DeviceIndex = 0);
+  void attachHip(hip::HipRuntime &Runtime, int AgentIndex = 0);
+  void attachDl(dl::CallbackRegistry &Callbacks);
+
+  //===--------------------------------------------------------------------===
+  // Annotation API (pasta.start / pasta.stop; paper Listing 1)
+  //===--------------------------------------------------------------------===
+  void start() { Processor.rangeFilter().annotationStart(); }
+  void stop() { Processor.rangeFilter().annotationStop(); }
+
+  //===--------------------------------------------------------------------===
+  // Lifecycle / reporting
+  //===--------------------------------------------------------------------===
+  /// Detaches instrumentation and runs every tool's onFinish.
+  void finish();
+  /// Writes every tool's report to \p Out.
+  void writeReports(std::FILE *Out);
+
+  EventProcessor &processor() { return Processor; }
+  EventHandler &handler() { return Handler; }
+  const ProfilerOptions &options() const { return Opts; }
+  /// Overrides the tracing configuration used by subsequent attach calls.
+  void setTraceOptions(const TraceOptions &Trace) { Opts.Trace = Trace; }
+  const Knobs &knobs() const { return ActiveKnobs; }
+
+private:
+  ProfilerOptions Opts;
+  Knobs ActiveKnobs;
+  EventProcessor Processor;
+  EventHandler Handler;
+  std::vector<std::unique_ptr<Tool>> Tools;
+  bool Finished = false;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_PROFILER_H

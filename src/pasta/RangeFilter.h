@@ -1,0 +1,78 @@
+//===- pasta/RangeFilter.h - Range-specific analysis ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Range-specific analysis (paper §III-F1): users either set the
+/// START_GRID_ID / END_GRID_ID environment variables to select a window
+/// of kernel launches, or bracket code regions with pasta.start() /
+/// pasta.stop() annotations. The event processor consults this filter
+/// before dispatching kernel-scoped events and trace records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_RANGEFILTER_H
+#define PASTA_PASTA_RANGEFILTER_H
+
+#include "support/Env.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace pasta {
+
+/// Combines grid-id windows with annotation-driven regions.
+class RangeFilter {
+public:
+  RangeFilter() { reloadFromEnv(); }
+
+  /// Re-reads START_GRID_ID / END_GRID_ID (tests poke env overrides).
+  void reloadFromEnv() {
+    StartGridId = static_cast<std::uint64_t>(
+        getEnvInt("START_GRID_ID", 0));
+    std::int64_t End = getEnvInt("END_GRID_ID", -1);
+    EndGridId = End < 0 ? std::numeric_limits<std::uint64_t>::max()
+                        : static_cast<std::uint64_t>(End);
+  }
+
+  /// pasta.start(): opens an annotated region (nestable).
+  void annotationStart() {
+    AnnotationsUsed = true;
+    ++AnnotationDepth;
+  }
+  /// pasta.stop().
+  void annotationStop() {
+    if (AnnotationDepth > 0)
+      --AnnotationDepth;
+  }
+
+  /// True when annotations gate analysis and we are inside a region, or
+  /// when no annotation was ever used (whole-program analysis).
+  bool regionActive() const {
+    return !AnnotationsUsed || AnnotationDepth > 0;
+  }
+
+  bool gridInRange(std::uint64_t GridId) const {
+    return GridId >= StartGridId && GridId <= EndGridId;
+  }
+
+  /// Full gate for kernel-scoped events.
+  bool kernelActive(std::uint64_t GridId) const {
+    return regionActive() && gridInRange(GridId);
+  }
+
+  std::uint64_t startGridId() const { return StartGridId; }
+  std::uint64_t endGridId() const { return EndGridId; }
+
+private:
+  std::uint64_t StartGridId = 0;
+  std::uint64_t EndGridId = std::numeric_limits<std::uint64_t>::max();
+  bool AnnotationsUsed = false;
+  int AnnotationDepth = 0;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_RANGEFILTER_H

@@ -1,0 +1,40 @@
+//===- pasta/Tool.cpp -----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Tool.h"
+
+#include "support/Logging.h"
+
+using namespace pasta;
+
+DeviceAnalysis::~DeviceAnalysis() = default;
+Tool::~Tool() = default;
+
+ToolRegistry &ToolRegistry::instance() {
+  static ToolRegistry Registry;
+  return Registry;
+}
+
+void ToolRegistry::registerTool(const std::string &Name, Factory MakeTool) {
+  auto [It, Inserted] = Factories.emplace(Name, std::move(MakeTool));
+  if (!Inserted)
+    logWarning("tool registered twice: " + Name);
+}
+
+std::unique_ptr<Tool> ToolRegistry::create(const std::string &Name) const {
+  auto It = Factories.find(Name);
+  if (It == Factories.end())
+    return nullptr;
+  return It->second();
+}
+
+std::vector<std::string> ToolRegistry::registeredNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Factories.size());
+  for (const auto &[Name, Factory] : Factories)
+    Names.push_back(Name);
+  return Names;
+}

@@ -1,0 +1,133 @@
+//===- pasta/Tool.h - Analysis tool template --------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PASTA tool collection template (paper §III-B). Custom analyses
+/// derive from Tool and override only the hooks they need — the paper's
+/// "create custom analyses by simply overriding functions in the tool
+/// collection template". Tools that want GPU-resident analysis (Fig. 2b)
+/// return a DeviceAnalysis; its processRecords runs concurrently on the
+/// processor's device-analysis threads and must be thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_TOOL_H
+#define PASTA_PASTA_TOOL_H
+
+#include "pasta/Events.h"
+#include "sim/Trace.h"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+class EventProcessor;
+
+/// Thread-safe reducer for fine-grained device records (the tool-supplied
+/// __device__ helper of the paper's GPU-resident model).
+class DeviceAnalysis {
+public:
+  virtual ~DeviceAnalysis();
+
+  /// Reduces one chunk of records in-situ. Called concurrently from the
+  /// device-analysis thread pool.
+  virtual void processRecords(const sim::LaunchInfo &Info,
+                              const sim::MemAccessRecord *Records,
+                              std::size_t Count) = 0;
+};
+
+/// Base class for all PASTA tools.
+class Tool {
+public:
+  virtual ~Tool();
+
+  virtual std::string name() const = 0;
+
+  /// Lifecycle: called when the profiler activates / deactivates the tool.
+  virtual void onStart() {}
+  virtual void onFinish() {}
+  /// Called when the tool joins an event processor; tools that capture
+  /// cross-layer call stacks keep the pointer.
+  virtual void onAttach(EventProcessor &Processor) { (void)Processor; }
+
+  //===--------------------------------------------------------------------===
+  // Coarse host-API events (CPU-preprocessed by the event processor)
+  //===--------------------------------------------------------------------===
+  /// Generic hook: receives every event after the specific hook.
+  virtual void onEvent(const Event &E) { (void)E; }
+  virtual void onKernelLaunch(const Event &E) { (void)E; }
+  virtual void onKernelComplete(const Event &E) { (void)E; }
+  virtual void onMemoryAlloc(const Event &E) { (void)E; }
+  virtual void onMemoryFree(const Event &E) { (void)E; }
+  virtual void onMemoryCopy(const Event &E) { (void)E; }
+  virtual void onMemorySet(const Event &E) { (void)E; }
+  virtual void onSynchronization(const Event &E) { (void)E; }
+  virtual void onBatchMemoryOp(const Event &E) { (void)E; }
+
+  //===--------------------------------------------------------------------===
+  // High-level DL framework events
+  //===--------------------------------------------------------------------===
+  virtual void onOperatorStart(const Event &E) { (void)E; }
+  virtual void onOperatorEnd(const Event &E) { (void)E; }
+  virtual void onTensorAlloc(const Event &E) { (void)E; }
+  virtual void onTensorReclaim(const Event &E) { (void)E; }
+
+  //===--------------------------------------------------------------------===
+  // Fine-grained device operations
+  //===--------------------------------------------------------------------===
+  /// Host-side path (Fig. 2a): raw record batches on one thread.
+  virtual void onAccessBatch(const sim::LaunchInfo &Info,
+                             const sim::MemAccessRecord *Records,
+                             std::size_t Count) {
+    (void)Info;
+    (void)Records;
+    (void)Count;
+  }
+  /// Device-resident path (Fig. 2b): non-null enables in-situ analysis.
+  virtual DeviceAnalysis *deviceAnalysis() { return nullptr; }
+  /// Instruction mix (full-coverage NVBit backend only).
+  virtual void onInstrMix(const sim::LaunchInfo &Info,
+                          const sim::InstrMix &Mix) {
+    (void)Info;
+    (void)Mix;
+  }
+  /// Per-launch instrumentation cost breakdown (Fig. 10's components).
+  virtual void onKernelTraceEnd(const sim::LaunchInfo &Info,
+                                const sim::TraceTimeBreakdown &Breakdown) {
+    (void)Info;
+    (void)Breakdown;
+  }
+
+  /// Writes the tool's report (benches call this at run end).
+  virtual void writeReport(std::FILE *Out) { (void)Out; }
+};
+
+/// Factory registry so tools can be selected by name via the PASTA_TOOL
+/// environment variable or a command-line option (paper §III-C).
+class ToolRegistry {
+public:
+  using Factory = std::function<std::unique_ptr<Tool>()>;
+
+  /// Global registry instance.
+  static ToolRegistry &instance();
+
+  void registerTool(const std::string &Name, Factory MakeTool);
+  /// Creates a registered tool; null when unknown.
+  std::unique_ptr<Tool> create(const std::string &Name) const;
+  std::vector<std::string> registeredNames() const;
+
+private:
+  std::map<std::string, Factory> Factories;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_TOOL_H

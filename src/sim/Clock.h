@@ -1,0 +1,51 @@
+//===- sim/Clock.h - Simulated clock ----------------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated nanosecond clock shared by every device in a sim::System.
+/// All timing the benches report is simulated time produced by the cost
+/// model — never wall-clock time — so runs are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SIM_CLOCK_H
+#define PASTA_SIM_CLOCK_H
+
+#include "support/Units.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace pasta {
+namespace sim {
+
+/// Monotonic simulated clock in nanoseconds.
+class SimClock {
+public:
+  SimTime now() const { return Now; }
+
+  /// Advances by \p Delta nanoseconds and returns the new time.
+  SimTime advance(SimTime Delta) {
+    Now += Delta;
+    return Now;
+  }
+
+  /// Moves the clock forward to \p Time; no-op when already past it.
+  void advanceTo(SimTime Time) {
+    if (Time > Now)
+      Now = Time;
+  }
+
+  void reset() { Now = 0; }
+
+private:
+  SimTime Now = 0;
+};
+
+} // namespace sim
+} // namespace pasta
+
+#endif // PASTA_SIM_CLOCK_H

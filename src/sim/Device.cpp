@@ -1,0 +1,307 @@
+//===- sim/Device.cpp -----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Device.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+TraceSink::~TraceSink() = default;
+
+/// Device address spaces start well above zero so that address 0 can act
+/// as the null/failure value, and are spaced so devices never overlap.
+static constexpr DeviceAddr DeviceAddrBase = 0x7f0000000000ull;
+static constexpr DeviceAddr DeviceAddrStride = 0x010000000000ull;
+
+/// Every real access modeled as a 32-byte transaction.
+static constexpr std::uint64_t AccessBytesPerOp = 32;
+
+Device::Device(int Index, GpuSpec Spec, SimClock &Clock)
+    : Index(Index), Spec(Spec), Clock(Clock),
+      Memory(DeviceAddrBase + static_cast<DeviceAddr>(Index) *
+                                  DeviceAddrStride,
+             // The address space is larger than physical capacity so
+             // managed (oversubscribable) ranges always find addresses.
+             DeviceAddrStride / 2),
+      Uvm(Spec), MemoryLimit(Spec.MemoryBytes) {
+  refreshUvmBudget();
+}
+
+void Device::refreshUvmBudget() {
+  std::uint64_t Physical = Memory.devicePhysicalBytes();
+  std::uint64_t Budget =
+      MemoryLimit > Physical ? MemoryLimit - Physical : Spec.UvmPageBytes;
+  // Keep at least one page of budget so progress is always possible.
+  Budget = std::max<std::uint64_t>(Budget, Spec.UvmPageBytes);
+  Uvm.setResidentBudget(Budget);
+}
+
+DeviceAddr Device::allocate(std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  if (Memory.devicePhysicalBytes() + Bytes > MemoryLimit)
+    return 0; // Out of (artificially limited) device memory.
+  DeviceAddr Base = Memory.allocate(Bytes, /*Managed=*/false);
+  if (Base != 0)
+    refreshUvmBudget();
+  return Base;
+}
+
+DeviceAddr Device::allocateManaged(std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  DeviceAddr Base = Memory.allocate(Bytes, /*Managed=*/true);
+  if (Base == 0)
+    return 0;
+  auto Alloc = Memory.find(Base);
+  assert(Alloc && "allocation lost immediately");
+  Uvm.addManagedRange(Base, Alloc->Bytes);
+  return Base;
+}
+
+std::optional<std::uint64_t> Device::free(DeviceAddr Base) {
+  auto Alloc = Memory.find(Base);
+  if (!Alloc)
+    return std::nullopt;
+  if (Alloc->Managed)
+    Uvm.removeManagedRange(Alloc->Base, Alloc->Bytes);
+  auto Freed = Memory.free(Base);
+  refreshUvmBudget();
+  return Freed;
+}
+
+void Device::setMemoryLimit(std::uint64_t Bytes) {
+  MemoryLimit = std::min(Bytes, Spec.MemoryBytes);
+  refreshUvmBudget();
+}
+
+SimTime Device::copy(CopyKind Kind, std::uint64_t Bytes) {
+  SimTime Cost = Spec.TransferLatency;
+  if (Kind == CopyKind::DeviceToDevice)
+    Cost += Spec.deviceMemTime(static_cast<double>(Bytes) * 2.0);
+  else
+    Cost += Spec.pcieTime(static_cast<double>(Bytes));
+  Clock.advance(Cost);
+  ++Counters.Memcpys;
+  Counters.MemcpyBytes += Bytes;
+  return Cost;
+}
+
+SimTime Device::memsetDevice(DeviceAddr Base, std::uint64_t Bytes) {
+  (void)Base;
+  SimTime Cost =
+      Spec.TransferLatency + Spec.deviceMemTime(static_cast<double>(Bytes));
+  Clock.advance(Cost);
+  ++Counters.Memsets;
+  return Cost;
+}
+
+SimTime Device::synchronize() {
+  ++Counters.Synchronizations;
+  return Clock.now();
+}
+
+LaunchResult Device::launchKernel(const KernelDesc &Desc,
+                                  std::uint32_t StreamId) {
+  assert(Desc.Grid.count() > 0 && Desc.Block.count() > 0 &&
+         "empty launch geometry");
+  LaunchResult Result;
+  Result.GridId = ++LaunchCounter;
+
+  // Roofline execution time: the kernel is bound by whichever of compute
+  // and device memory traffic is slower.
+  std::uint64_t AccessBytes = Desc.totalAccessBytes();
+  SimTime Exec = Spec.KernelLaunchLatency +
+                 std::max(Spec.computeTime(Desc.Flops),
+                          Spec.deviceMemTime(
+                              static_cast<double>(AccessBytes)));
+
+  // UVM: touching a managed footprint faults in non-resident pages.
+  SimTime UvmStall = 0;
+  for (const AccessSegment &Seg : Desc.Segments)
+    if (Seg.Space == MemSpace::Global && Seg.Extent > 0)
+      UvmStall += Uvm.touch(Seg.Base, Seg.Extent);
+  Exec += UvmStall;
+  Result.UvmStallTime = UvmStall;
+  Result.Breakdown.Execution = Exec;
+
+  LaunchInfo Info;
+  Info.Desc = &Desc;
+  Info.GridId = Result.GridId;
+  Info.DeviceIndex = Index;
+  Info.StreamId = StreamId;
+  Info.LaunchTime = Clock.now();
+
+  bool Tracing = Config.TraceMemory && Sink != nullptr;
+  if (Tracing) {
+    Sink->onKernelBegin(Info);
+    auto [Sampled, Real] = generateTrace(Info, Desc);
+    Result.SampledRecords = Sampled;
+    Result.RealTracedOps = Real;
+    if (Config.TraceAllInstructions) {
+      InstrMix Mix;
+      for (const AccessSegment &Seg : Desc.Segments) {
+        std::uint64_t Ops = Seg.AccessBytes / AccessBytesPerOp;
+        if (Seg.Space == MemSpace::Shared)
+          Mix.SharedAccesses += Ops;
+        else if (Seg.Kind == AccessKind::Load)
+          Mix.GlobalLoads += Ops;
+        else
+          Mix.GlobalStores += Ops;
+      }
+      Mix.Barriers =
+          static_cast<std::uint64_t>(Desc.BarriersPerBlock) *
+          Desc.Grid.count();
+      Mix.ComputeInstrs = static_cast<std::uint64_t>(
+          static_cast<double>(Real) * Desc.ComputeInstrsPerAccess);
+      Sink->onInstrMix(Info, Mix);
+    }
+    chargeInstrumentation(Desc, static_cast<double>(Result.RealTracedOps),
+                          Result.Breakdown);
+    Sink->onKernelEnd(Info, Result.Breakdown);
+  }
+
+  Clock.advance(Result.Breakdown.total());
+  ++Counters.KernelLaunches;
+  Counters.Breakdown += Result.Breakdown;
+  Counters.UvmStallTime += UvmStall;
+  Counters.SampledRecords += Result.SampledRecords;
+  Counters.RealTracedOps += Result.RealTracedOps;
+  return Result;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+Device::generateTrace(const LaunchInfo &Info, const KernelDesc &Desc) {
+  // Batch buffer reused across segments; sized to keep sink calls cheap
+  // without large allocations.
+  static constexpr std::size_t BatchCapacity = 4096;
+  std::vector<MemAccessRecord> Batch;
+  Batch.reserve(BatchCapacity);
+
+  std::uint64_t SampledTotal = 0;
+  std::uint64_t RealTotal = 0;
+  std::uint64_t Granularity = std::max<std::uint64_t>(
+      Config.RecordGranularityBytes, AccessBytesPerOp);
+
+  auto Flush = [&] {
+    if (Batch.empty())
+      return;
+    Sink->onAccessBatch(Info, Batch.data(), Batch.size());
+    Batch.clear();
+  };
+
+  for (std::size_t SegIdx = 0; SegIdx < Desc.Segments.size(); ++SegIdx) {
+    const AccessSegment &Seg = Desc.Segments[SegIdx];
+    if (Seg.Space != MemSpace::Global || Seg.AccessBytes == 0)
+      continue;
+    double RealOpsD = static_cast<double>(Seg.AccessBytes) /
+                      AccessBytesPerOp * Config.SampleRate;
+    std::uint64_t RealOps = static_cast<std::uint64_t>(RealOpsD);
+    if (RealOps == 0)
+      RealOps = 1;
+    std::uint64_t SampledBytes = static_cast<std::uint64_t>(
+        static_cast<double>(Seg.AccessBytes) * Config.SampleRate);
+    std::uint64_t Sampled =
+        std::max<std::uint64_t>(1, SampledBytes / Granularity);
+    std::uint32_t Multiplicity = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, RealOps / Sampled));
+
+    // Deterministic per-(launch, segment) generator; records sweep the
+    // extent so coarse sampling still covers every touched region.
+    SplitMix64 Rng(Info.GridId * 0x9e3779b9ull + SegIdx * 0x85ebca6bull + 1);
+    std::uint64_t Stride = std::max<std::uint64_t>(1, Seg.Extent / Sampled);
+    for (std::uint64_t I = 0; I < Sampled; ++I) {
+      MemAccessRecord Record;
+      std::uint64_t Offset = I * Stride;
+      if (Stride > AccessBytesPerOp)
+        Offset += Rng.nextBelow(Stride) / AccessBytesPerOp *
+                  AccessBytesPerOp;
+      if (Offset >= Seg.Extent)
+        Offset = Seg.Extent > 0 ? (Offset % Seg.Extent) : 0;
+      Record.Address = Seg.Base + Offset;
+      Record.Bytes = AccessBytesPerOp;
+      Record.Multiplicity = Multiplicity;
+      Record.FlatThreadId =
+          static_cast<std::uint32_t>(Rng.nextBelow(
+              std::max<std::uint64_t>(1, Desc.totalThreads())));
+      Record.Kind = Seg.Kind;
+      Record.Space = Seg.Space;
+      Batch.push_back(Record);
+      if (Batch.size() == BatchCapacity)
+        Flush();
+    }
+    SampledTotal += Sampled;
+    RealTotal += RealOps;
+  }
+  Flush();
+  return {SampledTotal, RealTotal};
+}
+
+void Device::chargeInstrumentation(const KernelDesc &Desc, double RealMemOps,
+                                   TraceTimeBreakdown &Breakdown) {
+  double TracedOps = RealMemOps;
+  if (Config.TraceAllInstructions)
+    TracedOps += RealMemOps * Desc.ComputeInstrsPerAccess;
+
+  SimTime PerOpCollect = Config.UseNvbitTrampoline ? Spec.NvbitTrampolineCost
+                                                   : Spec.RecordWriteCost;
+  double Concurrency =
+      static_cast<double>(std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(Desc.totalThreads(),
+                                     Spec.maxResidentThreads())));
+
+  // One-time SASS dump+parse when the backend needs disassembly.
+  if (Config.PaySassParseCost && !ParsedModules.count(Desc.Name)) {
+    ParsedModules.insert(Desc.Name);
+    Breakdown.Collection +=
+        Desc.StaticInstrs * Spec.SassParseCostPerInstr;
+  }
+
+  switch (Config.Model) {
+  case AnalysisModel::HostSide: {
+    // Collection: inline record writes amortized over resident threads,
+    // plus the extra device-memory traffic of the trace buffer.
+    Breakdown.Collection += static_cast<SimTime>(
+        TracedOps * static_cast<double>(PerOpCollect) / Concurrency);
+    Breakdown.Collection += Spec.deviceMemTime(
+        TracedOps * static_cast<double>(Spec.TraceRecordBytes));
+    // Transfer: stall-fetch-reset per buffer fill plus PCIe volume.
+    std::uint64_t Flushes = static_cast<std::uint64_t>(
+        TracedOps / static_cast<double>(Config.DeviceBufferRecords));
+    Breakdown.Transfer += (Flushes + 1) * Spec.BufferFlushLatency;
+    Breakdown.Transfer += Spec.pcieTime(
+        TracedOps * static_cast<double>(Spec.TraceRecordBytes));
+    // Analysis: one host thread visits every record.
+    SimTime PerRecord = Config.UseNvbitTrampoline
+                            ? Spec.NvbitHostAnalysisCostPerRecord
+                            : Spec.HostAnalysisCostPerRecord;
+    Breakdown.Analysis +=
+        static_cast<SimTime>(TracedOps * static_cast<double>(PerRecord));
+    break;
+  }
+  case AnalysisModel::DeviceResident: {
+    // Fig. 2b: records never leave the device; helper warps reduce them
+    // in-situ. Only a small result buffer crosses PCIe at kernel end.
+    Breakdown.Collection += static_cast<SimTime>(
+        TracedOps * static_cast<double>(PerOpCollect) / Concurrency);
+    Breakdown.Analysis += static_cast<SimTime>(
+        TracedOps * static_cast<double>(Spec.DeviceAnalysisCostPerRecord) /
+        Spec.DeviceAnalysisSpeedup);
+    double ResultBytes =
+        64.0 * static_cast<double>(std::max<std::size_t>(
+                   1, Desc.Segments.size()));
+    Breakdown.Transfer += Spec.BufferFlushLatency / 4 +
+                          Spec.pcieTime(ResultBytes);
+    break;
+  }
+  }
+}

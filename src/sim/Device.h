@@ -1,0 +1,163 @@
+//===- sim/Device.h - Simulated GPU device ----------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One simulated GPU: device memory, UVM space, stream bookkeeping, kernel
+/// execution with cost-model timing and instrumentation trace generation.
+/// Vendor runtimes (pasta::cuda / pasta::hip) sit directly on this class;
+/// profiling clients attach through setTraceSink/setTraceConfig.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SIM_DEVICE_H
+#define PASTA_SIM_DEVICE_H
+
+#include "sim/Clock.h"
+#include "sim/GpuSpec.h"
+#include "sim/Kernel.h"
+#include "sim/Memory.h"
+#include "sim/Trace.h"
+#include "sim/Uvm.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+namespace pasta {
+namespace sim {
+
+/// Direction of a simulated bulk transfer.
+enum class CopyKind { HostToDevice, DeviceToHost, DeviceToDevice };
+
+/// Cumulative per-device activity counters.
+struct DeviceCounters {
+  std::uint64_t KernelLaunches = 0;
+  std::uint64_t Memcpys = 0;
+  std::uint64_t MemcpyBytes = 0;
+  std::uint64_t Memsets = 0;
+  std::uint64_t Synchronizations = 0;
+  std::uint64_t SampledRecords = 0;
+  std::uint64_t RealTracedOps = 0;
+  TraceTimeBreakdown Breakdown;
+  SimTime UvmStallTime = 0;
+};
+
+/// Outcome of one launchKernel call.
+struct LaunchResult {
+  std::uint64_t GridId = 0;
+  /// Execution includes UVM fault stalls; the other three components are
+  /// instrumentation overhead (zero when no tracing is attached).
+  TraceTimeBreakdown Breakdown;
+  SimTime UvmStallTime = 0;
+  std::uint64_t SampledRecords = 0;
+  std::uint64_t RealTracedOps = 0;
+};
+
+/// One simulated GPU device.
+class Device {
+public:
+  Device(int Index, GpuSpec Spec, SimClock &Clock);
+
+  int index() const { return Index; }
+  const GpuSpec &spec() const { return Spec; }
+  SimClock &clock() { return Clock; }
+
+  //===--------------------------------------------------------------------===
+  // Memory
+  //===--------------------------------------------------------------------===
+
+  /// cudaMalloc-style physical allocation; returns 0 when it would exceed
+  /// the (possibly artificially limited) device capacity.
+  DeviceAddr allocate(std::uint64_t Bytes);
+
+  /// cudaMallocManaged-style allocation; pages start host-resident.
+  DeviceAddr allocateManaged(std::uint64_t Bytes);
+
+  /// Frees either kind of allocation; returns its size or std::nullopt for
+  /// an unknown base address.
+  std::optional<std::uint64_t> free(DeviceAddr Base);
+
+  /// Artificially caps usable device memory (the paper's oversubscription
+  /// trick of pre-allocating memory). Shrinks the UVM resident budget.
+  void setMemoryLimit(std::uint64_t Bytes);
+  std::uint64_t memoryLimit() const { return MemoryLimit; }
+
+  std::uint64_t physicalBytesInUse() const {
+    return Memory.devicePhysicalBytes();
+  }
+
+  DeviceMemoryAllocator &memory() { return Memory; }
+  const DeviceMemoryAllocator &memory() const { return Memory; }
+  UvmSpace &uvm() { return Uvm; }
+  const UvmSpace &uvm() const { return Uvm; }
+
+  //===--------------------------------------------------------------------===
+  // Transfers
+  //===--------------------------------------------------------------------===
+
+  /// Advances the clock by the transfer cost and returns it.
+  SimTime copy(CopyKind Kind, std::uint64_t Bytes);
+  SimTime memsetDevice(DeviceAddr Base, std::uint64_t Bytes);
+
+  //===--------------------------------------------------------------------===
+  // Execution
+  //===--------------------------------------------------------------------===
+
+  LaunchResult launchKernel(const KernelDesc &Desc, std::uint32_t StreamId);
+
+  /// Waits for outstanding work (the simulator executes eagerly, so this
+  /// only counts the call and returns the current time).
+  SimTime synchronize();
+
+  /// Grid id the *next* launch will receive.
+  std::uint64_t nextGridId() const { return LaunchCounter + 1; }
+
+  //===--------------------------------------------------------------------===
+  // Instrumentation attach points
+  //===--------------------------------------------------------------------===
+
+  void setTraceSink(TraceSink *Sink) { this->Sink = Sink; }
+  TraceSink *traceSink() const { return Sink; }
+  void setTraceConfig(const DeviceTraceConfig &Config) {
+    this->Config = Config;
+  }
+  const DeviceTraceConfig &traceConfig() const { return Config; }
+
+  const DeviceCounters &counters() const { return Counters; }
+  void resetCounters() { Counters = DeviceCounters(); }
+
+private:
+  /// Generates sampled access records for \p Desc and streams them to the
+  /// sink in batches; returns (sampled, real) counts.
+  std::pair<std::uint64_t, std::uint64_t>
+  generateTrace(const LaunchInfo &Info, const KernelDesc &Desc);
+
+  /// Fills the instrumentation components of \p Breakdown for a launch
+  /// with \p RealOps real traced operations.
+  void chargeInstrumentation(const KernelDesc &Desc, double RealMemOps,
+                             TraceTimeBreakdown &Breakdown);
+
+  /// Updates the UVM resident budget after allocation changes.
+  void refreshUvmBudget();
+
+  int Index;
+  GpuSpec Spec;
+  SimClock &Clock;
+  DeviceMemoryAllocator Memory;
+  UvmSpace Uvm;
+  std::uint64_t MemoryLimit;
+  std::uint64_t LaunchCounter = 0;
+  TraceSink *Sink = nullptr;
+  DeviceTraceConfig Config;
+  DeviceCounters Counters;
+  /// Kernel names whose module already paid the SASS parse cost.
+  std::unordered_set<std::string> ParsedModules;
+};
+
+} // namespace sim
+} // namespace pasta
+
+#endif // PASTA_SIM_DEVICE_H

@@ -1,0 +1,100 @@
+//===- sim/Kernel.h - Kernel descriptors ------------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelDesc describes a simulated GPU kernel: name, launch geometry, the
+/// memory regions it touches (with dynamic access volume) and its compute
+/// intensity. The DL substrate synthesizes descriptors mimicking
+/// cuBLAS/cuDNN kernels; the device executes them by advancing the cost
+/// model and generating instrumentation trace records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SIM_KERNEL_H
+#define PASTA_SIM_KERNEL_H
+
+#include "sim/Memory.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasta {
+namespace sim {
+
+/// Launch geometry (flattened sizes are what the cost model consumes).
+struct Dim3 {
+  unsigned X = 1;
+  unsigned Y = 1;
+  unsigned Z = 1;
+
+  std::uint64_t count() const {
+    return static_cast<std::uint64_t>(X) * Y * Z;
+  }
+};
+
+enum class AccessKind : std::uint8_t { Load, Store };
+enum class MemSpace : std::uint8_t { Global, Shared };
+
+/// One memory region a kernel touches.
+///
+/// \c Extent is the unique footprint ([Base, Base+Extent)); \c AccessBytes
+/// is the *dynamic* access volume, which exceeds Extent when the kernel
+/// re-reads data (GEMM tiles, attention, ...). Sampled trace records are
+/// spread uniformly over the extent so that working-set analyses see every
+/// touched region even at coarse sampling.
+struct AccessSegment {
+  DeviceAddr Base = 0;
+  std::uint64_t Extent = 0;
+  std::uint64_t AccessBytes = 0;
+  AccessKind Kind = AccessKind::Load;
+  MemSpace Space = MemSpace::Global;
+};
+
+/// Full description of one kernel the simulator can launch.
+struct KernelDesc {
+  std::string Name;
+  Dim3 Grid;
+  Dim3 Block;
+  std::vector<AccessSegment> Segments;
+  /// Arithmetic work (fp32 FLOPs) for the roofline time model.
+  double Flops = 0.0;
+  /// Dynamic non-memory instructions per memory access (SASS mix); NVBit
+  /// style full-coverage tracing records these too.
+  double ComputeInstrsPerAccess = 7.0;
+  /// Static SASS instruction count (NVBit pays a parse cost per static
+  /// instruction the first time it sees a module).
+  std::uint64_t StaticInstrs = 512;
+  /// __syncthreads()-style barriers executed per thread block.
+  std::uint32_t BarriersPerBlock = 0;
+  /// Static shared memory per block (bytes).
+  std::uint64_t SharedMemPerBlock = 0;
+
+  std::uint64_t totalThreads() const { return Grid.count() * Block.count(); }
+
+  /// Sum of dynamic global-memory access bytes over all segments.
+  std::uint64_t totalAccessBytes() const {
+    std::uint64_t Total = 0;
+    for (const AccessSegment &Seg : Segments)
+      if (Seg.Space == MemSpace::Global)
+        Total += Seg.AccessBytes;
+    return Total;
+  }
+
+  /// Sum of unique global footprint bytes over all segments.
+  std::uint64_t totalFootprintBytes() const {
+    std::uint64_t Total = 0;
+    for (const AccessSegment &Seg : Segments)
+      if (Seg.Space == MemSpace::Global)
+        Total += Seg.Extent;
+    return Total;
+  }
+};
+
+} // namespace sim
+} // namespace pasta
+
+#endif // PASTA_SIM_KERNEL_H

@@ -1,0 +1,100 @@
+//===- sim/Memory.cpp -----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Memory.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+static constexpr std::uint64_t AllocGranularity = 512;
+
+static std::uint64_t roundUp(std::uint64_t Value, std::uint64_t Align) {
+  return (Value + Align - 1) / Align * Align;
+}
+
+DeviceMemoryAllocator::DeviceMemoryAllocator(DeviceAddr BaseAddr,
+                                             std::uint64_t Capacity)
+    : BaseAddr(BaseAddr), Capacity(Capacity) {
+  assert(Capacity > 0 && "zero-capacity address space");
+  FreeSpans[BaseAddr] = Capacity;
+}
+
+DeviceAddr DeviceMemoryAllocator::allocate(std::uint64_t Bytes, bool Managed) {
+  assert(Bytes > 0 && "zero-byte allocation");
+  std::uint64_t Need = roundUp(Bytes, AllocGranularity);
+  // First fit over the free list.
+  for (auto It = FreeSpans.begin(); It != FreeSpans.end(); ++It) {
+    if (It->second < Need)
+      continue;
+    DeviceAddr Base = It->first;
+    std::uint64_t SpanBytes = It->second;
+    FreeSpans.erase(It);
+    if (SpanBytes > Need)
+      FreeSpans[Base + Need] = SpanBytes - Need;
+    Allocation Alloc;
+    Alloc.Base = Base;
+    Alloc.Bytes = Need;
+    Alloc.Managed = Managed;
+    Live[Base] = Alloc;
+    if (Managed)
+      ManagedTotalBytes += Need;
+    else
+      PhysicalBytes += Need;
+    return Base;
+  }
+  return 0;
+}
+
+std::optional<std::uint64_t> DeviceMemoryAllocator::free(DeviceAddr Base) {
+  auto It = Live.find(Base);
+  if (It == Live.end())
+    return std::nullopt;
+  Allocation Alloc = It->second;
+  Live.erase(It);
+  if (Alloc.Managed)
+    ManagedTotalBytes -= Alloc.Bytes;
+  else
+    PhysicalBytes -= Alloc.Bytes;
+
+  // Insert the span and coalesce with neighbours.
+  auto [SpanIt, Inserted] = FreeSpans.emplace(Alloc.Base, Alloc.Bytes);
+  assert(Inserted && "double free of device allocation");
+  // Merge with successor.
+  auto Next = std::next(SpanIt);
+  if (Next != FreeSpans.end() && SpanIt->first + SpanIt->second == Next->first) {
+    SpanIt->second += Next->second;
+    FreeSpans.erase(Next);
+  }
+  // Merge with predecessor.
+  if (SpanIt != FreeSpans.begin()) {
+    auto Prev = std::prev(SpanIt);
+    if (Prev->first + Prev->second == SpanIt->first) {
+      Prev->second += SpanIt->second;
+      FreeSpans.erase(SpanIt);
+    }
+  }
+  return Alloc.Bytes;
+}
+
+std::optional<Allocation>
+DeviceMemoryAllocator::findContaining(DeviceAddr Addr) const {
+  auto It = Live.upper_bound(Addr);
+  if (It == Live.begin())
+    return std::nullopt;
+  --It;
+  if (It->second.contains(Addr))
+    return It->second;
+  return std::nullopt;
+}
+
+std::optional<Allocation> DeviceMemoryAllocator::find(DeviceAddr Base) const {
+  auto It = Live.find(Base);
+  if (It == Live.end())
+    return std::nullopt;
+  return It->second;
+}

@@ -1,0 +1,88 @@
+//===- sim/Memory.h - Device memory allocator -------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-fit free-list allocator over a simulated device address space.
+/// cudaMalloc/hipMalloc allocations and UVM managed ranges both draw
+/// addresses from here; UVM residency is tracked separately in sim/Uvm.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SIM_MEMORY_H
+#define PASTA_SIM_MEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace pasta {
+namespace sim {
+
+/// Simulated device virtual address.
+using DeviceAddr = std::uint64_t;
+
+/// One live allocation: [Base, Base + Bytes).
+struct Allocation {
+  DeviceAddr Base = 0;
+  std::uint64_t Bytes = 0;
+  bool Managed = false;
+
+  bool contains(DeviceAddr Addr) const {
+    return Addr >= Base && Addr < Base + Bytes;
+  }
+};
+
+/// First-fit allocator over [BaseAddr, BaseAddr + Capacity).
+///
+/// Managed (UVM) allocations are tagged but share the same address space;
+/// only non-managed allocations count against physical device capacity
+/// (managed residency is budgeted by UvmSpace).
+class DeviceMemoryAllocator {
+public:
+  DeviceMemoryAllocator(DeviceAddr BaseAddr, std::uint64_t Capacity);
+
+  /// Allocates \p Bytes (rounded up to 512-byte granularity); returns 0 on
+  /// out-of-address-space. \p Bytes must be nonzero.
+  DeviceAddr allocate(std::uint64_t Bytes, bool Managed);
+
+  /// Frees the allocation starting exactly at \p Base; returns its size, or
+  /// std::nullopt if \p Base is not a live allocation base.
+  std::optional<std::uint64_t> free(DeviceAddr Base);
+
+  /// Finds the live allocation containing \p Addr (not necessarily at its
+  /// base).
+  std::optional<Allocation> findContaining(DeviceAddr Addr) const;
+
+  /// Finds the live allocation starting exactly at \p Base.
+  std::optional<Allocation> find(DeviceAddr Base) const;
+
+  /// Sum of live non-managed allocation sizes.
+  std::uint64_t devicePhysicalBytes() const { return PhysicalBytes; }
+  /// Sum of live managed allocation sizes.
+  std::uint64_t managedBytes() const { return ManagedTotalBytes; }
+  std::size_t numAllocations() const { return Live.size(); }
+
+  /// Visits every live allocation in address order.
+  template <typename Fn> void forEachAllocation(Fn Visit) const {
+    for (const auto &[Base, Alloc] : Live)
+      Visit(Alloc);
+  }
+
+private:
+  DeviceAddr BaseAddr;
+  std::uint64_t Capacity;
+  /// Free spans keyed by base address -> size; coalesced on free.
+  std::map<DeviceAddr, std::uint64_t> FreeSpans;
+  /// Live allocations keyed by base.
+  std::map<DeviceAddr, Allocation> Live;
+  std::uint64_t PhysicalBytes = 0;
+  std::uint64_t ManagedTotalBytes = 0;
+};
+
+} // namespace sim
+} // namespace pasta
+
+#endif // PASTA_SIM_MEMORY_H

@@ -1,0 +1,33 @@
+//===- sim/System.cpp -----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/System.h"
+
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+System::System(const std::vector<GpuSpec> &Specs) {
+  assert(!Specs.empty() && "system needs at least one device");
+  Devices.reserve(Specs.size());
+  for (std::size_t I = 0; I < Specs.size(); ++I)
+    Devices.push_back(
+        std::make_unique<Device>(static_cast<int>(I), Specs[I], Clock));
+}
+
+System::System(const GpuSpec &Spec)
+    : System(std::vector<GpuSpec>{Spec}) {}
+
+Device &System::device(int Index) {
+  assert(Index >= 0 && Index < numDevices() && "device index out of range");
+  return *Devices[static_cast<std::size_t>(Index)];
+}
+
+const Device &System::device(int Index) const {
+  assert(Index >= 0 && Index < numDevices() && "device index out of range");
+  return *Devices[static_cast<std::size_t>(Index)];
+}

@@ -1,0 +1,52 @@
+//===- sim/System.h - Multi-device simulated machine ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A System bundles a shared SimClock with one or more simulated devices —
+/// the analogue of one host machine in the paper's Table III. Multi-GPU
+/// experiments (Fig. 15) build a two-A100 system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SIM_SYSTEM_H
+#define PASTA_SIM_SYSTEM_H
+
+#include "sim/Clock.h"
+#include "sim/Device.h"
+#include "sim/GpuSpec.h"
+
+#include <memory>
+#include <vector>
+
+namespace pasta {
+namespace sim {
+
+/// One simulated host machine with attached accelerators.
+class System {
+public:
+  /// Builds one device per spec, all sharing one clock.
+  explicit System(const std::vector<GpuSpec> &Specs);
+
+  /// Convenience: single-device system.
+  explicit System(const GpuSpec &Spec);
+
+  int numDevices() const { return static_cast<int>(Devices.size()); }
+
+  Device &device(int Index);
+  const Device &device(int Index) const;
+
+  SimClock &clock() { return Clock; }
+  const SimClock &clock() const { return Clock; }
+
+private:
+  SimClock Clock;
+  std::vector<std::unique_ptr<Device>> Devices;
+};
+
+} // namespace sim
+} // namespace pasta
+
+#endif // PASTA_SIM_SYSTEM_H

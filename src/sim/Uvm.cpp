@@ -1,0 +1,227 @@
+//===- sim/Uvm.cpp --------------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Uvm.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+UvmSpace::UvmSpace(const GpuSpec &Spec)
+    : Spec(Spec), ResidentBudgetBytes(Spec.MemoryBytes) {}
+
+void UvmSpace::addManagedRange(DeviceAddr Base, std::uint64_t Bytes) {
+  assert(Bytes > 0 && "empty managed range");
+  Ranges[Base] = Bytes;
+  for (DeviceAddr Page = pageBase(Base); Page < Base + Bytes;
+       Page += Spec.UvmPageBytes)
+    Pages.emplace(Page, PageState());
+}
+
+void UvmSpace::removeManagedRange(DeviceAddr Base, std::uint64_t Bytes) {
+  Ranges.erase(Base);
+  for (DeviceAddr Page = pageBase(Base); Page < Base + Bytes;
+       Page += Spec.UvmPageBytes) {
+    auto It = Pages.find(Page);
+    if (It == Pages.end())
+      continue;
+    if (It->second.Resident) {
+      Lru.erase(It->second.LruPos);
+      --ResidentPages;
+    }
+    Pages.erase(It);
+  }
+}
+
+bool UvmSpace::isManaged(DeviceAddr Addr) const {
+  auto It = Ranges.upper_bound(Addr);
+  if (It == Ranges.begin())
+    return false;
+  --It;
+  return Addr >= It->first && Addr < It->first + It->second;
+}
+
+void UvmSpace::setResidentBudget(std::uint64_t Bytes) {
+  ResidentBudgetBytes = Bytes;
+  while (ResidentPages * Spec.UvmPageBytes > ResidentBudgetBytes &&
+         ResidentPages > 0)
+    Counters.EvictionTime += evictOne();
+}
+
+void UvmSpace::markUsed(PageState &State, DeviceAddr Page) {
+  assert(State.Resident && "LRU update on non-resident page");
+  Lru.erase(State.LruPos);
+  Lru.push_back(Page);
+  State.LruPos = std::prev(Lru.end());
+}
+
+SimTime UvmSpace::touch(DeviceAddr Addr, std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  SimTime Stall = 0;
+  DeviceAddr End = Addr + Bytes;
+  for (DeviceAddr Page = pageBase(Addr); Page < End;
+       Page += Spec.UvmPageBytes) {
+    auto It = Pages.find(Page);
+    if (It == Pages.end())
+      continue; // Not a managed page: nothing to do.
+    PageState &State = It->second;
+    ++State.Accesses;
+    if (State.Resident) {
+      markUsed(State, Page);
+      continue;
+    }
+    Stall += faultIn(Page);
+  }
+  return Stall;
+}
+
+SimTime UvmSpace::faultIn(DeviceAddr Page) {
+  SimTime Cost = makeRoom();
+  PageState &State = Pages.at(Page);
+  assert(!State.Resident && "fault on resident page");
+  // Far-fault service: fixed latency plus migration at degraded bandwidth.
+  double EffectiveBw = Spec.PcieBwBytesPerNs * Spec.FaultMigrationBwFraction;
+  Cost += Spec.PageFaultLatency +
+          static_cast<SimTime>(Spec.UvmPageBytes / EffectiveBw);
+  State.Resident = true;
+  Lru.push_back(Page);
+  State.LruPos = std::prev(Lru.end());
+  ++ResidentPages;
+  ++Counters.Faults;
+  Counters.FaultMigratedBytes += Spec.UvmPageBytes;
+  if (State.EvictedOnce)
+    ++Counters.RefaultsAfterEviction;
+  Counters.FaultStallTime += Cost;
+  return Cost;
+}
+
+SimTime UvmSpace::prefetchIn(DeviceAddr Page) {
+  SimTime Cost = makeRoom();
+  PageState &State = Pages.at(Page);
+  if (State.Resident) {
+    markUsed(State, Page);
+    return Cost;
+  }
+  // Bulk migration at full bandwidth, mostly overlapped with compute.
+  SimTime Transfer = static_cast<SimTime>(
+      Spec.UvmPageBytes / Spec.PcieBwBytesPerNs);
+  Cost += static_cast<SimTime>(
+      static_cast<double>(Transfer) * (1.0 - Spec.PrefetchOverlapFraction));
+  State.Resident = true;
+  Lru.push_back(Page);
+  State.LruPos = std::prev(Lru.end());
+  ++ResidentPages;
+  ++Counters.PrefetchedPages;
+  Counters.PrefetchedBytes += Spec.UvmPageBytes;
+  return Cost;
+}
+
+SimTime UvmSpace::makeRoom() {
+  SimTime Cost = 0;
+  while ((ResidentPages + 1) * Spec.UvmPageBytes > ResidentBudgetBytes) {
+    if (ResidentPages == 0)
+      reportFatalError("UVM resident budget smaller than one page");
+    Cost += evictOne();
+  }
+  return Cost;
+}
+
+SimTime UvmSpace::evictOne() {
+  assert(!Lru.empty() && "evictOne with no resident pages");
+  // Prefer the LRU unpinned page; fall back to the LRU page outright.
+  auto Victim = Lru.end();
+  for (auto It = Lru.begin(); It != Lru.end(); ++It) {
+    if (!Pages.at(*It).Pinned) {
+      Victim = It;
+      break;
+    }
+  }
+  if (Victim == Lru.end())
+    Victim = Lru.begin();
+  DeviceAddr Page = *Victim;
+  PageState &State = Pages.at(Page);
+  Lru.erase(Victim);
+  State.Resident = false;
+  State.EvictedOnce = true;
+  --ResidentPages;
+  ++Counters.Evictions;
+  Counters.EvictedBytes += Spec.UvmPageBytes;
+  // Write-back at bulk bandwidth plus fixed unmap latency.
+  SimTime Cost = Spec.EvictionLatency +
+                 static_cast<SimTime>(Spec.UvmPageBytes /
+                                      Spec.PcieBwBytesPerNs);
+  Counters.EvictionTime += Cost;
+  return Cost;
+}
+
+SimTime UvmSpace::prefetch(DeviceAddr Addr, std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  SimTime Cost = Spec.PrefetchCallLatency;
+  DeviceAddr End = Addr + Bytes;
+  for (DeviceAddr Page = pageBase(Addr); Page < End;
+       Page += Spec.UvmPageBytes) {
+    auto It = Pages.find(Page);
+    if (It == Pages.end())
+      continue;
+    Cost += prefetchIn(Page);
+  }
+  Counters.PrefetchTime += Cost;
+  return Cost;
+}
+
+void UvmSpace::advisePreferredDevice(DeviceAddr Addr, std::uint64_t Bytes) {
+  DeviceAddr End = Addr + Bytes;
+  for (DeviceAddr Page = pageBase(Addr); Page < End;
+       Page += Spec.UvmPageBytes) {
+    auto It = Pages.find(Page);
+    if (It != Pages.end())
+      It->second.Pinned = true;
+  }
+}
+
+SimTime UvmSpace::evictRange(DeviceAddr Addr, std::uint64_t Bytes) {
+  SimTime Cost = 0;
+  DeviceAddr End = Addr + Bytes;
+  for (DeviceAddr Page = pageBase(Addr); Page < End;
+       Page += Spec.UvmPageBytes) {
+    auto It = Pages.find(Page);
+    if (It == Pages.end() || !It->second.Resident)
+      continue;
+    PageState &State = It->second;
+    Lru.erase(State.LruPos);
+    State.Resident = false;
+    State.EvictedOnce = true;
+    --ResidentPages;
+    ++Counters.Evictions;
+    Counters.EvictedBytes += Spec.UvmPageBytes;
+    Cost += Spec.EvictionLatency +
+            static_cast<SimTime>(Spec.UvmPageBytes / Spec.PcieBwBytesPerNs);
+  }
+  Counters.EvictionTime += Cost;
+  return Cost;
+}
+
+std::vector<std::pair<DeviceAddr, std::uint64_t>>
+UvmSpace::accessCounts() const {
+  std::vector<std::pair<DeviceAddr, std::uint64_t>> Out;
+  Out.reserve(Pages.size());
+  for (const auto &[Page, State] : Pages)
+    if (State.Accesses > 0)
+      Out.emplace_back(Page, State.Accesses);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+void UvmSpace::resetAccessCounters() {
+  for (auto &[Page, State] : Pages)
+    State.Accesses = 0;
+}

@@ -1,0 +1,139 @@
+//===- sim/Uvm.h - Unified virtual memory engine ----------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated NVIDIA-UVM-style unified memory: managed ranges backed by
+/// 2 MiB pages, on-demand fault-driven migration, bulk prefetching
+/// (cudaMemPrefetchAsync), advice (cudaMemAdvise preferred location) and
+/// LRU eviction under capacity pressure. Device capacity for resident
+/// pages is what remains after non-managed cudaMalloc allocations; the
+/// benches impose oversubscription the way the paper does — by shrinking
+/// the budget to footprint / factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SIM_UVM_H
+#define PASTA_SIM_UVM_H
+
+#include "sim/GpuSpec.h"
+#include "sim/Memory.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace pasta {
+namespace sim {
+
+/// Cumulative UVM activity counters (reset per experiment phase).
+struct UvmCounters {
+  std::uint64_t Faults = 0;
+  std::uint64_t FaultMigratedBytes = 0;
+  std::uint64_t PrefetchedPages = 0;
+  std::uint64_t PrefetchedBytes = 0;
+  std::uint64_t Evictions = 0;
+  std::uint64_t EvictedBytes = 0;
+  /// Pages evicted that were re-migrated later (thrashing signal).
+  std::uint64_t RefaultsAfterEviction = 0;
+  SimTime FaultStallTime = 0;
+  SimTime PrefetchTime = 0;
+  SimTime EvictionTime = 0;
+};
+
+/// Page residency + policy engine for one device's managed memory.
+class UvmSpace {
+public:
+  explicit UvmSpace(const GpuSpec &Spec);
+
+  /// Registers a managed range [Base, Base+Bytes). Pages start
+  /// host-resident (first GPU touch faults them in).
+  void addManagedRange(DeviceAddr Base, std::uint64_t Bytes);
+
+  /// Unregisters a managed range, releasing its pages.
+  void removeManagedRange(DeviceAddr Base, std::uint64_t Bytes);
+
+  /// True if \p Addr falls inside any managed range.
+  bool isManaged(DeviceAddr Addr) const;
+
+  /// Sets the resident-page capacity in bytes. Shrinking below current
+  /// residency evicts LRU pages immediately (cost charged).
+  void setResidentBudget(std::uint64_t Bytes);
+  std::uint64_t residentBudget() const { return ResidentBudgetBytes; }
+  std::uint64_t residentBytes() const {
+    return ResidentPages * Spec.UvmPageBytes;
+  }
+
+  /// GPU touch of [Addr, Addr+Bytes) during kernel execution. Faults in any
+  /// non-resident page (with LRU eviction as needed) and returns the total
+  /// simulated stall time charged to the kernel.
+  SimTime touch(DeviceAddr Addr, std::uint64_t Bytes);
+
+  /// Bulk prefetch of [Addr, Addr+Bytes) to the device; returns the
+  /// (partially overlappable) simulated cost charged to the issuing stream.
+  SimTime prefetch(DeviceAddr Addr, std::uint64_t Bytes);
+
+  /// Marks [Addr, Addr+Bytes) as preferred-location-device: its pages are
+  /// evicted only when no unpinned victim exists.
+  void advisePreferredDevice(DeviceAddr Addr, std::uint64_t Bytes);
+
+  /// Proactively evicts [Addr, Addr+Bytes) to the host (pre-eviction
+  /// optimization); returns the simulated cost.
+  SimTime evictRange(DeviceAddr Addr, std::uint64_t Bytes);
+
+  const UvmCounters &counters() const { return Counters; }
+  void resetCounters() { Counters = UvmCounters(); }
+
+  std::uint64_t pageBytes() const { return Spec.UvmPageBytes; }
+  std::uint64_t numResidentPages() const { return ResidentPages; }
+
+  /// Per-page access counts since the last resetAccessCounters() call,
+  /// as (page base address, count) pairs — feeds the hotness analysis.
+  std::vector<std::pair<DeviceAddr, std::uint64_t>> accessCounts() const;
+  void resetAccessCounters();
+
+private:
+  struct PageState {
+    bool Resident = false;
+    bool Pinned = false;
+    bool EvictedOnce = false;
+    std::uint64_t Accesses = 0;
+    /// Position in the LRU list when resident.
+    std::list<DeviceAddr>::iterator LruPos;
+  };
+
+  DeviceAddr pageBase(DeviceAddr Addr) const {
+    return Addr / Spec.UvmPageBytes * Spec.UvmPageBytes;
+  }
+
+  /// Makes \p Page resident via the fault path; returns the stall charged.
+  SimTime faultIn(DeviceAddr Page);
+  /// Makes \p Page resident via the prefetch path; returns the cost.
+  SimTime prefetchIn(DeviceAddr Page);
+  /// Evicts the LRU unpinned page (pinned pages only as a last resort);
+  /// returns the cost. Requires at least one resident page.
+  SimTime evictOne();
+  /// Evicts until one more page fits in the budget.
+  SimTime makeRoom();
+  void markUsed(PageState &State, DeviceAddr Page);
+
+  GpuSpec Spec;
+  std::uint64_t ResidentBudgetBytes;
+  std::uint64_t ResidentPages = 0;
+  /// Sparse page table: page base -> state. Only managed pages appear.
+  std::unordered_map<DeviceAddr, PageState> Pages;
+  /// Managed ranges for isManaged(); base -> size.
+  std::map<DeviceAddr, std::uint64_t> Ranges;
+  /// LRU order of resident pages; front = least recently used.
+  std::list<DeviceAddr> Lru;
+  UvmCounters Counters;
+};
+
+} // namespace sim
+} // namespace pasta
+
+#endif // PASTA_SIM_UVM_H

@@ -1,0 +1,96 @@
+//===- support/Env.cpp ----------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace pasta;
+
+namespace {
+struct OverrideMap {
+  std::mutex Mutex;
+  std::map<std::string, std::string> Values;
+};
+} // namespace
+
+static OverrideMap &overrides() {
+  static OverrideMap Map;
+  return Map;
+}
+
+std::optional<std::string> pasta::getEnv(const std::string &Name) {
+  {
+    OverrideMap &Map = overrides();
+    std::lock_guard<std::mutex> Lock(Map.Mutex);
+    auto It = Map.Values.find(Name);
+    if (It != Map.Values.end())
+      return It->second;
+  }
+  if (const char *Value = std::getenv(Name.c_str()))
+    return std::string(Value);
+  return std::nullopt;
+}
+
+std::string pasta::getEnvString(const std::string &Name,
+                                const std::string &Default) {
+  if (auto Value = getEnv(Name))
+    return *Value;
+  return Default;
+}
+
+std::int64_t pasta::getEnvInt(const std::string &Name, std::int64_t Default) {
+  auto Value = getEnv(Name);
+  if (!Value)
+    return Default;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Value->c_str(), &End, 10);
+  if (End == Value->c_str() || (End && *End != '\0'))
+    return Default;
+  return Parsed;
+}
+
+double pasta::getEnvDouble(const std::string &Name, double Default) {
+  auto Value = getEnv(Name);
+  if (!Value)
+    return Default;
+  char *End = nullptr;
+  double Parsed = std::strtod(Value->c_str(), &End);
+  if (End == Value->c_str() || (End && *End != '\0'))
+    return Default;
+  return Parsed;
+}
+
+bool pasta::getEnvBool(const std::string &Name, bool Default) {
+  auto Value = getEnv(Name);
+  if (!Value)
+    return Default;
+  if (*Value == "1" || *Value == "true" || *Value == "on" || *Value == "yes")
+    return true;
+  if (*Value == "0" || *Value == "false" || *Value == "off" || *Value == "no")
+    return false;
+  return Default;
+}
+
+void pasta::setEnvOverride(const std::string &Name, const std::string &Value) {
+  OverrideMap &Map = overrides();
+  std::lock_guard<std::mutex> Lock(Map.Mutex);
+  Map.Values[Name] = Value;
+}
+
+void pasta::clearEnvOverride(const std::string &Name) {
+  OverrideMap &Map = overrides();
+  std::lock_guard<std::mutex> Lock(Map.Mutex);
+  Map.Values.erase(Name);
+}
+
+void pasta::clearAllEnvOverrides() {
+  OverrideMap &Map = overrides();
+  std::lock_guard<std::mutex> Lock(Map.Mutex);
+  Map.Values.clear();
+}

@@ -1,0 +1,24 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pasta;
+
+void pasta::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "pasta fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void pasta::unreachableInternal(const char *Message, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Message ? Message : "");
+  std::abort();
+}

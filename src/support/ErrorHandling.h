@@ -1,0 +1,33 @@
+//===- support/ErrorHandling.h - Fatal errors & unreachable -----*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// pasta::reportFatalError and PASTA_UNREACHABLE: the library is built
+/// without exceptions in spirit (per the LLVM standards); invariant
+/// violations abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_ERRORHANDLING_H
+#define PASTA_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace pasta {
+
+/// Prints "pasta fatal error: <Message>" to stderr and aborts.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace pasta
+
+/// Marks a point in code that must never execute.
+#define PASTA_UNREACHABLE(Msg)                                                 \
+  ::pasta::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // PASTA_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,39 @@
+//===- support/Format.h - printf-style string formatting --------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// pasta::format: snprintf into a std::string. Used for diagnostics and
+/// table cells; keeps <sstream>/<iostream> out of library code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_FORMAT_H
+#define PASTA_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+#if defined(__GNUC__)
+#define PASTA_PRINTF_ATTR(FmtIdx, VaIdx)                                      \
+  __attribute__((format(printf, FmtIdx, VaIdx)))
+#else
+#define PASTA_PRINTF_ATTR(FmtIdx, VaIdx)
+#endif
+
+/// printf-style formatting into a std::string.
+std::string format(const char *Fmt, ...) PASTA_PRINTF_ATTR(1, 2);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_FORMAT_H

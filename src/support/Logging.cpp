@@ -1,0 +1,49 @@
+//===- support/Logging.cpp ------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include "support/Env.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace pasta;
+
+static std::atomic<int> CurrentLevel{-1};
+
+LogLevel pasta::logLevel() {
+  int Level = CurrentLevel.load(std::memory_order_relaxed);
+  if (Level < 0) {
+    Level = static_cast<int>(getEnvInt("PASTA_LOG_LEVEL", 1));
+    CurrentLevel.store(Level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(Level);
+}
+
+void pasta::setLogLevel(LogLevel Level) {
+  CurrentLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+void pasta::logMessage(LogLevel Level, const std::string &Message) {
+  if (static_cast<int>(Level) > static_cast<int>(logLevel()))
+    return;
+  const char *Prefix = "pasta";
+  switch (Level) {
+  case LogLevel::Silent:
+    return;
+  case LogLevel::Warning:
+    Prefix = "pasta warning";
+    break;
+  case LogLevel::Info:
+    Prefix = "pasta info";
+    break;
+  case LogLevel::Debug:
+    Prefix = "pasta debug";
+    break;
+  }
+  std::fprintf(stderr, "%s: %s\n", Prefix, Message.c_str());
+}

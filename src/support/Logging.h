@@ -1,0 +1,44 @@
+//===- support/Logging.h - Leveled diagnostics ------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal leveled logging to stderr, gated by the PASTA_LOG_LEVEL
+/// environment variable (0 = silent, 1 = warnings, 2 = info, 3 = debug).
+/// Library code must not write to stdout; benches own stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_LOGGING_H
+#define PASTA_SUPPORT_LOGGING_H
+
+#include <string>
+
+namespace pasta {
+
+enum class LogLevel { Silent = 0, Warning = 1, Info = 2, Debug = 3 };
+
+/// Current level, resolved once from PASTA_LOG_LEVEL (default Warning).
+LogLevel logLevel();
+
+/// Overrides the resolved level (tests).
+void setLogLevel(LogLevel Level);
+
+/// Emits "<prefix>: <Message>\n" to stderr when \p Level is enabled.
+void logMessage(LogLevel Level, const std::string &Message);
+
+inline void logWarning(const std::string &Message) {
+  logMessage(LogLevel::Warning, Message);
+}
+inline void logInfo(const std::string &Message) {
+  logMessage(LogLevel::Info, Message);
+}
+inline void logDebug(const std::string &Message) {
+  logMessage(LogLevel::Debug, Message);
+}
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_LOGGING_H

@@ -1,0 +1,63 @@
+//===- support/Rng.h - Deterministic PRNG -----------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, deterministic PRNG used by the kernel trace
+/// generators. Determinism matters — identical seeds must yield identical
+/// event streams so the benches and tests are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_RNG_H
+#define PASTA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pasta {
+
+/// SplitMix64 generator (public-domain algorithm by Sebastiano Vigna).
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_RNG_H

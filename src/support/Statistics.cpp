@@ -1,0 +1,63 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace pasta;
+
+void SampleStats::add(double Value) {
+  Values.push_back(Value);
+  SortedValid = false;
+}
+
+void SampleStats::ensureSorted() const {
+  if (SortedValid)
+    return;
+  Sorted = Values;
+  std::sort(Sorted.begin(), Sorted.end());
+  SortedValid = true;
+}
+
+double SampleStats::min() const {
+  assert(!Values.empty() && "min() on empty sample set");
+  ensureSorted();
+  return Sorted.front();
+}
+
+double SampleStats::max() const {
+  assert(!Values.empty() && "max() on empty sample set");
+  ensureSorted();
+  return Sorted.back();
+}
+
+double SampleStats::sum() const {
+  return std::accumulate(Values.begin(), Values.end(), 0.0);
+}
+
+double SampleStats::mean() const {
+  assert(!Values.empty() && "mean() on empty sample set");
+  return sum() / static_cast<double>(Values.size());
+}
+
+double SampleStats::median() const { return percentile(50.0); }
+
+double SampleStats::percentile(double Pct) const {
+  assert(!Values.empty() && "percentile() on empty sample set");
+  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile out of range");
+  ensureSorted();
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = Pct / 100.0 * static_cast<double>(Sorted.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(std::floor(Rank));
+  std::size_t Hi = static_cast<std::size_t>(std::ceil(Rank));
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}

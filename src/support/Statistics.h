@@ -1,0 +1,55 @@
+//===- support/Statistics.h - Streaming summary statistics ------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SampleStats accumulates a series of values and answers the summary
+/// queries Table V reports: min, max, mean, median and arbitrary
+/// percentiles. Values are retained so percentile queries are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_STATISTICS_H
+#define PASTA_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pasta {
+
+/// Exact summary statistics over an accumulated sample set.
+class SampleStats {
+public:
+  void add(double Value);
+
+  std::size_t count() const { return Values.size(); }
+  bool empty() const { return Values.empty(); }
+
+  /// All of these assert on an empty sample set.
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const;
+  /// Median via percentile(50).
+  double median() const;
+  /// Exact percentile with linear interpolation between ranks;
+  /// \p Pct must be in [0, 100].
+  double percentile(double Pct) const;
+
+  const std::vector<double> &values() const { return Values; }
+
+private:
+  /// Sorts the retained values if a mutation happened since the last query.
+  void ensureSorted() const;
+
+  std::vector<double> Values;
+  mutable std::vector<double> Sorted;
+  mutable bool SortedValid = false;
+};
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_STATISTICS_H

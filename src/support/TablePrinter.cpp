@@ -1,0 +1,56 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pasta;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() <= Header.size() && "row wider than header");
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string TablePrinter::toString() const {
+  std::vector<std::size_t> Widths(Header.size());
+  for (std::size_t Col = 0; Col < Header.size(); ++Col)
+    Widths[Col] = Header[Col].size();
+  for (const auto &Row : Rows)
+    for (std::size_t Col = 0; Col < Row.size(); ++Col)
+      Widths[Col] = std::max(Widths[Col], Row[Col].size());
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (std::size_t Col = 0; Col < Row.size(); ++Col) {
+      Out += Row[Col];
+      if (Col + 1 == Row.size())
+        break;
+      Out.append(Widths[Col] - Row[Col].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  std::size_t RuleWidth = 0;
+  for (std::size_t Col = 0; Col < Widths.size(); ++Col)
+    RuleWidth += Widths[Col] + (Col + 1 == Widths.size() ? 0 : 2);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::string Text = toString();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}

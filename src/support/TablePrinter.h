@@ -1,0 +1,47 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text tables. Every bench binary prints the rows the
+/// paper's tables/figures report through this class so the output format is
+/// uniform and greppable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_TABLEPRINTER_H
+#define PASTA_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+/// Collects rows of string cells and renders them with per-column widths.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends one row; it may have fewer cells than the header (the rest
+  /// render empty) but not more.
+  void addRow(std::vector<std::string> Row);
+
+  std::size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders the table into a string (used by tests).
+  std::string toString() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_TABLEPRINTER_H

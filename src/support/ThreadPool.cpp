@@ -1,0 +1,88 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pasta;
+
+ThreadPool::ThreadPool(std::size_t NumThreads) {
+  if (NumThreads == 0) {
+    unsigned Hardware = std::thread::hardware_concurrency();
+    NumThreads = Hardware == 0 ? 4 : Hardware;
+  }
+  Workers.reserve(NumThreads);
+  for (std::size_t I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submit() after shutdown");
+    Tasks.push(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::parallelFor(
+    std::size_t Count,
+    const std::function<void(std::size_t, std::size_t)> &Body) {
+  if (Count == 0)
+    return;
+  std::size_t NumWorkers = Workers.size();
+  // Inline execution avoids pool round-trips for tiny workloads.
+  if (Count < 2 * NumWorkers || NumWorkers <= 1) {
+    Body(0, Count);
+    return;
+  }
+  std::size_t Chunk = (Count + NumWorkers - 1) / NumWorkers;
+  for (std::size_t Begin = 0; Begin < Count; Begin += Chunk) {
+    std::size_t End = std::min(Begin + Chunk, Count);
+    submit([&Body, Begin, End] { Body(Begin, End); });
+  }
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (ShuttingDown && Tasks.empty())
+        return;
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Tasks.empty() && ActiveTasks == 0)
+        AllIdle.notify_all();
+    }
+  }
+}

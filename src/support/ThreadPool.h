@@ -1,0 +1,68 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool. The PASTA event processor uses it as the
+/// host-side stand-in for GPU analysis warps: the GPU-resident
+/// collect-and-analyze model (paper Fig. 2b) reduces device trace buffers
+/// with many concurrent "device threads", which this pool executes for real
+/// so the analyses produce genuine results, while the *simulated* cost of
+/// the device-side reduction comes from sim::CostModel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_THREADPOOL_H
+#define PASTA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pasta {
+
+/// Fixed-size pool with a simple FIFO task queue and a blocking wait().
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  std::size_t size() const { return Workers.size(); }
+
+  /// Enqueues one task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait();
+
+  /// Splits [0, Count) into roughly equal chunks, runs
+  /// \p Body(Begin, End) on the pool, and waits for completion.
+  /// Runs inline when Count is small or the pool has one worker.
+  void parallelFor(std::size_t Count,
+                   const std::function<void(std::size_t, std::size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllIdle;
+  std::size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_THREADPOOL_H

@@ -1,0 +1,42 @@
+//===- support/Units.cpp --------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace pasta;
+
+static std::string formatWithUnit(double Value, const char *Unit) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f %s", Value, Unit);
+  return Buf;
+}
+
+std::string pasta::formatBytes(std::uint64_t Bytes) {
+  if (Bytes >= MiB)
+    return formatWithUnit(static_cast<double>(Bytes) / MiB, "MB");
+  if (Bytes >= KiB)
+    return formatWithUnit(static_cast<double>(Bytes) / KiB, "KB");
+  return formatWithUnit(static_cast<double>(Bytes), "B");
+}
+
+std::string pasta::formatMiB(std::uint64_t Bytes) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f",
+                static_cast<double>(Bytes) / MiB);
+  return Buf;
+}
+
+std::string pasta::formatSimTime(SimTime Time) {
+  if (Time >= Second)
+    return formatWithUnit(static_cast<double>(Time) / Second, "s");
+  if (Time >= Millisecond)
+    return formatWithUnit(static_cast<double>(Time) / Millisecond, "ms");
+  if (Time >= Microsecond)
+    return formatWithUnit(static_cast<double>(Time) / Microsecond, "us");
+  return formatWithUnit(static_cast<double>(Time), "ns");
+}

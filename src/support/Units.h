@@ -1,0 +1,45 @@
+//===- support/Units.h - Byte and time unit helpers -------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-size and time-unit constants plus human-readable formatting used
+/// throughout the simulator, the DL substrate and the benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_UNITS_H
+#define PASTA_SUPPORT_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace pasta {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// Simulated time is kept in integral nanoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime Nanosecond = 1;
+inline constexpr SimTime Microsecond = 1000 * Nanosecond;
+inline constexpr SimTime Millisecond = 1000 * Microsecond;
+inline constexpr SimTime Second = 1000 * Millisecond;
+
+/// Renders \p Bytes as the paper does in Table V: MB with two decimals,
+/// falling back to KB / B for small values.
+std::string formatBytes(std::uint64_t Bytes);
+
+/// Renders \p Bytes always as mebibytes with two decimals (no unit suffix).
+std::string formatMiB(std::uint64_t Bytes);
+
+/// Renders simulated nanoseconds with an adaptive unit (ns/us/ms/s).
+std::string formatSimTime(SimTime Time);
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_UNITS_H

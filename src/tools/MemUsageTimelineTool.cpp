@@ -1,0 +1,54 @@
+//===- tools/MemUsageTimelineTool.cpp -------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/MemUsageTimelineTool.h"
+
+#include "support/TablePrinter.h"
+#include "support/Units.h"
+
+#include <algorithm>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+void MemUsageTimelineTool::record(const Event &E) {
+  Series[E.DeviceIndex].push_back(E.PoolAllocated);
+}
+
+const std::vector<std::uint64_t> &
+MemUsageTimelineTool::series(int DeviceIndex) const {
+  static const std::vector<std::uint64_t> Empty;
+  auto It = Series.find(DeviceIndex);
+  return It == Series.end() ? Empty : It->second;
+}
+
+std::vector<int> MemUsageTimelineTool::devices() const {
+  std::vector<int> Out;
+  for (const auto &[Device, Samples] : Series)
+    Out.push_back(Device);
+  return Out;
+}
+
+std::uint64_t MemUsageTimelineTool::peak(int DeviceIndex) const {
+  const auto &Samples = series(DeviceIndex);
+  if (Samples.empty())
+    return 0;
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+std::uint64_t MemUsageTimelineTool::numEvents(int DeviceIndex) const {
+  return series(DeviceIndex).size();
+}
+
+void MemUsageTimelineTool::writeReport(std::FILE *Out) {
+  std::fprintf(Out, "=== mem_usage_timeline ===\n");
+  TablePrinter Table({"Device", "Tensor Events", "Peak Usage"});
+  for (int Device : devices())
+    Table.addRow({std::to_string(Device),
+                  std::to_string(numEvents(Device)),
+                  formatBytes(peak(Device))});
+  Table.print(Out);
+}

@@ -1,0 +1,77 @@
+//===- tools/OpKernelMapTool.cpp ------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/OpKernelMapTool.h"
+
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+#include "support/Units.h"
+
+#include <algorithm>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+void OpKernelMapTool::onOperatorStart(const Event &E) {
+  ActiveOp Op;
+  Op.OpName = E.OpName;
+  Stack.push_back(std::move(Op));
+  OpProfile &Profile = Profiles[E.OpName];
+  Profile.OpName = E.OpName;
+  ++Profile.Invocations;
+}
+
+void OpKernelMapTool::onOperatorEnd(const Event &E) {
+  // Tolerate mismatches (range filters can suppress begins).
+  if (!Stack.empty() && Stack.back().OpName == E.OpName)
+    Stack.pop_back();
+}
+
+void OpKernelMapTool::onKernelLaunch(const Event &E) {
+  if (Stack.empty()) {
+    ++Unattributed;
+    return;
+  }
+  OpProfile &Profile = Profiles[Stack.back().OpName];
+  ++Profile.KernelLaunches;
+  if (E.Kernel)
+    ++Profile.Kernels[E.Kernel->Name];
+  Stack.back().LastLaunchTime = E.Timestamp;
+}
+
+void OpKernelMapTool::onKernelComplete(const Event &E) {
+  if (Stack.empty())
+    return;
+  // Kernel execution is synchronous in the simulator: completion minus
+  // launch is the kernel's simulated wall time.
+  OpProfile &Profile = Profiles[Stack.back().OpName];
+  if (E.Timestamp >= Stack.back().LastLaunchTime)
+    Profile.ExecTime += E.Timestamp - Stack.back().LastLaunchTime;
+}
+
+void OpKernelMapTool::writeReport(std::FILE *Out) {
+  std::fprintf(Out, "=== op_kernel_map (%zu operators, %llu unattributed "
+                    "kernels) ===\n",
+               Profiles.size(),
+               static_cast<unsigned long long>(Unattributed));
+  std::vector<const OpProfile *> Sorted;
+  for (const auto &[Name, Profile] : Profiles)
+    Sorted.push_back(&Profile);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const OpProfile *A, const OpProfile *B) {
+              return A->ExecTime > B->ExecTime;
+            });
+  TablePrinter Table({"Operator", "Invocations", "Kernels",
+                      "Kernels/Invocation", "Exec Time",
+                      "Distinct Kernels"});
+  for (const OpProfile *Profile : Sorted)
+    Table.addRow({Profile->OpName, std::to_string(Profile->Invocations),
+                  std::to_string(Profile->KernelLaunches),
+                  format("%.2f", Profile->kernelsPerInvocation()),
+                  formatSimTime(Profile->ExecTime),
+                  std::to_string(Profile->Kernels.size())});
+  Table.print(Out);
+}

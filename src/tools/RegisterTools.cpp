@@ -1,0 +1,56 @@
+//===- tools/RegisterTools.cpp --------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/RegisterTools.h"
+
+#include "pasta/Tool.h"
+#include "tools/ExtensionTools.h"
+#include "tools/HotnessTool.h"
+#include "tools/KernelFrequencyTool.h"
+#include "tools/MemUsageTimelineTool.h"
+#include "tools/OpKernelMapTool.h"
+#include "tools/TraceExportTool.h"
+#include "tools/WorkingSetTool.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+void pasta::tools::registerBuiltinTools() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+  ToolRegistry &Registry = ToolRegistry::instance();
+  Registry.registerTool("kernel_frequency", [] {
+    return std::make_unique<KernelFrequencyTool>();
+  });
+  Registry.registerTool("working_set", [] {
+    return std::make_unique<WorkingSetTool>(WsAnalysisMode::DeviceResident);
+  });
+  Registry.registerTool("working_set_host", [] {
+    return std::make_unique<WorkingSetTool>(WsAnalysisMode::HostSide);
+  });
+  Registry.registerTool("hotness",
+                        [] { return std::make_unique<HotnessTool>(); });
+  Registry.registerTool("mem_usage_timeline", [] {
+    return std::make_unique<MemUsageTimelineTool>();
+  });
+  Registry.registerTool("instruction_mix", [] {
+    return std::make_unique<InstructionMixTool>();
+  });
+  Registry.registerTool("barrier_stall", [] {
+    return std::make_unique<BarrierStallTool>();
+  });
+  Registry.registerTool("redundant_load", [] {
+    return std::make_unique<RedundantLoadTool>();
+  });
+  Registry.registerTool("op_kernel_map", [] {
+    return std::make_unique<OpKernelMapTool>();
+  });
+  Registry.registerTool("chrome_trace", [] {
+    return std::make_unique<TraceExportTool>();
+  });
+}

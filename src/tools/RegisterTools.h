@@ -1,0 +1,29 @@
+//===- tools/RegisterTools.h - Tool registration ----------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the built-in case-study tools with the global ToolRegistry
+/// under the names usable via PASTA_TOOL / addToolByName:
+/// "kernel_frequency", "working_set", "working_set_host", "hotness",
+/// "mem_usage_timeline", "op_kernel_map",
+/// "instruction_mix", "barrier_stall", "redundant_load". Explicit call (no static constructors, per the
+/// coding standards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_TOOLS_REGISTERTOOLS_H
+#define PASTA_TOOLS_REGISTERTOOLS_H
+
+namespace pasta {
+namespace tools {
+
+/// Idempotent registration of all built-in tools.
+void registerBuiltinTools();
+
+} // namespace tools
+} // namespace pasta
+
+#endif // PASTA_TOOLS_REGISTERTOOLS_H

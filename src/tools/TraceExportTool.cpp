@@ -1,0 +1,136 @@
+//===- tools/TraceExportTool.cpp ------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/TraceExportTool.h"
+
+#include "support/Format.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+void TraceExportTool::onOperatorStart(const Event &E) {
+  Entry Item;
+  Item.Phase = 'B';
+  Item.Name = E.OpName;
+  Item.Category = E.LayerName.empty() ? "op" : E.LayerName;
+  Item.Device = E.DeviceIndex;
+  Item.Track = 0;
+  Item.TimestampNs = E.Timestamp;
+  Entries.push_back(std::move(Item));
+}
+
+void TraceExportTool::onOperatorEnd(const Event &E) {
+  Entry Item;
+  Item.Phase = 'E';
+  Item.Name = E.OpName;
+  Item.Device = E.DeviceIndex;
+  Item.Track = 0;
+  Item.TimestampNs = E.Timestamp;
+  Entries.push_back(std::move(Item));
+}
+
+void TraceExportTool::onKernelLaunch(const Event &E) {
+  PendingKernels[E.DeviceIndex] = {
+      E.Kernel ? E.Kernel->Name : "<kernel>", E.Timestamp};
+}
+
+void TraceExportTool::onKernelComplete(const Event &E) {
+  auto It = PendingKernels.find(E.DeviceIndex);
+  if (It == PendingKernels.end())
+    return;
+  Entry Item;
+  Item.Phase = 'X';
+  Item.Name = It->second.first;
+  Item.Category = "kernel";
+  Item.Device = E.DeviceIndex;
+  Item.Track = 1;
+  Item.TimestampNs = It->second.second;
+  Item.DurationNs = E.Timestamp >= It->second.second
+                        ? E.Timestamp - It->second.second
+                        : 0;
+  Entries.push_back(std::move(Item));
+  PendingKernels.erase(It);
+}
+
+void TraceExportTool::onMemoryCopy(const Event &E) {
+  Entry Item;
+  Item.Phase = 'i';
+  Item.Name = format("memcpy %llu B",
+                     static_cast<unsigned long long>(E.Bytes));
+  Item.Category = "memcpy";
+  Item.Device = E.DeviceIndex;
+  Item.Track = 1;
+  Item.TimestampNs = E.Timestamp;
+  Entries.push_back(std::move(Item));
+}
+
+void TraceExportTool::onBatchMemoryOp(const Event &E) {
+  Entry Item;
+  Item.Phase = 'i';
+  Item.Name = format("uvm batch op %llu B",
+                     static_cast<unsigned long long>(E.Bytes));
+  Item.Category = "uvm";
+  Item.Device = E.DeviceIndex;
+  Item.Track = 1;
+  Item.TimestampNs = E.Timestamp;
+  Entries.push_back(std::move(Item));
+}
+
+void TraceExportTool::appendJsonString(std::string &Out,
+                                       const std::string &Text) {
+  Out += '"';
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}
+
+std::string TraceExportTool::toJson() const {
+  std::string Out = "[\n";
+  bool First = true;
+  for (const Entry &Item : Entries) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "  {\"name\": ";
+    appendJsonString(Out, Item.Name);
+    Out += ", \"cat\": ";
+    appendJsonString(Out, Item.Category.empty() ? "event" : Item.Category);
+    Out += format(", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": %d, "
+                  "\"tid\": %d",
+                  Item.Phase,
+                  static_cast<double>(Item.TimestampNs) / 1000.0,
+                  Item.Device, Item.Track);
+    if (Item.Phase == 'X')
+      Out += format(", \"dur\": %.3f",
+                    static_cast<double>(Item.DurationNs) / 1000.0);
+    if (Item.Phase == 'i')
+      Out += ", \"s\": \"t\"";
+    Out += "}";
+  }
+  Out += "\n]\n";
+  return Out;
+}
+
+void TraceExportTool::writeReport(std::FILE *Out) {
+  std::string Json = toJson();
+  std::fwrite(Json.data(), 1, Json.size(), Out);
+}

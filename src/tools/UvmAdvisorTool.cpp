@@ -1,0 +1,50 @@
+//===- tools/UvmAdvisorTool.cpp -------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/UvmAdvisorTool.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+std::vector<UvmAdvice>
+UvmAdvisor::planFromHotness(const HotnessTool &Hotness,
+                            double LongLivedFraction,
+                            double BurstyFraction) {
+  std::vector<UvmAdvice> Plan;
+  double Windows = static_cast<double>(Hotness.numWindows());
+  for (const HotnessTool::BlockProfile &Profile : Hotness.profiles()) {
+    double ActiveShare =
+        Windows == 0 ? 0.0 : Profile.ActiveWindows / Windows;
+    UvmAdvice Advice;
+    Advice.Block = Profile.Block;
+    Advice.Bytes = Hotness.blockBytes();
+    Advice.TotalAccesses = Profile.TotalAccesses;
+    if (ActiveShare >= LongLivedFraction) {
+      Advice.Advice = UvmAdvice::Kind::PrefetchAndPin;
+      Plan.push_back(Advice);
+    } else if (ActiveShare <= BurstyFraction) {
+      Advice.Advice = UvmAdvice::Kind::ProactiveEvict;
+      Plan.push_back(Advice);
+    }
+  }
+  return Plan;
+}
+
+std::uint64_t UvmAdvisor::applyPins(dl::DeviceApi &Api,
+                                    const std::vector<UvmAdvice> &Plan) {
+  std::uint64_t Pinned = 0;
+  sim::UvmSpace &Uvm = Api.device().uvm();
+  for (const UvmAdvice &Advice : Plan) {
+    if (Advice.Advice != UvmAdvice::Kind::PrefetchAndPin)
+      continue;
+    if (!Uvm.isManaged(Advice.Block))
+      continue;
+    Api.prefetch(Advice.Block, Advice.Bytes);
+    Api.advisePreferredDevice(Advice.Block, Advice.Bytes);
+    Pinned += Advice.Bytes;
+  }
+  return Pinned;
+}

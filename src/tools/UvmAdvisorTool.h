@@ -1,0 +1,61 @@
+//===- tools/UvmAdvisorTool.h - hotness -> pin/evict advice -----*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the loop of paper §V-C2: the time-series hotness analysis
+/// (Fig. 13) identifies long-lived hot blocks (prefetch-and-pin via
+/// cudaMemPrefetchAsync + cudaMemAdvise) and bursty blocks (pro-active
+/// eviction candidates). UvmAdvisor turns a HotnessTool profile into a
+/// concrete advice list and can apply it to a device before a rerun.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_TOOLS_UVMADVISORTOOL_H
+#define PASTA_TOOLS_UVMADVISORTOOL_H
+
+#include "dl/Backend.h"
+#include "tools/HotnessTool.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pasta {
+namespace tools {
+
+/// One piece of placement advice for a 2 MiB block.
+struct UvmAdvice {
+  enum class Kind {
+    PrefetchAndPin, ///< long-lived hot data (e.g. parameters)
+    ProactiveEvict, ///< bursty transient data
+  };
+  Kind Advice = Kind::PrefetchAndPin;
+  sim::DeviceAddr Block = 0;
+  std::uint64_t Bytes = 0;
+  std::uint64_t TotalAccesses = 0;
+};
+
+/// Derives and applies placement advice from hotness profiles.
+class UvmAdvisor {
+public:
+  /// Builds the advice list: blocks active in at least
+  /// \p LongLivedFraction of windows get PrefetchAndPin; blocks active
+  /// in at most \p BurstyFraction get ProactiveEvict; the middle gets no
+  /// advice (default UVM policy).
+  static std::vector<UvmAdvice>
+  planFromHotness(const HotnessTool &Hotness,
+                  double LongLivedFraction = 0.6,
+                  double BurstyFraction = 0.15);
+
+  /// Applies the plan to \p Api's device: prefetch + preferred-location
+  /// advice for pins (managed blocks only). Returns pinned bytes.
+  static std::uint64_t applyPins(dl::DeviceApi &Api,
+                                 const std::vector<UvmAdvice> &Plan);
+};
+
+} // namespace tools
+} // namespace pasta
+
+#endif // PASTA_TOOLS_UVMADVISORTOOL_H

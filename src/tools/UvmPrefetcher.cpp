@@ -1,0 +1,81 @@
+//===- tools/UvmPrefetcher.cpp --------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/UvmPrefetcher.h"
+
+#include "support/ErrorHandling.h"
+
+#include <set>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+const char *pasta::tools::prefetchLevelName(PrefetchLevel Level) {
+  switch (Level) {
+  case PrefetchLevel::None:
+    return "none";
+  case PrefetchLevel::Object:
+    return "object";
+  case PrefetchLevel::Tensor:
+    return "tensor";
+  }
+  PASTA_UNREACHABLE("unknown PrefetchLevel");
+}
+
+void UvmPrefetcher::install(dl::Executor &Executor) {
+  if (Level == PrefetchLevel::None)
+    return;
+  Executor.setPreKernelHook([this](const sim::KernelDesc &Desc,
+                                   const dl::Step &S, dl::Executor &Ex) {
+    (void)S;
+    beforeKernel(Desc, Ex);
+  });
+}
+
+void UvmPrefetcher::beforeKernel(const sim::KernelDesc &Desc,
+                                 dl::Executor &Executor) {
+  dl::DeviceApi &Api = Executor.api();
+  sim::UvmSpace &Uvm = Api.device().uvm();
+
+  if (Level == PrefetchLevel::Tensor) {
+    // Prefetch exactly the spans the kernel is about to touch.
+    for (const sim::AccessSegment &Seg : Desc.Segments) {
+      if (Seg.Space != sim::MemSpace::Global || Seg.Extent == 0)
+        continue;
+      if (!Uvm.isManaged(Seg.Base))
+        continue;
+      Api.prefetch(Seg.Base, Seg.Extent);
+      ++PrefetchCalls;
+      PrefetchedBytes += Seg.Extent;
+    }
+    return;
+  }
+
+  // Object level: prefetch the whole pool segments containing the
+  // kernel's tensors — dead tensors in the segment come along for the
+  // ride. Dedupe segments within one kernel.
+  std::set<sim::DeviceAddr> Seen;
+  for (const sim::AccessSegment &Seg : Desc.Segments) {
+    if (Seg.Space != sim::MemSpace::Global || Seg.Extent == 0)
+      continue;
+    auto Segment = Executor.allocator().segmentContaining(Seg.Base);
+    if (!Segment) {
+      if (Uvm.isManaged(Seg.Base)) {
+        Api.prefetch(Seg.Base, Seg.Extent);
+        ++PrefetchCalls;
+        PrefetchedBytes += Seg.Extent;
+      }
+      continue;
+    }
+    if (!Seen.insert(Segment->Base).second)
+      continue;
+    if (!Uvm.isManaged(Segment->Base))
+      continue;
+    Api.prefetch(Segment->Base, Segment->Bytes);
+    ++PrefetchCalls;
+    PrefetchedBytes += Segment->Bytes;
+  }
+}

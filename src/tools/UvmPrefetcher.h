@@ -1,0 +1,60 @@
+//===- tools/UvmPrefetcher.h - Fig. 11/12 case study ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tensor-aware UVM prefetcher (paper §V-C1): an automated prefetcher
+/// built on PASTA's cross-layer visibility. Before each kernel launch it
+/// issues cudaMemPrefetchAsync at one of two granularities:
+///
+///  * Tensor level — exactly the tensors the kernel is about to touch
+///    (knowledge only the DL-framework integration provides);
+///  * Object level — the whole pool segments containing those tensors
+///    (all a vendor-level tool could do), which drags along dead tensors
+///    sharing the segment and thrashes under oversubscription (Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_TOOLS_UVMPREFETCHER_H
+#define PASTA_TOOLS_UVMPREFETCHER_H
+
+#include "dl/Executor.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pasta {
+namespace tools {
+
+/// Prefetch granularity of paper Fig. 11/12.
+enum class PrefetchLevel { None, Object, Tensor };
+
+const char *prefetchLevelName(PrefetchLevel Level);
+
+/// Pre-kernel UVM prefetcher; install() hooks it into an Executor.
+class UvmPrefetcher {
+public:
+  explicit UvmPrefetcher(PrefetchLevel Level) : Level(Level) {}
+
+  /// Installs the pre-kernel hook on \p Executor (whose allocator must be
+  /// managed for prefetching to have any effect).
+  void install(dl::Executor &Executor);
+
+  std::uint64_t prefetchCalls() const { return PrefetchCalls; }
+  std::uint64_t prefetchedBytes() const { return PrefetchedBytes; }
+  PrefetchLevel level() const { return Level; }
+
+private:
+  void beforeKernel(const sim::KernelDesc &Desc, dl::Executor &Executor);
+
+  PrefetchLevel Level;
+  std::uint64_t PrefetchCalls = 0;
+  std::uint64_t PrefetchedBytes = 0;
+};
+
+} // namespace tools
+} // namespace pasta
+
+#endif // PASTA_TOOLS_UVMPREFETCHER_H

@@ -1,0 +1,86 @@
+//===- tools/Workloads.cpp ------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Workloads.h"
+
+#include "cuda/CudaRuntime.h"
+#include "hip/HipRuntime.h"
+#include "sim/System.h"
+#include "support/ErrorHandling.h"
+
+#include <memory>
+
+using namespace pasta;
+using namespace pasta::tools;
+
+WorkloadResult
+pasta::tools::runWorkload(const WorkloadConfig &Config, Profiler &Profiler,
+                          const std::function<void(dl::Executor &)> &Customize) {
+  sim::GpuSpec Spec = sim::gpuSpecByName(Config.Gpu);
+  sim::System System(Spec);
+  if (Config.MemoryLimitBytes > 0)
+    System.device(0).setMemoryLimit(Config.MemoryLimitBytes);
+
+  // The workload config is the single source of truth for tracing.
+  TraceOptions Trace;
+  Trace.Backend = Config.Backend;
+  Trace.SampleRate = Config.SampleRate;
+  Trace.RecordGranularityBytes = Config.RecordGranularityBytes;
+  Trace.DeviceBufferRecords = Config.DeviceBufferRecords;
+  Profiler.setTraceOptions(Trace);
+
+  // Stand up the vendor runtime matching the GPU and attach PASTA the way
+  // the LD_PRELOAD injection would.
+  std::unique_ptr<cuda::CudaRuntime> Cuda;
+  std::unique_ptr<hip::HipRuntime> Hip;
+  std::unique_ptr<dl::DeviceApi> Api;
+  if (Spec.Vendor == sim::VendorKind::NVIDIA) {
+    Cuda = std::make_unique<cuda::CudaRuntime>(System);
+    Api = std::make_unique<dl::CudaDeviceApi>(*Cuda, 0);
+    Profiler.attachCuda(*Cuda, 0);
+  } else {
+    Hip = std::make_unique<hip::HipRuntime>(System);
+    Api = std::make_unique<dl::HipDeviceApi>(*Hip, 0);
+    Profiler.attachHip(*Hip, 0);
+  }
+
+  dl::CallbackRegistry Callbacks;
+  Profiler.attachDl(Callbacks);
+
+  dl::ScheduleBuilder::Options BuildOpts;
+  BuildOpts.Flavor = Api->kernelFlavor();
+  BuildOpts.Training = Config.Training;
+  BuildOpts.Iterations = Config.Iterations;
+  dl::Program Program = dl::buildModelProgram(Config.Model, BuildOpts);
+
+  dl::ExecutorOptions ExecOpts;
+  ExecOpts.Managed = Config.Managed;
+  dl::Executor Executor(*Api, Callbacks, ExecOpts);
+
+  UvmPrefetcher Prefetcher(Config.Prefetch);
+  Prefetcher.install(Executor);
+  if (Customize)
+    Customize(Executor);
+
+  WorkloadResult Result;
+  Result.ProgramKernels = Program.numKernels();
+  Result.Stats = Executor.run(Program);
+  Result.Uvm = System.device(0).uvm().counters();
+
+  // Detach before the runtimes die.
+  Profiler.finish();
+  return Result;
+}
+
+SimTime pasta::tools::nativeRunTime(WorkloadConfig Config) {
+  Config.Backend = TraceBackend::None;
+  Config.Prefetch = PrefetchLevel::None;
+  ProfilerOptions Opts;
+  Opts.Trace.Backend = TraceBackend::None;
+  Profiler Prof(Opts);
+  WorkloadResult Result = runWorkload(Config, Prof);
+  return Result.Stats.wallTime();
+}

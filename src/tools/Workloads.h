@@ -1,0 +1,73 @@
+//===- tools/Workloads.h - Shared workload harness --------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call harness used by the benches, examples and integration tests:
+/// builds a simulated system for a named GPU, stands up the matching
+/// vendor runtime and DL session, attaches a PASTA profiler with the
+/// requested backend, runs a model-zoo Program and returns the results.
+/// This is the moral equivalent of `accelprof -v -t <tool> <executable>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_TOOLS_WORKLOADS_H
+#define PASTA_TOOLS_WORKLOADS_H
+
+#include "dl/Executor.h"
+#include "dl/Models.h"
+#include "pasta/Profiler.h"
+#include "tools/UvmPrefetcher.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pasta {
+namespace tools {
+
+/// Everything a workload run needs to know.
+struct WorkloadConfig {
+  std::string Model = "resnet18";
+  bool Training = false;
+  /// GPU preset name: "A100", "RTX3060" or "MI300X" (vendor implied).
+  std::string Gpu = "A100";
+  TraceBackend Backend = TraceBackend::None;
+  /// Pool segments from managed (UVM) memory.
+  bool Managed = false;
+  /// Artificial device-memory cap in bytes (0 = none) — the paper's
+  /// oversubscription mechanism.
+  std::uint64_t MemoryLimitBytes = 0;
+  /// 0 = model default for the mode.
+  int Iterations = 0;
+  double SampleRate = 1.0;
+  std::uint64_t RecordGranularityBytes = 4096;
+  std::uint64_t DeviceBufferRecords = 1u << 20;
+  PrefetchLevel Prefetch = PrefetchLevel::None;
+};
+
+/// Outcome of one run.
+struct WorkloadResult {
+  dl::RunStats Stats;
+  /// UVM counters snapshot at run end.
+  sim::UvmCounters Uvm;
+  std::uint64_t ProgramKernels = 0;
+};
+
+/// Runs \p Config with \p Profiler attached (add tools to the profiler
+/// first). \p Customize, when set, is called with the executor before the
+/// run (examples use it to install extra hooks).
+WorkloadResult
+runWorkload(const WorkloadConfig &Config, Profiler &Profiler,
+            const std::function<void(dl::Executor &)> &Customize = {});
+
+/// Convenience: native (uninstrumented) execution time of \p Config,
+/// for overhead normalization.
+SimTime nativeRunTime(WorkloadConfig Config);
+
+} // namespace tools
+} // namespace pasta
+
+#endif // PASTA_TOOLS_WORKLOADS_H

@@ -1,0 +1,250 @@
+//===- tests/cuda_runtime_test.cpp - CUDA layer unit tests ----------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaRuntime.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::cuda;
+
+namespace {
+
+class CudaRuntimeTest : public ::testing::Test {
+protected:
+  CudaRuntimeTest() : System(sim::a100Spec()), Runtime(System) {}
+
+  sim::KernelDesc simpleKernel(sim::DeviceAddr Base) {
+    sim::KernelDesc Desc;
+    Desc.Name = "k";
+    Desc.Grid = {8, 1, 1};
+    Desc.Block = {128, 1, 1};
+    sim::AccessSegment Seg;
+    Seg.Base = Base;
+    Seg.Extent = 1 * MiB;
+    Seg.AccessBytes = 1 * MiB;
+    Desc.Segments.push_back(Seg);
+    return Desc;
+  }
+
+  sim::System System;
+  CudaRuntime Runtime;
+};
+
+} // namespace
+
+TEST_F(CudaRuntimeTest, DeviceCountAndSetDevice) {
+  int Count = 0;
+  EXPECT_EQ(Runtime.cudaGetDeviceCount(&Count), CudaError::Success);
+  EXPECT_EQ(Count, 1);
+  EXPECT_EQ(Runtime.cudaSetDevice(0), CudaError::Success);
+  EXPECT_EQ(Runtime.cudaSetDevice(3), CudaError::InvalidDevice);
+}
+
+TEST_F(CudaRuntimeTest, MallocFreeRoundTrip) {
+  sim::DeviceAddr Ptr = 0;
+  ASSERT_EQ(Runtime.cudaMalloc(&Ptr, 4096), CudaError::Success);
+  EXPECT_NE(Ptr, 0u);
+  EXPECT_EQ(Runtime.cudaFree(Ptr), CudaError::Success);
+  EXPECT_EQ(Runtime.cudaFree(Ptr), CudaError::InvalidValue);
+}
+
+TEST_F(CudaRuntimeTest, MallocRejectsBadArgs) {
+  EXPECT_EQ(Runtime.cudaMalloc(nullptr, 64), CudaError::InvalidValue);
+  sim::DeviceAddr Ptr = 0;
+  EXPECT_EQ(Runtime.cudaMalloc(&Ptr, 0), CudaError::InvalidValue);
+}
+
+TEST_F(CudaRuntimeTest, OutOfMemory) {
+  System.device(0).setMemoryLimit(1 * MiB);
+  sim::DeviceAddr Ptr = 0;
+  EXPECT_EQ(Runtime.cudaMalloc(&Ptr, 8 * MiB), CudaError::OutOfMemory);
+}
+
+TEST_F(CudaRuntimeTest, ManagedAllocRegistersUvm) {
+  sim::DeviceAddr Ptr = 0;
+  ASSERT_EQ(Runtime.cudaMallocManaged(&Ptr, 8 * MiB), CudaError::Success);
+  EXPECT_TRUE(System.device(0).uvm().isManaged(Ptr));
+  EXPECT_EQ(Runtime.cudaFree(Ptr), CudaError::Success);
+  EXPECT_FALSE(System.device(0).uvm().isManaged(Ptr));
+}
+
+TEST_F(CudaRuntimeTest, PrefetchRequiresManaged) {
+  sim::DeviceAddr Plain = 0, Managed = 0;
+  Runtime.cudaMalloc(&Plain, 4 * MiB);
+  Runtime.cudaMallocManaged(&Managed, 4 * MiB);
+  EXPECT_EQ(Runtime.cudaMemPrefetchAsync(Plain, 4 * MiB, 0),
+            CudaError::NotManaged);
+  EXPECT_EQ(Runtime.cudaMemPrefetchAsync(Managed, 4 * MiB, 0),
+            CudaError::Success);
+  EXPECT_GT(System.device(0).uvm().counters().PrefetchedPages, 0u);
+}
+
+TEST_F(CudaRuntimeTest, MemAdvisePinsPages) {
+  sim::DeviceAddr Managed = 0;
+  Runtime.cudaMallocManaged(&Managed, 4 * MiB);
+  EXPECT_EQ(Runtime.cudaMemAdvise(
+                Managed, 4 * MiB,
+                CudaMemAdvice::SetPreferredLocationDevice, 0),
+            CudaError::Success);
+}
+
+TEST_F(CudaRuntimeTest, StreamLifecycle) {
+  CudaStream Stream = 0;
+  ASSERT_EQ(Runtime.cudaStreamCreate(&Stream), CudaError::Success);
+  EXPECT_NE(Stream, DefaultStream);
+  EXPECT_EQ(Runtime.cudaStreamSynchronize(Stream), CudaError::Success);
+  EXPECT_EQ(Runtime.cudaStreamDestroy(Stream), CudaError::Success);
+  EXPECT_EQ(Runtime.cudaStreamDestroy(Stream), CudaError::InvalidValue);
+  EXPECT_EQ(Runtime.cudaStreamDestroy(DefaultStream),
+            CudaError::InvalidValue);
+}
+
+TEST_F(CudaRuntimeTest, LaunchOnDestroyedStreamFails) {
+  CudaStream Stream = 0;
+  Runtime.cudaStreamCreate(&Stream);
+  Runtime.cudaStreamDestroy(Stream);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  EXPECT_EQ(Runtime.cudaLaunchKernel(simpleKernel(Ptr), Stream),
+            CudaError::InvalidValue);
+}
+
+TEST_F(CudaRuntimeTest, LaunchReturnsResult) {
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  sim::LaunchResult Result;
+  ASSERT_EQ(Runtime.cudaLaunchKernel(simpleKernel(Ptr), DefaultStream,
+                                     &Result),
+            CudaError::Success);
+  EXPECT_EQ(Result.GridId, 1u);
+  EXPECT_GT(Result.Breakdown.Execution, 0u);
+}
+
+TEST_F(CudaRuntimeTest, ErrorNamesStable) {
+  EXPECT_STREQ(cudaErrorName(CudaError::Success), "cudaSuccess");
+  EXPECT_STREQ(cudaErrorName(CudaError::OutOfMemory),
+               "cudaErrorMemoryAllocation");
+}
+
+//===----------------------------------------------------------------------===//
+// Sanitizer callbacks
+//===----------------------------------------------------------------------===//
+
+TEST_F(CudaRuntimeTest, SanitizerCallbacksFireForEnabledDomains) {
+  std::vector<SanitizerCbid> Seen;
+  SanitizerSubscriber Sub = Runtime.sanitizer().subscribe(
+      [&](const SanitizerCallbackData &Data) { Seen.push_back(Data.Cbid); });
+  Runtime.sanitizer().enableDomain(Sub, SanitizerDomain::Memory);
+  Runtime.sanitizer().enableDomain(Sub, SanitizerDomain::Launch);
+
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  Runtime.cudaLaunchKernel(simpleKernel(Ptr));
+  Runtime.cudaMemcpy(Ptr, 1 * MiB, CudaMemcpyKind::HostToDevice); // filtered
+  Runtime.cudaFree(Ptr);
+
+  ASSERT_EQ(Seen.size(), 4u);
+  EXPECT_EQ(Seen[0], SanitizerCbid::MemoryAlloc);
+  EXPECT_EQ(Seen[1], SanitizerCbid::LaunchBegin);
+  EXPECT_EQ(Seen[2], SanitizerCbid::LaunchEnd);
+  EXPECT_EQ(Seen[3], SanitizerCbid::MemoryFree);
+}
+
+TEST_F(CudaRuntimeTest, SanitizerDisableDomainStopsDelivery) {
+  int Count = 0;
+  SanitizerSubscriber Sub = Runtime.sanitizer().subscribe(
+      [&](const SanitizerCallbackData &) { ++Count; });
+  Runtime.sanitizer().enableAllDomains(Sub);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  EXPECT_EQ(Count, 1);
+  Runtime.sanitizer().disableDomain(Sub, SanitizerDomain::Memory);
+  Runtime.cudaFree(Ptr);
+  EXPECT_EQ(Count, 1);
+}
+
+TEST_F(CudaRuntimeTest, SanitizerUnsubscribeStopsDelivery) {
+  int Count = 0;
+  SanitizerSubscriber Sub = Runtime.sanitizer().subscribe(
+      [&](const SanitizerCallbackData &) { ++Count; });
+  Runtime.sanitizer().enableAllDomains(Sub);
+  Runtime.sanitizer().unsubscribe(Sub);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  EXPECT_EQ(Count, 0);
+}
+
+TEST_F(CudaRuntimeTest, SanitizerLaunchCallbackCarriesGridId) {
+  std::uint64_t SeenGridId = 0;
+  SanitizerSubscriber Sub = Runtime.sanitizer().subscribe(
+      [&](const SanitizerCallbackData &Data) {
+        if (Data.Cbid == SanitizerCbid::LaunchBegin)
+          SeenGridId = Data.GridId;
+      });
+  Runtime.sanitizer().enableDomain(Sub, SanitizerDomain::Launch);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  sim::LaunchResult Result;
+  Runtime.cudaLaunchKernel(simpleKernel(Ptr), DefaultStream, &Result);
+  EXPECT_EQ(SeenGridId, Result.GridId);
+}
+
+TEST_F(CudaRuntimeTest, SanitizerPatchRoutesRecords) {
+  struct CountSink : sim::TraceSink {
+    std::uint64_t Records = 0;
+    void onAccessBatch(const sim::LaunchInfo &,
+                       const sim::MemAccessRecord *,
+                       std::size_t Count) override {
+      Records += Count;
+    }
+  } Sink;
+  Runtime.sanitizer().patchMemoryAccesses(
+      0, &Sink, sim::AnalysisModel::DeviceResident);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  Runtime.cudaLaunchKernel(simpleKernel(Ptr));
+  EXPECT_GT(Sink.Records, 0u);
+  std::uint64_t AfterFirst = Sink.Records;
+  Runtime.sanitizer().unpatch(0);
+  Runtime.cudaLaunchKernel(simpleKernel(Ptr));
+  EXPECT_EQ(Sink.Records, AfterFirst) << "unpatch did not stop tracing";
+}
+
+//===----------------------------------------------------------------------===//
+// NVBit callbacks
+//===----------------------------------------------------------------------===//
+
+TEST_F(CudaRuntimeTest, NvbitEventsFire) {
+  std::vector<NvbitCudaEvent> Seen;
+  Runtime.nvbit().atCudaEvent(
+      [&](const NvbitEventData &Data) { Seen.push_back(Data.Event); });
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  Runtime.cudaLaunchKernel(simpleKernel(Ptr));
+  Runtime.cudaFree(Ptr);
+  ASSERT_EQ(Seen.size(), 4u);
+  EXPECT_EQ(Seen[0], NvbitCudaEvent::MemAlloc);
+  EXPECT_EQ(Seen[1], NvbitCudaEvent::KernelLaunchBegin);
+  EXPECT_EQ(Seen[2], NvbitCudaEvent::KernelLaunchEnd);
+  EXPECT_EQ(Seen[3], NvbitCudaEvent::MemFree);
+}
+
+TEST_F(CudaRuntimeTest, NvbitInstrumentationPaysSassParseOnce) {
+  struct NullSink : sim::TraceSink {
+  } Sink;
+  Runtime.nvbit().instrumentAllInstructions(
+      0, &Sink, sim::AnalysisModel::HostSide);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.cudaMalloc(&Ptr, 1 * MiB);
+  sim::KernelDesc Desc = simpleKernel(Ptr);
+  sim::LaunchResult First, Second;
+  Runtime.cudaLaunchKernel(Desc, DefaultStream, &First);
+  Runtime.cudaLaunchKernel(Desc, DefaultStream, &Second);
+  // First launch pays the module SASS dump+parse; the second does not.
+  EXPECT_GT(First.Breakdown.Collection, Second.Breakdown.Collection);
+}

@@ -1,0 +1,163 @@
+//===- tests/dl_allocator_test.cpp - caching allocator tests --------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaRuntime.h"
+#include "dl/Allocator.h"
+#include "dl/Backend.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::dl;
+
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+protected:
+  AllocatorTest()
+      : System(sim::a100Spec()), Runtime(System), Api(Runtime, 0) {}
+
+  sim::System System;
+  cuda::CudaRuntime Runtime;
+  CudaDeviceApi Api;
+};
+
+} // namespace
+
+TEST_F(AllocatorTest, SmallAllocationsShareOneSegment) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(64 * KiB);
+  sim::DeviceAddr B = Alloc.allocate(64 * KiB);
+  ASSERT_NE(A, 0u);
+  ASSERT_NE(B, 0u);
+  auto SegA = Alloc.segmentContaining(A);
+  auto SegB = Alloc.segmentContaining(B);
+  ASSERT_TRUE(SegA && SegB);
+  EXPECT_EQ(SegA->Base, SegB->Base) << "small pool should share segments";
+  EXPECT_EQ(Alloc.stats().NumSegmentsRequested, 1u);
+}
+
+TEST_F(AllocatorTest, LargeAllocationsGetOwnSegments) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(30 * MiB);
+  auto Seg = Alloc.segmentContaining(A);
+  ASSERT_TRUE(Seg.has_value());
+  EXPECT_GE(Seg->Bytes, 30 * MiB);
+  EXPECT_FALSE(Seg->SmallPool);
+}
+
+TEST_F(AllocatorTest, FreeKeepsSegmentReserved) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(30 * MiB);
+  std::uint64_t Reserved = Alloc.stats().Reserved;
+  std::uint64_t Physical = System.device(0).physicalBytesInUse();
+  Alloc.free(A);
+  // The pool caches the segment: reserved and physical stay unchanged.
+  EXPECT_EQ(Alloc.stats().Reserved, Reserved);
+  EXPECT_EQ(System.device(0).physicalBytesInUse(), Physical);
+  EXPECT_EQ(Alloc.stats().Allocated, 0u);
+}
+
+TEST_F(AllocatorTest, FreedBlockIsReused) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(30 * MiB);
+  Alloc.free(A);
+  sim::DeviceAddr B = Alloc.allocate(30 * MiB);
+  EXPECT_EQ(A, B) << "cached block not reused";
+  EXPECT_EQ(Alloc.stats().NumSegmentsRequested, 1u);
+}
+
+TEST_F(AllocatorTest, EmptyCacheReleasesFreeSegments) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(30 * MiB);
+  Alloc.free(A);
+  std::uint64_t PhysicalBefore = System.device(0).physicalBytesInUse();
+  Alloc.emptyCache();
+  EXPECT_LT(System.device(0).physicalBytesInUse(), PhysicalBefore);
+  EXPECT_EQ(Alloc.stats().Reserved, 0u);
+}
+
+TEST_F(AllocatorTest, EmptyCacheKeepsLiveSegments) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(30 * MiB);
+  Alloc.emptyCache();
+  EXPECT_TRUE(Alloc.segmentContaining(A).has_value());
+}
+
+TEST_F(AllocatorTest, BlockSplittingAndCoalescing) {
+  CachingAllocator Alloc(Api);
+  // Carve three blocks out of one large segment, free and re-fit.
+  sim::DeviceAddr A = Alloc.allocate(8 * MiB);
+  sim::DeviceAddr B = Alloc.allocate(8 * MiB);
+  sim::DeviceAddr C = Alloc.allocate(4 * MiB);
+  EXPECT_EQ(Alloc.stats().NumSegmentsRequested, 1u)
+      << "20 MiB floor should hold all three";
+  Alloc.free(A);
+  Alloc.free(B);
+  // After coalescing, a 16 MiB block must fit without a new segment.
+  Alloc.allocate(16 * MiB);
+  EXPECT_EQ(Alloc.stats().NumSegmentsRequested, 1u);
+  Alloc.free(C);
+}
+
+TEST_F(AllocatorTest, PeakStatistics) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(10 * MiB);
+  sim::DeviceAddr B = Alloc.allocate(10 * MiB);
+  Alloc.free(A);
+  Alloc.free(B);
+  EXPECT_EQ(Alloc.stats().PeakAllocated, 20 * MiB);
+  EXPECT_EQ(Alloc.stats().Allocated, 0u);
+  EXPECT_EQ(Alloc.stats().NumAllocs, 2u);
+  EXPECT_EQ(Alloc.stats().NumFrees, 2u);
+}
+
+TEST_F(AllocatorTest, BlockSizeQuery) {
+  CachingAllocator Alloc(Api);
+  sim::DeviceAddr A = Alloc.allocate(1000);
+  auto Size = Alloc.blockSize(A);
+  ASSERT_TRUE(Size.has_value());
+  EXPECT_EQ(*Size, 1024u); // rounded to 512B granularity
+  Alloc.free(A);
+  EXPECT_FALSE(Alloc.blockSize(A).has_value());
+}
+
+TEST_F(AllocatorTest, OomPropagates) {
+  System.device(0).setMemoryLimit(16 * MiB);
+  CachingAllocator Alloc(Api);
+  EXPECT_EQ(Alloc.allocate(64 * MiB), 0u);
+}
+
+TEST_F(AllocatorTest, ManagedPoolUsesUvm) {
+  CachingAllocator Alloc(Api, /*Managed=*/true);
+  sim::DeviceAddr A = Alloc.allocate(30 * MiB);
+  EXPECT_TRUE(System.device(0).uvm().isManaged(A));
+}
+
+TEST_F(AllocatorTest, ManagedPoolOversubscribes) {
+  System.device(0).setMemoryLimit(16 * MiB);
+  CachingAllocator Alloc(Api, /*Managed=*/true);
+  EXPECT_NE(Alloc.allocate(64 * MiB), 0u)
+      << "managed pool must allow oversubscription";
+}
+
+TEST_F(AllocatorTest, SegmentsEnumeration) {
+  CachingAllocator Alloc(Api);
+  Alloc.allocate(64 * KiB);  // small pool segment
+  Alloc.allocate(30 * MiB);  // large pool segment
+  auto Segments = Alloc.segments();
+  EXPECT_EQ(Segments.size(), 2u);
+}
+
+TEST_F(AllocatorTest, DestructorReturnsSegments) {
+  std::uint64_t Before = System.device(0).physicalBytesInUse();
+  {
+    CachingAllocator Alloc(Api);
+    Alloc.allocate(30 * MiB);
+  }
+  EXPECT_EQ(System.device(0).physicalBytesInUse(), Before);
+}

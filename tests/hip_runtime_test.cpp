@@ -1,0 +1,162 @@
+//===- tests/hip_runtime_test.cpp - HIP/ROCprofiler unit tests ------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hip/HipRuntime.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::hip;
+
+namespace {
+
+class HipRuntimeTest : public ::testing::Test {
+protected:
+  HipRuntimeTest() : System(sim::mi300xSpec()), Runtime(System) {}
+
+  sim::KernelDesc simpleKernel(sim::DeviceAddr Base) {
+    sim::KernelDesc Desc;
+    Desc.Name = "hip_k";
+    Desc.Grid = {8, 1, 1};
+    Desc.Block = {256, 1, 1};
+    sim::AccessSegment Seg;
+    Seg.Base = Base;
+    Seg.Extent = 1 * MiB;
+    Seg.AccessBytes = 1 * MiB;
+    Desc.Segments.push_back(Seg);
+    return Desc;
+  }
+
+  sim::System System;
+  HipRuntime Runtime;
+};
+
+} // namespace
+
+TEST_F(HipRuntimeTest, MallocFreeRoundTrip) {
+  sim::DeviceAddr Ptr = 0;
+  ASSERT_EQ(Runtime.hipMalloc(&Ptr, 4096), HipError::Success);
+  EXPECT_EQ(Runtime.hipFree(Ptr), HipError::Success);
+  EXPECT_EQ(Runtime.hipFree(Ptr), HipError::InvalidValue);
+}
+
+TEST_F(HipRuntimeTest, DeviceCount) {
+  int Count = 0;
+  EXPECT_EQ(Runtime.hipGetDeviceCount(&Count), HipError::Success);
+  EXPECT_EQ(Count, 1);
+}
+
+TEST_F(HipRuntimeTest, LaunchAdvancesDispatchIds) {
+  sim::DeviceAddr Ptr = 0;
+  Runtime.hipMalloc(&Ptr, 1 * MiB);
+  sim::LaunchResult R1, R2;
+  Runtime.hipLaunchKernel(simpleKernel(Ptr), HipDefaultStream, &R1);
+  Runtime.hipLaunchKernel(simpleKernel(Ptr), HipDefaultStream, &R2);
+  EXPECT_EQ(R2.GridId, R1.GridId + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The AMD event-format quirks PASTA must normalize (paper §III-G).
+//===----------------------------------------------------------------------===//
+
+TEST_F(HipRuntimeTest, FreeArrivesAsNegativeDeltaOnAllocOp) {
+  std::vector<RocprofilerRecord> Seen;
+  Runtime.rocprofiler().configureCallback(
+      [&](const RocprofilerRecord &Record) { Seen.push_back(Record); });
+  sim::DeviceAddr Ptr = 0;
+  Runtime.hipMalloc(&Ptr, 4096);
+  Runtime.hipFree(Ptr);
+  ASSERT_EQ(Seen.size(), 2u);
+  // Quirk: both events use HipMallocOp; the free is a negative delta.
+  EXPECT_EQ(Seen[0].Op, RocprofilerOp::HipMallocOp);
+  EXPECT_EQ(Seen[1].Op, RocprofilerOp::HipMallocOp);
+  EXPECT_GT(Seen[0].SizeDelta, 0);
+  EXPECT_LT(Seen[1].SizeDelta, 0);
+  EXPECT_EQ(Seen[0].SizeDelta, -Seen[1].SizeDelta);
+}
+
+TEST_F(HipRuntimeTest, TimestampsInMicrosecondTicks) {
+  std::vector<RocprofilerRecord> Seen;
+  Runtime.rocprofiler().configureCallback(
+      [&](const RocprofilerRecord &Record) { Seen.push_back(Record); });
+  // Advance the clock noticeably, then observe the tick units.
+  Runtime.device(0).copy(sim::CopyKind::HostToDevice, 64 * MiB);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.hipMalloc(&Ptr, 4096);
+  ASSERT_FALSE(Seen.empty());
+  EXPECT_EQ(Seen.back().TimestampUs,
+            System.clock().now() / Microsecond);
+}
+
+TEST_F(HipRuntimeTest, KernelDispatchRecord) {
+  std::vector<RocprofilerRecord> Seen;
+  Runtime.rocprofiler().configureCallback(
+      [&](const RocprofilerRecord &Record) {
+        if (Record.Op == RocprofilerOp::KernelDispatch)
+          Seen.push_back(Record);
+      });
+  sim::DeviceAddr Ptr = 0;
+  Runtime.hipMalloc(&Ptr, 1 * MiB);
+  Runtime.hipLaunchKernel(simpleKernel(Ptr));
+  ASSERT_EQ(Seen.size(), 1u);
+  EXPECT_NE(Seen[0].Kernel, nullptr);
+  EXPECT_EQ(Seen[0].DispatchId, 1u);
+}
+
+TEST_F(HipRuntimeTest, ManagedAllocAndPrefetch) {
+  sim::DeviceAddr Ptr = 0;
+  ASSERT_EQ(Runtime.hipMallocManaged(&Ptr, 8 * MiB), HipError::Success);
+  EXPECT_TRUE(Runtime.device(0).uvm().isManaged(Ptr));
+  EXPECT_EQ(Runtime.hipMemPrefetchAsync(Ptr, 8 * MiB, 0),
+            HipError::Success);
+  EXPECT_GT(Runtime.device(0).uvm().counters().PrefetchedPages, 0u);
+}
+
+TEST_F(HipRuntimeTest, DeviceTracingDeliversRecords) {
+  struct CountSink : sim::TraceSink {
+    std::uint64_t Records = 0;
+    void onAccessBatch(const sim::LaunchInfo &,
+                       const sim::MemAccessRecord *,
+                       std::size_t Count) override {
+      Records += Count;
+    }
+  } Sink;
+  Runtime.rocprofiler().configureDeviceTracing(
+      0, &Sink, sim::AnalysisModel::DeviceResident);
+  sim::DeviceAddr Ptr = 0;
+  Runtime.hipMalloc(&Ptr, 1 * MiB);
+  Runtime.hipLaunchKernel(simpleKernel(Ptr));
+  EXPECT_GT(Sink.Records, 0u);
+  Runtime.rocprofiler().stopDeviceTracing(0);
+  std::uint64_t After = Sink.Records;
+  Runtime.hipLaunchKernel(simpleKernel(Ptr));
+  EXPECT_EQ(Sink.Records, After);
+}
+
+TEST_F(HipRuntimeTest, MemcpyDirectionEncoded) {
+  std::vector<int> Directions;
+  Runtime.rocprofiler().configureCallback(
+      [&](const RocprofilerRecord &Record) {
+        if (Record.Op == RocprofilerOp::MemoryCopy)
+          Directions.push_back(Record.CopyDirection);
+      });
+  Runtime.hipMemcpy(0, 1024, HipMemcpyKind::HostToDevice);
+  Runtime.hipMemcpy(0, 1024, HipMemcpyKind::DeviceToHost);
+  Runtime.hipMemcpy(0, 1024, HipMemcpyKind::DeviceToDevice);
+  ASSERT_EQ(Directions.size(), 3u);
+  EXPECT_EQ(Directions[0], 0);
+  EXPECT_EQ(Directions[1], 1);
+  EXPECT_EQ(Directions[2], 2);
+}
+
+TEST_F(HipRuntimeTest, StreamLifecycle) {
+  HipStream Stream = 0;
+  ASSERT_EQ(Runtime.hipStreamCreate(&Stream), HipError::Success);
+  EXPECT_NE(Stream, HipDefaultStream);
+  EXPECT_EQ(Runtime.hipStreamDestroy(Stream), HipError::Success);
+  EXPECT_EQ(Runtime.hipStreamDestroy(Stream), HipError::InvalidValue);
+}

@@ -1,0 +1,111 @@
+//===- tests/misc_test.cpp - clock, callbacks, bench utils ----------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "dl/Callbacks.h"
+#include "sim/Clock.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+
+//===----------------------------------------------------------------------===//
+// SimClock
+//===----------------------------------------------------------------------===//
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  sim::SimClock Clock;
+  EXPECT_EQ(Clock.now(), 0u);
+  EXPECT_EQ(Clock.advance(10), 10u);
+  EXPECT_EQ(Clock.advance(5), 15u);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBackwards) {
+  sim::SimClock Clock;
+  Clock.advance(100);
+  Clock.advanceTo(50);
+  EXPECT_EQ(Clock.now(), 100u);
+  Clock.advanceTo(200);
+  EXPECT_EQ(Clock.now(), 200u);
+}
+
+TEST(SimClockTest, ResetReturnsToZero) {
+  sim::SimClock Clock;
+  Clock.advance(42);
+  Clock.reset();
+  EXPECT_EQ(Clock.now(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CallbackRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(CallbackRegistryTest, EmptyUntilRegistered) {
+  dl::CallbackRegistry Registry;
+  EXPECT_TRUE(Registry.empty());
+  Registry.addMemoryUsageCallback([](const dl::MemoryUsageReport &) {});
+  EXPECT_FALSE(Registry.empty());
+}
+
+TEST(CallbackRegistryTest, AllSubscribersReceive) {
+  dl::CallbackRegistry Registry;
+  int A = 0, B = 0;
+  Registry.addRecordFunctionCallback(
+      [&](const dl::RecordFunctionData &) { ++A; });
+  Registry.addRecordFunctionCallback(
+      [&](const dl::RecordFunctionData &) { ++B; });
+  dl::RecordFunctionData Data;
+  Registry.recordFunction(Data);
+  EXPECT_EQ(A, 1);
+  EXPECT_EQ(B, 1);
+}
+
+TEST(CallbackRegistryTest, PhaseNamesStable) {
+  EXPECT_STREQ(dl::execPhaseName(dl::ExecPhase::Forward), "forward");
+  EXPECT_STREQ(dl::execPhaseName(dl::ExecPhase::Backward), "backward");
+  EXPECT_STREQ(dl::execPhaseName(dl::ExecPhase::Optimizer), "optimizer");
+}
+
+//===----------------------------------------------------------------------===//
+// Bench utilities
+//===----------------------------------------------------------------------===//
+
+TEST(BenchUtilTest, DownsamplePreservesShortSeries) {
+  std::vector<std::uint64_t> Series = {1, 2, 3};
+  EXPECT_EQ(bench::downsample(Series, 10), Series);
+}
+
+TEST(BenchUtilTest, DownsampleBoundsLengthAndKeepsEnds) {
+  std::vector<std::uint64_t> Series(1000);
+  for (std::size_t I = 0; I < Series.size(); ++I)
+    Series[I] = I;
+  auto Out = bench::downsample(Series, 20);
+  EXPECT_LE(Out.size(), 21u);
+  EXPECT_EQ(Out.front(), 0u);
+  EXPECT_EQ(Out.back(), 999u);
+  // Monotone input stays monotone after strided sampling.
+  for (std::size_t I = 1; I < Out.size(); ++I)
+    EXPECT_GE(Out[I], Out[I - 1]);
+}
+
+TEST(BenchUtilTest, SparklineScalesToMax) {
+  std::string Line = bench::sparkline({0, 50, 100});
+  ASSERT_EQ(Line.size(), 3u);
+  EXPECT_EQ(Line.front(), ' ');
+  EXPECT_EQ(Line.back(), '#');
+}
+
+TEST(BenchUtilTest, SparklineAllZeros) {
+  std::string Line = bench::sparkline({0, 0, 0});
+  EXPECT_EQ(Line, "   ");
+}
+
+TEST(BenchUtilTest, GranularityEnvOverride) {
+  setEnvOverride("PASTA_BENCH_GRANULARITY", "1024");
+  EXPECT_EQ(bench::recordGranularity(), 1024u);
+  clearAllEnvOverrides();
+  EXPECT_EQ(bench::recordGranularity(), 65536u);
+}

@@ -1,0 +1,291 @@
+//===- tests/property_test.cpp - fuzzed invariants & failure injection ----===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized property tests against oracle models (seeded, deterministic)
+// plus failure-injection tests for the error paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaRuntime.h"
+#include "dl/Allocator.h"
+#include "dl/Executor.h"
+#include "dl/Models.h"
+#include "pasta/Tool.h"
+#include "sim/Device.h"
+#include "sim/System.h"
+#include "support/Rng.h"
+#include "tools/RegisterTools.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+
+using namespace pasta;
+
+//===----------------------------------------------------------------------===//
+// UVM vs an oracle LRU model
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reference LRU residency model (no pinning, unit = one page).
+class OracleLru {
+public:
+  explicit OracleLru(std::size_t Capacity) : Capacity(Capacity) {}
+
+  /// Touches a page; returns true when it faulted.
+  bool touch(std::uint64_t Page) {
+    auto It = Position.find(Page);
+    if (It != Position.end()) {
+      Order.erase(It->second);
+      Order.push_back(Page);
+      Position[Page] = std::prev(Order.end());
+      return false;
+    }
+    if (Order.size() == Capacity) {
+      Position.erase(Order.front());
+      Order.pop_front();
+    }
+    Order.push_back(Page);
+    Position[Page] = std::prev(Order.end());
+    return true;
+  }
+
+  bool resident(std::uint64_t Page) const { return Position.count(Page); }
+
+private:
+  std::size_t Capacity;
+  std::list<std::uint64_t> Order;
+  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> Position;
+};
+
+} // namespace
+
+class UvmFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UvmFuzzSweep, MatchesOracleLru) {
+  sim::GpuSpec Spec = sim::a100Spec();
+  sim::UvmSpace Uvm(Spec);
+  constexpr std::uint64_t Pages = 64;
+  constexpr std::size_t Budget = 16;
+  sim::DeviceAddr Base = 0x40000000;
+  Uvm.addManagedRange(Base, Pages * Spec.UvmPageBytes);
+  Uvm.setResidentBudget(Budget * Spec.UvmPageBytes);
+
+  OracleLru Oracle(Budget);
+  SplitMix64 Rng(GetParam());
+  std::uint64_t Faults = 0, OracleFaults = 0;
+  for (int I = 0; I < 4000; ++I) {
+    std::uint64_t Page = Rng.nextBelow(Pages);
+    SimTime Stall =
+        Uvm.touch(Base + Page * Spec.UvmPageBytes, Spec.UvmPageBytes);
+    bool OracleFault = Oracle.touch(Page);
+    EXPECT_EQ(Stall > 0, OracleFault) << "iteration " << I;
+    Faults += Stall > 0;
+    OracleFaults += OracleFault;
+  }
+  EXPECT_EQ(Faults, OracleFaults);
+  EXPECT_EQ(Uvm.counters().Faults, OracleFaults);
+  EXPECT_LE(Uvm.numResidentPages(), Budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UvmFuzzSweep,
+                         ::testing::Values(1, 42, 7777, 123456));
+
+//===----------------------------------------------------------------------===//
+// Caching allocator fuzz: no overlap, stats consistent
+//===----------------------------------------------------------------------===//
+
+class AllocatorFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFuzzSweep, LiveBlocksNeverOverlap) {
+  sim::System System(sim::a100Spec());
+  cuda::CudaRuntime Runtime(System);
+  dl::CudaDeviceApi Api(Runtime, 0);
+  dl::CachingAllocator Alloc(Api);
+
+  SplitMix64 Rng(GetParam());
+  std::map<sim::DeviceAddr, std::uint64_t> Live; // base -> requested
+  std::uint64_t LiveRounded = 0;
+  for (int I = 0; I < 2000; ++I) {
+    bool DoAlloc = Live.empty() || Rng.nextBool(0.55);
+    if (DoAlloc) {
+      // Mix of small-pool and large-pool requests.
+      std::uint64_t Bytes = Rng.nextBool(0.7)
+                                ? 1 + Rng.nextBelow(512 * 1024)
+                                : 1 + Rng.nextBelow(8 << 20);
+      sim::DeviceAddr Addr = Alloc.allocate(Bytes);
+      ASSERT_NE(Addr, 0u);
+      auto Size = Alloc.blockSize(Addr);
+      ASSERT_TRUE(Size.has_value());
+      EXPECT_GE(*Size, Bytes);
+      // Overlap check against all live blocks.
+      auto Next = Live.lower_bound(Addr);
+      if (Next != Live.end()) {
+        EXPECT_LE(Addr + *Size, Next->first) << "overlaps successor";
+      }
+      if (Next != Live.begin()) {
+        auto Prev = std::prev(Next);
+        auto PrevSize = Alloc.blockSize(Prev->first);
+        ASSERT_TRUE(PrevSize.has_value());
+        EXPECT_LE(Prev->first + *PrevSize, Addr) << "overlaps predecessor";
+      }
+      Live[Addr] = Bytes;
+      LiveRounded += *Size;
+    } else {
+      auto It = Live.begin();
+      std::advance(It, Rng.nextBelow(Live.size()));
+      auto Size = Alloc.blockSize(It->first);
+      ASSERT_TRUE(Size.has_value());
+      LiveRounded -= *Size;
+      Alloc.free(It->first);
+      Live.erase(It);
+    }
+    ASSERT_EQ(Alloc.stats().Allocated, LiveRounded) << "iteration " << I;
+    ASSERT_GE(Alloc.stats().Reserved, Alloc.stats().Allocated);
+  }
+  // Drain and verify the pool returns to empty.
+  for (auto &[Addr, Bytes] : Live)
+    Alloc.free(Addr);
+  EXPECT_EQ(Alloc.stats().Allocated, 0u);
+  Alloc.emptyCache();
+  EXPECT_EQ(Alloc.stats().Reserved, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzzSweep,
+                         ::testing::Values(3, 99, 2026));
+
+//===----------------------------------------------------------------------===//
+// Device allocator fuzz
+//===----------------------------------------------------------------------===//
+
+TEST(DeviceMemoryFuzz, RandomAllocFreeKeepsAccounting) {
+  sim::DeviceMemoryAllocator Alloc(0x1000000, 64 << 20);
+  SplitMix64 Rng(11);
+  std::set<sim::DeviceAddr> Live;
+  std::uint64_t LiveBytes = 0;
+  for (int I = 0; I < 3000; ++I) {
+    if (Live.empty() || Rng.nextBool(0.6)) {
+      std::uint64_t Bytes = 1 + Rng.nextBelow(128 * 1024);
+      sim::DeviceAddr Addr = Alloc.allocate(Bytes, false);
+      if (Addr == 0)
+        continue; // fragmentation is allowed, leaks are not
+      Live.insert(Addr);
+      auto Found = Alloc.find(Addr);
+      ASSERT_TRUE(Found.has_value());
+      LiveBytes += Found->Bytes;
+    } else {
+      auto It = Live.begin();
+      std::advance(It, Rng.nextBelow(Live.size()));
+      auto Freed = Alloc.free(*It);
+      ASSERT_TRUE(Freed.has_value());
+      LiveBytes -= *Freed;
+      Live.erase(It);
+    }
+    ASSERT_EQ(Alloc.devicePhysicalBytes(), LiveBytes);
+  }
+  for (sim::DeviceAddr Addr : Live)
+    Alloc.free(Addr);
+  EXPECT_EQ(Alloc.devicePhysicalBytes(), 0u);
+  // Full space must be reusable again after everything coalesced.
+  EXPECT_NE(Alloc.allocate(64 << 20, false), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace conservation property
+//===----------------------------------------------------------------------===//
+
+class GranularitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GranularitySweep, MultiplicityConservesAccessVolume) {
+  sim::SimClock Clock;
+  sim::Device Dev(0, sim::a100Spec(), Clock);
+  sim::DeviceAddr A = Dev.allocate(8 * MiB);
+
+  struct Sink : sim::TraceSink {
+    std::uint64_t Real = 0;
+    void onAccessBatch(const sim::LaunchInfo &,
+                       const sim::MemAccessRecord *Records,
+                       std::size_t Count) override {
+      for (std::size_t I = 0; I < Count; ++I)
+        Real += Records[I].Multiplicity;
+    }
+  } Sink;
+  sim::DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.RecordGranularityBytes = GetParam();
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+
+  sim::KernelDesc Desc;
+  Desc.Name = "k";
+  Desc.Grid = {16, 1, 1};
+  Desc.Block = {128, 1, 1};
+  sim::AccessSegment Seg;
+  Seg.Base = A;
+  Seg.Extent = 8 * MiB;
+  Seg.AccessBytes = 64 * MiB;
+  Desc.Segments.push_back(Seg);
+  Dev.launchKernel(Desc, 0);
+
+  double Expected = 64.0 * MiB / 32.0;
+  EXPECT_NEAR(static_cast<double>(Sink.Real), Expected, Expected * 0.02)
+      << "coarser sampling must not change the represented volume";
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, GranularitySweep,
+                         ::testing::Values(1024, 4096, 65536, 1 << 20));
+
+//===----------------------------------------------------------------------===//
+// Failure injection
+//===----------------------------------------------------------------------===//
+
+TEST(FailureInjectionTest, ExecutorDiesOnDeviceOom) {
+  sim::System System(sim::rtx3060Spec());
+  System.device(0).setMemoryLimit(8 * MiB);
+  cuda::CudaRuntime Runtime(System);
+  dl::CudaDeviceApi Api(Runtime, 0);
+  dl::CallbackRegistry Callbacks;
+  dl::ScheduleBuilder::Options Opts;
+  Opts.Iterations = 1;
+  dl::Program Prog = dl::buildModelProgram("alexnet", Opts);
+  dl::Executor Exec(Api, Callbacks);
+  EXPECT_DEATH(Exec.run(Prog), "out of memory");
+}
+
+TEST(FailureInjectionTest, AllocatorFreeOfUnknownAddressDies) {
+  sim::System System(sim::a100Spec());
+  cuda::CudaRuntime Runtime(System);
+  dl::CudaDeviceApi Api(Runtime, 0);
+  dl::CachingAllocator Alloc(Api);
+  EXPECT_DEATH(Alloc.free(0xdeadbeef), "unknown address");
+}
+
+TEST(FailureInjectionTest, UnknownGpuNameDies) {
+  EXPECT_DEATH(sim::gpuSpecByName("H100"), "unknown GPU spec");
+}
+
+TEST(FailureInjectionTest, UnknownModelDies) {
+  dl::ScheduleBuilder::Options Opts;
+  EXPECT_DEATH(dl::buildModelProgram("vgg16", Opts), "unknown model");
+}
+
+TEST(FailureInjectionTest, ToolReportsSafeOnEmptyRun) {
+  // Tools must produce sane reports with zero events observed.
+  tools::registerBuiltinTools();
+  for (const char *Name :
+       {"kernel_frequency", "working_set", "hotness",
+        "mem_usage_timeline", "op_kernel_map", "instruction_mix",
+        "barrier_stall", "redundant_load"}) {
+    auto Tool = ToolRegistry::instance().create(Name);
+    ASSERT_NE(Tool, nullptr) << Name;
+    std::FILE *Tmp = std::tmpfile();
+    Tool->writeReport(Tmp);
+    std::fclose(Tmp);
+  }
+}

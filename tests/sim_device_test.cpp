@@ -1,0 +1,358 @@
+//===- tests/sim_device_test.cpp - device + cost model tests --------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Device.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+namespace {
+
+/// Sink collecting everything for assertions.
+class CollectingSink : public TraceSink {
+public:
+  std::uint64_t Batches = 0;
+  std::uint64_t Records = 0;
+  std::uint64_t RealAccesses = 0;
+  std::vector<MemAccessRecord> All;
+  std::vector<TraceTimeBreakdown> Ends;
+  std::vector<InstrMix> Mixes;
+
+  void onAccessBatch(const LaunchInfo &, const MemAccessRecord *Recs,
+                     std::size_t Count) override {
+    ++Batches;
+    Records += Count;
+    for (std::size_t I = 0; I < Count; ++I) {
+      RealAccesses += Recs[I].Multiplicity;
+      All.push_back(Recs[I]);
+    }
+  }
+  void onInstrMix(const LaunchInfo &, const InstrMix &Mix) override {
+    Mixes.push_back(Mix);
+  }
+  void onKernelEnd(const LaunchInfo &,
+                   const TraceTimeBreakdown &Breakdown) override {
+    Ends.push_back(Breakdown);
+  }
+};
+
+KernelDesc makeKernel(DeviceAddr Base, std::uint64_t Extent,
+                      std::uint64_t AccessBytes) {
+  KernelDesc Desc;
+  Desc.Name = "test_kernel";
+  Desc.Grid = {64, 1, 1};
+  Desc.Block = {256, 1, 1};
+  Desc.Flops = 1e6;
+  AccessSegment Seg;
+  Seg.Base = Base;
+  Seg.Extent = Extent;
+  Seg.AccessBytes = AccessBytes;
+  Seg.Kind = AccessKind::Load;
+  Desc.Segments.push_back(Seg);
+  return Desc;
+}
+
+} // namespace
+
+TEST(GpuSpecTest, PresetsResolveByName) {
+  EXPECT_EQ(gpuSpecByName("A100").Vendor, VendorKind::NVIDIA);
+  EXPECT_EQ(gpuSpecByName("RTX3060").MemoryBytes, 12 * GiB);
+  EXPECT_EQ(gpuSpecByName("MI300X").Vendor, VendorKind::AMD);
+}
+
+TEST(GpuSpecTest, DerivedHelpers) {
+  GpuSpec Spec = a100Spec();
+  EXPECT_EQ(Spec.maxResidentThreads(), 108ull * 2048);
+  EXPECT_EQ(Spec.computeTime(19500.0), 1u);
+  EXPECT_GT(Spec.pcieTime(1e6), Spec.deviceMemTime(1e6));
+}
+
+TEST(DeviceTest, AllocateRespectsMemoryLimit) {
+  SimClock Clock;
+  Device Dev(0, rtx3060Spec(), Clock);
+  Dev.setMemoryLimit(1 * MiB);
+  EXPECT_NE(Dev.allocate(512 * KiB), 0u);
+  EXPECT_EQ(Dev.allocate(600 * KiB), 0u) << "over the artificial limit";
+}
+
+TEST(DeviceTest, ManagedAllocationBypassesLimit) {
+  SimClock Clock;
+  Device Dev(0, rtx3060Spec(), Clock);
+  Dev.setMemoryLimit(1 * MiB);
+  // Managed memory oversubscribes: allocation succeeds beyond the limit.
+  EXPECT_NE(Dev.allocateManaged(64 * MiB), 0u);
+}
+
+TEST(DeviceTest, FreeManagedReleasesUvmRange) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocateManaged(4 * MiB);
+  EXPECT_TRUE(Dev.uvm().isManaged(A));
+  Dev.free(A);
+  EXPECT_FALSE(Dev.uvm().isManaged(A));
+}
+
+TEST(DeviceTest, KernelAdvancesClock) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  SimTime Before = Clock.now();
+  Dev.launchKernel(makeKernel(A, 1 * MiB, 4 * MiB), 0);
+  EXPECT_GT(Clock.now(), Before);
+}
+
+TEST(DeviceTest, GridIdsMonotonic) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  KernelDesc Desc = makeKernel(A, 1 * MiB, 1 * MiB);
+  auto R1 = Dev.launchKernel(Desc, 0);
+  auto R2 = Dev.launchKernel(Desc, 0);
+  EXPECT_EQ(R2.GridId, R1.GridId + 1);
+  EXPECT_EQ(Dev.nextGridId(), R2.GridId + 1);
+}
+
+TEST(DeviceTest, NoTracingWithoutSink) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  auto Result = Dev.launchKernel(makeKernel(A, 1 * MiB, 8 * MiB), 0);
+  EXPECT_EQ(Result.SampledRecords, 0u);
+  EXPECT_EQ(Result.Breakdown.Analysis, 0u);
+}
+
+TEST(DeviceTest, TracingDeliversRecords) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  CollectingSink Sink;
+  DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.Model = AnalysisModel::DeviceResident;
+  Config.RecordGranularityBytes = 4096;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+  auto Result = Dev.launchKernel(makeKernel(A, 1 * MiB, 8 * MiB), 0);
+  EXPECT_EQ(Result.SampledRecords, 8 * MiB / 4096);
+  EXPECT_EQ(Sink.Records, Result.SampledRecords);
+  EXPECT_EQ(Sink.Ends.size(), 1u);
+  // Real access volume is preserved through multiplicity.
+  EXPECT_NEAR(static_cast<double>(Sink.RealAccesses),
+              static_cast<double>(8 * MiB / 32), 8 * MiB / 32 * 0.01);
+}
+
+TEST(DeviceTest, RecordsStayWithinSegment) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  CollectingSink Sink;
+  DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+  Dev.launchKernel(makeKernel(A, 256 * KiB, 2 * MiB), 0);
+  for (const MemAccessRecord &Record : Sink.All) {
+    EXPECT_GE(Record.Address, A);
+    EXPECT_LT(Record.Address, A + 256 * KiB);
+  }
+}
+
+TEST(DeviceTest, RecordsCoverSegmentBroadly) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(4 * MiB);
+  CollectingSink Sink;
+  DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.RecordGranularityBytes = 4096;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+  Dev.launchKernel(makeKernel(A, 4 * MiB, 4 * MiB), 0);
+  // Sampled records must land in most 256 KiB buckets of the extent.
+  std::set<std::uint64_t> Buckets;
+  for (const MemAccessRecord &Record : Sink.All)
+    Buckets.insert((Record.Address - A) / (256 * KiB));
+  EXPECT_GE(Buckets.size(), 14u) << "sampling left large holes";
+}
+
+TEST(DeviceTest, TraceDeterministicAcrossRuns) {
+  auto Run = [] {
+    SimClock Clock;
+    Device Dev(0, a100Spec(), Clock);
+    DeviceAddr A = Dev.allocate(1 * MiB);
+    CollectingSink Sink;
+    DeviceTraceConfig Config;
+    Config.TraceMemory = true;
+    Dev.setTraceConfig(Config);
+    Dev.setTraceSink(&Sink);
+    Dev.launchKernel(makeKernel(A, 1 * MiB, 2 * MiB), 0);
+    return Sink.All;
+  };
+  auto A = Run();
+  auto B = Run();
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Address, B[I].Address);
+}
+
+TEST(DeviceTest, EverySegmentYieldsAtLeastOneRecord) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  CollectingSink Sink;
+  DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.RecordGranularityBytes = 1 << 20; // coarser than the access volume
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+  KernelDesc Desc = makeKernel(A, 4 * KiB, 4 * KiB); // tiny segment
+  Dev.launchKernel(Desc, 0);
+  EXPECT_GE(Sink.Records, 1u);
+}
+
+TEST(DeviceTest, InstrMixOnlyWithFullCoverage) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  CollectingSink Sink;
+  DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.TraceAllInstructions = false;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+  Dev.launchKernel(makeKernel(A, 1 * MiB, 1 * MiB), 0);
+  EXPECT_TRUE(Sink.Mixes.empty());
+
+  Config.TraceAllInstructions = true;
+  Dev.setTraceConfig(Config);
+  Dev.launchKernel(makeKernel(A, 1 * MiB, 1 * MiB), 0);
+  ASSERT_EQ(Sink.Mixes.size(), 1u);
+  EXPECT_GT(Sink.Mixes[0].ComputeInstrs, 0u);
+  EXPECT_GT(Sink.Mixes[0].GlobalLoads, 0u);
+}
+
+TEST(DeviceTest, SampleRateScalesRecordsAndCost) {
+  auto RunWith = [](double Rate) {
+    SimClock Clock;
+    Device Dev(0, a100Spec(), Clock);
+    DeviceAddr A = Dev.allocate(4 * MiB);
+    CollectingSink Sink;
+    DeviceTraceConfig Config;
+    Config.TraceMemory = true;
+    Config.Model = AnalysisModel::HostSide;
+    Config.SampleRate = Rate;
+    Dev.setTraceConfig(Config);
+    Dev.setTraceSink(&Sink);
+    return Dev.launchKernel(makeKernel(A, 4 * MiB, 32 * MiB), 0);
+  };
+  auto Full = RunWith(1.0);
+  auto Quarter = RunWith(0.25);
+  EXPECT_NEAR(static_cast<double>(Quarter.SampledRecords),
+              Full.SampledRecords / 4.0, Full.SampledRecords * 0.05);
+  EXPECT_LT(Quarter.Breakdown.Analysis, Full.Breakdown.Analysis / 3);
+}
+
+TEST(DeviceTest, CopyCostsScaleWithSize) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  SimTime Small = Dev.copy(CopyKind::HostToDevice, 1 * MiB);
+  SimTime Large = Dev.copy(CopyKind::HostToDevice, 64 * MiB);
+  EXPECT_GT(Large, Small);
+  // D2D runs at device bandwidth, much faster than PCIe.
+  SimTime D2d = Dev.copy(CopyKind::DeviceToDevice, 64 * MiB);
+  EXPECT_LT(D2d, Large);
+}
+
+TEST(DeviceTest, CountersAccumulate) {
+  SimClock Clock;
+  Device Dev(0, a100Spec(), Clock);
+  DeviceAddr A = Dev.allocate(1 * MiB);
+  Dev.launchKernel(makeKernel(A, 1 * MiB, 1 * MiB), 0);
+  Dev.copy(CopyKind::HostToDevice, 1 * MiB);
+  Dev.memsetDevice(A, 1 * MiB);
+  Dev.synchronize();
+  EXPECT_EQ(Dev.counters().KernelLaunches, 1u);
+  EXPECT_EQ(Dev.counters().Memcpys, 1u);
+  EXPECT_EQ(Dev.counters().Memsets, 1u);
+  EXPECT_EQ(Dev.counters().Synchronizations, 1u);
+  Dev.resetCounters();
+  EXPECT_EQ(Dev.counters().KernelLaunches, 0u);
+}
+
+TEST(SystemTest, DevicesShareOneClock) {
+  System Sys({a100Spec(), a100Spec()});
+  ASSERT_EQ(Sys.numDevices(), 2);
+  Sys.device(0).copy(CopyKind::HostToDevice, 8 * MiB);
+  SimTime AfterDev0 = Sys.clock().now();
+  Sys.device(1).copy(CopyKind::HostToDevice, 8 * MiB);
+  EXPECT_GT(Sys.clock().now(), AfterDev0);
+}
+
+TEST(SystemTest, DeviceAddressSpacesDisjoint) {
+  System Sys({a100Spec(), a100Spec()});
+  DeviceAddr A = Sys.device(0).allocate(1 * MiB);
+  DeviceAddr B = Sys.device(1).allocate(1 * MiB);
+  EXPECT_FALSE(Sys.device(0).memory().findContaining(B).has_value());
+  EXPECT_FALSE(Sys.device(1).memory().findContaining(A).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-model properties (Fig. 2/9): parameterized over GPUs.
+//===----------------------------------------------------------------------===//
+
+class BackendCostSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BackendCostSweep, AnalysisModelOrdering) {
+  GpuSpec Spec = gpuSpecByName(GetParam());
+  auto RunWith = [&](AnalysisModel Model, bool Nvbit) {
+    SimClock Clock;
+    Device Dev(0, Spec, Clock);
+    DeviceAddr A = Dev.allocate(8 * MiB);
+    CollectingSink Sink;
+    DeviceTraceConfig Config;
+    Config.TraceMemory = true;
+    Config.Model = Model;
+    Config.TraceAllInstructions = Nvbit;
+    Config.PaySassParseCost = Nvbit;
+    Config.UseNvbitTrampoline = Nvbit;
+    Dev.setTraceConfig(Config);
+    Dev.setTraceSink(&Sink);
+    auto Result = Dev.launchKernel(makeKernel(A, 8 * MiB, 256 * MiB), 0);
+    return Result.Breakdown.total() - Result.Breakdown.Execution;
+  };
+  SimTime CsGpu = RunWith(AnalysisModel::DeviceResident, false);
+  SimTime CsCpu = RunWith(AnalysisModel::HostSide, false);
+  SimTime NvbitCpu = RunWith(AnalysisModel::HostSide, true);
+  // Fig. 2b's whole point: in-situ analysis is orders of magnitude
+  // cheaper; NVBit's full coverage is the most expensive.
+  EXPECT_LT(CsGpu * 50, CsCpu);
+  EXPECT_LT(CsCpu, NvbitCpu);
+}
+
+TEST_P(BackendCostSweep, HostSideDominatedByAnalysis) {
+  GpuSpec Spec = gpuSpecByName(GetParam());
+  SimClock Clock;
+  Device Dev(0, Spec, Clock);
+  DeviceAddr A = Dev.allocate(8 * MiB);
+  CollectingSink Sink;
+  DeviceTraceConfig Config;
+  Config.TraceMemory = true;
+  Config.Model = AnalysisModel::HostSide;
+  Dev.setTraceConfig(Config);
+  Dev.setTraceSink(&Sink);
+  auto Result = Dev.launchKernel(makeKernel(A, 8 * MiB, 256 * MiB), 0);
+  // Paper Fig. 10: CPU-based versions are dominated by trace analysis.
+  EXPECT_GT(Result.Breakdown.Analysis, Result.Breakdown.Collection);
+  EXPECT_GT(Result.Breakdown.Analysis, Result.Breakdown.Transfer);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, BackendCostSweep,
+                         ::testing::Values("A100", "RTX3060", "MI300X"));

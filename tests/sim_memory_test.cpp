@@ -1,0 +1,136 @@
+//===- tests/sim_memory_test.cpp - device allocator unit tests ------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+namespace {
+constexpr DeviceAddr Base = 0x1000000;
+constexpr std::uint64_t Cap = 1 << 20; // 1 MiB space
+} // namespace
+
+TEST(DeviceMemoryTest, AllocateReturnsInRange) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(1024, false);
+  ASSERT_NE(A, 0u);
+  EXPECT_GE(A, Base);
+  EXPECT_LT(A, Base + Cap);
+}
+
+TEST(DeviceMemoryTest, RoundsToGranularity) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  Alloc.allocate(1, false);
+  EXPECT_EQ(Alloc.devicePhysicalBytes(), 512u);
+}
+
+TEST(DeviceMemoryTest, DistinctAllocationsDontOverlap) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(4096, false);
+  DeviceAddr B = Alloc.allocate(4096, false);
+  EXPECT_TRUE(A + 4096 <= B || B + 4096 <= A);
+}
+
+TEST(DeviceMemoryTest, FreeReturnsSize) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(2048, false);
+  auto Freed = Alloc.free(A);
+  ASSERT_TRUE(Freed.has_value());
+  EXPECT_EQ(*Freed, 2048u);
+  EXPECT_EQ(Alloc.devicePhysicalBytes(), 0u);
+}
+
+TEST(DeviceMemoryTest, FreeUnknownAddressFails) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  EXPECT_FALSE(Alloc.free(Base + 64).has_value());
+}
+
+TEST(DeviceMemoryTest, ExhaustionReturnsNull) {
+  DeviceMemoryAllocator Alloc(Base, 4096);
+  EXPECT_NE(Alloc.allocate(4096, false), 0u);
+  EXPECT_EQ(Alloc.allocate(512, false), 0u);
+}
+
+TEST(DeviceMemoryTest, CoalescingEnablesReuse) {
+  DeviceMemoryAllocator Alloc(Base, 4096);
+  DeviceAddr A = Alloc.allocate(2048, false);
+  DeviceAddr B = Alloc.allocate(2048, false);
+  Alloc.free(A);
+  Alloc.free(B);
+  // Whole space must be reusable as one span again.
+  EXPECT_NE(Alloc.allocate(4096, false), 0u);
+}
+
+TEST(DeviceMemoryTest, CoalesceWithPredecessorAndSuccessor) {
+  DeviceMemoryAllocator Alloc(Base, 8192);
+  DeviceAddr A = Alloc.allocate(2048, false);
+  DeviceAddr B = Alloc.allocate(2048, false);
+  DeviceAddr C = Alloc.allocate(2048, false);
+  Alloc.free(A);
+  Alloc.free(C);
+  Alloc.free(B); // merges with both neighbours
+  EXPECT_NE(Alloc.allocate(6144, false), 0u);
+}
+
+TEST(DeviceMemoryTest, FindContaining) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(4096, false);
+  auto Found = Alloc.findContaining(A + 100);
+  ASSERT_TRUE(Found.has_value());
+  EXPECT_EQ(Found->Base, A);
+  EXPECT_FALSE(Alloc.findContaining(A + 8192).has_value());
+}
+
+TEST(DeviceMemoryTest, FindExactBase) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(1024, false);
+  EXPECT_TRUE(Alloc.find(A).has_value());
+  EXPECT_FALSE(Alloc.find(A + 512).has_value());
+}
+
+TEST(DeviceMemoryTest, ManagedTrackedSeparately) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  Alloc.allocate(1024, /*Managed=*/false);
+  Alloc.allocate(2048, /*Managed=*/true);
+  EXPECT_EQ(Alloc.devicePhysicalBytes(), 1024u);
+  EXPECT_EQ(Alloc.managedBytes(), 2048u);
+}
+
+TEST(DeviceMemoryTest, ForEachVisitsAddressOrder) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  Alloc.allocate(512, false);
+  Alloc.allocate(512, false);
+  Alloc.allocate(512, false);
+  DeviceAddr Prev = 0;
+  int Count = 0;
+  Alloc.forEachAllocation([&](const Allocation &A) {
+    EXPECT_GT(A.Base, Prev);
+    Prev = A.Base;
+    ++Count;
+  });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(DeviceMemoryTest, FirstFitReusesFreedHole) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(4096, false);
+  Alloc.allocate(4096, false);
+  Alloc.free(A);
+  DeviceAddr C = Alloc.allocate(4096, false);
+  EXPECT_EQ(C, A);
+}
+
+TEST(DeviceMemoryTest, NumAllocationsTracksLive) {
+  DeviceMemoryAllocator Alloc(Base, Cap);
+  DeviceAddr A = Alloc.allocate(512, false);
+  Alloc.allocate(512, false);
+  EXPECT_EQ(Alloc.numAllocations(), 2u);
+  Alloc.free(A);
+  EXPECT_EQ(Alloc.numAllocations(), 1u);
+}

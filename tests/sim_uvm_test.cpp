@@ -1,0 +1,172 @@
+//===- tests/sim_uvm_test.cpp - UVM engine unit tests ---------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/GpuSpec.h"
+#include "sim/Uvm.h"
+
+#include <gtest/gtest.h>
+
+using namespace pasta;
+using namespace pasta::sim;
+
+namespace {
+
+GpuSpec testSpec() {
+  GpuSpec Spec = a100Spec();
+  return Spec;
+}
+
+constexpr DeviceAddr Base = 0x40000000; // 2 MiB aligned
+constexpr std::uint64_t Page = 2 * MiB;
+
+} // namespace
+
+TEST(UvmTest, ManagedRangeDetection) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 4 * Page);
+  EXPECT_TRUE(Uvm.isManaged(Base));
+  EXPECT_TRUE(Uvm.isManaged(Base + 4 * Page - 1));
+  EXPECT_FALSE(Uvm.isManaged(Base + 4 * Page));
+  EXPECT_FALSE(Uvm.isManaged(Base - 1));
+}
+
+TEST(UvmTest, FirstTouchFaults) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 2 * Page);
+  SimTime Stall = Uvm.touch(Base, 2 * Page);
+  EXPECT_GT(Stall, 0u);
+  EXPECT_EQ(Uvm.counters().Faults, 2u);
+  EXPECT_EQ(Uvm.numResidentPages(), 2u);
+}
+
+TEST(UvmTest, SecondTouchIsFree) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, Page);
+  Uvm.touch(Base, Page);
+  EXPECT_EQ(Uvm.touch(Base, Page), 0u);
+  EXPECT_EQ(Uvm.counters().Faults, 1u);
+}
+
+TEST(UvmTest, TouchOutsideManagedIsFree) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, Page);
+  EXPECT_EQ(Uvm.touch(Base + 64 * Page, Page), 0u);
+  EXPECT_EQ(Uvm.counters().Faults, 0u);
+}
+
+TEST(UvmTest, PrefetchAvoidsFaults) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 4 * Page);
+  SimTime PrefetchCost = Uvm.prefetch(Base, 4 * Page);
+  EXPECT_GT(PrefetchCost, 0u);
+  EXPECT_EQ(Uvm.counters().PrefetchedPages, 4u);
+  EXPECT_EQ(Uvm.touch(Base, 4 * Page), 0u);
+  EXPECT_EQ(Uvm.counters().Faults, 0u);
+}
+
+TEST(UvmTest, PrefetchCheaperThanFaulting) {
+  GpuSpec Spec = testSpec();
+  UvmSpace A(Spec), B(Spec);
+  A.addManagedRange(Base, 16 * Page);
+  B.addManagedRange(Base, 16 * Page);
+  SimTime FaultCost = A.touch(Base, 16 * Page);
+  SimTime PrefetchCost = B.prefetch(Base, 16 * Page);
+  EXPECT_LT(PrefetchCost, FaultCost);
+}
+
+TEST(UvmTest, BudgetForcesEviction) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 8 * Page);
+  Uvm.setResidentBudget(4 * Page);
+  Uvm.touch(Base, 8 * Page);
+  EXPECT_EQ(Uvm.numResidentPages(), 4u);
+  EXPECT_GE(Uvm.counters().Evictions, 4u);
+}
+
+TEST(UvmTest, LruEvictionOrder) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 3 * Page);
+  Uvm.setResidentBudget(2 * Page);
+  Uvm.touch(Base, Page);            // page 0
+  Uvm.touch(Base + Page, Page);     // page 1
+  Uvm.touch(Base, Page);            // refresh page 0 -> page 1 is LRU
+  Uvm.touch(Base + 2 * Page, Page); // evicts page 1
+  EXPECT_EQ(Uvm.counters().Evictions, 1u);
+  // Page 0 still resident: touching it is free.
+  EXPECT_EQ(Uvm.touch(Base, Page), 0u);
+  // Page 1 was evicted: touching it faults again.
+  EXPECT_GT(Uvm.touch(Base + Page, Page), 0u);
+  EXPECT_EQ(Uvm.counters().RefaultsAfterEviction, 1u);
+}
+
+TEST(UvmTest, PinnedPagesEvictedLast) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 3 * Page);
+  Uvm.setResidentBudget(2 * Page);
+  Uvm.touch(Base, Page); // page 0 (LRU after next touch)
+  Uvm.advisePreferredDevice(Base, Page);
+  Uvm.touch(Base + Page, Page);     // page 1
+  Uvm.touch(Base + 2 * Page, Page); // must evict page 1, not pinned page 0
+  EXPECT_EQ(Uvm.touch(Base, Page), 0u) << "pinned page was evicted";
+}
+
+TEST(UvmTest, ExplicitEvictRange) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 2 * Page);
+  Uvm.touch(Base, 2 * Page);
+  SimTime Cost = Uvm.evictRange(Base, Page);
+  EXPECT_GT(Cost, 0u);
+  EXPECT_EQ(Uvm.numResidentPages(), 1u);
+  EXPECT_GT(Uvm.touch(Base, Page), 0u); // refaults
+}
+
+TEST(UvmTest, ShrinkingBudgetEvictsImmediately) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 4 * Page);
+  Uvm.touch(Base, 4 * Page);
+  Uvm.setResidentBudget(2 * Page);
+  EXPECT_EQ(Uvm.numResidentPages(), 2u);
+}
+
+TEST(UvmTest, RemoveRangeReleasesPages) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 2 * Page);
+  Uvm.touch(Base, 2 * Page);
+  Uvm.removeManagedRange(Base, 2 * Page);
+  EXPECT_EQ(Uvm.numResidentPages(), 0u);
+  EXPECT_FALSE(Uvm.isManaged(Base));
+}
+
+TEST(UvmTest, AccessCountersAccumulate) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, 2 * Page);
+  Uvm.touch(Base, Page);
+  Uvm.touch(Base, Page);
+  Uvm.touch(Base + Page, Page);
+  auto Counts = Uvm.accessCounts();
+  ASSERT_EQ(Counts.size(), 2u);
+  EXPECT_EQ(Counts[0].second, 2u);
+  EXPECT_EQ(Counts[1].second, 1u);
+  Uvm.resetAccessCounters();
+  EXPECT_TRUE(Uvm.accessCounts().empty());
+}
+
+TEST(UvmTest, CountersResetIndependently) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, Page);
+  Uvm.touch(Base, Page);
+  EXPECT_GT(Uvm.counters().FaultMigratedBytes, 0u);
+  Uvm.resetCounters();
+  EXPECT_EQ(Uvm.counters().Faults, 0u);
+}
+
+TEST(UvmTest, PartialPageTouchFaultsWholePage) {
+  UvmSpace Uvm(testSpec());
+  Uvm.addManagedRange(Base, Page);
+  Uvm.touch(Base + 100, 64);
+  EXPECT_EQ(Uvm.counters().Faults, 1u);
+  EXPECT_EQ(Uvm.counters().FaultMigratedBytes, Page);
+}
