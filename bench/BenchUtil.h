@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the figure/table reproduction benches: banner
-/// printing, series downsampling, and the record granularity the benches
-/// trade wall-clock time against (simulated costs are unaffected; see
+/// Helpers shared by the figure/table reproduction benches: a one-call
+/// Session factory, banner printing, series downsampling, and the record
+/// granularity the benches trade wall-clock time against (simulated
+/// costs are unaffected; see
 /// sim::DeviceTraceConfig::RecordGranularityBytes).
 ///
 //===----------------------------------------------------------------------===//
@@ -15,11 +16,14 @@
 #ifndef PASTA_BENCH_BENCHUTIL_H
 #define PASTA_BENCH_BENCHUTIL_H
 
+#include "pasta/Session.h"
 #include "support/Env.h"
 #include "support/Format.h"
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +36,20 @@ namespace bench {
 inline std::uint64_t recordGranularity() {
   return static_cast<std::uint64_t>(
       getEnvInt("PASTA_BENCH_GRANULARITY", 65536));
+}
+
+/// Finalizes a bench session from \p Builder after applying the bench
+/// record granularity. Benches are not user-facing, so a configuration
+/// error dies with the builder diagnostic instead of returning it.
+inline std::unique_ptr<Session> buildSession(SessionBuilder &Builder) {
+  SessionError Err;
+  std::unique_ptr<Session> S =
+      Builder.recordGranularity(recordGranularity()).build(Err);
+  if (!S) {
+    std::fprintf(stderr, "bench: %s\n", Err.message().c_str());
+    std::exit(1);
+  }
+  return S;
 }
 
 inline void banner(const char *Title, const char *PaperRef) {

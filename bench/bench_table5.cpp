@@ -12,17 +12,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "dl/Models.h"
 #include "support/TablePrinter.h"
 #include "support/Units.h"
-#include "tools/RegisterTools.h"
 #include "tools/WorkingSetTool.h"
-#include "tools/Workloads.h"
 
 using namespace pasta;
 using namespace pasta::tools;
 
 int main() {
-  tools::registerBuiltinTools();
   bench::banner("Memory characteristics of diverse DNN models",
                 "paper Table V");
 
@@ -34,18 +32,15 @@ int main() {
     double SumRatio = 0;
     int Rows = 0;
     for (const dl::ModelConfig &Model : dl::modelZoo()) {
-      WorkloadConfig Config;
-      Config.Model = Model.Name;
-      Config.Training = Training;
-      Config.Gpu = "A100";
-      Config.Backend = TraceBackend::SanitizerGpu;
-      Config.RecordGranularityBytes = bench::recordGranularity();
-
-      Profiler Prof;
-      auto *Ws =
-          static_cast<WorkingSetTool *>(Prof.addToolByName("working_set"));
-      runWorkload(Config, Prof);
-      auto S = Ws->summary();
+      std::unique_ptr<Session> Sess =
+          bench::buildSession(SessionBuilder()
+                                  .tool("working_set")
+                                  .backend("cs-gpu")
+                                  .gpu("A100")
+                                  .model(Model.Name)
+                                  .training(Training));
+      Sess->run();
+      auto S = Sess->toolAs<WorkingSetTool>("working_set")->summary();
       Table.addRow({Model.Abbrev, std::to_string(S.KernelCount),
                     formatBytes(S.PeakFootprintBytes),
                     formatBytes(S.WorkingSetBytes),

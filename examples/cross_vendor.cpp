@@ -5,18 +5,18 @@
 //===----------------------------------------------------------------------===//
 //
 // Cross-vendor support (paper §V-D1, Fig. 14): the same GPT-2 training
-// iteration on an NVIDIA A100 (CUDA/cuDNN backend) and an AMD MI300X
-// (HIP/MIOpen backend), observed through the identical PASTA tool. The
-// event handler normalizes the divergent vendor formats (negative
-// deallocation deltas, microsecond ticks, "dispatches") so the tool code
+// iteration on an NVIDIA A100 and an AMD MI300X, observed through the
+// identical PASTA tool. The only thing that changes between runs is the
+// .gpu() name — the backend registry resolves the vendor-appropriate
+// PlatformBackend (Sanitizer callbacks vs ROCprofiler records), and the
+// event handler normalizes the divergent vendor formats so the tool code
 // is byte-for-byte the same.
 //
 //===----------------------------------------------------------------------===//
 
-#include "pasta/Profiler.h"
+#include "pasta/Session.h"
+#include "support/Units.h"
 #include "tools/MemUsageTimelineTool.h"
-#include "tools/RegisterTools.h"
-#include "tools/Workloads.h"
 
 #include <cstdio>
 
@@ -24,22 +24,30 @@ using namespace pasta;
 using namespace pasta::tools;
 
 int main() {
-  registerBuiltinTools();
   for (const char *Gpu : {"A100", "MI300X"}) {
-    WorkloadConfig Config;
-    Config.Model = "gpt2";
-    Config.Training = true;
-    Config.Iterations = 1;
-    Config.Gpu = Gpu;
+    SessionError Err;
+    std::unique_ptr<Session> S = SessionBuilder()
+                                     .tool("mem_usage_timeline")
+                                     .backend("cs-gpu")
+                                     .gpu(Gpu)
+                                     .model("gpt2")
+                                     .training()
+                                     .iterations(1)
+                                     .build(Err);
+    if (!S) {
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+      return 1;
+    }
+    SessionResult Result = S->run();
 
-    Profiler Prof;
-    auto *Timeline = static_cast<MemUsageTimelineTool *>(
-        Prof.addToolByName("mem_usage_timeline"));
-    WorkloadResult Result = runWorkload(Config, Prof);
-
-    std::printf("[%s] one GPT-2 training iteration: %llu kernels, "
-                "%llu tensor alloc/free events, peak usage %s\n",
-                Gpu,
+    // The same mode name resolved to the vendor-appropriate adapter.
+    const char *Adapter = S->backend().vendor() == sim::VendorKind::NVIDIA
+                              ? "CUDA/Sanitizer"
+                              : "HIP/ROCprofiler";
+    auto *Timeline = S->toolAs<MemUsageTimelineTool>("mem_usage_timeline");
+    std::printf("[%s, %s via %s] one GPT-2 training iteration: %llu "
+                "kernels, %llu tensor alloc/free events, peak usage %s\n",
+                Gpu, S->backend().name().c_str(), Adapter,
                 static_cast<unsigned long long>(Result.Stats.KernelsLaunched),
                 static_cast<unsigned long long>(Timeline->numEvents(0)),
                 formatBytes(Timeline->peak(0)).c_str());

@@ -7,13 +7,15 @@
 // Extensibility demo (paper §III-H): a complete custom analysis in ~40
 // lines — a transfer-volume tool tracking host<->device memcpy traffic
 // per direction, built by overriding exactly one hook of the PASTA tool
-// template and registering it under a name usable via PASTA_TOOL.
+// template and registering it under a name usable via PASTA_TOOL or
+// SessionBuilder::tool(). Because only a coarse hook is overridden, the
+// default Tool::requirements() keeps fine-grained tracing disabled.
 //
 //===----------------------------------------------------------------------===//
 
-#include "pasta/Profiler.h"
+#include "pasta/Session.h"
 #include "pasta/Tool.h"
-#include "tools/Workloads.h"
+#include "support/Units.h"
 
 #include <cstdio>
 
@@ -60,14 +62,18 @@ int main() {
   ToolRegistry::instance().registerTool(
       "transfer_volume", [] { return std::make_unique<TransferVolumeTool>(); });
 
-  tools::WorkloadConfig Config;
-  Config.Model = "alexnet";
-  Config.Training = true;
-  Config.Iterations = 2;
-
-  Profiler Prof;
-  Prof.addToolByName("transfer_volume");
-  tools::runWorkload(Config, Prof);
-  Prof.writeReports(stdout);
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("transfer_volume")
+                                   .model("alexnet")
+                                   .training()
+                                   .iterations(2)
+                                   .build(Err);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 1;
+  }
+  S->run();
+  S->writeReports(stdout);
   return 0;
 }

@@ -7,61 +7,53 @@
 // Range-specific analysis (paper §III-F1, Listing 1): annotate only one
 // targeted region — here the transformer encoder layers of one BERT
 // iteration — with pasta.start()/pasta.stop() and analyze just that
-// region with the operator-to-kernel mapping tool. Also demonstrates the
-// START_GRID_ID/END_GRID_ID environment alternative.
+// region with the operator-to-kernel mapping tool. The executor hook is
+// installed through Session::run's customize callback; the session owns
+// all the wiring the old Profiler flow spelled out by hand.
 //
 //===----------------------------------------------------------------------===//
 
 #include "dl/Executor.h"
-#include "dl/Models.h"
 #include "pasta/Annotations.h"
-#include "pasta/Profiler.h"
-#include "sim/System.h"
+#include "pasta/Session.h"
 #include "tools/OpKernelMapTool.h"
-#include "tools/RegisterTools.h"
 
 #include <cstdio>
 
 using namespace pasta;
 
 int main() {
-  tools::registerBuiltinTools();
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("op_kernel_map")
+                                   .gpu("A100")
+                                   .model("bert")
+                                   .iterations(1)
+                                   .build(Err);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 1;
+  }
 
-  sim::System System(sim::a100Spec());
-  cuda::CudaRuntime Cuda(System);
-  dl::CudaDeviceApi Api(Cuda, 0);
-  dl::CallbackRegistry Callbacks;
-
-  Profiler Prof;
-  auto *Map = static_cast<tools::OpKernelMapTool *>(
-      Prof.addToolByName("op_kernel_map"));
-  Prof.attachCuda(Cuda, 0);
-  Prof.attachDl(Callbacks);
-
-  dl::ScheduleBuilder::Options Opts;
-  Opts.Iterations = 1;
-  dl::Program Prog = dl::buildModelProgram("bert", Opts);
-  dl::Executor Executor(Api, Callbacks);
+  // Open+close once so analysis is region-gated from the first kernel.
+  { ScopedRegion Prime(*S); }
 
   // The paper's Listing 1, in C++: bracket only the targeted region. The
   // step listener plays the role of the hand-inserted annotations around
   // self.transformer_layer().
-  Executor.setStepListener([&](const dl::Step &S) {
-    bool IsEncoder = S.Name.rfind("encoder.", 0) == 0;
-    if (S.Kind == dl::StepKind::LayerBegin && IsEncoder)
-      Prof.start(); // pasta.start()
-    if (S.Kind == dl::StepKind::LayerEnd && IsEncoder)
-      Prof.stop(); // pasta.stop()
+  S->run([&](dl::Executor &Executor) {
+    Executor.setStepListener([&](const dl::Step &Step) {
+      bool IsEncoder = Step.Name.rfind("encoder.", 0) == 0;
+      if (Step.Kind == dl::StepKind::LayerBegin && IsEncoder)
+        S->start(); // pasta.start()
+      if (Step.Kind == dl::StepKind::LayerEnd && IsEncoder)
+        S->stop(); // pasta.stop()
+    });
   });
-  // Open+close once so analysis is region-gated from the first kernel.
-  { ScopedRegion Prime(Prof); }
-
-  Executor.run(Prog);
 
   std::printf("operator -> kernel mapping, encoder layers only:\n\n");
-  Map->writeReport(stdout);
+  S->tool("op_kernel_map")->writeReport(stdout);
   std::printf("\nembeddings and classifier-head operators are absent: "
               "analysis was gated to the annotated encoder region.\n");
-  Prof.finish();
   return 0;
 }

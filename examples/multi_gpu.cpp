@@ -6,18 +6,17 @@
 //
 // Multi-GPU profiling (paper §V-D2, Fig. 15): one training iteration of
 // the Megatron GPT-2 345M model on two simulated A100s under Data,
-// Tensor and Pipeline parallelism. PASTA associates every event with its
-// device, so one MemUsageTimelineTool sees both GPUs.
+// Tensor and Pipeline parallelism. A Session with deviceCount(2) stands
+// up both GPUs behind one backend; runProgram(rank) plays the role of
+// Megatron's one-process-per-device launch, and PASTA associates every
+// event with its device, so one MemUsageTimelineTool sees both GPUs.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cuda/CudaRuntime.h"
-#include "dl/Executor.h"
 #include "dl/Megatron.h"
-#include "pasta/Profiler.h"
-#include "sim/System.h"
+#include "pasta/Session.h"
+#include "support/Units.h"
 #include "tools/MemUsageTimelineTool.h"
-#include "tools/RegisterTools.h"
 
 #include <cstdio>
 
@@ -25,42 +24,39 @@ using namespace pasta;
 using namespace pasta::tools;
 
 int main() {
-  registerBuiltinTools();
-
   for (dl::ParallelStrategy Strategy :
        {dl::ParallelStrategy::Data, dl::ParallelStrategy::Tensor,
         dl::ParallelStrategy::Pipeline}) {
-    // Two A100s in one machine (paper machine A).
-    sim::System System({sim::a100Spec(), sim::a100Spec()});
-    cuda::CudaRuntime Cuda(System);
-
-    Profiler Prof;
-    auto *Timeline = static_cast<MemUsageTimelineTool *>(
-        Prof.addToolByName("mem_usage_timeline"));
-    Prof.attachCuda(Cuda, 0);
-    Prof.attachCuda(Cuda, 1);
-
     dl::MegatronConfig Config;
+
+    // Two A100s in one machine (paper machine A).
+    SessionError Err;
+    std::unique_ptr<Session> S = SessionBuilder()
+                                     .tool("mem_usage_timeline")
+                                     .gpu("A100")
+                                     .deviceCount(Config.NumGpus)
+                                     .build(Err);
+    if (!S) {
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+      return 1;
+    }
+
     std::vector<dl::Program> Programs =
         dl::buildMegatronGpt2(Strategy, Config);
 
     // One executor (rank) per GPU, as Megatron spawns one process per
     // device; the profiler sees both through device indices.
-    for (int Rank = 0; Rank < Config.NumGpus; ++Rank) {
-      dl::CudaDeviceApi Api(Cuda, Rank);
-      dl::CallbackRegistry Callbacks;
-      Prof.attachDl(Callbacks);
-      dl::Executor Executor(Api, Callbacks);
-      Executor.run(Programs[Rank]);
-    }
+    for (int Rank = 0; Rank < Config.NumGpus; ++Rank)
+      S->runProgram(Programs[Rank], Rank);
+    S->finish();
 
+    auto *Timeline = S->toolAs<MemUsageTimelineTool>("mem_usage_timeline");
     std::printf("[%s] per-GPU memory behaviour:\n",
                 dl::parallelStrategyName(Strategy));
     for (int Rank = 0; Rank < Config.NumGpus; ++Rank)
       std::printf("  GPU %d: %6llu tensor events, peak %s\n", Rank,
                   static_cast<unsigned long long>(Timeline->numEvents(Rank)),
                   formatBytes(Timeline->peak(Rank)).c_str());
-    Prof.finish();
   }
   std::printf("\nDP: identical usage on both GPUs. TP: about half of "
               "DP's peak (weights sharded). PP: asymmetric — GPU 1 holds "

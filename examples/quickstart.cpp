@@ -5,56 +5,51 @@
 //===----------------------------------------------------------------------===//
 //
 // Quickstart: profile ResNet18 inference with the kernel-invocation
-// frequency tool (the paper's §V-B1 example), using annotations to limit
-// analysis to one region — the C++ rendering of the paper's Listing 1.
+// frequency tool (the paper's §V-B1 example) through the Session API.
+// The builder names a tool, a backend and a workload; the session wires
+// the simulated machine, the vendor runtime and the event pipeline, and
+// negotiates capabilities — kernel_frequency consumes only coarse
+// events, so no device-side instrumentation is installed at all.
 //
 //   $ ./quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "cuda/CudaRuntime.h"
-#include "dl/Executor.h"
-#include "dl/Models.h"
-#include "pasta/Profiler.h"
-#include "sim/System.h"
+#include "pasta/Session.h"
+#include "support/Units.h"
 #include "tools/KernelFrequencyTool.h"
-#include "tools/RegisterTools.h"
 
 #include <cstdio>
 
 using namespace pasta;
 
 int main() {
-  tools::registerBuiltinTools();
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("kernel_frequency")
+                                   .backend("cs-gpu")
+                                   .gpu("A100")
+                                   .model("resnet18")
+                                   .iterations(3)
+                                   .build(Err);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 1;
+  }
 
-  // A machine with one simulated A100 and a CUDA runtime on top.
-  sim::System System(sim::a100Spec());
-  cuda::CudaRuntime Cuda(System);
-  dl::CudaDeviceApi Api(Cuda, /*DeviceIndex=*/0);
-  dl::CallbackRegistry Callbacks;
+  // pasta.start()/pasta.stop() (paper Listing 1) restrict the analysis
+  // to the bracketed region — here, the whole run.
+  S->start();
+  SessionResult Result = S->run();
+  S->stop();
 
-  // PASTA attaches the way the LD_PRELOAD injection would: once to the
-  // vendor runtime, once to the DL framework session.
-  Profiler Prof;
-  auto *Freq = static_cast<tools::KernelFrequencyTool *>(
-      Prof.addToolByName("kernel_frequency"));
-  Prof.attachCuda(Cuda, /*DeviceIndex=*/0);
-  Prof.attachDl(Callbacks);
+  std::printf("ResNet18 inference: %llu kernels in %s simulated time\n",
+              static_cast<unsigned long long>(Result.Stats.KernelsLaunched),
+              formatSimTime(Result.Stats.wallTime()).c_str());
+  std::printf("negotiated instrumentation: %s (requested backend: %s)\n\n",
+              S->negotiated().str().c_str(), S->backend().name().c_str());
 
-  // Run ResNet18 inference. pasta.start()/pasta.stop() (paper Listing 1)
-  // restrict the analysis to the bracketed region.
-  dl::ScheduleBuilder::Options Opts;
-  Opts.Iterations = 3;
-  dl::Program Prog = dl::buildModelProgram("resnet18", Opts);
-  dl::Executor Executor(Api, Callbacks);
-
-  Prof.start(); // pasta.start()
-  dl::RunStats Stats = Executor.run(Prog);
-  Prof.stop(); // pasta.stop()
-
-  std::printf("ResNet18 inference: %llu kernels in %s simulated time\n\n",
-              static_cast<unsigned long long>(Stats.KernelsLaunched),
-              formatSimTime(Stats.wallTime()).c_str());
+  auto *Freq = S->toolAs<tools::KernelFrequencyTool>("kernel_frequency");
   std::printf("Top 10 kernels by invocation count:\n");
   int Shown = 0;
   for (const auto &[Count, Name] : Freq->sorted()) {
@@ -63,6 +58,5 @@ int main() {
     std::printf("  %6llu  %s\n", static_cast<unsigned long long>(Count),
                 Name.c_str());
   }
-  Prof.finish();
   return 0;
 }

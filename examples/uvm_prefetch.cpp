@@ -7,15 +7,16 @@
 // UVM optimization for DL workloads (paper §V-C): runs GPT-2 inference
 // with the pool in managed (UVM) memory under 3x memory oversubscription
 // and compares no prefetching, object-level prefetching and PASTA's
-// tensor-aware prefetching. Also prints the hotness classification
-// (Fig. 13) that motivates pin/evict decisions.
+// tensor-aware prefetching — each a one-builder-call variation on the
+// same Session. Also prints the hotness classification (Fig. 13) that
+// motivates pin/evict decisions.
 //
 //===----------------------------------------------------------------------===//
 
-#include "pasta/Profiler.h"
+#include "pasta/Session.h"
+#include "support/Units.h"
 #include "tools/HotnessTool.h"
-#include "tools/RegisterTools.h"
-#include "tools/Workloads.h"
+#include "tools/UvmPrefetcher.h"
 
 #include <cstdio>
 
@@ -24,14 +25,19 @@ using namespace pasta::tools;
 
 static double runWithPrefetch(PrefetchLevel Level,
                               std::uint64_t MemoryLimit) {
-  WorkloadConfig Config;
-  Config.Model = "gpt2";
-  Config.Gpu = "A100";
-  Config.Managed = true;
-  Config.Prefetch = Level;
-  Config.MemoryLimitBytes = MemoryLimit;
-  Profiler Prof;
-  WorkloadResult Result = runWorkload(Config, Prof);
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .model("gpt2")
+                                   .gpu("A100")
+                                   .managed()
+                                   .prefetch(Level)
+                                   .memoryLimit(MemoryLimit)
+                                   .build(Err);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    std::exit(1);
+  }
+  SessionResult Result = S->run();
   std::printf("  %-6s prefetch: %10s   (faults: %llu, evictions: %llu)\n",
               prefetchLevelName(Level),
               formatSimTime(Result.Stats.wallTime()).c_str(),
@@ -41,16 +47,16 @@ static double runWithPrefetch(PrefetchLevel Level,
 }
 
 int main() {
-  registerBuiltinTools();
-
   // Footprint via a plain run, then impose 3x oversubscription the way
   // the paper does (capacity = footprint / factor).
-  WorkloadConfig Probe;
-  Probe.Model = "gpt2";
-  Probe.Gpu = "A100";
-  Profiler ProbeProf;
-  WorkloadResult ProbeResult = runWorkload(Probe, ProbeProf);
-  std::uint64_t Footprint = ProbeResult.Stats.PeakReserved;
+  SessionError Err;
+  std::unique_ptr<Session> Probe =
+      SessionBuilder().model("gpt2").gpu("A100").build(Err);
+  if (!Probe) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 1;
+  }
+  std::uint64_t Footprint = Probe->run().Stats.PeakReserved;
   std::uint64_t Limit = Footprint / 3;
   std::printf("GPT-2 footprint %s; limiting device memory to %s "
               "(oversubscription factor 3)\n\n",
@@ -63,16 +69,19 @@ int main() {
               Obj / Base, Ten / Base);
 
   // Hotness analysis (Fig. 13) guiding pin/evict policies.
-  WorkloadConfig HotCfg;
-  HotCfg.Model = "gpt2";
-  HotCfg.Gpu = "A100";
-  HotCfg.Backend = TraceBackend::SanitizerGpu;
-  HotCfg.RecordGranularityBytes = 65536;
-  Profiler HotProf;
-  auto *Hot =
-      static_cast<HotnessTool *>(HotProf.addToolByName("hotness"));
-  runWorkload(HotCfg, HotProf);
-  auto Profiles = Hot->profiles();
+  std::unique_ptr<Session> Hot = SessionBuilder()
+                                     .tool("hotness")
+                                     .backend("cs-gpu")
+                                     .model("gpt2")
+                                     .gpu("A100")
+                                     .recordGranularity(65536)
+                                     .build(Err);
+  if (!Hot) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 1;
+  }
+  Hot->run();
+  auto Profiles = Hot->toolAs<HotnessTool>("hotness")->profiles();
   std::uint64_t LongLived = 0;
   for (const auto &Profile : Profiles)
     if (Profile.LongLived)

@@ -8,15 +8,14 @@
 // inference under the GPU-resident working-set tool, prints the Table-V
 // style memory characteristics, and — via the MAX_MEM_REFERENCED_KERNEL
 // knob — the cross-layer Python+C++ call stack of the most
-// memory-referenced kernel.
+// memory-referenced kernel. The working-set tool supplies a device
+// analysis, so capability negotiation enables access-record tracing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "pasta/Profiler.h"
+#include "pasta/Session.h"
 #include "support/Env.h"
-#include "tools/RegisterTools.h"
 #include "tools/WorkingSetTool.h"
-#include "tools/Workloads.h"
 
 #include <cstdio>
 
@@ -24,22 +23,27 @@ using namespace pasta;
 using namespace pasta::tools;
 
 int main() {
-  registerBuiltinTools();
   // Enable the inefficiency-location knob (paper §III-F2).
   setEnvOverride("MAX_MEM_REFERENCED_KERNEL", "1");
 
-  WorkloadConfig Config;
-  Config.Model = "bert";
-  Config.Gpu = "A100";
-  Config.Backend = TraceBackend::SanitizerGpu;
-  Config.RecordGranularityBytes = 16384;
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("working_set")
+                                   .backend("cs-gpu")
+                                   .gpu("A100")
+                                   .model("bert")
+                                   .recordGranularity(16384)
+                                   .build(Err);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 1;
+  }
+  SessionResult Result = S->run();
 
-  Profiler Prof;
-  auto *Ws = static_cast<WorkingSetTool *>(Prof.addToolByName("working_set"));
-  WorkloadResult Result = runWorkload(Config, Prof);
-
-  std::printf("BERT inference characterized: %llu kernels\n\n",
-              static_cast<unsigned long long>(Result.Stats.KernelsLaunched));
+  std::printf("BERT inference characterized: %llu kernels (enabled: %s)\n\n",
+              static_cast<unsigned long long>(Result.Stats.KernelsLaunched),
+              S->negotiated().str().c_str());
+  auto *Ws = S->toolAs<WorkingSetTool>("working_set");
   Ws->writeReport(stdout);
 
   std::printf("\nCross-layer call stack of the most memory-referenced "

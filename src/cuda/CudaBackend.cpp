@@ -1,0 +1,51 @@
+//===- cuda/CudaBackend.cpp -----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cuda/CudaBackend.h"
+
+#include "dl/Backend.h"
+#include "sim/System.h"
+
+using namespace pasta;
+using namespace pasta::cuda;
+
+CapabilitySet CudaBackend::capabilities() const {
+  CapabilitySet Caps{Capability::CoarseEvents, Capability::UvmCounters};
+  switch (Flavor) {
+  case TraceBackend::None:
+    break;
+  case TraceBackend::SanitizerGpu:
+  case TraceBackend::SanitizerCpu:
+    // Sanitizer patches see memory/barrier operations only.
+    Caps |= Capability::AccessRecords;
+    break;
+  case TraceBackend::NvbitCpu:
+    // Full SASS coverage: access records and the instruction mix.
+    Caps |= CapabilitySet{Capability::AccessRecords, Capability::InstrMix};
+    break;
+  }
+  return Caps;
+}
+
+std::unique_ptr<dl::DeviceApi>
+CudaBackend::createRuntime(sim::System &System, int DeviceIndex) {
+  if (!Runtime)
+    Runtime = std::make_unique<CudaRuntime>(System);
+  return std::make_unique<dl::CudaDeviceApi>(*Runtime, DeviceIndex);
+}
+
+void CudaBackend::attach(EventHandler &Handler, int DeviceIndex,
+                         const CapabilitySet &Enabled,
+                         const TraceOptions &Opts) {
+  // Negotiation outcome: without a fine-grained capability enabled, the
+  // handler subscribes to host callbacks only and no device-side
+  // instrumentation is ever installed.
+  TraceOptions Effective = Opts;
+  bool WantsFine = Enabled.has(Capability::AccessRecords) ||
+                   Enabled.has(Capability::InstrMix);
+  Effective.Backend = WantsFine ? Flavor : TraceBackend::None;
+  Handler.attachCuda(*Runtime, DeviceIndex, Effective);
+}

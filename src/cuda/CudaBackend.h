@@ -1,0 +1,53 @@
+//===- cuda/CudaBackend.h - NVIDIA platform backend -------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PlatformBackend adapter over the simulated CUDA runtime: Sanitizer
+/// host callbacks for coarse events, plus — per the flavor — Sanitizer
+/// memory-access patching (CS-GPU / CS-CPU) or NVBit full-SASS
+/// instrumentation (NVBIT-CPU) for the fine-grained capabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_CUDA_CUDABACKEND_H
+#define PASTA_CUDA_CUDABACKEND_H
+
+#include "cuda/CudaRuntime.h"
+#include "pasta/Backend.h"
+
+namespace pasta {
+namespace cuda {
+
+/// NVIDIA adapter; \p Flavor picks the fine-grained instrumentation layer
+/// (TraceBackend::None yields a coarse-events-only backend).
+class CudaBackend : public PlatformBackend {
+public:
+  CudaBackend(std::string Name, TraceBackend Flavor)
+      : RegistryName(std::move(Name)), Flavor(Flavor) {}
+
+  std::string name() const override { return RegistryName; }
+  sim::VendorKind vendor() const override { return sim::VendorKind::NVIDIA; }
+  CapabilitySet capabilities() const override;
+
+  std::unique_ptr<dl::DeviceApi> createRuntime(sim::System &System,
+                                               int DeviceIndex) override;
+  void attach(EventHandler &Handler, int DeviceIndex,
+              const CapabilitySet &Enabled,
+              const TraceOptions &Opts) override;
+
+  /// The wrapped runtime; valid after the first createRuntime().
+  CudaRuntime *runtime() { return Runtime.get(); }
+
+private:
+  std::string RegistryName;
+  TraceBackend Flavor;
+  std::unique_ptr<CudaRuntime> Runtime;
+};
+
+} // namespace cuda
+} // namespace pasta
+
+#endif // PASTA_CUDA_CUDABACKEND_H

@@ -4,29 +4,33 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The paper artifact's entry point:
+// The paper artifact's entry point, built on the Session API:
 //
 //   accelprof [-v] -t <tool> [-b <backend>] [-g <gpu>] [--train]
 //             [--iters N] [--managed] [--oversub F]
-//             [--prefetch none|object|tensor] <model>
+//             [--prefetch none|object|tensor] [--format text|json|csv]
+//             <model>
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
 //       accelprof -t hotness -b cs-gpu --managed --oversub 3 gpt2
+//       accelprof -t working_set -b cs-gpu --format json bert
 //
 // <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
-// bert, whisper). Tools: see `accelprof --list-tools`.
+// bert, whisper). Tools: see `accelprof --list-tools`; backends:
+// `accelprof --list-backends`.
 //
 //===----------------------------------------------------------------------===//
 
-#include "pasta/Profiler.h"
+#include "pasta/Session.h"
+#include "support/Env.h"
 #include "support/Format.h"
+#include "support/ReportSink.h"
 #include "support/Units.h"
 #include "tools/RegisterTools.h"
-#include "tools/Workloads.h"
 
 #include <cstdio>
-#include <cstring>
+#include <memory>
 #include <string>
 
 using namespace pasta;
@@ -40,8 +44,9 @@ int usage(const char *Argv0) {
       "usage: %s [-v] -t <tool> [-b cs-gpu|cs-cpu|nvbit-cpu|none]\n"
       "          [-g A100|RTX3060|MI300X] [--train] [--iters N]\n"
       "          [--managed] [--oversub F] [--prefetch none|object|tensor]\n"
-      "          [--granularity BYTES] [--sample-rate R] <model>\n"
-      "       %s --list-tools\n",
+      "          [--granularity BYTES] [--sample-rate R]\n"
+      "          [--format text|json|csv] <model>\n"
+      "       %s --list-tools | --list-backends\n",
       Argv0, Argv0);
   return 2;
 }
@@ -55,16 +60,37 @@ int listTools() {
   return 0;
 }
 
+int listBackends() {
+  std::printf("available backends:\n");
+  for (const std::string &Name :
+       BackendRegistry::instance().registeredNames())
+    std::printf("  %s\n", Name.c_str());
+  return 0;
+}
+
+enum class ReportFormat { Text, Json, Csv };
+
+std::unique_ptr<ReportSink> makeSink(ReportFormat Format, std::FILE *Out) {
+  switch (Format) {
+  case ReportFormat::Json:
+    return std::make_unique<JsonReportSink>(Out);
+  case ReportFormat::Csv:
+    return std::make_unique<CsvReportSink>(Out);
+  case ReportFormat::Text:
+    break;
+  }
+  return std::make_unique<TextReportSink>(Out);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  registerBuiltinTools();
-
-  WorkloadConfig Config;
-  Config.Model.clear();
+  SessionBuilder Builder;
   std::string ToolName;
+  std::string Model;
   bool Verbose = false;
   double Oversub = 0.0;
+  ReportFormat Format = ReportFormat::Text;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -77,107 +103,123 @@ int main(int Argc, char **Argv) {
     };
     if (Arg == "--list-tools")
       return listTools();
+    if (Arg == "--list-backends")
+      return listBackends();
     if (Arg == "-v") {
       Verbose = true;
     } else if (Arg == "-t") {
       ToolName = NextValue("-t");
     } else if (Arg == "-b") {
-      std::string Backend = NextValue("-b");
-      if (Backend == "cs-gpu")
-        Config.Backend = TraceBackend::SanitizerGpu;
-      else if (Backend == "cs-cpu")
-        Config.Backend = TraceBackend::SanitizerCpu;
-      else if (Backend == "nvbit-cpu")
-        Config.Backend = TraceBackend::NvbitCpu;
-      else if (Backend == "none")
-        Config.Backend = TraceBackend::None;
-      else {
-        std::fprintf(stderr, "error: unknown backend '%s'\n",
-                     Backend.c_str());
-        return 2;
-      }
+      // Backend names are validated by the registry at build() time.
+      Builder.backend(NextValue("-b"));
     } else if (Arg == "-g") {
-      Config.Gpu = NextValue("-g");
+      Builder.gpu(NextValue("-g"));
     } else if (Arg == "--train") {
-      Config.Training = true;
+      Builder.training();
     } else if (Arg == "--iters") {
-      Config.Iterations = std::atoi(NextValue("--iters"));
+      Builder.iterations(std::atoi(NextValue("--iters")));
     } else if (Arg == "--managed") {
-      Config.Managed = true;
+      Builder.managed();
     } else if (Arg == "--oversub") {
       Oversub = std::atof(NextValue("--oversub"));
-      Config.Managed = true;
+      Builder.managed();
     } else if (Arg == "--prefetch") {
       std::string Level = NextValue("--prefetch");
       if (Level == "none")
-        Config.Prefetch = PrefetchLevel::None;
+        Builder.prefetch(PrefetchLevel::None);
       else if (Level == "object")
-        Config.Prefetch = PrefetchLevel::Object;
+        Builder.prefetch(PrefetchLevel::Object);
       else if (Level == "tensor")
-        Config.Prefetch = PrefetchLevel::Tensor;
+        Builder.prefetch(PrefetchLevel::Tensor);
       else {
         std::fprintf(stderr, "error: unknown prefetch level '%s'\n",
                      Level.c_str());
         return 2;
       }
-      Config.Managed = true;
+      Builder.managed();
     } else if (Arg == "--granularity") {
-      Config.RecordGranularityBytes =
-          static_cast<std::uint64_t>(std::atoll(NextValue("--granularity")));
+      Builder.recordGranularity(
+          static_cast<std::uint64_t>(std::atoll(NextValue("--granularity"))));
     } else if (Arg == "--sample-rate") {
-      Config.SampleRate = std::atof(NextValue("--sample-rate"));
+      Builder.sampleRate(std::atof(NextValue("--sample-rate")));
+    } else if (Arg == "--format") {
+      std::string Name = NextValue("--format");
+      if (Name == "text")
+        Format = ReportFormat::Text;
+      else if (Name == "json")
+        Format = ReportFormat::Json;
+      else if (Name == "csv")
+        Format = ReportFormat::Csv;
+      else {
+        std::fprintf(stderr, "error: unknown report format '%s'\n",
+                     Name.c_str());
+        return 2;
+      }
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage(Argv[0]);
     } else {
-      Config.Model = Arg;
+      Model = Arg;
     }
   }
 
-  if (Config.Model.empty())
+  if (Model.empty())
     return usage(Argv[0]);
+  Builder.model(Model);
   if (ToolName.empty())
     ToolName = getEnvString("PASTA_TOOL", "kernel_frequency");
+  Builder.tool(ToolName);
 
   // Oversubscription needs the footprint: probe with an uninstrumented
-  // run first (the paper's pre-allocation trick needs the same number).
+  // run of the *same* workload first (the paper's pre-allocation trick
+  // needs the same number), dropping only managed mode and the cap.
   if (Oversub > 0.0) {
-    WorkloadConfig Probe = Config;
-    Probe.Backend = TraceBackend::None;
-    Probe.Prefetch = PrefetchLevel::None;
-    Probe.Managed = false;
-    Probe.MemoryLimitBytes = 0;
-    Profiler ProbeProf;
-    std::uint64_t Footprint =
-        runWorkload(Probe, ProbeProf).Stats.PeakReserved;
-    Config.MemoryLimitBytes =
+    SessionOptions ProbeOpts = Builder.options();
+    // The probe only measures PeakReserved; no tools along for the ride.
+    ProbeOpts.ToolNames.clear();
+    SessionBuilder ProbeBuilder(ProbeOpts);
+    SessionError ProbeErr;
+    std::unique_ptr<Session> Probe = ProbeBuilder.backend("none")
+                                         .managed(false)
+                                         .prefetch(PrefetchLevel::None)
+                                         .memoryLimit(0)
+                                         .build(ProbeErr);
+    if (!Probe) {
+      std::fprintf(stderr, "error: %s\n", ProbeErr.message().c_str());
+      return 2;
+    }
+    std::uint64_t Footprint = Probe->run().Stats.PeakReserved;
+    std::uint64_t Limit =
         static_cast<std::uint64_t>(static_cast<double>(Footprint) / Oversub);
+    Builder.memoryLimit(Limit);
     if (Verbose)
       std::fprintf(stderr,
                    "accelprof: footprint %s, limiting device to %s\n",
                    formatBytes(Footprint).c_str(),
-                   formatBytes(Config.MemoryLimitBytes).c_str());
+                   formatBytes(Limit).c_str());
   }
 
-  Profiler Prof;
-  if (!Prof.addToolByName(ToolName)) {
-    std::fprintf(stderr, "error: unknown tool '%s' (try --list-tools)\n",
-                 ToolName.c_str());
+  SessionError Err;
+  std::unique_ptr<Session> S = Builder.build(Err);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
     return 2;
   }
 
-  WorkloadResult Result = runWorkload(Config, Prof);
+  SessionResult Result = S->run();
   if (Verbose)
-    std::fprintf(stderr,
-                 "accelprof: %s %s on %s via %s: %llu kernels, %s "
-                 "simulated, peak %s\n",
-                 Config.Model.c_str(),
-                 Config.Training ? "training" : "inference",
-                 Config.Gpu.c_str(), traceBackendName(Config.Backend),
-                 static_cast<unsigned long long>(
-                     Result.Stats.KernelsLaunched),
-                 formatSimTime(Result.Stats.wallTime()).c_str(),
-                 formatBytes(Result.Stats.PeakReserved).c_str());
-  Prof.writeReports(stdout);
+    std::fprintf(
+        stderr,
+        "accelprof: %s %s on %s via %s (enabled: %s): %llu kernels, %s "
+        "simulated, peak %s\n",
+        Model.c_str(), S->options().Training ? "training" : "inference",
+        S->options().Gpu.c_str(), S->backend().name().c_str(),
+        S->negotiated().str().c_str(),
+        static_cast<unsigned long long>(Result.Stats.KernelsLaunched),
+        formatSimTime(Result.Stats.wallTime()).c_str(),
+        formatBytes(Result.Stats.PeakReserved).c_str());
+
+  std::unique_ptr<ReportSink> Sink = makeSink(Format, stdout);
+  S->writeReports(*Sink);
   return 0;
 }

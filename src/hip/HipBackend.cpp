@@ -1,0 +1,38 @@
+//===- hip/HipBackend.cpp -------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hip/HipBackend.h"
+
+#include "dl/Backend.h"
+#include "sim/System.h"
+
+using namespace pasta;
+using namespace pasta::hip;
+
+CapabilitySet HipBackend::capabilities() const {
+  CapabilitySet Caps{Capability::CoarseEvents, Capability::UvmCounters};
+  if (Flavor == TraceBackend::SanitizerGpu ||
+      Flavor == TraceBackend::SanitizerCpu)
+    Caps |= Capability::AccessRecords;
+  return Caps;
+}
+
+std::unique_ptr<dl::DeviceApi>
+HipBackend::createRuntime(sim::System &System, int DeviceIndex) {
+  if (!Runtime)
+    Runtime = std::make_unique<HipRuntime>(System);
+  return std::make_unique<dl::HipDeviceApi>(*Runtime, DeviceIndex);
+}
+
+void HipBackend::attach(EventHandler &Handler, int DeviceIndex,
+                        const CapabilitySet &Enabled,
+                        const TraceOptions &Opts) {
+  TraceOptions Effective = Opts;
+  Effective.Backend = Enabled.has(Capability::AccessRecords)
+                          ? Flavor
+                          : TraceBackend::None;
+  Handler.attachHip(*Runtime, DeviceIndex, Effective);
+}

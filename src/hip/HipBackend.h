@@ -1,0 +1,54 @@
+//===- hip/HipBackend.h - AMD platform backend ------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PlatformBackend adapter over the simulated HIP runtime: ROCprofiler
+/// records for coarse events plus its device-tracing service for the
+/// fine-grained capabilities. The same "cs-gpu"/"cs-cpu" registry names
+/// resolve here when the selected GPU is AMD, so tool code never learns
+/// which vendor it is observing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_HIP_HIPBACKEND_H
+#define PASTA_HIP_HIPBACKEND_H
+
+#include "hip/HipRuntime.h"
+#include "pasta/Backend.h"
+
+namespace pasta {
+namespace hip {
+
+/// AMD adapter; \p Flavor maps onto the ROCprofiler device-tracing
+/// analysis model (NVBit flavors are rejected at registry level).
+class HipBackend : public PlatformBackend {
+public:
+  HipBackend(std::string Name, TraceBackend Flavor)
+      : RegistryName(std::move(Name)), Flavor(Flavor) {}
+
+  std::string name() const override { return RegistryName; }
+  sim::VendorKind vendor() const override { return sim::VendorKind::AMD; }
+  CapabilitySet capabilities() const override;
+
+  std::unique_ptr<dl::DeviceApi> createRuntime(sim::System &System,
+                                               int DeviceIndex) override;
+  void attach(EventHandler &Handler, int DeviceIndex,
+              const CapabilitySet &Enabled,
+              const TraceOptions &Opts) override;
+
+  /// The wrapped runtime; valid after the first createRuntime().
+  HipRuntime *runtime() { return Runtime.get(); }
+
+private:
+  std::string RegistryName;
+  TraceBackend Flavor;
+  std::unique_ptr<HipRuntime> Runtime;
+};
+
+} // namespace hip
+} // namespace pasta
+
+#endif // PASTA_HIP_HIPBACKEND_H

@@ -28,6 +28,7 @@
 #define PASTA_PASTA_ANNOTATIONS_H
 
 #include "pasta/Profiler.h"
+#include "pasta/Session.h"
 
 namespace pasta {
 
@@ -35,6 +36,7 @@ namespace pasta {
 class ScopedRegion {
 public:
   explicit ScopedRegion(Profiler &Prof) : Prof(Prof) { Prof.start(); }
+  explicit ScopedRegion(Session &S) : Prof(S.profiler()) { Prof.start(); }
   ~ScopedRegion() { Prof.stop(); }
 
   ScopedRegion(const ScopedRegion &) = delete;

@@ -1,0 +1,88 @@
+//===- pasta/Backend.cpp --------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Backend.h"
+
+#include "cuda/CudaBackend.h"
+#include "hip/HipBackend.h"
+#include "support/Format.h"
+#include "support/Logging.h"
+
+using namespace pasta;
+
+PlatformBackend::~PlatformBackend() = default;
+
+BackendRegistry &BackendRegistry::instance() {
+  static BackendRegistry Registry;
+  registerBuiltinBackends();
+  return Registry;
+}
+
+void BackendRegistry::registerBackend(const std::string &Name,
+                                      Factory MakeBackend) {
+  auto [It, Inserted] = Factories.emplace(Name, std::move(MakeBackend));
+  if (!Inserted)
+    logWarning("backend registered twice: " + Name);
+}
+
+std::unique_ptr<PlatformBackend>
+BackendRegistry::create(const std::string &Name, sim::VendorKind Vendor,
+                        SessionError &Err) const {
+  auto It = Factories.find(Name);
+  if (It == Factories.end()) {
+    std::vector<std::string> Known = registeredNames();
+    Err.assign("unknown backend '" + Name + "'; registered backends: " +
+               (Known.empty() ? "<none>" : join(Known, ", ")));
+    return nullptr;
+  }
+  return It->second(Vendor, Err);
+}
+
+std::vector<std::string> BackendRegistry::registeredNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Factories.size());
+  for (const auto &[Name, Factory] : Factories)
+    Names.push_back(Name);
+  return Names;
+}
+
+void pasta::registerBuiltinBackends() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+
+  // One mode name maps to the vendor-appropriate adapter — tool code and
+  // drivers never mention a vendor.
+  auto PerVendor = [](const std::string &Name, TraceBackend Flavor) {
+    return [Name, Flavor](sim::VendorKind Vendor, SessionError &Err)
+               -> std::unique_ptr<PlatformBackend> {
+      (void)Err;
+      if (Vendor == sim::VendorKind::NVIDIA)
+        return std::make_unique<cuda::CudaBackend>(Name, Flavor);
+      return std::make_unique<hip::HipBackend>(Name, Flavor);
+    };
+  };
+
+  BackendRegistry &Registry = BackendRegistry::instance();
+  Registry.registerBackend("none", PerVendor("none", TraceBackend::None));
+  Registry.registerBackend("cs-gpu",
+                           PerVendor("cs-gpu", TraceBackend::SanitizerGpu));
+  Registry.registerBackend("cs-cpu",
+                           PerVendor("cs-cpu", TraceBackend::SanitizerCpu));
+  Registry.registerBackend(
+      "nvbit-cpu",
+      [](sim::VendorKind Vendor,
+         SessionError &Err) -> std::unique_ptr<PlatformBackend> {
+        if (Vendor != sim::VendorKind::NVIDIA) {
+          Err.assign("backend 'nvbit-cpu' is NVIDIA-only; use cs-gpu or "
+                     "cs-cpu on AMD GPUs");
+          return nullptr;
+        }
+        return std::make_unique<cuda::CudaBackend>("nvbit-cpu",
+                                                   TraceBackend::NvbitCpu);
+      });
+}

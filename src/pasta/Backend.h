@@ -1,0 +1,103 @@
+//===- pasta/Backend.h - Pluggable platform backends ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vendor seam of the Session API. A PlatformBackend adapts one
+/// vendor instrumentation layer (Compute Sanitizer, NVBit, ROCprofiler)
+/// behind a capability-describing interface: it stands up the vendor
+/// runtime over the simulated system, and attaches the PASTA event
+/// handler with only the *negotiated* instrumentation enabled. Backends
+/// are selected by name through the BackendRegistry — the same mode name
+/// ("cs-gpu") resolves to the vendor-appropriate adapter, which is how
+/// the same tool collection runs unmodified across vendors (paper §III).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_BACKEND_H
+#define PASTA_PASTA_BACKEND_H
+
+#include "pasta/Capabilities.h"
+#include "pasta/EventHandler.h"
+#include "pasta/SessionError.h"
+#include "sim/GpuSpec.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+class DeviceApi;
+} // namespace dl
+
+/// One vendor instrumentation layer behind the Session API.
+///
+/// Lifecycle: createRuntime() once per device (the backend owns the
+/// vendor runtime), then attach() with the negotiated capability set;
+/// the owning Session detaches through the event handler before the
+/// backend is destroyed.
+class PlatformBackend {
+public:
+  virtual ~PlatformBackend();
+
+  /// Registry name this backend instance was created under.
+  virtual std::string name() const = 0;
+  virtual sim::VendorKind vendor() const = 0;
+  /// Event classes this backend can deliver.
+  virtual CapabilitySet capabilities() const = 0;
+
+  /// Creates (once) the vendor runtime over \p System and returns a DL
+  /// device API for \p DeviceIndex.
+  virtual std::unique_ptr<dl::DeviceApi>
+  createRuntime(sim::System &System, int DeviceIndex) = 0;
+
+  /// Subscribes \p Handler to this backend's instrumentation for
+  /// \p DeviceIndex, enabling only what \p Enabled asks for: when
+  /// Capability::AccessRecords (or InstrMix, for full-coverage backends)
+  /// is absent, no device-side instrumentation is installed at all —
+  /// the selective-instrumentation outcome of capability negotiation.
+  virtual void attach(EventHandler &Handler, int DeviceIndex,
+                      const CapabilitySet &Enabled,
+                      const TraceOptions &Opts) = 0;
+};
+
+/// Name -> backend factory, mirroring ToolRegistry. Factories receive the
+/// vendor implied by the selected GPU so one mode name can map to
+/// per-vendor adapters.
+class BackendRegistry {
+public:
+  using Factory = std::function<std::unique_ptr<PlatformBackend>(
+      sim::VendorKind Vendor, SessionError &Err)>;
+
+  /// Global registry instance (built-in backends pre-registered).
+  static BackendRegistry &instance();
+
+  void registerBackend(const std::string &Name, Factory MakeBackend);
+
+  /// Creates the adapter for \p Name on \p Vendor; null on failure with
+  /// \p Err describing the problem (unknown name lists the sorted
+  /// registered names; vendor mismatches say so).
+  std::unique_ptr<PlatformBackend> create(const std::string &Name,
+                                          sim::VendorKind Vendor,
+                                          SessionError &Err) const;
+
+  /// Names in sorted order.
+  std::vector<std::string> registeredNames() const;
+
+private:
+  std::map<std::string, Factory> Factories;
+};
+
+/// Idempotent registration of the built-in backends: "none", "cs-gpu",
+/// "cs-cpu" (Sanitizer/ROCprofiler per vendor) and "nvbit-cpu"
+/// (NVIDIA-only).
+void registerBuiltinBackends();
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_BACKEND_H

@@ -1,0 +1,95 @@
+//===- pasta/Capabilities.h - Instrumentation capabilities ------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event classes a platform backend can provide and a tool can consume.
+/// Sessions intersect the union of the attached tools' requirements()
+/// with the backend's capabilities() and enable only the instrumentation
+/// that is actually needed — the paper's selective-instrumentation story
+/// (§III-D) made explicit in the API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_CAPABILITIES_H
+#define PASTA_PASTA_CAPABILITIES_H
+
+#include <initializer_list>
+#include <string>
+
+namespace pasta {
+
+/// One class of profiling data.
+enum class Capability : unsigned {
+  /// Coarse host-API events (kernel launches, allocations, copies, DL
+  /// framework operators) — cheap callbacks, every backend has them.
+  CoarseEvents = 1u << 0,
+  /// Fine-grained memory-access records from device instrumentation.
+  AccessRecords = 1u << 1,
+  /// Dynamic instruction mix (full-SASS coverage backends only).
+  InstrMix = 1u << 2,
+  /// Unified-memory fault/migration/eviction counters.
+  UvmCounters = 1u << 3,
+};
+
+const char *capabilityName(Capability Cap);
+
+/// Small value-type bitmask over Capability.
+class CapabilitySet {
+public:
+  CapabilitySet() = default;
+  CapabilitySet(Capability Cap) : Bits(static_cast<unsigned>(Cap)) {}
+  CapabilitySet(std::initializer_list<Capability> Caps) {
+    for (Capability Cap : Caps)
+      Bits |= static_cast<unsigned>(Cap);
+  }
+
+  static CapabilitySet all() {
+    return {Capability::CoarseEvents, Capability::AccessRecords,
+            Capability::InstrMix, Capability::UvmCounters};
+  }
+
+  bool has(Capability Cap) const {
+    return (Bits & static_cast<unsigned>(Cap)) != 0;
+  }
+  bool empty() const { return Bits == 0; }
+
+  CapabilitySet &operator|=(CapabilitySet Other) {
+    Bits |= Other.Bits;
+    return *this;
+  }
+  CapabilitySet &operator&=(CapabilitySet Other) {
+    Bits &= Other.Bits;
+    return *this;
+  }
+  friend CapabilitySet operator|(CapabilitySet A, CapabilitySet B) {
+    return A |= B;
+  }
+  friend CapabilitySet operator&(CapabilitySet A, CapabilitySet B) {
+    return A &= B;
+  }
+  /// Capabilities in *this but not in \p Other.
+  CapabilitySet minus(CapabilitySet Other) const {
+    CapabilitySet Result;
+    Result.Bits = Bits & ~Other.Bits;
+    return Result;
+  }
+  friend bool operator==(CapabilitySet A, CapabilitySet B) {
+    return A.Bits == B.Bits;
+  }
+  friend bool operator!=(CapabilitySet A, CapabilitySet B) {
+    return A.Bits != B.Bits;
+  }
+
+  /// "coarse-events|access-records" style rendering for diagnostics.
+  std::string str() const;
+
+private:
+  unsigned Bits = 0;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_CAPABILITIES_H

@@ -7,6 +7,7 @@
 #include "pasta/Profiler.h"
 
 #include "support/Logging.h"
+#include "support/ReportSink.h"
 
 #include <cassert>
 
@@ -53,9 +54,10 @@ Tool *Profiler::addTool(std::unique_ptr<Tool> T) {
 }
 
 Tool *Profiler::addToolByName(const std::string &Name) {
-  std::unique_ptr<Tool> T = ToolRegistry::instance().create(Name);
+  SessionError Err;
+  std::unique_ptr<Tool> T = ToolRegistry::instance().create(Name, Err);
   if (!T) {
-    logWarning("unknown PASTA tool: " + Name);
+    logWarning(Err.message());
     return nullptr;
   }
   return addTool(std::move(T));
@@ -92,4 +94,10 @@ void Profiler::finish() {
 void Profiler::writeReports(std::FILE *Out) {
   for (auto &T : Tools)
     T->writeReport(Out);
+}
+
+void Profiler::writeReports(ReportSink &Sink) {
+  for (auto &T : Tools)
+    T->report(Sink);
+  Sink.close();
 }

@@ -48,7 +48,15 @@ struct ProfilerOptions {
   static ProfilerOptions fromEnv();
 };
 
+class ReportSink;
+
 /// Owns the PASTA pipeline and the active tools.
+///
+/// \deprecated New code should assemble a pasta::Session (Session.h),
+/// which adds pluggable platform backends, capability negotiation and
+/// structured report sinks on top of this facade. The vendor-specific
+/// attachCuda/attachHip entry points remain as shims for existing
+/// clients; a Session routes attachment through PlatformBackend instead.
 class Profiler {
 public:
   explicit Profiler(ProfilerOptions Opts = ProfilerOptions::fromEnv());
@@ -69,7 +77,10 @@ public:
   //===--------------------------------------------------------------------===
   // Attachment (the LD_PRELOAD moment)
   //===--------------------------------------------------------------------===
+  /// \deprecated Vendor-specific shim; prefer SessionBuilder::backend(),
+  /// which resolves a PlatformBackend by name and negotiates capabilities.
   void attachCuda(cuda::CudaRuntime &Runtime, int DeviceIndex = 0);
+  /// \deprecated Vendor-specific shim; prefer SessionBuilder::backend().
   void attachHip(hip::HipRuntime &Runtime, int AgentIndex = 0);
   void attachDl(dl::CallbackRegistry &Callbacks);
 
@@ -82,10 +93,14 @@ public:
   //===--------------------------------------------------------------------===
   // Lifecycle / reporting
   //===--------------------------------------------------------------------===
-  /// Detaches instrumentation and runs every tool's onFinish.
+  /// Detaches instrumentation and runs every tool's onFinish. Safe to
+  /// call any number of times; only the first invocation acts.
   void finish();
-  /// Writes every tool's report to \p Out.
+  /// Writes every tool's report to \p Out. Safe before or after finish().
+  /// \deprecated Prefer writeReports(ReportSink&) for structured output.
   void writeReports(std::FILE *Out);
+  /// Emits every tool's report into \p Sink (and closes it).
+  void writeReports(ReportSink &Sink);
 
   EventProcessor &processor() { return Processor; }
   EventHandler &handler() { return Handler; }

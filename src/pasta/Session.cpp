@@ -1,0 +1,194 @@
+//===- pasta/Session.cpp --------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Session.h"
+
+#include "dl/Backend.h"
+#include "dl/Executor.h"
+#include "dl/Models.h"
+#include "sim/System.h"
+#include "support/Format.h"
+#include "support/Logging.h"
+#include "support/ReportSink.h"
+#include "tools/RegisterTools.h"
+
+#include <algorithm>
+
+using namespace pasta;
+
+namespace {
+
+ProfilerOptions profilerOptions(const SessionOptions &Opts) {
+  ProfilerOptions ProfOpts;
+  // The backend flavor is decided by PlatformBackend::attach; the
+  // profiler-side trace options only carry the tuning knobs.
+  ProfOpts.Trace.SampleRate = Opts.SampleRate;
+  ProfOpts.Trace.RecordGranularityBytes = Opts.RecordGranularityBytes;
+  ProfOpts.Trace.DeviceBufferRecords = Opts.DeviceBufferRecords;
+  ProfOpts.AnalysisThreads = Opts.AnalysisThreads;
+  return ProfOpts;
+}
+
+} // namespace
+
+Session::Session(const SessionOptions &Opts)
+    : Opts(Opts), Prof(profilerOptions(Opts)) {}
+
+Session::~Session() {
+  if (!Finished)
+    finish();
+}
+
+bool Session::initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
+                         SessionError &Err) {
+  // Simulated machine: DeviceCount identical GPUs of the chosen preset.
+  sim::GpuSpec Spec = sim::gpuSpecByName(Opts.Gpu);
+  std::vector<sim::GpuSpec> Specs(static_cast<std::size_t>(Opts.DeviceCount),
+                                  Spec);
+  System = std::make_unique<sim::System>(Specs);
+  if (Opts.MemoryLimitBytes > 0)
+    System->device(0).setMemoryLimit(Opts.MemoryLimitBytes);
+
+  Backend = BackendRegistry::instance().create(Opts.Backend, Spec.Vendor, Err);
+  if (!Backend)
+    return false;
+
+  // Tools join the pipeline before negotiation so requirements() sees the
+  // final set.
+  for (const std::string &Name : Opts.ToolNames) {
+    std::unique_ptr<Tool> T = ToolRegistry::instance().create(Name, Err);
+    if (!T)
+      return false;
+    Prof.addTool(std::move(T));
+  }
+  for (std::unique_ptr<Tool> &T : ExtraTools)
+    Prof.addTool(std::move(T));
+
+  // Capability negotiation: enable only the instrumentation some tool
+  // actually consumes.
+  for (const std::unique_ptr<Tool> &T : Prof.tools())
+    Required |= T->requirements();
+  Negotiated =
+      Opts.Negotiate ? Required & Backend->capabilities() : Backend->capabilities();
+  CapabilitySet Missing = unsatisfied();
+  if (Opts.Negotiate && !Missing.empty())
+    logWarning("backend '" + Opts.Backend + "' cannot satisfy tool "
+               "requirements: " + Missing.str());
+
+  // One source of truth for the tuning knobs: profilerOptions() already
+  // translated SessionOptions into TraceOptions.
+  const TraceOptions &Trace = Prof.options().Trace;
+  for (int Rank = 0; Rank < Opts.DeviceCount; ++Rank) {
+    DeviceApis.push_back(Backend->createRuntime(*System, Rank));
+    Backend->attach(Prof.handler(), Rank, Negotiated, Trace);
+  }
+  Prof.attachDl(Callbacks);
+  return true;
+}
+
+SessionResult
+Session::run(const std::function<void(dl::Executor &)> &Customize) {
+  dl::ScheduleBuilder::Options BuildOpts;
+  BuildOpts.Flavor = DeviceApis.front()->kernelFlavor();
+  BuildOpts.Training = Opts.Training;
+  BuildOpts.Iterations = Opts.Iterations;
+  dl::Program Program = dl::buildModelProgram(Opts.Model, BuildOpts);
+
+  SessionResult Result;
+  Result.ProgramKernels = Program.numKernels();
+  Result.Stats = runProgram(Program, /*Rank=*/0, Customize);
+  Result.Uvm = System->device(0).uvm().counters();
+
+  // One-shot entry point: the session is report-ready when run returns.
+  finish();
+  return Result;
+}
+
+dl::RunStats
+Session::runProgram(const dl::Program &Program, int Rank,
+                    const std::function<void(dl::Executor &)> &Customize) {
+  dl::ExecutorOptions ExecOpts;
+  ExecOpts.Managed = Opts.Managed;
+  dl::Executor Executor(*DeviceApis[static_cast<std::size_t>(Rank)],
+                        Callbacks, ExecOpts);
+
+  tools::UvmPrefetcher Prefetcher(Opts.Prefetch);
+  Prefetcher.install(Executor);
+  if (Customize)
+    Customize(Executor);
+  return Executor.run(Program);
+}
+
+void Session::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  Prof.finish();
+}
+
+void Session::writeReports(ReportSink &Sink) { Prof.writeReports(Sink); }
+
+void Session::writeReports(std::FILE *Out) {
+  TextReportSink Sink(Out);
+  writeReports(Sink);
+}
+
+Tool *Session::tool(const std::string &Name) const {
+  for (const std::unique_ptr<Tool> &T : Prof.tools())
+    if (T->name() == Name)
+      return T.get();
+  return nullptr;
+}
+
+std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
+  // Friendly default: make the built-in names resolvable without an
+  // explicit registration call in every client.
+  tools::registerBuiltinTools();
+  registerBuiltinBackends();
+
+  if (Opts.DeviceCount < 1) {
+    Err.assign("device count must be >= 1");
+    return nullptr;
+  }
+  const std::vector<std::string> &Gpus = sim::knownGpuNames();
+  if (std::find(Gpus.begin(), Gpus.end(), Opts.Gpu) == Gpus.end()) {
+    Err.assign("unknown GPU '" + Opts.Gpu + "'; known GPUs: " +
+               join(Gpus, ", "));
+    return nullptr;
+  }
+  bool ModelKnown = false;
+  std::vector<std::string> ZooNames;
+  for (const dl::ModelConfig &Config : dl::modelZoo()) {
+    ModelKnown |= Config.Name == Opts.Model || Config.Abbrev == Opts.Model;
+    ZooNames.push_back(Config.Name);
+  }
+  if (!ModelKnown) {
+    Err.assign("unknown model '" + Opts.Model + "'; model zoo: " +
+               join(ZooNames, ", "));
+    return nullptr;
+  }
+  if (!(Opts.SampleRate > 0.0) || Opts.SampleRate > 1.0) {
+    Err.assign("sample rate must be in (0, 1]");
+    return nullptr;
+  }
+  if (Opts.RecordGranularityBytes == 0) {
+    Err.assign("record granularity must be positive");
+    return nullptr;
+  }
+  if (Opts.DeviceBufferRecords == 0) {
+    Err.assign("device buffer capacity must be positive");
+    return nullptr;
+  }
+  if (Opts.Iterations < 0) {
+    Err.assign("iteration count must be >= 0 (0 = model default)");
+    return nullptr;
+  }
+
+  std::unique_ptr<Session> S(new Session(Opts));
+  if (!S->initialize(std::move(OwnedTools), Err))
+    return nullptr;
+  return S;
+}

@@ -1,0 +1,266 @@
+//===- pasta/Session.h - Unified profiling session --------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front door of PASTA: a Session owns the whole profiling stack —
+/// simulated system, platform backend, event pipeline, tools and workload
+/// wiring — and is assembled by a fluent SessionBuilder:
+///
+/// \code
+///   pasta::SessionError Err;
+///   auto S = pasta::SessionBuilder()
+///                .tool("working_set")
+///                .backend("cs-gpu")
+///                .gpu("A100")
+///                .model("bert")
+///                .build(Err);
+///   if (!S)
+///     die(Err.message());
+///   pasta::SessionResult Result = S->run();
+///   pasta::JsonReportSink Sink(stdout);
+///   S->writeReports(Sink);
+/// \endcode
+///
+/// Construction performs *capability negotiation*: the union of every
+/// attached tool's requirements() is intersected with the backend's
+/// capabilities(), and only the surviving event classes are instrumented
+/// — a tool consuming only coarse events never pays for access-record
+/// tracing (paper §III-D's selective instrumentation, as API behavior).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_SESSION_H
+#define PASTA_PASTA_SESSION_H
+
+#include "dl/Callbacks.h"
+#include "pasta/Backend.h"
+#include "pasta/Profiler.h"
+#include "tools/UvmPrefetcher.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pasta {
+namespace dl {
+class Executor;
+class Program;
+} // namespace dl
+
+/// Outcome of one Session::run().
+struct SessionResult {
+  dl::RunStats Stats;
+  /// UVM counters snapshot (device 0) at run end.
+  sim::UvmCounters Uvm;
+  std::uint64_t ProgramKernels = 0;
+};
+
+/// Everything a session needs to know; filled by the SessionBuilder.
+struct SessionOptions {
+  std::vector<std::string> ToolNames;
+  std::string Backend = "none";
+  std::string Gpu = "A100";
+  /// Identical devices in the simulated machine.
+  int DeviceCount = 1;
+  std::string Model = "resnet18";
+  bool Training = false;
+  /// 0 = model default for the mode.
+  int Iterations = 0;
+  /// Pool segments from managed (UVM) memory.
+  bool Managed = false;
+  /// Artificial device-memory cap in bytes on device 0 (0 = none).
+  std::uint64_t MemoryLimitBytes = 0;
+  tools::PrefetchLevel Prefetch = tools::PrefetchLevel::None;
+  double SampleRate = 1.0;
+  std::uint64_t RecordGranularityBytes = 4096;
+  std::uint64_t DeviceBufferRecords = 1u << 20;
+  /// Device-analysis thread-pool width (0 = hardware concurrency).
+  std::size_t AnalysisThreads = 0;
+  /// When false, the backend enables everything it supports regardless of
+  /// tool requirements (legacy Profiler behavior).
+  bool Negotiate = true;
+};
+
+/// One profiling session: system + backend + pipeline + tools + workload.
+class Session {
+public:
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Annotation API (pasta.start / pasta.stop; paper Listing 1)
+  //===--------------------------------------------------------------------===
+  void start() { Prof.start(); }
+  void stop() { Prof.stop(); }
+
+  //===--------------------------------------------------------------------===
+  // Running work
+  //===--------------------------------------------------------------------===
+  /// Runs the configured model workload end-to-end and finishes the
+  /// session (detach + tool onFinish), leaving reports ready to write.
+  /// \p Customize, when set, sees the executor before the run.
+  SessionResult
+  run(const std::function<void(dl::Executor &)> &Customize = {});
+
+  /// Runs one explicit program on device \p Rank's runtime. Does NOT
+  /// finish the session — callers composing multi-program runs (e.g.
+  /// Megatron ranks) call finish() themselves.
+  dl::RunStats
+  runProgram(const dl::Program &Program, int Rank = 0,
+             const std::function<void(dl::Executor &)> &Customize = {});
+
+  //===--------------------------------------------------------------------===
+  // Lifecycle / reporting
+  //===--------------------------------------------------------------------===
+  /// Detaches instrumentation and runs every tool's onFinish. Safe to
+  /// call any number of times; only the first invocation acts.
+  void finish();
+  /// Emits every tool's report into \p Sink (and closes it).
+  void writeReports(ReportSink &Sink);
+  /// Convenience: text sink over \p Out.
+  void writeReports(std::FILE *Out);
+
+  //===--------------------------------------------------------------------===
+  // Introspection
+  //===--------------------------------------------------------------------===
+  const SessionOptions &options() const { return Opts; }
+  PlatformBackend &backend() { return *Backend; }
+  /// Union of the attached tools' requirements.
+  const CapabilitySet &required() const { return Required; }
+  /// Event classes actually instrumented (required ∩ backend caps, or
+  /// the full backend capability set when negotiation is off).
+  const CapabilitySet &negotiated() const { return Negotiated; }
+  /// Requirements the backend could not satisfy (empty when all good).
+  CapabilitySet unsatisfied() const {
+    return Required.minus(Backend->capabilities());
+  }
+
+  Profiler &profiler() { return Prof; }
+  EventProcessor &processor() { return Prof.processor(); }
+  sim::System &system() { return *System; }
+  dl::CallbackRegistry &callbacks() { return Callbacks; }
+  /// First tool with \p Name, null when absent. Typed variant casts.
+  Tool *tool(const std::string &Name) const;
+  template <typename ToolT> ToolT *toolAs(const std::string &Name) const {
+    return static_cast<ToolT *>(tool(Name));
+  }
+  const std::vector<std::unique_ptr<Tool>> &tools() const {
+    return Prof.tools();
+  }
+
+private:
+  friend class SessionBuilder;
+  explicit Session(const SessionOptions &Opts);
+
+  /// Builder-called: registry lookups, negotiation, attach. Returns false
+  /// with \p Err set on failure.
+  bool initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
+                  SessionError &Err);
+
+  SessionOptions Opts;
+  std::unique_ptr<sim::System> System;
+  std::unique_ptr<PlatformBackend> Backend;
+  Profiler Prof;
+  dl::CallbackRegistry Callbacks;
+  std::vector<std::unique_ptr<dl::DeviceApi>> DeviceApis;
+  CapabilitySet Required;
+  CapabilitySet Negotiated;
+  bool Finished = false;
+};
+
+/// Fluent assembler for Session.
+class SessionBuilder {
+public:
+  SessionBuilder() = default;
+  /// Starts from an existing configuration (e.g. to derive a probe run
+  /// from a fully-configured builder). Owned tools are not carried over.
+  explicit SessionBuilder(SessionOptions InitialOpts)
+      : Opts(std::move(InitialOpts)) {}
+
+  const SessionOptions &options() const { return Opts; }
+
+  SessionBuilder &tool(const std::string &Name) {
+    Opts.ToolNames.push_back(Name);
+    return *this;
+  }
+  /// Adds an already-constructed tool (the session takes ownership).
+  SessionBuilder &addTool(std::unique_ptr<Tool> T) {
+    OwnedTools.push_back(std::move(T));
+    return *this;
+  }
+  SessionBuilder &backend(const std::string &Name) {
+    Opts.Backend = Name;
+    return *this;
+  }
+  SessionBuilder &gpu(const std::string &Name) {
+    Opts.Gpu = Name;
+    return *this;
+  }
+  SessionBuilder &deviceCount(int Count) {
+    Opts.DeviceCount = Count;
+    return *this;
+  }
+  SessionBuilder &model(const std::string &Name) {
+    Opts.Model = Name;
+    return *this;
+  }
+  SessionBuilder &training(bool Enabled = true) {
+    Opts.Training = Enabled;
+    return *this;
+  }
+  SessionBuilder &iterations(int Count) {
+    Opts.Iterations = Count;
+    return *this;
+  }
+  SessionBuilder &managed(bool Enabled = true) {
+    Opts.Managed = Enabled;
+    return *this;
+  }
+  SessionBuilder &memoryLimit(std::uint64_t Bytes) {
+    Opts.MemoryLimitBytes = Bytes;
+    return *this;
+  }
+  SessionBuilder &prefetch(tools::PrefetchLevel Level) {
+    Opts.Prefetch = Level;
+    return *this;
+  }
+  SessionBuilder &sampleRate(double Rate) {
+    Opts.SampleRate = Rate;
+    return *this;
+  }
+  SessionBuilder &recordGranularity(std::uint64_t Bytes) {
+    Opts.RecordGranularityBytes = Bytes;
+    return *this;
+  }
+  SessionBuilder &deviceBufferRecords(std::uint64_t Records) {
+    Opts.DeviceBufferRecords = Records;
+    return *this;
+  }
+  SessionBuilder &analysisThreads(std::size_t Threads) {
+    Opts.AnalysisThreads = Threads;
+    return *this;
+  }
+  SessionBuilder &negotiate(bool Enabled) {
+    Opts.Negotiate = Enabled;
+    return *this;
+  }
+
+  /// Validates the configuration and assembles the session; null with
+  /// \p Err describing the first problem on failure.
+  std::unique_ptr<Session> build(SessionError &Err);
+
+private:
+  SessionOptions Opts;
+  std::vector<std::unique_ptr<Tool>> OwnedTools;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_SESSION_H

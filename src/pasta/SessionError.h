@@ -1,0 +1,60 @@
+//===- pasta/SessionError.h - Session diagnostics ---------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error type carried by the Session API: a success/failure flag plus
+/// a human-readable message. Registries and the SessionBuilder fill it
+/// instead of silently returning null, so drivers can print actionable
+/// diagnostics ("unknown tool 'x'; registered tools: a, b, c").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_SESSIONERROR_H
+#define PASTA_PASTA_SESSIONERROR_H
+
+#include <string>
+#include <utility>
+
+namespace pasta {
+
+/// Diagnostic outcome of a Session-API operation. Default-constructed
+/// state is success; ok() is false once a message is attached.
+class SessionError {
+public:
+  SessionError() = default;
+
+  static SessionError failure(std::string Message) {
+    SessionError Err;
+    Err.Failed = true;
+    Err.Text = std::move(Message);
+    return Err;
+  }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return Failed; }
+  const std::string &message() const { return Text; }
+
+  /// Overwrites this error in place (builder-style accumulation keeps the
+  /// first failure).
+  void assign(std::string Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    Text = std::move(Message);
+  }
+  void clear() {
+    Failed = false;
+    Text.clear();
+  }
+
+private:
+  bool Failed = false;
+  std::string Text;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_SESSIONERROR_H

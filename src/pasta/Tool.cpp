@@ -6,12 +6,85 @@
 
 #include "pasta/Tool.h"
 
+#include "support/Format.h"
 #include "support/Logging.h"
+#include "support/ReportSink.h"
+
+#include <cstdlib>
 
 using namespace pasta;
 
 DeviceAnalysis::~DeviceAnalysis() = default;
 Tool::~Tool() = default;
+
+const char *pasta::capabilityName(Capability Cap) {
+  switch (Cap) {
+  case Capability::CoarseEvents:
+    return "coarse-events";
+  case Capability::AccessRecords:
+    return "access-records";
+  case Capability::InstrMix:
+    return "instr-mix";
+  case Capability::UvmCounters:
+    return "uvm-counters";
+  }
+  return "unknown";
+}
+
+std::string CapabilitySet::str() const {
+  std::string Out;
+  for (Capability Cap :
+       {Capability::CoarseEvents, Capability::AccessRecords,
+        Capability::InstrMix, Capability::UvmCounters}) {
+    if (!has(Cap))
+      continue;
+    if (!Out.empty())
+      Out += '|';
+    Out += capabilityName(Cap);
+  }
+  return Out.empty() ? "none" : Out;
+}
+
+CapabilitySet Tool::requirements() {
+  // Probe the fine-grained hooks with empty payloads: when the virtual
+  // call lands back in the Tool default, that hook was not overridden and
+  // the matching capability is not required. Overrides observe one
+  // zero-record batch / zero mix, which every tool treats as a no-op.
+  CapabilitySet DefaultsReached;
+  ProbeSink = &DefaultsReached;
+  sim::LaunchInfo ProbeInfo;
+  onAccessBatch(ProbeInfo, nullptr, 0);
+  onInstrMix(ProbeInfo, sim::InstrMix());
+  ProbeSink = nullptr;
+
+  CapabilitySet Required(Capability::CoarseEvents);
+  if (!DefaultsReached.has(Capability::AccessRecords) || deviceAnalysis())
+    Required |= Capability::AccessRecords;
+  if (!DefaultsReached.has(Capability::InstrMix))
+    Required |= Capability::InstrMix;
+  return Required;
+}
+
+std::string Tool::renderTextReport() {
+  char *Buffer = nullptr;
+  std::size_t Size = 0;
+  std::FILE *Mem = open_memstream(&Buffer, &Size);
+  if (!Mem)
+    return std::string();
+  writeReport(Mem);
+  std::fclose(Mem);
+  std::string Text(Buffer, Size);
+  std::free(Buffer);
+  return Text;
+}
+
+void Tool::report(ReportSink &Sink) {
+  Sink.beginReport(name());
+  std::string Text = renderTextReport();
+  if (!Text.empty())
+    Sink.text(Text);
+  Sink.endReport();
+}
 
 ToolRegistry &ToolRegistry::instance() {
   static ToolRegistry Registry;
@@ -29,6 +102,16 @@ std::unique_ptr<Tool> ToolRegistry::create(const std::string &Name) const {
   if (It == Factories.end())
     return nullptr;
   return It->second();
+}
+
+std::unique_ptr<Tool> ToolRegistry::create(const std::string &Name,
+                                           SessionError &Err) const {
+  if (std::unique_ptr<Tool> T = create(Name))
+    return T;
+  std::vector<std::string> Known = registeredNames();
+  Err.assign("unknown tool '" + Name + "'; registered tools: " +
+             (Known.empty() ? "<none>" : join(Known, ", ")));
+  return nullptr;
 }
 
 std::vector<std::string> ToolRegistry::registeredNames() const {

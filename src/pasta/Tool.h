@@ -17,7 +17,9 @@
 #ifndef PASTA_PASTA_TOOL_H
 #define PASTA_PASTA_TOOL_H
 
+#include "pasta/Capabilities.h"
 #include "pasta/Events.h"
+#include "pasta/SessionError.h"
 #include "sim/Trace.h"
 
 #include <cstdio>
@@ -30,6 +32,7 @@
 namespace pasta {
 
 class EventProcessor;
+class ReportSink;
 
 /// Thread-safe reducer for fine-grained device records (the tool-supplied
 /// __device__ helper of the paper's GPU-resident model).
@@ -50,6 +53,16 @@ public:
   virtual ~Tool();
 
   virtual std::string name() const = 0;
+
+  /// Event classes this tool consumes; sessions enable only the matching
+  /// backend instrumentation (capability negotiation). The default derives
+  /// the answer from which fine-grained hooks are overridden: it probes
+  /// onAccessBatch/onInstrMix with empty payloads — a final overrider that
+  /// is still the Tool default marks the probe, so the capability is only
+  /// requested when a subclass replaced the hook (or deviceAnalysis() is
+  /// non-null). Tools whose fine-grained consumption the probe cannot see
+  /// (e.g. only onKernelTraceEnd) should override this explicitly.
+  virtual CapabilitySet requirements();
 
   /// Lifecycle: called when the profiler activates / deactivates the tool.
   virtual void onStart() {}
@@ -90,6 +103,8 @@ public:
     (void)Info;
     (void)Records;
     (void)Count;
+    if (ProbeSink)
+      *ProbeSink |= Capability::AccessRecords;
   }
   /// Device-resident path (Fig. 2b): non-null enables in-situ analysis.
   virtual DeviceAnalysis *deviceAnalysis() { return nullptr; }
@@ -98,6 +113,8 @@ public:
                           const sim::InstrMix &Mix) {
     (void)Info;
     (void)Mix;
+    if (ProbeSink)
+      *ProbeSink |= Capability::InstrMix;
   }
   /// Per-launch instrumentation cost breakdown (Fig. 10's components).
   virtual void onKernelTraceEnd(const sim::LaunchInfo &Info,
@@ -107,7 +124,25 @@ public:
   }
 
   /// Writes the tool's report (benches call this at run end).
+  /// \deprecated Prefer report(ReportSink&), which also carries structured
+  /// metrics; this remains the text body of the default report().
   virtual void writeReport(std::FILE *Out) { (void)Out; }
+
+  /// Emits the tool's report into \p Sink. The default wraps the legacy
+  /// writeReport text in one begin/end section; tools with structured
+  /// results override this and add metric() calls.
+  virtual void report(ReportSink &Sink);
+
+protected:
+  /// Renders writeReport(FILE*) into a string (for report() overrides
+  /// that want the text body alongside their metrics).
+  std::string renderTextReport();
+
+private:
+  /// Where the base-class fine-grained hook defaults record that they —
+  /// and not an override — were reached; only set while the default
+  /// requirements() probe runs.
+  CapabilitySet *ProbeSink = nullptr;
 };
 
 /// Factory registry so tools can be selected by name via the PASTA_TOOL
@@ -122,6 +157,11 @@ public:
   void registerTool(const std::string &Name, Factory MakeTool);
   /// Creates a registered tool; null when unknown.
   std::unique_ptr<Tool> create(const std::string &Name) const;
+  /// Diagnostic variant: on unknown \p Name, fills \p Err with the sorted
+  /// list of registered names instead of failing silently.
+  std::unique_ptr<Tool> create(const std::string &Name,
+                               SessionError &Err) const;
+  /// Names in sorted order.
   std::vector<std::string> registeredNames() const;
 
 private:

@@ -8,6 +8,8 @@
 
 #include "support/ErrorHandling.h"
 
+#include <utility>
+
 using namespace pasta;
 using namespace pasta::sim;
 
@@ -67,12 +69,34 @@ GpuSpec sim::mi300xSpec() {
   return Spec;
 }
 
+namespace {
+
+/// The one name -> preset table both lookup functions derive from.
+const std::vector<std::pair<const char *, GpuSpec (*)()>> &gpuPresets() {
+  static const std::vector<std::pair<const char *, GpuSpec (*)()>> Presets =
+      {{"A100", sim::a100Spec},
+       {"RTX3060", sim::rtx3060Spec},
+       {"MI300X", sim::mi300xSpec}};
+  return Presets;
+}
+
+} // namespace
+
 GpuSpec sim::gpuSpecByName(const std::string &Name) {
-  if (Name == "A100")
-    return a100Spec();
-  if (Name == "RTX3060")
-    return rtx3060Spec();
-  if (Name == "MI300X")
-    return mi300xSpec();
+  for (const auto &[Preset, Make] : gpuPresets())
+    if (Name == Preset)
+      return Make();
   reportFatalError("unknown GPU spec name: " + Name);
+}
+
+const std::vector<std::string> &sim::knownGpuNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Out;
+    for (const auto &[Preset, Make] : gpuPresets()) {
+      (void)Make;
+      Out.push_back(Preset);
+    }
+    return Out;
+  }();
+  return Names;
 }

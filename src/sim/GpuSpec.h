@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pasta {
 namespace sim {
@@ -134,6 +135,10 @@ GpuSpec mi300xSpec();
 /// Looks a preset up by name ("A100", "RTX3060", "MI300X"); fatal error on
 /// unknown names.
 GpuSpec gpuSpecByName(const std::string &Name);
+
+/// Preset names gpuSpecByName accepts, in a stable order (validating
+/// callers — the SessionBuilder — diagnose instead of dying).
+const std::vector<std::string> &knownGpuNames();
 
 } // namespace sim
 } // namespace pasta

@@ -1,0 +1,210 @@
+//===- support/ReportSink.cpp ---------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ReportSink.h"
+
+#include <cinttypes>
+
+using namespace pasta;
+
+ReportSink::~ReportSink() = default;
+
+std::string pasta::jsonEscape(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size() + 8);
+  for (char C : Raw) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string pasta::csvQuote(const std::string &Field) {
+  if (Field.find_first_of(",\"\n\r") == std::string::npos)
+    return Field;
+  std::string Out = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// TextReportSink
+//===----------------------------------------------------------------------===
+
+void TextReportSink::beginReport(const std::string &ToolName) {
+  Current = ToolName;
+  Body.clear();
+  MetricLines.clear();
+}
+
+void TextReportSink::metricLine(const std::string &Key,
+                                const std::string &Value) {
+  MetricLines.push_back("  " + Key + ": " + Value + "\n");
+}
+
+void TextReportSink::metric(const std::string &Key, std::uint64_t Value) {
+  char Num[32];
+  std::snprintf(Num, sizeof(Num), "%" PRIu64, Value);
+  metricLine(Key, Num);
+}
+
+void TextReportSink::metric(const std::string &Key, double Value) {
+  char Num[64];
+  std::snprintf(Num, sizeof(Num), "%g", Value);
+  metricLine(Key, Num);
+}
+
+void TextReportSink::metric(const std::string &Key,
+                            const std::string &Value) {
+  metricLine(Key, Value);
+}
+
+void TextReportSink::text(const std::string &Body_) { Body += Body_; }
+
+void TextReportSink::endReport() {
+  if (!Body.empty()) {
+    // The legacy writeReport rendering already shows everything in its
+    // own tabular format; print it verbatim.
+    std::fputs(Body.c_str(), Out);
+  } else if (!MetricLines.empty()) {
+    std::fprintf(Out, "[%s]\n", Current.c_str());
+    for (const std::string &Line : MetricLines)
+      std::fputs(Line.c_str(), Out);
+  }
+  Current.clear();
+  Body.clear();
+  MetricLines.clear();
+}
+
+//===----------------------------------------------------------------------===
+// JsonReportSink
+//===----------------------------------------------------------------------===
+
+JsonReportSink::~JsonReportSink() { close(); }
+
+void JsonReportSink::emit(const std::string &Chunk) {
+  if (Out)
+    std::fputs(Chunk.c_str(), Out);
+  else
+    Buffer += Chunk;
+}
+
+void JsonReportSink::beginReport(const std::string &ToolName) {
+  emit(AnyReport ? ",\n" : "[\n");
+  AnyReport = true;
+  AnyMetric = false;
+  Body.clear();
+  emit("  {\"tool\": \"" + jsonEscape(ToolName) + "\", \"metrics\": {");
+}
+
+void JsonReportSink::metricPrefix(const std::string &Key) {
+  emit(AnyMetric ? ", " : "");
+  AnyMetric = true;
+  emit("\"" + jsonEscape(Key) + "\": ");
+}
+
+void JsonReportSink::metric(const std::string &Key, std::uint64_t Value) {
+  metricPrefix(Key);
+  char Num[32];
+  std::snprintf(Num, sizeof(Num), "%" PRIu64, Value);
+  emit(Num);
+}
+
+void JsonReportSink::metric(const std::string &Key, double Value) {
+  metricPrefix(Key);
+  char Num[64];
+  std::snprintf(Num, sizeof(Num), "%.17g", Value);
+  emit(Num);
+}
+
+void JsonReportSink::metric(const std::string &Key,
+                            const std::string &Value) {
+  metricPrefix(Key);
+  emit("\"" + jsonEscape(Value) + "\"");
+}
+
+void JsonReportSink::text(const std::string &Body_) { Body += Body_; }
+
+void JsonReportSink::endReport() {
+  emit("}");
+  if (!Body.empty())
+    emit(", \"text\": \"" + jsonEscape(Body) + "\"");
+  emit("}");
+  Body.clear();
+}
+
+void JsonReportSink::close() {
+  if (Closed)
+    return;
+  Closed = true;
+  emit(AnyReport ? "\n]\n" : "[]\n");
+}
+
+//===----------------------------------------------------------------------===
+// CsvReportSink
+//===----------------------------------------------------------------------===
+
+void CsvReportSink::beginReport(const std::string &ToolName) {
+  Current = ToolName;
+  if (!HeaderPrinted) {
+    HeaderPrinted = true;
+    std::fputs("tool,key,value\n", Out);
+  }
+}
+
+void CsvReportSink::row(const std::string &Key, const std::string &Value) {
+  std::fprintf(Out, "%s,%s,%s\n", csvQuote(Current).c_str(),
+               csvQuote(Key).c_str(), csvQuote(Value).c_str());
+}
+
+void CsvReportSink::metric(const std::string &Key, std::uint64_t Value) {
+  char Num[32];
+  std::snprintf(Num, sizeof(Num), "%" PRIu64, Value);
+  row(Key, Num);
+}
+
+void CsvReportSink::metric(const std::string &Key, double Value) {
+  char Num[64];
+  std::snprintf(Num, sizeof(Num), "%g", Value);
+  row(Key, Num);
+}
+
+void CsvReportSink::metric(const std::string &Key,
+                           const std::string &Value) {
+  row(Key, Value);
+}
+
+void CsvReportSink::text(const std::string &Body) { row("text", Body); }
+
+void CsvReportSink::endReport() { Current.clear(); }

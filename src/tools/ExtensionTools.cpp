@@ -30,6 +30,9 @@ double InstructionMixTool::KernelMix::memoryFraction() const {
 
 void InstructionMixTool::onInstrMix(const sim::LaunchInfo &Info,
                                     const sim::InstrMix &Mix) {
+  // Ignore empty payloads (e.g. the requirements() negotiation probe).
+  if (Mix.total() == 0)
+    return;
   KernelMix &Entry = Mixes[Info.Desc ? Info.Desc->Name : "<unknown>"];
   ++Entry.Launches;
   Entry.Mix.GlobalLoads += Mix.GlobalLoads;

@@ -8,6 +8,7 @@
 
 #include "pasta/EventProcessor.h"
 #include "pasta/Knobs.h"
+#include "support/ReportSink.h"
 #include "support/TablePrinter.h"
 
 #include <algorithm>
@@ -60,4 +61,15 @@ void KernelFrequencyTool::writeReport(std::FILE *Out) {
     std::fprintf(Out, "\nMost-called kernel: %s\n%s",
                  HottestName.c_str(), HottestStack.str().c_str());
   }
+}
+
+void KernelFrequencyTool::report(ReportSink &Sink) {
+  Sink.beginReport(name());
+  Sink.metric("total_launches", TotalLaunches);
+  Sink.metric("distinct_kernels",
+              static_cast<std::uint64_t>(Frequencies.size()));
+  for (const auto &[Name, Count] : Frequencies)
+    Sink.metric("launches." + Name, Count);
+  Sink.text(renderTextReport());
+  Sink.endReport();
 }

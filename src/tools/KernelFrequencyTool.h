@@ -36,6 +36,7 @@ public:
   void onAttach(EventProcessor &Processor) override;
   void onKernelLaunch(const Event &E) override;
   void writeReport(std::FILE *Out) override;
+  void report(ReportSink &Sink) override;
 
   /// Invocation counts keyed by kernel name.
   const std::map<std::string, std::uint64_t> &frequencies() const {

@@ -6,6 +6,7 @@
 
 #include "tools/MemUsageTimelineTool.h"
 
+#include "support/ReportSink.h"
 #include "support/TablePrinter.h"
 #include "support/Units.h"
 
@@ -51,4 +52,15 @@ void MemUsageTimelineTool::writeReport(std::FILE *Out) {
                   std::to_string(numEvents(Device)),
                   formatBytes(peak(Device))});
   Table.print(Out);
+}
+
+void MemUsageTimelineTool::report(ReportSink &Sink) {
+  Sink.beginReport(name());
+  for (int Device : devices()) {
+    std::string Prefix = "device" + std::to_string(Device);
+    Sink.metric(Prefix + ".tensor_events", numEvents(Device));
+    Sink.metric(Prefix + ".peak_bytes", peak(Device));
+  }
+  Sink.text(renderTextReport());
+  Sink.endReport();
 }

@@ -34,6 +34,7 @@ public:
   void onTensorAlloc(const Event &E) override { record(E); }
   void onTensorReclaim(const Event &E) override { record(E); }
   void writeReport(std::FILE *Out) override;
+  void report(ReportSink &Sink) override;
 
   /// Allocated-bytes series per device, one sample per tensor event.
   const std::vector<std::uint64_t> &series(int DeviceIndex) const;

@@ -8,6 +8,7 @@
 
 #include "pasta/EventProcessor.h"
 #include "pasta/Knobs.h"
+#include "support/ReportSink.h"
 #include "support/TablePrinter.h"
 #include "support/Units.h"
 
@@ -189,4 +190,21 @@ void WorkingSetTool::writeReport(std::FILE *Out) {
   if (CaptureMaxRef && !MaxRefName.empty())
     std::fprintf(Out, "\nMost memory-referenced kernel: %s\n%s",
                  MaxRefName.c_str(), MaxRefStack.str().c_str());
+}
+
+void WorkingSetTool::report(ReportSink &Sink) {
+  Summary S = summary();
+  Sink.beginReport(name());
+  Sink.metric("analysis_mode", Mode == WsAnalysisMode::DeviceResident
+                                   ? "gpu-resident"
+                                   : "host-side");
+  Sink.metric("kernel_count", S.KernelCount);
+  Sink.metric("memory_footprint_bytes", S.PeakFootprintBytes);
+  Sink.metric("working_set_bytes", S.WorkingSetBytes);
+  Sink.metric("min_ws_bytes", S.MinWsBytes);
+  Sink.metric("avg_ws_bytes", S.AvgWsBytes);
+  Sink.metric("median_ws_bytes", S.MedianWsBytes);
+  Sink.metric("p90_ws_bytes", S.P90WsBytes);
+  Sink.text(renderTextReport());
+  Sink.endReport();
 }

@@ -89,6 +89,7 @@ public:
   void onKernelTraceEnd(const sim::LaunchInfo &Info,
                         const sim::TraceTimeBreakdown &Breakdown) override;
   void writeReport(std::FILE *Out) override;
+  void report(ReportSink &Sink) override;
 
   const std::vector<KernelRecord> &kernels() const { return Kernels; }
   Summary summary() const;

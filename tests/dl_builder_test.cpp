@@ -252,8 +252,9 @@ TEST(BuilderTest, ReshapeIsAllocationFree) {
   Program Prog = B.finish();
   // The view tensor must never be allocated.
   for (const Step &S : Prog.Steps)
-    if (S.Kind == StepKind::Alloc)
+    if (S.Kind == StepKind::Alloc) {
       EXPECT_NE(S.Tensor, V);
+    }
 }
 
 //===----------------------------------------------------------------------===//

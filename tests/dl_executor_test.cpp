@@ -153,7 +153,7 @@ TEST_F(ExecutorTest, ManagedRunMatchesKernelCount) {
 
 namespace {
 
-std::uint64_t peakAllocated(const Program &Prog, sim::System &System,
+std::uint64_t peakAllocated(const Program &Prog, sim::System &/*System*/,
                             cuda::CudaRuntime &Runtime, int Device) {
   CudaDeviceApi Api(Runtime, Device);
   CallbackRegistry Callbacks;

@@ -220,8 +220,9 @@ TEST(ModelStructureTest, WeightsStagedBeforeFirstIteration) {
     }
   for (std::size_t I = FirstIter; I < Prog.Steps.size(); ++I) {
     const Step &S = Prog.Steps[I];
-    if (S.Kind == StepKind::Alloc)
+    if (S.Kind == StepKind::Alloc) {
       EXPECT_NE(Prog.Tensors[S.Tensor].Role, TensorRole::Weight)
           << Prog.Tensors[S.Tensor].Name;
+    }
   }
 }

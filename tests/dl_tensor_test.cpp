@@ -117,11 +117,9 @@ TEST(ProfilerLifecycleTest, StartAndFinishFireOnce) {
 }
 
 TEST(ProfilerLifecycleTest, DestructorFinishes) {
-  LifecycleTool *Raw = nullptr;
   {
     Profiler Prof;
     auto Owned = std::make_unique<LifecycleTool>();
-    Raw = Owned.get();
     Prof.addTool(std::move(Owned));
     // No explicit finish: the destructor must call it while the tool is
     // still alive (profiler owns the tool).
