@@ -1,0 +1,103 @@
+//===- bench/bench_ablation_async_queue.cpp -------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation (real wall-clock): event-queue depth vs end-to-end overhead of
+// the asynchronous dispatch unit. The paper's dispatch unit (§III-B)
+// decouples event collection from tool analysis; this sweep measures what
+// that decoupling buys on a coarse-event-heavy workload — the application
+// thread only pays queue admission, while a dedicated dispatch thread
+// pays the tool cost — and how the bounded queue's depth moves the
+// needle (deeper = fewer stalls under the Block policy, at more buffered
+// memory). A second table compares the overflow policies at a deliberately
+// undersized queue, where their loss/backpressure trade-offs show up in
+// the drop/sample counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/TablePrinter.h"
+#include "support/Units.h"
+
+#include <chrono>
+
+using namespace pasta;
+
+namespace {
+
+struct SweepResult {
+  double Millis = 0;
+  ProcessorStats Stats;
+};
+
+/// Runs the fixed workload once; Depth == 0 selects synchronous mode.
+SweepResult runOnce(std::size_t Depth, OverflowPolicy Policy,
+                    std::uint64_t SampleEveryN = 8) {
+  SessionBuilder Builder;
+  Builder.tool("kernel_frequency")
+      .backend("cs-gpu")
+      .gpu("A100")
+      .model("bert")
+      .iterations(1);
+  if (Depth > 0)
+    Builder.asyncEvents()
+        .queueDepth(Depth)
+        .overflowPolicy(Policy)
+        .sampleEveryN(SampleEveryN);
+  std::unique_ptr<Session> S = bench::buildSession(Builder);
+
+  auto Start = std::chrono::steady_clock::now();
+  S->run();
+  auto End = std::chrono::steady_clock::now();
+
+  SweepResult Result;
+  Result.Millis =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  Result.Stats = S->processor().stats();
+  return Result;
+}
+
+std::string millis(double Value) { return format("%.2f ms", Value); }
+
+} // namespace
+
+int main() {
+  bench::banner("Ablation: async event-queue depth (dispatch unit)",
+                "the paper's decoupled dispatch unit, SIII-B");
+
+  SweepResult Sync = runOnce(0, OverflowPolicy::Block);
+
+  TablePrinter Depths({"Queue Depth", "Wall Time", "vs sync",
+                       "Max Depth Seen", "Flushes"});
+  Depths.addRow({"sync (inline)", millis(Sync.Millis), "1.00x", "-", "-"});
+  for (std::size_t Depth : {64u, 256u, 1024u, 4096u, 16384u}) {
+    SweepResult R = runOnce(Depth, OverflowPolicy::Block);
+    Depths.addRow({std::to_string(Depth), millis(R.Millis),
+                   format("%.2fx", R.Millis / Sync.Millis),
+                   std::to_string(R.Stats.MaxQueueDepth),
+                   std::to_string(R.Stats.FlushCount)});
+  }
+  Depths.print(stdout);
+
+  std::printf("\noverflow policies at a deliberately tiny queue "
+              "(depth 16):\n\n");
+  TablePrinter Policies({"Policy", "Wall Time", "Processed", "Dropped",
+                         "Sampled Out"});
+  for (OverflowPolicy Policy :
+       {OverflowPolicy::Block, OverflowPolicy::DropNewest,
+        OverflowPolicy::Sample}) {
+    SweepResult R = runOnce(16, Policy, /*SampleEveryN=*/8);
+    Policies.addRow({overflowPolicyName(Policy), millis(R.Millis),
+                     std::to_string(R.Stats.EventsProcessed),
+                     std::to_string(R.Stats.EventsDropped),
+                     std::to_string(R.Stats.EventsSampledOut)});
+  }
+  Policies.print(stdout);
+
+  std::printf("\ndeeper queues absorb bursts without stalling the "
+              "application thread; Block is lossless, DropNewest and "
+              "Sample trade completeness for latency.\n");
+  return 0;
+}

@@ -9,12 +9,14 @@
 //   accelprof [-v] -t <tool> [-b <backend>] [-g <gpu>] [--train]
 //             [--iters N] [--managed] [--oversub F]
 //             [--prefetch none|object|tensor] [--format text|json|csv]
+//             [--async] [--queue-depth N] [--overflow block|drop|sample[:N]]
 //             <model>
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
 //       accelprof -t hotness -b cs-gpu --managed --oversub 3 gpt2
 //       accelprof -t working_set -b cs-gpu --format json bert
+//       accelprof -t kernel_frequency -b cs-gpu --async --queue-depth 1024 bert
 //
 // <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
 // bert, whisper). Tools: see `accelprof --list-tools`; backends:
@@ -45,7 +47,9 @@ int usage(const char *Argv0) {
       "          [-g A100|RTX3060|MI300X] [--train] [--iters N]\n"
       "          [--managed] [--oversub F] [--prefetch none|object|tensor]\n"
       "          [--granularity BYTES] [--sample-rate R]\n"
-      "          [--format text|json|csv] <model>\n"
+      "          [--format text|json|csv]\n"
+      "          [--async] [--queue-depth N]\n"
+      "          [--overflow block|drop|sample[:N]] <model>\n"
       "       %s --list-tools | --list-backends\n",
       Argv0, Argv0);
   return 2;
@@ -89,6 +93,7 @@ int main(int Argc, char **Argv) {
   std::string ToolName;
   std::string Model;
   bool Verbose = false;
+  bool Async = false;
   double Oversub = 0.0;
   ReportFormat Format = ReportFormat::Text;
 
@@ -137,6 +142,43 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Builder.managed();
+    } else if (Arg == "--async") {
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--queue-depth") {
+      long long Depth = std::atoll(NextValue("--queue-depth"));
+      if (Depth <= 0) {
+        std::fprintf(stderr, "error: --queue-depth must be positive\n");
+        return 2;
+      }
+      // Tuning the queue only makes sense asynchronously; imply --async
+      // (the --oversub / --managed precedent).
+      Builder.queueDepth(static_cast<std::size_t>(Depth));
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--overflow") {
+      std::string Spec = NextValue("--overflow");
+      // "sample:16" selects the Sample policy keeping 1/16.
+      std::size_t Colon = Spec.find(':');
+      if (Colon != std::string::npos) {
+        long long EveryN = std::atoll(Spec.substr(Colon + 1).c_str());
+        if (EveryN <= 0) {
+          std::fprintf(stderr,
+                       "error: --overflow sample:N needs a positive N\n");
+          return 2;
+        }
+        Builder.sampleEveryN(static_cast<std::uint64_t>(EveryN));
+        Spec = Spec.substr(0, Colon);
+      }
+      auto Policy = parseOverflowPolicy(Spec);
+      if (!Policy) {
+        std::fprintf(stderr, "error: unknown overflow policy '%s'\n",
+                     Spec.c_str());
+        return 2;
+      }
+      Builder.overflowPolicy(*Policy);
+      Builder.asyncEvents();
+      Async = true;
     } else if (Arg == "--granularity") {
       Builder.recordGranularity(
           static_cast<std::uint64_t>(std::atoll(NextValue("--granularity"))));
@@ -220,6 +262,11 @@ int main(int Argc, char **Argv) {
         formatBytes(Result.Stats.PeakReserved).c_str());
 
   std::unique_ptr<ReportSink> Sink = makeSink(Format, stdout);
+  // The pipeline section leads the tool reports when the async dispatch
+  // unit ran, so drop/sample counters are visible next to the results
+  // they qualify.
+  if (Async)
+    S->writePipelineReport(*Sink);
   S->writeReports(*Sink);
   return 0;
 }

@@ -6,29 +6,89 @@
 
 #include "pasta/EventProcessor.h"
 
+#include "support/ReportSink.h"
+
 #include <algorithm>
+#include <utility>
 
 using namespace pasta;
 
 EventProcessor::EventProcessor(std::size_t DeviceAnalysisThreads)
     : AnalysisThreads(DeviceAnalysisThreads) {}
 
-EventProcessor::~EventProcessor() = default;
+EventProcessor::EventProcessor(const ProcessorOptions &Opts)
+    : AnalysisThreads(Opts.AnalysisThreads) {
+  if (Opts.AsyncEvents) {
+    Queue = std::make_unique<EventQueue>(
+        std::max<std::size_t>(Opts.QueueDepth, 1), Opts.Overflow,
+        std::max<std::uint64_t>(Opts.SampleEveryN, 1));
+    DispatchThread = std::thread([this] { dispatchLoop(); });
+  }
+}
+
+EventProcessor::~EventProcessor() {
+  if (Queue) {
+    Queue->close();
+    DispatchThread.join();
+  }
+}
 
 void EventProcessor::process(Event E) {
+  if (!Queue) {
+    processDispatch(std::move(E));
+    return;
+  }
+  // Synchronization is a hard barrier: the application expects every
+  // preceding effect to be visible when the sync call returns, so the
+  // matching analysis must be complete too (and reports deterministic).
+  // (enqueue pins the event's borrowed pointees on admission — queued
+  // events outlive this callback's stack frame.)
+  bool Barrier = E.Kind == EventKind::Synchronization;
+  Queue->enqueue(std::move(E));
+  if (Barrier)
+    flush();
+}
+
+void EventProcessor::flush() {
+  // FlushCount counts actual drain barriers; synchronous dispatch has
+  // nothing to drain, so the metric stays 0 and comparable across modes.
+  if (!Queue)
+    return;
+  Core.FlushCount.fetch_add(1, std::memory_order_relaxed);
+  Queue->waitDrained();
+}
+
+void EventProcessor::annotationStart() {
+  flush();
+  Filter.annotationStart();
+}
+
+void EventProcessor::annotationStop() {
+  flush();
+  Filter.annotationStop();
+}
+
+void EventProcessor::dispatchLoop() {
+  std::vector<Event> Batch;
+  while (Queue->dequeueBatch(Batch))
+    for (Event &E : Batch)
+      processDispatch(std::move(E));
+}
+
+void EventProcessor::processDispatch(Event E) {
   // Range filtering: kernel-scoped events outside the analysis window are
   // dropped; resource/DL bookkeeping events always pass so tools keep a
   // consistent view of allocations.
   bool KernelScoped = E.Kind == EventKind::KernelLaunch ||
                       E.Kind == EventKind::KernelComplete;
   if (KernelScoped && !Filter.kernelActive(E.GridId)) {
-    ++Stats.EventsFiltered;
+    Core.EventsFiltered.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (eventLevel(E.Kind) == EventLevel::DlFramework &&
       !Filter.regionActive() && E.Kind != EventKind::TensorAlloc &&
       E.Kind != EventKind::TensorReclaim) {
-    ++Stats.EventsFiltered;
+    Core.EventsFiltered.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -36,7 +96,7 @@ void EventProcessor::process(Event E) {
   if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
     Stacks.setPythonStack(E.PythonStack);
 
-  ++Stats.EventsProcessed;
+  Core.EventsProcessed.fetch_add(1, std::memory_order_relaxed);
   dispatch(E);
 }
 
@@ -97,17 +157,64 @@ void EventProcessor::dispatch(const Event &E) {
   }
 }
 
+ProcessorStats EventProcessor::stats() const {
+  ProcessorStats Snapshot;
+  Snapshot.EventsProcessed =
+      Core.EventsProcessed.load(std::memory_order_relaxed);
+  Snapshot.EventsFiltered =
+      Core.EventsFiltered.load(std::memory_order_relaxed);
+  Snapshot.RecordBatches =
+      Core.RecordBatches.load(std::memory_order_relaxed);
+  Snapshot.RecordsDelivered =
+      Core.RecordsDelivered.load(std::memory_order_relaxed);
+  Snapshot.DeviceAnalyzedRecords =
+      Core.DeviceAnalyzedRecords.load(std::memory_order_relaxed);
+  Snapshot.HostAnalyzedRecords =
+      Core.HostAnalyzedRecords.load(std::memory_order_relaxed);
+  Snapshot.FlushCount = Core.FlushCount.load(std::memory_order_relaxed);
+  if (Queue) {
+    EventQueueCounters Counters = Queue->counters();
+    Snapshot.EventsDropped = Counters.Dropped;
+    Snapshot.EventsSampledOut = Counters.SampledOut;
+    Snapshot.MaxQueueDepth = Counters.MaxDepth;
+  }
+  return Snapshot;
+}
+
+void EventProcessor::reportPipeline(ReportSink &Sink) const {
+  ProcessorStats Snapshot = stats();
+  Sink.beginReport("event_pipeline");
+  Sink.metric("mode", std::string(Queue ? "async" : "sync"));
+  if (Queue) {
+    Sink.metric("overflow_policy",
+                std::string(overflowPolicyName(Queue->policy())));
+    Sink.metric("queue_depth",
+                static_cast<std::uint64_t>(Queue->capacity()));
+  }
+  Sink.metric("events_processed", Snapshot.EventsProcessed);
+  Sink.metric("events_filtered", Snapshot.EventsFiltered);
+  Sink.metric("events_dropped", Snapshot.EventsDropped);
+  Sink.metric("events_sampled_out", Snapshot.EventsSampledOut);
+  Sink.metric("max_queue_depth", Snapshot.MaxQueueDepth);
+  Sink.metric("flush_count", Snapshot.FlushCount);
+  Sink.endReport();
+}
+
 void EventProcessor::onKernelBegin(const sim::LaunchInfo &Info) {
   (void)Info;
+  if (Queue)
+    flush();
 }
 
 void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
                                    const sim::MemAccessRecord *Records,
                                    std::size_t Count) {
+  if (Queue)
+    flush(); // records must not run ahead of their coarse events
   if (!Filter.kernelActive(Info.GridId))
     return;
-  ++Stats.RecordBatches;
-  Stats.RecordsDelivered += Count;
+  Core.RecordBatches.fetch_add(1, std::memory_order_relaxed);
+  Core.RecordsDelivered.fetch_add(Count, std::memory_order_relaxed);
 
   for (Tool *T : Tools) {
     if (DeviceAnalysis *Analysis = T->deviceAnalysis()) {
@@ -117,17 +224,19 @@ void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
           Count, [&](std::size_t Begin, std::size_t End) {
             Analysis->processRecords(Info, Records + Begin, End - Begin);
           });
-      Stats.DeviceAnalyzedRecords += Count;
+      Core.DeviceAnalyzedRecords.fetch_add(Count, std::memory_order_relaxed);
     } else {
       // Conventional host-side model: one thread sees the whole batch.
       T->onAccessBatch(Info, Records, Count);
-      Stats.HostAnalyzedRecords += Count;
+      Core.HostAnalyzedRecords.fetch_add(Count, std::memory_order_relaxed);
     }
   }
 }
 
 void EventProcessor::onInstrMix(const sim::LaunchInfo &Info,
                                 const sim::InstrMix &Mix) {
+  if (Queue)
+    flush();
   if (!Filter.kernelActive(Info.GridId))
     return;
   for (Tool *T : Tools)
@@ -136,6 +245,8 @@ void EventProcessor::onInstrMix(const sim::LaunchInfo &Info,
 
 void EventProcessor::onKernelEnd(const sim::LaunchInfo &Info,
                                  const sim::TraceTimeBreakdown &Breakdown) {
+  if (Queue)
+    flush();
   if (!Filter.kernelActive(Info.GridId))
     return;
   for (Tool *T : Tools)

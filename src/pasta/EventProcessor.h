@@ -11,6 +11,27 @@
 /// tools. It implements sim::TraceSink so vendor profiling layers stream
 /// device records straight into it.
 ///
+/// The dispatch unit runs in one of two modes:
+///
+///  * synchronous (default): process() preprocesses and dispatches on the
+///    caller's thread — the application pays tool-analysis cost inline.
+///  * asynchronous: process() only admits the event into a bounded MPSC
+///    EventQueue and returns; a dedicated dispatch thread drains the
+///    queue in batches and runs preprocessing + tool dispatch off the
+///    application's critical path. Synchronization events, TraceSink
+///    record deliveries and finish() are hard flush barriers, so tool
+///    state and reports stay deterministic; with the Block overflow
+///    policy async reports are byte-identical to synchronous ones.
+///
+///    Threading contract: any number of threads may call process()
+///    concurrently, but annotation toggles and TraceSink record
+///    deliveries are flush-then-proceed operations, not mutual
+///    exclusion — they assume no *other* producer enqueues while they
+///    run (true for the simulated runtimes, which deliver records from
+///    the same thread that issued the launch). Concurrent producers
+///    during a record delivery would let the dispatch thread run tool
+///    hooks in parallel with the inline record analysis.
+///
 /// The GPU-resident collect-and-analyze model (paper Fig. 2b) is realized
 /// by a host thread pool standing in for device analysis warps: tools
 /// returning a DeviceAnalysis get their records reduced concurrently, for
@@ -23,19 +44,26 @@
 #define PASTA_PASTA_EVENTPROCESSOR_H
 
 #include "pasta/CallStack.h"
+#include "pasta/EventQueue.h"
 #include "pasta/Events.h"
 #include "pasta/RangeFilter.h"
 #include "pasta/Tool.h"
 #include "sim/Trace.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace pasta {
 
-/// Processor-side counters (tests assert on them).
+class ReportSink;
+
+/// Processor-side counters (tests assert on them). In asynchronous mode
+/// the snapshot returned by stats() is only stable after flush() or a
+/// finished session.
 struct ProcessorStats {
   std::uint64_t EventsProcessed = 0;
   std::uint64_t EventsFiltered = 0;
@@ -43,6 +71,29 @@ struct ProcessorStats {
   std::uint64_t RecordsDelivered = 0;
   std::uint64_t DeviceAnalyzedRecords = 0;
   std::uint64_t HostAnalyzedRecords = 0;
+  /// Async pipeline: events discarded by the DropNewest policy.
+  std::uint64_t EventsDropped = 0;
+  /// Async pipeline: events discarded by the Sample policy.
+  std::uint64_t EventsSampledOut = 0;
+  /// Async pipeline: high-water mark of the event queue.
+  std::uint64_t MaxQueueDepth = 0;
+  /// Hard flush barriers taken (Synchronization events, record
+  /// deliveries, annotation toggles, finish).
+  std::uint64_t FlushCount = 0;
+};
+
+/// Dispatch-unit configuration.
+struct ProcessorOptions {
+  /// Device-analysis thread-pool width (0 = hardware concurrency).
+  std::size_t AnalysisThreads = 0;
+  /// Decouple event collection from tool analysis on a dispatch thread.
+  bool AsyncEvents = false;
+  /// Bounded queue capacity between producers and the dispatch thread.
+  std::size_t QueueDepth = 4096;
+  /// What happens to events arriving while the queue is full.
+  OverflowPolicy Overflow = OverflowPolicy::Block;
+  /// The Sample policy's N: 1/N of overflowing events are admitted.
+  std::uint64_t SampleEveryN = 8;
 };
 
 /// Preprocessing + dispatch layer between the event handler and tools.
@@ -51,6 +102,7 @@ public:
   /// \p DeviceAnalysisThreads sizes the host stand-in for the device
   /// analysis warps (0 = hardware concurrency).
   explicit EventProcessor(std::size_t DeviceAnalysisThreads = 0);
+  explicit EventProcessor(const ProcessorOptions &Opts);
   ~EventProcessor() override;
 
   /// Tools receiving dispatched data (not owned).
@@ -63,15 +115,40 @@ public:
 
   RangeFilter &rangeFilter() { return Filter; }
   CallStackBuilder &callStacks() { return Stacks; }
-  const ProcessorStats &stats() const { return Stats; }
+  /// Counter snapshot, merged with the async queue counters. Safe to
+  /// call concurrently with a running pipeline (each counter is read
+  /// atomically), but only quiescent pipelines (after flush()/finish,
+  /// or in synchronous mode) yield a mutually consistent snapshot.
+  ProcessorStats stats() const;
+  bool asyncEvents() const { return Queue != nullptr; }
 
-  /// CPU preprocess + dispatch of one coarse event (called by the event
-  /// handler). Kernel-scoped events honour the range filter.
+  /// Admits one coarse event (called by the event handler). Synchronous
+  /// mode preprocesses + dispatches inline; asynchronous mode enqueues
+  /// and returns, except for Synchronization events which flush the
+  /// pipeline before returning (hard barrier).
   void process(Event E);
+
+  /// Blocks until every admitted event has been dispatched. No-op in
+  /// synchronous mode (everything already was). Must not be called from
+  /// a tool hook — the dispatch thread cannot wait on itself.
+  void flush();
+
+  /// Annotation toggles (pasta.start/stop). Flush first so the region
+  /// boundary falls between the same events as in synchronous mode.
+  void annotationStart();
+  void annotationStop();
+
+  /// Emits the dispatch-unit counters as an "event_pipeline" report
+  /// section (does not close \p Sink).
+  void reportPipeline(ReportSink &Sink) const;
 
   //===--------------------------------------------------------------------===
   // sim::TraceSink — fine-grained device records
   //===--------------------------------------------------------------------===
+  // Record batches reference transient device buffers and are analyzed
+  // inline on the delivering thread; in async mode each delivery first
+  // flushes the queue so records never observe tool state older than the
+  // coarse events preceding them.
   void onKernelBegin(const sim::LaunchInfo &Info) override;
   void onAccessBatch(const sim::LaunchInfo &Info,
                      const sim::MemAccessRecord *Records,
@@ -82,15 +159,36 @@ public:
                    const sim::TraceTimeBreakdown &Breakdown) override;
 
 private:
+  /// Preprocess + dispatch of one event: range filtering, call-stack
+  /// context, then routing. Runs on the caller's thread in synchronous
+  /// mode and on the dispatch thread in asynchronous mode.
+  void processDispatch(Event E);
+
   /// Dispatch-unit core: routes \p E to the kind-specific hook and the
   /// generic hook of every tool.
   void dispatch(const Event &E);
+
+  /// Dispatch thread main: drains queue batches until close().
+  void dispatchLoop();
 
   std::vector<Tool *> Tools;
   RangeFilter Filter;
   CallStackBuilder Stacks;
   ThreadPool AnalysisThreads;
-  ProcessorStats Stats;
+  /// Core counters live as atomics: the dispatch thread increments them
+  /// while producers may snapshot via stats() (e.g. a monitor polling
+  /// drop counters mid-run).
+  struct {
+    std::atomic<std::uint64_t> EventsProcessed{0};
+    std::atomic<std::uint64_t> EventsFiltered{0};
+    std::atomic<std::uint64_t> RecordBatches{0};
+    std::atomic<std::uint64_t> RecordsDelivered{0};
+    std::atomic<std::uint64_t> DeviceAnalyzedRecords{0};
+    std::atomic<std::uint64_t> HostAnalyzedRecords{0};
+    std::atomic<std::uint64_t> FlushCount{0};
+  } Core;
+  std::unique_ptr<EventQueue> Queue;
+  std::thread DispatchThread;
 };
 
 } // namespace pasta

@@ -1,0 +1,128 @@
+//===- pasta/EventQueue.cpp -----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventQueue.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pasta;
+
+const char *pasta::overflowPolicyName(OverflowPolicy Policy) {
+  switch (Policy) {
+  case OverflowPolicy::Block:
+    return "block";
+  case OverflowPolicy::DropNewest:
+    return "drop-newest";
+  case OverflowPolicy::Sample:
+    return "sample";
+  }
+  return "unknown";
+}
+
+std::optional<OverflowPolicy>
+pasta::parseOverflowPolicy(const std::string &Name) {
+  if (Name == "block")
+    return OverflowPolicy::Block;
+  if (Name == "drop" || Name == "drop-newest")
+    return OverflowPolicy::DropNewest;
+  if (Name == "sample")
+    return OverflowPolicy::Sample;
+  return std::nullopt;
+}
+
+EventQueue::EventQueue(std::size_t Capacity, OverflowPolicy Policy,
+                       std::uint64_t SampleEveryN)
+    : Capacity(Capacity), Policy(Policy), SampleEveryN(SampleEveryN) {
+  assert(Capacity > 0 && "queue depth must be positive");
+  assert(SampleEveryN > 0 && "sample modulus must be positive");
+  // Pre-size for the common case, but don't let an enormous (or
+  // nonsensical) capacity reserve unbounded memory up front.
+  Buffer.reserve(std::min<std::size_t>(Capacity, 1u << 16));
+}
+
+void EventQueue::enqueue(Event E) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Closed) {
+    // Shutdown teardown: count the loss so conservation invariants
+    // (enqueued + dropped + sampled-out == sent) keep holding.
+    ++Counters.Dropped;
+    return;
+  }
+  if (Buffer.size() >= Capacity) {
+    switch (Policy) {
+    case OverflowPolicy::Block:
+      break;
+    case OverflowPolicy::DropNewest:
+      ++Counters.Dropped;
+      return;
+    case OverflowPolicy::Sample:
+      // The first N-1 of every N overflowing events are sampled out;
+      // the Nth is admitted, waiting for space like Block. Sampling
+      // before blocking means a stalled consumer still accumulates
+      // sampled-out counts instead of wedging the producer on the very
+      // first overflow.
+      if (++OverflowSeen % SampleEveryN != 0) {
+        ++Counters.SampledOut;
+        return;
+      }
+      break;
+    }
+    NotFull.wait(Lock,
+                 [this] { return Buffer.size() < Capacity || Closed; });
+    if (Closed) {
+      ++Counters.Dropped; // woken by close(), not by space
+      return;
+    }
+  }
+  // Only events actually admitted pay for pinning their borrowed
+  // kernel/tensor pointees (dropped/sampled events never allocate); the
+  // producing callback's frame is still live here, so the pointers are
+  // still valid to copy from.
+  E.retainPointees();
+  Buffer.push_back(std::move(E));
+  ++Counters.Enqueued;
+  Counters.MaxDepth = std::max<std::uint64_t>(Counters.MaxDepth,
+                                              Buffer.size());
+  NotEmpty.notify_one();
+}
+
+bool EventQueue::dequeueBatch(std::vector<Event> &Batch) {
+  Batch.clear();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  // The previous batch is fully dispatched once the consumer re-enters.
+  ConsumerIdle = true;
+  Drained.notify_all();
+  NotEmpty.wait(Lock, [this] { return !Buffer.empty() || Closed; });
+  if (Buffer.empty())
+    return false; // closed and drained
+  std::swap(Batch, Buffer);
+  Buffer.reserve(std::min<std::size_t>(Capacity, 1u << 16));
+  ConsumerIdle = false;
+  ++Counters.Batches;
+  NotFull.notify_all();
+  return true;
+}
+
+void EventQueue::waitDrained() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Drained.wait(Lock, [this] { return Buffer.empty() && ConsumerIdle; });
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+  Drained.notify_all();
+}
+
+EventQueueCounters EventQueue::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

@@ -1,0 +1,120 @@
+//===- pasta/EventQueue.h - Bounded MPSC event queue ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The buffer between event collection and tool analysis (paper §III-B's
+/// dispatch unit, made concurrent): a bounded multi-producer /
+/// single-consumer queue of normalized Events. Producers are the
+/// runtime/handler threads calling EventProcessor::process(); the single
+/// consumer is the processor's dispatch thread, which drains whole
+/// batches at a time (double buffering: the consumer swaps the producing
+/// buffer out under the lock and dispatches it lock-free).
+///
+/// When the queue is full, one of three overflow policies applies:
+///
+///  * Block      — producers wait for space; nothing is ever lost, at the
+///                 cost of back-pressure into the application (the
+///                 deterministic default).
+///  * DropNewest — the incoming event is discarded and counted; the
+///                 application never stalls.
+///  * Sample     — 1/N of overflowing events are admitted (waiting for
+///                 space like Block), the other N-1 are counted as
+///                 sampled out; a statistical middle ground.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_EVENTQUEUE_H
+#define PASTA_PASTA_EVENTQUEUE_H
+
+#include "pasta/Events.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+/// What happens to an incoming event when the queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  Block,      ///< Producer waits for space (lossless, back-pressure).
+  DropNewest, ///< Incoming event is discarded and counted.
+  Sample,     ///< 1/N of overflowing events admitted, rest counted out.
+};
+
+/// Stable lower-case name ("block", "drop-newest", "sample").
+const char *overflowPolicyName(OverflowPolicy Policy);
+
+/// Parses driver/env spellings ("block", "drop", "drop-newest",
+/// "sample"); nullopt when unknown.
+std::optional<OverflowPolicy> parseOverflowPolicy(const std::string &Name);
+
+/// Monotonic counters; snapshot via EventQueue::counters().
+struct EventQueueCounters {
+  std::uint64_t Enqueued = 0;
+  std::uint64_t Dropped = 0;
+  std::uint64_t SampledOut = 0;
+  /// High-water mark of the producing buffer.
+  std::uint64_t MaxDepth = 0;
+  /// Batches handed to the consumer.
+  std::uint64_t Batches = 0;
+};
+
+/// Bounded MPSC queue with batched, double-buffered consumption.
+class EventQueue {
+public:
+  /// \p Capacity bounds the producing buffer (> 0); \p SampleEveryN is
+  /// the Sample policy's N (> 0, ignored by the other policies).
+  EventQueue(std::size_t Capacity, OverflowPolicy Policy,
+             std::uint64_t SampleEveryN);
+
+  EventQueue(const EventQueue &) = delete;
+  EventQueue &operator=(const EventQueue &) = delete;
+
+  /// Producer side: admits \p E per the overflow policy. Events arriving
+  /// after close() are discarded.
+  void enqueue(Event E);
+
+  /// Consumer side: swaps the producing buffer into \p Batch, blocking
+  /// until events are available. Returns false when the queue is closed
+  /// and fully drained. Calling dequeueBatch also marks the previous
+  /// batch as fully dispatched (the consumer is "idle" while blocked
+  /// here), which is what waitDrained() synchronizes on.
+  bool dequeueBatch(std::vector<Event> &Batch);
+
+  /// Blocks until every enqueued event has been dispatched (queue empty
+  /// AND the consumer is between batches). Producer-side flush barrier.
+  void waitDrained();
+
+  /// Ends the stream: the consumer drains what is queued, then
+  /// dequeueBatch returns false. Idempotent.
+  void close();
+
+  std::size_t capacity() const { return Capacity; }
+  OverflowPolicy policy() const { return Policy; }
+  EventQueueCounters counters() const;
+
+private:
+  const std::size_t Capacity;
+  const OverflowPolicy Policy;
+  const std::uint64_t SampleEveryN;
+
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty; ///< consumer waits for events
+  std::condition_variable NotFull;  ///< Block/Sample producers wait here
+  std::condition_variable Drained;  ///< waitDrained() waiters
+  std::vector<Event> Buffer;
+  EventQueueCounters Counters;
+  std::uint64_t OverflowSeen = 0; ///< Sample policy's modular counter
+  bool ConsumerIdle = true;
+  bool Closed = false;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_EVENTQUEUE_H

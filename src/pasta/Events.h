@@ -32,6 +32,7 @@
 #include "sim/Kernel.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,17 @@ struct Event {
   std::string LayerName;
   dl::ExecPhase Phase = dl::ExecPhase::Forward;
   std::vector<std::string> PythonStack;
+
+  /// Replaces the borrowed Kernel/Tensor pointers with owning copies.
+  /// Kernel descriptors and tensor infos are only guaranteed alive for
+  /// the duration of the producing callback (launch descriptors live on
+  /// the runtime's stack); an event admitted into the asynchronous queue
+  /// outlives that frame, so the pipeline pins the pointees first.
+  void retainPointees();
+
+private:
+  std::shared_ptr<const sim::KernelDesc> OwnedKernel;
+  std::shared_ptr<const dl::TensorInfo> OwnedTensor;
 };
 
 } // namespace pasta

@@ -9,6 +9,7 @@
 #include "support/Logging.h"
 #include "support/ReportSink.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace pasta;
@@ -30,14 +31,30 @@ ProfilerOptions ProfilerOptions::fromEnv() {
       getEnvInt("PASTA_TRACE_GRANULARITY", 4096));
   Opts.Trace.DeviceBufferRecords = static_cast<std::uint64_t>(
       getEnvInt("PASTA_DEVICE_BUFFER_RECORDS", 1 << 20));
-  Opts.AnalysisThreads = static_cast<std::size_t>(
+  Opts.Processor.AnalysisThreads = static_cast<std::size_t>(
       getEnvInt("PASTA_ANALYSIS_THREADS", 0));
+  Opts.Processor.AsyncEvents = getEnvBool("PASTA_ASYNC_EVENTS", false);
+  Opts.Processor.QueueDepth = static_cast<std::size_t>(std::max<std::int64_t>(
+      getEnvInt("PASTA_QUEUE_DEPTH",
+                static_cast<std::int64_t>(Opts.Processor.QueueDepth)),
+      1));
+  std::string Policy = getEnvString("PASTA_OVERFLOW_POLICY", "block");
+  if (auto Parsed = parseOverflowPolicy(Policy))
+    Opts.Processor.Overflow = *Parsed;
+  else
+    logWarning("unknown PASTA_OVERFLOW_POLICY '" + Policy +
+               "', using 'block'");
+  Opts.Processor.SampleEveryN =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          getEnvInt("PASTA_OVERFLOW_SAMPLE_N",
+                    static_cast<std::int64_t>(Opts.Processor.SampleEveryN)),
+          1));
   return Opts;
 }
 
 Profiler::Profiler(ProfilerOptions Opts)
     : Opts(Opts), ActiveKnobs(Knobs::fromEnv()),
-      Processor(Opts.AnalysisThreads), Handler(Processor) {}
+      Processor(Opts.Processor), Handler(Processor) {}
 
 Profiler::~Profiler() {
   if (!Finished)
@@ -87,6 +104,9 @@ void Profiler::finish() {
     return;
   Finished = true;
   Handler.detach();
+  // Hard flush barrier: every admitted event must reach the tools before
+  // onFinish snapshots their state (async reports stay deterministic).
+  Processor.flush();
   for (auto &T : Tools)
     T->onFinish();
 }

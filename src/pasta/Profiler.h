@@ -38,12 +38,14 @@ namespace pasta {
 
 /// Profiler-wide options; fromEnv() resolves the paper's environment
 /// variables (PASTA_TOOL, ACCEL_PROF_ENV_SAMPLE_RATE,
-/// PASTA_TRACE_GRANULARITY, START_GRID_ID/END_GRID_ID are read by the
+/// PASTA_TRACE_GRANULARITY, PASTA_ASYNC_EVENTS, PASTA_QUEUE_DEPTH,
+/// PASTA_OVERFLOW_POLICY; START_GRID_ID/END_GRID_ID are read by the
 /// range filter itself).
 struct ProfilerOptions {
   TraceOptions Trace;
-  /// Device-analysis thread-pool width (0 = hardware concurrency).
-  std::size_t AnalysisThreads = 0;
+  /// Dispatch-unit configuration: analysis-thread width, async event
+  /// pipeline, queue depth and overflow policy.
+  ProcessorOptions Processor;
 
   static ProfilerOptions fromEnv();
 };
@@ -87,8 +89,10 @@ public:
   //===--------------------------------------------------------------------===
   // Annotation API (pasta.start / pasta.stop; paper Listing 1)
   //===--------------------------------------------------------------------===
-  void start() { Processor.rangeFilter().annotationStart(); }
-  void stop() { Processor.rangeFilter().annotationStop(); }
+  // Routed through the processor so the async pipeline flushes first and
+  // the region boundary falls between the same events as in sync mode.
+  void start() { Processor.annotationStart(); }
+  void stop() { Processor.annotationStop(); }
 
   //===--------------------------------------------------------------------===
   // Lifecycle / reporting

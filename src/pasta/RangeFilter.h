@@ -30,8 +30,10 @@ public:
 
   /// Re-reads START_GRID_ID / END_GRID_ID (tests poke env overrides).
   void reloadFromEnv() {
-    StartGridId = static_cast<std::uint64_t>(
-        getEnvInt("START_GRID_ID", 0));
+    // A negative start would wrap to a huge unsigned id and silently
+    // filter every kernel; clamp to "from the beginning" instead.
+    std::int64_t Start = getEnvInt("START_GRID_ID", 0);
+    StartGridId = Start < 0 ? 0 : static_cast<std::uint64_t>(Start);
     std::int64_t End = getEnvInt("END_GRID_ID", -1);
     EndGridId = End < 0 ? std::numeric_limits<std::uint64_t>::max()
                         : static_cast<std::uint64_t>(End);

@@ -28,7 +28,11 @@ ProfilerOptions profilerOptions(const SessionOptions &Opts) {
   ProfOpts.Trace.SampleRate = Opts.SampleRate;
   ProfOpts.Trace.RecordGranularityBytes = Opts.RecordGranularityBytes;
   ProfOpts.Trace.DeviceBufferRecords = Opts.DeviceBufferRecords;
-  ProfOpts.AnalysisThreads = Opts.AnalysisThreads;
+  ProfOpts.Processor.AnalysisThreads = Opts.AnalysisThreads;
+  ProfOpts.Processor.AsyncEvents = Opts.AsyncEvents;
+  ProfOpts.Processor.QueueDepth = Opts.QueueDepth;
+  ProfOpts.Processor.Overflow = Opts.Overflow;
+  ProfOpts.Processor.SampleEveryN = Opts.SampleEveryN;
   return ProfOpts;
 }
 
@@ -136,6 +140,10 @@ void Session::writeReports(std::FILE *Out) {
   writeReports(Sink);
 }
 
+void Session::writePipelineReport(ReportSink &Sink) {
+  Prof.processor().reportPipeline(Sink);
+}
+
 Tool *Session::tool(const std::string &Name) const {
   for (const std::unique_ptr<Tool> &T : Prof.tools())
     if (T->name() == Name)
@@ -184,6 +192,14 @@ std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
   }
   if (Opts.Iterations < 0) {
     Err.assign("iteration count must be >= 0 (0 = model default)");
+    return nullptr;
+  }
+  if (Opts.QueueDepth == 0) {
+    Err.assign("event queue depth must be positive");
+    return nullptr;
+  }
+  if (Opts.SampleEveryN == 0) {
+    Err.assign("overflow sample modulus must be positive");
     return nullptr;
   }
 

@@ -82,6 +82,16 @@ struct SessionOptions {
   std::uint64_t DeviceBufferRecords = 1u << 20;
   /// Device-analysis thread-pool width (0 = hardware concurrency).
   std::size_t AnalysisThreads = 0;
+  /// Decouple event collection from tool analysis: events are admitted
+  /// into a bounded queue and dispatched on a dedicated thread.
+  /// (Defaults mirror ProcessorOptions, the single source of truth.)
+  bool AsyncEvents = ProcessorOptions().AsyncEvents;
+  /// Capacity of the async event queue.
+  std::size_t QueueDepth = ProcessorOptions().QueueDepth;
+  /// What happens to events arriving while the async queue is full.
+  OverflowPolicy Overflow = ProcessorOptions().Overflow;
+  /// The Sample overflow policy's N (1/N of overflowing events kept).
+  std::uint64_t SampleEveryN = ProcessorOptions().SampleEveryN;
   /// When false, the backend enables everything it supports regardless of
   /// tool requirements (legacy Profiler behavior).
   bool Negotiate = true;
@@ -126,6 +136,11 @@ public:
   void writeReports(ReportSink &Sink);
   /// Convenience: text sink over \p Out.
   void writeReports(std::FILE *Out);
+  /// Emits the dispatch-unit counters (EventsDropped, MaxQueueDepth,
+  /// FlushCount, ...) as one "event_pipeline" report section. Kept out
+  /// of writeReports so tool reports stay identical across sync/async
+  /// pipelines; does not close \p Sink.
+  void writePipelineReport(ReportSink &Sink);
 
   //===--------------------------------------------------------------------===
   // Introspection
@@ -245,6 +260,25 @@ public:
   }
   SessionBuilder &analysisThreads(std::size_t Threads) {
     Opts.AnalysisThreads = Threads;
+    return *this;
+  }
+  /// Runs event dispatch on a dedicated thread behind a bounded queue
+  /// (paper §III-B's decoupled dispatch unit).
+  SessionBuilder &asyncEvents(bool Enabled = true) {
+    Opts.AsyncEvents = Enabled;
+    return *this;
+  }
+  SessionBuilder &queueDepth(std::size_t Depth) {
+    Opts.QueueDepth = Depth;
+    return *this;
+  }
+  SessionBuilder &overflowPolicy(OverflowPolicy Policy) {
+    Opts.Overflow = Policy;
+    return *this;
+  }
+  /// The Sample overflow policy's N (1/N of overflowing events kept).
+  SessionBuilder &sampleEveryN(std::uint64_t N) {
+    Opts.SampleEveryN = N;
     return *this;
   }
   SessionBuilder &negotiate(bool Enabled) {

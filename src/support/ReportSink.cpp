@@ -7,6 +7,7 @@
 #include "support/ReportSink.h"
 
 #include <cinttypes>
+#include <cmath>
 
 using namespace pasta;
 
@@ -143,6 +144,12 @@ void JsonReportSink::metric(const std::string &Key, std::uint64_t Value) {
 
 void JsonReportSink::metric(const std::string &Key, double Value) {
   metricPrefix(Key);
+  // JSON has no inf/nan literals; "%.17g" would emit them verbatim and
+  // corrupt the document.
+  if (!std::isfinite(Value)) {
+    emit("null");
+    return;
+  }
   char Num[64];
   std::snprintf(Num, sizeof(Num), "%.17g", Value);
   emit(Num);

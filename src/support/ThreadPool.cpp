@@ -7,7 +7,9 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <memory>
 
 using namespace pasta;
 
@@ -57,11 +59,49 @@ void ThreadPool::parallelFor(
     return;
   }
   std::size_t Chunk = (Count + NumWorkers - 1) / NumWorkers;
-  for (std::size_t Begin = 0; Begin < Count; Begin += Chunk) {
-    std::size_t End = std::min(Begin + Chunk, Count);
-    submit([&Body, Begin, End] { Body(Begin, End); });
-  }
-  wait();
+  std::size_t NumChunks = (Count + Chunk - 1) / Chunk;
+
+  // Per-call completion state: workers and the caller claim chunk
+  // indices from NextChunk; Done counts finished chunks. Waiting on the
+  // pool-global wait() here would make overlapping parallelFor calls
+  // block on each other's tasks and deadlock nested calls from a worker.
+  struct CallState {
+    std::atomic<std::size_t> NextChunk{0};
+    std::mutex Mutex;
+    std::condition_variable AllDone;
+    std::size_t Done = 0;
+  };
+  auto State = std::make_shared<CallState>();
+
+  // Claim-then-run: a chunk is only ever claimed by the thread about to
+  // execute it, so once Done == NumChunks no queued runner can touch
+  // Body again (they see NextChunk exhausted and exit).
+  auto RunChunks = [State, &Body, Chunk, Count, NumChunks] {
+    for (;;) {
+      std::size_t Index = State->NextChunk.fetch_add(1);
+      if (Index >= NumChunks)
+        return;
+      std::size_t Begin = Index * Chunk;
+      Body(Begin, std::min(Begin + Chunk, Count));
+      bool Last;
+      {
+        std::lock_guard<std::mutex> Lock(State->Mutex);
+        Last = ++State->Done == NumChunks;
+      }
+      if (Last)
+        State->AllDone.notify_all();
+    }
+  };
+
+  for (std::size_t I = 1; I < NumChunks; ++I)
+    submit(RunChunks);
+  // The caller helps execute chunks: even if every worker is busy (or is
+  // itself blocked in a nested parallelFor), this thread alone finishes
+  // the call.
+  RunChunks();
+
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  State->AllDone.wait(Lock, [&] { return State->Done == NumChunks; });
 }
 
 void ThreadPool::workerLoop() {

@@ -42,11 +42,17 @@ public:
   /// Enqueues one task.
   void submit(std::function<void()> Task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. This is a
+  /// *global* wait over every submitted task; concurrent parallelFor
+  /// calls do not use it (they track their own completion).
   void wait();
 
   /// Splits [0, Count) into roughly equal chunks, runs
-  /// \p Body(Begin, End) on the pool, and waits for completion.
+  /// \p Body(Begin, End) on the pool, and waits for completion of *this
+  /// call's* chunks only — overlapping parallelFor calls from different
+  /// threads never wait on each other's work. The caller participates in
+  /// chunk execution, so calling from a pool worker (nested parallelism)
+  /// cannot deadlock even when every other worker is busy.
   /// Runs inline when Count is small or the pool has one worker.
   void parallelFor(std::size_t Count,
                    const std::function<void(std::size_t, std::size_t)> &Body);

@@ -109,6 +109,18 @@ TEST_F(RangeFilterTest, GridWindowFromEnv) {
   EXPECT_FALSE(Filter.kernelActive(21));
 }
 
+TEST_F(RangeFilterTest, NegativeStartClampsToZero) {
+  // Regression: a negative START_GRID_ID used to be cast straight to
+  // uint64, producing a huge start id that silently filtered every
+  // kernel. Negatives mean "from the beginning".
+  setEnvOverride("START_GRID_ID", "-5");
+  RangeFilter Filter;
+  EXPECT_EQ(Filter.startGridId(), 0u);
+  EXPECT_TRUE(Filter.kernelActive(0));
+  EXPECT_TRUE(Filter.kernelActive(1));
+  EXPECT_TRUE(Filter.kernelActive(1ull << 40));
+}
+
 TEST_F(RangeFilterTest, AnnotationsGateOnceUsed) {
   RangeFilter Filter;
   EXPECT_TRUE(Filter.regionActive()) << "no annotations => whole program";

@@ -1,0 +1,351 @@
+//===- tests/pasta_pipeline_test.cpp - async event pipeline ---------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The asynchronous dispatch unit: ordering guarantees, flush barriers,
+// overflow-policy accounting, and the determinism contract — on a fixed
+// workload, async mode with the Block policy must produce byte-identical
+// JSON tool reports to synchronous mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventProcessor.h"
+#include "pasta/EventQueue.h"
+#include "pasta/Session.h"
+#include "support/ReportSink.h"
+#include "tools/RegisterTools.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace pasta;
+
+namespace {
+
+/// Records every delivered event's payload (dispatch is single-threaded,
+/// so no locking needed inside the hooks).
+class CollectTool : public Tool {
+public:
+  std::string name() const override { return "collect"; }
+  void onEvent(const Event &E) override {
+    Addresses.push_back(E.Address);
+    Kinds.push_back(E.Kind);
+  }
+  std::vector<sim::DeviceAddr> Addresses;
+  std::vector<EventKind> Kinds;
+};
+
+/// Blocks the dispatch thread on its first event until release() — lets
+/// tests fill the queue deterministically behind it.
+class GateTool : public Tool {
+public:
+  std::string name() const override { return "gate"; }
+  void onEvent(const Event &) override {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [this] { return Open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Open = true;
+    }
+    Cv.notify_all();
+  }
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Open = false;
+};
+
+Event allocEvent(sim::DeviceAddr Address) {
+  Event E;
+  E.Kind = EventKind::MemoryAlloc;
+  E.Address = Address;
+  E.Bytes = 64;
+  return E;
+}
+
+ProcessorOptions asyncOptions(std::size_t Depth, OverflowPolicy Policy,
+                              std::uint64_t SampleEveryN = 4) {
+  ProcessorOptions Opts;
+  Opts.AnalysisThreads = 1;
+  Opts.AsyncEvents = true;
+  Opts.QueueDepth = Depth;
+  Opts.Overflow = Policy;
+  Opts.SampleEveryN = SampleEveryN;
+  return Opts;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// OverflowPolicy names
+//===----------------------------------------------------------------------===//
+
+TEST(OverflowPolicyTest, NamesAndParsing) {
+  EXPECT_STREQ(overflowPolicyName(OverflowPolicy::Block), "block");
+  EXPECT_STREQ(overflowPolicyName(OverflowPolicy::DropNewest),
+               "drop-newest");
+  EXPECT_STREQ(overflowPolicyName(OverflowPolicy::Sample), "sample");
+  EXPECT_EQ(parseOverflowPolicy("block"), OverflowPolicy::Block);
+  EXPECT_EQ(parseOverflowPolicy("drop"), OverflowPolicy::DropNewest);
+  EXPECT_EQ(parseOverflowPolicy("drop-newest"), OverflowPolicy::DropNewest);
+  EXPECT_EQ(parseOverflowPolicy("sample"), OverflowPolicy::Sample);
+  EXPECT_EQ(parseOverflowPolicy("firehose"), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Delivery and ordering
+//===----------------------------------------------------------------------===//
+
+TEST(AsyncPipeline, DeliversEverythingAfterFlush) {
+  EventProcessor Processor(asyncOptions(64, OverflowPolicy::Block));
+  CollectTool Tool;
+  Processor.addTool(&Tool);
+
+  for (int I = 0; I < 1000; ++I)
+    Processor.process(allocEvent(static_cast<sim::DeviceAddr>(I)));
+  Processor.flush();
+
+  ASSERT_EQ(Tool.Addresses.size(), 1000u);
+  ProcessorStats Stats = Processor.stats();
+  EXPECT_EQ(Stats.EventsProcessed, 1000u);
+  EXPECT_EQ(Stats.EventsDropped, 0u);
+  EXPECT_EQ(Stats.EventsSampledOut, 0u);
+  EXPECT_GT(Stats.MaxQueueDepth, 0u);
+  EXPECT_LE(Stats.MaxQueueDepth, 64u);
+}
+
+TEST(AsyncPipeline, PerProducerOrderIsPreserved) {
+  EventProcessor Processor(asyncOptions(128, OverflowPolicy::Block));
+  CollectTool Tool;
+  Processor.addTool(&Tool);
+
+  // 4 producers, 500 events each; the address encodes (producer, seq).
+  constexpr std::uint64_t PerProducer = 500;
+  std::vector<std::thread> Producers;
+  for (std::uint64_t P = 0; P < 4; ++P)
+    Producers.emplace_back([&Processor, P] {
+      for (std::uint64_t Seq = 0; Seq < PerProducer; ++Seq)
+        Processor.process(allocEvent((P << 32) | Seq));
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Processor.flush();
+
+  ASSERT_EQ(Tool.Addresses.size(), 4 * PerProducer);
+  // Events from one producer must arrive in the order it sent them,
+  // whatever the interleaving across producers.
+  std::uint64_t NextSeq[4] = {0, 0, 0, 0};
+  for (sim::DeviceAddr Address : Tool.Addresses) {
+    std::uint64_t P = Address >> 32;
+    std::uint64_t Seq = Address & 0xffffffffu;
+    ASSERT_LT(P, 4u);
+    EXPECT_EQ(Seq, NextSeq[P]) << "producer " << P;
+    ++NextSeq[P];
+  }
+}
+
+TEST(AsyncPipeline, SynchronizationIsAHardBarrier) {
+  EventProcessor Processor(asyncOptions(1024, OverflowPolicy::Block));
+  CollectTool Tool;
+  Processor.addTool(&Tool);
+
+  for (int I = 0; I < 100; ++I)
+    Processor.process(allocEvent(static_cast<sim::DeviceAddr>(I)));
+  Event Sync;
+  Sync.Kind = EventKind::Synchronization;
+  Processor.process(Sync);
+
+  // No flush() call: the Synchronization event itself guaranteed
+  // delivery of everything admitted before it, including itself.
+  EXPECT_EQ(Tool.Addresses.size(), 101u);
+  EXPECT_EQ(Tool.Kinds.back(), EventKind::Synchronization);
+  EXPECT_GE(Processor.stats().FlushCount, 1u);
+}
+
+TEST(AsyncPipeline, QueuedKernelDescOutlivesProducerFrame) {
+  EventProcessor Processor(asyncOptions(256, OverflowPolicy::Block));
+
+  class NameTool : public Tool {
+  public:
+    std::string name() const override { return "names"; }
+    void onKernelLaunch(const Event &E) override {
+      Names.push_back(E.Kernel ? E.Kernel->Name : "<null>");
+    }
+    std::vector<std::string> Names;
+  };
+  NameTool Tool;
+  Processor.addTool(&Tool);
+
+  for (int I = 0; I < 50; ++I) {
+    // The descriptor dies as soon as process() returns — exactly what
+    // the runtime's launch path does with its stack-allocated descs.
+    sim::KernelDesc Transient;
+    Transient.Name = "kernel_" + std::to_string(I);
+    Event E;
+    E.Kind = EventKind::KernelLaunch;
+    E.Kernel = &Transient;
+    E.GridId = static_cast<std::uint64_t>(I) + 1;
+    Processor.process(std::move(E));
+  }
+  Processor.flush();
+
+  ASSERT_EQ(Tool.Names.size(), 50u);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(Tool.Names[static_cast<std::size_t>(I)],
+              "kernel_" + std::to_string(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Overflow policies
+//===----------------------------------------------------------------------===//
+
+TEST(AsyncPipeline, DropNewestCountsAndNeverBlocks) {
+  constexpr std::size_t Depth = 8;
+  EventProcessor Processor(asyncOptions(Depth, OverflowPolicy::DropNewest));
+  GateTool Gate;
+  CollectTool Tool;
+  Processor.addTool(&Gate);
+  Processor.addTool(&Tool);
+
+  // One event wedges the dispatch thread in the gate; everything past
+  // the queue capacity must be dropped, not block this thread.
+  constexpr std::uint64_t Sent = 200;
+  for (std::uint64_t I = 0; I < Sent; ++I)
+    Processor.process(allocEvent(I));
+  Gate.release();
+  Processor.flush();
+
+  ProcessorStats Stats = Processor.stats();
+  EXPECT_GT(Stats.EventsDropped, 0u);
+  EXPECT_LE(Stats.MaxQueueDepth, Depth);
+  // Conservation: every event was either dispatched or dropped.
+  EXPECT_EQ(Stats.EventsProcessed + Stats.EventsDropped, Sent);
+  EXPECT_EQ(Tool.Addresses.size(), Stats.EventsProcessed);
+}
+
+TEST(AsyncPipeline, SampleKeepsOneInNOfTheOverflow) {
+  constexpr std::size_t Depth = 8;
+  constexpr std::uint64_t EveryN = 4;
+  EventProcessor Processor(
+      asyncOptions(Depth, OverflowPolicy::Sample, EveryN));
+  GateTool Gate;
+  CollectTool Tool;
+  Processor.addTool(&Gate);
+  Processor.addTool(&Tool);
+
+  // The admitted 1/N of overflowing events block for space, so they must
+  // be sent from a separate producer while this thread opens the gate.
+  constexpr std::uint64_t Sent = 200;
+  std::thread Producer([&Processor] {
+    for (std::uint64_t I = 0; I < Sent; ++I)
+      Processor.process(allocEvent(I));
+  });
+  // Only open the gate once overflow sampling has demonstrably started;
+  // otherwise the consumer could drain as fast as the producer fills.
+  while (Processor.stats().EventsSampledOut == 0)
+    std::this_thread::yield();
+  Gate.release();
+  Producer.join();
+  Processor.flush();
+
+  ProcessorStats Stats = Processor.stats();
+  EXPECT_GT(Stats.EventsSampledOut, 0u);
+  EXPECT_EQ(Stats.EventsDropped, 0u);
+  // Conservation: dispatched + sampled out covers everything sent.
+  EXPECT_EQ(Stats.EventsProcessed + Stats.EventsSampledOut, Sent);
+  // Of E overflowing events, ceil(E/N) are admitted, so no more than
+  // (N-1)/N of everything sent can have been sampled out.
+  EXPECT_LE(Stats.EventsSampledOut, Sent * (EveryN - 1) / EveryN);
+  EXPECT_EQ(Tool.Addresses.size(), Stats.EventsProcessed);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: sync vs async sessions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the fixed seeded workload and returns the JSON tool reports.
+std::string runFixedWorkload(bool Async) {
+  SessionError Err;
+  SessionBuilder Builder;
+  Builder.tool("kernel_frequency")
+      .tool("working_set")
+      .backend("cs-gpu")
+      .gpu("A100")
+      .model("alexnet")
+      .iterations(1)
+      .recordGranularity(1u << 20);
+  if (Async)
+    Builder.asyncEvents().queueDepth(64).overflowPolicy(
+        OverflowPolicy::Block);
+  std::unique_ptr<Session> S = Builder.build(Err);
+  EXPECT_NE(S, nullptr) << Err.message();
+  if (!S)
+    return "<build failed>";
+  S->run();
+  JsonReportSink Sink;
+  S->writeReports(Sink);
+  return Sink.str();
+}
+
+} // namespace
+
+TEST(AsyncPipeline, BlockPolicyReportsAreByteIdenticalToSync) {
+  tools::registerBuiltinTools();
+  std::string Sync = runFixedWorkload(/*Async=*/false);
+  std::string Async = runFixedWorkload(/*Async=*/true);
+  EXPECT_EQ(Sync, Async);
+  EXPECT_NE(Sync.find("kernel_frequency"), std::string::npos);
+  EXPECT_NE(Sync.find("working_set"), std::string::npos);
+}
+
+TEST(AsyncPipeline, SessionSurfacesPipelineCounters) {
+  tools::registerBuiltinTools();
+  SessionError Err;
+  auto S = SessionBuilder()
+               .tool("kernel_frequency")
+               .backend("cs-gpu")
+               .model("alexnet")
+               .iterations(1)
+               .asyncEvents()
+               .queueDepth(32)
+               .build(Err);
+  ASSERT_NE(S, nullptr) << Err.message();
+  S->run();
+
+  JsonReportSink Sink;
+  S->writePipelineReport(Sink);
+  S->writeReports(Sink);
+  const std::string &Doc = Sink.str();
+  EXPECT_NE(Doc.find("\"tool\": \"event_pipeline\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"mode\": \"async\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"events_dropped\": 0"), std::string::npos);
+  EXPECT_NE(Doc.find("max_queue_depth"), std::string::npos);
+  EXPECT_NE(Doc.find("flush_count"), std::string::npos);
+
+  ProcessorStats Stats = S->processor().stats();
+  EXPECT_GT(Stats.EventsProcessed, 0u);
+  EXPECT_GT(Stats.MaxQueueDepth, 0u);
+  EXPECT_GE(Stats.FlushCount, 1u) << "finish() is a hard flush barrier";
+}
+
+TEST(SessionBuilder, AsyncKnobValidation) {
+  SessionError Err;
+  EXPECT_EQ(SessionBuilder().asyncEvents().queueDepth(0).build(Err),
+            nullptr);
+  EXPECT_NE(Err.message().find("queue depth"), std::string::npos);
+  SessionError Err2;
+  EXPECT_EQ(SessionBuilder().asyncEvents().sampleEveryN(0).build(Err2),
+            nullptr);
+  EXPECT_NE(Err2.message().find("sample"), std::string::npos);
+}

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 using namespace pasta;
 
@@ -71,6 +72,25 @@ TEST(JsonReportSink, EscapesSpecialCharacters) {
   Sink.close();
   EXPECT_NE(Sink.str().find("kernel<\\\"T\\\">\\\\path\\n"),
             std::string::npos);
+}
+
+TEST(JsonReportSink, NonFiniteMetricsEmitNull) {
+  // JSON has no inf/nan literals; "%.17g" used to write them verbatim,
+  // producing an unparseable document.
+  JsonReportSink Sink;
+  Sink.beginReport("nonfinite");
+  Sink.metric("pos_inf", std::numeric_limits<double>::infinity());
+  Sink.metric("neg_inf", -std::numeric_limits<double>::infinity());
+  Sink.metric("nan", std::numeric_limits<double>::quiet_NaN());
+  Sink.metric("finite", 2.5);
+  Sink.endReport();
+  Sink.close();
+
+  const std::string &Doc = Sink.str();
+  EXPECT_EQ(jsonValue(Doc, "pos_inf"), "null");
+  EXPECT_EQ(jsonValue(Doc, "neg_inf"), "null");
+  EXPECT_EQ(jsonValue(Doc, "nan"), "null");
+  EXPECT_EQ(jsonValue(Doc, "finite"), "2.5");
 }
 
 TEST(JsonReportSink, EmptyDocumentIsValidArray) {

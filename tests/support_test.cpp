@@ -16,7 +16,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
 using namespace pasta;
 
@@ -243,6 +246,66 @@ TEST(ThreadPoolTest, SmallCountRunsInline) {
 TEST(ThreadPoolTest, SizeMatchesRequest) {
   ThreadPool Pool(3);
   EXPECT_EQ(Pool.size(), 3u);
+}
+
+// Regression: wait() used to be the completion mechanism of parallelFor,
+// making it a *global* wait — two overlapping calls waited on each
+// other's tasks, and a parallelFor issued from inside a pool task
+// deadlocked waiting for a worker that would never come free.
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  std::atomic<int> OuterDone{0};
+  // Both workers enter a task that itself runs parallelFor on the same
+  // pool: with no free worker left, the calling thread must execute the
+  // chunks itself.
+  for (int T = 0; T < 2; ++T)
+    Pool.submit([&] {
+      Pool.parallelFor(64, [&](std::size_t Begin, std::size_t End) {
+        Inner += static_cast<int>(End - Begin);
+      });
+      ++OuterDone;
+    });
+  Pool.wait();
+  EXPECT_EQ(OuterDone.load(), 2);
+  EXPECT_EQ(Inner.load(), 128);
+}
+
+TEST(ThreadPoolTest, OverlappingParallelForsCompleteIndependently) {
+  ThreadPool Pool(4);
+  // Thread A's chunks park on this latch; thread B's parallelFor must
+  // return while A is still blocked (a global wait would strand B).
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Open = false;
+  std::atomic<int> BlockedChunks{0};
+
+  std::thread A([&] {
+    Pool.parallelFor(64, [&](std::size_t, std::size_t) {
+      ++BlockedChunks;
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Cv.wait(Lock, [&] { return Open; });
+    });
+  });
+  while (BlockedChunks.load() == 0)
+    std::this_thread::yield();
+
+  std::atomic<int> BDone{0};
+  std::thread B([&] {
+    Pool.parallelFor(64, [&](std::size_t Begin, std::size_t End) {
+      BDone += static_cast<int>(End - Begin);
+    });
+  });
+  B.join(); // must not hang while A's chunks are gated
+  EXPECT_EQ(BDone.load(), 64);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Open = true;
+  }
+  Cv.notify_all();
+  A.join();
 }
 
 //===----------------------------------------------------------------------===//
