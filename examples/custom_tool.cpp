@@ -8,8 +8,16 @@
 // lines — a transfer-volume tool tracking host<->device memcpy traffic
 // per direction, built by overriding exactly one hook of the PASTA tool
 // template and registering it under a name usable via PASTA_TOOL or
-// SessionBuilder::tool(). Because only a coarse hook is overridden, the
-// default Tool::requirements() keeps fine-grained tracing disabled.
+// SessionBuilder::tool().
+//
+// The tool *declares* its subscription: only MemoryCopy events reach it
+// (no fan-out of anything else, the generic hook included), the session
+// negotiates coarse-only instrumentation from the same declaration, and
+// because its counters are atomics it can honestly claim the Concurrent
+// contract — any dispatch lane may invoke it, so an asynchronous session
+// with several dispatch threads never serializes on it. Tools that skip
+// subscription() instead inherit the migration default: every event, one
+// serial lane.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +25,7 @@
 #include "pasta/Tool.h"
 #include "support/Units.h"
 
+#include <atomic>
 #include <cstdio>
 
 using namespace pasta;
@@ -27,6 +36,14 @@ namespace {
 class TransferVolumeTool : public Tool {
 public:
   std::string name() const override { return "transfer_volume"; }
+
+  /// The declarative half: MemoryCopy only, callable from any lane.
+  Subscription subscription() override {
+    Subscription Sub;
+    Sub.Kinds = {EventKind::MemoryCopy};
+    Sub.Model = ExecutionModel::Concurrent; // counters below are atomic
+    return Sub;
+  }
 
   void onMemoryCopy(const Event &E) override {
     switch (E.Direction) {
@@ -46,13 +63,14 @@ public:
   void writeReport(std::FILE *Out) override {
     std::fprintf(Out,
                  "transfer_volume: %llu copies | H2D %s | D2H %s | D2D %s\n",
-                 static_cast<unsigned long long>(Copies),
-                 formatBytes(H2D).c_str(), formatBytes(D2H).c_str(),
-                 formatBytes(D2D).c_str());
+                 static_cast<unsigned long long>(Copies.load()),
+                 formatBytes(H2D.load()).c_str(),
+                 formatBytes(D2H.load()).c_str(),
+                 formatBytes(D2D.load()).c_str());
   }
 
 private:
-  std::uint64_t H2D = 0, D2H = 0, D2D = 0, Copies = 0;
+  std::atomic<std::uint64_t> H2D{0}, D2H{0}, D2D{0}, Copies{0};
 };
 
 } // namespace
@@ -68,6 +86,8 @@ int main() {
                                    .model("alexnet")
                                    .training()
                                    .iterations(2)
+                                   .asyncEvents()
+                                   .dispatchThreads(2)
                                    .build(Err);
   if (!S) {
     std::fprintf(stderr, "error: %s\n", Err.message().c_str());

@@ -10,13 +10,14 @@
 //             [--iters N] [--managed] [--oversub F]
 //             [--prefetch none|object|tensor] [--format text|json|csv]
 //             [--async] [--queue-depth N] [--overflow block|drop|sample[:N]]
-//             <model>
+//             [--dispatch-threads N] <model>
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
 //       accelprof -t hotness -b cs-gpu --managed --oversub 3 gpt2
 //       accelprof -t working_set -b cs-gpu --format json bert
 //       accelprof -t kernel_frequency -b cs-gpu --async --queue-depth 1024 bert
+//       accelprof -t mem_usage_timeline --async --dispatch-threads 4 bert
 //
 // <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
 // bert, whisper). Tools: see `accelprof --list-tools`; backends:
@@ -49,7 +50,8 @@ int usage(const char *Argv0) {
       "          [--granularity BYTES] [--sample-rate R]\n"
       "          [--format text|json|csv]\n"
       "          [--async] [--queue-depth N]\n"
-      "          [--overflow block|drop|sample[:N]] <model>\n"
+      "          [--overflow block|drop|sample[:N]]\n"
+      "          [--dispatch-threads N] <model>\n"
       "       %s --list-tools | --list-backends\n",
       Argv0, Argv0);
   return 2;
@@ -59,8 +61,28 @@ int listTools() {
   registerBuiltinTools();
   std::printf("available tools:\n");
   for (const std::string &Name :
-       ToolRegistry::instance().registeredNames())
-    std::printf("  %s\n", Name.c_str());
+       ToolRegistry::instance().registeredNames()) {
+    std::unique_ptr<Tool> T = ToolRegistry::instance().create(Name);
+    if (!T) {
+      std::printf("  %s\n", Name.c_str());
+      continue;
+    }
+    Subscription Sub = T->subscription();
+    std::string Fine;
+    if (Sub.AccessRecords || T->deviceAnalysis())
+      Fine += " +access-records";
+    if (Sub.InstrMix)
+      Fine += " +instr-mix";
+    if (Sub.KernelTrace)
+      Fine += " +kernel-trace";
+    if (Sub.UvmCounters)
+      Fine += " +uvm-counters";
+    std::printf("  %-20s contract=%-15s requires=%s\n", Name.c_str(),
+                executionModelName(Sub.Model),
+                T->requirements().str().c_str());
+    std::printf("  %-20s events=%s%s\n", "",
+                Sub.Kinds.str().c_str(), Fine.c_str());
+  }
   return 0;
 }
 
@@ -154,6 +176,18 @@ int main(int Argc, char **Argv) {
       // Tuning the queue only makes sense asynchronously; imply --async
       // (the --oversub / --managed precedent).
       Builder.queueDepth(static_cast<std::size_t>(Depth));
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--dispatch-threads") {
+      long long Threads = std::atoll(NextValue("--dispatch-threads"));
+      if (Threads <= 0 || Threads > 64) {
+        std::fprintf(stderr,
+                     "error: --dispatch-threads must be in [1, 64]\n");
+        return 2;
+      }
+      // Lanes only exist asynchronously; imply --async like the other
+      // queue knobs.
+      Builder.dispatchThreads(static_cast<std::size_t>(Threads));
       Builder.asyncEvents();
       Async = true;
     } else if (Arg == "--overflow") {

@@ -78,8 +78,11 @@ CrossLayerStack CallStackBuilder::capture(const std::string &KernelName) const {
   Cpp("torch/aten/src/ATen/core/dispatch/Dispatcher.h:702 "
       "c10::Dispatcher::call");
 
-  for (const std::string &Frame : PythonFrames)
-    Stack.Frames.push_back({StackFrame::Lang::Python, Frame});
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const std::string &Frame : PythonFrames)
+      Stack.Frames.push_back({StackFrame::Lang::Python, Frame});
+  }
 
   // Process entry frames close the stack like the paper's figure.
   Cpp("../sysdeps/nptl/libc_start_call_main.h:58 __libc_start_call_main");

@@ -17,6 +17,7 @@
 #ifndef PASTA_PASTA_CALLSTACK_H
 #define PASTA_PASTA_CALLSTACK_H
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,12 +41,18 @@ struct CrossLayerStack {
 /// Builds cross-layer stacks. The event processor feeds it the current
 /// Python stack on every OperatorStart; capture() synthesizes the C++
 /// frames leading to a given kernel (the libbacktrace role).
+///
+/// Thread-safe: the asynchronous dispatch unit updates the shared
+/// builder from producer threads at admission time while tools capture
+/// from dispatch lanes, so the Python context is guarded internally.
 class CallStackBuilder {
 public:
   void setPythonStack(std::vector<std::string> Frames) {
+    std::lock_guard<std::mutex> Lock(Mutex);
     PythonFrames = std::move(Frames);
   }
-  const std::vector<std::string> &pythonStack() const {
+  std::vector<std::string> pythonStack() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     return PythonFrames;
   }
 
@@ -54,6 +61,7 @@ public:
   CrossLayerStack capture(const std::string &KernelName) const;
 
 private:
+  mutable std::mutex Mutex;
   std::vector<std::string> PythonFrames;
 };
 

@@ -6,6 +6,7 @@
 
 #include "pasta/EventProcessor.h"
 
+#include "support/Logging.h"
 #include "support/ReportSink.h"
 
 #include <algorithm>
@@ -13,49 +14,328 @@
 
 using namespace pasta;
 
+namespace {
+
+/// Identifies the dispatch lane the current thread is running, so
+/// callStacks() can resolve to the lane-local builder. Keyed by owner
+/// pointer — tests run several processors in one process.
+struct LaneTag {
+  const EventProcessor *Owner = nullptr;
+  std::size_t Lane = 0;
+};
+thread_local LaneTag CurrentLane;
+
+} // namespace
+
 EventProcessor::EventProcessor(std::size_t DeviceAnalysisThreads)
     : AnalysisThreads(DeviceAnalysisThreads) {}
 
 EventProcessor::EventProcessor(const ProcessorOptions &Opts)
     : AnalysisThreads(Opts.AnalysisThreads) {
   if (Opts.AsyncEvents) {
-    Queue = std::make_unique<EventQueue>(
-        std::max<std::size_t>(Opts.QueueDepth, 1), Opts.Overflow,
-        std::max<std::uint64_t>(Opts.SampleEveryN, 1));
-    DispatchThread = std::thread([this] { dispatchLoop(); });
+    std::size_t LaneCount = std::min<std::size_t>(
+        std::max<std::size_t>(Opts.DispatchThreads, 1), 64);
+    for (std::size_t I = 0; I < LaneCount; ++I) {
+      auto L = std::make_unique<Lane>();
+      L->Queue = std::make_unique<EventQueue>(
+          std::max<std::size_t>(Opts.QueueDepth, 1), Opts.Overflow,
+          std::max<std::uint64_t>(Opts.SampleEveryN, 1));
+      Lanes.push_back(std::move(L));
+    }
+    for (std::size_t I = 0; I < LaneCount; ++I)
+      Lanes[I]->Thread = std::thread([this, I] { laneLoop(I); });
   }
 }
 
 EventProcessor::~EventProcessor() {
-  if (Queue) {
-    Queue->close();
-    DispatchThread.join();
+  for (auto &L : Lanes)
+    L->Queue->close();
+  for (auto &L : Lanes)
+    L->Thread.join();
+}
+
+bool EventProcessor::addTool(Tool *T) {
+  // AttachMutex makes the seal race-free against a concurrent first
+  // admission: ensureStarted() flips Started under the same lock, so
+  // either this mutation completes before any event is admitted or the
+  // Started check below observes the flip and rejects.
+  std::unique_lock<std::mutex> Lock(AttachMutex);
+  if (!Lanes.empty() && Started.load(std::memory_order_acquire)) {
+    // The lanes read the routing tables lock-free; mutating them now
+    // would race. Drain what is in flight, then refuse.
+    Lock.unlock();
+    flush();
+    logWarning("EventProcessor: tool '" + T->name() +
+               "' attached after pipeline start; rejected (the tool set "
+               "is sealed by the first admitted event or record "
+               "delivery)");
+    return false;
+  }
+  Tools.push_back(T);
+  Entries.push_back(ToolEntry{T, T->subscription(), 0});
+  rebuildRoutes();
+  Lock.unlock();
+  T->onAttach(*this);
+  return true;
+}
+
+bool EventProcessor::clearTools() {
+  std::unique_lock<std::mutex> Lock(AttachMutex);
+  if (!Lanes.empty() && Started.load(std::memory_order_acquire)) {
+    Lock.unlock();
+    flush();
+    logWarning("EventProcessor: clearTools() after pipeline start; "
+               "rejected");
+    return false;
+  }
+  Tools.clear();
+  Entries.clear();
+  rebuildRoutes();
+  return true;
+}
+
+std::optional<Subscription>
+EventProcessor::subscriptionOf(const Tool *T) const {
+  for (const ToolEntry &Entry : Entries)
+    if (Entry.T == T)
+      return Entry.Sub;
+  return std::nullopt;
+}
+
+void EventProcessor::rebuildRoutes() {
+  // Serial tools are pinned round-robin across the lanes; sharded and
+  // concurrent tools float to each event's home lane.
+  const std::size_t LaneCount = std::max<std::size_t>(Lanes.size(), 1);
+  std::size_t NextSerialLane = 0;
+  for (ToolEntry &Entry : Entries)
+    Entry.Lane = Entry.Sub.Model == ExecutionModel::Serial
+                     ? NextSerialLane++ % LaneCount
+                     : 0;
+
+  for (KindRoute &Route : Routes) {
+    Route.Pinned.clear();
+    Route.Floating.clear();
+    Route.PinnedLaneMask = 0;
+  }
+  RecordEntries.clear();
+  MixEntries.clear();
+  TraceEntries.clear();
+  ActiveLaneMask = 0;
+
+  for (std::uint32_t I = 0; I < Entries.size(); ++I) {
+    ToolEntry &Entry = Entries[I];
+    ActiveLaneMask |= Entry.Sub.Model == ExecutionModel::Serial
+                          ? std::uint64_t(1) << Entry.Lane
+                          : allLanesMask();
+    for (std::size_t K = 0; K < NumEventKinds; ++K) {
+      if (!Entry.Sub.Kinds.has(static_cast<EventKind>(K)))
+        continue;
+      KindRoute &Route = Routes[K];
+      if (Entry.Sub.Model == ExecutionModel::Serial) {
+        Route.Pinned.push_back(I);
+        Route.PinnedLaneMask |= std::uint64_t(1) << Entry.Lane;
+      } else {
+        Route.Floating.push_back(I);
+      }
+    }
+    if (Entry.Sub.AccessRecords || Entry.T->deviceAnalysis())
+      RecordEntries.push_back(I);
+    if (Entry.Sub.InstrMix)
+      MixEntries.push_back(I);
+    if (Entry.Sub.KernelTrace)
+      TraceEntries.push_back(I);
   }
 }
 
+CallStackBuilder &EventProcessor::callStacks() {
+  if (CurrentLane.Owner == this)
+    return Lanes[CurrentLane.Lane]->Stacks;
+  return SharedStacks;
+}
+
+bool EventProcessor::admit(Event &E) {
+  // Range filtering: kernel-scoped events outside the analysis window are
+  // dropped; resource/DL bookkeeping events always pass so tools keep a
+  // consistent view of allocations.
+  bool KernelScoped = E.Kind == EventKind::KernelLaunch ||
+                      E.Kind == EventKind::KernelComplete;
+  if (KernelScoped && !Filter.kernelActive(E.GridId)) {
+    Core.EventsFiltered.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (eventLevel(E.Kind) == EventLevel::DlFramework &&
+      !Filter.regionActive() && E.Kind != EventKind::TensorAlloc &&
+      E.Kind != EventKind::TensorReclaim) {
+    Core.EventsFiltered.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // CPU preprocessing: keep the shared cross-layer stack context current
+  // (the record-delivery path and synchronous dispatch read it; lanes
+  // maintain their own copy in lane order).
+  if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
+    SharedStacks.setPythonStack(E.PythonStack);
+  return true;
+}
+
 void EventProcessor::process(Event E) {
-  if (!Queue) {
-    processDispatch(std::move(E));
+  // Filtered events never touch the routing tables, so they do not
+  // seal the tool set; the seal lands right before the first dispatch
+  // or enqueue (which do read the tables).
+  if (!admit(E))
+    return;
+  ensureStarted();
+
+  if (Lanes.empty()) {
+    // Same semantics as the lanes: only passes that reached a tool
+    // count, so events_processed stays comparable across modes.
+    if (dispatchOn(E, 0))
+      Core.EventsProcessed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+
   // Synchronization is a hard barrier: the application expects every
   // preceding effect to be visible when the sync call returns, so the
   // matching analysis must be complete too (and reports deterministic).
-  // (enqueue pins the event's borrowed pointees on admission — queued
-  // events outlive this callback's stack frame.)
   bool Barrier = E.Kind == EventKind::Synchronization;
-  Queue->enqueue(std::move(E));
+  const KindRoute &Route = Routes[static_cast<std::size_t>(E.Kind)];
+  std::uint64_t LaneMask = Route.PinnedLaneMask;
+  if (!Route.Floating.empty())
+    LaneMask |= std::uint64_t(1) << homeLane(E);
+  // Python-context updates ride to every lane that can run a tool hook
+  // (idle lanes' CallStackBuilders are unreachable from tool code), so
+  // each such lane's builder stays consistent with its own event order.
+  if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
+    LaneMask |= ActiveLaneMask;
+
+  if (LaneMask != 0) {
+    bool Critical =
+        eventAdmissionClass(E.Kind) != AdmissionClass::Standard;
+    std::size_t Last = 0;
+    std::size_t Fanout = 0;
+    for (std::size_t L = 0; L < Lanes.size(); ++L)
+      if (LaneMask & (std::uint64_t(1) << L)) {
+        Last = L;
+        ++Fanout;
+      }
+    // Multi-lane fan-out pins the borrowed pointees once up front so the
+    // per-lane copies share ownership; the single-lane path leaves the
+    // pinning to enqueue(), which only pays it for events actually
+    // admitted (dropped/sampled events never allocate).
+    if (Fanout > 1)
+      E.retainPointees();
+    for (std::size_t L = 0; L < Lanes.size(); ++L) {
+      if (!(LaneMask & (std::uint64_t(1) << L)))
+        continue;
+      if (L == Last) {
+        Lanes[L]->Queue->enqueue(std::move(E), Critical);
+        break;
+      }
+      Lanes[L]->Queue->enqueue(E, Critical);
+    }
+  }
   if (Barrier)
     flush();
+}
+
+bool EventProcessor::dispatchOn(const Event &E, std::size_t LaneIndex) {
+  const KindRoute &Route = Routes[static_cast<std::size_t>(E.Kind)];
+  bool Delivered = false;
+  for (std::uint32_t I : Route.Pinned) {
+    if (Entries[I].Lane != LaneIndex)
+      continue;
+    invoke(*Entries[I].T, E);
+    Delivered = true;
+  }
+  if (!Route.Floating.empty() && LaneIndex == homeLane(E)) {
+    for (std::uint32_t I : Route.Floating)
+      invoke(*Entries[I].T, E);
+    Delivered = true;
+  }
+  return Delivered;
+}
+
+void EventProcessor::invoke(Tool &T, const Event &E) {
+  switch (E.Kind) {
+  case EventKind::KernelLaunch:
+    T.onKernelLaunch(E);
+    break;
+  case EventKind::KernelComplete:
+    T.onKernelComplete(E);
+    break;
+  case EventKind::MemoryAlloc:
+    T.onMemoryAlloc(E);
+    break;
+  case EventKind::MemoryFree:
+    T.onMemoryFree(E);
+    break;
+  case EventKind::MemoryCopy:
+    T.onMemoryCopy(E);
+    break;
+  case EventKind::MemorySet:
+    T.onMemorySet(E);
+    break;
+  case EventKind::Synchronization:
+    T.onSynchronization(E);
+    break;
+  case EventKind::BatchMemoryOp:
+    T.onBatchMemoryOp(E);
+    break;
+  case EventKind::OperatorStart:
+    T.onOperatorStart(E);
+    break;
+  case EventKind::OperatorEnd:
+    T.onOperatorEnd(E);
+    break;
+  case EventKind::TensorAlloc:
+    T.onTensorAlloc(E);
+    break;
+  case EventKind::TensorReclaim:
+    T.onTensorReclaim(E);
+    break;
+  case EventKind::DriverFunction:
+  case EventKind::RuntimeFunction:
+  case EventKind::StreamCreate:
+  case EventKind::StreamDestroy:
+  case EventKind::ThreadBlockEntry:
+  case EventKind::ThreadBlockExit:
+  case EventKind::BarrierInstruction:
+  case EventKind::DeviceMalloc:
+  case EventKind::DeviceFree:
+  case EventKind::LayerBoundary:
+  case EventKind::FwdBwdBoundary:
+  case EventKind::CustomRegion:
+    break; // only the generic hook sees these
+  }
+  T.onEvent(E);
+}
+
+void EventProcessor::laneLoop(std::size_t LaneIndex) {
+  CurrentLane = {this, LaneIndex};
+  Lane &L = *Lanes[LaneIndex];
+  std::vector<Event> Batch;
+  while (L.Queue->dequeueBatch(Batch)) {
+    for (Event &E : Batch) {
+      // Lane-local stack context, updated in this lane's event order so
+      // Serial tools capture the same stacks as synchronous dispatch.
+      if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
+        L.Stacks.setPythonStack(E.PythonStack);
+      if (dispatchOn(E, LaneIndex)) {
+        Core.EventsProcessed.fetch_add(1, std::memory_order_relaxed);
+        L.Dispatched.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 void EventProcessor::flush() {
   // FlushCount counts actual drain barriers; synchronous dispatch has
   // nothing to drain, so the metric stays 0 and comparable across modes.
-  if (!Queue)
+  if (Lanes.empty())
     return;
   Core.FlushCount.fetch_add(1, std::memory_order_relaxed);
-  Queue->waitDrained();
+  for (auto &L : Lanes)
+    L->Queue->waitDrained();
 }
 
 void EventProcessor::annotationStart() {
@@ -66,95 +346,6 @@ void EventProcessor::annotationStart() {
 void EventProcessor::annotationStop() {
   flush();
   Filter.annotationStop();
-}
-
-void EventProcessor::dispatchLoop() {
-  std::vector<Event> Batch;
-  while (Queue->dequeueBatch(Batch))
-    for (Event &E : Batch)
-      processDispatch(std::move(E));
-}
-
-void EventProcessor::processDispatch(Event E) {
-  // Range filtering: kernel-scoped events outside the analysis window are
-  // dropped; resource/DL bookkeeping events always pass so tools keep a
-  // consistent view of allocations.
-  bool KernelScoped = E.Kind == EventKind::KernelLaunch ||
-                      E.Kind == EventKind::KernelComplete;
-  if (KernelScoped && !Filter.kernelActive(E.GridId)) {
-    Core.EventsFiltered.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  if (eventLevel(E.Kind) == EventLevel::DlFramework &&
-      !Filter.regionActive() && E.Kind != EventKind::TensorAlloc &&
-      E.Kind != EventKind::TensorReclaim) {
-    Core.EventsFiltered.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-
-  // CPU preprocessing: keep the cross-layer stack context current.
-  if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
-    Stacks.setPythonStack(E.PythonStack);
-
-  Core.EventsProcessed.fetch_add(1, std::memory_order_relaxed);
-  dispatch(E);
-}
-
-void EventProcessor::dispatch(const Event &E) {
-  for (Tool *T : Tools) {
-    switch (E.Kind) {
-    case EventKind::KernelLaunch:
-      T->onKernelLaunch(E);
-      break;
-    case EventKind::KernelComplete:
-      T->onKernelComplete(E);
-      break;
-    case EventKind::MemoryAlloc:
-      T->onMemoryAlloc(E);
-      break;
-    case EventKind::MemoryFree:
-      T->onMemoryFree(E);
-      break;
-    case EventKind::MemoryCopy:
-      T->onMemoryCopy(E);
-      break;
-    case EventKind::MemorySet:
-      T->onMemorySet(E);
-      break;
-    case EventKind::Synchronization:
-      T->onSynchronization(E);
-      break;
-    case EventKind::BatchMemoryOp:
-      T->onBatchMemoryOp(E);
-      break;
-    case EventKind::OperatorStart:
-      T->onOperatorStart(E);
-      break;
-    case EventKind::OperatorEnd:
-      T->onOperatorEnd(E);
-      break;
-    case EventKind::TensorAlloc:
-      T->onTensorAlloc(E);
-      break;
-    case EventKind::TensorReclaim:
-      T->onTensorReclaim(E);
-      break;
-    case EventKind::DriverFunction:
-    case EventKind::RuntimeFunction:
-    case EventKind::StreamCreate:
-    case EventKind::StreamDestroy:
-    case EventKind::ThreadBlockEntry:
-    case EventKind::ThreadBlockExit:
-    case EventKind::BarrierInstruction:
-    case EventKind::DeviceMalloc:
-    case EventKind::DeviceFree:
-    case EventKind::LayerBoundary:
-    case EventKind::FwdBwdBoundary:
-    case EventKind::CustomRegion:
-      break; // only the generic hook sees these
-    }
-    T->onEvent(E);
-  }
 }
 
 ProcessorStats EventProcessor::stats() const {
@@ -172,24 +363,43 @@ ProcessorStats EventProcessor::stats() const {
   Snapshot.HostAnalyzedRecords =
       Core.HostAnalyzedRecords.load(std::memory_order_relaxed);
   Snapshot.FlushCount = Core.FlushCount.load(std::memory_order_relaxed);
-  if (Queue) {
-    EventQueueCounters Counters = Queue->counters();
-    Snapshot.EventsDropped = Counters.Dropped;
-    Snapshot.EventsSampledOut = Counters.SampledOut;
-    Snapshot.MaxQueueDepth = Counters.MaxDepth;
+  Snapshot.DispatchLanes = Lanes.size();
+  for (const auto &L : Lanes) {
+    EventQueueCounters Counters = L->Queue->counters();
+    Snapshot.EventsDropped += Counters.Dropped;
+    Snapshot.EventsSampledOut += Counters.SampledOut;
+    Snapshot.MaxQueueDepth =
+        std::max(Snapshot.MaxQueueDepth, Counters.MaxDepth);
   }
   return Snapshot;
+}
+
+std::vector<DispatchLaneStats> EventProcessor::laneStats() const {
+  std::vector<DispatchLaneStats> Out;
+  Out.reserve(Lanes.size());
+  for (const auto &L : Lanes) {
+    EventQueueCounters Counters = L->Queue->counters();
+    DispatchLaneStats Stats;
+    Stats.EventsDispatched = L->Dispatched.load(std::memory_order_relaxed);
+    Stats.Enqueued = Counters.Enqueued;
+    Stats.Dropped = Counters.Dropped;
+    Stats.SampledOut = Counters.SampledOut;
+    Stats.MaxQueueDepth = Counters.MaxDepth;
+    Out.push_back(Stats);
+  }
+  return Out;
 }
 
 void EventProcessor::reportPipeline(ReportSink &Sink) const {
   ProcessorStats Snapshot = stats();
   Sink.beginReport("event_pipeline");
-  Sink.metric("mode", std::string(Queue ? "async" : "sync"));
-  if (Queue) {
+  Sink.metric("mode", std::string(Lanes.empty() ? "sync" : "async"));
+  if (!Lanes.empty()) {
+    const EventQueue &Q = *Lanes.front()->Queue;
     Sink.metric("overflow_policy",
-                std::string(overflowPolicyName(Queue->policy())));
-    Sink.metric("queue_depth",
-                static_cast<std::uint64_t>(Queue->capacity()));
+                std::string(overflowPolicyName(Q.policy())));
+    Sink.metric("queue_depth", static_cast<std::uint64_t>(Q.capacity()));
+    Sink.metric("dispatch_lanes", Snapshot.DispatchLanes);
   }
   Sink.metric("events_processed", Snapshot.EventsProcessed);
   Sink.metric("events_filtered", Snapshot.EventsFiltered);
@@ -197,26 +407,36 @@ void EventProcessor::reportPipeline(ReportSink &Sink) const {
   Sink.metric("events_sampled_out", Snapshot.EventsSampledOut);
   Sink.metric("max_queue_depth", Snapshot.MaxQueueDepth);
   Sink.metric("flush_count", Snapshot.FlushCount);
+  if (Lanes.size() > 1) {
+    std::vector<DispatchLaneStats> PerLane = laneStats();
+    for (std::size_t I = 0; I < PerLane.size(); ++I) {
+      std::string Prefix = "lane" + std::to_string(I);
+      Sink.metric(Prefix + ".dispatched", PerLane[I].EventsDispatched);
+      Sink.metric(Prefix + ".enqueued", PerLane[I].Enqueued);
+      Sink.metric(Prefix + ".max_queue_depth", PerLane[I].MaxQueueDepth);
+    }
+  }
   Sink.endReport();
 }
 
 void EventProcessor::onKernelBegin(const sim::LaunchInfo &Info) {
   (void)Info;
-  if (Queue)
-    flush();
+  ensureStarted();
+  flush();
 }
 
 void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
                                    const sim::MemAccessRecord *Records,
                                    std::size_t Count) {
-  if (Queue)
-    flush(); // records must not run ahead of their coarse events
+  ensureStarted();
+  flush(); // records must not run ahead of their coarse events
   if (!Filter.kernelActive(Info.GridId))
     return;
   Core.RecordBatches.fetch_add(1, std::memory_order_relaxed);
   Core.RecordsDelivered.fetch_add(Count, std::memory_order_relaxed);
 
-  for (Tool *T : Tools) {
+  for (std::uint32_t I : RecordEntries) {
+    Tool *T = Entries[I].T;
     if (DeviceAnalysis *Analysis = T->deviceAnalysis()) {
       // GPU-resident model: reduce the batch concurrently on the device
       // analysis threads (paper Fig. 2b).
@@ -235,20 +455,20 @@ void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
 
 void EventProcessor::onInstrMix(const sim::LaunchInfo &Info,
                                 const sim::InstrMix &Mix) {
-  if (Queue)
-    flush();
+  ensureStarted();
+  flush();
   if (!Filter.kernelActive(Info.GridId))
     return;
-  for (Tool *T : Tools)
-    T->onInstrMix(Info, Mix);
+  for (std::uint32_t I : MixEntries)
+    Entries[I].T->onInstrMix(Info, Mix);
 }
 
 void EventProcessor::onKernelEnd(const sim::LaunchInfo &Info,
                                  const sim::TraceTimeBreakdown &Breakdown) {
-  if (Queue)
-    flush();
+  ensureStarted();
+  flush();
   if (!Filter.kernelActive(Info.GridId))
     return;
-  for (Tool *T : Tools)
-    T->onKernelTraceEnd(Info, Breakdown);
+  for (std::uint32_t I : TraceEntries)
+    Entries[I].T->onKernelTraceEnd(Info, Breakdown);
 }

@@ -11,26 +11,54 @@
 /// tools. It implements sim::TraceSink so vendor profiling layers stream
 /// device records straight into it.
 ///
+/// Dispatch is subscription-driven: at attach time each tool's declared
+/// Subscription (EventKind mask + fine-grained interests + concurrency
+/// contract) is compiled into per-kind routing tables, so an event only
+/// reaches the tools that asked for its kind — including the generic
+/// onEvent hook, which non-subscribers no longer see.
+///
 /// The dispatch unit runs in one of two modes:
 ///
 ///  * synchronous (default): process() preprocesses and dispatches on the
 ///    caller's thread — the application pays tool-analysis cost inline.
-///  * asynchronous: process() only admits the event into a bounded MPSC
-///    EventQueue and returns; a dedicated dispatch thread drains the
-///    queue in batches and runs preprocessing + tool dispatch off the
-///    application's critical path. Synchronization events, TraceSink
-///    record deliveries and finish() are hard flush barriers, so tool
-///    state and reports stay deterministic; with the Block overflow
-///    policy async reports are byte-identical to synchronous ones.
+///  * asynchronous: process() admits the event into the bounded MPSC
+///    queues of one or more dispatch *lanes* and returns; each lane's
+///    thread drains its queue in batches and runs tool dispatch off the
+///    application's critical path. An event is routed to the pinned lane
+///    of every Serial subscriber, plus — when it has ShardByDevice or
+///    Concurrent subscribers — the event's home lane (DeviceIndex modulo
+///    lane count), so per-device ordering holds for sharded tools and
+///    Serial tools keep today's exactly-one-thread contract.
 ///
-///    Threading contract: any number of threads may call process()
-///    concurrently, but annotation toggles and TraceSink record
-///    deliveries are flush-then-proceed operations, not mutual
+///    Admission classes: resource events (allocations, frees, tensors,
+///    streams) are never dropped or sampled by the lossy overflow
+///    policies — they wait for space like Block — so every tool's
+///    allocation view stays consistent under loss. Synchronization
+///    events, TraceSink record deliveries and finish() are hard flush
+///    barriers across all lanes; with the Block policy and Serial-
+///    contract tools, async reports are byte-identical to synchronous
+///    ones.
+///
+///    Preprocessing (range filtering, Python-stack context) runs at
+///    admission on the producer's thread; each lane additionally keeps
+///    its own CallStackBuilder fed in lane order, so callStacks() from a
+///    tool hook resolves to a context consistent with that lane's event
+///    stream.
+///
+///    Threading contract (asynchronous mode): any number of threads may
+///    call process() concurrently, but annotation toggles and TraceSink
+///    record deliveries are flush-then-proceed operations, not mutual
 ///    exclusion — they assume no *other* producer enqueues while they
 ///    run (true for the simulated runtimes, which deliver records from
-///    the same thread that issued the launch). Concurrent producers
-///    during a record delivery would let the dispatch thread run tool
-///    hooks in parallel with the inline record analysis.
+///    the same thread that issued the launch). Synchronous mode runs
+///    tool hooks on the producing thread, so — exactly as before the
+///    lanes existed — concurrent producers and tool/route mutation
+///    require external serialization there.
+///
+///    The tool set is sealed once the asynchronous pipeline starts:
+///    addTool() / clearTools() after the first admitted event (or
+///    record delivery) are rejected, because the dispatch lanes read
+///    the routing tables without locks.
 ///
 /// The GPU-resident collect-and-analyze model (paper Fig. 2b) is realized
 /// by a host thread pool standing in for device analysis warps: tools
@@ -51,9 +79,12 @@
 #include "sim/Trace.h"
 #include "support/ThreadPool.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -62,9 +93,12 @@ namespace pasta {
 class ReportSink;
 
 /// Processor-side counters (tests assert on them). In asynchronous mode
-/// the snapshot returned by stats() is only stable after flush() or a
-/// finished session.
+/// the snapshot returned by stats() merges the per-lane counters; it is
+/// only stable after flush() or a finished session.
 struct ProcessorStats {
+  /// Dispatch passes that delivered an event to at least one tool
+  /// (summed across lanes in asynchronous mode; an event fanned out to
+  /// two lanes counts one pass per lane).
   std::uint64_t EventsProcessed = 0;
   std::uint64_t EventsFiltered = 0;
   std::uint64_t RecordBatches = 0;
@@ -75,25 +109,41 @@ struct ProcessorStats {
   std::uint64_t EventsDropped = 0;
   /// Async pipeline: events discarded by the Sample policy.
   std::uint64_t EventsSampledOut = 0;
-  /// Async pipeline: high-water mark of the event queue.
+  /// Async pipeline: high-water mark over every lane's queue.
   std::uint64_t MaxQueueDepth = 0;
   /// Hard flush barriers taken (Synchronization events, record
   /// deliveries, annotation toggles, finish).
   std::uint64_t FlushCount = 0;
+  /// Dispatch lanes running (0 = synchronous inline dispatch).
+  std::uint64_t DispatchLanes = 0;
+};
+
+/// Per-lane counter snapshot (merged into ProcessorStats by stats()).
+struct DispatchLaneStats {
+  std::uint64_t EventsDispatched = 0;
+  std::uint64_t Enqueued = 0;
+  std::uint64_t Dropped = 0;
+  std::uint64_t SampledOut = 0;
+  std::uint64_t MaxQueueDepth = 0;
 };
 
 /// Dispatch-unit configuration.
 struct ProcessorOptions {
   /// Device-analysis thread-pool width (0 = hardware concurrency).
   std::size_t AnalysisThreads = 0;
-  /// Decouple event collection from tool analysis on a dispatch thread.
+  /// Decouple event collection from tool analysis on dispatch lanes.
   bool AsyncEvents = false;
-  /// Bounded queue capacity between producers and the dispatch thread.
+  /// Bounded per-lane queue capacity between producers and dispatch.
   std::size_t QueueDepth = 4096;
-  /// What happens to events arriving while the queue is full.
+  /// What happens to standard-class events arriving while a lane's
+  /// queue is full (resource events always wait for space).
   OverflowPolicy Overflow = OverflowPolicy::Block;
   /// The Sample policy's N: 1/N of overflowing events are admitted.
   std::uint64_t SampleEveryN = 8;
+  /// Dispatch lanes when AsyncEvents is on (clamped to [1, 64]). Serial
+  /// tools are pinned round-robin; ShardByDevice/Concurrent tools run on
+  /// each event's home lane.
+  std::size_t DispatchThreads = 1;
 };
 
 /// Preprocessing + dispatch layer between the event handler and tools.
@@ -105,32 +155,44 @@ public:
   explicit EventProcessor(const ProcessorOptions &Opts);
   ~EventProcessor() override;
 
-  /// Tools receiving dispatched data (not owned).
-  void addTool(Tool *T) {
-    Tools.push_back(T);
-    T->onAttach(*this);
-  }
-  void clearTools() { Tools.clear(); }
+  /// Adds a tool (not owned) and compiles its subscription into the
+  /// routing tables. Returns false — after flushing, without mutating —
+  /// when the pipeline already started with live dispatch lanes: the
+  /// lanes read the tables without locks, so the tool set is sealed by
+  /// the first admitted event.
+  bool addTool(Tool *T);
+  /// Removes every tool. Same sealing rule as addTool.
+  bool clearTools();
   const std::vector<Tool *> &tools() const { return Tools; }
+  /// The subscription \p T was attached with (as compiled into the
+  /// routing tables); nullopt when \p T is not attached.
+  std::optional<Subscription> subscriptionOf(const Tool *T) const;
 
   RangeFilter &rangeFilter() { return Filter; }
-  CallStackBuilder &callStacks() { return Stacks; }
-  /// Counter snapshot, merged with the async queue counters. Safe to
-  /// call concurrently with a running pipeline (each counter is read
+  /// The cross-layer stack context for the calling thread: dispatch-lane
+  /// threads get their lane's builder (fed in lane order), every other
+  /// thread the shared builder updated at admission.
+  CallStackBuilder &callStacks();
+  /// Counter snapshot, merged across the dispatch lanes. Safe to call
+  /// concurrently with a running pipeline (each counter is read
   /// atomically), but only quiescent pipelines (after flush()/finish,
   /// or in synchronous mode) yield a mutually consistent snapshot.
   ProcessorStats stats() const;
-  bool asyncEvents() const { return Queue != nullptr; }
+  /// Per-lane snapshots (empty in synchronous mode).
+  std::vector<DispatchLaneStats> laneStats() const;
+  bool asyncEvents() const { return !Lanes.empty(); }
+  std::size_t laneCount() const { return Lanes.size(); }
 
   /// Admits one coarse event (called by the event handler). Synchronous
-  /// mode preprocesses + dispatches inline; asynchronous mode enqueues
-  /// and returns, except for Synchronization events which flush the
-  /// pipeline before returning (hard barrier).
+  /// mode preprocesses + dispatches inline; asynchronous mode routes the
+  /// event to its subscribers' lanes and returns, except for
+  /// Synchronization events which flush the pipeline before returning
+  /// (hard barrier).
   void process(Event E);
 
-  /// Blocks until every admitted event has been dispatched. No-op in
-  /// synchronous mode (everything already was). Must not be called from
-  /// a tool hook — the dispatch thread cannot wait on itself.
+  /// Blocks until every admitted event has been dispatched on every
+  /// lane. No-op in synchronous mode (everything already was). Must not
+  /// be called from a tool hook — a dispatch lane cannot wait on itself.
   void flush();
 
   /// Annotation toggles (pasta.start/stop). Flush first so the region
@@ -139,7 +201,8 @@ public:
   void annotationStop();
 
   /// Emits the dispatch-unit counters as an "event_pipeline" report
-  /// section (does not close \p Sink).
+  /// section (does not close \p Sink). Multi-lane pipelines include a
+  /// per-lane breakdown.
   void reportPipeline(ReportSink &Sink) const;
 
   //===--------------------------------------------------------------------===
@@ -147,8 +210,9 @@ public:
   //===--------------------------------------------------------------------===
   // Record batches reference transient device buffers and are analyzed
   // inline on the delivering thread; in async mode each delivery first
-  // flushes the queue so records never observe tool state older than the
-  // coarse events preceding them.
+  // flushes every lane so records never observe tool state older than
+  // the coarse events preceding them. Only tools whose subscription
+  // declares the matching interest are invoked.
   void onKernelBegin(const sim::LaunchInfo &Info) override;
   void onAccessBatch(const sim::LaunchInfo &Info,
                      const sim::MemAccessRecord *Records,
@@ -159,25 +223,100 @@ public:
                    const sim::TraceTimeBreakdown &Breakdown) override;
 
 private:
-  /// Preprocess + dispatch of one event: range filtering, call-stack
-  /// context, then routing. Runs on the caller's thread in synchronous
-  /// mode and on the dispatch thread in asynchronous mode.
-  void processDispatch(Event E);
+  /// One tool as compiled into the routing tables.
+  struct ToolEntry {
+    Tool *T = nullptr;
+    Subscription Sub;
+    /// Pinned lane for Serial contracts (0 in synchronous mode).
+    std::size_t Lane = 0;
+  };
 
-  /// Dispatch-unit core: routes \p E to the kind-specific hook and the
-  /// generic hook of every tool.
-  void dispatch(const Event &E);
+  /// Per-kind routing: which entries to invoke, split by placement.
+  struct KindRoute {
+    /// Serial subscribers — invoked on their pinned lane.
+    std::vector<std::uint32_t> Pinned;
+    /// ShardByDevice/Concurrent subscribers — invoked on the event's
+    /// home lane.
+    std::vector<std::uint32_t> Floating;
+    /// Bitmask of lanes with pinned subscribers (fan-out set).
+    std::uint64_t PinnedLaneMask = 0;
+  };
 
-  /// Dispatch thread main: drains queue batches until close().
-  void dispatchLoop();
+  /// One dispatch lane: bounded queue, draining thread, lane-local
+  /// stack context and counters.
+  struct Lane {
+    std::unique_ptr<EventQueue> Queue;
+    std::thread Thread;
+    CallStackBuilder Stacks;
+    std::atomic<std::uint64_t> Dispatched{0};
+  };
+
+  /// Marks the pipeline started (seals the tool set). The transition
+  /// happens under AttachMutex, so an addTool racing with the very
+  /// first admitted event either completes before it or is rejected —
+  /// the lock-free routing tables are never mutated after any event
+  /// has been admitted. Steady state costs one atomic load.
+  void ensureStarted() {
+    if (Started.load(std::memory_order_acquire))
+      return;
+    std::lock_guard<std::mutex> Lock(AttachMutex);
+    Started.store(true, std::memory_order_release);
+  }
+
+  /// Bitmask of every dispatch lane (safe at the 64-lane maximum).
+  std::uint64_t allLanesMask() const {
+    return Lanes.size() >= 64 ? ~std::uint64_t(0)
+                              : (std::uint64_t(1) << Lanes.size()) - 1;
+  }
+
+  /// Admission-side preprocessing on the producer's thread: range
+  /// filtering and shared Python-stack context. False when filtered.
+  bool admit(Event &E);
+
+  /// Recompiles the per-kind routing tables and fine-grained interest
+  /// lists from the attached tools' subscriptions.
+  void rebuildRoutes();
+
+  /// The lane an event's ShardByDevice/Concurrent subscribers run on.
+  std::size_t homeLane(const Event &E) const {
+    return Lanes.size() <= 1
+               ? 0
+               : static_cast<std::size_t>(E.DeviceIndex) % Lanes.size();
+  }
+
+  /// Dispatch-unit core: routes \p E to the hooks of every subscriber
+  /// placed on \p LaneIndex. Returns true when any tool was invoked.
+  bool dispatchOn(const Event &E, std::size_t LaneIndex);
+
+  /// Calls the kind-specific hook, then the generic hook.
+  static void invoke(Tool &T, const Event &E);
+
+  /// Lane thread main: drains the lane's queue until close().
+  void laneLoop(std::size_t LaneIndex);
 
   std::vector<Tool *> Tools;
+  std::vector<ToolEntry> Entries;
+  std::array<KindRoute, NumEventKinds> Routes;
+  /// Lanes that can run any tool hook at all: the union of the Serial
+  /// pins, widened to every lane when ShardByDevice/Concurrent tools
+  /// exist (any lane can be a home lane). Python-stack broadcasts are
+  /// restricted to this set — an idle lane's CallStackBuilder is
+  /// unreachable from tool code.
+  std::uint64_t ActiveLaneMask = 0;
+  /// Entry indices with fine-grained interests (record batches,
+  /// instruction mixes, per-launch trace breakdowns).
+  std::vector<std::uint32_t> RecordEntries;
+  std::vector<std::uint32_t> MixEntries;
+  std::vector<std::uint32_t> TraceEntries;
+
   RangeFilter Filter;
-  CallStackBuilder Stacks;
+  /// Shared stack context: written at admission, read by synchronous
+  /// dispatch and the record-delivery path.
+  CallStackBuilder SharedStacks;
   ThreadPool AnalysisThreads;
-  /// Core counters live as atomics: the dispatch thread increments them
-  /// while producers may snapshot via stats() (e.g. a monitor polling
-  /// drop counters mid-run).
+  /// Core counters live as atomics: dispatch lanes increment them while
+  /// producers may snapshot via stats() (e.g. a monitor polling drop
+  /// counters mid-run).
   struct {
     std::atomic<std::uint64_t> EventsProcessed{0};
     std::atomic<std::uint64_t> EventsFiltered{0};
@@ -187,8 +326,12 @@ private:
     std::atomic<std::uint64_t> HostAnalyzedRecords{0};
     std::atomic<std::uint64_t> FlushCount{0};
   } Core;
-  std::unique_ptr<EventQueue> Queue;
-  std::thread DispatchThread;
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  /// Serializes tool-set mutation against the first admission (see
+  /// ensureStarted); never taken on the steady-state event path.
+  std::mutex AttachMutex;
+  /// Set by the first admitted event; seals the tool set in async mode.
+  std::atomic<bool> Started{false};
 };
 
 } // namespace pasta

@@ -44,7 +44,7 @@ EventQueue::EventQueue(std::size_t Capacity, OverflowPolicy Policy,
   Buffer.reserve(std::min<std::size_t>(Capacity, 1u << 16));
 }
 
-void EventQueue::enqueue(Event E) {
+void EventQueue::enqueue(Event E, bool Critical) {
   std::unique_lock<std::mutex> Lock(Mutex);
   if (Closed) {
     // Shutdown teardown: count the loss so conservation invariants
@@ -53,7 +53,7 @@ void EventQueue::enqueue(Event E) {
     return;
   }
   if (Buffer.size() >= Capacity) {
-    switch (Policy) {
+    switch (Critical ? OverflowPolicy::Block : Policy) {
     case OverflowPolicy::Block:
       break;
     case OverflowPolicy::DropNewest:

@@ -77,8 +77,10 @@ public:
   EventQueue &operator=(const EventQueue &) = delete;
 
   /// Producer side: admits \p E per the overflow policy. Events arriving
-  /// after close() are discarded.
-  void enqueue(Event E);
+  /// after close() are discarded. \p Critical events (resource admission
+  /// class, barriers) bypass the lossy policies: they wait for space like
+  /// Block so allocation/tensor views stay consistent under loss.
+  void enqueue(Event E, bool Critical = false);
 
   /// Consumer side: swaps the producing buffer into \p Batch, blocking
   /// until events are available. Returns false when the queue is closed

@@ -49,6 +49,12 @@ ProfilerOptions ProfilerOptions::fromEnv() {
           getEnvInt("PASTA_OVERFLOW_SAMPLE_N",
                     static_cast<std::int64_t>(Opts.Processor.SampleEveryN)),
           1));
+  Opts.Processor.DispatchThreads =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          getEnvInt("PASTA_DISPATCH_THREADS",
+                    static_cast<std::int64_t>(
+                        Opts.Processor.DispatchThreads)),
+          1));
   return Opts;
 }
 
@@ -64,8 +70,9 @@ Profiler::~Profiler() {
 Tool *Profiler::addTool(std::unique_ptr<Tool> T) {
   assert(T && "null tool");
   Tool *Raw = T.get();
+  if (!Processor.addTool(Raw))
+    return nullptr; // pipeline already started; tool set is sealed
   Tools.push_back(std::move(T));
-  Processor.addTool(Raw);
   Raw->onStart();
   return Raw;
 }

@@ -39,8 +39,8 @@ namespace pasta {
 /// Profiler-wide options; fromEnv() resolves the paper's environment
 /// variables (PASTA_TOOL, ACCEL_PROF_ENV_SAMPLE_RATE,
 /// PASTA_TRACE_GRANULARITY, PASTA_ASYNC_EVENTS, PASTA_QUEUE_DEPTH,
-/// PASTA_OVERFLOW_POLICY; START_GRID_ID/END_GRID_ID are read by the
-/// range filter itself).
+/// PASTA_OVERFLOW_POLICY, PASTA_DISPATCH_THREADS; START_GRID_ID /
+/// END_GRID_ID are read by the range filter itself).
 struct ProfilerOptions {
   TraceOptions Trace;
   /// Dispatch-unit configuration: analysis-thread width, async event
@@ -68,7 +68,8 @@ public:
   // Tool management
   //===--------------------------------------------------------------------===
   /// Adds a tool instance; the profiler owns it. Returns the raw pointer
-  /// for convenience.
+  /// for convenience, or null when the asynchronous pipeline already
+  /// started (the dispatch lanes seal the tool set at the first event).
   Tool *addTool(std::unique_ptr<Tool> T);
   /// Creates a tool from the global registry; null when unknown.
   Tool *addToolByName(const std::string &Name);

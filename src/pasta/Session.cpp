@@ -33,6 +33,7 @@ ProfilerOptions profilerOptions(const SessionOptions &Opts) {
   ProfOpts.Processor.QueueDepth = Opts.QueueDepth;
   ProfOpts.Processor.Overflow = Opts.Overflow;
   ProfOpts.Processor.SampleEveryN = Opts.SampleEveryN;
+  ProfOpts.Processor.DispatchThreads = Opts.DispatchThreads;
   return ProfOpts;
 }
 
@@ -200,6 +201,10 @@ std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
   }
   if (Opts.SampleEveryN == 0) {
     Err.assign("overflow sample modulus must be positive");
+    return nullptr;
+  }
+  if (Opts.DispatchThreads == 0 || Opts.DispatchThreads > 64) {
+    Err.assign("dispatch thread count must be in [1, 64]");
     return nullptr;
   }
 

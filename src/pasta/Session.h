@@ -92,6 +92,10 @@ struct SessionOptions {
   OverflowPolicy Overflow = ProcessorOptions().Overflow;
   /// The Sample overflow policy's N (1/N of overflowing events kept).
   std::uint64_t SampleEveryN = ProcessorOptions().SampleEveryN;
+  /// Dispatch lanes when AsyncEvents is on: Serial-contract tools are
+  /// pinned round-robin, ShardByDevice/Concurrent tools run on each
+  /// event's home lane.
+  std::size_t DispatchThreads = ProcessorOptions().DispatchThreads;
   /// When false, the backend enables everything it supports regardless of
   /// tool requirements (legacy Profiler behavior).
   bool Negotiate = true;
@@ -161,10 +165,13 @@ public:
   EventProcessor &processor() { return Prof.processor(); }
   sim::System &system() { return *System; }
   dl::CallbackRegistry &callbacks() { return Callbacks; }
-  /// First tool with \p Name, null when absent. Typed variant casts.
+  /// First tool with \p Name, null when absent. The typed variant is a
+  /// checked cast: null when the name is absent *or* the named tool is
+  /// not a ToolT (two registered tools may share a report name without
+  /// sharing a type, so an unchecked cast would be a foot-gun).
   Tool *tool(const std::string &Name) const;
   template <typename ToolT> ToolT *toolAs(const std::string &Name) const {
-    return static_cast<ToolT *>(tool(Name));
+    return dynamic_cast<ToolT *>(tool(Name));
   }
   const std::vector<std::unique_ptr<Tool>> &tools() const {
     return Prof.tools();
@@ -279,6 +286,13 @@ public:
   /// The Sample overflow policy's N (1/N of overflowing events kept).
   SessionBuilder &sampleEveryN(std::uint64_t N) {
     Opts.SampleEveryN = N;
+    return *this;
+  }
+  /// Number of dispatch lanes for the asynchronous pipeline. Tools with
+  /// ShardByDevice/Concurrent contracts spread across lanes; Serial
+  /// tools stay pinned to one.
+  SessionBuilder &dispatchThreads(std::size_t Threads) {
+    Opts.DispatchThreads = Threads;
     return *this;
   }
   SessionBuilder &negotiate(bool Enabled) {

@@ -45,7 +45,47 @@ std::string CapabilitySet::str() const {
   return Out.empty() ? "none" : Out;
 }
 
-CapabilitySet Tool::requirements() {
+const char *pasta::executionModelName(ExecutionModel Model) {
+  switch (Model) {
+  case ExecutionModel::Serial:
+    return "serial";
+  case ExecutionModel::ShardByDevice:
+    return "shard-by-device";
+  case ExecutionModel::Concurrent:
+    return "concurrent";
+  }
+  return "unknown";
+}
+
+std::string EventKindMask::str() const {
+  if (*this == all())
+    return "all";
+  if (empty())
+    return "none";
+  std::string Out;
+  for (std::size_t I = 0; I < NumEventKinds; ++I) {
+    EventKind Kind = static_cast<EventKind>(I);
+    if (!has(Kind))
+      continue;
+    if (!Out.empty())
+      Out += '|';
+    Out += eventKindName(Kind);
+  }
+  return Out;
+}
+
+CapabilitySet Subscription::requiredCapabilities() const {
+  CapabilitySet Required(Capability::CoarseEvents);
+  if (AccessRecords)
+    Required |= Capability::AccessRecords;
+  if (InstrMix)
+    Required |= Capability::InstrMix;
+  if (UvmCounters)
+    Required |= Capability::UvmCounters;
+  return Required;
+}
+
+CapabilitySet Tool::probeFineGrained() {
   // Probe the fine-grained hooks with empty payloads: when the virtual
   // call lands back in the Tool default, that hook was not overridden and
   // the matching capability is not required. Overrides observe one
@@ -57,12 +97,37 @@ CapabilitySet Tool::requirements() {
   onInstrMix(ProbeInfo, sim::InstrMix());
   ProbeSink = nullptr;
 
-  CapabilitySet Required(Capability::CoarseEvents);
+  CapabilitySet Probed;
   if (!DefaultsReached.has(Capability::AccessRecords) || deviceAnalysis())
-    Required |= Capability::AccessRecords;
+    Probed |= Capability::AccessRecords;
   if (!DefaultsReached.has(Capability::InstrMix))
-    Required |= Capability::InstrMix;
+    Probed |= Capability::InstrMix;
+  return Probed;
+}
+
+Subscription Tool::subscription() {
+  // Migration default for override-only tools: everything coarse on one
+  // serial lane, trace breakdowns on (the probe cannot see an
+  // onKernelTraceEnd override), fine-grained interests from the probe.
+  CapabilitySet Probed = probeFineGrained();
+  Subscription Sub;
+  Sub.Kinds = EventKindMask::all();
+  Sub.AccessRecords = Probed.has(Capability::AccessRecords);
+  Sub.InstrMix = Probed.has(Capability::InstrMix);
+  Sub.KernelTrace = true;
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
+CapabilitySet Tool::requirements() {
+  CapabilitySet Required = subscription().requiredCapabilities();
+  if (deviceAnalysis())
+    Required |= Capability::AccessRecords;
   return Required;
+}
+
+CapabilitySet Tool::legacyProbeRequirements() {
+  return CapabilitySet(Capability::CoarseEvents) | probeFineGrained();
 }
 
 std::string Tool::renderTextReport() {

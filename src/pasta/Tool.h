@@ -22,6 +22,7 @@
 #include "pasta/SessionError.h"
 #include "sim/Trace.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -33,6 +34,102 @@ namespace pasta {
 
 class EventProcessor;
 class ReportSink;
+
+/// Concurrency contract a tool declares for its coarse-event hooks. The
+/// dispatch unit uses it to decide which dispatch lane(s) may invoke the
+/// tool, turning the "is this tool thread-safe?" audit into an
+/// attach-time property instead of a code-review question.
+enum class ExecutionModel : std::uint8_t {
+  /// All hooks run on one pinned dispatch lane (today's contract; the
+  /// safe default for tools with unsynchronized state).
+  Serial,
+  /// Hooks for different devices may run concurrently on different
+  /// lanes; events for one device are always delivered in order on one
+  /// lane. The tool must only share state across devices under a lock.
+  ShardByDevice,
+  /// The tool is internally synchronized; any lane may invoke any hook
+  /// at any time.
+  Concurrent,
+};
+
+/// Stable lower-case name ("serial", "shard-by-device", "concurrent").
+const char *executionModelName(ExecutionModel Model);
+
+/// Value-type bitmask over EventKind — the "which discrete events do I
+/// consume" half of a Subscription.
+class EventKindMask {
+public:
+  constexpr EventKindMask() = default;
+  constexpr EventKindMask(std::initializer_list<EventKind> Kinds) {
+    for (EventKind Kind : Kinds)
+      Bits |= bit(Kind);
+  }
+
+  static constexpr EventKindMask all() {
+    EventKindMask Mask;
+    Mask.Bits = (std::uint64_t(1) << NumEventKinds) - 1;
+    return Mask;
+  }
+  static constexpr EventKindMask none() { return EventKindMask(); }
+
+  constexpr bool has(EventKind Kind) const {
+    return (Bits & bit(Kind)) != 0;
+  }
+  constexpr bool empty() const { return Bits == 0; }
+
+  constexpr EventKindMask &operator|=(EventKindMask Other) {
+    Bits |= Other.Bits;
+    return *this;
+  }
+  friend constexpr EventKindMask operator|(EventKindMask A,
+                                           EventKindMask B) {
+    return A |= B;
+  }
+  friend constexpr bool operator==(EventKindMask A, EventKindMask B) {
+    return A.Bits == B.Bits;
+  }
+  friend constexpr bool operator!=(EventKindMask A, EventKindMask B) {
+    return A.Bits != B.Bits;
+  }
+
+  /// "KernelLaunch|MemoryAlloc" style rendering; "all" / "none" for the
+  /// two extremes.
+  std::string str() const;
+
+private:
+  static constexpr std::uint64_t bit(EventKind Kind) {
+    return std::uint64_t(1) << static_cast<unsigned>(Kind);
+  }
+  std::uint64_t Bits = 0;
+};
+
+/// What a tool declares it consumes, and under which concurrency
+/// contract — the attach-time replacement for "every tool virtually
+/// receives every event". The dispatch unit builds its per-kind routing
+/// tables from these, so non-subscribers never pay a virtual call (the
+/// generic onEvent hook included), and capability negotiation derives
+/// requirements() from the same declaration.
+struct Subscription {
+  /// Discrete event kinds delivered to the kind-specific hooks and the
+  /// generic onEvent hook.
+  EventKindMask Kinds;
+  /// Fine-grained record batches (onAccessBatch / deviceAnalysis()).
+  bool AccessRecords = false;
+  /// Dynamic instruction mixes (onInstrMix).
+  bool InstrMix = false;
+  /// Per-launch instrumentation breakdowns (onKernelTraceEnd).
+  bool KernelTrace = false;
+  /// Unified-memory counters.
+  bool UvmCounters = false;
+  /// Concurrency contract for the coarse-event hooks above.
+  ExecutionModel Model = ExecutionModel::Serial;
+
+  /// The capability set this subscription negotiates for. CoarseEvents
+  /// is always included (every backend has the cheap callbacks, and the
+  /// legacy probe always requested it), so declared subscriptions
+  /// negotiate the exact same instrumentation as the probe did.
+  CapabilitySet requiredCapabilities() const;
+};
 
 /// Thread-safe reducer for fine-grained device records (the tool-supplied
 /// __device__ helper of the paper's GPU-resident model).
@@ -54,15 +151,33 @@ public:
 
   virtual std::string name() const = 0;
 
+  /// Declares what this tool consumes and under which concurrency
+  /// contract. The dispatch unit routes only the declared event kinds to
+  /// the tool (kind hook and generic onEvent hook alike) and uses the
+  /// ExecutionModel to place the tool on its dispatch lanes.
+  ///
+  /// The default is the migration path for override-only tools: it
+  /// subscribes to every discrete kind under the Serial contract, keeps
+  /// per-launch trace breakdowns on, and derives the fine-grained
+  /// interests from which hooks are overridden (the empty-payload probe
+  /// that used to live in requirements()). Tools should override this
+  /// with an exact declaration — it is both cheaper (no fan-out of
+  /// events nobody wants) and the only way to opt into a concurrent
+  /// contract.
+  virtual Subscription subscription();
+
   /// Event classes this tool consumes; sessions enable only the matching
-  /// backend instrumentation (capability negotiation). The default derives
-  /// the answer from which fine-grained hooks are overridden: it probes
-  /// onAccessBatch/onInstrMix with empty payloads — a final overrider that
-  /// is still the Tool default marks the probe, so the capability is only
-  /// requested when a subclass replaced the hook (or deviceAnalysis() is
-  /// non-null). Tools whose fine-grained consumption the probe cannot see
-  /// (e.g. only onKernelTraceEnd) should override this explicitly.
+  /// backend instrumentation (capability negotiation). Now a derived
+  /// default: subscription().requiredCapabilities(), plus AccessRecords
+  /// when deviceAnalysis() is non-null. Override only when the
+  /// negotiated set must differ from the declared subscription.
   virtual CapabilitySet requirements();
+
+  /// The pre-subscription probe: derives requirements from which
+  /// fine-grained hooks are overridden, exactly as the old default
+  /// requirements() did. Kept public so tests can assert a declared
+  /// subscription negotiates the same capabilities the probe would have.
+  CapabilitySet legacyProbeRequirements();
 
   /// Lifecycle: called when the profiler activates / deactivates the tool.
   virtual void onStart() {}
@@ -139,9 +254,15 @@ protected:
   std::string renderTextReport();
 
 private:
+  /// Probes onAccessBatch/onInstrMix with empty payloads and returns the
+  /// capabilities whose hooks a subclass replaced (or AccessRecords when
+  /// deviceAnalysis() is non-null). Feeds the default subscription() and
+  /// legacyProbeRequirements().
+  CapabilitySet probeFineGrained();
+
   /// Where the base-class fine-grained hook defaults record that they —
-  /// and not an override — were reached; only set while the default
-  /// requirements() probe runs.
+  /// and not an override — were reached; only set while probeFineGrained
+  /// runs.
   CapabilitySet *ProbeSink = nullptr;
 };
 

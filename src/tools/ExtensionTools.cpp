@@ -19,6 +19,14 @@ using namespace pasta::tools;
 // InstructionMixTool
 //===----------------------------------------------------------------------===//
 
+Subscription InstructionMixTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = EventKindMask::none();
+  Sub.InstrMix = true;
+  Sub.Model = ExecutionModel::Concurrent;
+  return Sub;
+}
+
 double InstructionMixTool::KernelMix::memoryFraction() const {
   std::uint64_t Total = Mix.total();
   if (Total == 0)
@@ -64,6 +72,13 @@ void InstructionMixTool::writeReport(std::FILE *Out) {
 BarrierStallTool::BarrierStallTool(std::uint64_t BarrierLatencyNs)
     : BarrierLatencyNs(BarrierLatencyNs) {}
 
+Subscription BarrierStallTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::OperatorStart, EventKind::KernelLaunch};
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
 void BarrierStallTool::onOperatorStart(const Event &E) {
   CurrentLayer = E.LayerName;
 }
@@ -97,6 +112,15 @@ void BarrierStallTool::writeReport(std::FILE *Out) {
 //===----------------------------------------------------------------------===//
 // RedundantLoadTool
 //===----------------------------------------------------------------------===//
+
+Subscription RedundantLoadTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::KernelLaunch};
+  Sub.AccessRecords = true;
+  Sub.KernelTrace = true;
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
 
 void RedundantLoadTool::onKernelLaunch(const Event &E) {
   (void)E;

@@ -38,6 +38,10 @@ class InstructionMixTool : public Tool {
 public:
   std::string name() const override { return "instruction_mix"; }
 
+  /// No discrete events at all — instruction mixes arrive on the
+  /// record-delivery path, so any lane placement is fine (Concurrent).
+  Subscription subscription() override;
+
   struct KernelMix {
     std::uint64_t Launches = 0;
     sim::InstrMix Mix;
@@ -65,6 +69,10 @@ public:
 
   std::string name() const override { return "barrier_stall"; }
 
+  /// Operator starts (layer context) + kernel launches, serial (the
+  /// current-layer string threads state between the two hooks).
+  Subscription subscription() override;
+
   void onOperatorStart(const Event &E) override;
   void onKernelLaunch(const Event &E) override;
   void writeReport(std::FILE *Out) override;
@@ -87,6 +95,10 @@ private:
 class RedundantLoadTool : public Tool {
 public:
   std::string name() const override { return "redundant_load"; }
+
+  /// Kernel launches + access records + per-launch breakdowns, serial
+  /// (per-kernel accumulators reset on launch, harvested on trace end).
+  Subscription subscription() override;
 
   struct KernelRedundancy {
     std::string Name;

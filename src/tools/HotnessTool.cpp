@@ -20,6 +20,14 @@ HotnessTool::HotnessTool(std::uint64_t BlockBytes)
 
 HotnessTool::~HotnessTool() = default;
 
+Subscription HotnessTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::KernelLaunch};
+  Sub.AccessRecords = true;
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
 void HotnessTool::onKernelLaunch(const Event &E) {
   (void)E;
   CurrentWindow = static_cast<std::uint32_t>(KernelIndex / WindowKernels);

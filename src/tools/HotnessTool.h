@@ -36,6 +36,10 @@ public:
 
   std::string name() const override { return "hotness"; }
 
+  /// Kernel launches (window bookkeeping) + access records, on one
+  /// serial lane; the in-situ reducer is separately synchronized.
+  Subscription subscription() override;
+
   void onKernelLaunch(const Event &E) override;
   DeviceAnalysis *deviceAnalysis() override { return &InSituReducer; }
   void writeReport(std::FILE *Out) override;

@@ -16,6 +16,13 @@
 using namespace pasta;
 using namespace pasta::tools;
 
+Subscription KernelFrequencyTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::KernelLaunch};
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
 void KernelFrequencyTool::onAttach(EventProcessor &Processor) {
   this->Processor = &Processor;
   CaptureHottest = Knobs::fromEnv().MaxCalledKernel;

@@ -33,6 +33,10 @@ class KernelFrequencyTool : public Tool {
 public:
   std::string name() const override { return "kernel_frequency"; }
 
+  /// Kernel launches only, on one serial lane (the frequency map and
+  /// hottest-stack capture are unsynchronized).
+  Subscription subscription() override;
+
   void onAttach(EventProcessor &Processor) override;
   void onKernelLaunch(const Event &E) override;
   void writeReport(std::FILE *Out) override;

@@ -15,19 +15,35 @@
 using namespace pasta;
 using namespace pasta::tools;
 
+Subscription MemUsageTimelineTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::TensorAlloc, EventKind::TensorReclaim};
+  Sub.Model = ExecutionModel::ShardByDevice;
+  return Sub;
+}
+
 void MemUsageTimelineTool::record(const Event &E) {
-  Series[E.DeviceIndex].push_back(E.PoolAllocated);
+  std::vector<std::uint64_t> *DeviceSeries;
+  {
+    // Map nodes are stable; only the find-or-create races across lanes.
+    std::lock_guard<std::mutex> Lock(SeriesMutex);
+    DeviceSeries = &Series[E.DeviceIndex];
+  }
+  // Same device => same lane => appends are ordered and unshared.
+  DeviceSeries->push_back(E.PoolAllocated);
 }
 
 const std::vector<std::uint64_t> &
 MemUsageTimelineTool::series(int DeviceIndex) const {
   static const std::vector<std::uint64_t> Empty;
+  std::lock_guard<std::mutex> Lock(SeriesMutex);
   auto It = Series.find(DeviceIndex);
   return It == Series.end() ? Empty : It->second;
 }
 
 std::vector<int> MemUsageTimelineTool::devices() const {
   std::vector<int> Out;
+  std::lock_guard<std::mutex> Lock(SeriesMutex);
   for (const auto &[Device, Samples] : Series)
     Out.push_back(Device);
   return Out;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,18 @@ namespace pasta {
 namespace tools {
 
 /// Per-device tensor-granularity memory usage series.
+///
+/// Declares the ShardByDevice contract: its state is a per-device series,
+/// so events for different devices may be dispatched concurrently — only
+/// the container itself (creating a device's series on first use) is
+/// guarded; appends to one device's series are serialized by the
+/// per-device lane ordering the contract guarantees.
 class MemUsageTimelineTool : public Tool {
 public:
   std::string name() const override { return "mem_usage_timeline"; }
+
+  /// Tensor alloc/reclaim only, sharded by device.
+  Subscription subscription() override;
 
   void onTensorAlloc(const Event &E) override { record(E); }
   void onTensorReclaim(const Event &E) override { record(E); }
@@ -37,6 +47,7 @@ public:
   void report(ReportSink &Sink) override;
 
   /// Allocated-bytes series per device, one sample per tensor event.
+  /// Accessors are for quiescent pipelines (post-finish / post-flush).
   const std::vector<std::uint64_t> &series(int DeviceIndex) const;
   std::vector<int> devices() const;
   std::uint64_t peak(int DeviceIndex) const;
@@ -45,6 +56,9 @@ public:
 private:
   void record(const Event &E);
 
+  /// Guards the map structure only (device-series creation and lookup);
+  /// values are appended outside the lock, per the sharded contract.
+  mutable std::mutex SeriesMutex;
   std::map<int, std::vector<std::uint64_t>> Series;
 };
 

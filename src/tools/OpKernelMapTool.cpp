@@ -15,6 +15,14 @@
 using namespace pasta;
 using namespace pasta::tools;
 
+Subscription OpKernelMapTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::OperatorStart, EventKind::OperatorEnd,
+               EventKind::KernelLaunch, EventKind::KernelComplete};
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
 void OpKernelMapTool::onOperatorStart(const Event &E) {
   ActiveOp Op;
   Op.OpName = E.OpName;

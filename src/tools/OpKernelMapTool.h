@@ -33,6 +33,10 @@ class OpKernelMapTool : public Tool {
 public:
   std::string name() const override { return "op_kernel_map"; }
 
+  /// Operator + kernel lifecycle events, on one serial lane (the
+  /// operator nesting stack is inherently order-sensitive).
+  Subscription subscription() override;
+
   struct OpProfile {
     std::string OpName;
     std::uint64_t Invocations = 0;

@@ -11,6 +11,15 @@
 using namespace pasta;
 using namespace pasta::tools;
 
+Subscription TraceExportTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::OperatorStart, EventKind::OperatorEnd,
+               EventKind::KernelLaunch, EventKind::KernelComplete,
+               EventKind::MemoryCopy, EventKind::BatchMemoryOp};
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
 void TraceExportTool::onOperatorStart(const Event &E) {
   Entry Item;
   Item.Phase = 'B';

@@ -31,6 +31,10 @@ class TraceExportTool : public Tool {
 public:
   std::string name() const override { return "chrome_trace"; }
 
+  /// Timeline-relevant events on one serial lane (a single ordered
+  /// entries vector is the whole data structure).
+  Subscription subscription() override;
+
   void onOperatorStart(const Event &E) override;
   void onOperatorEnd(const Event &E) override;
   void onKernelLaunch(const Event &E) override;

@@ -22,6 +22,17 @@ WorkingSetTool::WorkingSetTool(WsAnalysisMode Mode)
 
 WorkingSetTool::~WorkingSetTool() = default;
 
+Subscription WorkingSetTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = {EventKind::MemoryAlloc, EventKind::MemoryFree,
+               EventKind::TensorAlloc, EventKind::TensorReclaim,
+               EventKind::KernelLaunch};
+  Sub.AccessRecords = true;
+  Sub.KernelTrace = true;
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
 void WorkingSetTool::onAttach(EventProcessor &Processor) {
   this->Processor = &Processor;
   CaptureMaxRef = Knobs::fromEnv().MaxMemReferencedKernel;

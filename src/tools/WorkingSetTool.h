@@ -53,6 +53,12 @@ public:
 
   std::string name() const override { return "working_set"; }
 
+  /// Resource + kernel-launch events, access records and per-launch
+  /// breakdowns, on one serial lane (the interval maps and the current-
+  /// kernel accumulator are only guarded against the device-analysis
+  /// threads, not against other coarse hooks).
+  Subscription subscription() override;
+
   /// Per-kernel result.
   struct KernelRecord {
     std::string Name;

@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 //
 // The asynchronous dispatch unit: ordering guarantees, flush barriers,
-// overflow-policy accounting, and the determinism contract — on a fixed
-// workload, async mode with the Block policy must produce byte-identical
-// JSON tool reports to synchronous mode.
+// overflow-policy accounting, admission classes (resource events are
+// never dropped), declarative subscription routing, sharded multi-lane
+// dispatch, and the determinism contract — on a fixed workload, async
+// mode with the Block policy must produce byte-identical JSON tool
+// reports to synchronous mode, for any lane count, for Serial-contract
+// tools.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,8 +22,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -72,14 +78,27 @@ Event allocEvent(sim::DeviceAddr Address) {
   return E;
 }
 
+/// MemoryCopy is a standard-admission kind — unlike resource events, the
+/// lossy overflow policies may discard it.
+Event copyEvent(sim::DeviceAddr Address, int Device = 0) {
+  Event E;
+  E.Kind = EventKind::MemoryCopy;
+  E.Address = Address;
+  E.Bytes = 64;
+  E.DeviceIndex = Device;
+  return E;
+}
+
 ProcessorOptions asyncOptions(std::size_t Depth, OverflowPolicy Policy,
-                              std::uint64_t SampleEveryN = 4) {
+                              std::uint64_t SampleEveryN = 4,
+                              std::size_t DispatchThreads = 1) {
   ProcessorOptions Opts;
   Opts.AnalysisThreads = 1;
   Opts.AsyncEvents = true;
   Opts.QueueDepth = Depth;
   Opts.Overflow = Policy;
   Opts.SampleEveryN = SampleEveryN;
+  Opts.DispatchThreads = DispatchThreads;
   return Opts;
 }
 
@@ -218,9 +237,10 @@ TEST(AsyncPipeline, DropNewestCountsAndNeverBlocks) {
 
   // One event wedges the dispatch thread in the gate; everything past
   // the queue capacity must be dropped, not block this thread.
+  // (MemoryCopy: the lossy policies only apply to standard-class kinds.)
   constexpr std::uint64_t Sent = 200;
   for (std::uint64_t I = 0; I < Sent; ++I)
-    Processor.process(allocEvent(I));
+    Processor.process(copyEvent(I));
   Gate.release();
   Processor.flush();
 
@@ -230,6 +250,38 @@ TEST(AsyncPipeline, DropNewestCountsAndNeverBlocks) {
   // Conservation: every event was either dispatched or dropped.
   EXPECT_EQ(Stats.EventsProcessed + Stats.EventsDropped, Sent);
   EXPECT_EQ(Tool.Addresses.size(), Stats.EventsProcessed);
+}
+
+TEST(AsyncPipeline, ResourceEventsAreNeverDroppedOrSampled) {
+  // Admission classes: resource events (allocations, frees, tensors)
+  // bypass the lossy policies — they wait for space like Block — so
+  // every tool's allocation view stays consistent under loss.
+  constexpr std::size_t Depth = 8;
+  EventProcessor Processor(asyncOptions(Depth, OverflowPolicy::DropNewest));
+  GateTool Gate;
+  CollectTool Tool;
+  Processor.addTool(&Gate);
+  Processor.addTool(&Tool);
+
+  // The producer overflows the gated queue with resource events; since
+  // they block for space, the gate must be opened from this thread once
+  // the queue has demonstrably filled.
+  constexpr std::uint64_t Sent = 100;
+  std::thread Producer([&Processor] {
+    for (std::uint64_t I = 0; I < Sent; ++I)
+      Processor.process(allocEvent(I));
+  });
+  while (Processor.stats().MaxQueueDepth < Depth)
+    std::this_thread::yield();
+  Gate.release();
+  Producer.join();
+  Processor.flush();
+
+  ProcessorStats Stats = Processor.stats();
+  EXPECT_EQ(Stats.EventsDropped, 0u);
+  EXPECT_EQ(Stats.EventsSampledOut, 0u);
+  EXPECT_EQ(Stats.EventsProcessed, Sent);
+  EXPECT_EQ(Tool.Addresses.size(), Sent);
 }
 
 TEST(AsyncPipeline, SampleKeepsOneInNOfTheOverflow) {
@@ -247,7 +299,7 @@ TEST(AsyncPipeline, SampleKeepsOneInNOfTheOverflow) {
   constexpr std::uint64_t Sent = 200;
   std::thread Producer([&Processor] {
     for (std::uint64_t I = 0; I < Sent; ++I)
-      Processor.process(allocEvent(I));
+      Processor.process(copyEvent(I));
   });
   // Only open the gate once overflow sampling has demonstrably started;
   // otherwise the consumer could drain as fast as the producer fills.
@@ -269,13 +321,204 @@ TEST(AsyncPipeline, SampleKeepsOneInNOfTheOverflow) {
 }
 
 //===----------------------------------------------------------------------===//
+// Declarative subscriptions + sharded dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Subscribes to kernel launches only — nothing else may reach it, not
+/// even through the generic hook.
+class LaunchOnlyTool : public Tool {
+public:
+  std::string name() const override { return "launch_only"; }
+  Subscription subscription() override {
+    Subscription Sub;
+    Sub.Kinds = {EventKind::KernelLaunch};
+    Sub.Model = ExecutionModel::Serial;
+    return Sub;
+  }
+  void onKernelLaunch(const Event &) override { ++Launches; }
+  void onEvent(const Event &E) override { Generic.push_back(E.Kind); }
+
+  std::uint64_t Launches = 0;
+  std::vector<EventKind> Generic;
+};
+
+/// Internally synchronized counter tool under the Concurrent contract.
+class ConcurrentCountTool : public Tool {
+public:
+  std::string name() const override { return "concurrent_count"; }
+  Subscription subscription() override {
+    Subscription Sub;
+    Sub.Kinds = {EventKind::MemoryCopy};
+    Sub.Model = ExecutionModel::Concurrent;
+    return Sub;
+  }
+  void onMemoryCopy(const Event &) override {
+    Copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> Copies{0};
+};
+
+/// Per-device sequence recorder under the ShardByDevice contract: each
+/// device's events must arrive in order, on one lane at a time.
+class ShardedOrderTool : public Tool {
+public:
+  std::string name() const override { return "sharded_order"; }
+  Subscription subscription() override {
+    Subscription Sub;
+    Sub.Kinds = {EventKind::MemoryCopy};
+    Sub.Model = ExecutionModel::ShardByDevice;
+    return Sub;
+  }
+  void onMemoryCopy(const Event &E) override {
+    std::size_t Device = static_cast<std::size_t>(E.DeviceIndex);
+    ASSERT_LT(Device, PerDevice.size());
+    PerDevice[Device].push_back(E.Address);
+  }
+  std::array<std::vector<sim::DeviceAddr>, 8> PerDevice;
+};
+
+} // namespace
+
+TEST(AsyncPipeline, SubscriptionRoutingSkipsNonSubscribers) {
+  EventProcessor Processor(asyncOptions(64, OverflowPolicy::Block));
+  LaunchOnlyTool Launches;
+  CollectTool Everything;
+  Processor.addTool(&Launches);
+  Processor.addTool(&Everything);
+
+  Event Launch;
+  Launch.Kind = EventKind::KernelLaunch;
+  Launch.GridId = 1;
+  Processor.process(Launch);
+  for (int I = 0; I < 10; ++I)
+    Processor.process(copyEvent(static_cast<sim::DeviceAddr>(I)));
+  Processor.flush();
+
+  // The launch-only subscriber saw its kind and nothing else — the
+  // generic hook included; the all-kinds subscriber saw everything.
+  EXPECT_EQ(Launches.Launches, 1u);
+  ASSERT_EQ(Launches.Generic.size(), 1u);
+  EXPECT_EQ(Launches.Generic.front(), EventKind::KernelLaunch);
+  EXPECT_EQ(Everything.Addresses.size(), 11u);
+}
+
+TEST(AsyncPipeline, ShardedDispatchDeliversEverythingInPerDeviceOrder) {
+  constexpr std::size_t LaneCount = 4;
+  constexpr int Devices = 8;
+  constexpr std::uint64_t PerDeviceEvents = 250;
+  EventProcessor Processor(
+      asyncOptions(256, OverflowPolicy::Block, 4, LaneCount));
+  ASSERT_EQ(Processor.laneCount(), LaneCount);
+  ConcurrentCountTool Count;
+  ShardedOrderTool Order;
+  Processor.addTool(&Count);
+  Processor.addTool(&Order);
+
+  // One producer, round-robin across devices; the address encodes the
+  // per-device sequence number.
+  for (std::uint64_t Seq = 0; Seq < PerDeviceEvents; ++Seq)
+    for (int Device = 0; Device < Devices; ++Device)
+      Processor.process(copyEvent(Seq, Device));
+  Processor.flush();
+
+  EXPECT_EQ(Count.Copies.load(), PerDeviceEvents * Devices);
+  for (int Device = 0; Device < Devices; ++Device) {
+    const auto &Sequence =
+        Order.PerDevice[static_cast<std::size_t>(Device)];
+    ASSERT_EQ(Sequence.size(), PerDeviceEvents) << "device " << Device;
+    for (std::uint64_t Seq = 0; Seq < PerDeviceEvents; ++Seq)
+      ASSERT_EQ(Sequence[Seq], Seq) << "device " << Device;
+  }
+
+  ProcessorStats Stats = Processor.stats();
+  EXPECT_EQ(Stats.DispatchLanes, LaneCount);
+  EXPECT_EQ(Stats.EventsDropped, 0u);
+  // Each lane's counters merge into the snapshot; with 8 devices over 4
+  // lanes every lane must have dispatched something.
+  std::vector<DispatchLaneStats> PerLane = Processor.laneStats();
+  ASSERT_EQ(PerLane.size(), LaneCount);
+  for (std::size_t L = 0; L < LaneCount; ++L)
+    EXPECT_GT(PerLane[L].EventsDispatched, 0u) << "lane " << L;
+}
+
+TEST(AsyncPipeline, SerialToolsKeepPinnedLaneOrderAcrossManyLanes) {
+  // A Serial tool must see its subscribed events in admission order even
+  // when other tools spread across many lanes.
+  EventProcessor Processor(
+      asyncOptions(128, OverflowPolicy::Block, 4, /*DispatchThreads=*/4));
+  CollectTool Serial; // default subscription: all kinds, Serial
+  ConcurrentCountTool Concurrent;
+  Processor.addTool(&Serial);
+  Processor.addTool(&Concurrent);
+
+  constexpr std::uint64_t Sent = 500;
+  for (std::uint64_t I = 0; I < Sent; ++I)
+    Processor.process(copyEvent(I, static_cast<int>(I % 8)));
+  Processor.flush();
+
+  ASSERT_EQ(Serial.Addresses.size(), Sent);
+  for (std::uint64_t I = 0; I < Sent; ++I)
+    EXPECT_EQ(Serial.Addresses[I], I);
+  EXPECT_EQ(Concurrent.Copies.load(), Sent);
+}
+
+TEST(AsyncPipeline, AddToolAfterPipelineStartIsRejected) {
+  EventProcessor Processor(asyncOptions(64, OverflowPolicy::Block));
+  CollectTool Tool;
+  ASSERT_TRUE(Processor.addTool(&Tool));
+
+  Processor.process(copyEvent(1));
+  Processor.flush();
+
+  // The pipeline started: the tool set is sealed while dispatch lanes
+  // read the routing tables (this test runs under TSan in CI — a racy
+  // mutation would be caught there).
+  CollectTool Late;
+  EXPECT_FALSE(Processor.addTool(&Late));
+  EXPECT_FALSE(Processor.clearTools());
+  ASSERT_EQ(Processor.tools().size(), 1u);
+  EXPECT_EQ(Processor.tools().front(), &Tool);
+
+  Processor.process(copyEvent(2));
+  Processor.flush();
+  EXPECT_EQ(Tool.Addresses.size(), 2u);
+  EXPECT_TRUE(Late.Addresses.empty());
+}
+
+TEST(AsyncPipeline, SubscriptionOfReportsAttachedContracts) {
+  EventProcessor Processor(2);
+  ConcurrentCountTool Concurrent;
+  CollectTool Default;
+  Processor.addTool(&Concurrent);
+  Processor.addTool(&Default);
+
+  std::optional<Subscription> Sub = Processor.subscriptionOf(&Concurrent);
+  ASSERT_TRUE(Sub.has_value());
+  EXPECT_EQ(Sub->Model, ExecutionModel::Concurrent);
+  EXPECT_TRUE(Sub->Kinds.has(EventKind::MemoryCopy));
+  EXPECT_FALSE(Sub->Kinds.has(EventKind::KernelLaunch));
+
+  std::optional<Subscription> DefaultSub =
+      Processor.subscriptionOf(&Default);
+  ASSERT_TRUE(DefaultSub.has_value());
+  EXPECT_EQ(DefaultSub->Model, ExecutionModel::Serial);
+  EXPECT_EQ(DefaultSub->Kinds, EventKindMask::all());
+
+  CollectTool Detached;
+  EXPECT_FALSE(Processor.subscriptionOf(&Detached).has_value());
+}
+
+//===----------------------------------------------------------------------===//
 // Determinism: sync vs async sessions
 //===----------------------------------------------------------------------===//
 
 namespace {
 
 /// Runs the fixed seeded workload and returns the JSON tool reports.
-std::string runFixedWorkload(bool Async) {
+/// \p DispatchThreads selects the async lane count (ignored when sync).
+std::string runFixedWorkload(bool Async, std::size_t DispatchThreads = 1) {
   SessionError Err;
   SessionBuilder Builder;
   Builder.tool("kernel_frequency")
@@ -286,8 +529,10 @@ std::string runFixedWorkload(bool Async) {
       .iterations(1)
       .recordGranularity(1u << 20);
   if (Async)
-    Builder.asyncEvents().queueDepth(64).overflowPolicy(
-        OverflowPolicy::Block);
+    Builder.asyncEvents()
+        .queueDepth(64)
+        .overflowPolicy(OverflowPolicy::Block)
+        .dispatchThreads(DispatchThreads);
   std::unique_ptr<Session> S = Builder.build(Err);
   EXPECT_NE(S, nullptr) << Err.message();
   if (!S)
@@ -307,6 +552,18 @@ TEST(AsyncPipeline, BlockPolicyReportsAreByteIdenticalToSync) {
   EXPECT_EQ(Sync, Async);
   EXPECT_NE(Sync.find("kernel_frequency"), std::string::npos);
   EXPECT_NE(Sync.find("working_set"), std::string::npos);
+}
+
+TEST(AsyncPipeline, ShardedBlockPolicyReportsAreByteIdenticalToSync) {
+  // Serial-contract tools keep the byte-identity guarantee at any lane
+  // count: each stays pinned to one lane that receives its subscribed
+  // events in admission order.
+  tools::registerBuiltinTools();
+  std::string Sync = runFixedWorkload(/*Async=*/false);
+  for (std::size_t Lanes : {2u, 4u}) {
+    std::string Sharded = runFixedWorkload(/*Async=*/true, Lanes);
+    EXPECT_EQ(Sync, Sharded) << Lanes << " lanes";
+  }
 }
 
 TEST(AsyncPipeline, SessionSurfacesPipelineCounters) {
@@ -348,4 +605,13 @@ TEST(SessionBuilder, AsyncKnobValidation) {
   EXPECT_EQ(SessionBuilder().asyncEvents().sampleEveryN(0).build(Err2),
             nullptr);
   EXPECT_NE(Err2.message().find("sample"), std::string::npos);
+  SessionError Err3;
+  EXPECT_EQ(SessionBuilder().asyncEvents().dispatchThreads(0).build(Err3),
+            nullptr);
+  EXPECT_NE(Err3.message().find("dispatch thread"), std::string::npos);
+  SessionError Err4;
+  EXPECT_EQ(
+      SessionBuilder().asyncEvents().dispatchThreads(65).build(Err4),
+      nullptr);
+  EXPECT_NE(Err4.message().find("dispatch thread"), std::string::npos);
 }

@@ -338,6 +338,26 @@ TEST(Session, CrossVendorSameToolSameCode) {
   }
 }
 
+TEST(Session, ToolAsIsACheckedCast) {
+  // Regression: toolAs<T> used to static_cast whatever tool the name
+  // lookup returned; a type mismatch was silent UB. It must be a
+  // checked cast that returns null instead.
+  SessionError Err;
+  auto S = SessionBuilder()
+               .tool("kernel_frequency")
+               .model("alexnet")
+               .iterations(1)
+               .build(Err);
+  ASSERT_NE(S, nullptr) << Err.message();
+
+  EXPECT_NE(S->toolAs<tools::KernelFrequencyTool>("kernel_frequency"),
+            nullptr);
+  // Right name, wrong type: null, not a reinterpreted pointer.
+  EXPECT_EQ(S->toolAs<tools::WorkingSetTool>("kernel_frequency"), nullptr);
+  // Unknown name stays null through the typed variant too.
+  EXPECT_EQ(S->toolAs<tools::WorkingSetTool>("no_such_tool"), nullptr);
+}
+
 TEST(Session, FinishIsIdempotentAndReportsStaySafe) {
   SessionError Err;
   auto S = SessionBuilder()

@@ -50,6 +50,52 @@ TEST_F(ToolsTest, RegistryHasAllBuiltins) {
   }
 }
 
+TEST_F(ToolsTest, DeclaredSubscriptionsNegotiateSameAsLegacyProbe) {
+  // Every registered tool now declares its subscription explicitly; the
+  // capability set derived from that declaration must equal what the
+  // legacy override-probing requirements() default would have
+  // negotiated, so sessions enable exactly the same instrumentation.
+  for (const std::string &Name :
+       ToolRegistry::instance().registeredNames()) {
+    std::unique_ptr<Tool> T = ToolRegistry::instance().create(Name);
+    ASSERT_NE(T, nullptr) << Name;
+    EXPECT_EQ(T->requirements().str(),
+              T->legacyProbeRequirements().str())
+        << Name;
+  }
+}
+
+TEST_F(ToolsTest, BuiltinToolsDeclareExpectedContracts) {
+  struct Expectation {
+    const char *Name;
+    ExecutionModel Model;
+    bool AllKinds;
+  };
+  // mem_usage_timeline is the sharded showcase (per-device state);
+  // instruction_mix consumes no discrete events at all; the rest keep
+  // the serial contract — and none should fall back to the subscribe-
+  // to-everything migration default.
+  const Expectation Expectations[] = {
+      {"kernel_frequency", ExecutionModel::Serial, false},
+      {"working_set", ExecutionModel::Serial, false},
+      {"hotness", ExecutionModel::Serial, false},
+      {"mem_usage_timeline", ExecutionModel::ShardByDevice, false},
+      {"instruction_mix", ExecutionModel::Concurrent, false},
+      {"barrier_stall", ExecutionModel::Serial, false},
+      {"redundant_load", ExecutionModel::Serial, false},
+      {"op_kernel_map", ExecutionModel::Serial, false},
+      {"chrome_trace", ExecutionModel::Serial, false},
+  };
+  for (const Expectation &Expected : Expectations) {
+    std::unique_ptr<Tool> T = ToolRegistry::instance().create(Expected.Name);
+    ASSERT_NE(T, nullptr) << Expected.Name;
+    Subscription Sub = T->subscription();
+    EXPECT_EQ(Sub.Model, Expected.Model) << Expected.Name;
+    EXPECT_EQ(Sub.Kinds == EventKindMask::all(), Expected.AllKinds)
+        << Expected.Name;
+  }
+}
+
 TEST_F(ToolsTest, KernelFrequencyCountsMatchProgram) {
   WorkloadConfig Config;
   Config.Model = "resnet18";
