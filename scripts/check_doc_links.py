@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Checks that internal Markdown links resolve.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+For every [text](target) link in the given files:
+  * external targets (http/https/mailto) are ignored;
+  * relative file targets must exist on disk (resolved against the
+    linking file's directory);
+  * anchor targets (#heading, FILE.md#heading) must match a heading in
+    the target file, using GitHub's slug rules (lowercase, punctuation
+    stripped, spaces to hyphens).
+
+Exit status is non-zero when any link is broken; every broken link is
+reported, not just the first.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1[^\S\n]*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Removes fenced blocks and inline code spans — markdown syntax
+    shown as an example must not be link-checked."""
+    return INLINE_CODE_RE.sub("", FENCE_RE.sub("", text))
+
+
+def github_slug(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def headings_of(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code(handle.read())
+    slugs = set()
+    counts = {}
+    for match in HEADING_RE.findall(text):
+        slug = github_slug(match)
+        # GitHub dedups repeated headings as slug, slug-1, slug-2, ...
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def check_file(path: str) -> list:
+    errors = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code(handle.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if EXTERNAL_RE.match(target):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{path}: broken link '{target}' "
+                              f"({resolved} does not exist)")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = path
+        if anchor:
+            if not anchor_file.endswith(".md"):
+                continue
+            if anchor not in headings_of(anchor_file):
+                errors.append(f"{path}: broken anchor '{target}' "
+                              f"(no heading '#{anchor}' in {anchor_file})")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in sys.argv[1:]:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    checked = len(sys.argv) - 1
+    if all_errors:
+        print(f"{len(all_errors)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all internal links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

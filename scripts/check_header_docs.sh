@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs clang's -Wdocumentation (Doxygen-comment/declaration consistency:
+# \p / \param names that drifted from the signature, malformed commands)
+# over the public pasta headers, warnings as errors. Each header is
+# compiled standalone, which also proves it is self-contained.
+#
+# Usage: check_header_docs.sh [CLANGXX]   (default: clang++)
+set -u
+
+CLANGXX="${1:-clang++}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! "$CLANGXX" --version 2>/dev/null | grep -qi clang; then
+  echo "error: '$CLANGXX' is not clang (-Wdocumentation is clang-only)" >&2
+  exit 2
+fi
+
+STATUS=0
+for HEADER in "$REPO_ROOT"/src/pasta/*.h; do
+  # The gate covers the pasta headers only: includes from the other
+  # layers (dl/, sim/, support/, cuda/, hip/, tools/) are treated as
+  # system headers so their comment drift cannot fail this job.
+  if ! echo "#include \"${HEADER}\"" | "$CLANGXX" -std=c++17 -x c++ \
+      -fsyntax-only -Wdocumentation -Wdocumentation-pedantic -Werror \
+      --system-header-prefix=dl/ --system-header-prefix=sim/ \
+      --system-header-prefix=support/ --system-header-prefix=cuda/ \
+      --system-header-prefix=hip/ --system-header-prefix=tools/ \
+      -I "$REPO_ROOT/src" -I "$REPO_ROOT" -; then
+    echo "documentation check failed: ${HEADER#$REPO_ROOT/}" >&2
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "all src/pasta headers pass -Wdocumentation"
+fi
+exit "$STATUS"

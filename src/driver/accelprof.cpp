@@ -52,7 +52,10 @@ int usage(const char *Argv0) {
       "          [--async] [--queue-depth N]\n"
       "          [--overflow block|drop|sample[:N]]\n"
       "          [--dispatch-threads N] <model>\n"
-      "       %s --list-tools | --list-backends\n",
+      "       %s --list-tools | --list-backends\n"
+      "\n"
+      "Every knob (flags, PASTA_* environment variables, SessionBuilder\n"
+      "equivalents) is documented with tuning guidance in docs/TUNING.md.\n",
       Argv0, Argv0);
   return 2;
 }
@@ -77,6 +80,8 @@ int listTools() {
       Fine += " +kernel-trace";
     if (Sub.UvmCounters)
       Fine += " +uvm-counters";
+    if (Sub.CapturesStacks)
+      Fine += " +stacks";
     std::printf("  %-20s contract=%-15s requires=%s\n", Name.c_str(),
                 executionModelName(Sub.Model),
                 T->requirements().str().c_str());

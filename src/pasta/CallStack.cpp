@@ -79,8 +79,14 @@ CrossLayerStack CallStackBuilder::capture(const std::string &KernelName) const {
       "c10::Dispatcher::call");
 
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    for (const std::string &Frame : PythonFrames)
+    // Snapshot the handle under the lock; the frames themselves are
+    // immutable, so iteration needs no further synchronization.
+    PayloadStack Python;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Python = PythonFrames;
+    }
+    for (const std::string &Frame : Python)
       Stack.Frames.push_back({StackFrame::Lang::Python, Frame});
   }
 

@@ -17,6 +17,8 @@
 #ifndef PASTA_PASTA_CALLSTACK_H
 #define PASTA_PASTA_CALLSTACK_H
 
+#include "pasta/EventArena.h"
+
 #include <mutex>
 #include <string>
 #include <vector>
@@ -45,13 +47,17 @@ struct CrossLayerStack {
 /// Thread-safe: the asynchronous dispatch unit updates the shared
 /// builder from producer threads at admission time while tools capture
 /// from dispatch lanes, so the Python context is guarded internally.
+///
+/// The context is held as a shared immutable PayloadStack handle, so
+/// feeding the same interned stack to every capturing lane's builder is
+/// a reference-count bump per lane, not a frame-vector copy.
 class CallStackBuilder {
 public:
-  void setPythonStack(std::vector<std::string> Frames) {
+  void setPythonStack(PayloadStack Frames) {
     std::lock_guard<std::mutex> Lock(Mutex);
     PythonFrames = std::move(Frames);
   }
-  std::vector<std::string> pythonStack() const {
+  PayloadStack pythonStack() const {
     std::lock_guard<std::mutex> Lock(Mutex);
     return PythonFrames;
   }
@@ -62,7 +68,7 @@ public:
 
 private:
   mutable std::mutex Mutex;
-  std::vector<std::string> PythonFrames;
+  PayloadStack PythonFrames;
 };
 
 } // namespace pasta

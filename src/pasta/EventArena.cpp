@@ -1,0 +1,230 @@
+//===- pasta/EventArena.cpp -----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventArena.h"
+
+#include "pasta/Events.h"
+
+#include <cstring>
+#include <functional>
+#include <ostream>
+
+using namespace pasta;
+
+const std::string &PayloadString::emptyString() {
+  static const std::string Empty;
+  return Empty;
+}
+
+const PayloadStack::FrameList &PayloadStack::emptyFrames() {
+  static const FrameList Empty;
+  return Empty;
+}
+
+std::ostream &pasta::operator<<(std::ostream &Out, const PayloadString &S) {
+  return Out << S.str();
+}
+
+namespace {
+
+/// FNV-1a, the content hash behind the bucketed intern tables.
+class ContentHash {
+public:
+  void bytes(const void *Data, std::size_t Size) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (std::size_t I = 0; I < Size; ++I)
+      State = (State ^ P[I]) * 1099511628211ull;
+  }
+  void u64(std::uint64_t Value) { bytes(&Value, sizeof(Value)); }
+  void f64(double Value) { bytes(&Value, sizeof(Value)); }
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  std::uint64_t value() const { return State; }
+
+private:
+  std::uint64_t State = 14695981039346656037ull;
+};
+
+std::uint64_t hashFrames(const std::vector<std::string> &Frames) {
+  ContentHash H;
+  H.u64(Frames.size());
+  for (const std::string &Frame : Frames)
+    H.str(Frame);
+  return H.value();
+}
+
+std::uint64_t hashKernel(const sim::KernelDesc &K) {
+  ContentHash H;
+  H.str(K.Name);
+  H.u64(K.Grid.count());
+  H.u64(K.Block.count());
+  H.f64(K.Flops);
+  H.u64(K.Segments.size());
+  for (const sim::AccessSegment &Seg : K.Segments) {
+    H.u64(Seg.Base);
+    H.u64(Seg.Extent);
+    H.u64(Seg.AccessBytes);
+  }
+  return H.value();
+}
+
+bool dimEqual(const sim::Dim3 &A, const sim::Dim3 &B) {
+  return A.X == B.X && A.Y == B.Y && A.Z == B.Z;
+}
+
+/// Bitwise double equality, matching the bitwise hash: NaN equals
+/// itself here (a NaN-Flops descriptor must still intern to ONE entry,
+/// or the table would grow per event) and +0.0 != -0.0 (they hash to
+/// different buckets).
+bool bitEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+bool segmentEqual(const sim::AccessSegment &A,
+                  const sim::AccessSegment &B) {
+  return A.Base == B.Base && A.Extent == B.Extent &&
+         A.AccessBytes == B.AccessBytes && A.Kind == B.Kind &&
+         A.Space == B.Space;
+}
+
+bool kernelEqual(const sim::KernelDesc &A, const sim::KernelDesc &B) {
+  if (A.Name != B.Name || !dimEqual(A.Grid, B.Grid) ||
+      !dimEqual(A.Block, B.Block) || !bitEqual(A.Flops, B.Flops) ||
+      !bitEqual(A.ComputeInstrsPerAccess, B.ComputeInstrsPerAccess) ||
+      A.StaticInstrs != B.StaticInstrs ||
+      A.BarriersPerBlock != B.BarriersPerBlock ||
+      A.SharedMemPerBlock != B.SharedMemPerBlock ||
+      A.Segments.size() != B.Segments.size())
+    return false;
+  for (std::size_t I = 0; I < A.Segments.size(); ++I)
+    if (!segmentEqual(A.Segments[I], B.Segments[I]))
+      return false;
+  return true;
+}
+
+std::uint64_t stackBytes(const std::vector<std::string> &Frames) {
+  std::uint64_t Total = Frames.size() * sizeof(std::string);
+  for (const std::string &Frame : Frames)
+    Total += Frame.size();
+  return Total;
+}
+
+std::uint64_t kernelBytes(const sim::KernelDesc &K) {
+  return sizeof(sim::KernelDesc) + K.Name.size() +
+         K.Segments.size() * sizeof(sim::AccessSegment);
+}
+
+} // namespace
+
+void EventArena::intern(Event &E) {
+  // Pin the tensor pointee outside the lock (no table involved).
+  // Descriptors live on the producing callback's stack and die when it
+  // returns; an admitted event outlives that frame. Skip when already
+  // owned (e.g. via the retainPointees compatibility shim) — interning
+  // is idempotent, as the Events.h ownership doc promises.
+  if (E.Tensor && !E.ownedTensor())
+    E.adoptTensor(pinTensor(*E.Tensor));
+  if (E.OpName.empty() && E.LayerName.empty() && E.PythonStack.empty() &&
+      !E.Kernel)
+    return;
+  // One lock acquisition per event, however many payloads it carries —
+  // producers intern concurrently on the admission path.
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!E.OpName.empty())
+    E.OpName = internStringLocked(E.OpName);
+  if (!E.LayerName.empty())
+    E.LayerName = internStringLocked(E.LayerName);
+  if (!E.PythonStack.empty())
+    E.PythonStack = internStackLocked(E.PythonStack);
+  if (E.Kernel)
+    E.adoptKernel(internKernelLocked(*E.Kernel));
+}
+
+PayloadString EventArena::internString(const PayloadString &S) {
+  if (S.empty())
+    return S;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return internStringLocked(S);
+}
+
+PayloadString EventArena::internStringLocked(const PayloadString &S) {
+  auto It = Strings.find(std::string_view(S.str()));
+  if (It != Strings.end()) {
+    ++Counters.Hits;
+    PayloadString Canonical;
+    Canonical.adopt(It->second);
+    return Canonical;
+  }
+  // First sight: the value's existing allocation becomes the canonical
+  // one (the key views into it; shared_ptr keeps the address stable).
+  std::shared_ptr<const std::string> Stored = S.handle();
+  Strings.emplace(std::string_view(*Stored), Stored);
+  ++Counters.Misses;
+  ++Counters.Strings;
+  Counters.Bytes += Stored->size();
+  return S;
+}
+
+PayloadStack EventArena::internStack(const PayloadStack &S) {
+  if (S.empty())
+    return S;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return internStackLocked(S);
+}
+
+PayloadStack EventArena::internStackLocked(const PayloadStack &S) {
+  auto &Bucket = Stacks[hashFrames(S.frames())];
+  for (const auto &Existing : Bucket)
+    if (*Existing == S.frames()) {
+      ++Counters.Hits;
+      PayloadStack Canonical;
+      Canonical.adopt(Existing);
+      return Canonical;
+    }
+  Bucket.push_back(S.handle());
+  ++Counters.Misses;
+  ++Counters.Stacks;
+  Counters.Bytes += stackBytes(S.frames());
+  return S;
+}
+
+std::shared_ptr<const sim::KernelDesc>
+EventArena::internKernel(const sim::KernelDesc &K) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return internKernelLocked(K);
+}
+
+std::shared_ptr<const sim::KernelDesc>
+EventArena::internKernelLocked(const sim::KernelDesc &K) {
+  auto &Bucket = Kernels[hashKernel(K)];
+  for (const auto &Existing : Bucket)
+    if (kernelEqual(*Existing, K)) {
+      ++Counters.Hits;
+      return Existing;
+    }
+  auto Stored = std::make_shared<const sim::KernelDesc>(K);
+  Bucket.push_back(Stored);
+  ++Counters.Misses;
+  ++Counters.Kernels;
+  Counters.Bytes += kernelBytes(K);
+  return Stored;
+}
+
+std::shared_ptr<const dl::TensorInfo>
+EventArena::pinTensor(const dl::TensorInfo &T) {
+  // Deliberately not interned: tensor identity is per-instance (id,
+  // allocator address), so a dedup table would grow with event volume.
+  // The one shared copy is what every fan-out lane references; it dies
+  // with the last event handle.
+  return std::make_shared<const dl::TensorInfo>(T);
+}
+
+EventArenaStats EventArena::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

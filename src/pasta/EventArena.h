@@ -1,0 +1,299 @@
+//===- pasta/EventArena.h - Shared immutable event payloads -----*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared immutable payload arena behind the zero-copy lane fan-out.
+///
+/// Sharded dispatch (EventProcessor) routes one admitted event to several
+/// dispatch lanes. Before the arena existed, every per-lane copy of an
+/// Event deep-copied its string payloads (operator names, layer paths,
+/// Python stacks), so fan-out cost scaled with the subscriber count —
+/// exactly the overhead the paper's dispatch unit is supposed to keep off
+/// the application. Two pieces remove that scaling:
+///
+///  * PayloadString / PayloadStack — value types wrapping a refcounted
+///    handle to an immutable payload. Copying one (and therefore copying
+///    an Event) bumps a reference count instead of duplicating bytes.
+///    Assignment from a plain string allocates once, at creation.
+///
+///  * EventArena — an intern table that canonicalizes payloads *across*
+///    events on the producer's thread: the thousandth "aten::conv2d"
+///    resolves to the same allocation as the first, and kernel
+///    descriptors borrowed from a producer's stack frame are pinned
+///    into shared, content-deduplicated copies that outlive the
+///    producing backend. Tensor descriptors are pinned (shared by the
+///    fan-out) but not deduplicated — their identity is per-instance,
+///    so a dedup table would grow with event volume.
+///
+/// Ownership model: interned payloads are immutable and refcounted. The
+/// arena keeps one reference for the dedup table (payloads are resident
+/// for the arena's lifetime — bounded by the number of *distinct*
+/// payloads, not the event volume); events, queues, lanes and tools share
+/// further references for free. A tool may keep any payload handle past
+/// session teardown; the bytes stay alive until the last handle drops.
+///
+/// Thread safety: every EventArena method may be called concurrently
+/// (producers intern at admission from any thread). PayloadString /
+/// PayloadStack are as thread-safe as the shared_ptr they wrap: distinct
+/// copies may be read/written concurrently, one instance must not be
+/// mutated while read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_EVENTARENA_H
+#define PASTA_PASTA_EVENTARENA_H
+
+#include "dl/Tensor.h"
+#include "sim/Kernel.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pasta {
+
+struct Event;
+
+/// A shared immutable string payload. Behaves like a read-only
+/// std::string (implicit conversion, comparisons, empty()/size()), but
+/// copying is a reference-count bump — the backbone of the zero-copy
+/// event fan-out. An empty value holds no allocation at all.
+class PayloadString {
+public:
+  PayloadString() = default;
+  PayloadString(const char *S) { assign(S ? std::string(S) : std::string()); }
+  PayloadString(std::string S) { assign(std::move(S)); }
+
+  PayloadString &operator=(const char *S) {
+    assign(S ? std::string(S) : std::string());
+    return *this;
+  }
+  PayloadString &operator=(std::string S) {
+    assign(std::move(S));
+    return *this;
+  }
+
+  /// The payload text ("" when unset; never dangles).
+  const std::string &str() const {
+    return Handle ? *Handle : emptyString();
+  }
+  operator const std::string &() const { return str(); }
+  const char *c_str() const { return str().c_str(); }
+  bool empty() const { return !Handle || Handle->empty(); }
+  std::size_t size() const { return Handle ? Handle->size() : 0; }
+
+  friend bool operator==(const PayloadString &A, const PayloadString &B) {
+    return A.Handle == B.Handle || A.str() == B.str();
+  }
+  friend bool operator!=(const PayloadString &A, const PayloadString &B) {
+    return !(A == B);
+  }
+  friend bool operator==(const PayloadString &A, const char *B) {
+    return A.str() == (B ? B : "");
+  }
+  friend bool operator==(const char *A, const PayloadString &B) {
+    return B == A;
+  }
+  friend bool operator!=(const PayloadString &A, const char *B) {
+    return !(A == B);
+  }
+  friend bool operator!=(const char *A, const PayloadString &B) {
+    return !(B == A);
+  }
+  friend bool operator==(const PayloadString &A, const std::string &B) {
+    return A.str() == B;
+  }
+  friend bool operator==(const std::string &A, const PayloadString &B) {
+    return B == A;
+  }
+  friend bool operator!=(const PayloadString &A, const std::string &B) {
+    return !(A == B);
+  }
+  friend bool operator!=(const std::string &A, const PayloadString &B) {
+    return !(B == A);
+  }
+  friend bool operator<(const PayloadString &A, const PayloadString &B) {
+    return A.str() < B.str();
+  }
+
+  /// The underlying refcounted handle (null when empty). Two values
+  /// produced by the same arena compare equal on handle identity —
+  /// benches and tests use this to prove fan-out shares storage.
+  const std::shared_ptr<const std::string> &handle() const {
+    return Handle;
+  }
+  /// Replaces the handle with \p H (the arena hands out canonical ones).
+  void adopt(std::shared_ptr<const std::string> H) {
+    Handle = std::move(H);
+  }
+  /// True when both values share one allocation (not mere equality).
+  bool sharesStorageWith(const PayloadString &Other) const {
+    return Handle == Other.Handle;
+  }
+
+private:
+  void assign(std::string S) {
+    Handle = S.empty() ? nullptr
+                       : std::make_shared<const std::string>(std::move(S));
+  }
+  static const std::string &emptyString();
+
+  std::shared_ptr<const std::string> Handle;
+};
+
+std::ostream &operator<<(std::ostream &Out, const PayloadString &S);
+
+/// A shared immutable Python-stack payload (frames innermost-first).
+/// Same refcounted-copy semantics as PayloadString; iterable like the
+/// std::vector<std::string> it replaced.
+class PayloadStack {
+public:
+  using FrameList = std::vector<std::string>;
+
+  PayloadStack() = default;
+  PayloadStack(FrameList Frames) { assign(std::move(Frames)); }
+  PayloadStack(std::initializer_list<std::string> Frames)
+      : PayloadStack(FrameList(Frames)) {}
+  PayloadStack &operator=(FrameList Frames) {
+    assign(std::move(Frames));
+    return *this;
+  }
+  PayloadStack &operator=(std::initializer_list<std::string> Frames) {
+    assign(FrameList(Frames));
+    return *this;
+  }
+
+  /// The frames ([] when unset; never dangles).
+  const FrameList &frames() const {
+    return Handle ? *Handle : emptyFrames();
+  }
+  operator const FrameList &() const { return frames(); }
+  bool empty() const { return !Handle || Handle->empty(); }
+  std::size_t size() const { return Handle ? Handle->size() : 0; }
+  FrameList::const_iterator begin() const { return frames().begin(); }
+  FrameList::const_iterator end() const { return frames().end(); }
+  const std::string &operator[](std::size_t I) const {
+    return frames()[I];
+  }
+
+  friend bool operator==(const PayloadStack &A, const PayloadStack &B) {
+    return A.Handle == B.Handle || A.frames() == B.frames();
+  }
+  friend bool operator!=(const PayloadStack &A, const PayloadStack &B) {
+    return !(A == B);
+  }
+
+  const std::shared_ptr<const FrameList> &handle() const { return Handle; }
+  void adopt(std::shared_ptr<const FrameList> H) { Handle = std::move(H); }
+  bool sharesStorageWith(const PayloadStack &Other) const {
+    return Handle == Other.Handle;
+  }
+
+private:
+  void assign(FrameList Frames) {
+    Handle = Frames.empty()
+                 ? nullptr
+                 : std::make_shared<const FrameList>(std::move(Frames));
+  }
+  static const FrameList &emptyFrames();
+
+  std::shared_ptr<const FrameList> Handle;
+};
+
+/// Arena occupancy and effectiveness counters (snapshot via
+/// EventArena::stats(); surfaced through ProcessorStats and the
+/// event_pipeline report as arena.* metrics).
+struct EventArenaStats {
+  /// Distinct payloads resident, by kind. Tensor descriptors are
+  /// deliberately absent: they are per-instance (id/address identity),
+  /// so the arena pins them per event instead of interning them.
+  std::uint64_t Strings = 0;
+  std::uint64_t Stacks = 0;
+  std::uint64_t Kernels = 0;
+  /// Approximate bytes those payloads occupy — once, shared by every
+  /// event, lane and tool that references them.
+  std::uint64_t Bytes = 0;
+  /// Intern lookups resolved to an existing payload; each hit is an
+  /// allocation (and for fan-out, N-1 per-lane copies) avoided.
+  std::uint64_t Hits = 0;
+  /// Intern lookups that created a new resident payload.
+  std::uint64_t Misses = 0;
+
+  std::uint64_t payloads() const { return Strings + Stacks + Kernels; }
+};
+
+/// Content-deduplicating intern table for event payloads. One arena per
+/// EventProcessor; producers intern at admission, so by the time an
+/// event fans out to its subscriber lanes every payload is a canonical
+/// shared handle and the per-lane Event copies cost refcount bumps only.
+///
+/// Payloads are resident until the arena dies (no eviction): occupancy
+/// is bounded by the distinct operator names, layer paths, stacks and
+/// kernel/tensor descriptors of the workload — profiling metadata, not
+/// event volume.
+class EventArena {
+public:
+  EventArena() = default;
+  ~EventArena() = default;
+  EventArena(const EventArena &) = delete;
+  EventArena &operator=(const EventArena &) = delete;
+
+  /// Canonicalizes every payload of \p E in place: OpName/LayerName/
+  /// PythonStack become arena handles, the borrowed Kernel pointee is
+  /// pinned into a shared deduplicated copy, and the borrowed Tensor
+  /// pointee is pinned into a per-event owned copy (superseding
+  /// Event::retainPointees on the pipeline path). Takes the arena lock
+  /// once, however many payloads the event carries.
+  void intern(Event &E);
+
+  /// Returns the canonical handle for \p S's content, registering it on
+  /// first sight (reuses \p S's existing allocation — no copy).
+  PayloadString internString(const PayloadString &S);
+  /// Stack-payload equivalent of internString.
+  PayloadStack internStack(const PayloadStack &S);
+  /// Returns the canonical shared descriptor equal to \p K, copying it
+  /// into the arena on first sight.
+  std::shared_ptr<const sim::KernelDesc>
+  internKernel(const sim::KernelDesc &K);
+  /// Pins \p T into a shared owned copy *without* interning: tensor
+  /// descriptors carry per-instance identity (id, allocator address),
+  /// so a dedup table would grow with event volume, not metadata. The
+  /// copy is shared by every lane and dies with the last event handle.
+  static std::shared_ptr<const dl::TensorInfo>
+  pinTensor(const dl::TensorInfo &T);
+
+  EventArenaStats stats() const;
+
+private:
+  PayloadString internStringLocked(const PayloadString &S);
+  PayloadStack internStackLocked(const PayloadStack &S);
+  std::shared_ptr<const sim::KernelDesc>
+  internKernelLocked(const sim::KernelDesc &K);
+
+  mutable std::mutex Mutex;
+  /// Keys view into the mapped values' stable heap storage.
+  std::unordered_map<std::string_view,
+                     std::shared_ptr<const std::string>>
+      Strings;
+  /// Content-hash buckets; equality is verified within a bucket.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::shared_ptr<
+                         const std::vector<std::string>>>>
+      Stacks;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::shared_ptr<const sim::KernelDesc>>>
+      Kernels;
+  EventArenaStats Counters;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_EVENTARENA_H

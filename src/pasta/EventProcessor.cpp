@@ -120,13 +120,14 @@ void EventProcessor::rebuildRoutes() {
   RecordEntries.clear();
   MixEntries.clear();
   TraceEntries.clear();
-  ActiveLaneMask = 0;
+  StackLaneMask = 0;
 
   for (std::uint32_t I = 0; I < Entries.size(); ++I) {
     ToolEntry &Entry = Entries[I];
-    ActiveLaneMask |= Entry.Sub.Model == ExecutionModel::Serial
-                          ? std::uint64_t(1) << Entry.Lane
-                          : allLanesMask();
+    if (Entry.Sub.CapturesStacks)
+      StackLaneMask |= Entry.Sub.Model == ExecutionModel::Serial
+                           ? std::uint64_t(1) << Entry.Lane
+                           : allLanesMask();
     for (std::size_t K = 0; K < NumEventKinds; ++K) {
       if (!Entry.Sub.Kinds.has(static_cast<EventKind>(K)))
         continue;
@@ -148,8 +149,21 @@ void EventProcessor::rebuildRoutes() {
 }
 
 CallStackBuilder &EventProcessor::callStacks() {
-  if (CurrentLane.Owner == this)
+  if (CurrentLane.Owner == this) {
+    // A capture from a lane hosting no stack-capturing subscriber sees
+    // a stale (typically empty) context: context updates are routed by
+    // Subscription::CapturesStacks. Warn once instead of failing
+    // silently — the usual cause is a tool with an explicit
+    // subscription() that forgot to declare the bit.
+    if (!(StackLaneMask & (std::uint64_t(1) << CurrentLane.Lane)) &&
+        !StaleStackWarned.exchange(true, std::memory_order_relaxed))
+      logWarning("EventProcessor::callStacks() called from a dispatch "
+                 "lane hosting no stack-capturing tool; declare "
+                 "Subscription::CapturesStacks so Python-stack context "
+                 "is routed to this lane (the context captured here may "
+                 "be stale or empty)");
     return Lanes[CurrentLane.Lane]->Stacks;
+  }
   return SharedStacks;
 }
 
@@ -170,9 +184,11 @@ bool EventProcessor::admit(Event &E) {
     return false;
   }
 
-  // CPU preprocessing: keep the shared cross-layer stack context current
-  // (the record-delivery path and synchronous dispatch read it; lanes
-  // maintain their own copy in lane order).
+  // CPU preprocessing: keep the shared cross-layer stack context
+  // current (the record-delivery path and synchronous dispatch read it;
+  // capturing lanes maintain their own handle in lane order, fed during
+  // routing). Sharing the handle is a refcount bump; interning happens
+  // later, and only for events that actually fan out.
   if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
     SharedStacks.setPythonStack(E.PythonStack);
   return true;
@@ -202,11 +218,12 @@ void EventProcessor::process(Event E) {
   std::uint64_t LaneMask = Route.PinnedLaneMask;
   if (!Route.Floating.empty())
     LaneMask |= std::uint64_t(1) << homeLane(E);
-  // Python-context updates ride to every lane that can run a tool hook
-  // (idle lanes' CallStackBuilders are unreachable from tool code), so
-  // each such lane's builder stays consistent with its own event order.
+  // Python-context updates ride only to the lanes hosting tools that
+  // declared CapturesStacks — their builders must stay consistent with
+  // their own event order; every other lane's builder is unreachable
+  // from its tools, so feeding it would be pure fan-out overhead.
   if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
-    LaneMask |= ActiveLaneMask;
+    LaneMask |= StackLaneMask;
 
   if (LaneMask != 0) {
     bool Critical =
@@ -218,20 +235,30 @@ void EventProcessor::process(Event E) {
         Last = L;
         ++Fanout;
       }
-    // Multi-lane fan-out pins the borrowed pointees once up front so the
-    // per-lane copies share ownership; the single-lane path leaves the
-    // pinning to enqueue(), which only pays it for events actually
-    // admitted (dropped/sampled events never allocate).
-    if (Fanout > 1)
-      E.retainPointees();
+    // Interning placement: multi-lane fan-out interns up front so the
+    // per-lane Event copies below share refcounted immutable payloads
+    // (strings, stacks, pinned kernel/tensor descriptors) instead of
+    // deep-copying them; so does anything certain to be admitted
+    // (Block policy, critical events) — deferral would only move the
+    // intern inside the queue lock for no benefit. Single-lane routes
+    // under a lossy policy defer interning into enqueue(), past the
+    // overflow decision, so discarded events never allocate or
+    // register arena payloads. Unrouted events (LaneMask == 0) never
+    // touch the arena at all.
+    bool Lossy =
+        Lanes.front()->Queue->policy() != OverflowPolicy::Block;
+    bool DeferIntern = Fanout == 1 && Lossy && !Critical;
+    if (!DeferIntern)
+      Arena.intern(E);
+    EventArena *InternOnAdmit = DeferIntern ? &Arena : nullptr;
     for (std::size_t L = 0; L < Lanes.size(); ++L) {
       if (!(LaneMask & (std::uint64_t(1) << L)))
         continue;
       if (L == Last) {
-        Lanes[L]->Queue->enqueue(std::move(E), Critical);
+        Lanes[L]->Queue->enqueue(std::move(E), Critical, InternOnAdmit);
         break;
       }
-      Lanes[L]->Queue->enqueue(E, Critical);
+      Lanes[L]->Queue->enqueue(E, Critical, InternOnAdmit);
     }
   }
   if (Barrier)
@@ -364,6 +391,10 @@ ProcessorStats EventProcessor::stats() const {
       Core.HostAnalyzedRecords.load(std::memory_order_relaxed);
   Snapshot.FlushCount = Core.FlushCount.load(std::memory_order_relaxed);
   Snapshot.DispatchLanes = Lanes.size();
+  EventArenaStats ArenaSnapshot = Arena.stats();
+  Snapshot.ArenaPayloads = ArenaSnapshot.payloads();
+  Snapshot.ArenaBytes = ArenaSnapshot.Bytes;
+  Snapshot.ArenaHits = ArenaSnapshot.Hits;
   for (const auto &L : Lanes) {
     EventQueueCounters Counters = L->Queue->counters();
     Snapshot.EventsDropped += Counters.Dropped;
@@ -407,6 +438,14 @@ void EventProcessor::reportPipeline(ReportSink &Sink) const {
   Sink.metric("events_sampled_out", Snapshot.EventsSampledOut);
   Sink.metric("max_queue_depth", Snapshot.MaxQueueDepth);
   Sink.metric("flush_count", Snapshot.FlushCount);
+  if (!Lanes.empty()) {
+    // The shared payload arena only runs in async mode; its hit count
+    // is the number of payload allocations (and their per-lane copies)
+    // the interning avoided.
+    Sink.metric("arena.payloads", Snapshot.ArenaPayloads);
+    Sink.metric("arena.bytes", Snapshot.ArenaBytes);
+    Sink.metric("arena.hits", Snapshot.ArenaHits);
+  }
   if (Lanes.size() > 1) {
     std::vector<DispatchLaneStats> PerLane = laneStats();
     for (std::size_t I = 0; I < PerLane.size(); ++I) {

@@ -41,9 +41,24 @@
 ///
 ///    Preprocessing (range filtering, Python-stack context) runs at
 ///    admission on the producer's thread; each lane additionally keeps
-///    its own CallStackBuilder fed in lane order, so callStacks() from a
-///    tool hook resolves to a context consistent with that lane's event
-///    stream.
+///    its own CallStackBuilder fed in lane order, so callStacks() from
+///    a tool hook resolves to a context consistent with that lane's
+///    event stream. Context updates fan out only to lanes hosting tools
+///    whose Subscription declares CapturesStacks — stack-indifferent
+///    lanes never pay context-only deliveries.
+///
+///    Zero-copy fan-out: once routing determines an event reaches at
+///    least one lane, its payloads (operator/layer names, Python
+///    stacks, kernel/tensor descriptors) are interned into the
+///    processor's EventArena on the producer's thread — up front when
+///    the event fans out to several lanes (the copies must share), at
+///    queue admission for single-lane routes (events discarded by a
+///    lossy overflow policy never allocate). Per-lane Event copies
+///    share refcounted immutable payloads instead of duplicating them,
+///    so fan-out cost no longer scales with the subscriber count, and
+///    unrouted events never touch the arena. The arena's occupancy and
+///    hit counters surface through stats() and the event_pipeline
+///    report (arena.* metrics).
 ///
 ///    Threading contract (asynchronous mode): any number of threads may
 ///    call process() concurrently, but annotation toggles and TraceSink
@@ -72,6 +87,7 @@
 #define PASTA_PASTA_EVENTPROCESSOR_H
 
 #include "pasta/CallStack.h"
+#include "pasta/EventArena.h"
 #include "pasta/EventQueue.h"
 #include "pasta/Events.h"
 #include "pasta/RangeFilter.h"
@@ -116,6 +132,15 @@ struct ProcessorStats {
   std::uint64_t FlushCount = 0;
   /// Dispatch lanes running (0 = synchronous inline dispatch).
   std::uint64_t DispatchLanes = 0;
+  /// Event arena (async mode): distinct payloads resident — strings,
+  /// stacks, kernel/tensor descriptors interned once and shared by
+  /// every lane.
+  std::uint64_t ArenaPayloads = 0;
+  /// Event arena: approximate bytes those payloads occupy, once.
+  std::uint64_t ArenaBytes = 0;
+  /// Event arena: intern lookups that found an existing payload — each
+  /// one an allocation (and its per-lane copies) avoided.
+  std::uint64_t ArenaHits = 0;
 };
 
 /// Per-lane counter snapshot (merged into ProcessorStats by stats()).
@@ -169,6 +194,10 @@ public:
   std::optional<Subscription> subscriptionOf(const Tool *T) const;
 
   RangeFilter &rangeFilter() { return Filter; }
+  /// The shared immutable payload arena events are interned into at
+  /// admission (asynchronous mode). Exposed for tests and benches that
+  /// assert on interning behavior.
+  EventArena &arena() { return Arena; }
   /// The cross-layer stack context for the calling thread: dispatch-lane
   /// threads get their lane's builder (fed in lane order), every other
   /// thread the shared builder updated at admission.
@@ -297,12 +326,13 @@ private:
   std::vector<Tool *> Tools;
   std::vector<ToolEntry> Entries;
   std::array<KindRoute, NumEventKinds> Routes;
-  /// Lanes that can run any tool hook at all: the union of the Serial
-  /// pins, widened to every lane when ShardByDevice/Concurrent tools
-  /// exist (any lane can be a home lane). Python-stack broadcasts are
-  /// restricted to this set — an idle lane's CallStackBuilder is
-  /// unreachable from tool code.
-  std::uint64_t ActiveLaneMask = 0;
+  /// Lanes hosting stack-capturing tools (Subscription::CapturesStacks):
+  /// the pinned lane of each capturing Serial tool, widened to every
+  /// lane when a capturing ShardByDevice/Concurrent tool exists (any
+  /// lane can be its home lane). Python-stack context updates fan out
+  /// to exactly this set — other lanes' CallStackBuilders are never
+  /// consulted by their tools, so feeding them would be pure overhead.
+  std::uint64_t StackLaneMask = 0;
   /// Entry indices with fine-grained interests (record batches,
   /// instruction mixes, per-launch trace breakdowns).
   std::vector<std::uint32_t> RecordEntries;
@@ -310,6 +340,9 @@ private:
   std::vector<std::uint32_t> TraceEntries;
 
   RangeFilter Filter;
+  /// Shared immutable payload arena; producers intern admitted events'
+  /// payloads here so lane fan-out is zero-copy.
+  EventArena Arena;
   /// Shared stack context: written at admission, read by synchronous
   /// dispatch and the record-delivery path.
   CallStackBuilder SharedStacks;
@@ -332,6 +365,9 @@ private:
   std::mutex AttachMutex;
   /// Set by the first admitted event; seals the tool set in async mode.
   std::atomic<bool> Started{false};
+  /// One-shot guard for the callStacks()-without-CapturesStacks
+  /// diagnostic.
+  std::atomic<bool> StaleStackWarned{false};
 };
 
 } // namespace pasta

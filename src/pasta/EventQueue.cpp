@@ -44,7 +44,8 @@ EventQueue::EventQueue(std::size_t Capacity, OverflowPolicy Policy,
   Buffer.reserve(std::min<std::size_t>(Capacity, 1u << 16));
 }
 
-void EventQueue::enqueue(Event E, bool Critical) {
+void EventQueue::enqueue(Event E, bool Critical,
+                         EventArena *InternOnAdmit) {
   std::unique_lock<std::mutex> Lock(Mutex);
   if (Closed) {
     // Shutdown teardown: count the loss so conservation invariants
@@ -78,11 +79,16 @@ void EventQueue::enqueue(Event E, bool Critical) {
       return;
     }
   }
-  // Only events actually admitted pay for pinning their borrowed
-  // kernel/tensor pointees (dropped/sampled events never allocate); the
-  // producing callback's frame is still live here, so the pointers are
-  // still valid to copy from.
-  E.retainPointees();
+  // The event is admitted. Lossy single-lane routes intern here — only
+  // events that actually enter the queue allocate or register arena
+  // payloads (dropped/sampled events above never do). Everything else
+  // arrives already interned (InternOnAdmit null), keeping the arena
+  // mutex out of this queue-lock critical section. Pinning the
+  // borrowed kernel/tensor pointees is part of intern(): the producing
+  // callback's frame is still live here, so the pointers are valid to
+  // copy from.
+  if (InternOnAdmit)
+    InternOnAdmit->intern(E);
   Buffer.push_back(std::move(E));
   ++Counters.Enqueued;
   Counters.MaxDepth = std::max<std::uint64_t>(Counters.MaxDepth,

@@ -7,11 +7,14 @@
 /// \file
 /// The buffer between event collection and tool analysis (paper §III-B's
 /// dispatch unit, made concurrent): a bounded multi-producer /
-/// single-consumer queue of normalized Events. Producers are the
-/// runtime/handler threads calling EventProcessor::process(); the single
-/// consumer is the processor's dispatch thread, which drains whole
-/// batches at a time (double buffering: the consumer swaps the producing
-/// buffer out under the lock and dispatches it lock-free).
+/// single-consumer queue of normalized Events. The processor runs one
+/// queue per dispatch lane; producers are the runtime/handler threads
+/// calling EventProcessor::process(), the single consumer is the owning
+/// lane's thread, which drains whole batches at a time (double
+/// buffering: the consumer swaps the producing buffer out under the
+/// lock and dispatches it lock-free). Events arrive with arena-interned
+/// payloads, so buffering and batching shuffle refcounted handles, not
+/// payload bytes.
 ///
 /// When the queue is full, one of three overflow policies applies:
 ///
@@ -80,7 +83,13 @@ public:
   /// after close() are discarded. \p Critical events (resource admission
   /// class, barriers) bypass the lossy policies: they wait for space like
   /// Block so allocation/tensor views stay consistent under loss.
-  void enqueue(Event E, bool Critical = false);
+  /// When \p InternOnAdmit is set, the event's payloads are interned
+  /// into that arena only once the event is actually admitted —
+  /// single-lane routes use this so events discarded by a lossy policy
+  /// never allocate or touch the arena (multi-lane fan-out interns
+  /// before enqueueing instead, because the per-lane copies must share).
+  void enqueue(Event E, bool Critical = false,
+               EventArena *InternOnAdmit = nullptr);
 
   /// Consumer side: swaps the producing buffer into \p Batch, blocking
   /// until events are available. Returns false when the queue is closed

@@ -28,6 +28,7 @@
 #define PASTA_PASTA_EVENTS_H
 
 #include "dl/Callbacks.h"
+#include "pasta/EventArena.h"
 #include "sim/GpuSpec.h"
 #include "sim/Kernel.h"
 
@@ -132,21 +133,48 @@ struct Event {
   const sim::KernelDesc *Kernel = nullptr;
   std::uint64_t GridId = 0;
 
-  /// DL framework events.
+  /// DL framework events. The string payloads are shared immutable
+  /// handles (see EventArena.h): copying an Event bumps reference counts
+  /// instead of duplicating bytes, which is what makes multi-lane
+  /// fan-out zero-copy.
   const dl::TensorInfo *Tensor = nullptr;
   std::uint64_t PoolAllocated = 0;
   std::uint64_t PoolReserved = 0;
-  std::string OpName;
-  std::string LayerName;
+  PayloadString OpName;
+  PayloadString LayerName;
   dl::ExecPhase Phase = dl::ExecPhase::Forward;
-  std::vector<std::string> PythonStack;
+  PayloadStack PythonStack;
 
   /// Replaces the borrowed Kernel/Tensor pointers with owning copies.
-  /// Kernel descriptors and tensor infos are only guaranteed alive for
-  /// the duration of the producing callback (launch descriptors live on
-  /// the runtime's stack); an event admitted into the asynchronous queue
-  /// outlives that frame, so the pipeline pins the pointees first.
+  ///
+  /// \deprecated Superseded by EventArena::intern, which the processor
+  /// applies at admission (pinning the pointees into shared,
+  /// content-deduplicated copies). Kept as a thin compatibility shim for
+  /// code holding an Event beyond the producing callback without a
+  /// processor in play. Idempotent: a no-op when the pointees are
+  /// already owned.
   void retainPointees();
+
+  /// Pins \p K as this event's kernel descriptor: the borrowed pointer
+  /// is redirected to the shared copy. Used by EventArena::intern.
+  void adoptKernel(std::shared_ptr<const sim::KernelDesc> K) {
+    OwnedKernel = std::move(K);
+    Kernel = OwnedKernel.get();
+  }
+  /// Tensor-descriptor equivalent of adoptKernel.
+  void adoptTensor(std::shared_ptr<const dl::TensorInfo> T) {
+    OwnedTensor = std::move(T);
+    Tensor = OwnedTensor.get();
+  }
+  /// Non-null when the kernel pointee is owned (pinned or interned);
+  /// lanes sharing one admitted event share this very handle.
+  const std::shared_ptr<const sim::KernelDesc> &ownedKernel() const {
+    return OwnedKernel;
+  }
+  /// Tensor-descriptor equivalent of ownedKernel.
+  const std::shared_ptr<const dl::TensorInfo> &ownedTensor() const {
+    return OwnedTensor;
+  }
 
 private:
   std::shared_ptr<const sim::KernelDesc> OwnedKernel;

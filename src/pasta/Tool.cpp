@@ -115,6 +115,10 @@ Subscription Tool::subscription() {
   Sub.AccessRecords = Probed.has(Capability::AccessRecords);
   Sub.InstrMix = Probed.has(Capability::InstrMix);
   Sub.KernelTrace = true;
+  // Conservative: a legacy tool may capture stacks from any hook, so its
+  // lane keeps receiving Python-stack context. Explicit subscriptions
+  // opt out (or in) precisely.
+  Sub.CapturesStacks = true;
   Sub.Model = ExecutionModel::Serial;
   return Sub;
 }

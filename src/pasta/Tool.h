@@ -121,6 +121,13 @@ struct Subscription {
   bool KernelTrace = false;
   /// Unified-memory counters.
   bool UvmCounters = false;
+  /// The tool captures cross-layer call stacks — it calls
+  /// EventProcessor::callStacks() from a hook (or from onFinish). The
+  /// dispatch unit routes Python-stack context updates only to the lanes
+  /// hosting declaring tools, so lanes full of stack-indifferent tools
+  /// never see context-only fan-out. A tool that captures without
+  /// declaring this observes a stale (empty) context on its lane.
+  bool CapturesStacks = false;
   /// Concurrency contract for the coarse-event hooks above.
   ExecutionModel Model = ExecutionModel::Serial;
 

@@ -92,7 +92,10 @@ void BarrierStallTool::onKernelLaunch(const Event &E) {
       static_cast<std::uint64_t>(E.Kernel->BarriersPerBlock) *
       E.Kernel->Grid.count();
   std::uint64_t Stall = Barriers * BarrierLatencyNs / 1000;
-  StallByLayer[CurrentLayer.empty() ? "<toplevel>" : CurrentLayer] += Stall;
+  if (CurrentLayer.empty())
+    StallByLayer["<toplevel>"] += Stall;
+  else
+    StallByLayer[CurrentLayer.str()] += Stall;
   TotalStall += Stall;
 }
 

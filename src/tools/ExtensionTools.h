@@ -85,7 +85,8 @@ public:
 
 private:
   std::uint64_t BarrierLatencyNs;
-  std::string CurrentLayer;
+  /// Shared handle adopted from the event (no copy per operator start).
+  PayloadString CurrentLayer;
   std::map<std::string, std::uint64_t> StallByLayer;
   std::uint64_t TotalStall = 0;
 };

@@ -69,7 +69,9 @@ public:
 
 private:
   struct ActiveOp {
-    std::string OpName;
+    /// Shared handle adopted from the event — pushing an operator onto
+    /// the nesting stack never copies the name bytes.
+    PayloadString OpName;
     SimTime LastLaunchTime = 0;
   };
 

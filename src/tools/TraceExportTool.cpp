@@ -20,11 +20,31 @@ Subscription TraceExportTool::subscription() {
   return Sub;
 }
 
+namespace {
+/// Fixed category labels, allocated once (entries share the handle).
+const PayloadString &opCategory() {
+  static const PayloadString Label("op");
+  return Label;
+}
+const PayloadString &kernelCategory() {
+  static const PayloadString Label("kernel");
+  return Label;
+}
+const PayloadString &memcpyCategory() {
+  static const PayloadString Label("memcpy");
+  return Label;
+}
+const PayloadString &uvmCategory() {
+  static const PayloadString Label("uvm");
+  return Label;
+}
+} // namespace
+
 void TraceExportTool::onOperatorStart(const Event &E) {
   Entry Item;
   Item.Phase = 'B';
   Item.Name = E.OpName;
-  Item.Category = E.LayerName.empty() ? "op" : E.LayerName;
+  Item.Category = E.LayerName.empty() ? opCategory() : E.LayerName;
   Item.Device = E.DeviceIndex;
   Item.Track = 0;
   Item.TimestampNs = E.Timestamp;
@@ -42,8 +62,20 @@ void TraceExportTool::onOperatorEnd(const Event &E) {
 }
 
 void TraceExportTool::onKernelLaunch(const Event &E) {
-  PendingKernels[E.DeviceIndex] = {
-      E.Kernel ? E.Kernel->Name : "<kernel>", E.Timestamp};
+  PayloadString Name;
+  if (E.Kernel && E.ownedKernel()) {
+    // Alias the interned descriptor's own name storage: the handle
+    // shares the descriptor's refcount, so repeated launches of one
+    // kernel allocate nothing at all.
+    Name.adopt(std::shared_ptr<const std::string>(
+        E.ownedKernel(), &E.ownedKernel()->Name));
+  } else if (E.Kernel) {
+    Name = E.Kernel->Name; // synchronous mode borrows; copy once
+  } else {
+    static const PayloadString Unknown("<kernel>");
+    Name = Unknown;
+  }
+  PendingKernels[E.DeviceIndex] = {std::move(Name), E.Timestamp};
 }
 
 void TraceExportTool::onKernelComplete(const Event &E) {
@@ -53,7 +85,7 @@ void TraceExportTool::onKernelComplete(const Event &E) {
   Entry Item;
   Item.Phase = 'X';
   Item.Name = It->second.first;
-  Item.Category = "kernel";
+  Item.Category = kernelCategory();
   Item.Device = E.DeviceIndex;
   Item.Track = 1;
   Item.TimestampNs = It->second.second;
@@ -69,7 +101,7 @@ void TraceExportTool::onMemoryCopy(const Event &E) {
   Item.Phase = 'i';
   Item.Name = format("memcpy %llu B",
                      static_cast<unsigned long long>(E.Bytes));
-  Item.Category = "memcpy";
+  Item.Category = memcpyCategory();
   Item.Device = E.DeviceIndex;
   Item.Track = 1;
   Item.TimestampNs = E.Timestamp;
@@ -81,7 +113,7 @@ void TraceExportTool::onBatchMemoryOp(const Event &E) {
   Item.Phase = 'i';
   Item.Name = format("uvm batch op %llu B",
                      static_cast<unsigned long long>(E.Bytes));
-  Item.Category = "uvm";
+  Item.Category = uvmCategory();
   Item.Device = E.DeviceIndex;
   Item.Track = 1;
   Item.TimestampNs = E.Timestamp;
@@ -122,7 +154,8 @@ std::string TraceExportTool::toJson() const {
     Out += "  {\"name\": ";
     appendJsonString(Out, Item.Name);
     Out += ", \"cat\": ";
-    appendJsonString(Out, Item.Category.empty() ? "event" : Item.Category);
+    appendJsonString(Out,
+                     Item.Category.empty() ? "event" : Item.Category.str());
     Out += format(", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": %d, "
                   "\"tid\": %d",
                   Item.Phase,

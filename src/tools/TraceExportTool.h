@@ -52,8 +52,11 @@ public:
 private:
   struct Entry {
     char Phase = 'X';      ///< 'B', 'E', 'X' or 'i'
-    std::string Name;
-    std::string Category;
+    /// Shared payload handles: timeline entries adopt the event's
+    /// interned operator/layer strings instead of copying them, so a
+    /// million-entry trace stores each distinct name once.
+    PayloadString Name;
+    PayloadString Category;
     int Device = 0;
     int Track = 0;         ///< tid: 0 = CPU/ops, 1 = GPU kernels
     SimTime TimestampNs = 0;
@@ -64,8 +67,10 @@ private:
 
   std::vector<Entry> Entries;
   /// Launch timestamp of the in-flight kernel per device (simulator
-  /// kernels are synchronous, so one slot per device suffices).
-  std::map<int, std::pair<std::string, SimTime>> PendingKernels;
+  /// kernels are synchronous, so one slot per device suffices). The
+  /// name is a payload handle aliasing the interned kernel descriptor,
+  /// so repeated launches allocate nothing.
+  std::map<int, std::pair<PayloadString, SimTime>> PendingKernels;
 };
 
 } // namespace tools
