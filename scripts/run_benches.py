@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Run the ablation benches and record the per-PR perf trajectory.
+
+Produces a JSON artifact (default BENCH_pr5.json, checked in at the repo
+root) with the admission-path throughput sweep and counters from
+bench_ablation_admission, plus pass/fail for the other ablation benches'
+structural gates — so every PR leaves a comparable perf record instead
+of a table that scrolls away in a terminal.
+
+Usage:
+  scripts/run_benches.py [--build-dir build] [--out BENCH_pr5.json]
+                         [--smoke]
+
+--smoke runs one small repetition (500 events/producer, admission bench
+only) — CI uses it so this script cannot rot; the numbers it records are
+for harness verification, not measurement.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# The benches with structural (exit-code) gates worth recording per PR.
+GATED_BENCHES = [
+    "bench_ablation_event_arena",
+    "bench_ablation_dispatch_shards",
+]
+
+
+def run_admission(build_dir, events):
+    exe = os.path.join(build_dir, "bench_ablation_admission")
+    if not os.path.exists(exe):
+        sys.exit(f"error: {exe} not found (build with PASTA_BUILD_BENCHES=ON)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [exe, "--events", str(events), "--json", json_path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.exit(f"error: bench_ablation_admission failed "
+                     f"(exit {proc.returncode})")
+        with open(json_path) as handle:
+            return json.load(handle)
+    finally:
+        os.unlink(json_path)
+
+
+def run_gated(build_dir):
+    results = {}
+    for name in GATED_BENCHES:
+        exe = os.path.join(build_dir, name)
+        if not os.path.exists(exe):
+            results[name] = "not-built"
+            continue
+        proc = subprocess.run([exe], stdout=subprocess.DEVNULL,
+                              stderr=subprocess.STDOUT)
+        results[name] = "pass" if proc.returncode == 0 else "FAIL"
+        print(f"{name}: {results[name]}")
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small repetition, admission bench only "
+                             "(CI harness check, not a measurement)")
+    args = parser.parse_args()
+
+    events = 500 if args.smoke else 20000
+    record = {
+        "pr": 5,
+        "smoke": args.smoke,
+        "admission": run_admission(args.build_dir, events),
+        "gated_benches": {} if args.smoke else run_gated(args.build_dir),
+    }
+
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if any(v == "FAIL" for v in record["gated_benches"].values()):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,8 @@
 //             [--iters N] [--managed] [--oversub F]
 //             [--prefetch none|object|tensor] [--format text|json|csv]
 //             [--async] [--queue-depth N] [--overflow block|drop|sample[:N]]
-//             [--dispatch-threads N] <model>
+//             [--dispatch-threads N] [--arena-shards N]
+//             [--arena-max-bytes BYTES] <model>
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
@@ -32,6 +33,7 @@
 #include "support/Units.h"
 #include "tools/RegisterTools.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -51,7 +53,8 @@ int usage(const char *Argv0) {
       "          [--format text|json|csv]\n"
       "          [--async] [--queue-depth N]\n"
       "          [--overflow block|drop|sample[:N]]\n"
-      "          [--dispatch-threads N] <model>\n"
+      "          [--dispatch-threads N] [--arena-shards N]\n"
+      "          [--arena-max-bytes BYTES] <model>\n"
       "       %s --list-tools | --list-backends\n"
       "\n"
       "Every knob (flags, PASTA_* environment variables, SessionBuilder\n"
@@ -193,6 +196,28 @@ int main(int Argc, char **Argv) {
       // Lanes only exist asynchronously; imply --async like the other
       // queue knobs.
       Builder.dispatchThreads(static_cast<std::size_t>(Threads));
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--arena-shards") {
+      long long Shards = std::atoll(NextValue("--arena-shards"));
+      if (Shards <= 0 || Shards > 64) {
+        std::fprintf(stderr,
+                     "error: --arena-shards must be in [1, 64]\n");
+        return 2;
+      }
+      // The arena only runs on the async admission path; imply --async
+      // like the other queue knobs.
+      Builder.arenaShards(static_cast<std::size_t>(Shards));
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--arena-max-bytes") {
+      long long Bytes = std::atoll(NextValue("--arena-max-bytes"));
+      if (Bytes <= 0) {
+        std::fprintf(stderr,
+                     "error: --arena-max-bytes must be positive\n");
+        return 2;
+      }
+      Builder.arenaMaxBytes(static_cast<std::uint64_t>(Bytes));
       Builder.asyncEvents();
       Async = true;
     } else if (Arg == "--overflow") {

@@ -28,6 +28,27 @@
 ///    fan-out) but not deduplicated — their identity is per-instance,
 ///    so a dedup table would grow with event volume.
 ///
+/// Low-contention admission: the intern tables are split into N
+/// content-hash-indexed *shards* (default derived from the hardware
+/// concurrency; EventArenaOptions::Shards / PASTA_ARENA_SHARDS /
+/// SessionBuilder::arenaShards override), each behind its own mutex, so
+/// concurrent producers interning distinct payloads rarely touch the
+/// same lock. intern(Event&) groups an event's payloads by shard and
+/// takes each involved shard's lock exactly once. In front of the
+/// shards sits a small *thread-local memo* (a direct-mapped last-N
+/// cache keyed by content hash): the overwhelmingly common repeated
+/// payload — the same op name or Python stack across a training step —
+/// resolves to a refcount bump with zero lock acquisitions. Memo
+/// entries always hold canonical (table-resident) handles, so identity
+/// guarantees are unchanged.
+///
+/// Guard rail: EventArenaOptions::MaxBytes (PASTA_ARENA_MAX_BYTES /
+/// SessionBuilder::arenaMaxBytes) caps resident payload bytes. Past the
+/// cap, *new* payloads fall back to per-event owned pins — content
+/// still correct and safely owned, just not deduplicated — a one-time
+/// warning fires, and every fallback is counted (EvictedFallbacks),
+/// making pathological workloads visible instead of unbounded.
+///
 /// Ownership model: interned payloads are immutable and refcounted. The
 /// arena keeps one reference for the dedup table (payloads are resident
 /// for the arena's lifetime — bounded by the number of *distinct*
@@ -49,13 +70,12 @@
 #include "dl/Tensor.h"
 #include "sim/Kernel.h"
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace pasta {
@@ -71,6 +91,24 @@ public:
   PayloadString() = default;
   PayloadString(const char *S) { assign(S ? std::string(S) : std::string()); }
   PayloadString(std::string S) { assign(std::move(S)); }
+  PayloadString(const PayloadString &Other)
+      : Handle(Other.Handle),
+        HashCache(Other.HashCache.load(std::memory_order_relaxed)) {}
+  PayloadString(PayloadString &&Other) noexcept
+      : Handle(std::move(Other.Handle)),
+        HashCache(Other.HashCache.load(std::memory_order_relaxed)) {}
+  PayloadString &operator=(const PayloadString &Other) {
+    Handle = Other.Handle;
+    HashCache.store(Other.HashCache.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
+  PayloadString &operator=(PayloadString &&Other) noexcept {
+    Handle = std::move(Other.Handle);
+    HashCache.store(Other.HashCache.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 
   PayloadString &operator=(const char *S) {
     assign(S ? std::string(S) : std::string());
@@ -130,7 +168,9 @@ public:
   const std::shared_ptr<const std::string> &handle() const {
     return Handle;
   }
-  /// Replaces the handle with \p H (the arena hands out canonical ones).
+  /// Replaces the handle with \p H, which must reference *equal
+  /// content* (the arena hands out canonical ones) — the cached content
+  /// hash is deliberately kept.
   void adopt(std::shared_ptr<const std::string> H) {
     Handle = std::move(H);
   }
@@ -139,14 +179,25 @@ public:
     return Handle == Other.Handle;
   }
 
+  /// The avalanched FNV-1a hash of the payload content, computed once
+  /// per value and inherited by copies — so a handle reused across
+  /// events (shared stack context, fan-out copies, canonical arena
+  /// handles) is never rehashed on the admission path. Thread-safe: a
+  /// racing pair of readers fills the cache with the identical value.
+  std::uint64_t contentHash() const;
+
 private:
   void assign(std::string S) {
     Handle = S.empty() ? nullptr
                        : std::make_shared<const std::string>(std::move(S));
+    HashCache.store(0, std::memory_order_relaxed);
   }
   static const std::string &emptyString();
 
   std::shared_ptr<const std::string> Handle;
+  /// 0 = not yet computed (the hash itself is never 0 in practice; a
+  /// collision with 0 merely recomputes).
+  mutable std::atomic<std::uint64_t> HashCache{0};
 };
 
 std::ostream &operator<<(std::ostream &Out, const PayloadString &S);
@@ -162,6 +213,24 @@ public:
   PayloadStack(FrameList Frames) { assign(std::move(Frames)); }
   PayloadStack(std::initializer_list<std::string> Frames)
       : PayloadStack(FrameList(Frames)) {}
+  PayloadStack(const PayloadStack &Other)
+      : Handle(Other.Handle),
+        HashCache(Other.HashCache.load(std::memory_order_relaxed)) {}
+  PayloadStack(PayloadStack &&Other) noexcept
+      : Handle(std::move(Other.Handle)),
+        HashCache(Other.HashCache.load(std::memory_order_relaxed)) {}
+  PayloadStack &operator=(const PayloadStack &Other) {
+    Handle = Other.Handle;
+    HashCache.store(Other.HashCache.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
+  PayloadStack &operator=(PayloadStack &&Other) noexcept {
+    Handle = std::move(Other.Handle);
+    HashCache.store(Other.HashCache.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
   PayloadStack &operator=(FrameList Frames) {
     assign(std::move(Frames));
     return *this;
@@ -192,20 +261,26 @@ public:
   }
 
   const std::shared_ptr<const FrameList> &handle() const { return Handle; }
+  /// \p H must reference equal content (see PayloadString::adopt).
   void adopt(std::shared_ptr<const FrameList> H) { Handle = std::move(H); }
   bool sharesStorageWith(const PayloadStack &Other) const {
     return Handle == Other.Handle;
   }
+
+  /// Cached avalanched content hash (see PayloadString::contentHash).
+  std::uint64_t contentHash() const;
 
 private:
   void assign(FrameList Frames) {
     Handle = Frames.empty()
                  ? nullptr
                  : std::make_shared<const FrameList>(std::move(Frames));
+    HashCache.store(0, std::memory_order_relaxed);
   }
   static const FrameList &emptyFrames();
 
   std::shared_ptr<const FrameList> Handle;
+  mutable std::atomic<std::uint64_t> HashCache{0};
 };
 
 /// Arena occupancy and effectiveness counters (snapshot via
@@ -221,13 +296,38 @@ struct EventArenaStats {
   /// Approximate bytes those payloads occupy — once, shared by every
   /// event, lane and tool that references them.
   std::uint64_t Bytes = 0;
-  /// Intern lookups resolved to an existing payload; each hit is an
-  /// allocation (and for fan-out, N-1 per-lane copies) avoided.
+  /// Intern lookups resolved to an existing payload (memo hits
+  /// included); each hit is an allocation (and for fan-out, N-1
+  /// per-lane copies) avoided.
   std::uint64_t Hits = 0;
   /// Intern lookups that created a new resident payload.
   std::uint64_t Misses = 0;
+  /// Subset of Hits served by the thread-local memo — resolved with
+  /// zero lock acquisitions.
+  std::uint64_t MemoHits = 0;
+  /// Shard lock acquisitions that found the lock held (try_lock
+  /// failed): the direct measure of admission-side arena contention.
+  std::uint64_t ShardContention = 0;
+  /// Payloads admitted past the MaxBytes guard rail as per-event owned
+  /// pins instead of residents (0 when no cap is set or it never hit).
+  std::uint64_t EvictedFallbacks = 0;
+  /// Content-hash shards the tables are split into (config echo).
+  std::uint64_t Shards = 0;
 
   std::uint64_t payloads() const { return Strings + Stacks + Kernels; }
+};
+
+/// Admission-path configuration for EventArena.
+struct EventArenaOptions {
+  /// Content-hash shards for the intern tables: 0 derives a default
+  /// from std::thread::hardware_concurrency (capped at 16, power of
+  /// two); explicit values are clamped to [1, 64].
+  std::size_t Shards = 0;
+  /// Enables the thread-local intern memo in front of the shards.
+  bool InternMemo = true;
+  /// Resident-payload byte cap (0 = unlimited). Past it, new payloads
+  /// fall back to per-event owned pins and are counted.
+  std::uint64_t MaxBytes = 0;
 };
 
 /// Content-deduplicating intern table for event payloads. One arena per
@@ -241,17 +341,24 @@ struct EventArenaStats {
 /// event volume.
 class EventArena {
 public:
-  EventArena() = default;
-  ~EventArena() = default;
+  EventArena();
+  explicit EventArena(const EventArenaOptions &Opts);
+  ~EventArena();
   EventArena(const EventArena &) = delete;
   EventArena &operator=(const EventArena &) = delete;
+
+  /// The shard count an EventArenaOptions::Shards of 0 resolves to.
+  static std::size_t defaultShardCount();
+  std::size_t shardCount() const { return Shards.size(); }
 
   /// Canonicalizes every payload of \p E in place: OpName/LayerName/
   /// PythonStack become arena handles, the borrowed Kernel pointee is
   /// pinned into a shared deduplicated copy, and the borrowed Tensor
   /// pointee is pinned into a per-event owned copy (superseding
-  /// Event::retainPointees on the pipeline path). Takes the arena lock
-  /// once, however many payloads the event carries.
+  /// Event::retainPointees on the pipeline path). Payloads already in
+  /// the calling thread's memo resolve without any lock; the rest are
+  /// grouped by shard so each involved shard's lock is taken exactly
+  /// once per event.
   void intern(Event &E);
 
   /// Returns the canonical handle for \p S's content, registering it on
@@ -273,25 +380,45 @@ public:
   EventArenaStats stats() const;
 
 private:
-  PayloadString internStringLocked(const PayloadString &S);
-  PayloadStack internStackLocked(const PayloadStack &S);
-  std::shared_ptr<const sim::KernelDesc>
-  internKernelLocked(const sim::KernelDesc &K);
+  struct Shard;
 
-  mutable std::mutex Mutex;
-  /// Keys view into the mapped values' stable heap storage.
-  std::unordered_map<std::string_view,
-                     std::shared_ptr<const std::string>>
-      Strings;
-  /// Content-hash buckets; equality is verified within a bucket.
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::shared_ptr<
-                         const std::vector<std::string>>>>
-      Stacks;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::shared_ptr<const sim::KernelDesc>>>
-      Kernels;
-  EventArenaStats Counters;
+  Shard &shardFor(std::uint64_t Hash) const {
+    return *Shards[static_cast<std::size_t>(Hash % Shards.size())];
+  }
+  /// Locks \p S, counting the acquisition as contended when the lock
+  /// was already held.
+  std::unique_lock<std::mutex> lockShard(Shard &S);
+  /// True when \p AddedBytes more resident bytes would pass MaxBytes —
+  /// the caller then falls back to a per-event pin. Fires the one-time
+  /// warning and counts the fallback.
+  bool pastByteCap(std::uint64_t AddedBytes);
+
+  /// The locked helpers set \p Resident to false when the byte cap
+  /// forced a per-event fallback pin — such handles are NOT canonical
+  /// and must never enter the thread-local memo (a memoized fallback
+  /// would masquerade as dedup and hide further fallbacks from the
+  /// guard-rail accounting).
+  PayloadString internStringLocked(Shard &S, std::uint64_t Hash,
+                                   const PayloadString &Str,
+                                   bool &Resident);
+  PayloadStack internStackLocked(Shard &S, std::uint64_t Hash,
+                                 const PayloadStack &Stack,
+                                 bool &Resident);
+  std::shared_ptr<const sim::KernelDesc>
+  internKernelLocked(Shard &S, std::uint64_t Hash,
+                     const sim::KernelDesc &K, bool &Resident);
+
+  const EventArenaOptions Opts;
+  /// Process-unique id tagging this arena's thread-local memo entries
+  /// (a recycled heap address must not revive a dead arena's memo).
+  const std::uint64_t Id;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Resident payload bytes across all shards (guard-rail accounting).
+  std::atomic<std::uint64_t> TotalBytes{0};
+  std::atomic<std::uint64_t> MemoHits{0};
+  std::atomic<std::uint64_t> Contention{0};
+  std::atomic<std::uint64_t> Fallbacks{0};
+  std::atomic<bool> CapWarned{false};
 };
 
 } // namespace pasta

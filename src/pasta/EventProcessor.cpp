@@ -27,11 +27,23 @@ thread_local LaneTag CurrentLane;
 
 } // namespace
 
+namespace {
+
+EventArenaOptions arenaOptionsOf(const ProcessorOptions &Opts) {
+  EventArenaOptions ArenaOpts;
+  ArenaOpts.Shards = Opts.ArenaShards;
+  ArenaOpts.InternMemo = Opts.ArenaMemo;
+  ArenaOpts.MaxBytes = Opts.ArenaMaxBytes;
+  return ArenaOpts;
+}
+
+} // namespace
+
 EventProcessor::EventProcessor(std::size_t DeviceAnalysisThreads)
     : AnalysisThreads(DeviceAnalysisThreads) {}
 
 EventProcessor::EventProcessor(const ProcessorOptions &Opts)
-    : AnalysisThreads(Opts.AnalysisThreads) {
+    : Arena(arenaOptionsOf(Opts)), AnalysisThreads(Opts.AnalysisThreads) {
   if (Opts.AsyncEvents) {
     std::size_t LaneCount = std::min<std::size_t>(
         std::max<std::size_t>(Opts.DispatchThreads, 1), 64);
@@ -39,7 +51,8 @@ EventProcessor::EventProcessor(const ProcessorOptions &Opts)
       auto L = std::make_unique<Lane>();
       L->Queue = std::make_unique<EventQueue>(
           std::max<std::size_t>(Opts.QueueDepth, 1), Opts.Overflow,
-          std::max<std::uint64_t>(Opts.SampleEveryN, 1));
+          std::max<std::uint64_t>(Opts.SampleEveryN, 1),
+          Opts.QueueSpinIterations);
       Lanes.push_back(std::move(L));
     }
     for (std::size_t I = 0; I < LaneCount; ++I)
@@ -395,10 +408,16 @@ ProcessorStats EventProcessor::stats() const {
   Snapshot.ArenaPayloads = ArenaSnapshot.payloads();
   Snapshot.ArenaBytes = ArenaSnapshot.Bytes;
   Snapshot.ArenaHits = ArenaSnapshot.Hits;
+  Snapshot.ArenaMemoHits = ArenaSnapshot.MemoHits;
+  Snapshot.ArenaShardContention = ArenaSnapshot.ShardContention;
+  Snapshot.ArenaEvictedFallbacks = ArenaSnapshot.EvictedFallbacks;
+  Snapshot.ArenaShards = ArenaSnapshot.Shards;
   for (const auto &L : Lanes) {
     EventQueueCounters Counters = L->Queue->counters();
     Snapshot.EventsDropped += Counters.Dropped;
     Snapshot.EventsSampledOut += Counters.SampledOut;
+    Snapshot.QueueSpins += Counters.Spins;
+    Snapshot.QueueParks += Counters.Parks;
     Snapshot.MaxQueueDepth =
         std::max(Snapshot.MaxQueueDepth, Counters.MaxDepth);
   }
@@ -439,12 +458,21 @@ void EventProcessor::reportPipeline(ReportSink &Sink) const {
   Sink.metric("max_queue_depth", Snapshot.MaxQueueDepth);
   Sink.metric("flush_count", Snapshot.FlushCount);
   if (!Lanes.empty()) {
+    // Admission-path pressure: spins say the ring filled, parks say the
+    // spin window was not enough and a producer actually blocked.
+    Sink.metric("queue.spins", Snapshot.QueueSpins);
+    Sink.metric("queue.parks", Snapshot.QueueParks);
     // The shared payload arena only runs in async mode; its hit count
     // is the number of payload allocations (and their per-lane copies)
     // the interning avoided.
     Sink.metric("arena.payloads", Snapshot.ArenaPayloads);
     Sink.metric("arena.bytes", Snapshot.ArenaBytes);
     Sink.metric("arena.hits", Snapshot.ArenaHits);
+    Sink.metric("arena.memo_hits", Snapshot.ArenaMemoHits);
+    Sink.metric("arena.shards", Snapshot.ArenaShards);
+    Sink.metric("arena.shard_contention", Snapshot.ArenaShardContention);
+    Sink.metric("arena.evicted_fallbacks",
+                Snapshot.ArenaEvictedFallbacks);
   }
   if (Lanes.size() > 1) {
     std::vector<DispatchLaneStats> PerLane = laneStats();

@@ -132,6 +132,12 @@ struct ProcessorStats {
   std::uint64_t FlushCount = 0;
   /// Dispatch lanes running (0 = synchronous inline dispatch).
   std::uint64_t DispatchLanes = 0;
+  /// Async pipeline: enqueues that found a lane's ring full and spun
+  /// for space (summed over lanes).
+  std::uint64_t QueueSpins = 0;
+  /// Async pipeline: enqueues whose spin window expired and parked on
+  /// the queue's waiter (back-pressure actually blocking a producer).
+  std::uint64_t QueueParks = 0;
   /// Event arena (async mode): distinct payloads resident — strings,
   /// stacks, kernel/tensor descriptors interned once and shared by
   /// every lane.
@@ -141,6 +147,16 @@ struct ProcessorStats {
   /// Event arena: intern lookups that found an existing payload — each
   /// one an allocation (and its per-lane copies) avoided.
   std::uint64_t ArenaHits = 0;
+  /// Event arena: subset of ArenaHits served by the thread-local memo
+  /// with zero lock acquisitions.
+  std::uint64_t ArenaMemoHits = 0;
+  /// Event arena: shard lock acquisitions that found the lock held.
+  std::uint64_t ArenaShardContention = 0;
+  /// Event arena: payloads admitted past the MaxBytes guard rail as
+  /// per-event pins (not deduplicated).
+  std::uint64_t ArenaEvictedFallbacks = 0;
+  /// Event arena: content-hash shards the intern tables split into.
+  std::uint64_t ArenaShards = 0;
 };
 
 /// Per-lane counter snapshot (merged into ProcessorStats by stats()).
@@ -169,6 +185,19 @@ struct ProcessorOptions {
   /// tools are pinned round-robin; ShardByDevice/Concurrent tools run on
   /// each event's home lane.
   std::size_t DispatchThreads = 1;
+  /// Iterations a full-ring producer (or empty-ring lane consumer)
+  /// spins before parking; 0 parks immediately — the default on
+  /// single-core hosts (PASTA_QUEUE_SPINS).
+  std::size_t QueueSpinIterations = defaultQueueSpinIterations();
+  /// Content-hash shards for the payload arena's intern tables (0 =
+  /// hardware-concurrency-derived default; PASTA_ARENA_SHARDS).
+  std::size_t ArenaShards = 0;
+  /// Thread-local intern memo in front of the arena shards
+  /// (PASTA_ARENA_MEMO; disable to measure or to cap per-thread state).
+  bool ArenaMemo = true;
+  /// Resident arena payload byte cap, 0 = unlimited
+  /// (PASTA_ARENA_MAX_BYTES); past it, new payloads are per-event pins.
+  std::uint64_t ArenaMaxBytes = 0;
 };
 
 /// Preprocessing + dispatch layer between the event handler and tools.

@@ -1,4 +1,4 @@
-//===- pasta/EventQueue.h - Bounded MPSC event queue ------------*- C++ -*-===//
+//===- pasta/EventQueue.h - Ticketed MPSC ring queue ------------*- C++ -*-===//
 //
 // Part of the PASTA reproduction, under the MIT license.
 //
@@ -7,14 +7,35 @@
 /// \file
 /// The buffer between event collection and tool analysis (paper §III-B's
 /// dispatch unit, made concurrent): a bounded multi-producer /
-/// single-consumer queue of normalized Events. The processor runs one
+/// single-consumer *ring* of normalized Events. The processor runs one
 /// queue per dispatch lane; producers are the runtime/handler threads
 /// calling EventProcessor::process(), the single consumer is the owning
-/// lane's thread, which drains whole batches at a time (double
-/// buffering: the consumer swaps the producing buffer out under the
-/// lock and dispatches it lock-free). Events arrive with arena-interned
-/// payloads, so buffering and batching shuffle refcounted handles, not
-/// payload bytes.
+/// lane's thread, which drains whole batches at a time. Events arrive
+/// with arena-interned payloads, so buffering and batching shuffle
+/// refcounted handles, not payload bytes.
+///
+/// Admission protocol (the low-contention producer path):
+///
+///  * Producers *claim* a slot by taking a ticket — an atomic fetch-add
+///    on the tail for admissions that cannot fail (Block policy,
+///    critical events), a fullness-checked CAS for lossy policies (so a
+///    DropNewest producer never claims a slot it would have to stall
+///    on). No lock is taken on the admission fast path.
+///  * A claimed slot is *published* by storing the ticket+1 into the
+///    slot's sequence number (release); the consumer recognizes
+///    published slots by that sequence and frees them by storing
+///    ticket+ring-size after moving the event out. Per-producer FIFO
+///    order follows from ticket order.
+///  * When the ring is actually full, Block/Sample producers spin
+///    briefly and then park on a futex-style waiter (mutex+condvar,
+///    entered only on this slow path). The consumer wakes parked
+///    producers only when someone is actually parked — batch drains no
+///    longer broadcast to empty waiter lists (see counters Spins/Parks).
+///
+/// The consumer still drains double-buffered batches: dequeueBatch moves
+/// every contiguously published slot into the caller's vector and
+/// dispatches it lock-free; waitDrained() synchronizes on "ring empty
+/// and the consumer between batches", exactly as before.
 ///
 /// When the queue is full, one of three overflow policies applies:
 ///
@@ -34,8 +55,10 @@
 
 #include "pasta/Events.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -57,24 +80,48 @@ const char *overflowPolicyName(OverflowPolicy Policy);
 /// "sample"); nullopt when unknown.
 std::optional<OverflowPolicy> parseOverflowPolicy(const std::string &Name);
 
+/// Default spin window before a full-ring producer (or empty-ring
+/// consumer) parks: 64 iterations on multi-core hosts, 0 on single-core
+/// ones — spinning there only delays the thread that would free the
+/// ring.
+std::size_t defaultQueueSpinIterations();
+
 /// Monotonic counters; snapshot via EventQueue::counters().
 struct EventQueueCounters {
   std::uint64_t Enqueued = 0;
   std::uint64_t Dropped = 0;
   std::uint64_t SampledOut = 0;
-  /// High-water mark of the producing buffer.
+  /// High-water mark of occupied ring slots.
   std::uint64_t MaxDepth = 0;
   /// Batches handed to the consumer.
   std::uint64_t Batches = 0;
+  /// Enqueues that found the ring full and entered the spin window.
+  std::uint64_t Spins = 0;
+  /// Enqueues that exhausted the spin window and parked on the waiter.
+  std::uint64_t Parks = 0;
 };
 
-/// Bounded MPSC queue with batched, double-buffered consumption.
+/// Bounded ticketed MPSC ring with batched, double-buffered consumption.
 class EventQueue {
 public:
-  /// \p Capacity bounds the producing buffer (> 0); \p SampleEveryN is
-  /// the Sample policy's N (> 0, ignored by the other policies).
+  /// The ring preallocates its slots (unlike the old growable buffer),
+  /// so the capacity is clamped to this many events (65536; ~tens of MB
+  /// per lane) — capacity() reports the clamped figure. Depths past a
+  /// few thousand showed no benefit in bench_ablation_async_queue long
+  /// before this bound.
+  static constexpr std::size_t MaxCapacity = std::size_t(1) << 16;
+
+  /// \p Capacity bounds the number of buffered events (> 0, clamped to
+  /// MaxCapacity; the backing ring rounds up to a power of two but
+  /// admission enforces the exact figure); \p SampleEveryN is the
+  /// Sample policy's N (> 0, ignored by the other policies).
+  /// \p SpinIterations is how long a full-ring producer (or an
+  /// empty-ring consumer) spins before parking; 0 parks immediately —
+  /// the right call on single-core hosts.
   EventQueue(std::size_t Capacity, OverflowPolicy Policy,
-             std::uint64_t SampleEveryN);
+             std::uint64_t SampleEveryN,
+             std::size_t SpinIterations = defaultQueueSpinIterations());
+  ~EventQueue();
 
   EventQueue(const EventQueue &) = delete;
   EventQueue &operator=(const EventQueue &) = delete;
@@ -84,26 +131,30 @@ public:
   /// class, barriers) bypass the lossy policies: they wait for space like
   /// Block so allocation/tensor views stay consistent under loss.
   /// When \p InternOnAdmit is set, the event's payloads are interned
-  /// into that arena only once the event is actually admitted —
+  /// into that arena only once the event's slot claim succeeded —
   /// single-lane routes use this so events discarded by a lossy policy
   /// never allocate or touch the arena (multi-lane fan-out interns
   /// before enqueueing instead, because the per-lane copies must share).
   void enqueue(Event E, bool Critical = false,
                EventArena *InternOnAdmit = nullptr);
 
-  /// Consumer side: swaps the producing buffer into \p Batch, blocking
-  /// until events are available. Returns false when the queue is closed
-  /// and fully drained. Calling dequeueBatch also marks the previous
-  /// batch as fully dispatched (the consumer is "idle" while blocked
-  /// here), which is what waitDrained() synchronizes on.
+  /// Consumer side: moves every contiguously published event into
+  /// \p Batch, blocking until events are available. Returns false when
+  /// the queue is closed and fully drained. Calling dequeueBatch also
+  /// marks the previous batch as fully dispatched (the consumer is
+  /// "idle" while blocked here), which is what waitDrained()
+  /// synchronizes on.
   bool dequeueBatch(std::vector<Event> &Batch);
 
-  /// Blocks until every enqueued event has been dispatched (queue empty
+  /// Blocks until every claimed event has been dispatched (ring empty
   /// AND the consumer is between batches). Producer-side flush barrier.
   void waitDrained();
 
-  /// Ends the stream: the consumer drains what is queued, then
-  /// dequeueBatch returns false. Idempotent.
+  /// Ends the stream: the consumer drains what is claimed, then
+  /// dequeueBatch returns false. Idempotent. Producers parked for space
+  /// at close time still publish (their events are delivered rather
+  /// than torn out of the ticket sequence); enqueues *arriving* after
+  /// close are discarded and counted.
   void close();
 
   std::size_t capacity() const { return Capacity; }
@@ -111,19 +162,95 @@ public:
   EventQueueCounters counters() const;
 
 private:
+  /// One ring slot. Seq encodes the publication protocol: == ticket
+  /// means free for that ticket's producer, == ticket+1 means published,
+  /// == ticket+RingSize means consumed (free for the next lap).
+  struct Slot {
+    std::atomic<std::uint64_t> Seq{0};
+    Event E;
+  };
+
+  Slot &slot(std::uint64_t Ticket) {
+    return Ring[static_cast<std::size_t>(Ticket) & RingMask];
+  }
+
+  /// Claims the next ticket with a fetch-add; nullopt when the queue
+  /// was closed before the claim (the increment is repaired and the
+  /// event counted as dropped).
+  std::optional<std::uint64_t> claimTicket();
+
+  /// Publishes \p E into the slot claimed by \p Ticket (interning first
+  /// when the admission deferred it) and wakes a parked consumer.
+  void publish(std::uint64_t Ticket, Event &&E, EventArena *InternOnAdmit);
+
+  /// Spin-then-park until \p Ticket's slot has space
+  /// (Ticket - Head < Capacity). Slow path only.
+  void awaitSpace(std::uint64_t Ticket);
+
+  /// Wakes drain waiters if the queue is drained and anyone waits.
+  void notifyDrainedIfIdle();
+
   const std::size_t Capacity;
   const OverflowPolicy Policy;
   const std::uint64_t SampleEveryN;
+  const std::size_t SpinIterations;
+  std::size_t RingMask = 0;
+  /// The ring storage (power-of-two sized, >= Capacity).
+  std::vector<Slot> Ring;
 
-  mutable std::mutex Mutex;
-  std::condition_variable NotEmpty; ///< consumer waits for events
-  std::condition_variable NotFull;  ///< Block/Sample producers wait here
+  /// close() sets this bit in Tail with one fetch_or, making closure
+  /// atomic with ticket claims in Tail's modification order: a claim
+  /// either precedes the close (its event is delivered before the
+  /// consumer can observe closed-and-drained) or observes the bit and
+  /// voids itself (counted dropped, increment repaired). Without this,
+  /// an enqueue racing close() could publish into a ring whose consumer
+  /// already exited — losing the event and hanging waitDrained().
+  static constexpr std::uint64_t ClosedBit = std::uint64_t(1) << 63;
+
+  static bool isClosed(std::uint64_t TailWord) {
+    return (TailWord & ClosedBit) != 0;
+  }
+  static std::uint64_t ticketOf(std::uint64_t TailWord) {
+    return TailWord & ~ClosedBit;
+  }
+
+  /// Next ticket to claim (plus ClosedBit once closed). fetch-add for
+  /// must-admit paths, CAS for lossy ones.
+  std::atomic<std::uint64_t> Tail{0};
+  /// First unconsumed ticket; published by the consumer after freeing a
+  /// batch's slots.
+  std::atomic<std::uint64_t> Head{0};
+  /// True while the consumer is between batches (blocked in
+  /// dequeueBatch); waitDrained synchronizes on it.
+  std::atomic<bool> ConsumerIdle{true};
+  /// True while the consumer is parked on NotEmpty — producers only
+  /// take the wait mutex to wake it when it actually is.
+  std::atomic<bool> ConsumerParked{false};
+  /// Producers parked on NotFull / threads parked in waitDrained.
+  /// Wakeups are targeted: the consumer skips the mutex+notify entirely
+  /// when these are zero (the common case), so batch drains no longer
+  /// thundering-herd empty waiter lists.
+  std::atomic<std::uint32_t> ParkedProducers{0};
+  std::atomic<std::uint32_t> DrainWaiters{0};
+  /// Sample policy's modular counter.
+  std::atomic<std::uint64_t> OverflowSeen{0};
+
+  /// Enqueued is not here: it is derived from Tail (every claim
+  /// publishes), keeping the admission fast path at one atomic RMW.
+  struct {
+    std::atomic<std::uint64_t> Dropped{0};
+    std::atomic<std::uint64_t> SampledOut{0};
+    std::atomic<std::uint64_t> MaxDepth{0};
+    std::atomic<std::uint64_t> Batches{0};
+    std::atomic<std::uint64_t> Spins{0};
+    std::atomic<std::uint64_t> Parks{0};
+  } Counters;
+
+  /// Slow-path parking only; never taken on the admission fast path.
+  std::mutex WaitMutex;
+  std::condition_variable NotEmpty; ///< parked consumer
+  std::condition_variable NotFull;  ///< parked Block/Sample producers
   std::condition_variable Drained;  ///< waitDrained() waiters
-  std::vector<Event> Buffer;
-  EventQueueCounters Counters;
-  std::uint64_t OverflowSeen = 0; ///< Sample policy's modular counter
-  bool ConsumerIdle = true;
-  bool Closed = false;
 };
 
 } // namespace pasta

@@ -55,6 +55,20 @@ ProfilerOptions ProfilerOptions::fromEnv() {
                     static_cast<std::int64_t>(
                         Opts.Processor.DispatchThreads)),
           1));
+  Opts.Processor.QueueSpinIterations =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          getEnvInt("PASTA_QUEUE_SPINS",
+                    static_cast<std::int64_t>(
+                        Opts.Processor.QueueSpinIterations)),
+          0));
+  // 0 = hardware-derived default; explicit values clamp to [1, 64].
+  Opts.Processor.ArenaShards = static_cast<std::size_t>(
+      std::min<std::int64_t>(
+          std::max<std::int64_t>(getEnvInt("PASTA_ARENA_SHARDS", 0), 0),
+          64));
+  Opts.Processor.ArenaMemo = getEnvBool("PASTA_ARENA_MEMO", true);
+  Opts.Processor.ArenaMaxBytes = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(getEnvInt("PASTA_ARENA_MAX_BYTES", 0), 0));
   return Opts;
 }
 

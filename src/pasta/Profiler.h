@@ -39,8 +39,9 @@ namespace pasta {
 /// Profiler-wide options; fromEnv() resolves the paper's environment
 /// variables (PASTA_TOOL, ACCEL_PROF_ENV_SAMPLE_RATE,
 /// PASTA_TRACE_GRANULARITY, PASTA_ASYNC_EVENTS, PASTA_QUEUE_DEPTH,
-/// PASTA_OVERFLOW_POLICY, PASTA_DISPATCH_THREADS; START_GRID_ID /
-/// END_GRID_ID are read by the range filter itself).
+/// PASTA_OVERFLOW_POLICY, PASTA_DISPATCH_THREADS, PASTA_QUEUE_SPINS,
+/// PASTA_ARENA_SHARDS, PASTA_ARENA_MEMO, PASTA_ARENA_MAX_BYTES;
+/// START_GRID_ID / END_GRID_ID are read by the range filter itself).
 struct ProfilerOptions {
   TraceOptions Trace;
   /// Dispatch-unit configuration: analysis-thread width, async event

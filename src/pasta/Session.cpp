@@ -34,6 +34,9 @@ ProfilerOptions profilerOptions(const SessionOptions &Opts) {
   ProfOpts.Processor.Overflow = Opts.Overflow;
   ProfOpts.Processor.SampleEveryN = Opts.SampleEveryN;
   ProfOpts.Processor.DispatchThreads = Opts.DispatchThreads;
+  ProfOpts.Processor.ArenaShards = Opts.ArenaShards;
+  ProfOpts.Processor.ArenaMemo = Opts.ArenaMemo;
+  ProfOpts.Processor.ArenaMaxBytes = Opts.ArenaMaxBytes;
   return ProfOpts;
 }
 
@@ -205,6 +208,10 @@ std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
   }
   if (Opts.DispatchThreads == 0 || Opts.DispatchThreads > 64) {
     Err.assign("dispatch thread count must be in [1, 64]");
+    return nullptr;
+  }
+  if (Opts.ArenaShards > 64) {
+    Err.assign("arena shard count must be in [1, 64] (0 = auto)");
     return nullptr;
   }
 

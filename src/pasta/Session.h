@@ -96,6 +96,14 @@ struct SessionOptions {
   /// pinned round-robin, ShardByDevice/Concurrent tools run on each
   /// event's home lane.
   std::size_t DispatchThreads = ProcessorOptions().DispatchThreads;
+  /// Content-hash shards for the payload arena's intern tables (0 =
+  /// hardware-concurrency-derived default, clamped to [1, 64]).
+  std::size_t ArenaShards = ProcessorOptions().ArenaShards;
+  /// Thread-local intern memo in front of the arena shards.
+  bool ArenaMemo = ProcessorOptions().ArenaMemo;
+  /// Resident arena payload byte cap (0 = unlimited); past it, new
+  /// payloads fall back to per-event owned pins and are counted.
+  std::uint64_t ArenaMaxBytes = ProcessorOptions().ArenaMaxBytes;
   /// When false, the backend enables everything it supports regardless of
   /// tool requirements (legacy Profiler behavior).
   bool Negotiate = true;
@@ -293,6 +301,26 @@ public:
   /// tools stay pinned to one.
   SessionBuilder &dispatchThreads(std::size_t Threads) {
     Opts.DispatchThreads = Threads;
+    return *this;
+  }
+  /// Content-hash shards for the payload arena (0 = hardware-derived
+  /// default). More shards cut admission contention when many producer
+  /// threads intern string-bearing events concurrently.
+  SessionBuilder &arenaShards(std::size_t Shards) {
+    Opts.ArenaShards = Shards;
+    return *this;
+  }
+  /// Toggles the thread-local intern memo in front of the arena shards
+  /// (on by default; repeated payloads resolve with zero locks).
+  SessionBuilder &arenaMemo(bool Enabled = true) {
+    Opts.ArenaMemo = Enabled;
+    return *this;
+  }
+  /// Caps resident arena payload bytes (0 = unlimited). Past the cap,
+  /// new payloads are admitted as per-event owned pins and counted as
+  /// arena.evicted_fallbacks.
+  SessionBuilder &arenaMaxBytes(std::uint64_t Bytes) {
+    Opts.ArenaMaxBytes = Bytes;
     return *this;
   }
   SessionBuilder &negotiate(bool Enabled) {

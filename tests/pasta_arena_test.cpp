@@ -181,6 +181,186 @@ TEST(EventArenaTest, RetainPointeesShimIsIdempotentAfterIntern) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sharded tables + memo + guard rail (ArenaShardTest.* runs under TSan)
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaShardTest, ShardCountResolution) {
+  EXPECT_EQ(EventArena().shardCount(), EventArena::defaultShardCount());
+  EventArenaOptions Three;
+  Three.Shards = 3;
+  EXPECT_EQ(EventArena(Three).shardCount(), 3u);
+  EventArenaOptions Huge;
+  Huge.Shards = 200;
+  EXPECT_EQ(EventArena(Huge).shardCount(), 64u);
+}
+
+TEST(ArenaShardTest, SingleShardMemoDisabledStillCanonicalizes) {
+  // The PR 4 shape (one table mutex, no memo) must keep full dedup
+  // semantics — it is the bench baseline and a supported config.
+  EventArenaOptions Opts;
+  Opts.Shards = 1;
+  Opts.InternMemo = false;
+  EventArena Arena(Opts);
+
+  constexpr int ThreadCount = 4;
+  std::vector<PayloadString> Results(ThreadCount);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([&Arena, &Results, T] {
+      for (int I = 0; I < 200; ++I)
+        Results[static_cast<std::size_t>(T)] =
+            Arena.internString(PayloadString("aten::softmax"));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int T = 1; T < ThreadCount; ++T)
+    EXPECT_TRUE(Results[0].sharesStorageWith(
+        Results[static_cast<std::size_t>(T)]));
+  EventArenaStats Stats = Arena.stats();
+  EXPECT_EQ(Stats.Strings, 1u);
+  EXPECT_EQ(Stats.MemoHits, 0u) << "memo disabled";
+  EXPECT_EQ(Stats.Shards, 1u);
+}
+
+TEST(ArenaShardTest, MemoHitsRepeatedPayloadsWithoutTouchingShards) {
+  EventArena Arena;
+  PayloadString First = Arena.internString(PayloadString("aten::gelu"));
+  for (int I = 0; I < 50; ++I) {
+    PayloadString Again = Arena.internString(PayloadString("aten::gelu"));
+    EXPECT_TRUE(Again.sharesStorageWith(First));
+  }
+  EventArenaStats Stats = Arena.stats();
+  EXPECT_EQ(Stats.Strings, 1u);
+  EXPECT_EQ(Stats.Hits, 50u);
+  EXPECT_EQ(Stats.MemoHits, 50u)
+      << "same-thread repeats must resolve in the thread-local memo";
+}
+
+TEST(ArenaShardTest, ConcurrentProducersOverDistinctPayloadSets) {
+  // Distinct payloads from concurrent producers spread over the shards;
+  // the resident count must be exact (no duplicates, no losses).
+  EventArenaOptions Opts;
+  Opts.Shards = 8;
+  EventArena Arena(Opts);
+
+  constexpr int ThreadCount = 4;
+  constexpr int PerThread = 64;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([&Arena, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        // Half private to this thread, half shared across threads.
+        std::string Name =
+            I % 2 == 0 ? "shared::op_" + std::to_string(I)
+                       : "private::t" + std::to_string(T) + "_op_" +
+                             std::to_string(I);
+        Event E;
+        E.Kind = EventKind::OperatorStart;
+        E.OpName = Name;
+        Arena.intern(E);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EventArenaStats Stats = Arena.stats();
+  EXPECT_EQ(Stats.Strings,
+            PerThread / 2 + ThreadCount * (PerThread / 2));
+  EXPECT_EQ(Stats.Shards, 8u);
+}
+
+TEST(ArenaShardTest, MaxBytesFallsBackToPerEventPins) {
+  EventArenaOptions Opts;
+  Opts.Shards = 1;
+  Opts.InternMemo = false;
+  Opts.MaxBytes = 16; // fits one small payload, nothing more
+  EventArena Arena(Opts);
+
+  PayloadString Resident =
+      Arena.internString(PayloadString("aten::small"));
+  PayloadString ResidentAgain =
+      Arena.internString(PayloadString("aten::small"));
+  EXPECT_TRUE(Resident.sharesStorageWith(ResidentAgain))
+      << "payloads resident before the cap keep deduplicating";
+
+  // Past the cap: content stays correct, ownership stays safe, but the
+  // payload is a per-event pin — two interns do not share storage.
+  PayloadString FallbackA = Arena.internString(
+      PayloadString("aten::a_payload_past_the_cap"));
+  PayloadString FallbackB = Arena.internString(
+      PayloadString("aten::a_payload_past_the_cap"));
+  EXPECT_EQ(FallbackA, "aten::a_payload_past_the_cap");
+  EXPECT_FALSE(FallbackA.sharesStorageWith(FallbackB));
+
+  EventArenaStats Stats = Arena.stats();
+  EXPECT_EQ(Stats.Strings, 1u) << "fallbacks are not resident";
+  EXPECT_EQ(Stats.EvictedFallbacks, 2u);
+  EXPECT_LE(Stats.Bytes, 16u);
+}
+
+TEST(ArenaShardTest, MaxBytesFallbacksNeverEnterTheMemo) {
+  // With the memo ON, fallback pins must still be created (and
+  // counted) on every intern: a memoized fallback would masquerade as
+  // dedup and hide the guard-rail pathology it exists to surface.
+  EventArenaOptions Opts;
+  Opts.Shards = 1;
+  Opts.InternMemo = true;
+  Opts.MaxBytes = 16;
+  EventArena Arena(Opts);
+
+  PayloadString Resident =
+      Arena.internString(PayloadString("aten::small"));
+  PayloadString ResidentAgain =
+      Arena.internString(PayloadString("aten::small"));
+  EXPECT_TRUE(Resident.sharesStorageWith(ResidentAgain));
+
+  PayloadString FallbackA = Arena.internString(
+      PayloadString("aten::a_payload_past_the_cap"));
+  PayloadString FallbackB = Arena.internString(
+      PayloadString("aten::a_payload_past_the_cap"));
+  EXPECT_FALSE(FallbackA.sharesStorageWith(FallbackB))
+      << "a memoized fallback would wrongly dedup per-event pins";
+
+  EventArenaStats Stats = Arena.stats();
+  EXPECT_EQ(Stats.EvictedFallbacks, 2u)
+      << "every past-cap intern must be visible in the counter";
+  EXPECT_EQ(Stats.Strings, 1u);
+}
+
+TEST(ArenaShardTest, MemoReleasesHandlesAfterArenaDeath) {
+  // The thread-local memo must not pin a dead arena's payloads for the
+  // thread's remaining lifetime: the next intern after any arena death
+  // purges stale entries.
+  std::weak_ptr<const std::string> Weak;
+  {
+    EventArena Arena;
+    PayloadString S =
+        Arena.internString(PayloadString("aten::ephemeral_payload"));
+    Weak = S.handle();
+  } // arena and the local handle are gone; only the memo could remain
+  EventArena Next;
+  Next.internString(PayloadString("aten::unrelated"));
+  EXPECT_TRUE(Weak.expired());
+}
+
+TEST(ArenaShardTest, ContentHashIsCachedAndCopied) {
+  PayloadString S("aten::conv2d");
+  std::uint64_t Hash = S.contentHash();
+  EXPECT_NE(Hash, 0u);
+  PayloadString Copy = S;
+  EXPECT_EQ(Copy.contentHash(), Hash);
+  S = "aten::linear"; // reassignment must invalidate the cache
+  EXPECT_NE(S.contentHash(), Hash);
+
+  PayloadStack Stack({"f0", "f1"});
+  std::uint64_t StackHash = Stack.contentHash();
+  PayloadStack StackCopy = Stack;
+  EXPECT_EQ(StackCopy.contentHash(), StackHash);
+  EXPECT_NE(StackHash, PayloadStack({"f0", "f2"}).contentHash());
+}
+
+//===----------------------------------------------------------------------===//
 // Pipeline integration (ArenaPipeline.* is in the CI TSan filter)
 //===----------------------------------------------------------------------===//
 

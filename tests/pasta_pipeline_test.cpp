@@ -24,6 +24,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -321,6 +322,171 @@ TEST(AsyncPipeline, SampleKeepsOneInNOfTheOverflow) {
 }
 
 //===----------------------------------------------------------------------===//
+// Ticketed ring queue (RingQueueTest.* is in the CI TSan filter)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Event addressEvent(sim::DeviceAddr Address) {
+  Event E;
+  E.Kind = EventKind::MemoryCopy;
+  E.Address = Address;
+  return E;
+}
+
+} // namespace
+
+TEST(RingQueueTest, MultiProducerOrderAndConservationUnderDropChurn) {
+  // Direct queue stress: 4 producers against a slow consumer with the
+  // DropNewest policy. Per-producer FIFO must hold for whatever is
+  // delivered, producers must never block, and the conservation
+  // invariant (delivered + dropped == sent) must hold exactly.
+  constexpr std::uint64_t PerProducer = 5000;
+  constexpr std::uint64_t ProducerCount = 4;
+  EventQueue Queue(/*Capacity=*/32, OverflowPolicy::DropNewest,
+                   /*SampleEveryN=*/1, /*SpinIterations=*/4);
+
+  std::vector<sim::DeviceAddr> Delivered;
+  std::thread Consumer([&] {
+    std::vector<Event> Batch;
+    while (Queue.dequeueBatch(Batch)) {
+      for (const Event &E : Batch)
+        Delivered.push_back(E.Address);
+      std::this_thread::yield(); // keep the queue overflowing
+    }
+  });
+
+  std::vector<std::thread> Producers;
+  for (std::uint64_t P = 0; P < ProducerCount; ++P)
+    Producers.emplace_back([&Queue, P] {
+      for (std::uint64_t Seq = 0; Seq < PerProducer; ++Seq)
+        Queue.enqueue(addressEvent((P << 32) | Seq));
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Queue.close();
+  Consumer.join();
+
+  EventQueueCounters Counters = Queue.counters();
+  EXPECT_EQ(Counters.Enqueued + Counters.Dropped,
+            ProducerCount * PerProducer);
+  EXPECT_EQ(Delivered.size(), Counters.Enqueued);
+  EXPECT_GT(Counters.Dropped, 0u);
+  EXPECT_LE(Counters.MaxDepth, 32u);
+  // Per-producer order of the delivered subsequence.
+  std::uint64_t LastSeq[ProducerCount];
+  bool Seen[ProducerCount] = {false, false, false, false};
+  for (sim::DeviceAddr Address : Delivered) {
+    std::uint64_t P = Address >> 32;
+    std::uint64_t Seq = Address & 0xffffffffu;
+    ASSERT_LT(P, ProducerCount);
+    if (Seen[P]) {
+      EXPECT_GT(Seq, LastSeq[P]) << "producer " << P;
+    }
+    Seen[P] = true;
+    LastSeq[P] = Seq;
+  }
+}
+
+TEST(RingQueueTest, BlockProducersParkAndLoseNothing) {
+  // Spin window of zero: every full-ring producer parks immediately —
+  // the futex-style waiter path gets real traffic, and the drain-side
+  // targeted wakeups must release every parked producer.
+  constexpr std::uint64_t PerProducer = 2000;
+  constexpr std::uint64_t ProducerCount = 4;
+  EventQueue Queue(/*Capacity=*/8, OverflowPolicy::Block,
+                   /*SampleEveryN=*/1, /*SpinIterations=*/0);
+
+  std::atomic<std::uint64_t> Delivered{0};
+  std::thread Consumer([&] {
+    std::vector<Event> Batch;
+    while (Queue.dequeueBatch(Batch))
+      Delivered.fetch_add(Batch.size());
+  });
+
+  std::vector<std::thread> Producers;
+  for (std::uint64_t P = 0; P < ProducerCount; ++P)
+    Producers.emplace_back([&Queue] {
+      for (std::uint64_t Seq = 0; Seq < PerProducer; ++Seq)
+        Queue.enqueue(addressEvent(Seq));
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Queue.waitDrained();
+  Queue.close();
+  Consumer.join();
+
+  EventQueueCounters Counters = Queue.counters();
+  EXPECT_EQ(Delivered.load(), ProducerCount * PerProducer);
+  EXPECT_EQ(Counters.Enqueued, ProducerCount * PerProducer);
+  EXPECT_EQ(Counters.Dropped, 0u);
+  EXPECT_GT(Counters.Spins, 0u);
+  EXPECT_GT(Counters.Parks, 0u) << "depth 8 with 4 producers and spin 0 "
+                                   "must actually park";
+  EXPECT_LE(Counters.MaxDepth, 8u);
+}
+
+TEST(RingQueueTest, NonPowerOfTwoCapacityIsEnforcedExactly) {
+  // The backing ring rounds up to a power of two; the logical capacity
+  // must not.
+  EventQueue Queue(/*Capacity=*/6, OverflowPolicy::DropNewest,
+                   /*SampleEveryN=*/1, /*SpinIterations=*/0);
+  for (std::uint64_t Seq = 0; Seq < 20; ++Seq)
+    Queue.enqueue(addressEvent(Seq));
+  EventQueueCounters Counters = Queue.counters();
+  EXPECT_EQ(Counters.Enqueued, 6u);
+  EXPECT_EQ(Counters.Dropped, 14u);
+  EXPECT_EQ(Counters.MaxDepth, 6u);
+
+  std::vector<Event> Batch;
+  EXPECT_TRUE(Queue.dequeueBatch(Batch));
+  ASSERT_EQ(Batch.size(), 6u);
+  for (std::uint64_t Seq = 0; Seq < 6; ++Seq)
+    EXPECT_EQ(Batch[Seq].Address, Seq);
+}
+
+TEST(RingQueueTest, EnqueueAfterCloseIsCountedAsDropped) {
+  EventQueue Queue(/*Capacity=*/8, OverflowPolicy::Block,
+                   /*SampleEveryN=*/1);
+  Queue.enqueue(addressEvent(1));
+  Queue.enqueue(addressEvent(2));
+  Queue.close();
+  Queue.enqueue(addressEvent(3)); // arrives after close: discarded
+
+  std::vector<Event> Batch;
+  EXPECT_TRUE(Queue.dequeueBatch(Batch));
+  EXPECT_EQ(Batch.size(), 2u);
+  EXPECT_FALSE(Queue.dequeueBatch(Batch));
+
+  EventQueueCounters Counters = Queue.counters();
+  EXPECT_EQ(Counters.Enqueued, 2u);
+  EXPECT_EQ(Counters.Dropped, 1u);
+}
+
+TEST(RingQueueTest, WaitDrainedCoversDispatchNotJustDequeue) {
+  // waitDrained must hold until the consumer is *between* batches —
+  // i.e. the previous batch was fully dispatched — not merely until
+  // the ring is empty.
+  EventQueue Queue(/*Capacity=*/64, OverflowPolicy::Block,
+                   /*SampleEveryN=*/1, /*SpinIterations=*/0);
+  std::atomic<std::uint64_t> Dispatched{0};
+  std::thread Consumer([&] {
+    std::vector<Event> Batch;
+    while (Queue.dequeueBatch(Batch)) {
+      // Simulate slow dispatch: the drain barrier must wait this out.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      Dispatched.fetch_add(Batch.size());
+    }
+  });
+  for (std::uint64_t Seq = 0; Seq < 10; ++Seq)
+    Queue.enqueue(addressEvent(Seq));
+  Queue.waitDrained();
+  EXPECT_EQ(Dispatched.load(), 10u);
+  Queue.close();
+  Consumer.join();
+}
+
+//===----------------------------------------------------------------------===//
 // Declarative subscriptions + sharded dispatch
 //===----------------------------------------------------------------------===//
 
@@ -517,8 +683,11 @@ TEST(AsyncPipeline, SubscriptionOfReportsAttachedContracts) {
 namespace {
 
 /// Runs the fixed seeded workload and returns the JSON tool reports.
-/// \p DispatchThreads selects the async lane count (ignored when sync).
-std::string runFixedWorkload(bool Async, std::size_t DispatchThreads = 1) {
+/// \p DispatchThreads selects the async lane count (ignored when sync);
+/// \p ArenaShards / \p ArenaMemo configure the admission arena.
+std::string runFixedWorkload(bool Async, std::size_t DispatchThreads = 1,
+                             std::size_t ArenaShards = 0,
+                             bool ArenaMemo = true) {
   SessionError Err;
   SessionBuilder Builder;
   Builder.tool("kernel_frequency")
@@ -532,7 +701,9 @@ std::string runFixedWorkload(bool Async, std::size_t DispatchThreads = 1) {
     Builder.asyncEvents()
         .queueDepth(64)
         .overflowPolicy(OverflowPolicy::Block)
-        .dispatchThreads(DispatchThreads);
+        .dispatchThreads(DispatchThreads)
+        .arenaShards(ArenaShards)
+        .arenaMemo(ArenaMemo);
   std::unique_ptr<Session> S = Builder.build(Err);
   EXPECT_NE(S, nullptr) << Err.message();
   if (!S)
@@ -564,6 +735,18 @@ TEST(AsyncPipeline, ShardedBlockPolicyReportsAreByteIdenticalToSync) {
     std::string Sharded = runFixedWorkload(/*Async=*/true, Lanes);
     EXPECT_EQ(Sync, Sharded) << Lanes << " lanes";
   }
+}
+
+TEST(AsyncPipeline, ArenaConfigsKeepReportsByteIdentical) {
+  // The sharded arena and the intern memo are pure canonicalization
+  // mechanics: whatever the shard count or memo setting, tool reports
+  // must be byte-identical to synchronous dispatch.
+  tools::registerBuiltinTools();
+  std::string Sync = runFixedWorkload(/*Async=*/false);
+  EXPECT_EQ(Sync, runFixedWorkload(true, 2, /*ArenaShards=*/1,
+                                   /*ArenaMemo=*/false));
+  EXPECT_EQ(Sync, runFixedWorkload(true, 2, /*ArenaShards=*/8,
+                                   /*ArenaMemo=*/true));
 }
 
 TEST(AsyncPipeline, SessionSurfacesPipelineCounters) {
