@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """Run the ablation benches and record the per-PR perf trajectory.
 
-Produces a JSON artifact (default BENCH_pr5.json, checked in at the repo
-root) with the admission-path throughput sweep and counters from
-bench_ablation_admission, plus pass/fail for the other ablation benches'
-structural gates — so every PR leaves a comparable perf record instead
-of a table that scrolls away in a terminal.
+Produces a JSON artifact (default BENCH_pr6.json, checked in at the repo
+root) with the admission-path throughput sweep from
+bench_ablation_admission, the capture/replay throughput figures from
+bench_ablation_replay, the machine's hardware-thread count, plus
+pass/fail for the other ablation benches' structural gates — so every
+PR leaves a comparable perf record instead of a table that scrolls away
+in a terminal.
 
 Usage:
-  scripts/run_benches.py [--build-dir build] [--out BENCH_pr5.json]
+  scripts/run_benches.py [--build-dir build] [--out BENCH_pr6.json]
                          [--smoke]
 
---smoke runs one small repetition (500 events/producer, admission bench
-only) — CI uses it so this script cannot rot; the numbers it records are
-for harness verification, not measurement.
+--smoke runs one small repetition (500 events/producer for admission,
+2000 events for replay; no gated benches) — CI uses it so this script
+cannot rot; the numbers it records are for harness verification, not
+measurement.
 """
 
 import argparse
@@ -30,23 +33,23 @@ GATED_BENCHES = [
 ]
 
 
-def run_admission(build_dir, events):
-    exe = os.path.join(build_dir, "bench_ablation_admission")
+def run_json_bench(build_dir, name, extra_args):
+    """Run a bench that takes --json PATH; return its parsed JSON record."""
+    exe = os.path.join(build_dir, name)
     if not os.path.exists(exe):
         sys.exit(f"error: {exe} not found (build with PASTA_BUILD_BENCHES=ON)")
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         json_path = tmp.name
     try:
         proc = subprocess.run(
-            [exe, "--events", str(events), "--json", json_path],
+            [exe, *extra_args, "--json", json_path],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
         )
         sys.stdout.write(proc.stdout)
         if proc.returncode != 0:
-            sys.exit(f"error: bench_ablation_admission failed "
-                     f"(exit {proc.returncode})")
+            sys.exit(f"error: {name} failed (exit {proc.returncode})")
         with open(json_path) as handle:
             return json.load(handle)
     finally:
@@ -70,17 +73,24 @@ def run_gated(build_dir):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--out", default="BENCH_pr6.json")
     parser.add_argument("--smoke", action="store_true",
-                        help="one small repetition, admission bench only "
-                             "(CI harness check, not a measurement)")
+                        help="one small repetition, admission + replay "
+                             "benches only (CI harness check, not a "
+                             "measurement)")
     args = parser.parse_args()
 
-    events = 500 if args.smoke else 20000
+    admission_events = 500 if args.smoke else 20000
+    replay_events = 2000 if args.smoke else 200000
     record = {
-        "pr": 5,
+        "pr": 6,
         "smoke": args.smoke,
-        "admission": run_admission(args.build_dir, events),
+        "hardware_threads": os.cpu_count(),
+        "admission": run_json_bench(args.build_dir,
+                                    "bench_ablation_admission",
+                                    ["--events", str(admission_events)]),
+        "replay": run_json_bench(args.build_dir, "bench_ablation_replay",
+                                 ["--events", str(replay_events)]),
         "gated_benches": {} if args.smoke else run_gated(args.build_dir),
     }
 

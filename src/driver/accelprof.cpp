@@ -11,7 +11,8 @@
 //             [--prefetch none|object|tensor] [--format text|json|csv]
 //             [--async] [--queue-depth N] [--overflow block|drop|sample[:N]]
 //             [--dispatch-threads N] [--arena-shards N]
-//             [--arena-max-bytes BYTES] <model>
+//             [--arena-max-bytes BYTES] [--capture FILE] <model>
+//   accelprof -t <tool> -b replay --trace FILE [--replay-speed S]
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
@@ -19,6 +20,8 @@
 //       accelprof -t working_set -b cs-gpu --format json bert
 //       accelprof -t kernel_frequency -b cs-gpu --async --queue-depth 1024 bert
 //       accelprof -t mem_usage_timeline --async --dispatch-threads 4 bert
+//       accelprof -t kernel_frequency --capture run.trace bert
+//       accelprof -t working_set -b replay --trace run.trace
 //
 // <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
 // bert, whisper). Tools: see `accelprof --list-tools`; backends:
@@ -46,7 +49,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [-v] -t <tool> [-b cs-gpu|cs-cpu|nvbit-cpu|none]\n"
+      "usage: %s [-v] -t <tool> [-b cs-gpu|cs-cpu|nvbit-cpu|none|replay]\n"
       "          [-g A100|RTX3060|MI300X] [--train] [--iters N]\n"
       "          [--managed] [--oversub F] [--prefetch none|object|tensor]\n"
       "          [--granularity BYTES] [--sample-rate R]\n"
@@ -54,12 +57,14 @@ int usage(const char *Argv0) {
       "          [--async] [--queue-depth N]\n"
       "          [--overflow block|drop|sample[:N]]\n"
       "          [--dispatch-threads N] [--arena-shards N]\n"
-      "          [--arena-max-bytes BYTES] <model>\n"
+      "          [--arena-max-bytes BYTES]\n"
+      "          [--capture FILE] <model>\n"
+      "       %s -t <tool> -b replay --trace FILE [--replay-speed S]\n"
       "       %s --list-tools | --list-backends\n"
       "\n"
       "Every knob (flags, PASTA_* environment variables, SessionBuilder\n"
       "equivalents) is documented with tuning guidance in docs/TUNING.md.\n",
-      Argv0, Argv0);
+      Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -96,9 +101,14 @@ int listTools() {
 
 int listBackends() {
   std::printf("available backends:\n");
-  for (const std::string &Name :
-       BackendRegistry::instance().registeredNames())
-    std::printf("  %s\n", Name.c_str());
+  const BackendRegistry &Registry = BackendRegistry::instance();
+  for (const std::string &Name : Registry.registeredNames()) {
+    std::string Description = Registry.description(Name);
+    if (Description.empty())
+      std::printf("  %s\n", Name.c_str());
+    else
+      std::printf("  %-10s %s\n", Name.c_str(), Description.c_str());
+  }
   return 0;
 }
 
@@ -122,6 +132,7 @@ int main(int Argc, char **Argv) {
   SessionBuilder Builder;
   std::string ToolName;
   std::string Model;
+  std::string BackendName = "none";
   bool Verbose = false;
   bool Async = false;
   double Oversub = 0.0;
@@ -144,9 +155,22 @@ int main(int Argc, char **Argv) {
       Verbose = true;
     } else if (Arg == "-t") {
       ToolName = NextValue("-t");
-    } else if (Arg == "-b") {
+    } else if (Arg == "-b" || Arg == "--backend") {
       // Backend names are validated by the registry at build() time.
-      Builder.backend(NextValue("-b"));
+      BackendName = NextValue("-b");
+      Builder.backend(BackendName);
+    } else if (Arg == "--capture") {
+      Builder.capture(NextValue("--capture"));
+    } else if (Arg == "--trace") {
+      Builder.trace(NextValue("--trace"));
+    } else if (Arg == "--replay-speed") {
+      double Speed = std::atof(NextValue("--replay-speed"));
+      if (Speed < 0.0) {
+        std::fprintf(stderr,
+                     "error: --replay-speed must be >= 0 (0 = full speed)\n");
+        return 2;
+      }
+      Builder.replaySpeed(Speed);
     } else if (Arg == "-g") {
       Builder.gpu(NextValue("-g"));
     } else if (Arg == "--train") {
@@ -269,9 +293,12 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (Model.empty())
+  // Replay sessions take their events from the trace; the model
+  // positional is meaningless there and may be omitted.
+  if (Model.empty() && BackendName != "replay")
     return usage(Argv[0]);
-  Builder.model(Model);
+  if (!Model.empty())
+    Builder.model(Model);
   if (ToolName.empty())
     ToolName = getEnvString("PASTA_TOOL", "kernel_frequency");
   Builder.tool(ToolName);

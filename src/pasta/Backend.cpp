@@ -8,6 +8,7 @@
 
 #include "cuda/CudaBackend.h"
 #include "hip/HipBackend.h"
+#include "pasta/ReplayBackend.h"
 #include "support/Format.h"
 #include "support/Logging.h"
 
@@ -23,7 +24,14 @@ BackendRegistry &BackendRegistry::instance() {
 
 void BackendRegistry::registerBackend(const std::string &Name,
                                       Factory MakeBackend) {
-  auto [It, Inserted] = Factories.emplace(Name, std::move(MakeBackend));
+  registerBackend(Name, std::string(), std::move(MakeBackend));
+}
+
+void BackendRegistry::registerBackend(const std::string &Name,
+                                      std::string Description,
+                                      Factory MakeBackend) {
+  auto [It, Inserted] = Factories.emplace(
+      Name, Entry{std::move(MakeBackend), std::move(Description)});
   if (!Inserted)
     logWarning("backend registered twice: " + Name);
 }
@@ -38,15 +46,20 @@ BackendRegistry::create(const std::string &Name, sim::VendorKind Vendor,
                (Known.empty() ? "<none>" : join(Known, ", ")));
     return nullptr;
   }
-  return It->second(Vendor, Err);
+  return It->second.MakeBackend(Vendor, Err);
 }
 
 std::vector<std::string> BackendRegistry::registeredNames() const {
   std::vector<std::string> Names;
   Names.reserve(Factories.size());
-  for (const auto &[Name, Factory] : Factories)
+  for (const auto &[Name, Entry] : Factories)
     Names.push_back(Name);
   return Names;
+}
+
+std::string BackendRegistry::description(const std::string &Name) const {
+  auto It = Factories.find(Name);
+  return It == Factories.end() ? std::string() : It->second.Description;
 }
 
 void pasta::registerBuiltinBackends() {
@@ -68,13 +81,21 @@ void pasta::registerBuiltinBackends() {
   };
 
   BackendRegistry &Registry = BackendRegistry::instance();
-  Registry.registerBackend("none", PerVendor("none", TraceBackend::None));
+  Registry.registerBackend("none",
+                           "coarse host-API events only, no device "
+                           "instrumentation",
+                           PerVendor("none", TraceBackend::None));
   Registry.registerBackend("cs-gpu",
+                           "Sanitizer/ROCprofiler-style GPU-resident "
+                           "collect-and-analyze instrumentation",
                            PerVendor("cs-gpu", TraceBackend::SanitizerGpu));
   Registry.registerBackend("cs-cpu",
+                           "Sanitizer/ROCprofiler-style instrumentation, "
+                           "records analyzed on the host",
                            PerVendor("cs-cpu", TraceBackend::SanitizerCpu));
   Registry.registerBackend(
       "nvbit-cpu",
+      "NVBit-style full-SASS coverage with host analysis (NVIDIA-only)",
       [](sim::VendorKind Vendor,
          SessionError &Err) -> std::unique_ptr<PlatformBackend> {
         if (Vendor != sim::VendorKind::NVIDIA) {
@@ -84,5 +105,17 @@ void pasta::registerBuiltinBackends() {
         }
         return std::make_unique<cuda::CudaBackend>("nvbit-cpu",
                                                    TraceBackend::NvbitCpu);
+      });
+  Registry.registerBackend(
+      "replay",
+      "re-admits a captured binary trace (--trace <file>) through the "
+      "normal event pipeline",
+      [PerVendor](sim::VendorKind Vendor,
+                  SessionError &Err) -> std::unique_ptr<PlatformBackend> {
+        std::unique_ptr<PlatformBackend> Inner =
+            PerVendor("none", TraceBackend::None)(Vendor, Err);
+        if (!Inner)
+          return nullptr;
+        return std::make_unique<ReplayBackend>(Vendor, std::move(Inner));
       });
 }

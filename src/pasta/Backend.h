@@ -78,6 +78,10 @@ public:
   static BackendRegistry &instance();
 
   void registerBackend(const std::string &Name, Factory MakeBackend);
+  /// Registration with a one-line description for --list-backends style
+  /// listings.
+  void registerBackend(const std::string &Name, std::string Description,
+                       Factory MakeBackend);
 
   /// Creates the adapter for \p Name on \p Vendor; null on failure with
   /// \p Err describing the problem (unknown name lists the sorted
@@ -89,13 +93,22 @@ public:
   /// Names in sorted order.
   std::vector<std::string> registeredNames() const;
 
+  /// The one-line description \p Name was registered with ("" when
+  /// unknown or registered without one).
+  std::string description(const std::string &Name) const;
+
 private:
-  std::map<std::string, Factory> Factories;
+  struct Entry {
+    Factory MakeBackend;
+    std::string Description;
+  };
+  std::map<std::string, Entry> Factories;
 };
 
 /// Idempotent registration of the built-in backends: "none", "cs-gpu",
-/// "cs-cpu" (Sanitizer/ROCprofiler per vendor) and "nvbit-cpu"
-/// (NVIDIA-only).
+/// "cs-cpu" (Sanitizer/ROCprofiler per vendor), "nvbit-cpu"
+/// (NVIDIA-only) and "replay" (re-admits a captured binary trace; see
+/// ReplayBackend.h).
 void registerBuiltinBackends();
 
 } // namespace pasta

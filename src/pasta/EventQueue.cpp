@@ -26,6 +26,7 @@
 #include "pasta/EventArena.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <thread>
@@ -68,6 +69,35 @@ std::size_t roundUpPow2(std::size_t Value) {
   return Pow;
 }
 
+/// Queue ids are process-unique so a thread-local memo entry can never
+/// mistake a new queue at a recycled address for the one it counted
+/// overflow for (the EventArena intern-memo pattern).
+std::atomic<std::uint64_t> NextQueueId{1};
+
+/// Per-producer Sample-policy state: each producer thread counts the
+/// overflow *it* sees for each queue, so the sampled-out fast path is
+/// write-free outside the thread (only the SampledOut accounting counter
+/// is shared, and only on the discard branch). Direct-mapped by queue
+/// id; a collision between two live queues merely resets a count — the
+/// sampling cadence restarts, accounting stays exact (every discarded
+/// event still increments SampledOut).
+struct SampleMemoEntry {
+  std::uint64_t QueueId = 0;
+  std::uint64_t Seen = 0;
+};
+
+constexpr std::size_t SampleMemoSlots = 16;
+
+SampleMemoEntry &sampleMemoFor(std::uint64_t QueueId) {
+  thread_local std::array<SampleMemoEntry, SampleMemoSlots> Memo;
+  SampleMemoEntry &Entry = Memo[QueueId % SampleMemoSlots];
+  if (Entry.QueueId != QueueId) {
+    Entry.QueueId = QueueId;
+    Entry.Seen = 0;
+  }
+  return Entry;
+}
+
 } // namespace
 
 EventQueue::EventQueue(std::size_t Capacity, OverflowPolicy Policy,
@@ -75,7 +105,8 @@ EventQueue::EventQueue(std::size_t Capacity, OverflowPolicy Policy,
                        std::size_t SpinIterations)
     : Capacity(std::min<std::size_t>(Capacity, MaxCapacity)),
       Policy(Policy), SampleEveryN(SampleEveryN),
-      SpinIterations(SpinIterations) {
+      SpinIterations(SpinIterations),
+      Id(NextQueueId.fetch_add(1, std::memory_order_relaxed)) {
   assert(Capacity > 0 && "queue depth must be positive");
   assert(SampleEveryN > 0 && "sample modulus must be positive");
   std::size_t RingSize = roundUpPow2(this->Capacity);
@@ -152,9 +183,11 @@ void EventQueue::enqueue(Event E, bool Critical,
         // the Nth is admitted, waiting for space like Block. Sampling
         // before blocking means a stalled consumer still accumulates
         // sampled-out counts instead of wedging the producer on the
-        // very first overflow.
-        std::uint64_t Seen =
-            OverflowSeen.fetch_add(1, std::memory_order_relaxed) + 1;
+        // very first overflow. The modular counter is per producer
+        // thread (see sampleMemoFor): each producer keeps 1/N of the
+        // overflow it sees, with no shared write on the discard path
+        // beyond the SampledOut accounting counter.
+        std::uint64_t Seen = ++sampleMemoFor(Id).Seen;
         if (Seen % SampleEveryN != 0) {
           Counters.SampledOut.fetch_add(1, std::memory_order_relaxed);
           return;

@@ -46,7 +46,13 @@
 ///                 application never stalls.
 ///  * Sample     — 1/N of overflowing events are admitted (waiting for
 ///                 space like Block), the other N-1 are counted as
-///                 sampled out; a statistical middle ground.
+///                 sampled out; a statistical middle ground. The modular
+///                 counter is *per producer thread* (a thread-local memo
+///                 keyed by the queue's process-unique id, mirroring the
+///                 arena's intern memo), so the sampled-out fast path
+///                 performs no shared write at all — each producer
+///                 independently keeps 1/N of the overflow it produces,
+///                 and only the SampledOut accounting counter is shared.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -194,6 +200,10 @@ private:
   const OverflowPolicy Policy;
   const std::uint64_t SampleEveryN;
   const std::size_t SpinIterations;
+  /// Process-unique id tagging this queue's per-producer Sample-counter
+  /// memo entries (a recycled heap address must not revive a dead
+  /// queue's overflow count; same pattern as EventArena's intern memo).
+  const std::uint64_t Id;
   std::size_t RingMask = 0;
   /// The ring storage (power-of-two sized, >= Capacity).
   std::vector<Slot> Ring;
@@ -232,8 +242,10 @@ private:
   /// thundering-herd empty waiter lists.
   std::atomic<std::uint32_t> ParkedProducers{0};
   std::atomic<std::uint32_t> DrainWaiters{0};
-  /// Sample policy's modular counter.
-  std::atomic<std::uint64_t> OverflowSeen{0};
+  // The Sample policy's modular counter lives in a thread-local memo
+  // keyed by Id (see EventQueue.cpp), not here: the sampled-out path is
+  // the *lossy* fast path, and a shared atomic counter on it was the
+  // last cross-producer write on lossy admission.
 
   /// Enqueued is not here: it is derived from Tail (every claim
   /// publishes), keeping the admission fast path at one atomic RMW.

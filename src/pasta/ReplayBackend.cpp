@@ -1,0 +1,74 @@
+//===- pasta/ReplayBackend.cpp --------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/ReplayBackend.h"
+
+#include "dl/Backend.h"
+#include "pasta/EventProcessor.h"
+#include "pasta/Events.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+using namespace pasta;
+
+ReplayBackend::ReplayBackend(sim::VendorKind Vendor,
+                             std::unique_ptr<PlatformBackend> Inner)
+    : Vendor(Vendor), Inner(std::move(Inner)) {}
+
+std::unique_ptr<dl::DeviceApi>
+ReplayBackend::createRuntime(sim::System &System, int DeviceIndex) {
+  return Inner->createRuntime(System, DeviceIndex);
+}
+
+void ReplayBackend::configure(std::string Path, double ReplaySpeed) {
+  TracePath = std::move(Path);
+  Speed = ReplaySpeed;
+}
+
+bool ReplayBackend::prepare(SessionError &Err) {
+  if (TracePath.empty()) {
+    Err.assign("backend 'replay' needs a trace file; pass --trace <file> "
+               "(SessionBuilder::trace)");
+    return false;
+  }
+  return Reader.open(TracePath, Err);
+}
+
+bool ReplayBackend::replayInto(EventProcessor &Processor, ReplayStats &Stats,
+                               SessionError &Err) {
+  if (!Reader.isOpen()) {
+    Err.assign("replay backend has no validated trace (prepare() not run)");
+    return false;
+  }
+  Stats = ReplayStats();
+  Stats.FirstTimestamp = Reader.info().FirstTimestamp;
+  Stats.LastTimestamp = Reader.info().LastTimestamp;
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point WallStart = Clock::now();
+  const std::uint64_t TraceStart = Reader.info().FirstTimestamp;
+  const double Pace = Speed;
+
+  Reader.forEachEvent(&Processor.arena(), [&](Event &E) {
+    if (Pace > 0.0 && E.Timestamp >= TraceStart) {
+      // Scaled time: admit each event when its captured offset (divided
+      // by the speed factor) has elapsed on the wall clock.
+      auto Target =
+          WallStart + std::chrono::nanoseconds(static_cast<std::uint64_t>(
+                          static_cast<double>(E.Timestamp - TraceStart) /
+                          Pace));
+      if (Clock::now() < Target)
+        std::this_thread::sleep_until(Target);
+    }
+    if (E.Kind == EventKind::KernelLaunch)
+      ++Stats.KernelLaunches;
+    Processor.process(std::move(E));
+    ++Stats.EventsReplayed;
+  });
+  return true;
+}

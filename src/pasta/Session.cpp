@@ -9,11 +9,13 @@
 #include "dl/Backend.h"
 #include "dl/Executor.h"
 #include "dl/Models.h"
+#include "pasta/ReplayBackend.h"
 #include "sim/System.h"
 #include "support/Format.h"
 #include "support/Logging.h"
 #include "support/ReportSink.h"
 #include "tools/RegisterTools.h"
+#include "tools/TraceCaptureTool.h"
 
 #include <algorithm>
 
@@ -64,6 +66,14 @@ bool Session::initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
   if (!Backend)
     return false;
 
+  // Replay sessions validate their trace now, so a truncated or corrupt
+  // file fails at build() time — before any tool has run.
+  if (auto *Replay = dynamic_cast<ReplayBackend *>(Backend.get())) {
+    Replay->configure(Opts.TracePath, Opts.ReplaySpeed);
+    if (!Replay->prepare(Err))
+      return false;
+  }
+
   // Tools join the pipeline before negotiation so requirements() sees the
   // final set.
   for (const std::string &Name : Opts.ToolNames) {
@@ -74,6 +84,12 @@ bool Session::initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
   }
   for (std::unique_ptr<Tool> &T : ExtraTools)
     Prof.addTool(std::move(T));
+  if (!Opts.CapturePath.empty()) {
+    auto Capture = std::make_unique<tools::TraceCaptureTool>(Opts.CapturePath);
+    if (!Capture->openNow(Err))
+      return false;
+    Prof.addTool(std::move(Capture));
+  }
 
   // Capability negotiation: enable only the instrumentation some tool
   // actually consumes.
@@ -99,6 +115,25 @@ bool Session::initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
 
 SessionResult
 Session::run(const std::function<void(dl::Executor &)> &Customize) {
+  // Replay sessions source their events from the captured trace, not
+  // from a model run: pump the trace through the normal admission path
+  // and synthesize RunStats from the trace's time window.
+  if (auto *Replay = dynamic_cast<ReplayBackend *>(Backend.get())) {
+    (void)Customize;
+    SessionResult Result;
+    ReplayStats Stats;
+    SessionError Err;
+    if (!Replay->replayInto(Prof.processor(), Stats, Err))
+      logWarning("replay failed: " + Err.message());
+    Result.Stats.StartTime = Stats.FirstTimestamp;
+    Result.Stats.EndTime = Stats.LastTimestamp;
+    Result.Stats.KernelsLaunched = Stats.KernelLaunches;
+    Result.ProgramKernels = Stats.KernelLaunches;
+    Result.Uvm = System->device(0).uvm().counters();
+    finish();
+    return Result;
+  }
+
   dl::ScheduleBuilder::Options BuildOpts;
   BuildOpts.Flavor = DeviceApis.front()->kernelFlavor();
   BuildOpts.Training = Opts.Training;
@@ -212,6 +247,20 @@ std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
   }
   if (Opts.ArenaShards > 64) {
     Err.assign("arena shard count must be in [1, 64] (0 = auto)");
+    return nullptr;
+  }
+  if (Opts.ReplaySpeed < 0.0) {
+    Err.assign("replay speed must be >= 0 (0 = full speed)");
+    return nullptr;
+  }
+  if (Opts.Backend == "replay" && Opts.TracePath.empty()) {
+    Err.assign("backend 'replay' needs a trace file; pass --trace <file> "
+               "(SessionBuilder::trace)");
+    return nullptr;
+  }
+  if (!Opts.TracePath.empty() && Opts.Backend != "replay") {
+    Err.assign("a trace file only makes sense with --backend replay "
+               "(got backend '" + Opts.Backend + "')");
     return nullptr;
   }
 

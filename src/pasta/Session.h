@@ -107,6 +107,16 @@ struct SessionOptions {
   /// When false, the backend enables everything it supports regardless of
   /// tool requirements (legacy Profiler behavior).
   bool Negotiate = true;
+  /// Non-empty: capture the admitted event stream into this binary trace
+  /// file (a trace_capture tool is attached automatically; see
+  /// docs/TRACE_FORMAT.md).
+  std::string CapturePath;
+  /// Trace file the "replay" backend re-admits (required with it,
+  /// rejected with any other backend).
+  std::string TracePath;
+  /// Replay pacing: 0 = full speed (default), 1.0 = captured wall-clock
+  /// spacing, 2.0 = twice as fast.
+  double ReplaySpeed = 0.0;
 };
 
 /// One profiling session: system + backend + pipeline + tools + workload.
@@ -325,6 +335,23 @@ public:
   }
   SessionBuilder &negotiate(bool Enabled) {
     Opts.Negotiate = Enabled;
+    return *this;
+  }
+  /// Captures the admitted event stream into \p Path (binary trace; a
+  /// trace_capture tool is attached automatically).
+  SessionBuilder &capture(const std::string &Path) {
+    Opts.CapturePath = Path;
+    return *this;
+  }
+  /// The trace file the "replay" backend re-admits.
+  SessionBuilder &trace(const std::string &Path) {
+    Opts.TracePath = Path;
+    return *this;
+  }
+  /// Replay pacing: 0 = full speed, 1.0 = captured spacing, 2.0 = twice
+  /// as fast.
+  SessionBuilder &replaySpeed(double Speed) {
+    Opts.ReplaySpeed = Speed;
     return *this;
   }
 

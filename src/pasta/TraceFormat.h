@@ -1,0 +1,201 @@
+//===- pasta/TraceFormat.h - Binary event-trace format ----------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk layout shared by TraceWriter and TraceReader — PASTA's
+/// capture-once, analyze-anywhere format (docs/TRACE_FORMAT.md is the
+/// narrative spec). A trace is a 16-byte header (8-byte magic
+/// "PASTATRC", u32 version, u32 flags) followed by length-prefixed
+/// records: one byte of tag, a u32 body length, then the body. Payload
+/// definitions (strings, Python stacks, kernel descriptors) appear once
+/// each, before the first event referencing them, and events reference
+/// them by u32 id — the on-disk mirror of the EventArena's content
+/// deduplication. A trailing End record carries the event and table
+/// counts; a trace without one is truncated by definition, which is what
+/// rules out silent partial replay.
+///
+/// All integers are little-endian and fixed-width. Forward compatibility
+/// rule: within one version, readers must skip records with unknown tags
+/// (the length prefix makes that possible); across versions there is no
+/// compatibility promise — a version mismatch is an error, not a guess.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_TRACEFORMAT_H
+#define PASTA_PASTA_TRACEFORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pasta {
+namespace trace {
+
+/// First eight bytes of every PASTA trace file.
+inline constexpr char Magic[8] = {'P', 'A', 'S', 'T', 'A', 'T', 'R', 'C'};
+
+/// Format version this build writes and reads. Bumped on any layout
+/// change; readers reject other versions outright.
+inline constexpr std::uint32_t Version = 1;
+
+/// Header flags word. Reserved — writers emit 0, readers reject
+/// anything else (a flipped flag bit must not be silently honored).
+inline constexpr std::uint32_t HeaderFlags = 0;
+
+/// Magic + version + flags.
+inline constexpr std::size_t HeaderSize = 16;
+
+/// Tag byte + u32 body length.
+inline constexpr std::size_t RecordPrefixSize = 5;
+
+/// Record tags. Values are part of the on-disk format; never renumber.
+enum class RecordTag : std::uint8_t {
+  /// u32 id, then the string bytes (length = body length - 4).
+  StringDef = 0x01,
+  /// u32 id, u32 frame count, then per frame a u32 length + bytes
+  /// (frames innermost-first, as PayloadStack stores them).
+  StackDef = 0x02,
+  /// u32 id, then a serialized sim::KernelDesc (see TraceWriter.cpp).
+  KernelDef = 0x03,
+  /// One normalized Event; payloads referenced by table id (0 = unset).
+  EventRecord = 0x04,
+  /// u64 event count, u32 string/stack/kernel table sizes. Required:
+  /// a trace without it is truncated.
+  End = 0x05,
+};
+
+//===----------------------------------------------------------------------===//
+// Little-endian append helpers (writer side)
+//===----------------------------------------------------------------------===//
+
+inline void appendU8(std::string &Out, std::uint8_t Value) {
+  Out.push_back(static_cast<char>(Value));
+}
+
+inline void appendU32(std::string &Out, std::uint32_t Value) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
+}
+
+inline void appendU64(std::string &Out, std::uint64_t Value) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
+}
+
+/// Signed values travel as their two's-complement bit pattern.
+inline void appendI32(std::string &Out, std::int32_t Value) {
+  appendU32(Out, static_cast<std::uint32_t>(Value));
+}
+
+inline void appendI64(std::string &Out, std::int64_t Value) {
+  appendU64(Out, static_cast<std::uint64_t>(Value));
+}
+
+/// Doubles travel as their IEEE-754 bit pattern.
+inline void appendF64(std::string &Out, double Value) {
+  std::uint64_t Bits = 0;
+  static_assert(sizeof(Bits) == sizeof(Value), "IEEE-754 double expected");
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  appendU64(Out, Bits);
+}
+
+/// u32 length prefix + raw bytes.
+inline void appendString(std::string &Out, const std::string &Value) {
+  appendU32(Out, static_cast<std::uint32_t>(Value.size()));
+  Out.append(Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounds-checked cursor (reader side)
+//===----------------------------------------------------------------------===//
+
+/// Little-endian decoder over a byte range. Every read reports success;
+/// a failed read leaves the cursor untouched so the caller can name the
+/// exact offset in its diagnostic.
+class ByteReader {
+public:
+  ByteReader(const unsigned char *Data, std::size_t Size)
+      : Data(Data), Size(Size) {}
+
+  std::size_t pos() const { return Pos; }
+  std::size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  bool readU8(std::uint8_t &Value) {
+    if (remaining() < 1)
+      return false;
+    Value = Data[Pos++];
+    return true;
+  }
+
+  bool readU32(std::uint32_t &Value) {
+    if (remaining() < 4)
+      return false;
+    Value = 0;
+    for (int Shift = 0; Shift < 32; Shift += 8)
+      Value |= static_cast<std::uint32_t>(Data[Pos++]) << Shift;
+    return true;
+  }
+
+  bool readU64(std::uint64_t &Value) {
+    if (remaining() < 8)
+      return false;
+    Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      Value |= static_cast<std::uint64_t>(Data[Pos++]) << Shift;
+    return true;
+  }
+
+  bool readI32(std::int32_t &Value) {
+    std::uint32_t Raw = 0;
+    if (!readU32(Raw))
+      return false;
+    Value = static_cast<std::int32_t>(Raw);
+    return true;
+  }
+
+  bool readI64(std::int64_t &Value) {
+    std::uint64_t Raw = 0;
+    if (!readU64(Raw))
+      return false;
+    Value = static_cast<std::int64_t>(Raw);
+    return true;
+  }
+
+  bool readF64(double &Value) {
+    std::uint64_t Bits = 0;
+    if (!readU64(Bits))
+      return false;
+    std::memcpy(&Value, &Bits, sizeof(Value));
+    return true;
+  }
+
+  /// u32 length prefix + raw bytes.
+  bool readString(std::string &Value) {
+    std::uint32_t Length = 0;
+    std::size_t Mark = Pos;
+    if (!readU32(Length) || remaining() < Length) {
+      Pos = Mark;
+      return false;
+    }
+    Value.assign(reinterpret_cast<const char *>(Data + Pos), Length);
+    Pos += Length;
+    return true;
+  }
+
+  void skip(std::size_t Count) { Pos += Count > remaining() ? remaining() : Count; }
+
+private:
+  const unsigned char *Data;
+  std::size_t Size;
+  std::size_t Pos = 0;
+};
+
+} // namespace trace
+} // namespace pasta
+
+#endif // PASTA_PASTA_TRACEFORMAT_H

@@ -1,0 +1,450 @@
+//===- pasta/TraceReader.cpp ----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/TraceReader.h"
+
+#include "pasta/Events.h"
+#include "pasta/TraceFormat.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace pasta;
+using namespace pasta::trace;
+
+namespace {
+
+std::string hex32(std::uint32_t Value) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%x", Value);
+  return Buf;
+}
+
+/// Decoded event-record fields before payload resolution. Ids are table
+/// references (0 = absent); validity against the tables is checked by
+/// the caller, which knows the current table sizes.
+struct RawEvent {
+  std::uint8_t Kind = 0;
+  std::uint8_t Vendor = 0;
+  std::int32_t DeviceIndex = 0;
+  std::uint32_t Stream = 0;
+  std::uint64_t Timestamp = 0;
+  std::uint64_t Address = 0;
+  std::uint64_t Bytes = 0;
+  std::uint8_t Managed = 0;
+  std::uint8_t Direction = 0;
+  std::uint64_t GridId = 0;
+  std::uint32_t KernelId = 0;
+  std::uint64_t PoolAllocated = 0;
+  std::uint64_t PoolReserved = 0;
+  std::uint32_t OpNameId = 0;
+  std::uint32_t LayerNameId = 0;
+  std::uint8_t Phase = 0;
+  std::uint32_t StackId = 0;
+  bool HasTensor = false;
+  dl::TensorInfo Tensor;
+};
+
+/// Parses one event-record body. Returns false (with \p Problem set) on
+/// any structural or range violation; the caller prefixes file/offset.
+bool parseEventBody(ByteReader &Cursor, RawEvent &Raw, std::string &Problem) {
+  std::uint8_t HasTensor = 0;
+  if (!Cursor.readU8(Raw.Kind) || !Cursor.readU8(Raw.Vendor) ||
+      !Cursor.readI32(Raw.DeviceIndex) || !Cursor.readU32(Raw.Stream) ||
+      !Cursor.readU64(Raw.Timestamp) || !Cursor.readU64(Raw.Address) ||
+      !Cursor.readU64(Raw.Bytes) || !Cursor.readU8(Raw.Managed) ||
+      !Cursor.readU8(Raw.Direction) || !Cursor.readU64(Raw.GridId) ||
+      !Cursor.readU32(Raw.KernelId) || !Cursor.readU64(Raw.PoolAllocated) ||
+      !Cursor.readU64(Raw.PoolReserved) || !Cursor.readU32(Raw.OpNameId) ||
+      !Cursor.readU32(Raw.LayerNameId) || !Cursor.readU8(Raw.Phase) ||
+      !Cursor.readU32(Raw.StackId) || !Cursor.readU8(HasTensor)) {
+    Problem = "event record body shorter than its fixed fields";
+    return false;
+  }
+  if (Raw.Kind >= NumEventKinds) {
+    Problem = "invalid event kind " + std::to_string(Raw.Kind);
+    return false;
+  }
+  if (Raw.Vendor > 1) {
+    Problem = "invalid vendor " + std::to_string(Raw.Vendor);
+    return false;
+  }
+  if (Raw.Managed > 1) {
+    Problem = "invalid managed flag " + std::to_string(Raw.Managed);
+    return false;
+  }
+  if (Raw.Direction > 2) {
+    Problem = "invalid copy direction " + std::to_string(Raw.Direction);
+    return false;
+  }
+  if (Raw.Phase > 2) {
+    Problem = "invalid exec phase " + std::to_string(Raw.Phase);
+    return false;
+  }
+  if (HasTensor > 1) {
+    Problem = "invalid tensor flag " + std::to_string(HasTensor);
+    return false;
+  }
+  Raw.HasTensor = HasTensor == 1;
+  if (Raw.HasTensor) {
+    std::uint64_t Id = 0;
+    std::string Name;
+    std::uint32_t Rank = 0;
+    if (!Cursor.readU64(Id) || !Cursor.readString(Name) ||
+        !Cursor.readU32(Rank)) {
+      Problem = "truncated tensor descriptor";
+      return false;
+    }
+    std::vector<std::int64_t> Dims;
+    Dims.reserve(Rank);
+    for (std::uint32_t I = 0; I < Rank; ++I) {
+      std::int64_t Dim = 0;
+      if (!Cursor.readI64(Dim)) {
+        Problem = "truncated tensor shape";
+        return false;
+      }
+      if (Dim < 0) {
+        Problem = "negative tensor dimension " + std::to_string(Dim);
+        return false;
+      }
+      Dims.push_back(Dim);
+    }
+    std::uint8_t Type = 0;
+    std::uint8_t Role = 0;
+    std::uint64_t Address = 0;
+    std::int32_t DeviceIndex = 0;
+    if (!Cursor.readU8(Type) || !Cursor.readU8(Role) ||
+        !Cursor.readU64(Address) || !Cursor.readI32(DeviceIndex)) {
+      Problem = "truncated tensor descriptor";
+      return false;
+    }
+    if (Type > 2) {
+      Problem = "invalid tensor data type " + std::to_string(Type);
+      return false;
+    }
+    if (Role > 5) {
+      Problem = "invalid tensor role " + std::to_string(Role);
+      return false;
+    }
+    Raw.Tensor.Id = Id;
+    Raw.Tensor.Name = std::move(Name);
+    Raw.Tensor.Shape = dl::TensorShape(std::move(Dims));
+    Raw.Tensor.Type = static_cast<dl::DataType>(Type);
+    Raw.Tensor.Role = static_cast<dl::TensorRole>(Role);
+    Raw.Tensor.Address = Address;
+    Raw.Tensor.DeviceIndex = DeviceIndex;
+  }
+  if (!Cursor.atEnd()) {
+    Problem = "event record body longer than its fields";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool TraceReader::fail(SessionError &Err, const std::string &Message) {
+  Err.assign("trace file '" + FilePath + "': " + Message);
+  Loaded = false;
+  Info = TraceInfo();
+  Buffer.clear();
+  EventSpans.clear();
+  StringTable.clear();
+  StackTable.clear();
+  KernelTable.clear();
+  return false;
+}
+
+bool TraceReader::open(const std::string &Path, SessionError &Err) {
+  FilePath = Path;
+  Loaded = false;
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    Err.assign("cannot open trace file '" + Path +
+               "': " + std::strerror(errno));
+    return false;
+  }
+  Buffer.clear();
+  unsigned char Chunk[1 << 16];
+  std::size_t Got = 0;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), In)) > 0)
+    Buffer.insert(Buffer.end(), Chunk, Chunk + Got);
+  bool ReadOk = std::ferror(In) == 0;
+  std::fclose(In);
+  if (!ReadOk)
+    return fail(Err, "read error");
+  return scan(Err);
+}
+
+bool TraceReader::scan(SessionError &Err) {
+  Info = TraceInfo();
+  EventSpans.clear();
+  StringTable.clear();
+  StackTable.clear();
+  KernelTable.clear();
+  Info.FileBytes = Buffer.size();
+
+  if (Buffer.size() < HeaderSize)
+    return fail(Err, "truncated header: " + std::to_string(Buffer.size()) +
+                         " bytes, expected at least " +
+                         std::to_string(HeaderSize) +
+                         " (magic \"PASTATRC\" + version + flags)");
+  if (std::memcmp(Buffer.data(), Magic, sizeof(Magic)) != 0)
+    return fail(Err, "bad magic at offset 0: expected \"PASTATRC\"");
+
+  ByteReader Header(Buffer.data() + sizeof(Magic), HeaderSize - sizeof(Magic));
+  std::uint32_t FileVersion = 0;
+  std::uint32_t FileFlags = 0;
+  Header.readU32(FileVersion);
+  Header.readU32(FileFlags);
+  if (FileVersion != Version)
+    return fail(Err, "unsupported version " + std::to_string(FileVersion) +
+                         " at offset 8: expected version " +
+                         std::to_string(Version));
+  if (FileFlags != HeaderFlags)
+    return fail(Err, "unsupported header flags " + hex32(FileFlags) +
+                         " at offset 12: expected " + hex32(HeaderFlags));
+
+  ByteReader Cursor(Buffer.data(), Buffer.size());
+  Cursor.skip(HeaderSize);
+  bool SawEnd = false;
+  std::uint64_t DeclaredEvents = 0;
+  std::uint32_t DeclaredStrings = 0;
+  std::uint32_t DeclaredStacks = 0;
+  std::uint32_t DeclaredKernels = 0;
+
+  while (!Cursor.atEnd()) {
+    std::size_t RecordOffset = Cursor.pos();
+    if (SawEnd)
+      return fail(Err, "trailing data after end-of-trace record at offset " +
+                           std::to_string(RecordOffset));
+    std::uint8_t Tag = 0;
+    std::uint32_t Length = 0;
+    if (!Cursor.readU8(Tag) || !Cursor.readU32(Length) ||
+        Cursor.remaining() < Length)
+      return fail(Err,
+                  "truncated record at offset " + std::to_string(RecordOffset));
+    std::size_t BodyOffset = Cursor.pos();
+    ByteReader Body(Buffer.data() + BodyOffset, Length);
+    Cursor.skip(Length);
+
+    switch (static_cast<RecordTag>(Tag)) {
+    case RecordTag::StringDef: {
+      std::uint32_t Id = 0;
+      if (!Body.readU32(Id))
+        return fail(Err, "truncated string definition at offset " +
+                             std::to_string(RecordOffset));
+      if (Id != StringTable.size() + 1)
+        return fail(Err, "non-sequential string id " + std::to_string(Id) +
+                             " at offset " + std::to_string(RecordOffset) +
+                             ": expected " +
+                             std::to_string(StringTable.size() + 1));
+      std::string Content(
+          reinterpret_cast<const char *>(Buffer.data() + BodyOffset + 4),
+          Length - 4);
+      StringTable.emplace_back(std::move(Content));
+      break;
+    }
+    case RecordTag::StackDef: {
+      std::uint32_t Id = 0;
+      std::uint32_t FrameCount = 0;
+      if (!Body.readU32(Id) || !Body.readU32(FrameCount))
+        return fail(Err, "truncated stack definition at offset " +
+                             std::to_string(RecordOffset));
+      if (Id != StackTable.size() + 1)
+        return fail(Err, "non-sequential stack id " + std::to_string(Id) +
+                             " at offset " + std::to_string(RecordOffset) +
+                             ": expected " +
+                             std::to_string(StackTable.size() + 1));
+      PayloadStack::FrameList Frames;
+      Frames.reserve(FrameCount);
+      for (std::uint32_t I = 0; I < FrameCount; ++I) {
+        std::string Frame;
+        if (!Body.readString(Frame))
+          return fail(Err, "truncated stack definition at offset " +
+                               std::to_string(RecordOffset));
+        Frames.push_back(std::move(Frame));
+      }
+      if (!Body.atEnd())
+        return fail(Err, "oversized stack definition at offset " +
+                             std::to_string(RecordOffset));
+      StackTable.emplace_back(std::move(Frames));
+      break;
+    }
+    case RecordTag::KernelDef: {
+      std::uint32_t Id = 0;
+      if (!Body.readU32(Id))
+        return fail(Err, "truncated kernel definition at offset " +
+                             std::to_string(RecordOffset));
+      if (Id != KernelTable.size() + 1)
+        return fail(Err, "non-sequential kernel id " + std::to_string(Id) +
+                             " at offset " + std::to_string(RecordOffset) +
+                             ": expected " +
+                             std::to_string(KernelTable.size() + 1));
+      auto Kernel = std::make_shared<sim::KernelDesc>();
+      std::uint32_t SegmentCount = 0;
+      bool Ok = Body.readString(Kernel->Name) &&
+                Body.readU32(Kernel->Grid.X) && Body.readU32(Kernel->Grid.Y) &&
+                Body.readU32(Kernel->Grid.Z) && Body.readU32(Kernel->Block.X) &&
+                Body.readU32(Kernel->Block.Y) &&
+                Body.readU32(Kernel->Block.Z) && Body.readF64(Kernel->Flops) &&
+                Body.readF64(Kernel->ComputeInstrsPerAccess) &&
+                Body.readU64(Kernel->StaticInstrs) &&
+                Body.readU32(Kernel->BarriersPerBlock) &&
+                Body.readU64(Kernel->SharedMemPerBlock) &&
+                Body.readU32(SegmentCount);
+      if (Ok) {
+        Kernel->Segments.reserve(SegmentCount);
+        for (std::uint32_t I = 0; Ok && I < SegmentCount; ++I) {
+          sim::AccessSegment Seg;
+          std::uint8_t Kind = 0;
+          std::uint8_t Space = 0;
+          Ok = Body.readU64(Seg.Base) && Body.readU64(Seg.Extent) &&
+               Body.readU64(Seg.AccessBytes) && Body.readU8(Kind) &&
+               Body.readU8(Space);
+          if (Ok && (Kind > 1 || Space > 1))
+            return fail(Err, "invalid access segment in kernel definition "
+                             "at offset " +
+                                 std::to_string(RecordOffset));
+          Seg.Kind = static_cast<sim::AccessKind>(Kind);
+          Seg.Space = static_cast<sim::MemSpace>(Space);
+          Kernel->Segments.push_back(Seg);
+        }
+      }
+      if (!Ok || !Body.atEnd())
+        return fail(Err, "malformed kernel definition at offset " +
+                             std::to_string(RecordOffset));
+      KernelTable.push_back(std::move(Kernel));
+      break;
+    }
+    case RecordTag::EventRecord: {
+      RawEvent Raw;
+      std::string Problem;
+      if (!parseEventBody(Body, Raw, Problem))
+        return fail(Err, Problem + " in event record at offset " +
+                             std::to_string(RecordOffset));
+      if (Raw.KernelId > KernelTable.size())
+        return fail(Err, "event at offset " + std::to_string(RecordOffset) +
+                             " references unknown kernel id " +
+                             std::to_string(Raw.KernelId));
+      if (Raw.OpNameId > StringTable.size() ||
+          Raw.LayerNameId > StringTable.size())
+        return fail(Err, "event at offset " + std::to_string(RecordOffset) +
+                             " references unknown string id " +
+                             std::to_string(Raw.OpNameId > StringTable.size()
+                                                ? Raw.OpNameId
+                                                : Raw.LayerNameId));
+      if (Raw.StackId > StackTable.size())
+        return fail(Err, "event at offset " + std::to_string(RecordOffset) +
+                             " references unknown stack id " +
+                             std::to_string(Raw.StackId));
+      if (EventSpans.empty())
+        Info.FirstTimestamp = Raw.Timestamp;
+      Info.LastTimestamp = Raw.Timestamp;
+      if (static_cast<EventKind>(Raw.Kind) == EventKind::KernelLaunch)
+        ++Info.KernelLaunches;
+      EventSpans.push_back({BodyOffset, Length});
+      break;
+    }
+    case RecordTag::End: {
+      if (!Body.readU64(DeclaredEvents) || !Body.readU32(DeclaredStrings) ||
+          !Body.readU32(DeclaredStacks) || !Body.readU32(DeclaredKernels) ||
+          !Body.atEnd())
+        return fail(Err, "malformed end-of-trace record at offset " +
+                             std::to_string(RecordOffset));
+      SawEnd = true;
+      break;
+    }
+    default:
+      // Unknown tags are skippable by construction (length-prefixed) —
+      // the in-version forward-compat rule. A corrupted tag cannot hide
+      // an event: the End record's counts are cross-checked below.
+      break;
+    }
+  }
+
+  if (!SawEnd)
+    return fail(Err, "truncated trace: missing end-of-trace record");
+  if (DeclaredEvents != EventSpans.size() ||
+      DeclaredStrings != StringTable.size() ||
+      DeclaredStacks != StackTable.size() ||
+      DeclaredKernels != KernelTable.size())
+    return fail(Err,
+                "end-of-trace record declares " +
+                    std::to_string(DeclaredEvents) + " events / " +
+                    std::to_string(DeclaredStrings) + " strings / " +
+                    std::to_string(DeclaredStacks) + " stacks / " +
+                    std::to_string(DeclaredKernels) + " kernels, but " +
+                    std::to_string(EventSpans.size()) + " / " +
+                    std::to_string(StringTable.size()) + " / " +
+                    std::to_string(StackTable.size()) + " / " +
+                    std::to_string(KernelTable.size()) + " were read");
+
+  Info.Events = EventSpans.size();
+  Info.Strings = StringTable.size();
+  Info.Stacks = StackTable.size();
+  Info.Kernels = KernelTable.size();
+  Loaded = true;
+  return true;
+}
+
+void TraceReader::forEachEvent(EventArena *Arena,
+                               const std::function<void(Event &)> &Fn) {
+  if (!Loaded)
+    return;
+
+  // Re-intern the payload tables once, up front: internString/internStack
+  // reuse the table handles' existing allocations, so from here on every
+  // decoded event carries canonical arena handles and admission cost is
+  // reference-count bumps.
+  std::vector<PayloadString> Strings = StringTable;
+  std::vector<PayloadStack> Stacks = StackTable;
+  std::vector<std::shared_ptr<const sim::KernelDesc>> Kernels = KernelTable;
+  if (Arena) {
+    for (PayloadString &S : Strings)
+      S = Arena->internString(S);
+    for (PayloadStack &S : Stacks)
+      S = Arena->internStack(S);
+    for (std::shared_ptr<const sim::KernelDesc> &K : Kernels)
+      K = Arena->internKernel(*K);
+  }
+
+  for (const EventSpan &Span : EventSpans) {
+    ByteReader Body(Buffer.data() + Span.Offset, Span.Length);
+    RawEvent Raw;
+    std::string Problem;
+    // scan() already validated every record; a parse failure here would
+    // mean the buffer changed underneath us.
+    if (!parseEventBody(Body, Raw, Problem))
+      continue;
+    Event E;
+    E.Kind = static_cast<EventKind>(Raw.Kind);
+    E.Vendor = static_cast<sim::VendorKind>(Raw.Vendor);
+    E.DeviceIndex = Raw.DeviceIndex;
+    E.Stream = Raw.Stream;
+    E.Timestamp = Raw.Timestamp;
+    E.Address = Raw.Address;
+    E.Bytes = Raw.Bytes;
+    E.Managed = Raw.Managed == 1;
+    E.Direction = static_cast<CopyDirection>(Raw.Direction);
+    E.GridId = Raw.GridId;
+    E.PoolAllocated = Raw.PoolAllocated;
+    E.PoolReserved = Raw.PoolReserved;
+    E.Phase = static_cast<dl::ExecPhase>(Raw.Phase);
+    if (Raw.KernelId)
+      E.adoptKernel(Kernels[Raw.KernelId - 1]);
+    if (Raw.OpNameId)
+      E.OpName = Strings[Raw.OpNameId - 1];
+    if (Raw.LayerNameId)
+      E.LayerName = Strings[Raw.LayerNameId - 1];
+    if (Raw.StackId)
+      E.PythonStack = Stacks[Raw.StackId - 1];
+    if (Raw.HasTensor)
+      E.adoptTensor(EventArena::pinTensor(Raw.Tensor));
+    Fn(E);
+  }
+}

@@ -1,0 +1,104 @@
+//===- pasta/TraceReader.h - Binary trace loading ---------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads a PASTA binary trace (TraceFormat.h / docs/TRACE_FORMAT.md)
+/// back into Events. open() reads the whole file and performs a full
+/// structural scan up front — header, every record prefix, every field
+/// range, every payload-table reference, and the required End record —
+/// so corruption, truncation and version mismatches fail at session
+/// *build* time with a SessionError naming the file, byte offset and
+/// expected magic/version. There is no partial-replay mode: a trace
+/// either validates completely or yields zero events.
+///
+/// forEachEvent() re-interns the payload tables into the session's
+/// EventArena once, up front; decoding an event then costs refcount
+/// bumps on canonical handles — the replay-admission fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_TRACEREADER_H
+#define PASTA_PASTA_TRACEREADER_H
+
+#include "pasta/EventArena.h"
+#include "pasta/SessionError.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+struct Event;
+class EventArena;
+
+/// Summary of a validated trace (available after open()).
+struct TraceInfo {
+  std::uint64_t Events = 0;
+  std::uint64_t Strings = 0;
+  std::uint64_t Stacks = 0;
+  std::uint64_t Kernels = 0;
+  /// KernelLaunch events seen (replay's RunStats.KernelsLaunched).
+  std::uint64_t KernelLaunches = 0;
+  /// Timestamps of the first/last event in stream order (0/0 when the
+  /// trace holds no events) — the source of replay pacing and of the
+  /// synthesized RunStats window.
+  std::uint64_t FirstTimestamp = 0;
+  std::uint64_t LastTimestamp = 0;
+  std::uint64_t FileBytes = 0;
+};
+
+/// Validating loader for PASTA binary traces.
+///
+/// Not thread-safe; replay pumps events from a single thread.
+class TraceReader {
+public:
+  TraceReader() = default;
+  TraceReader(const TraceReader &) = delete;
+  TraceReader &operator=(const TraceReader &) = delete;
+
+  /// Reads and fully validates \p Path. False on any structural problem
+  /// with a diagnostic naming the file and offset; the reader then
+  /// holds no events.
+  bool open(const std::string &Path, SessionError &Err);
+
+  bool isOpen() const { return Loaded; }
+  const std::string &path() const { return FilePath; }
+  const TraceInfo &info() const { return Info; }
+
+  /// Decodes every event in stream order and hands it to \p Fn. When
+  /// \p Arena is non-null the payload tables are re-interned into it
+  /// first, so the handles each decoded event carries are canonical
+  /// arena handles and per-event cost is reference-count bumps. May be
+  /// called repeatedly (each call re-interns; interning is idempotent).
+  void forEachEvent(EventArena *Arena,
+                    const std::function<void(Event &)> &Fn);
+
+private:
+  bool scan(SessionError &Err);
+  bool fail(SessionError &Err, const std::string &Message);
+
+  std::string FilePath;
+  bool Loaded = false;
+  TraceInfo Info;
+  /// Whole-file buffer; EventOffsets index record *bodies* inside it.
+  std::vector<unsigned char> Buffer;
+  struct EventSpan {
+    std::size_t Offset = 0;
+    std::uint32_t Length = 0;
+  };
+  std::vector<EventSpan> EventSpans;
+  /// Payload tables decoded at open() (index = id - 1).
+  std::vector<PayloadString> StringTable;
+  std::vector<PayloadStack> StackTable;
+  std::vector<std::shared_ptr<const sim::KernelDesc>> KernelTable;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_TRACEREADER_H

@@ -1,0 +1,233 @@
+//===- pasta/TraceWriter.cpp ----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/TraceWriter.h"
+
+#include "pasta/Events.h"
+#include "pasta/TraceFormat.h"
+
+#include <cerrno>
+#include <cstring>
+
+using namespace pasta;
+using namespace pasta::trace;
+
+namespace {
+
+/// Serialized KernelDesc body (without the table id) — doubles as the
+/// dedup key, so two descriptors are one table entry iff every encoded
+/// field matches.
+void encodeKernelBody(std::string &Out, const sim::KernelDesc &K) {
+  appendString(Out, K.Name);
+  appendU32(Out, K.Grid.X);
+  appendU32(Out, K.Grid.Y);
+  appendU32(Out, K.Grid.Z);
+  appendU32(Out, K.Block.X);
+  appendU32(Out, K.Block.Y);
+  appendU32(Out, K.Block.Z);
+  appendF64(Out, K.Flops);
+  appendF64(Out, K.ComputeInstrsPerAccess);
+  appendU64(Out, K.StaticInstrs);
+  appendU32(Out, K.BarriersPerBlock);
+  appendU64(Out, K.SharedMemPerBlock);
+  appendU32(Out, static_cast<std::uint32_t>(K.Segments.size()));
+  for (const sim::AccessSegment &Seg : K.Segments) {
+    appendU64(Out, Seg.Base);
+    appendU64(Out, Seg.Extent);
+    appendU64(Out, Seg.AccessBytes);
+    appendU8(Out, static_cast<std::uint8_t>(Seg.Kind));
+    appendU8(Out, static_cast<std::uint8_t>(Seg.Space));
+  }
+}
+
+/// Serialized stack frames (without the table id) — also the dedup key.
+void encodeStackBody(std::string &Out, const PayloadStack &Stack) {
+  const PayloadStack::FrameList &Frames = Stack.frames();
+  appendU32(Out, static_cast<std::uint32_t>(Frames.size()));
+  for (const std::string &Frame : Frames)
+    appendString(Out, Frame);
+}
+
+} // namespace
+
+TraceWriter::~TraceWriter() {
+  if (Out) {
+    std::fclose(Out);
+    Out = nullptr;
+  }
+}
+
+bool TraceWriter::open(const std::string &Path, SessionError &Err) {
+  if (Out) {
+    Err.assign("trace writer already open on '" + FilePath + "'");
+    return false;
+  }
+  Out = std::fopen(Path.c_str(), "wb");
+  if (!Out) {
+    Err.assign("cannot open trace file '" + Path +
+               "' for writing: " + std::strerror(errno));
+    return false;
+  }
+  FilePath = Path;
+  WriteFailed = false;
+  std::string Header;
+  Header.append(Magic, sizeof(Magic));
+  appendU32(Header, Version);
+  appendU32(Header, HeaderFlags);
+  writeBytes(Header.data(), Header.size());
+  if (WriteFailed) {
+    Err.assign("cannot write trace header to '" + Path + "'");
+    return false;
+  }
+  return true;
+}
+
+void TraceWriter::writeBytes(const char *Data, std::size_t Size) {
+  if (!Out || WriteFailed)
+    return;
+  if (std::fwrite(Data, 1, Size, Out) != Size) {
+    WriteFailed = true;
+    return;
+  }
+  Stats.BytesWritten += Size;
+}
+
+void TraceWriter::writeRecord(std::uint8_t Tag, const std::string &Body) {
+  std::string Prefix;
+  appendU8(Prefix, Tag);
+  appendU32(Prefix, static_cast<std::uint32_t>(Body.size()));
+  writeBytes(Prefix.data(), Prefix.size());
+  writeBytes(Body.data(), Body.size());
+}
+
+std::uint32_t TraceWriter::stringId(const std::string &Content) {
+  if (Content.empty())
+    return 0;
+  ++Stats.PayloadRefs;
+  auto It = StringIds.find(Content);
+  if (It != StringIds.end()) {
+    ++Stats.PayloadHits;
+    return It->second;
+  }
+  std::uint32_t Id = static_cast<std::uint32_t>(StringIds.size() + 1);
+  StringIds.emplace(Content, Id);
+  ++Stats.Strings;
+  std::string Body;
+  appendU32(Body, Id);
+  Body.append(Content);
+  writeRecord(static_cast<std::uint8_t>(RecordTag::StringDef), Body);
+  return Id;
+}
+
+std::uint32_t TraceWriter::stackId(const Event &E) {
+  if (E.PythonStack.empty())
+    return 0;
+  ++Stats.PayloadRefs;
+  std::string Key;
+  encodeStackBody(Key, E.PythonStack);
+  auto It = StackIds.find(Key);
+  if (It != StackIds.end()) {
+    ++Stats.PayloadHits;
+    return It->second;
+  }
+  std::uint32_t Id = static_cast<std::uint32_t>(StackIds.size() + 1);
+  StackIds.emplace(Key, Id);
+  ++Stats.Stacks;
+  std::string Body;
+  appendU32(Body, Id);
+  Body.append(Key);
+  writeRecord(static_cast<std::uint8_t>(RecordTag::StackDef), Body);
+  return Id;
+}
+
+std::uint32_t TraceWriter::kernelId(const Event &E) {
+  if (!E.Kernel)
+    return 0;
+  ++Stats.PayloadRefs;
+  std::string Key;
+  encodeKernelBody(Key, *E.Kernel);
+  auto It = KernelIds.find(Key);
+  if (It != KernelIds.end()) {
+    ++Stats.PayloadHits;
+    return It->second;
+  }
+  std::uint32_t Id = static_cast<std::uint32_t>(KernelIds.size() + 1);
+  KernelIds.emplace(Key, Id);
+  ++Stats.Kernels;
+  std::string Body;
+  appendU32(Body, Id);
+  Body.append(Key);
+  writeRecord(static_cast<std::uint8_t>(RecordTag::KernelDef), Body);
+  return Id;
+}
+
+void TraceWriter::append(const Event &E) {
+  if (!Out || WriteFailed)
+    return;
+  // Definitions must precede the first referencing event record.
+  std::uint32_t KernelRef = kernelId(E);
+  std::uint32_t OpNameRef = stringId(E.OpName.str());
+  std::uint32_t LayerNameRef = stringId(E.LayerName.str());
+  std::uint32_t StackRef = stackId(E);
+
+  Scratch.clear();
+  std::string &Body = Scratch;
+  appendU8(Body, static_cast<std::uint8_t>(E.Kind));
+  appendU8(Body, static_cast<std::uint8_t>(E.Vendor));
+  appendI32(Body, E.DeviceIndex);
+  appendU32(Body, E.Stream);
+  appendU64(Body, E.Timestamp);
+  appendU64(Body, E.Address);
+  appendU64(Body, E.Bytes);
+  appendU8(Body, E.Managed ? 1 : 0);
+  appendU8(Body, static_cast<std::uint8_t>(E.Direction));
+  appendU64(Body, E.GridId);
+  appendU32(Body, KernelRef);
+  appendU64(Body, E.PoolAllocated);
+  appendU64(Body, E.PoolReserved);
+  appendU32(Body, OpNameRef);
+  appendU32(Body, LayerNameRef);
+  appendU8(Body, static_cast<std::uint8_t>(E.Phase));
+  appendU32(Body, StackRef);
+  if (E.Tensor) {
+    appendU8(Body, 1);
+    const dl::TensorInfo &T = *E.Tensor;
+    appendU64(Body, T.Id);
+    appendString(Body, T.Name);
+    const std::vector<std::int64_t> &Dims = T.Shape.dims();
+    appendU32(Body, static_cast<std::uint32_t>(Dims.size()));
+    for (std::int64_t Dim : Dims)
+      appendI64(Body, Dim);
+    appendU8(Body, static_cast<std::uint8_t>(T.Type));
+    appendU8(Body, static_cast<std::uint8_t>(T.Role));
+    appendU64(Body, T.Address);
+    appendI32(Body, T.DeviceIndex);
+  } else {
+    appendU8(Body, 0);
+  }
+  writeRecord(static_cast<std::uint8_t>(RecordTag::EventRecord), Body);
+  ++Stats.Events;
+}
+
+bool TraceWriter::finalize(SessionError &Err) {
+  if (!Out)
+    return !WriteFailed;
+  std::string Body;
+  appendU64(Body, Stats.Events);
+  appendU32(Body, static_cast<std::uint32_t>(Stats.Strings));
+  appendU32(Body, static_cast<std::uint32_t>(Stats.Stacks));
+  appendU32(Body, static_cast<std::uint32_t>(Stats.Kernels));
+  writeRecord(static_cast<std::uint8_t>(RecordTag::End), Body);
+  bool CloseOk = std::fclose(Out) == 0;
+  Out = nullptr;
+  if (WriteFailed || !CloseOk) {
+    WriteFailed = true;
+    Err.assign("failed writing trace file '" + FilePath +
+               "' (disk full or I/O error)");
+    return false;
+  }
+  return true;
+}

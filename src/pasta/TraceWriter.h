@@ -1,0 +1,106 @@
+//===- pasta/TraceWriter.h - Binary trace capture ---------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes an admitted event stream into the PASTA binary trace
+/// format (TraceFormat.h / docs/TRACE_FORMAT.md). The writer mirrors
+/// the EventArena's content deduplication on disk: each distinct
+/// string, Python stack and kernel descriptor is emitted once as a
+/// payload-definition record, and events reference it by u32 id. Dedup
+/// is keyed by *content* (not handle identity) so the writer is correct
+/// for both arena-interned events and sync-mode events whose payloads
+/// are per-event allocations.
+///
+/// Usage: open(), append() per admitted event, finalize() to emit the
+/// required End record and close the file. All failures surface through
+/// SessionError (no exceptions anywhere in PASTA).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_TRACEWRITER_H
+#define PASTA_PASTA_TRACEWRITER_H
+
+#include "pasta/SessionError.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace pasta {
+
+struct Event;
+
+/// Capture-side counters (surfaced by the trace_capture tool's report).
+struct TraceWriterStats {
+  std::uint64_t Events = 0;
+  /// Distinct payloads written to the definition tables, by kind.
+  std::uint64_t Strings = 0;
+  std::uint64_t Stacks = 0;
+  std::uint64_t Kernels = 0;
+  /// Payload references emitted in event records (id fields != 0).
+  std::uint64_t PayloadRefs = 0;
+  /// References resolved to an already-written definition — bytes the
+  /// table encoding saved relative to inline payloads.
+  std::uint64_t PayloadHits = 0;
+  std::uint64_t BytesWritten = 0;
+};
+
+/// Streams Events into a binary trace file.
+///
+/// Not thread-safe: the intended producer is a Serial-lane tool
+/// (trace_capture), which the dispatcher already serializes.
+class TraceWriter {
+public:
+  TraceWriter() = default;
+  ~TraceWriter();
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  /// Creates \p Path (truncating) and writes the header. False on
+  /// failure with \p Err naming the file.
+  bool open(const std::string &Path, SessionError &Err);
+
+  bool isOpen() const { return Out != nullptr; }
+  const std::string &path() const { return FilePath; }
+
+  /// Serializes one event, emitting definition records for any payload
+  /// seen for the first time. Silently ignored when the writer is not
+  /// open or a prior write failed (the failure is reported once, at
+  /// finalize()).
+  void append(const Event &E);
+
+  /// Writes the End record and closes the file. Idempotent. False when
+  /// any write (including earlier appends) failed, with \p Err naming
+  /// the file.
+  bool finalize(SessionError &Err);
+
+  const TraceWriterStats &stats() const { return Stats; }
+
+private:
+  std::uint32_t stringId(const std::string &Content);
+  std::uint32_t stackId(const Event &E);
+  std::uint32_t kernelId(const Event &E);
+  void writeRecord(std::uint8_t Tag, const std::string &Body);
+  void writeBytes(const char *Data, std::size_t Size);
+
+  std::FILE *Out = nullptr;
+  std::string FilePath;
+  bool WriteFailed = false;
+  TraceWriterStats Stats;
+  /// Content-keyed id tables (ids start at 1; 0 means "absent").
+  /// Strings are keyed by their text, stacks and kernels by their
+  /// serialized body minus the id — bounded by distinct payloads.
+  std::unordered_map<std::string, std::uint32_t> StringIds;
+  std::unordered_map<std::string, std::uint32_t> StackIds;
+  std::unordered_map<std::string, std::uint32_t> KernelIds;
+  /// Reused body scratch to keep append() allocation-light.
+  std::string Scratch;
+};
+
+} // namespace pasta
+
+#endif // PASTA_PASTA_TRACEWRITER_H

@@ -12,6 +12,7 @@
 #include "tools/KernelFrequencyTool.h"
 #include "tools/MemUsageTimelineTool.h"
 #include "tools/OpKernelMapTool.h"
+#include "tools/TraceCaptureTool.h"
 #include "tools/TraceExportTool.h"
 #include "tools/WorkingSetTool.h"
 
@@ -52,5 +53,8 @@ void pasta::tools::registerBuiltinTools() {
   });
   Registry.registerTool("chrome_trace", [] {
     return std::make_unique<TraceExportTool>();
+  });
+  Registry.registerTool("trace_capture", [] {
+    return std::make_unique<TraceCaptureTool>();
   });
 }

@@ -1,0 +1,78 @@
+//===- tools/TraceCaptureTool.cpp -----------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/TraceCaptureTool.h"
+
+#include "support/Env.h"
+#include "support/Logging.h"
+#include "support/ReportSink.h"
+
+using namespace pasta;
+using namespace pasta::tools;
+
+TraceCaptureTool::TraceCaptureTool() = default;
+
+TraceCaptureTool::TraceCaptureTool(std::string Path)
+    : OutputPath(std::move(Path)) {}
+
+Subscription TraceCaptureTool::subscription() {
+  Subscription Sub;
+  Sub.Kinds = EventKindMask::all();
+  Sub.Model = ExecutionModel::Serial;
+  return Sub;
+}
+
+bool TraceCaptureTool::openNow(SessionError &Err) {
+  if (Writer.isOpen())
+    return true;
+  if (OutputPath.empty())
+    OutputPath = getEnvString("PASTA_CAPTURE", "");
+  if (OutputPath.empty()) {
+    Err.assign("trace_capture has no output path; pass --capture <file> "
+               "(SessionBuilder::capture) or set PASTA_CAPTURE");
+    OpenFailed = true;
+    return false;
+  }
+  if (!Writer.open(OutputPath, Err)) {
+    OpenFailed = true;
+    return false;
+  }
+  return true;
+}
+
+void TraceCaptureTool::onStart() {
+  if (Writer.isOpen() || OpenFailed)
+    return;
+  SessionError Err;
+  if (!openNow(Err))
+    logWarning(Err.message() + "; capturing nothing");
+}
+
+void TraceCaptureTool::onEvent(const Event &E) { Writer.append(E); }
+
+void TraceCaptureTool::onFinish() {
+  if (!Writer.isOpen())
+    return;
+  SessionError Err;
+  if (!Writer.finalize(Err))
+    logWarning(Err.message());
+}
+
+void TraceCaptureTool::report(ReportSink &Sink) {
+  // Deliberately path-free: a live capture report and the report of a
+  // replay capturing elsewhere must stay byte-identical (the round-trip
+  // determinism gate diffs whole report documents).
+  const TraceWriterStats &S = Writer.stats();
+  Sink.beginReport(name());
+  Sink.metric("events", S.Events);
+  Sink.metric("strings", S.Strings);
+  Sink.metric("stacks", S.Stacks);
+  Sink.metric("kernels", S.Kernels);
+  Sink.metric("payload_refs", S.PayloadRefs);
+  Sink.metric("payload_hits", S.PayloadHits);
+  Sink.metric("bytes_written", S.BytesWritten);
+  Sink.endReport();
+}

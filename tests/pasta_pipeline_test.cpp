@@ -445,6 +445,76 @@ TEST(RingQueueTest, NonPowerOfTwoCapacityIsEnforcedExactly) {
     EXPECT_EQ(Batch[Seq].Address, Seq);
 }
 
+TEST(RingQueueTest, SampleCounterIsPerProducerThread) {
+  // The Sample policy's modular counter is per producer thread, not a
+  // shared atomic: each producer independently keeps 1/N of the
+  // overflow *it* produces. Two producers each send N-1 overflowing
+  // events into a full ring with no consumer — per-producer counting
+  // samples all of them out without blocking, deterministically. (With
+  // the old shared counter, the combined 2(N-1) >= N overflow events
+  // would tip the counter over N and one producer would block for
+  // space that never comes.)
+  constexpr std::uint64_t EveryN = 3;
+  constexpr std::size_t Capacity = 4;
+  EventQueue Queue(Capacity, OverflowPolicy::Sample, EveryN,
+                   /*SpinIterations=*/0);
+  for (std::uint64_t Seq = 0; Seq < Capacity; ++Seq)
+    Queue.enqueue(addressEvent(Seq));
+  ASSERT_EQ(Queue.counters().Enqueued, Capacity);
+
+  std::vector<std::thread> Producers;
+  for (int P = 0; P < 2; ++P)
+    Producers.emplace_back([&Queue] {
+      for (std::uint64_t Seq = 0; Seq < EveryN - 1; ++Seq)
+        Queue.enqueue(addressEvent(1000 + Seq));
+    });
+  for (std::thread &T : Producers)
+    T.join();
+
+  EventQueueCounters Counters = Queue.counters();
+  EXPECT_EQ(Counters.Enqueued, Capacity);
+  EXPECT_EQ(Counters.SampledOut, 2 * (EveryN - 1));
+  EXPECT_EQ(Counters.Dropped, 0u);
+  Queue.close();
+}
+
+TEST(RingQueueTest, SampleConservationAcrossManyProducers) {
+  // Drop accounting must still sum exactly with per-producer counters:
+  // enqueued + dropped + sampled-out == sent, whatever the interleaving.
+  constexpr std::uint64_t PerProducer = 4000;
+  constexpr std::uint64_t ProducerCount = 4;
+  constexpr std::uint64_t EveryN = 4;
+  EventQueue Queue(/*Capacity=*/16, OverflowPolicy::Sample, EveryN,
+                   /*SpinIterations=*/4);
+
+  std::atomic<std::uint64_t> Delivered{0};
+  std::thread Consumer([&] {
+    std::vector<Event> Batch;
+    while (Queue.dequeueBatch(Batch)) {
+      Delivered.fetch_add(Batch.size());
+      std::this_thread::yield(); // keep the queue overflowing
+    }
+  });
+
+  std::vector<std::thread> Producers;
+  for (std::uint64_t P = 0; P < ProducerCount; ++P)
+    Producers.emplace_back([&Queue, P] {
+      for (std::uint64_t Seq = 0; Seq < PerProducer; ++Seq)
+        Queue.enqueue(addressEvent((P << 32) | Seq));
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Queue.waitDrained();
+  Queue.close();
+  Consumer.join();
+
+  EventQueueCounters Counters = Queue.counters();
+  EXPECT_EQ(Counters.Enqueued + Counters.Dropped + Counters.SampledOut,
+            ProducerCount * PerProducer);
+  EXPECT_EQ(Delivered.load(), Counters.Enqueued);
+  EXPECT_EQ(Counters.Dropped, 0u); // Sample never drops before close()
+}
+
 TEST(RingQueueTest, EnqueueAfterCloseIsCountedAsDropped) {
   EventQueue Queue(/*Capacity=*/8, OverflowPolicy::Block,
                    /*SampleEveryN=*/1);
