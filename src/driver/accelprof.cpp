@@ -57,7 +57,7 @@ int usage(const char *Argv0) {
       "          [--async] [--queue-depth N]\n"
       "          [--overflow block|drop|sample[:N]]\n"
       "          [--dispatch-threads N] [--arena-shards N]\n"
-      "          [--arena-max-bytes BYTES]\n"
+      "          [--arena-max-bytes BYTES] [--validate]\n"
       "          [--capture FILE] <model>\n"
       "       %s -t <tool> -b replay --trace FILE [--replay-speed S]\n"
       "       %s --list-tools | --list-backends\n"
@@ -196,6 +196,10 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Builder.managed();
+    } else if (Arg == "--validate") {
+      // Runtime contract validation (docs/VALIDATION.md): aborts on the
+      // first broken pipeline contract instead of corrupting reports.
+      Builder.validate();
     } else if (Arg == "--async") {
       Builder.asyncEvents();
       Async = true;

@@ -1,0 +1,234 @@
+//===- lint/Lexer.cpp - Minimal C++ lexer for pasta-lint ------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tokenizes C++ just deeply enough for the rules in Rules.cpp: comments
+// are stripped (and mined for `pasta-lint: allow(...)` suppressions),
+// string/char/raw-string literals collapse to one opaque token each,
+// preprocessor directives collapse to one token per logical line, and
+// everything else becomes identifier / number / single-character
+// punctuation tokens with line numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <cctype>
+
+namespace pasta {
+namespace lint {
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Splits "rule-a, rule-b" into trimmed ids.
+std::vector<std::string> splitRuleIds(const std::string &List) {
+  std::vector<std::string> Ids;
+  std::string Cur;
+  for (char C : List) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Ids.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C)))
+      continue;
+    Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Ids.push_back(Cur);
+  return Ids;
+}
+
+/// Mines one comment's text for "pasta-lint: allow(<ids>)".
+void collectSuppression(const std::string &Comment, unsigned Line,
+                        std::vector<Suppression> &Out) {
+  const std::string Marker = "pasta-lint:";
+  std::size_t At = Comment.find(Marker);
+  if (At == std::string::npos)
+    return;
+  std::size_t Allow = Comment.find("allow(", At + Marker.size());
+  if (Allow == std::string::npos)
+    return;
+  std::size_t Open = Allow + 6;
+  std::size_t Close = Comment.find(')', Open);
+  if (Close == std::string::npos)
+    return;
+  Suppression S;
+  S.RuleIds = splitRuleIds(Comment.substr(Open, Close - Open));
+  S.Line = Line;
+  if (!S.RuleIds.empty())
+    Out.push_back(std::move(S));
+}
+
+} // namespace
+
+std::string SourceFile::baseName() const {
+  std::size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}
+
+bool SourceFile::suppresses(const std::string &RuleId) const {
+  for (const Suppression &S : Suppressions)
+    for (const std::string &Id : S.RuleIds)
+      if (Id == RuleId || Id == "all")
+        return true;
+  return false;
+}
+
+SourceFile lex(std::string Path, std::string Content) {
+  SourceFile File;
+  File.Path = std::move(Path);
+  File.Content = std::move(Content);
+  const std::string &Src = File.Content;
+
+  std::size_t I = 0;
+  const std::size_t N = Src.size();
+  unsigned Line = 1;
+  bool AtLineStart = true; // only whitespace seen since the last newline
+
+  auto push = [&](TokenKind Kind, std::string Text, unsigned AtLine) {
+    File.Tokens.push_back(Token{Kind, std::move(Text), AtLine});
+  };
+
+  while (I < N) {
+    char C = Src[I];
+
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      AtLineStart = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+
+    // Line comment.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      std::size_t End = Src.find('\n', I);
+      if (End == std::string::npos)
+        End = N;
+      collectSuppression(Src.substr(I, End - I), Line,
+                         File.Suppressions);
+      I = End;
+      continue;
+    }
+    // Block comment (may span lines; suppression anchored to its start).
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      std::size_t End = Src.find("*/", I + 2);
+      std::size_t Stop = End == std::string::npos ? N : End + 2;
+      collectSuppression(Src.substr(I, Stop - I), Line,
+                         File.Suppressions);
+      for (std::size_t J = I; J < Stop; ++J)
+        if (Src[J] == '\n')
+          ++Line;
+      I = Stop;
+      continue;
+    }
+
+    // Preprocessor directive: one token per logical (backslash-continued)
+    // line, first column only modulo whitespace.
+    if (C == '#' && AtLineStart) {
+      unsigned StartLine = Line;
+      std::string Text;
+      while (I < N) {
+        std::size_t End = Src.find('\n', I);
+        if (End == std::string::npos)
+          End = N;
+        Text.append(Src, I, End - I);
+        bool Continued = !Text.empty() && Text.back() == '\\';
+        if (Continued)
+          Text.pop_back();
+        I = End;
+        if (I < N) {
+          ++Line;
+          ++I; // consume the newline
+        }
+        if (!Continued)
+          break;
+      }
+      push(TokenKind::Preprocessor, std::move(Text), StartLine);
+      AtLineStart = true;
+      continue;
+    }
+
+    AtLineStart = false;
+
+    // Raw string literal: R"delim(...)delim".
+    if (C == 'R' && I + 1 < N && Src[I + 1] == '"') {
+      std::size_t DelimEnd = Src.find('(', I + 2);
+      if (DelimEnd != std::string::npos) {
+        std::string Delim = Src.substr(I + 2, DelimEnd - (I + 2));
+        std::string Closer = ")" + Delim + "\"";
+        std::size_t End = Src.find(Closer, DelimEnd + 1);
+        std::size_t Stop =
+            End == std::string::npos ? N : End + Closer.size();
+        unsigned StartLine = Line;
+        for (std::size_t J = I; J < Stop; ++J)
+          if (Src[J] == '\n')
+            ++Line;
+        push(TokenKind::String, "R\"...\"", StartLine);
+        I = Stop;
+        continue;
+      }
+    }
+
+    // String / char literal (escapes honored, contents discarded).
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      std::size_t J = I + 1;
+      while (J < N && Src[J] != Quote) {
+        if (Src[J] == '\\' && J + 1 < N)
+          ++J;
+        if (Src[J] == '\n')
+          ++Line;
+        ++J;
+      }
+      push(TokenKind::String, Quote == '"' ? "\"...\"" : "'...'", Line);
+      I = J < N ? J + 1 : N;
+      continue;
+    }
+
+    if (isIdentStart(C)) {
+      std::size_t J = I + 1;
+      while (J < N && isIdentChar(Src[J]))
+        ++J;
+      push(TokenKind::Identifier, Src.substr(I, J - I), Line);
+      I = J;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      // Good enough for C++ numeric literals the rules read (hex, digit
+      // separators, suffixes); exponents' signs ride as punctuation,
+      // which no rule cares about.
+      std::size_t J = I + 1;
+      while (J < N && (isIdentChar(Src[J]) || Src[J] == '\'' ||
+                       Src[J] == '.'))
+        ++J;
+      push(TokenKind::Number, Src.substr(I, J - I), Line);
+      I = J;
+      continue;
+    }
+
+    push(TokenKind::Punctuation, std::string(1, C), Line);
+    ++I;
+  }
+
+  return File;
+}
+
+} // namespace lint
+} // namespace pasta

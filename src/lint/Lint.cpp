@@ -1,0 +1,104 @@
+//===- lint/Lint.cpp - pasta-lint engine: file walking ---------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include <dirent.h>
+
+namespace pasta {
+namespace lint {
+
+namespace {
+
+bool isLintableFile(const std::string &Path) {
+  auto endsWith = [&](const char *Suffix) {
+    std::size_t L = std::char_traits<char>::length(Suffix);
+    return Path.size() >= L &&
+           Path.compare(Path.size() - L, L, Suffix) == 0;
+  };
+  return endsWith(".h") || endsWith(".cpp");
+}
+
+/// Recursively collects lintable files under \p Path (POSIX dirent —
+/// the linter must stay dependency-light and builds everywhere the
+/// repo does).
+void collectFiles(const std::string &Path, std::vector<std::string> &Out,
+                  bool &Ok) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0) {
+    std::fprintf(stderr, "pasta-lint: cannot stat '%s'\n", Path.c_str());
+    Ok = false;
+    return;
+  }
+  if (S_ISREG(St.st_mode)) {
+    if (isLintableFile(Path))
+      Out.push_back(Path);
+    return;
+  }
+  if (!S_ISDIR(St.st_mode))
+    return;
+  DIR *Dir = ::opendir(Path.c_str());
+  if (!Dir) {
+    std::fprintf(stderr, "pasta-lint: cannot open '%s'\n", Path.c_str());
+    Ok = false;
+    return;
+  }
+  std::vector<std::string> Entries;
+  while (dirent *E = ::readdir(Dir)) {
+    std::string Name = E->d_name;
+    if (Name == "." || Name == ".." || Name.empty() || Name[0] == '.')
+      continue;
+    Entries.push_back(Path + "/" + Name);
+  }
+  ::closedir(Dir);
+  // Deterministic order regardless of directory hashing.
+  std::sort(Entries.begin(), Entries.end());
+  for (const std::string &E : Entries)
+    collectFiles(E, Out, Ok);
+}
+
+} // namespace
+
+bool lintPaths(const std::vector<std::string> &Paths,
+               const LintContext &Ctx, std::vector<Diagnostic> &Out) {
+  bool Ok = true;
+  std::vector<std::string> Files;
+  for (const std::string &P : Paths) {
+    std::string Resolved = P;
+    if (!Ctx.Root.empty() && !P.empty() && P.front() != '/')
+      Resolved = Ctx.Root + "/" + P;
+    collectFiles(Resolved, Files, Ok);
+  }
+  for (const std::string &F : Files) {
+    std::ifstream In(F, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "pasta-lint: cannot read '%s'\n", F.c_str());
+      Ok = false;
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    // Report root-relative paths so diagnostics are stable across
+    // checkouts (and clickable from the repo root).
+    std::string Reported = F;
+    if (!Ctx.Root.empty() &&
+        F.compare(0, Ctx.Root.size() + 1, Ctx.Root + "/") == 0)
+      Reported = F.substr(Ctx.Root.size() + 1);
+    std::vector<Diagnostic> FileDiags =
+        lintFile(lex(Reported, Buf.str()), Ctx);
+    Out.insert(Out.end(), FileDiags.begin(), FileDiags.end());
+  }
+  return Ok;
+}
+
+} // namespace lint
+} // namespace pasta

@@ -17,6 +17,7 @@
 #include "pasta/EventArena.h"
 
 #include "pasta/Events.h"
+#include "pasta/Validate.h"
 #include "support/Logging.h"
 
 #include <algorithm>
@@ -534,6 +535,8 @@ PayloadString EventArena::internStringLocked(Shard &S, std::uint64_t Hash,
   ++S.Counters.Strings;
   S.Counters.Bytes += Bytes;
   TotalBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  if (Val)
+    Val->registerPayload(Str.handle().get(), "string");
   return Str;
 }
 
@@ -587,6 +590,8 @@ PayloadStack EventArena::internStackLocked(Shard &S, std::uint64_t Hash,
   ++S.Counters.Stacks;
   S.Counters.Bytes += Bytes;
   TotalBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  if (Val)
+    Val->registerPayload(Stack.handle().get(), "stack");
   return Stack;
 }
 
@@ -637,6 +642,8 @@ EventArena::internKernelLocked(Shard &S, std::uint64_t Hash,
   ++S.Counters.Kernels;
   S.Counters.Bytes += Bytes;
   TotalBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  if (Val)
+    Val->registerPayload(Stored.get(), "kernel");
   return Stored;
 }
 

@@ -81,6 +81,7 @@
 namespace pasta {
 
 struct Event;
+class Validator;
 
 /// A shared immutable string payload. Behaves like a read-only
 /// std::string (implicit conversion, comparisons, empty()/size()), but
@@ -379,6 +380,12 @@ public:
 
   EventArenaStats stats() const;
 
+  /// Wires the PASTA_VALIDATE payload ledger: every payload made
+  /// resident is registered with \p V (canary-tracked; see
+  /// pasta/Validate.h). Null detaches. The processor calls this once at
+  /// construction, before any interning.
+  void setValidator(Validator *V) { Val = V; }
+
 private:
   struct Shard;
 
@@ -419,6 +426,10 @@ private:
   std::atomic<std::uint64_t> Contention{0};
   std::atomic<std::uint64_t> Fallbacks{0};
   std::atomic<bool> CapWarned{false};
+  /// PASTA_VALIDATE payload ledger (null when validation is off).
+  /// Written once before any interning; read under the shard lock on
+  /// miss paths only, so the hot (hit/memo) path never touches it.
+  Validator *Val = nullptr;
 };
 
 } // namespace pasta

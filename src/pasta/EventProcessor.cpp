@@ -6,6 +6,7 @@
 
 #include "pasta/EventProcessor.h"
 
+#include "pasta/Validate.h"
 #include "support/Logging.h"
 #include "support/ReportSink.h"
 
@@ -40,10 +41,19 @@ EventArenaOptions arenaOptionsOf(const ProcessorOptions &Opts) {
 } // namespace
 
 EventProcessor::EventProcessor(std::size_t DeviceAnalysisThreads)
-    : AnalysisThreads(DeviceAnalysisThreads) {}
+    : AnalysisThreads(DeviceAnalysisThreads) {
+  if (ProcessorOptions().Validate) {
+    Val = std::make_unique<Validator>();
+    Arena.setValidator(Val.get());
+  }
+}
 
 EventProcessor::EventProcessor(const ProcessorOptions &Opts)
     : Arena(arenaOptionsOf(Opts)), AnalysisThreads(Opts.AnalysisThreads) {
+  if (Opts.Validate) {
+    Val = std::make_unique<Validator>();
+    Arena.setValidator(Val.get());
+  }
   if (Opts.AsyncEvents) {
     std::size_t LaneCount = std::min<std::size_t>(
         std::max<std::size_t>(Opts.DispatchThreads, 1), 64);
@@ -158,6 +168,16 @@ void EventProcessor::rebuildRoutes() {
       MixEntries.push_back(I);
     if (Entry.Sub.KernelTrace)
       TraceEntries.push_back(I);
+  }
+
+  // Validation: mirror the compiled contracts into the validator and
+  // run the subscription-drift watchdog. Both callers (addTool,
+  // clearTools) hold AttachMutex, matching registerTool's contract for
+  // re-querying user subscription() code.
+  if (Val) {
+    Val->unregisterTools();
+    for (const ToolEntry &Entry : Entries)
+      Val->registerTool(*Entry.T, Entry.Sub, Entry.Lane);
   }
 }
 
@@ -281,15 +301,32 @@ void EventProcessor::process(Event E) {
 bool EventProcessor::dispatchOn(const Event &E, std::size_t LaneIndex) {
   const KindRoute &Route = Routes[static_cast<std::size_t>(E.Kind)];
   bool Delivered = false;
+  // Synchronous dispatch runs on the producer's thread outside any
+  // lane; the validator's lane-affinity checks don't apply there.
+  const std::size_t ValidateLane =
+      Lanes.empty() ? Validator::InlineDelivery : LaneIndex;
   for (std::uint32_t I : Route.Pinned) {
     if (Entries[I].Lane != LaneIndex)
       continue;
-    invoke(*Entries[I].T, E);
+    if (Val) {
+      Val->beforeDelivery(*Entries[I].T, E, ValidateLane);
+      invoke(*Entries[I].T, E);
+      Val->afterDelivery(*Entries[I].T);
+    } else {
+      invoke(*Entries[I].T, E);
+    }
     Delivered = true;
   }
   if (!Route.Floating.empty() && LaneIndex == homeLane(E)) {
-    for (std::uint32_t I : Route.Floating)
-      invoke(*Entries[I].T, E);
+    for (std::uint32_t I : Route.Floating) {
+      if (Val) {
+        Val->beforeDelivery(*Entries[I].T, E, ValidateLane);
+        invoke(*Entries[I].T, E);
+        Val->afterDelivery(*Entries[I].T);
+      } else {
+        invoke(*Entries[I].T, E);
+      }
+    }
     Delivered = true;
   }
   return Delivered;
@@ -369,11 +406,34 @@ void EventProcessor::laneLoop(std::size_t LaneIndex) {
 }
 
 void EventProcessor::flush() {
+  // A dispatch-lane thread waiting for its own queue to drain is a
+  // deadlock (the tool hook that called us is the work being waited
+  // on). Validation reports the contract break and skips the wait so
+  // the collecting-handler test path survives.
+  if (Val && CurrentLane.Owner == this) {
+    Val->onFlushFromLane();
+    return;
+  }
   // FlushCount counts actual drain barriers; synchronous dispatch has
   // nothing to drain, so the metric stays 0 and comparable across modes.
   if (Lanes.empty())
     return;
   Core.FlushCount.fetch_add(1, std::memory_order_relaxed);
+  if (Val) {
+    // Barrier-ordering assertion: every ticket admitted before the
+    // barrier began must be consumed when waitDrained returns. The
+    // consumed counter is monotonic, so the check stays race-free even
+    // with other producers admitting concurrently.
+    std::vector<std::uint64_t> Admitted(Lanes.size());
+    for (std::size_t I = 0; I < Lanes.size(); ++I)
+      Admitted[I] = Lanes[I]->Queue->admittedTickets();
+    for (std::size_t I = 0; I < Lanes.size(); ++I) {
+      Lanes[I]->Queue->waitDrained();
+      Val->onFlushBarrier(I, Admitted[I],
+                          Lanes[I]->Queue->consumedTickets());
+    }
+    return;
+  }
   for (auto &L : Lanes)
     L->Queue->waitDrained();
 }

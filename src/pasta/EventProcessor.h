@@ -107,6 +107,18 @@
 namespace pasta {
 
 class ReportSink;
+class Validator;
+
+/// Compile-time default for ProcessorOptions::Validate: the
+/// -DPASTA_VALIDATE=ON build flips every processor to validating unless
+/// a caller opts out explicitly.
+constexpr bool validateDefault() {
+#ifdef PASTA_VALIDATE_DEFAULT_ON
+  return true;
+#else
+  return false;
+#endif
+}
 
 /// Processor-side counters (tests assert on them). In asynchronous mode
 /// the snapshot returned by stats() merges the per-lane counters; it is
@@ -198,6 +210,12 @@ struct ProcessorOptions {
   /// Resident arena payload byte cap, 0 = unlimited
   /// (PASTA_ARENA_MAX_BYTES); past it, new payloads are per-event pins.
   std::uint64_t ArenaMaxBytes = 0;
+  /// Runtime contract validation (see pasta/Validate.h): Serial
+  /// overlap/lane-affinity watchdogs, subscription-mask and -drift
+  /// checks, arena payload canaries, flush-barrier assertions. Off by
+  /// default (one null check per dispatch); PASTA_VALIDATE env and the
+  /// -DPASTA_VALIDATE=ON build flip it.
+  bool Validate = validateDefault();
 };
 
 /// Preprocessing + dispatch layer between the event handler and tools.
@@ -240,6 +258,10 @@ public:
   std::vector<DispatchLaneStats> laneStats() const;
   bool asyncEvents() const { return !Lanes.empty(); }
   std::size_t laneCount() const { return Lanes.size(); }
+  /// The runtime contract validator, or null when validation is off
+  /// (ProcessorOptions::Validate). Tests install collecting handlers
+  /// and drive the payload ledger through this.
+  Validator *validator() const { return Val.get(); }
 
   /// Admits one coarse event (called by the event handler). Synchronous
   /// mode preprocesses + dispatches inline; asynchronous mode routes the
@@ -392,6 +414,10 @@ private:
   /// Serializes tool-set mutation against the first admission (see
   /// ensureStarted); never taken on the steady-state event path.
   std::mutex AttachMutex;
+  /// Runtime contract checks (null when ProcessorOptions::Validate is
+  /// off — the entire validation plane then costs one null test per
+  /// dispatch).
+  std::unique_ptr<Validator> Val;
   /// Set by the first admitted event; seals the tool set in async mode.
   std::atomic<bool> Started{false};
   /// One-shot guard for the callStacks()-without-CapturesStacks

@@ -167,6 +167,18 @@ public:
   OverflowPolicy policy() const { return Policy; }
   EventQueueCounters counters() const;
 
+  /// Validation accessors (PASTA_VALIDATE flush-barrier assertions).
+  /// Tickets claimed by producers so far; monotonic.
+  std::uint64_t admittedTickets() const {
+    return ticketOf(Tail.load(std::memory_order_acquire));
+  }
+  /// Tickets fully consumed (dispatched) so far; monotonic, so a
+  /// barrier check against a pre-barrier admitted snapshot is race-free
+  /// even with concurrent producers.
+  std::uint64_t consumedTickets() const {
+    return Head.load(std::memory_order_acquire);
+  }
+
 private:
   /// One ring slot. Seq encodes the publication protocol: == ticket
   /// means free for that ticket's producer, == ticket+1 means published,

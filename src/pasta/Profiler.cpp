@@ -69,6 +69,8 @@ ProfilerOptions ProfilerOptions::fromEnv() {
   Opts.Processor.ArenaMemo = getEnvBool("PASTA_ARENA_MEMO", true);
   Opts.Processor.ArenaMaxBytes = static_cast<std::uint64_t>(
       std::max<std::int64_t>(getEnvInt("PASTA_ARENA_MAX_BYTES", 0), 0));
+  Opts.Processor.Validate =
+      getEnvBool("PASTA_VALIDATE", Opts.Processor.Validate);
   return Opts;
 }
 

@@ -39,6 +39,7 @@ ProfilerOptions profilerOptions(const SessionOptions &Opts) {
   ProfOpts.Processor.ArenaShards = Opts.ArenaShards;
   ProfOpts.Processor.ArenaMemo = Opts.ArenaMemo;
   ProfOpts.Processor.ArenaMaxBytes = Opts.ArenaMaxBytes;
+  ProfOpts.Processor.Validate = Opts.Validate;
   return ProfOpts;
 }
 

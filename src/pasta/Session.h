@@ -104,6 +104,10 @@ struct SessionOptions {
   /// Resident arena payload byte cap (0 = unlimited); past it, new
   /// payloads fall back to per-event owned pins and are counted.
   std::uint64_t ArenaMaxBytes = ProcessorOptions().ArenaMaxBytes;
+  /// Runtime contract validation (pasta/Validate.h): Serial overlap and
+  /// lane-affinity watchdogs, subscription checks, payload canaries,
+  /// flush-barrier assertions.
+  bool Validate = ProcessorOptions().Validate;
   /// When false, the backend enables everything it supports regardless of
   /// tool requirements (legacy Profiler behavior).
   bool Negotiate = true;
@@ -331,6 +335,15 @@ public:
   /// arena.evicted_fallbacks.
   SessionBuilder &arenaMaxBytes(std::uint64_t Bytes) {
     Opts.ArenaMaxBytes = Bytes;
+    return *this;
+  }
+  /// Turns on the runtime contract validator (docs/VALIDATION.md): the
+  /// pipeline checks Serial reentrancy/lane affinity, subscription
+  /// masks and drift, arena payload liveness, and flush barriers, and
+  /// aborts on the first violation (override with
+  /// Validator::setHandler).
+  SessionBuilder &validate(bool Enabled = true) {
+    Opts.Validate = Enabled;
     return *this;
   }
   SessionBuilder &negotiate(bool Enabled) {

@@ -93,6 +93,8 @@ TEST(TableIITest, AllThreeLevelsPopulated) {
 
 namespace {
 
+// pasta-lint: allow(tool-subscription) — lifecycle hooks only; the
+// probe-based default subscription is exactly what a hook-only tool gets.
 class LifecycleTool : public Tool {
 public:
   std::string name() const override { return "lifecycle"; }

@@ -19,6 +19,9 @@ using namespace pasta;
 
 namespace {
 
+// pasta-lint: allow(tool-subscription) — these tools exercise the
+// probe-based migration default (hook probing is part of what's tested).
+
 /// Tool recording everything it receives.
 class RecordingTool : public Tool {
 public:

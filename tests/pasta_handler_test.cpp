@@ -23,6 +23,8 @@ using namespace pasta;
 
 namespace {
 
+// pasta-lint: allow(tool-subscription) — CollectTool exercises the
+// handler plumbing through the probe-based migration default.
 class CollectTool : public Tool {
 public:
   std::string name() const override { return "collect"; }

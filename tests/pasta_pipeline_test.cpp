@@ -35,6 +35,10 @@ using namespace pasta;
 
 namespace {
 
+// pasta-lint: allow(tool-subscription) — pipeline tests route through
+// the probe-based migration default on purpose (it is part of the
+// admission surface under test).
+
 /// Records every delivered event's payload (dispatch is single-threaded,
 /// so no locking needed inside the hooks).
 class CollectTool : public Tool {

@@ -161,6 +161,8 @@ TEST(TextReportSink, TextBodyMatchesHistoricalFormat) {
 }
 
 /// Tool that only implements the legacy writeReport.
+// pasta-lint: allow(tool-subscription) — being a bare legacy tool is
+// the point of this fixture.
 class LegacyTool : public Tool {
 public:
   std::string name() const override { return "legacy"; }

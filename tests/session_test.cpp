@@ -20,6 +20,9 @@ using namespace pasta;
 
 namespace {
 
+// pasta-lint: allow(tool-subscription) — probe-based capability
+// negotiation from overridden hooks is exactly what this suite tests.
+
 /// Consumes only coarse events — capability negotiation must keep every
 /// fine-grained instrumentation path disabled for it.
 class CoarseOnlyTool : public Tool {

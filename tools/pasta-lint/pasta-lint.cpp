@@ -1,0 +1,105 @@
+//===- tools/pasta-lint/pasta-lint.cpp - CLI driver -----------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// pasta-lint — the project's contract-enforcement static checker.
+//
+//   pasta-lint [--root DIR] [--manifest FILE] [--update-manifest]
+//              [--list-rules] PATH...
+//
+// PATHs are files or directories (resolved against --root when
+// relative); every .h/.cpp underneath is linted. Exit status: 0 clean,
+// 1 diagnostics emitted, 2 usage / IO error. docs/VALIDATION.md
+// documents the rules and the per-file suppression syntax.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: pasta-lint [options] PATH...\n"
+      "\n"
+      "Lints every .h/.cpp under the given files/directories against\n"
+      "the PASTA contract rules (see docs/VALIDATION.md).\n"
+      "\n"
+      "options:\n"
+      "  --root DIR         resolve relative PATHs and the manifest\n"
+      "                     against DIR; report DIR-relative paths\n"
+      "  --manifest FILE    wire-format manifest location (default:\n"
+      "                     src/lint/trace_format.manifest)\n"
+      "  --update-manifest  rewrite the manifest from TraceFormat.h\n"
+      "                     instead of diffing against it\n"
+      "  --list-rules       print the rule table and exit\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  pasta::lint::LintContext Ctx;
+  std::vector<std::string> Paths;
+  bool ListRules = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--list-rules") {
+      ListRules = true;
+      continue;
+    }
+    if (Arg == "--update-manifest") {
+      Ctx.UpdateManifest = true;
+      continue;
+    }
+    if (Arg == "--root" || Arg == "--manifest") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "pasta-lint: %s requires a value\n",
+                     Arg.c_str());
+        return 2;
+      }
+      (Arg == "--root" ? Ctx.Root : Ctx.ManifestPath) = argv[++I];
+      continue;
+    }
+    if (Arg.size() >= 2 && Arg.compare(0, 2, "--") == 0) {
+      std::fprintf(stderr, "pasta-lint: unknown option '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return 2;
+    }
+    Paths.push_back(Arg);
+  }
+
+  if (ListRules) {
+    for (const pasta::lint::Rule &R : pasta::lint::rules())
+      std::printf("%-24s %s\n", R.Id.c_str(), R.Description.c_str());
+    return 0;
+  }
+
+  if (Paths.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  std::vector<pasta::lint::Diagnostic> Diags;
+  bool Ok = pasta::lint::lintPaths(Paths, Ctx, Diags);
+  for (const pasta::lint::Diagnostic &D : Diags)
+    std::printf("%s\n", D.str().c_str());
+  if (!Diags.empty())
+    std::fprintf(stderr, "pasta-lint: %zu error(s)\n", Diags.size());
+  if (!Ok)
+    return 2;
+  return Diags.empty() ? 0 : 1;
+}
