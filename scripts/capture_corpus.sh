@@ -1,0 +1,42 @@
+#!/bin/sh
+# Regenerates the checked-in trace corpus under tests/corpus/.
+#
+# The corpus is the regression anchor for the binary trace format
+# (docs/TRACE_FORMAT.md): the capture pipeline is deterministic (the
+# simulator runs on virtual time, the workload generators are seeded),
+# so the trace bytes and the replayed report are stable across runs and
+# machines. CI replays the checked-in trace and diffs the report
+# against the checked-in golden (see check_corpus.sh); any wire-format
+# or tool-output change must regenerate both files in the same commit
+# and explain the diff in review.
+#
+# Usage: scripts/capture_corpus.sh [path/to/accelprof]
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+ACCELPROF=${1:-"$REPO_ROOT/build/accelprof"}
+CORPUS="$REPO_ROOT/tests/corpus"
+
+if [ ! -x "$ACCELPROF" ]; then
+  echo "error: accelprof not found at $ACCELPROF (build first)" >&2
+  exit 1
+fi
+
+mkdir -p "$CORPUS"
+
+# One standard workload: AlexNet inference, 2 iterations, on the A100
+# model of the cs-gpu backend. Small enough to check in (~40 KiB),
+# rich enough to exercise every payload table (kernels, op names,
+# layer names).
+# (--capture attaches the trace_capture tool itself; no -t needed.)
+"$ACCELPROF" -b cs-gpu -g A100 --iters 2 \
+  --capture "$CORPUS/alexnet_a100_2iter.trace" alexnet >/dev/null
+
+# Golden report: replay the trace through kernel_frequency. The JSON
+# metrics are integers (launch counts), so the diff is byte-exact.
+"$ACCELPROF" -t kernel_frequency -b replay \
+  --trace "$CORPUS/alexnet_a100_2iter.trace" --format json \
+  >"$CORPUS/alexnet_a100_2iter.kernel_frequency.golden.json"
+
+echo "corpus regenerated:"
+ls -l "$CORPUS"

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Trace-corpus regression gate (wired into CTest as trace_corpus_gate).
+#
+# Replays the checked-in corpus trace and byte-diffs the report
+# against the checked-in golden. A failure means either the wire
+# format changed (reader decodes the old bytes differently) or a tool
+# changed its output — both must be intentional, reviewed, and
+# accompanied by a regenerated corpus (scripts/capture_corpus.sh).
+#
+# Usage: scripts/check_corpus.sh path/to/accelprof
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+ACCELPROF=${1:?usage: check_corpus.sh path/to/accelprof}
+CORPUS="$REPO_ROOT/tests/corpus"
+TRACE="$CORPUS/alexnet_a100_2iter.trace"
+GOLDEN="$CORPUS/alexnet_a100_2iter.kernel_frequency.golden.json"
+
+for F in "$TRACE" "$GOLDEN"; do
+  if [ ! -f "$F" ]; then
+    echo "error: missing corpus file $F (run scripts/capture_corpus.sh)" >&2
+    exit 1
+  fi
+done
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+"$ACCELPROF" -t kernel_frequency -b replay --trace "$TRACE" \
+  --format json >"$OUT"
+
+if ! cmp -s "$OUT" "$GOLDEN"; then
+  echo "trace_corpus_gate: replayed report diverges from golden" >&2
+  echo "--- diff (replayed vs golden) ---" >&2
+  diff -u "$GOLDEN" "$OUT" >&2 || true
+  echo "If the change is intentional, regenerate with" \
+    "scripts/capture_corpus.sh and commit both files." >&2
+  exit 1
+fi
+echo "trace_corpus_gate: replayed report matches golden"

@@ -11,8 +11,11 @@
 //             [--prefetch none|object|tensor] [--format text|json|csv]
 //             [--async] [--queue-depth N] [--overflow block|drop|sample[:N]]
 //             [--dispatch-threads N] [--arena-shards N]
-//             [--arena-max-bytes BYTES] [--capture FILE] <model>
+//             [--arena-max-bytes BYTES] [--capture FILE]
+//             [--connect SOCKET [--tenant NAME]] <model>
 //   accelprof -t <tool> -b replay --trace FILE [--replay-speed S]
+//   accelprof --serve SOCKET [-t <tool>]... [--report-dir DIR]
+//             [--report-every SECONDS]
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
@@ -22,6 +25,9 @@
 //       accelprof -t mem_usage_timeline --async --dispatch-threads 4 bert
 //       accelprof -t kernel_frequency --capture run.trace bert
 //       accelprof -t working_set -b replay --trace run.trace
+//       accelprof --serve /tmp/pasta.sock --report-dir reports &
+//       accelprof -t kernel_frequency --connect /tmp/pasta.sock \
+//                 --tenant team-a bert
 //
 // <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
 // bert, whisper). Tools: see `accelprof --list-tools`; backends:
@@ -30,16 +36,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "pasta/Session.h"
+#include "serve/Aggregator.h"
 #include "support/Env.h"
 #include "support/Format.h"
 #include "support/ReportSink.h"
 #include "support/Units.h"
 #include "tools/RegisterTools.h"
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 using namespace pasta;
 using namespace pasta::tools;
@@ -58,14 +68,57 @@ int usage(const char *Argv0) {
       "          [--overflow block|drop|sample[:N]]\n"
       "          [--dispatch-threads N] [--arena-shards N]\n"
       "          [--arena-max-bytes BYTES] [--validate]\n"
-      "          [--capture FILE] <model>\n"
+      "          [--capture FILE] [--connect SOCKET [--tenant NAME]]\n"
+      "          <model>\n"
       "       %s -t <tool> -b replay --trace FILE [--replay-speed S]\n"
+      "       %s --serve SOCKET [-t <tool>]... [--format text|json|csv]\n"
+      "          [--report-dir DIR] [--report-every SECONDS] [--validate]\n"
       "       %s --list-tools | --list-backends\n"
       "\n"
       "Every knob (flags, PASTA_* environment variables, SessionBuilder\n"
       "equivalents) is documented with tuning guidance in docs/TUNING.md.\n",
-      Argv0, Argv0, Argv0);
+      Argv0, Argv0, Argv0, Argv0);
   return 2;
+}
+
+/// The daemon the SIGTERM/SIGINT handlers stop. requestStop() is
+/// async-signal-safe (one write to the aggregator's self-pipe).
+serve::Aggregator *ActiveAggregator = nullptr;
+
+void handleStopSignal(int) {
+  if (ActiveAggregator)
+    ActiveAggregator->requestStop();
+}
+
+int runServe(const serve::ServeOptions &Opts, bool Verbose) {
+  serve::Aggregator Agg(Opts);
+  SessionError Err;
+  if (!Agg.start(Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return 2;
+  }
+  ActiveAggregator = &Agg;
+  struct sigaction Action;
+  std::memset(&Action, 0, sizeof(Action));
+  Action.sa_handler = handleStopSignal;
+  ::sigaction(SIGTERM, &Action, nullptr);
+  ::sigaction(SIGINT, &Action, nullptr);
+  if (Verbose)
+    std::fprintf(stderr, "accelprof: serving on '%s' (SIGTERM to stop)\n",
+                 Agg.socketPath().c_str());
+  Agg.wait();
+  ActiveAggregator = nullptr;
+  serve::AggregatorStats Stats = Agg.stats();
+  if (Verbose)
+    std::fprintf(stderr,
+                 "accelprof: served %llu connections (%llu clean, %llu "
+                 "corrupt, %llu aborted), %llu rollups\n",
+                 static_cast<unsigned long long>(Stats.ConnectionsAccepted),
+                 static_cast<unsigned long long>(Stats.CleanStreams),
+                 static_cast<unsigned long long>(Stats.CorruptStreams),
+                 static_cast<unsigned long long>(Stats.AbortedStreams),
+                 static_cast<unsigned long long>(Stats.RollupsWritten));
+  return 0;
 }
 
 int listTools() {
@@ -130,9 +183,15 @@ std::unique_ptr<ReportSink> makeSink(ReportFormat Format, std::FILE *Out) {
 
 int main(int Argc, char **Argv) {
   SessionBuilder Builder;
-  std::string ToolName;
+  std::vector<std::string> ToolNames;
   std::string Model;
   std::string BackendName = "none";
+  std::string ServeSocket;
+  std::string ReportDir;
+  std::string GpuName = "A100";
+  std::string FormatName = "text";
+  double ReportEvery = 0.0;
+  bool Validate = false;
   bool Verbose = false;
   bool Async = false;
   double Oversub = 0.0;
@@ -154,7 +213,7 @@ int main(int Argc, char **Argv) {
     if (Arg == "-v") {
       Verbose = true;
     } else if (Arg == "-t") {
-      ToolName = NextValue("-t");
+      ToolNames.push_back(NextValue("-t"));
     } else if (Arg == "-b" || Arg == "--backend") {
       // Backend names are validated by the registry at build() time.
       BackendName = NextValue("-b");
@@ -171,8 +230,24 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Builder.replaySpeed(Speed);
+    } else if (Arg == "--serve") {
+      ServeSocket = NextValue("--serve");
+    } else if (Arg == "--connect") {
+      Builder.connect(NextValue("--connect"));
+    } else if (Arg == "--tenant") {
+      Builder.tenant(NextValue("--tenant"));
+    } else if (Arg == "--report-dir") {
+      ReportDir = NextValue("--report-dir");
+    } else if (Arg == "--report-every") {
+      ReportEvery = std::atof(NextValue("--report-every"));
+      if (ReportEvery <= 0.0) {
+        std::fprintf(stderr, "error: --report-every needs a positive "
+                             "number of seconds\n");
+        return 2;
+      }
     } else if (Arg == "-g") {
-      Builder.gpu(NextValue("-g"));
+      GpuName = NextValue("-g");
+      Builder.gpu(GpuName);
     } else if (Arg == "--train") {
       Builder.training();
     } else if (Arg == "--iters") {
@@ -200,6 +275,7 @@ int main(int Argc, char **Argv) {
       // Runtime contract validation (docs/VALIDATION.md): aborts on the
       // first broken pipeline contract instead of corrupting reports.
       Builder.validate();
+      Validate = true;
     } else if (Arg == "--async") {
       Builder.asyncEvents();
       Async = true;
@@ -289,6 +365,7 @@ int main(int Argc, char **Argv) {
                      Name.c_str());
         return 2;
       }
+      FormatName = Name;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage(Argv[0]);
@@ -297,15 +374,43 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Daemon mode: no model, no workload — just the aggregation loop.
+  if (!ServeSocket.empty()) {
+    serve::ServeOptions ServeOpts;
+    ServeOpts.SocketPath = ServeSocket;
+    if (!ToolNames.empty())
+      ServeOpts.ToolNames = ToolNames;
+    ServeOpts.ReportDir = ReportDir;
+    ServeOpts.Format = FormatName;
+    ServeOpts.ReportEverySeconds = ReportEvery;
+    ServeOpts.Gpu = GpuName;
+    if (Validate)
+      ServeOpts.Validate = true;
+    return runServe(ServeOpts, Verbose);
+  }
+
   // Replay sessions take their events from the trace; the model
   // positional is meaningless there and may be omitted.
   if (Model.empty() && BackendName != "replay")
     return usage(Argv[0]);
   if (!Model.empty())
     Builder.model(Model);
-  if (ToolName.empty())
-    ToolName = getEnvString("PASTA_TOOL", "kernel_frequency");
-  Builder.tool(ToolName);
+  if (ToolNames.empty())
+    ToolNames.push_back(getEnvString("PASTA_TOOL", "kernel_frequency"));
+  for (const std::string &Name : ToolNames)
+    Builder.tool(Name);
+
+  // PASTA_CONNECT / PASTA_TENANT: attach the forwarder without touching
+  // the command line (the LD_PRELOAD-style fleet onboarding path).
+  if (Builder.options().ConnectPath.empty()) {
+    std::string EnvConnect = getEnvString("PASTA_CONNECT", "");
+    if (!EnvConnect.empty()) {
+      Builder.connect(EnvConnect);
+      std::string EnvTenant = getEnvString("PASTA_TENANT", "");
+      if (!EnvTenant.empty())
+        Builder.tenant(EnvTenant);
+    }
+  }
 
   // Oversubscription needs the footprint: probe with an uninstrumented
   // run of the *same* workload first (the paper's pre-allocation trick

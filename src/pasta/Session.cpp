@@ -10,11 +10,13 @@
 #include "dl/Executor.h"
 #include "dl/Models.h"
 #include "pasta/ReplayBackend.h"
+#include "pasta/StreamEnvelope.h"
 #include "sim/System.h"
 #include "support/Format.h"
 #include "support/Logging.h"
 #include "support/ReportSink.h"
 #include "tools/RegisterTools.h"
+#include "tools/StreamForwardTool.h"
 #include "tools/TraceCaptureTool.h"
 
 #include <algorithm>
@@ -90,6 +92,16 @@ bool Session::initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
     if (!Capture->openNow(Err))
       return false;
     Prof.addTool(std::move(Capture));
+  }
+  // Like capture, the forwarder connects now so a dead aggregator or a
+  // rejected tenant fails at build() time, not mid-workload.
+  if (!Opts.ConnectPath.empty()) {
+    auto Forward = std::make_unique<tools::StreamForwardTool>(
+        Opts.ConnectPath,
+        Opts.TenantName.empty() ? "default" : Opts.TenantName);
+    if (!Forward->openNow(Err))
+      return false;
+    Prof.addTool(std::move(Forward));
   }
 
   // Capability negotiation: enable only the instrumentation some tool
@@ -262,6 +274,18 @@ std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
   if (!Opts.TracePath.empty() && Opts.Backend != "replay") {
     Err.assign("a trace file only makes sense with --backend replay "
                "(got backend '" + Opts.Backend + "')");
+    return nullptr;
+  }
+  if (!Opts.TenantName.empty() && Opts.ConnectPath.empty()) {
+    Err.assign("a tenant name only makes sense with --connect <socket> "
+               "(SessionBuilder::connect)");
+    return nullptr;
+  }
+  if (!Opts.TenantName.empty() &&
+      !trace::isValidTenantName(Opts.TenantName)) {
+    Err.assign("invalid tenant name '" + Opts.TenantName +
+               "': 1-64 characters of [A-Za-z0-9._-], not starting with "
+               "a dot");
     return nullptr;
   }
 

@@ -121,6 +121,13 @@ struct SessionOptions {
   /// Replay pacing: 0 = full speed (default), 1.0 = captured wall-clock
   /// spacing, 2.0 = twice as fast.
   double ReplaySpeed = 0.0;
+  /// Non-empty: forward the admitted event stream to the `accelprof
+  /// --serve` aggregator listening on this Unix-domain socket (a
+  /// stream_forward tool is attached automatically; see docs/SERVE.md).
+  std::string ConnectPath;
+  /// Tenant name the aggregator merges this session's stream under
+  /// (only with ConnectPath; empty = "default").
+  std::string TenantName;
 };
 
 /// One profiling session: system + backend + pipeline + tools + workload.
@@ -359,6 +366,17 @@ public:
   /// The trace file the "replay" backend re-admits.
   SessionBuilder &trace(const std::string &Path) {
     Opts.TracePath = Path;
+    return *this;
+  }
+  /// Forwards the admitted event stream to the aggregator socket at
+  /// \p SocketPath (a stream_forward tool is attached automatically).
+  SessionBuilder &connect(const std::string &SocketPath) {
+    Opts.ConnectPath = SocketPath;
+    return *this;
+  }
+  /// Tenant name the aggregator merges this session's stream under.
+  SessionBuilder &tenant(const std::string &Name) {
+    Opts.TenantName = Name;
     return *this;
   }
   /// Replay pacing: 0 = full speed, 1.0 = captured spacing, 2.0 = twice

@@ -1,0 +1,108 @@
+//===- pasta/StreamEnvelope.h - Socket session framing ----------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport envelope a TraceStreamSink connection speaks to an
+/// `accelprof --serve` aggregator (docs/SERVE.md). The envelope is a
+/// thin session layer *around* the trace byte stream, not a second
+/// serialization format: a Hello identifying the client (tenant name +
+/// process id), then length-prefixed frames whose concatenated payloads
+/// form exactly one PASTA trace stream — version trace::Version, header
+/// flags trace::kFlagStreamed, terminated by the End record. Frame
+/// boundaries are a transport artifact and need not align with record
+/// boundaries; the server's TraceStreamDecoder is byte-incremental.
+///
+/// Frames carry an incrementing sequence number so a duplicated or
+/// reordered frame (a transport bug, not a trace bug) is caught at the
+/// envelope layer with its own diagnostic rather than surfacing as a
+/// confusing record-level parse error.
+///
+/// All integers little-endian, reusing TraceFormat.h's append/read
+/// helpers. This header is intentionally separate from TraceFormat.h:
+/// the envelope can evolve (StreamProtocolVersion) without bumping the
+/// trace format version that capture files depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_PASTA_STREAMENVELOPE_H
+#define PASTA_PASTA_STREAMENVELOPE_H
+
+#include "pasta/TraceFormat.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pasta {
+namespace trace {
+
+/// First eight bytes of every stream connection ("PASTASTM").
+inline constexpr char StreamMagic[8] = {'P', 'A', 'S', 'T', 'A', 'S', 'T',
+                                        'M'};
+
+/// Envelope protocol version; servers reject other versions outright.
+inline constexpr std::uint32_t StreamProtocolVersion = 1;
+
+/// Hello flags word. Reserved — clients send 0, servers reject any set
+/// bit (same posture as the trace header's flags word).
+inline constexpr std::uint32_t StreamHelloFlags = 0;
+
+/// Magic + protocol version + flags + process id + tenant length. The
+/// tenant name's bytes follow.
+inline constexpr std::size_t StreamHelloFixedSize = 8 + 4 + 4 + 8 + 4;
+
+/// Tenant names identify the merge domain; they become report keys and
+/// (optionally) file names, so they are short and filesystem-safe:
+/// 1..=64 bytes of [A-Za-z0-9._-], not starting with a dot.
+inline constexpr std::size_t StreamMaxTenantBytes = 64;
+
+/// u64 sequence number + u32 payload length.
+inline constexpr std::size_t StreamFrameHeaderSize = 12;
+
+/// Ceiling on one frame's payload. Client sinks flush far below this;
+/// the server rejects oversized lengths before buffering, so a hostile
+/// length prefix cannot make the aggregator buffer gigabytes.
+inline constexpr std::uint32_t StreamMaxFramePayload = 1u << 20;
+
+/// True iff \p Name is a valid tenant name (see StreamMaxTenantBytes).
+inline bool isValidTenantName(const std::string &Name) {
+  if (Name.empty() || Name.size() > StreamMaxTenantBytes || Name[0] == '.')
+    return false;
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+/// Client identity carried by the Hello.
+struct StreamHello {
+  std::string Tenant;
+  std::uint64_t ProcessId = 0;
+};
+
+/// Serializes a Hello (caller has validated the tenant name).
+inline void encodeStreamHello(std::string &Out, const StreamHello &Hello) {
+  Out.append(StreamMagic, sizeof(StreamMagic));
+  appendU32(Out, StreamProtocolVersion);
+  appendU32(Out, StreamHelloFlags);
+  appendU64(Out, Hello.ProcessId);
+  appendString(Out, Hello.Tenant);
+}
+
+/// Serializes one frame header; \p PayloadSize bytes follow on the wire.
+inline void encodeStreamFrameHeader(std::string &Out, std::uint64_t Sequence,
+                                    std::uint32_t PayloadSize) {
+  appendU64(Out, Sequence);
+  appendU32(Out, PayloadSize);
+}
+
+} // namespace trace
+} // namespace pasta
+
+#endif // PASTA_PASTA_STREAMENVELOPE_H

@@ -39,12 +39,26 @@ namespace trace {
 inline constexpr char Magic[8] = {'P', 'A', 'S', 'T', 'A', 'T', 'R', 'C'};
 
 /// Format version this build writes and reads. Bumped on any layout
-/// change; readers reject other versions outright.
-inline constexpr std::uint32_t Version = 1;
+/// change; readers reject other versions outright. Version 2 defined
+/// the header-flags bits (kFlagStreamed); record layouts are unchanged
+/// from version 1.
+inline constexpr std::uint32_t Version = 2;
 
-/// Header flags word. Reserved — writers emit 0, readers reject
-/// anything else (a flipped flag bit must not be silently honored).
+/// Header flags word written into capture *files* — no bits set.
+/// Readers reject any flag bit outside KnownHeaderFlags (a flipped
+/// reserved bit must not be silently honored).
 inline constexpr std::uint32_t HeaderFlags = 0;
+
+/// The byte stream is a live socket stream (TraceStreamSink framing,
+/// docs/SERVE.md) rather than a capture file. Set by the stream_forward
+/// tool's writer; required by TraceStreamDecoder; rejected by the file
+/// reader, which must not silently treat a transport stream dump as a
+/// capture.
+inline constexpr std::uint32_t kFlagStreamed = 1u << 0;
+
+/// Every flag bit this build understands. Readers reject headers with
+/// bits outside this mask with an offset-named diagnostic.
+inline constexpr std::uint32_t KnownHeaderFlags = kFlagStreamed;
 
 /// Magic + version + flags.
 inline constexpr std::size_t HeaderSize = 16;

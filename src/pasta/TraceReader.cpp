@@ -145,6 +145,190 @@ bool parseEventBody(ByteReader &Cursor, RawEvent &Raw, std::string &Problem) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Record-body decoders shared by the whole-file scan and the
+// incremental stream decoder. Each returns "" on success, otherwise a
+// complete diagnostic naming \p RecordOffset — identical wording on
+// both paths, so a corrupt stream and the same bytes written to a file
+// produce the same message.
+//===----------------------------------------------------------------------===//
+
+std::string decodeStringDef(const unsigned char *Body, std::uint32_t Length,
+                            std::size_t NextId, std::size_t RecordOffset,
+                            std::string &Content) {
+  ByteReader Cursor(Body, Length);
+  std::uint32_t Id = 0;
+  if (!Cursor.readU32(Id))
+    return "truncated string definition at offset " +
+           std::to_string(RecordOffset);
+  if (Id != NextId)
+    return "non-sequential string id " + std::to_string(Id) + " at offset " +
+           std::to_string(RecordOffset) + ": expected " +
+           std::to_string(NextId);
+  Content.assign(reinterpret_cast<const char *>(Body) + 4, Length - 4);
+  return std::string();
+}
+
+std::string decodeStackDef(const unsigned char *Body, std::uint32_t Length,
+                           std::size_t NextId, std::size_t RecordOffset,
+                           PayloadStack::FrameList &Frames) {
+  ByteReader Cursor(Body, Length);
+  std::uint32_t Id = 0;
+  std::uint32_t FrameCount = 0;
+  if (!Cursor.readU32(Id) || !Cursor.readU32(FrameCount))
+    return "truncated stack definition at offset " +
+           std::to_string(RecordOffset);
+  if (Id != NextId)
+    return "non-sequential stack id " + std::to_string(Id) + " at offset " +
+           std::to_string(RecordOffset) + ": expected " +
+           std::to_string(NextId);
+  Frames.reserve(FrameCount);
+  for (std::uint32_t I = 0; I < FrameCount; ++I) {
+    std::string Frame;
+    if (!Cursor.readString(Frame))
+      return "truncated stack definition at offset " +
+             std::to_string(RecordOffset);
+    Frames.push_back(std::move(Frame));
+  }
+  if (!Cursor.atEnd())
+    return "oversized stack definition at offset " +
+           std::to_string(RecordOffset);
+  return std::string();
+}
+
+std::string decodeKernelDef(const unsigned char *Body, std::uint32_t Length,
+                            std::size_t NextId, std::size_t RecordOffset,
+                            sim::KernelDesc &Kernel) {
+  ByteReader Cursor(Body, Length);
+  std::uint32_t Id = 0;
+  if (!Cursor.readU32(Id))
+    return "truncated kernel definition at offset " +
+           std::to_string(RecordOffset);
+  if (Id != NextId)
+    return "non-sequential kernel id " + std::to_string(Id) + " at offset " +
+           std::to_string(RecordOffset) + ": expected " +
+           std::to_string(NextId);
+  std::uint32_t SegmentCount = 0;
+  bool Ok = Cursor.readString(Kernel.Name) && Cursor.readU32(Kernel.Grid.X) &&
+            Cursor.readU32(Kernel.Grid.Y) && Cursor.readU32(Kernel.Grid.Z) &&
+            Cursor.readU32(Kernel.Block.X) && Cursor.readU32(Kernel.Block.Y) &&
+            Cursor.readU32(Kernel.Block.Z) && Cursor.readF64(Kernel.Flops) &&
+            Cursor.readF64(Kernel.ComputeInstrsPerAccess) &&
+            Cursor.readU64(Kernel.StaticInstrs) &&
+            Cursor.readU32(Kernel.BarriersPerBlock) &&
+            Cursor.readU64(Kernel.SharedMemPerBlock) &&
+            Cursor.readU32(SegmentCount);
+  if (Ok) {
+    Kernel.Segments.reserve(SegmentCount);
+    for (std::uint32_t I = 0; Ok && I < SegmentCount; ++I) {
+      sim::AccessSegment Seg;
+      std::uint8_t Kind = 0;
+      std::uint8_t Space = 0;
+      Ok = Cursor.readU64(Seg.Base) && Cursor.readU64(Seg.Extent) &&
+           Cursor.readU64(Seg.AccessBytes) && Cursor.readU8(Kind) &&
+           Cursor.readU8(Space);
+      if (Ok && (Kind > 1 || Space > 1))
+        return "invalid access segment in kernel definition at offset " +
+               std::to_string(RecordOffset);
+      Seg.Kind = static_cast<sim::AccessKind>(Kind);
+      Seg.Space = static_cast<sim::MemSpace>(Space);
+      Kernel.Segments.push_back(Seg);
+    }
+  }
+  if (!Ok || !Cursor.atEnd())
+    return "malformed kernel definition at offset " +
+           std::to_string(RecordOffset);
+  return std::string();
+}
+
+/// Declared table sizes from the End record.
+struct EndCounts {
+  std::uint64_t Events = 0;
+  std::uint32_t Strings = 0;
+  std::uint32_t Stacks = 0;
+  std::uint32_t Kernels = 0;
+};
+
+std::string decodeEndBody(const unsigned char *Body, std::uint32_t Length,
+                          std::size_t RecordOffset, EndCounts &Counts) {
+  ByteReader Cursor(Body, Length);
+  if (!Cursor.readU64(Counts.Events) || !Cursor.readU32(Counts.Strings) ||
+      !Cursor.readU32(Counts.Stacks) || !Cursor.readU32(Counts.Kernels) ||
+      !Cursor.atEnd())
+    return "malformed end-of-trace record at offset " +
+           std::to_string(RecordOffset);
+  return std::string();
+}
+
+std::string endCountMismatch(const EndCounts &Counts, std::size_t Events,
+                             std::size_t Strings, std::size_t Stacks,
+                             std::size_t Kernels) {
+  return "end-of-trace record declares " + std::to_string(Counts.Events) +
+         " events / " + std::to_string(Counts.Strings) + " strings / " +
+         std::to_string(Counts.Stacks) + " stacks / " +
+         std::to_string(Counts.Kernels) + " kernels, but " +
+         std::to_string(Events) + " / " + std::to_string(Strings) + " / " +
+         std::to_string(Stacks) + " / " + std::to_string(Kernels) +
+         " were read";
+}
+
+std::string checkEventRefs(const RawEvent &Raw, std::size_t NumStrings,
+                           std::size_t NumStacks, std::size_t NumKernels,
+                           std::size_t RecordOffset) {
+  if (Raw.KernelId > NumKernels)
+    return "event at offset " + std::to_string(RecordOffset) +
+           " references unknown kernel id " + std::to_string(Raw.KernelId);
+  if (Raw.OpNameId > NumStrings || Raw.LayerNameId > NumStrings)
+    return "event at offset " + std::to_string(RecordOffset) +
+           " references unknown string id " +
+           std::to_string(Raw.OpNameId > NumStrings ? Raw.OpNameId
+                                                    : Raw.LayerNameId);
+  if (Raw.StackId > NumStacks)
+    return "event at offset " + std::to_string(RecordOffset) +
+           " references unknown stack id " + std::to_string(Raw.StackId);
+  return std::string();
+}
+
+/// Resolves a validated RawEvent against the payload tables. The
+/// handles the tables hold are what the event carries — canonical
+/// arena handles when the tables were interned.
+Event materializeEvent(
+    const RawEvent &Raw, const std::vector<PayloadString> &Strings,
+    const std::vector<PayloadStack> &Stacks,
+    const std::vector<std::shared_ptr<const sim::KernelDesc>> &Kernels) {
+  Event E;
+  E.Kind = static_cast<EventKind>(Raw.Kind);
+  E.Vendor = static_cast<sim::VendorKind>(Raw.Vendor);
+  E.DeviceIndex = Raw.DeviceIndex;
+  E.Stream = Raw.Stream;
+  E.Timestamp = Raw.Timestamp;
+  E.Address = Raw.Address;
+  E.Bytes = Raw.Bytes;
+  E.Managed = Raw.Managed == 1;
+  E.Direction = static_cast<CopyDirection>(Raw.Direction);
+  E.GridId = Raw.GridId;
+  E.PoolAllocated = Raw.PoolAllocated;
+  E.PoolReserved = Raw.PoolReserved;
+  E.Phase = static_cast<dl::ExecPhase>(Raw.Phase);
+  if (Raw.KernelId)
+    E.adoptKernel(Kernels[Raw.KernelId - 1]);
+  if (Raw.OpNameId)
+    E.OpName = Strings[Raw.OpNameId - 1];
+  if (Raw.LayerNameId)
+    E.LayerName = Strings[Raw.LayerNameId - 1];
+  if (Raw.StackId)
+    E.PythonStack = Stacks[Raw.StackId - 1];
+  if (Raw.HasTensor)
+    E.adoptTensor(EventArena::pinTensor(Raw.Tensor));
+  return E;
+}
+
+/// Streams buffer whole records only up to this size; a hostile length
+/// prefix must not make the aggregator buffer gigabytes for one
+/// client. Capture files have no such cap (they are bounded by file
+/// size up front).
+constexpr std::uint32_t MaxStreamRecordBytes = 1u << 24;
+
 } // namespace
 
 bool TraceReader::fail(SessionError &Err, const std::string &Message) {
@@ -205,9 +389,15 @@ bool TraceReader::scan(SessionError &Err) {
     return fail(Err, "unsupported version " + std::to_string(FileVersion) +
                          " at offset 8: expected version " +
                          std::to_string(Version));
-  if (FileFlags != HeaderFlags)
-    return fail(Err, "unsupported header flags " + hex32(FileFlags) +
-                         " at offset 12: expected " + hex32(HeaderFlags));
+  if ((FileFlags & ~KnownHeaderFlags) != 0)
+    return fail(Err, "unknown header flags " +
+                         hex32(FileFlags & ~KnownHeaderFlags) +
+                         " at offset 12: this build knows " +
+                         hex32(KnownHeaderFlags));
+  if ((FileFlags & kFlagStreamed) != 0)
+    return fail(Err, "streamed header flags " + hex32(FileFlags) +
+                         " at offset 12: this is a socket-stream dump, not a "
+                         "capture file (feed it to accelprof --serve)");
 
   ByteReader Cursor(Buffer.data(), Buffer.size());
   Cursor.skip(HeaderSize);
@@ -234,90 +424,32 @@ bool TraceReader::scan(SessionError &Err) {
 
     switch (static_cast<RecordTag>(Tag)) {
     case RecordTag::StringDef: {
-      std::uint32_t Id = 0;
-      if (!Body.readU32(Id))
-        return fail(Err, "truncated string definition at offset " +
-                             std::to_string(RecordOffset));
-      if (Id != StringTable.size() + 1)
-        return fail(Err, "non-sequential string id " + std::to_string(Id) +
-                             " at offset " + std::to_string(RecordOffset) +
-                             ": expected " +
-                             std::to_string(StringTable.size() + 1));
-      std::string Content(
-          reinterpret_cast<const char *>(Buffer.data() + BodyOffset + 4),
-          Length - 4);
+      std::string Content;
+      std::string Problem =
+          decodeStringDef(Buffer.data() + BodyOffset, Length,
+                          StringTable.size() + 1, RecordOffset, Content);
+      if (!Problem.empty())
+        return fail(Err, Problem);
       StringTable.emplace_back(std::move(Content));
       break;
     }
     case RecordTag::StackDef: {
-      std::uint32_t Id = 0;
-      std::uint32_t FrameCount = 0;
-      if (!Body.readU32(Id) || !Body.readU32(FrameCount))
-        return fail(Err, "truncated stack definition at offset " +
-                             std::to_string(RecordOffset));
-      if (Id != StackTable.size() + 1)
-        return fail(Err, "non-sequential stack id " + std::to_string(Id) +
-                             " at offset " + std::to_string(RecordOffset) +
-                             ": expected " +
-                             std::to_string(StackTable.size() + 1));
       PayloadStack::FrameList Frames;
-      Frames.reserve(FrameCount);
-      for (std::uint32_t I = 0; I < FrameCount; ++I) {
-        std::string Frame;
-        if (!Body.readString(Frame))
-          return fail(Err, "truncated stack definition at offset " +
-                               std::to_string(RecordOffset));
-        Frames.push_back(std::move(Frame));
-      }
-      if (!Body.atEnd())
-        return fail(Err, "oversized stack definition at offset " +
-                             std::to_string(RecordOffset));
+      std::string Problem =
+          decodeStackDef(Buffer.data() + BodyOffset, Length,
+                         StackTable.size() + 1, RecordOffset, Frames);
+      if (!Problem.empty())
+        return fail(Err, Problem);
       StackTable.emplace_back(std::move(Frames));
       break;
     }
     case RecordTag::KernelDef: {
-      std::uint32_t Id = 0;
-      if (!Body.readU32(Id))
-        return fail(Err, "truncated kernel definition at offset " +
-                             std::to_string(RecordOffset));
-      if (Id != KernelTable.size() + 1)
-        return fail(Err, "non-sequential kernel id " + std::to_string(Id) +
-                             " at offset " + std::to_string(RecordOffset) +
-                             ": expected " +
-                             std::to_string(KernelTable.size() + 1));
       auto Kernel = std::make_shared<sim::KernelDesc>();
-      std::uint32_t SegmentCount = 0;
-      bool Ok = Body.readString(Kernel->Name) &&
-                Body.readU32(Kernel->Grid.X) && Body.readU32(Kernel->Grid.Y) &&
-                Body.readU32(Kernel->Grid.Z) && Body.readU32(Kernel->Block.X) &&
-                Body.readU32(Kernel->Block.Y) &&
-                Body.readU32(Kernel->Block.Z) && Body.readF64(Kernel->Flops) &&
-                Body.readF64(Kernel->ComputeInstrsPerAccess) &&
-                Body.readU64(Kernel->StaticInstrs) &&
-                Body.readU32(Kernel->BarriersPerBlock) &&
-                Body.readU64(Kernel->SharedMemPerBlock) &&
-                Body.readU32(SegmentCount);
-      if (Ok) {
-        Kernel->Segments.reserve(SegmentCount);
-        for (std::uint32_t I = 0; Ok && I < SegmentCount; ++I) {
-          sim::AccessSegment Seg;
-          std::uint8_t Kind = 0;
-          std::uint8_t Space = 0;
-          Ok = Body.readU64(Seg.Base) && Body.readU64(Seg.Extent) &&
-               Body.readU64(Seg.AccessBytes) && Body.readU8(Kind) &&
-               Body.readU8(Space);
-          if (Ok && (Kind > 1 || Space > 1))
-            return fail(Err, "invalid access segment in kernel definition "
-                             "at offset " +
-                                 std::to_string(RecordOffset));
-          Seg.Kind = static_cast<sim::AccessKind>(Kind);
-          Seg.Space = static_cast<sim::MemSpace>(Space);
-          Kernel->Segments.push_back(Seg);
-        }
-      }
-      if (!Ok || !Body.atEnd())
-        return fail(Err, "malformed kernel definition at offset " +
-                             std::to_string(RecordOffset));
+      std::string Problem =
+          decodeKernelDef(Buffer.data() + BodyOffset, Length,
+                          KernelTable.size() + 1, RecordOffset, *Kernel);
+      if (!Problem.empty())
+        return fail(Err, Problem);
       KernelTable.push_back(std::move(Kernel));
       break;
     }
@@ -327,21 +459,10 @@ bool TraceReader::scan(SessionError &Err) {
       if (!parseEventBody(Body, Raw, Problem))
         return fail(Err, Problem + " in event record at offset " +
                              std::to_string(RecordOffset));
-      if (Raw.KernelId > KernelTable.size())
-        return fail(Err, "event at offset " + std::to_string(RecordOffset) +
-                             " references unknown kernel id " +
-                             std::to_string(Raw.KernelId));
-      if (Raw.OpNameId > StringTable.size() ||
-          Raw.LayerNameId > StringTable.size())
-        return fail(Err, "event at offset " + std::to_string(RecordOffset) +
-                             " references unknown string id " +
-                             std::to_string(Raw.OpNameId > StringTable.size()
-                                                ? Raw.OpNameId
-                                                : Raw.LayerNameId));
-      if (Raw.StackId > StackTable.size())
-        return fail(Err, "event at offset " + std::to_string(RecordOffset) +
-                             " references unknown stack id " +
-                             std::to_string(Raw.StackId));
+      Problem = checkEventRefs(Raw, StringTable.size(), StackTable.size(),
+                               KernelTable.size(), RecordOffset);
+      if (!Problem.empty())
+        return fail(Err, Problem);
       if (EventSpans.empty())
         Info.FirstTimestamp = Raw.Timestamp;
       Info.LastTimestamp = Raw.Timestamp;
@@ -351,11 +472,16 @@ bool TraceReader::scan(SessionError &Err) {
       break;
     }
     case RecordTag::End: {
-      if (!Body.readU64(DeclaredEvents) || !Body.readU32(DeclaredStrings) ||
-          !Body.readU32(DeclaredStacks) || !Body.readU32(DeclaredKernels) ||
-          !Body.atEnd())
-        return fail(Err, "malformed end-of-trace record at offset " +
-                             std::to_string(RecordOffset));
+      EndCounts Counts;
+      std::string Problem =
+          decodeEndBody(Buffer.data() + BodyOffset, Length, RecordOffset,
+                        Counts);
+      if (!Problem.empty())
+        return fail(Err, Problem);
+      DeclaredEvents = Counts.Events;
+      DeclaredStrings = Counts.Strings;
+      DeclaredStacks = Counts.Stacks;
+      DeclaredKernels = Counts.Kernels;
       SawEnd = true;
       break;
     }
@@ -372,17 +498,16 @@ bool TraceReader::scan(SessionError &Err) {
   if (DeclaredEvents != EventSpans.size() ||
       DeclaredStrings != StringTable.size() ||
       DeclaredStacks != StackTable.size() ||
-      DeclaredKernels != KernelTable.size())
-    return fail(Err,
-                "end-of-trace record declares " +
-                    std::to_string(DeclaredEvents) + " events / " +
-                    std::to_string(DeclaredStrings) + " strings / " +
-                    std::to_string(DeclaredStacks) + " stacks / " +
-                    std::to_string(DeclaredKernels) + " kernels, but " +
-                    std::to_string(EventSpans.size()) + " / " +
-                    std::to_string(StringTable.size()) + " / " +
-                    std::to_string(StackTable.size()) + " / " +
-                    std::to_string(KernelTable.size()) + " were read");
+      DeclaredKernels != KernelTable.size()) {
+    EndCounts Counts;
+    Counts.Events = DeclaredEvents;
+    Counts.Strings = DeclaredStrings;
+    Counts.Stacks = DeclaredStacks;
+    Counts.Kernels = DeclaredKernels;
+    return fail(Err, endCountMismatch(Counts, EventSpans.size(),
+                                      StringTable.size(), StackTable.size(),
+                                      KernelTable.size()));
+  }
 
   Info.Events = EventSpans.size();
   Info.Strings = StringTable.size();
@@ -421,30 +546,199 @@ void TraceReader::forEachEvent(EventArena *Arena,
     // mean the buffer changed underneath us.
     if (!parseEventBody(Body, Raw, Problem))
       continue;
-    Event E;
-    E.Kind = static_cast<EventKind>(Raw.Kind);
-    E.Vendor = static_cast<sim::VendorKind>(Raw.Vendor);
-    E.DeviceIndex = Raw.DeviceIndex;
-    E.Stream = Raw.Stream;
-    E.Timestamp = Raw.Timestamp;
-    E.Address = Raw.Address;
-    E.Bytes = Raw.Bytes;
-    E.Managed = Raw.Managed == 1;
-    E.Direction = static_cast<CopyDirection>(Raw.Direction);
-    E.GridId = Raw.GridId;
-    E.PoolAllocated = Raw.PoolAllocated;
-    E.PoolReserved = Raw.PoolReserved;
-    E.Phase = static_cast<dl::ExecPhase>(Raw.Phase);
-    if (Raw.KernelId)
-      E.adoptKernel(Kernels[Raw.KernelId - 1]);
-    if (Raw.OpNameId)
-      E.OpName = Strings[Raw.OpNameId - 1];
-    if (Raw.LayerNameId)
-      E.LayerName = Strings[Raw.LayerNameId - 1];
-    if (Raw.StackId)
-      E.PythonStack = Stacks[Raw.StackId - 1];
-    if (Raw.HasTensor)
-      E.adoptTensor(EventArena::pinTensor(Raw.Tensor));
+    Event E = materializeEvent(Raw, Strings, Stacks, Kernels);
     Fn(E);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// TraceStreamDecoder
+//===----------------------------------------------------------------------===//
+
+bool TraceStreamDecoder::fail(SessionError &Err, const std::string &Message) {
+  Failed = true;
+  Err.assign("trace stream: " + Message);
+  return false;
+}
+
+bool TraceStreamDecoder::decodeRecord(std::uint8_t Tag,
+                                      const unsigned char *Body,
+                                      std::uint32_t Length,
+                                      std::size_t RecordOffset,
+                                      const std::function<void(Event &)> &Fn,
+                                      SessionError &Err) {
+  switch (static_cast<RecordTag>(Tag)) {
+  case RecordTag::StringDef: {
+    std::string Content;
+    std::string Problem = decodeStringDef(Body, Length, Strings.size() + 1,
+                                          RecordOffset, Content);
+    if (!Problem.empty())
+      return fail(Err, Problem);
+    PayloadString Payload(std::move(Content));
+    if (Arena)
+      Payload = Arena->internString(Payload);
+    Strings.push_back(std::move(Payload));
+    ++Info.Strings;
+    return true;
+  }
+  case RecordTag::StackDef: {
+    PayloadStack::FrameList Frames;
+    std::string Problem = decodeStackDef(Body, Length, Stacks.size() + 1,
+                                         RecordOffset, Frames);
+    if (!Problem.empty())
+      return fail(Err, Problem);
+    PayloadStack Payload(std::move(Frames));
+    if (Arena)
+      Payload = Arena->internStack(Payload);
+    Stacks.push_back(std::move(Payload));
+    ++Info.Stacks;
+    return true;
+  }
+  case RecordTag::KernelDef: {
+    auto Kernel = std::make_shared<sim::KernelDesc>();
+    std::string Problem = decodeKernelDef(Body, Length, Kernels.size() + 1,
+                                          RecordOffset, *Kernel);
+    if (!Problem.empty())
+      return fail(Err, Problem);
+    std::shared_ptr<const sim::KernelDesc> Handle = std::move(Kernel);
+    if (Arena)
+      Handle = Arena->internKernel(*Handle);
+    Kernels.push_back(std::move(Handle));
+    ++Info.Kernels;
+    return true;
+  }
+  case RecordTag::EventRecord: {
+    ByteReader Cursor(Body, Length);
+    RawEvent Raw;
+    std::string Problem;
+    if (!parseEventBody(Cursor, Raw, Problem))
+      return fail(Err, Problem + " in event record at offset " +
+                           std::to_string(RecordOffset));
+    Problem = checkEventRefs(Raw, Strings.size(), Stacks.size(),
+                             Kernels.size(), RecordOffset);
+    if (!Problem.empty())
+      return fail(Err, Problem);
+    if (Info.Events == 0)
+      Info.FirstTimestamp = Raw.Timestamp;
+    Info.LastTimestamp = Raw.Timestamp;
+    if (static_cast<EventKind>(Raw.Kind) == EventKind::KernelLaunch)
+      ++Info.KernelLaunches;
+    ++Info.Events;
+    Event E = materializeEvent(Raw, Strings, Stacks, Kernels);
+    Fn(E);
+    return true;
+  }
+  case RecordTag::End: {
+    EndCounts Counts;
+    std::string Problem = decodeEndBody(Body, Length, RecordOffset, Counts);
+    if (!Problem.empty())
+      return fail(Err, Problem);
+    if (Counts.Events != Info.Events || Counts.Strings != Strings.size() ||
+        Counts.Stacks != Stacks.size() || Counts.Kernels != Kernels.size())
+      return fail(Err, endCountMismatch(Counts, Info.Events, Strings.size(),
+                                        Stacks.size(), Kernels.size()));
+    SawEnd = true;
+    return true;
+  }
+  default:
+    // In-version forward compat: unknown tags are skippable, exactly as
+    // in the file reader. The End counts still cross-check the tables.
+    return true;
+  }
+}
+
+bool TraceStreamDecoder::feed(const unsigned char *Data, std::size_t Size,
+                              const std::function<void(Event &)> &Fn,
+                              SessionError &Err) {
+  if (Failed) {
+    Err.assign("trace stream: decoder already failed");
+    return false;
+  }
+  Pending.insert(Pending.end(), Data, Data + Size);
+  Info.FileBytes += Size;
+
+  std::size_t Consumed = 0;
+  bool Ok = true;
+  while (Ok) {
+    std::size_t Avail = Pending.size() - Consumed;
+    if (!SawHeader) {
+      if (Avail < HeaderSize)
+        break;
+      const unsigned char *Head = Pending.data() + Consumed;
+      if (std::memcmp(Head, Magic, sizeof(Magic)) != 0) {
+        Ok = fail(Err, "bad magic at offset 0: expected \"PASTATRC\"");
+        break;
+      }
+      ByteReader Header(Head + sizeof(Magic), HeaderSize - sizeof(Magic));
+      std::uint32_t StreamVersion = 0;
+      std::uint32_t StreamFlags = 0;
+      Header.readU32(StreamVersion);
+      Header.readU32(StreamFlags);
+      if (StreamVersion != Version) {
+        Ok = fail(Err, "unsupported version " + std::to_string(StreamVersion) +
+                           " at offset 8: expected version " +
+                           std::to_string(Version));
+        break;
+      }
+      if (StreamFlags != kFlagStreamed) {
+        Ok = fail(Err, "unexpected stream header flags " + hex32(StreamFlags) +
+                           " at offset 12: expected " + hex32(kFlagStreamed));
+        break;
+      }
+      Consumed += HeaderSize;
+      SawHeader = true;
+      continue;
+    }
+    if (Avail < RecordPrefixSize)
+      break;
+    std::size_t RecordOffset = BaseOffset + Consumed;
+    if (SawEnd) {
+      Ok = fail(Err, "trailing data after end-of-trace record at offset " +
+                         std::to_string(RecordOffset));
+      break;
+    }
+    const unsigned char *Prefix = Pending.data() + Consumed;
+    ByteReader PrefixCursor(Prefix, RecordPrefixSize);
+    std::uint8_t Tag = 0;
+    std::uint32_t Length = 0;
+    PrefixCursor.readU8(Tag);
+    PrefixCursor.readU32(Length);
+    if (Length > MaxStreamRecordBytes) {
+      Ok = fail(Err, "oversized record (" + std::to_string(Length) +
+                         " bytes) at offset " + std::to_string(RecordOffset));
+      break;
+    }
+    if (Avail < RecordPrefixSize + Length)
+      break;
+    Ok = decodeRecord(Tag, Prefix + RecordPrefixSize, Length, RecordOffset,
+                      Fn, Err);
+    if (Ok)
+      Consumed += RecordPrefixSize + Length;
+  }
+  BaseOffset += Consumed;
+  Pending.erase(Pending.begin(),
+                Pending.begin() + static_cast<std::ptrdiff_t>(Consumed));
+  return Ok;
+}
+
+bool TraceStreamDecoder::finish(SessionError &Err) {
+  if (Failed) {
+    Err.assign("trace stream: decoder already failed");
+    return false;
+  }
+  if (!SawEnd) {
+    if (!SawHeader)
+      return fail(Err, "truncated stream: connection closed before a "
+                       "complete header (" +
+                           std::to_string(Pending.size()) + " of " +
+                           std::to_string(HeaderSize) + " bytes)");
+    return fail(Err,
+                "truncated stream: missing end-of-trace record (connection "
+                "closed at offset " +
+                    std::to_string(BaseOffset + Pending.size()) + ")");
+  }
+  if (!Pending.empty())
+    return fail(Err, "trailing data after end-of-trace record at offset " +
+                         std::to_string(BaseOffset));
+  return true;
 }

@@ -18,6 +18,12 @@
 /// EventArena once, up front; decoding an event then costs refcount
 /// bumps on canonical handles — the replay-admission fast path.
 ///
+/// TraceStreamDecoder is the incremental sibling: the same record
+/// grammar and the same validation, but fed arbitrary byte chunks as
+/// they arrive off a socket (`accelprof --serve`, docs/SERVE.md), with
+/// events surfaced as soon as their record is complete instead of
+/// after a whole-file scan.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PASTA_PASTA_TRACEREADER_H
@@ -97,6 +103,69 @@ private:
   std::vector<PayloadString> StringTable;
   std::vector<PayloadStack> StackTable;
   std::vector<std::shared_ptr<const sim::KernelDesc>> KernelTable;
+};
+
+/// Incremental decoder for one *streamed* PASTA trace — the byte
+/// stream a TraceStreamSink connection carries (a trace whose header
+/// flags word is trace::kFlagStreamed). feed() accepts arbitrary byte
+/// chunks; transport frame boundaries need not align with record
+/// boundaries. Every record that completes is decoded immediately and
+/// each event is handed to the callback with payload handles interned
+/// into the target arena, so admission into the aggregator's tenant
+/// session costs refcount bumps exactly as in file replay.
+///
+/// Validation matches TraceReader record for record: sequential table
+/// ids, payload-reference ranges, enum ranges, oversized/truncated
+/// bodies, End-record count cross-check, and no trailing data after
+/// End. The first violation latches the decoder failed with a
+/// diagnostic naming the absolute stream byte offset; a failed decoder
+/// ignores further feed() calls, so one malformed client cannot smear
+/// partial records into a tenant session.
+///
+/// Not thread-safe; the owning connection feeds it from one thread.
+class TraceStreamDecoder {
+public:
+  /// \p Arena receives interned payloads (may be null in tests; events
+  /// then carry per-stream handles).
+  explicit TraceStreamDecoder(EventArena *Arena) : Arena(Arena) {}
+
+  /// Consumes \p Size bytes, invoking \p Fn once per completed event.
+  /// False on the first structural violation (decoder is then dead).
+  bool feed(const unsigned char *Data, std::size_t Size,
+            const std::function<void(Event &)> &Fn, SessionError &Err);
+
+  /// Declares end-of-stream: a stream that stops before its End record
+  /// (or mid-record) is truncated, same as a truncated capture file.
+  bool finish(SessionError &Err);
+
+  /// True once the End record arrived and its counts cross-checked.
+  bool finished() const { return SawEnd; }
+  bool failed() const { return Failed; }
+
+  /// Running totals (FileBytes counts stream bytes consumed so far).
+  const TraceInfo &info() const { return Info; }
+
+private:
+  bool fail(SessionError &Err, const std::string &Message);
+  /// Decodes one complete record body. False ⇒ structural violation.
+  bool decodeRecord(std::uint8_t Tag, const unsigned char *Body,
+                    std::uint32_t Length, std::size_t RecordOffset,
+                    const std::function<void(Event &)> &Fn,
+                    SessionError &Err);
+
+  EventArena *Arena;
+  /// Unconsumed tail of the stream; BaseOffset is the absolute stream
+  /// offset of Pending[0].
+  std::vector<unsigned char> Pending;
+  std::size_t BaseOffset = 0;
+  bool SawHeader = false;
+  bool SawEnd = false;
+  bool Failed = false;
+  TraceInfo Info;
+  /// Payload tables, interned into Arena at definition time.
+  std::vector<PayloadString> Strings;
+  std::vector<PayloadStack> Stacks;
+  std::vector<std::shared_ptr<const sim::KernelDesc>> Kernels;
 };
 
 } // namespace pasta

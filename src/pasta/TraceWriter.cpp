@@ -61,7 +61,7 @@ TraceWriter::~TraceWriter() {
 }
 
 bool TraceWriter::open(const std::string &Path, SessionError &Err) {
-  if (Out) {
+  if (isOpen()) {
     Err.assign("trace writer already open on '" + FilePath + "'");
     return false;
   }
@@ -85,10 +85,34 @@ bool TraceWriter::open(const std::string &Path, SessionError &Err) {
   return true;
 }
 
+bool TraceWriter::openSink(TraceOutput &Dest, std::uint32_t Flags,
+                           SessionError &Err) {
+  if (isOpen()) {
+    Err.assign("trace writer already open on '" + FilePath + "'");
+    return false;
+  }
+  Sink = &Dest;
+  FilePath = Dest.describe();
+  WriteFailed = false;
+  std::string Header;
+  Header.append(Magic, sizeof(Magic));
+  appendU32(Header, Version);
+  appendU32(Header, Flags);
+  writeBytes(Header.data(), Header.size());
+  if (WriteFailed) {
+    Err.assign("cannot write trace header to '" + FilePath + "'");
+    Sink = nullptr;
+    return false;
+  }
+  return true;
+}
+
 void TraceWriter::writeBytes(const char *Data, std::size_t Size) {
-  if (!Out || WriteFailed)
+  if ((!Out && !Sink) || WriteFailed)
     return;
-  if (std::fwrite(Data, 1, Size, Out) != Size) {
+  bool Ok = Out ? std::fwrite(Data, 1, Size, Out) == Size
+                : Sink->write(Data, Size);
+  if (!Ok) {
     WriteFailed = true;
     return;
   }
@@ -165,7 +189,7 @@ std::uint32_t TraceWriter::kernelId(const Event &E) {
 }
 
 void TraceWriter::append(const Event &E) {
-  if (!Out || WriteFailed)
+  if ((!Out && !Sink) || WriteFailed)
     return;
   // Definitions must precede the first referencing event record.
   std::uint32_t KernelRef = kernelId(E);
@@ -213,7 +237,7 @@ void TraceWriter::append(const Event &E) {
 }
 
 bool TraceWriter::finalize(SessionError &Err) {
-  if (!Out)
+  if (!Out && !Sink)
     return !WriteFailed;
   std::string Body;
   appendU64(Body, Stats.Events);
@@ -221,11 +245,15 @@ bool TraceWriter::finalize(SessionError &Err) {
   appendU32(Body, static_cast<std::uint32_t>(Stats.Stacks));
   appendU32(Body, static_cast<std::uint32_t>(Stats.Kernels));
   writeRecord(static_cast<std::uint8_t>(RecordTag::End), Body);
-  bool CloseOk = std::fclose(Out) == 0;
-  Out = nullptr;
+  bool CloseOk = true;
+  if (Out) {
+    CloseOk = std::fclose(Out) == 0;
+    Out = nullptr;
+  }
+  Sink = nullptr;
   if (WriteFailed || !CloseOk) {
     WriteFailed = true;
-    Err.assign("failed writing trace file '" + FilePath +
+    Err.assign("failed writing trace to '" + FilePath +
                "' (disk full or I/O error)");
     return false;
   }

@@ -18,6 +18,13 @@
 /// required End record and close the file. All failures surface through
 /// SessionError (no exceptions anywhere in PASTA).
 ///
+/// The destination is pluggable: open() writes a capture file, while
+/// openSink() writes the same byte stream into any TraceOutput — the
+/// stream_forward tool points it at a TraceStreamSink socket connection
+/// with the kFlagStreamed header flag, which is how a live session
+/// ships its admitted stream to an `accelprof --serve` aggregator
+/// (docs/SERVE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PASTA_PASTA_TRACEWRITER_H
@@ -33,6 +40,18 @@
 namespace pasta {
 
 struct Event;
+
+/// Destination byte sink for TraceWriter: a capture file stays the
+/// default, a TraceStreamSink socket connection is the streaming case.
+/// write() returns false on a permanent failure; the writer then
+/// latches failed and reports once, at finalize().
+class TraceOutput {
+public:
+  virtual ~TraceOutput() = default;
+  virtual bool write(const char *Data, std::size_t Size) = 0;
+  /// Destination name for diagnostics ("file.trace", "socket:/run/x").
+  virtual std::string describe() const = 0;
+};
 
 /// Capture-side counters (surfaced by the trace_capture tool's report).
 struct TraceWriterStats {
@@ -60,11 +79,18 @@ public:
   TraceWriter(const TraceWriter &) = delete;
   TraceWriter &operator=(const TraceWriter &) = delete;
 
-  /// Creates \p Path (truncating) and writes the header. False on
-  /// failure with \p Err naming the file.
+  /// Creates \p Path (truncating) and writes the header with the
+  /// capture-file flags word. False on failure with \p Err naming the
+  /// file.
   bool open(const std::string &Path, SessionError &Err);
 
-  bool isOpen() const { return Out != nullptr; }
+  /// Attaches \p Sink (not owned; must outlive the writer) and writes
+  /// the header with \p Flags — trace::kFlagStreamed for socket
+  /// streams. finalize() emits the End record but leaves the sink's
+  /// lifecycle to its owner.
+  bool openSink(TraceOutput &Sink, std::uint32_t Flags, SessionError &Err);
+
+  bool isOpen() const { return Out != nullptr || Sink != nullptr; }
   const std::string &path() const { return FilePath; }
 
   /// Serializes one event, emitting definition records for any payload
@@ -73,9 +99,10 @@ public:
   /// finalize()).
   void append(const Event &E);
 
-  /// Writes the End record and closes the file. Idempotent. False when
-  /// any write (including earlier appends) failed, with \p Err naming
-  /// the file.
+  /// Writes the End record, then closes the file (file mode) or
+  /// detaches the sink (sink mode). Idempotent. False when any write
+  /// (including earlier appends) failed, with \p Err naming the
+  /// destination.
   bool finalize(SessionError &Err);
 
   const TraceWriterStats &stats() const { return Stats; }
@@ -88,6 +115,8 @@ private:
   void writeBytes(const char *Data, std::size_t Size);
 
   std::FILE *Out = nullptr;
+  /// Non-null in sink mode (mutually exclusive with Out).
+  TraceOutput *Sink = nullptr;
   std::string FilePath;
   bool WriteFailed = false;
   TraceWriterStats Stats;

@@ -1,0 +1,110 @@
+//===- serve/Aggregator.h - Fleet aggregation daemon ------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine behind `accelprof --serve SOCKET` (docs/SERVE.md): a
+/// Listener accepting N concurrent TraceStreamSink clients, one
+/// Connection reader thread per client, a TenantRegistry merging each
+/// stream into its tenant's analysis session, and rollup reporting —
+/// per-tenant tool reports through the standard ReportSink formats,
+/// emitted on a timer (--report-every), at every client disconnect,
+/// and finally at shutdown.
+///
+/// Shutdown is SIGTERM-clean by construction: requestStop() only
+/// writes one byte to a self-pipe (async-signal-safe), every blocking
+/// poll in the daemon watches that pipe's read end, connections drain
+/// the bytes their clients already sent, tenant sessions finish, and
+/// final reports are written before wait() returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SERVE_AGGREGATOR_H
+#define PASTA_SERVE_AGGREGATOR_H
+
+#include "serve/Connection.h"
+#include "serve/Listener.h"
+#include "serve/TenantRegistry.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pasta {
+namespace serve {
+
+/// Daemon-wide counters (connection outcomes are judged at EOF).
+struct AggregatorStats {
+  std::uint64_t ConnectionsAccepted = 0;
+  std::uint64_t CleanStreams = 0;
+  std::uint64_t CorruptStreams = 0;
+  /// Connections cut short by daemon shutdown.
+  std::uint64_t AbortedStreams = 0;
+  std::uint64_t RollupsWritten = 0;
+};
+
+/// The `accelprof --serve` daemon core. Usable in-process (tests and
+/// benches embed it) or behind the driver's signal handling.
+class Aggregator {
+public:
+  explicit Aggregator(ServeOptions Opts);
+  ~Aggregator();
+  Aggregator(const Aggregator &) = delete;
+  Aggregator &operator=(const Aggregator &) = delete;
+
+  /// Opens the socket and starts the accept (and, with --report-every,
+  /// rollup timer) threads. False with \p Err on failure.
+  bool start(SessionError &Err);
+
+  /// Initiates shutdown. Async-signal-safe (one write(2) to the
+  /// self-pipe): this is the function a SIGTERM handler calls.
+  void requestStop();
+
+  /// Blocks until shutdown completes: accept loop stopped, every
+  /// connection drained and joined, tenant sessions finished, final
+  /// rollups written. Idempotent.
+  void wait();
+
+  const ServeOptions &options() const { return Opts; }
+  const std::string &socketPath() const { return Accept.path(); }
+  TenantRegistry &registry() { return Registry; }
+  AggregatorStats stats();
+
+private:
+  void acceptLoop();
+  void timerLoop();
+  void onConnectionDone(Connection &Conn);
+  /// Emits one tenant's report (file per tenant under --report-dir, or
+  /// stdout with a banner). \p Final finishes the session first.
+  void writeRollup(Tenant &T, bool Final);
+  void reapFinished();
+
+  ServeOptions Opts;
+  Listener Accept;
+  TenantRegistry Registry;
+  /// Self-pipe: [0] is polled everywhere, [1] is the signal-safe stop
+  /// trigger.
+  int StopPipe[2] = {-1, -1};
+  std::thread Acceptor;
+  std::thread Timer;
+  std::mutex Mu;
+  /// Serializes writeRollup: two clients of one tenant disconnecting at
+  /// once must not interleave truncate+write on the same report file.
+  std::mutex RollupMu;
+  std::condition_variable TimerCv;
+  bool Stopping = false;
+  bool Waited = false;
+  std::uint64_t NextConnId = 0;
+  std::vector<std::unique_ptr<Connection>> Connections;
+  AggregatorStats Stats;
+};
+
+} // namespace serve
+} // namespace pasta
+
+#endif // PASTA_SERVE_AGGREGATOR_H

@@ -1,0 +1,335 @@
+//===- serve/Connection.cpp -----------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Connection.h"
+
+#include "pasta/EventProcessor.h"
+#include "support/Logging.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace pasta;
+using namespace pasta::serve;
+using namespace pasta::trace;
+
+//===----------------------------------------------------------------------===//
+// ClientStream
+//===----------------------------------------------------------------------===//
+
+std::string ClientStream::who() const {
+  if (Parse == State::HelloFixed || Parse == State::HelloTenant)
+    return "client";
+  return "client pid " + std::to_string(Hello.ProcessId) + " tenant '" +
+         Hello.Tenant + "'";
+}
+
+bool ClientStream::fail(SessionError &Err, const std::string &Message) {
+  Dead = true;
+  Err.assign(who() + ": " + Message);
+  if (BoundTenant) {
+    std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+    ++BoundTenant->stats().CorruptStreams;
+  }
+  return false;
+}
+
+bool ClientStream::feed(const unsigned char *Data, std::size_t Size,
+                        SessionError &Err) {
+  if (Dead) {
+    Err.assign(who() + ": stream already failed");
+    return false;
+  }
+  while (Size > 0) {
+    switch (Parse) {
+    case State::HelloFixed: {
+      std::size_t Need = StreamHelloFixedSize - Head.size();
+      std::size_t Take = Size < Need ? Size : Need;
+      Head.append(reinterpret_cast<const char *>(Data), Take);
+      Data += Take;
+      Size -= Take;
+      if (Head.size() < StreamHelloFixedSize)
+        break;
+      const unsigned char *Bytes =
+          reinterpret_cast<const unsigned char *>(Head.data());
+      if (std::memcmp(Bytes, StreamMagic, sizeof(StreamMagic)) != 0)
+        return fail(Err, "bad stream magic at offset 0: expected "
+                         "\"PASTASTM\"");
+      ByteReader Cursor(Bytes + sizeof(StreamMagic),
+                        StreamHelloFixedSize - sizeof(StreamMagic));
+      std::uint32_t Proto = 0;
+      std::uint32_t Flags = 0;
+      std::uint32_t Length = 0;
+      Cursor.readU32(Proto);
+      Cursor.readU32(Flags);
+      Cursor.readU64(Hello.ProcessId);
+      Cursor.readU32(Length);
+      if (Proto != StreamProtocolVersion)
+        return fail(Err, "unsupported stream protocol version " +
+                             std::to_string(Proto) + " at offset 8: "
+                             "expected " +
+                             std::to_string(StreamProtocolVersion));
+      if (Flags != StreamHelloFlags)
+        return fail(Err, "unsupported hello flags at offset 12");
+      if (Length == 0 || Length > StreamMaxTenantBytes)
+        return fail(Err, "invalid tenant-name length " +
+                             std::to_string(Length) + " at offset 24: "
+                             "expected 1-" +
+                             std::to_string(StreamMaxTenantBytes));
+      TenantLength = Length;
+      Head.clear();
+      Parse = State::HelloTenant;
+      break;
+    }
+    case State::HelloTenant: {
+      std::size_t Need = TenantLength - Head.size();
+      std::size_t Take = Size < Need ? Size : Need;
+      Head.append(reinterpret_cast<const char *>(Data), Take);
+      Data += Take;
+      Size -= Take;
+      if (Head.size() < TenantLength)
+        break;
+      Hello.Tenant = Head;
+      Head.clear();
+      if (!isValidTenantName(Hello.Tenant))
+        return fail(Err, "invalid tenant name '" + Hello.Tenant +
+                             "': 1-64 characters of [A-Za-z0-9._-], not "
+                             "starting with a dot");
+      SessionError BindErr;
+      BoundTenant = Binder ? Binder(Hello, BindErr) : nullptr;
+      if (!BoundTenant) {
+        // Not bound yet, so fail() cannot charge a tenant — this is a
+        // daemon-side rejection, not a corrupt stream.
+        Dead = true;
+        Err.assign(who() + ": rejected: " +
+                   (BindErr.ok() ? "no tenant binder" : BindErr.message()));
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+        ++BoundTenant->stats().Connections;
+        Decoder = std::make_unique<TraceStreamDecoder>(
+            &BoundTenant->session().processor().arena());
+      }
+      Parse = State::FrameHeader;
+      break;
+    }
+    case State::FrameHeader: {
+      std::size_t Need = StreamFrameHeaderSize - Head.size();
+      std::size_t Take = Size < Need ? Size : Need;
+      Head.append(reinterpret_cast<const char *>(Data), Take);
+      Data += Take;
+      Size -= Take;
+      if (Head.size() < StreamFrameHeaderSize)
+        break;
+      ByteReader Cursor(reinterpret_cast<const unsigned char *>(Head.data()),
+                        Head.size());
+      std::uint64_t Sequence = 0;
+      std::uint32_t Length = 0;
+      Cursor.readU64(Sequence);
+      Cursor.readU32(Length);
+      Head.clear();
+      if (Sequence != NextSequence)
+        return fail(Err, "out-of-order frame: sequence " +
+                             std::to_string(Sequence) + ", expected " +
+                             std::to_string(NextSequence));
+      if (Length == 0 || Length > StreamMaxFramePayload)
+        return fail(Err, "invalid frame payload length " +
+                             std::to_string(Length) + " in frame " +
+                             std::to_string(Sequence) + ": expected 1-" +
+                             std::to_string(StreamMaxFramePayload));
+      ++NextSequence;
+      PayloadRemaining = Length;
+      Parse = State::FramePayload;
+      break;
+    }
+    case State::FramePayload: {
+      std::size_t Take = Size < PayloadRemaining ? Size : PayloadRemaining;
+      SessionError DecodeErr;
+      bool Ok;
+      std::uint64_t Admitted = 0;
+      {
+        // One lock per chunk, not per event: the tenant pipeline is
+        // synchronous, and admission order within a stream is the wire
+        // order either way.
+        std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+        EventProcessor &Processor = BoundTenant->session().processor();
+        Ok = Decoder->feed(Data, Take,
+                           [&](Event &E) {
+                             Processor.process(std::move(E));
+                             ++Admitted;
+                           },
+                           DecodeErr);
+        BoundTenant->stats().EventsAdmitted += Admitted;
+      }
+      EventsAdmitted += Admitted;
+      if (!Ok)
+        return fail(Err, DecodeErr.message());
+      Data += Take;
+      Size -= Take;
+      PayloadRemaining -= Take;
+      if (PayloadRemaining == 0) {
+        ++FramesReceived;
+        Parse = State::FrameHeader;
+      }
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+bool ClientStream::finishEof(SessionError &Err) {
+  if (Dead) {
+    Err.assign(who() + ": stream already failed");
+    return false;
+  }
+  if (Parse == State::HelloFixed || Parse == State::HelloTenant)
+    return fail(Err, "connection closed before a complete hello");
+  if (Parse == State::FramePayload || !Head.empty())
+    return fail(Err, "connection closed mid-frame (frame " +
+                         std::to_string(NextSequence - 1) + ", " +
+                         std::to_string(PayloadRemaining) +
+                         " payload bytes missing)");
+  SessionError DecodeErr;
+  bool Complete;
+  {
+    std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+    Complete = Decoder->finish(DecodeErr);
+    if (Complete)
+      ++BoundTenant->stats().CleanStreams;
+  }
+  if (!Complete)
+    return fail(Err, DecodeErr.message());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Connection
+//===----------------------------------------------------------------------===//
+
+Connection::Connection(int Fd, std::uint64_t Id, int StopFd,
+                       ClientStream::TenantBinder Binder,
+                       std::function<void(Connection &)> OnDone)
+    : Fd(Fd), ConnId(Id), StopFd(StopFd), Stream(std::move(Binder)),
+      OnDone(std::move(OnDone)) {}
+
+Connection::~Connection() {
+  join();
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void Connection::start() {
+  Reader = std::thread([this] { run(); });
+}
+
+void Connection::join() {
+  if (Reader.joinable())
+    Reader.join();
+}
+
+void Connection::drainPending() {
+  // Shutdown drain: whatever the client already sent is processed, then
+  // the connection closes. The socket is switched non-blocking so a
+  // still-streaming client cannot hold the daemon open.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  unsigned char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      SessionError Err;
+      if (!Stream.feed(Buf, static_cast<std::size_t>(N), Err)) {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message() + "; disconnecting");
+        Outcome = StreamOutcome::Corrupt;
+        return;
+      }
+      continue;
+    }
+    if (N == 0) {
+      // Client already hung up: a normal EOF, judged as such.
+      SessionError Err;
+      if (Stream.finishEof(Err)) {
+        Outcome = StreamOutcome::Clean;
+      } else {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message());
+        Outcome = StreamOutcome::Corrupt;
+      }
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    // EAGAIN (no more buffered data) or a real error: stop here.
+    Outcome = StreamOutcome::Aborted;
+    return;
+  }
+}
+
+void Connection::run() {
+  unsigned char Buf[1 << 16];
+  while (Outcome == StreamOutcome::Active) {
+    pollfd Fds[2];
+    Fds[0].fd = Fd;
+    Fds[0].events = POLLIN;
+    Fds[0].revents = 0;
+    Fds[1].fd = StopFd;
+    Fds[1].events = POLLIN;
+    Fds[1].revents = 0;
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      Outcome = StreamOutcome::Aborted;
+      break;
+    }
+    if (Fds[1].revents != 0) {
+      drainPending();
+      break;
+    }
+    if (Fds[0].revents == 0)
+      continue;
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      logWarning("serve: connection #" + std::to_string(ConnId) +
+                 ": read error: " + std::strerror(errno));
+      Outcome = StreamOutcome::Aborted;
+      break;
+    }
+    if (N == 0) {
+      SessionError Err;
+      if (Stream.finishEof(Err)) {
+        Outcome = StreamOutcome::Clean;
+      } else {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message());
+        Outcome = StreamOutcome::Corrupt;
+      }
+      break;
+    }
+    SessionError Err;
+    if (!Stream.feed(Buf, static_cast<std::size_t>(N), Err)) {
+      logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                 Err.message() + "; disconnecting");
+      Outcome = StreamOutcome::Corrupt;
+      break;
+    }
+  }
+  ::close(Fd);
+  Fd = -1;
+  Done.store(true, std::memory_order_release);
+  if (OnDone)
+    OnDone(*this);
+}

@@ -1,0 +1,145 @@
+//===- serve/Connection.h - One client stream -------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One accepted client of the aggregation daemon. Split in two layers:
+///
+/// ClientStream is the transport-free core — a byte-in state machine
+/// over the StreamEnvelope grammar (Hello → sequence-checked frames)
+/// that routes frame payloads into a TraceStreamDecoder and admits
+/// every decoded event into the bound tenant's session under the
+/// tenant lock. The fuzz tests drive it directly with byte arrays; no
+/// socket required.
+///
+/// Connection wraps a ClientStream around an accepted socket fd with a
+/// reader thread. Its failure domain is one client: an envelope or
+/// trace violation logs a file-offset-style diagnostic naming the
+/// client and disconnects it, leaving every other connection — and the
+/// partial events this client already contributed — untouched. Events
+/// admitted before the violation stay in the tenant merge (the same
+/// semantics as a tool observing a live process that crashed mid-run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SERVE_CONNECTION_H
+#define PASTA_SERVE_CONNECTION_H
+
+#include "pasta/SessionError.h"
+#include "pasta/StreamEnvelope.h"
+#include "pasta/TraceReader.h"
+#include "serve/TenantRegistry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace pasta {
+namespace serve {
+
+/// How a client stream ended (Aggregator bookkeeping).
+enum class StreamOutcome {
+  /// Still streaming.
+  Active,
+  /// EOF after a verified End record.
+  Clean,
+  /// Envelope or trace violation; client was disconnected.
+  Corrupt,
+  /// Daemon shutdown closed the connection before the stream finished.
+  Aborted,
+};
+
+/// Envelope state machine + decoder + tenant admission. Socket-free.
+class ClientStream {
+public:
+  /// Resolves a validated Hello to its tenant. Null (with the error
+  /// set) rejects the client.
+  using TenantBinder =
+      std::function<Tenant *(const trace::StreamHello &, SessionError &)>;
+
+  explicit ClientStream(TenantBinder Binder) : Binder(std::move(Binder)) {}
+
+  /// Consumes \p Size connection bytes. False on the first violation,
+  /// with \p Err naming the client (once known) and the stream offset;
+  /// the stream is then dead and the tenant's CorruptStreams counter
+  /// has been bumped.
+  bool feed(const unsigned char *Data, std::size_t Size, SessionError &Err);
+
+  /// Declares EOF. True only for a complete stream: Hello seen, final
+  /// frame ended on a frame boundary, End record arrived and verified.
+  bool finishEof(SessionError &Err);
+
+  /// Bound tenant (null until the Hello resolves).
+  Tenant *tenant() const { return BoundTenant; }
+  const trace::StreamHello &hello() const { return Hello; }
+  std::uint64_t framesReceived() const { return FramesReceived; }
+  std::uint64_t eventsAdmitted() const { return EventsAdmitted; }
+
+private:
+  bool fail(SessionError &Err, const std::string &Message);
+  /// "client pid N tenant 'x'" once the Hello is parsed.
+  std::string who() const;
+
+  enum class State { HelloFixed, HelloTenant, FrameHeader, FramePayload };
+
+  TenantBinder Binder;
+  State Parse = State::HelloFixed;
+  /// Reassembly buffer for the fixed-size pieces (hello, frame header).
+  std::string Head;
+  std::size_t TenantLength = 0;
+  trace::StreamHello Hello;
+  Tenant *BoundTenant = nullptr;
+  std::unique_ptr<TraceStreamDecoder> Decoder;
+  std::uint64_t NextSequence = 0;
+  std::size_t PayloadRemaining = 0;
+  std::uint64_t FramesReceived = 0;
+  std::uint64_t EventsAdmitted = 0;
+  bool Dead = false;
+};
+
+/// Socket + reader thread around a ClientStream.
+class Connection {
+public:
+  /// Takes ownership of \p Fd. \p StopFd becomes readable when the
+  /// daemon is shutting down. \p OnDone fires exactly once, from the
+  /// reader thread, when the stream ends.
+  Connection(int Fd, std::uint64_t Id, int StopFd,
+             ClientStream::TenantBinder Binder,
+             std::function<void(Connection &)> OnDone);
+  ~Connection();
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  void start();
+  void join();
+
+  std::uint64_t id() const { return ConnId; }
+  bool done() const { return Done.load(std::memory_order_acquire); }
+  StreamOutcome outcome() const { return Outcome; }
+  Tenant *tenant() const { return Stream.tenant(); }
+  std::uint64_t eventsAdmitted() const { return Stream.eventsAdmitted(); }
+
+private:
+  void run();
+  /// Reads until EAGAIN/EOF, feeding the stream — the shutdown drain.
+  void drainPending();
+
+  int Fd;
+  std::uint64_t ConnId;
+  int StopFd;
+  ClientStream Stream;
+  std::function<void(Connection &)> OnDone;
+  std::thread Reader;
+  std::atomic<bool> Done{false};
+  StreamOutcome Outcome = StreamOutcome::Active;
+};
+
+} // namespace serve
+} // namespace pasta
+
+#endif // PASTA_SERVE_CONNECTION_H

@@ -1,0 +1,101 @@
+//===- serve/Listener.cpp -------------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Listener.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pasta;
+using namespace pasta::serve;
+
+Listener::~Listener() { close(); }
+
+bool Listener::open(const std::string &SocketPath, SessionError &Err) {
+  if (Fd >= 0) {
+    Err.assign("listener already open on '" + Path + "'");
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err.assign("socket path '" + SocketPath + "' must be 1-" +
+               std::to_string(sizeof(Addr.sun_path) - 1) + " bytes");
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err.assign("cannot create listen socket: " +
+               std::string(std::strerror(errno)));
+    return false;
+  }
+  // Take over the path: a stale file from a dead daemon would otherwise
+  // fail bind with EADDRINUSE forever.
+  ::unlink(SocketPath.c_str());
+  if (::bind(Fd, reinterpret_cast<const sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Err.assign("cannot bind '" + SocketPath +
+               "': " + std::strerror(errno));
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  if (::listen(Fd, 64) != 0) {
+    Err.assign("cannot listen on '" + SocketPath +
+               "': " + std::strerror(errno));
+    ::close(Fd);
+    Fd = -1;
+    ::unlink(SocketPath.c_str());
+    return false;
+  }
+  Path = SocketPath;
+  return true;
+}
+
+int Listener::acceptOrStop(int StopFd) {
+  while (Fd >= 0) {
+    pollfd Fds[2];
+    Fds[0].fd = Fd;
+    Fds[0].events = POLLIN;
+    Fds[0].revents = 0;
+    Fds[1].fd = StopFd;
+    Fds[1].events = POLLIN;
+    Fds[1].revents = 0;
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (Fds[1].revents != 0)
+      return -1;
+    if (Fds[0].revents == 0)
+      continue;
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client >= 0)
+      return Client;
+    if (errno == EINTR || errno == ECONNABORTED)
+      continue;
+    return -1;
+  }
+  return -1;
+}
+
+void Listener::close() {
+  if (Fd < 0)
+    return;
+  ::close(Fd);
+  Fd = -1;
+  if (!Path.empty())
+    ::unlink(Path.c_str());
+}

@@ -1,0 +1,56 @@
+//===- serve/Listener.h - Unix-domain accept socket -------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's accept socket: bind + listen on a Unix-domain path,
+/// and a poll-based accept that can be interrupted by a stop fd (the
+/// Aggregator's self-pipe, written from the SIGTERM handler). A stale
+/// socket file from a previous daemon is unlinked before bind — the
+/// standard take-over-the-path daemon posture — and the file is
+/// unlinked again on close.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SERVE_LISTENER_H
+#define PASTA_SERVE_LISTENER_H
+
+#include "pasta/SessionError.h"
+
+#include <string>
+
+namespace pasta {
+namespace serve {
+
+/// Listening Unix-domain socket.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on \p SocketPath. False with \p Err on failure.
+  bool open(const std::string &SocketPath, SessionError &Err);
+
+  bool isOpen() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+
+  /// Blocks until a client connects or \p StopFd becomes readable.
+  /// Returns the accepted fd (>= 0), or -1 for stop/error.
+  int acceptOrStop(int StopFd);
+
+  /// Closes the socket and unlinks the path. Idempotent.
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+} // namespace serve
+} // namespace pasta
+
+#endif // PASTA_SERVE_LISTENER_H

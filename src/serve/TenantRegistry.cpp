@@ -1,0 +1,52 @@
+//===- serve/TenantRegistry.cpp -------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/TenantRegistry.h"
+
+#include "support/ReportSink.h"
+
+using namespace pasta;
+using namespace pasta::serve;
+
+Tenant *TenantRegistry::getOrCreate(const std::string &Name,
+                                    SessionError &Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (std::unique_ptr<Tenant> &T : Tenants)
+    if (T->name() == Name)
+      return T.get();
+
+  // A tenant session is a normal Session minus the workload: backend
+  // "none" (no instrumentation of its own — every event arrives through
+  // the decoder), synchronous pipeline (admission is serialized by the
+  // tenant mutex; byte-identity with single-process sync reports is the
+  // acceptance gate), the daemon's tool set.
+  SessionBuilder Builder;
+  Builder.backend("none").gpu(Opts.Gpu).validate(Opts.Validate);
+  for (const std::string &ToolName : Opts.ToolNames)
+    Builder.tool(ToolName);
+  std::unique_ptr<Session> S = Builder.build(Err);
+  if (!S)
+    return nullptr;
+  Tenants.push_back(std::make_unique<Tenant>(Name, std::move(S)));
+  return Tenants.back().get();
+}
+
+std::vector<Tenant *> TenantRegistry::tenants() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Tenant *> Out;
+  Out.reserve(Tenants.size());
+  for (std::unique_ptr<Tenant> &T : Tenants)
+    Out.push_back(T.get());
+  return Out;
+}
+
+void TenantRegistry::writeTenantReport(Tenant &T, ReportSink &Sink,
+                                       bool Final) {
+  std::lock_guard<std::mutex> Lock(T.mutex());
+  if (Final)
+    T.session().finish();
+  T.session().writeReports(Sink);
+}

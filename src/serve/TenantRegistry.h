@@ -1,0 +1,123 @@
+//===- serve/TenantRegistry.h - Per-tenant merge sessions -------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tenancy model of `accelprof --serve` (docs/SERVE.md): every
+/// client Hello names a tenant, and all streams of one tenant merge
+/// into one in-process analysis Session — backend "none", synchronous
+/// pipeline, the daemon's tool set — whose processor admits the decoded
+/// events. This reuses the replay admission plumbing wholesale: the
+/// same processor().process() path ReplayBackend pumps, so every
+/// existing tool works unmodified on aggregated streams, and a tenant
+/// fed by a single client produces a report byte-identical to the same
+/// workload run single-process with the same tools.
+///
+/// Concurrency: the tenant session's pipeline is synchronous, so
+/// admission needs external serialization — each Tenant carries a
+/// mutex, and connections hold it while feeding decoded events.
+/// Different tenants are fully independent (separate sessions, separate
+/// arenas) and proceed in parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SERVE_TENANTREGISTRY_H
+#define PASTA_SERVE_TENANTREGISTRY_H
+
+#include "pasta/Session.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+class ReportSink;
+
+namespace serve {
+
+/// Daemon configuration (driver flags; see accelprof --help).
+struct ServeOptions {
+  /// Unix-domain socket path to listen on.
+  std::string SocketPath;
+  /// Tools every tenant session runs.
+  std::vector<std::string> ToolNames = {"kernel_frequency"};
+  /// Per-tenant report files land here as <tenant>.<ext> when set;
+  /// empty = final reports to stdout with tenant banners.
+  std::string ReportDir;
+  /// "text", "json" or "csv".
+  std::string Format = "text";
+  /// Periodic rollup interval in seconds (0 = only at disconnect and
+  /// shutdown).
+  double ReportEverySeconds = 0.0;
+  /// Arm the runtime contract validator in tenant sessions.
+  bool Validate = ProcessorOptions().Validate;
+  /// GPU preset for the simulated system behind each tenant session
+  /// (tools that consult device specs see this machine).
+  std::string Gpu = "A100";
+};
+
+/// Per-tenant counters, guarded by the tenant mutex.
+struct TenantStats {
+  /// Streams that bound to this tenant.
+  std::uint64_t Connections = 0;
+  /// Streams whose End record arrived and verified.
+  std::uint64_t CleanStreams = 0;
+  /// Streams dropped for envelope/decode violations.
+  std::uint64_t CorruptStreams = 0;
+  std::uint64_t EventsAdmitted = 0;
+};
+
+/// One merge domain: name + analysis session + admission lock.
+class Tenant {
+public:
+  Tenant(std::string Name, std::unique_ptr<Session> S)
+      : TenantName(std::move(Name)), S(std::move(S)) {}
+
+  const std::string &name() const { return TenantName; }
+  /// Hold mutex() while touching the session or stats — the pipeline
+  /// is synchronous and needs external serialization.
+  Session &session() { return *S; }
+  std::mutex &mutex() { return Mu; }
+  TenantStats &stats() { return Stats; }
+
+private:
+  std::string TenantName;
+  std::unique_ptr<Session> S;
+  std::mutex Mu;
+  TenantStats Stats;
+};
+
+/// Name → Tenant map; builds tenant sessions on first sight.
+class TenantRegistry {
+public:
+  explicit TenantRegistry(const ServeOptions &Opts) : Opts(Opts) {}
+
+  /// Existing tenant, or a freshly built session for a new name. Null
+  /// with \p Err when the session cannot be built (unknown tool name).
+  Tenant *getOrCreate(const std::string &Name, SessionError &Err);
+
+  /// Stable pointers, first-Hello order.
+  std::vector<Tenant *> tenants();
+
+  /// Emits \p T's tool reports through \p Sink (takes the tenant lock).
+  /// \p Final additionally finishes the session first (tool onFinish) —
+  /// shutdown only; finish() is idempotent but seals the pipeline.
+  /// Deliberately *only* tool reports: a single-client tenant's file
+  /// must be byte-identical to the client's own report document.
+  void writeTenantReport(Tenant &T, ReportSink &Sink, bool Final);
+
+private:
+  ServeOptions Opts;
+  std::mutex Mu;
+  std::vector<std::unique_ptr<Tenant>> Tenants;
+};
+
+} // namespace serve
+} // namespace pasta
+
+#endif // PASTA_SERVE_TENANTREGISTRY_H

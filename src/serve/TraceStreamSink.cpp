@@ -1,0 +1,182 @@
+//===- serve/TraceStreamSink.cpp ------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/TraceStreamSink.h"
+
+#include "pasta/StreamEnvelope.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pasta;
+using namespace pasta::serve;
+
+TraceStreamSink::~TraceStreamSink() { closeFd(); }
+
+void TraceStreamSink::closeFd() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void TraceStreamSink::setFlushThreshold(std::size_t Bytes) {
+  if (Bytes == 0)
+    Bytes = 1;
+  if (Bytes > trace::StreamMaxFramePayload)
+    Bytes = trace::StreamMaxFramePayload;
+  FlushThreshold = Bytes;
+}
+
+bool TraceStreamSink::connect(const std::string &SocketPath,
+                              const std::string &TenantName,
+                              SessionError &Err) {
+  if (Fd >= 0) {
+    Err.assign("stream sink already connected to '" + Path + "'");
+    return false;
+  }
+  if (!trace::isValidTenantName(TenantName)) {
+    Err.assign("invalid tenant name '" + TenantName +
+               "': 1-64 characters of [A-Za-z0-9._-], not starting "
+               "with a dot");
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err.assign("socket path '" + SocketPath + "' longer than " +
+               std::to_string(sizeof(Addr.sun_path) - 1) + " bytes");
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err.assign("cannot create client socket: " +
+               std::string(std::strerror(errno)));
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Err.assign("cannot connect to aggregator socket '" + SocketPath +
+               "': " + std::strerror(errno));
+    closeFd();
+    return false;
+  }
+  // Non-blocking + poll so a full socket buffer is an observable,
+  // counted wait (SendBlocked) instead of an opaque stall.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) != 0) {
+    Err.assign("cannot make client socket non-blocking: " +
+               std::string(std::strerror(errno)));
+    closeFd();
+    return false;
+  }
+
+  Path = SocketPath;
+  Tenant = TenantName;
+  SendFailed = false;
+  NextSequence = 0;
+  Buffer.clear();
+
+  trace::StreamHello Hello;
+  Hello.Tenant = TenantName;
+  Hello.ProcessId = static_cast<std::uint64_t>(::getpid());
+  std::string Bytes;
+  trace::encodeStreamHello(Bytes, Hello);
+  if (!sendAll(Bytes.data(), Bytes.size())) {
+    Err.assign("cannot send stream hello to '" + SocketPath +
+               "': " + std::strerror(errno));
+    closeFd();
+    return false;
+  }
+  return true;
+}
+
+bool TraceStreamSink::sendAll(const char *Data, std::size_t Size) {
+  while (Size > 0) {
+    ssize_t Sent = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+    if (Sent > 0) {
+      Data += Sent;
+      Size -= static_cast<std::size_t>(Sent);
+      continue;
+    }
+    if (Sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Backpressure: wait for the daemon to drain. In an async session
+      // this blocks the forwarder's lane, fills the event queue, and
+      // hands control to the session's overflow policy — the documented
+      // degradation path.
+      ++Stats.SendBlocked;
+      pollfd Pfd;
+      Pfd.fd = Fd;
+      Pfd.events = POLLOUT;
+      Pfd.revents = 0;
+      if (::poll(&Pfd, 1, -1) < 0 && errno != EINTR)
+        return false;
+      continue;
+    }
+    if (Sent < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool TraceStreamSink::flushFrame() {
+  if (Buffer.empty())
+    return true;
+  std::string Header;
+  trace::encodeStreamFrameHeader(Header, NextSequence,
+                                 static_cast<std::uint32_t>(Buffer.size()));
+  if (!sendAll(Header.data(), Header.size()) ||
+      !sendAll(Buffer.data(), Buffer.size())) {
+    SendFailed = true;
+    return false;
+  }
+  ++NextSequence;
+  ++Stats.FramesSent;
+  Stats.PayloadBytesSent += Buffer.size();
+  Buffer.clear();
+  return true;
+}
+
+bool TraceStreamSink::write(const char *Data, std::size_t Size) {
+  if (Fd < 0 || SendFailed)
+    return false;
+  while (Size > 0) {
+    std::size_t Room = FlushThreshold > Buffer.size()
+                           ? FlushThreshold - Buffer.size()
+                           : 0;
+    std::size_t Take = Size < Room ? Size : Room;
+    Buffer.append(Data, Take);
+    Data += Take;
+    Size -= Take;
+    if (Buffer.size() >= FlushThreshold && !flushFrame())
+      return false;
+  }
+  return true;
+}
+
+bool TraceStreamSink::finish(SessionError &Err) {
+  if (Fd < 0)
+    return !SendFailed;
+  bool Ok = flushFrame();
+  closeFd();
+  if (!Ok || SendFailed) {
+    SendFailed = true;
+    Err.assign("stream connection to '" + Path +
+               "' failed (aggregator gone or socket error)");
+    return false;
+  }
+  return true;
+}

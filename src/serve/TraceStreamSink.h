@@ -1,0 +1,106 @@
+//===- serve/TraceStreamSink.h - Client socket transport --------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The producer half of fleet aggregation (docs/SERVE.md): a TraceOutput
+/// that ships the trace byte stream a TraceWriter produces over a
+/// Unix-domain socket to an `accelprof --serve` aggregator, wrapped in
+/// the StreamEnvelope session framing (Hello with tenant + pid, then
+/// sequence-numbered length-prefixed frames).
+///
+/// Bytes are coalesced into a frame buffer and flushed when it passes
+/// the flush threshold (and at finish()), so a forwarding producer pays
+/// one sendmsg per ~32 KiB of trace, not one per record. The socket is
+/// non-blocking: when the daemon falls behind and the socket buffer
+/// fills, the sink *blocks the forwarding tool's lane* in poll() —
+/// which in an async session backs pressure up into the bounded
+/// EventQueue, where the session's configured overflow policy
+/// (block/drop-newest/sample) takes over. That is the documented
+/// fallback: a slow aggregator degrades the stream exactly like any
+/// other slow consumer, it never deadlocks admission. Blocked waits are
+/// counted (SendBlocked).
+///
+/// A peer failure (daemon gone, connection reset) permanently fails the
+/// sink; the stream_forward tool logs one warning and the profiled
+/// process keeps running unstreamed — losing the aggregator must never
+/// kill the workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SERVE_TRACESTREAMSINK_H
+#define PASTA_SERVE_TRACESTREAMSINK_H
+
+#include "pasta/SessionError.h"
+#include "pasta/TraceWriter.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pasta {
+namespace serve {
+
+/// Transport counters (surfaced by the stream_forward tool's report —
+/// all deterministic except SendBlocked, which is reported separately).
+struct TraceStreamSinkStats {
+  std::uint64_t FramesSent = 0;
+  std::uint64_t PayloadBytesSent = 0;
+  /// poll() waits taken because the socket buffer was full.
+  std::uint64_t SendBlocked = 0;
+};
+
+/// One client connection to an aggregator socket. Not thread-safe: the
+/// intended writer is the stream_forward tool's Serial lane.
+class TraceStreamSink : public TraceOutput {
+public:
+  TraceStreamSink() = default;
+  ~TraceStreamSink() override;
+  TraceStreamSink(const TraceStreamSink &) = delete;
+  TraceStreamSink &operator=(const TraceStreamSink &) = delete;
+
+  /// Connects to \p SocketPath and sends the Hello. \p Tenant must pass
+  /// trace::isValidTenantName. False with \p Err on any failure (the
+  /// sink is then unusable).
+  bool connect(const std::string &SocketPath, const std::string &Tenant,
+               SessionError &Err);
+
+  bool isConnected() const { return Fd >= 0; }
+
+  /// TraceOutput: buffers \p Size bytes, flushing full frames.
+  bool write(const char *Data, std::size_t Size) override;
+  std::string describe() const override { return "socket:" + Path; }
+
+  /// Flushes any buffered bytes as a final frame and closes the
+  /// connection (the server treats the resulting EOF as end-of-stream
+  /// and checks the trace's End record arrived). Idempotent. False when
+  /// the transport failed at any point, with \p Err naming the socket.
+  bool finish(SessionError &Err);
+
+  const TraceStreamSinkStats &stats() const { return Stats; }
+
+  /// Frame coalescing threshold (bytes); clamped to the envelope's
+  /// frame-payload ceiling. Test hook — the default is right for
+  /// production.
+  void setFlushThreshold(std::size_t Bytes);
+
+private:
+  bool flushFrame();
+  bool sendAll(const char *Data, std::size_t Size);
+  void closeFd();
+
+  int Fd = -1;
+  std::string Path;
+  std::string Tenant;
+  std::string Buffer;
+  std::size_t FlushThreshold = 32 * 1024;
+  std::uint64_t NextSequence = 0;
+  bool SendFailed = false;
+  TraceStreamSinkStats Stats;
+};
+
+} // namespace serve
+} // namespace pasta
+
+#endif // PASTA_SERVE_TRACESTREAMSINK_H

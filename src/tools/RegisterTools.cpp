@@ -12,6 +12,7 @@
 #include "tools/KernelFrequencyTool.h"
 #include "tools/MemUsageTimelineTool.h"
 #include "tools/OpKernelMapTool.h"
+#include "tools/StreamForwardTool.h"
 #include "tools/TraceCaptureTool.h"
 #include "tools/TraceExportTool.h"
 #include "tools/WorkingSetTool.h"
@@ -56,5 +57,8 @@ void pasta::tools::registerBuiltinTools() {
   });
   Registry.registerTool("trace_capture", [] {
     return std::make_unique<TraceCaptureTool>();
+  });
+  Registry.registerTool("stream_forward", [] {
+    return std::make_unique<StreamForwardTool>();
   });
 }

@@ -1,0 +1,657 @@
+//===- tests/serve_test.cpp - fleet aggregation daemon --------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `accelprof --serve` subsystem: the stream envelope (Hello +
+// sequence-checked frames), the byte-incremental TraceStreamDecoder and
+// its equivalence with the file reader, the ClientStream robustness
+// contract (bit-flip and every-prefix truncation fuzz — a violation
+// always fails with a diagnostic, never crashes, never silently
+// accepts), corrupt-client isolation between tenants, and the end-to-end
+// socket path: client sessions forwarding through --connect produce
+// per-tenant aggregator reports byte-identical to the same workload run
+// single-process, and a SIGTERM-style requestStop() drains cleanly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventProcessor.h"
+#include "pasta/Session.h"
+#include "pasta/StreamEnvelope.h"
+#include "pasta/TraceFormat.h"
+#include "pasta/TraceReader.h"
+#include "pasta/TraceWriter.h"
+#include "serve/Aggregator.h"
+#include "serve/Connection.h"
+#include "serve/TenantRegistry.h"
+#include "serve/TraceStreamSink.h"
+#include "support/ReportSink.h"
+#include "tools/StreamForwardTool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace pasta;
+using namespace pasta::serve;
+
+namespace {
+
+std::string tempPath(const std::string &Stem, const std::string &Ext) {
+  static int Counter = 0;
+  return ::testing::TempDir() + "pasta_serve_" + Stem + "_" +
+         std::to_string(++Counter) + Ext;
+}
+
+std::vector<unsigned char> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(In),
+                                    std::istreambuf_iterator<char>());
+}
+
+/// TraceOutput capturing the byte stream in memory.
+class StringTraceOutput : public TraceOutput {
+public:
+  bool write(const char *Data, std::size_t Size) override {
+    Bytes.append(Data, Size);
+    return true;
+  }
+  std::string describe() const override { return "memory"; }
+  std::string Bytes;
+};
+
+sim::KernelDesc makeKernel(const std::string &Name) {
+  sim::KernelDesc K;
+  K.Name = Name;
+  K.Grid = {8, 4, 2};
+  K.Block = {128, 1, 1};
+  K.Flops = 123456.5;
+  K.StaticInstrs = 4096;
+  sim::AccessSegment Load;
+  Load.Base = 0x1000;
+  Load.Extent = 0x2000;
+  Load.AccessBytes = 1 << 20;
+  Load.Kind = sim::AccessKind::Load;
+  Load.Space = sim::MemSpace::Global;
+  K.Segments = {Load};
+  return K;
+}
+
+/// A payload-rich synthetic stream (kernels, strings, stacks, repeats so
+/// the payload tables deduplicate).
+std::vector<Event> makeEvents(std::size_t Count) {
+  std::vector<Event> Events;
+  sim::KernelDesc K1 = makeKernel("gemm_kernel");
+  sim::KernelDesc K2 = makeKernel("conv_kernel");
+  for (std::size_t I = 0; I < Count; ++I) {
+    Event E;
+    switch (I % 3) {
+    case 0:
+      E.Kind = EventKind::KernelLaunch;
+      E.GridId = I + 1;
+      E.Stream = static_cast<std::uint32_t>(I % 3);
+      E.adoptKernel(
+          std::make_shared<const sim::KernelDesc>(I % 6 == 0 ? K2 : K1));
+      break;
+    case 1:
+      E.Kind = EventKind::OperatorStart;
+      E.OpName = I % 6 == 1 ? "aten::conv2d" : "aten::mm";
+      E.LayerName = "layer" + std::to_string(I % 4);
+      break;
+    default:
+      E.Kind = EventKind::MemoryAlloc;
+      E.Address = 0x1000 * (I + 1);
+      E.Bytes = 4096;
+      break;
+    }
+    E.Timestamp = static_cast<SimTime>(1000 * I);
+    Events.push_back(E);
+  }
+  return Events;
+}
+
+/// The trace byte stream a forwarding client produces (streamed header
+/// flags, payload tables, End record).
+std::string traceBytes(const std::vector<Event> &Events) {
+  StringTraceOutput Out;
+  TraceWriter Writer;
+  SessionError Err;
+  EXPECT_TRUE(Writer.openSink(Out, trace::kFlagStreamed, Err))
+      << Err.message();
+  for (const Event &E : Events)
+    Writer.append(E);
+  EXPECT_TRUE(Writer.finalize(Err)) << Err.message();
+  return Out.Bytes;
+}
+
+/// Full client connection bytes: Hello + the trace stream cut into
+/// frames of \p FramePayload bytes.
+std::string clientBytes(const std::string &Tenant, std::uint64_t Pid,
+                        const std::string &Trace, std::size_t FramePayload) {
+  std::string Wire;
+  trace::StreamHello Hello;
+  Hello.Tenant = Tenant;
+  Hello.ProcessId = Pid;
+  trace::encodeStreamHello(Wire, Hello);
+  std::uint64_t Sequence = 0;
+  for (std::size_t Pos = 0; Pos < Trace.size(); Pos += FramePayload) {
+    std::size_t Len = std::min(FramePayload, Trace.size() - Pos);
+    trace::encodeStreamFrameHeader(Wire, Sequence++,
+                                   static_cast<std::uint32_t>(Len));
+    Wire.append(Trace, Pos, Len);
+  }
+  return Wire;
+}
+
+ServeOptions makeOpts() {
+  ServeOptions Opts;
+  Opts.ToolNames = {"kernel_frequency"};
+  return Opts;
+}
+
+/// Drives a ClientStream with the whole byte string in chunks of
+/// \p Chunk bytes. Returns feed+EOF success.
+bool driveStream(ClientStream &Stream, const std::string &Bytes,
+                 std::size_t Chunk, SessionError &Err) {
+  const unsigned char *Data =
+      reinterpret_cast<const unsigned char *>(Bytes.data());
+  for (std::size_t Pos = 0; Pos < Bytes.size(); Pos += Chunk) {
+    std::size_t Len = std::min(Chunk, Bytes.size() - Pos);
+    if (!Stream.feed(Data + Pos, Len, Err))
+      return false;
+  }
+  return Stream.finishEof(Err);
+}
+
+/// The reports of a fresh backend-"none" session fed \p Events directly
+/// through the replay admission path — the byte-identity comparator for
+/// a tenant session fed the same events through the socket stack.
+std::string directAdmissionJson(const std::vector<Event> &Events) {
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("kernel_frequency")
+                                   .backend("none")
+                                   .build(Err);
+  EXPECT_NE(S, nullptr) << Err.message();
+  for (const Event &E : Events) {
+    Event Copy = E;
+    S->processor().process(std::move(Copy));
+  }
+  S->finish();
+  JsonReportSink Sink;
+  S->writeReports(Sink);
+  return Sink.str();
+}
+
+//===----------------------------------------------------------------------===//
+// TraceStreamDecoder
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStreamDecoderTest, IncrementalChunksMatchFileReader) {
+  std::vector<Event> Events = makeEvents(24);
+  std::string Stream = traceBytes(Events);
+
+  // File comparator: same events through the file writer/reader.
+  std::string Path = tempPath("decoder_ref", ".trace");
+  TraceWriter Writer;
+  SessionError Err;
+  ASSERT_TRUE(Writer.open(Path, Err)) << Err.message();
+  for (const Event &E : Events)
+    Writer.append(E);
+  ASSERT_TRUE(Writer.finalize(Err)) << Err.message();
+  TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path, Err)) << Err.message();
+  std::vector<EventKind> FileKinds;
+  std::vector<std::string> FileOps;
+  Reader.forEachEvent(nullptr, [&](Event &E) {
+    FileKinds.push_back(E.Kind);
+    FileOps.push_back(E.OpName.str());
+  });
+
+  // Every chunk size decodes the identical event sequence.
+  for (std::size_t Chunk :
+       {std::size_t(1), std::size_t(3), std::size_t(7), std::size_t(64),
+        Stream.size()}) {
+    TraceStreamDecoder Decoder(nullptr);
+    std::vector<EventKind> Kinds;
+    std::vector<std::string> Ops;
+    const unsigned char *Data =
+        reinterpret_cast<const unsigned char *>(Stream.data());
+    for (std::size_t Pos = 0; Pos < Stream.size(); Pos += Chunk) {
+      std::size_t Len = std::min(Chunk, Stream.size() - Pos);
+      ASSERT_TRUE(Decoder.feed(
+          Data + Pos, Len,
+          [&](Event &E) {
+            Kinds.push_back(E.Kind);
+            Ops.push_back(E.OpName.str());
+          },
+          Err))
+          << "chunk " << Chunk << ": " << Err.message();
+    }
+    ASSERT_TRUE(Decoder.finish(Err)) << Err.message();
+    EXPECT_TRUE(Decoder.finished());
+    EXPECT_EQ(Kinds, FileKinds) << "chunk " << Chunk;
+    EXPECT_EQ(Ops, FileOps) << "chunk " << Chunk;
+    EXPECT_EQ(Decoder.info().Events, Events.size());
+  }
+}
+
+TEST(TraceStreamDecoderTest, RejectsFileFlavoredHeader) {
+  // A capture-file header (flags 0) is not a socket stream.
+  std::vector<Event> Events = makeEvents(4);
+  std::string Path = tempPath("fileflags", ".trace");
+  TraceWriter Writer;
+  SessionError Err;
+  ASSERT_TRUE(Writer.open(Path, Err));
+  for (const Event &E : Events)
+    Writer.append(E);
+  ASSERT_TRUE(Writer.finalize(Err));
+  std::vector<unsigned char> Bytes = readFileBytes(Path);
+
+  TraceStreamDecoder Decoder(nullptr);
+  EXPECT_FALSE(
+      Decoder.feed(Bytes.data(), Bytes.size(), [](Event &) {}, Err));
+  EXPECT_TRUE(Decoder.failed());
+  EXPECT_NE(Err.message().find("header flags"), std::string::npos)
+      << Err.message();
+}
+
+TEST(TraceStreamDecoderTest, TruncatedStreamFailsAtFinish) {
+  std::string Stream = traceBytes(makeEvents(8));
+  TraceStreamDecoder Decoder(nullptr);
+  SessionError Err;
+  ASSERT_TRUE(Decoder.feed(
+      reinterpret_cast<const unsigned char *>(Stream.data()),
+      Stream.size() - 5, [](Event &) {}, Err))
+      << Err.message();
+  EXPECT_FALSE(Decoder.finish(Err));
+  EXPECT_NE(Err.message().find("truncated stream"), std::string::npos)
+      << Err.message();
+}
+
+//===----------------------------------------------------------------------===//
+// File reader flags posture (v2)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFileFlagsTest, StreamedFlagRejectedInCaptureFiles) {
+  // Dumping a socket stream's bytes to disk must not masquerade as a
+  // capture file.
+  std::string Stream = traceBytes(makeEvents(4));
+  std::string Path = tempPath("streamdump", ".trace");
+  std::ofstream(Path, std::ios::binary) << Stream;
+  TraceReader Reader;
+  SessionError Err;
+  EXPECT_FALSE(Reader.open(Path, Err));
+  EXPECT_NE(Err.message().find("streamed header flags"), std::string::npos)
+      << Err.message();
+}
+
+//===----------------------------------------------------------------------===//
+// ClientStream: envelope grammar + robustness fuzz
+//===----------------------------------------------------------------------===//
+
+TEST(ClientStreamTest, CleanStreamAdmitsEveryEvent) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::vector<Event> Events = makeEvents(18);
+  std::string Wire = clientBytes("team-a", 4242, traceBytes(Events), 53);
+
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  SessionError Err;
+  ASSERT_TRUE(driveStream(Stream, Wire, 11, Err)) << Err.message();
+  ASSERT_NE(Stream.tenant(), nullptr);
+  EXPECT_EQ(Stream.hello().Tenant, "team-a");
+  EXPECT_EQ(Stream.hello().ProcessId, 4242u);
+  EXPECT_EQ(Stream.eventsAdmitted(), Events.size());
+  TenantStats Stats = Stream.tenant()->stats();
+  EXPECT_EQ(Stats.Connections, 1u);
+  EXPECT_EQ(Stats.CleanStreams, 1u);
+  EXPECT_EQ(Stats.CorruptStreams, 0u);
+  EXPECT_EQ(Stats.EventsAdmitted, Events.size());
+}
+
+TEST(ClientStreamTest, OutOfOrderFrameRejected) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::string Trace = traceBytes(makeEvents(6));
+  std::string Wire = clientBytes("seq", 1, Trace, 40);
+  // Bump the first frame's sequence number (directly after the hello).
+  std::size_t HelloSize = trace::StreamHelloFixedSize + 3;
+  Wire[HelloSize] = 5;
+
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  SessionError Err;
+  EXPECT_FALSE(driveStream(Stream, Wire, Wire.size(), Err));
+  EXPECT_NE(Err.message().find("out-of-order frame"), std::string::npos)
+      << Err.message();
+  EXPECT_NE(Err.message().find("tenant 'seq'"), std::string::npos)
+      << Err.message();
+}
+
+TEST(ClientStreamTest, EveryPrefixTruncationFails) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::string Wire = clientBytes("trunc", 7, traceBytes(makeEvents(6)), 64);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+
+  for (std::size_t Keep = 0; Keep < Wire.size(); ++Keep) {
+    ClientStream Stream(Binder);
+    SessionError Err;
+    EXPECT_FALSE(driveStream(Stream, Wire.substr(0, Keep), 37, Err))
+        << "silent partial stream: " << Keep << " of " << Wire.size()
+        << " bytes was accepted as complete";
+    EXPECT_FALSE(Err.ok());
+  }
+  // The whole stream still verifies — the loop above proves *only* the
+  // whole stream does.
+  ClientStream Stream(Binder);
+  SessionError Err;
+  EXPECT_TRUE(driveStream(Stream, Wire, 37, Err)) << Err.message();
+}
+
+TEST(ClientStreamTest, BitFlipFuzzNeverCrashesOrAcceptsCorruption) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::string Wire =
+      clientBytes("fuzzer", 99, traceBytes(makeEvents(6)), 48);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+
+  // Structural region: the whole hello, the first frame header, and the
+  // trace header at the start of the first payload.
+  std::size_t HelloSize = trace::StreamHelloFixedSize + 6;
+  std::size_t Structural =
+      HelloSize + trace::StreamFrameHeaderSize + trace::HeaderSize;
+  ASSERT_LE(Structural, Wire.size());
+  for (std::size_t Byte = 0; Byte < Structural; ++Byte) {
+    // The pid field is identity metadata; flipping it yields a valid
+    // stream from a different pid. Tenant-name bytes are identity too:
+    // a flip that lands on another allowed character is a valid stream
+    // for a *different* tenant — only flips to disallowed characters
+    // must be rejected. Everything else is load-bearing.
+    bool PidByte = Byte >= 16 && Byte < 24;
+    bool TenantByte = Byte >= trace::StreamHelloFixedSize && Byte < HelloSize;
+    for (int Bit = 0; Bit < 8; ++Bit) {
+      std::string Mutated = Wire;
+      Mutated[Byte] = static_cast<char>(
+          static_cast<unsigned char>(Mutated[Byte]) ^ (1u << Bit));
+      bool ExpectOk = PidByte;
+      if (TenantByte) {
+        std::string MutatedTenant =
+            Mutated.substr(trace::StreamHelloFixedSize, 6);
+        ExpectOk = trace::isValidTenantName(MutatedTenant);
+      }
+      ClientStream Stream(Binder);
+      SessionError Err;
+      bool Ok = driveStream(Stream, Mutated, 41, Err);
+      if (ExpectOk) {
+        EXPECT_TRUE(Ok) << "byte " << Byte << " bit " << Bit << ": "
+                        << Err.message();
+      } else {
+        EXPECT_FALSE(Ok) << "byte " << Byte << " bit " << Bit
+                         << " flip was silently accepted";
+        EXPECT_FALSE(Err.ok());
+      }
+    }
+  }
+}
+
+TEST(ClientStreamTest, CorruptClientIsolatedFromOtherTenant) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+  std::vector<Event> GoodEvents = makeEvents(21);
+
+  // Tenant "good": one clean client.
+  {
+    ClientStream Stream(Binder);
+    SessionError Err;
+    ASSERT_TRUE(driveStream(
+        Stream, clientBytes("good", 1, traceBytes(GoodEvents), 60), 19, Err))
+        << Err.message();
+  }
+  // Tenant "bad": a client whose trace bytes rot in flight. The End
+  // record's event count (u64 starting 20 bytes from the end) is
+  // clobbered, so the decoder's cross-check must reject the stream.
+  {
+    std::string Trace = traceBytes(makeEvents(21));
+    Trace[Trace.size() - 20] = '\xee';
+    ClientStream Stream(Binder);
+    SessionError Err;
+    EXPECT_FALSE(
+        driveStream(Stream, clientBytes("bad", 2, Trace, 60), 19, Err));
+    EXPECT_NE(Err.message().find("tenant 'bad'"), std::string::npos)
+        << Err.message();
+  }
+
+  SessionError Err;
+  Tenant *Good = Registry.getOrCreate("good", Err);
+  Tenant *Bad = Registry.getOrCreate("bad", Err);
+  ASSERT_NE(Good, nullptr);
+  ASSERT_NE(Bad, nullptr);
+  EXPECT_EQ(Good->stats().CleanStreams, 1u);
+  EXPECT_EQ(Good->stats().CorruptStreams, 0u);
+  EXPECT_EQ(Bad->stats().CleanStreams, 0u);
+  EXPECT_EQ(Bad->stats().CorruptStreams, 1u);
+
+  // The corrupt neighbor did not perturb "good": its merged report is
+  // byte-identical to feeding the same events directly.
+  JsonReportSink GoodSink;
+  Registry.writeTenantReport(*Good, GoodSink, /*Final=*/true);
+  EXPECT_EQ(GoodSink.str(), directAdmissionJson(GoodEvents));
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregator: end-to-end over the socket
+//===----------------------------------------------------------------------===//
+
+/// Runs one profiled workload session forwarding to \p Socket, returns
+/// the number of events the forwarder serialized.
+std::uint64_t runForwardingClient(const std::string &Socket,
+                                  const std::string &Tenant) {
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("kernel_frequency")
+                                   .backend("cs-gpu")
+                                   .model("alexnet")
+                                   .connect(Socket)
+                                   .tenant(Tenant)
+                                   .build(Err);
+  EXPECT_NE(S, nullptr) << Err.message();
+  if (!S)
+    return 0;
+  S->run();
+  S->finish(); // the forwarder sends its final frame + EOF here
+  auto *Forward =
+      static_cast<tools::StreamForwardTool *>(S->tool("stream_forward"));
+  EXPECT_NE(Forward, nullptr);
+  return Forward ? Forward->writerStats().Events : 0;
+}
+
+TEST(AggregatorTest, PerTenantReportsByteIdenticalToSingleProcess) {
+  ServeOptions Opts = makeOpts();
+  Opts.SocketPath = tempPath("e2e", ".sock");
+  Opts.ReportDir = tempPath("e2e_reports", "");
+  Opts.Format = "json";
+  Aggregator Agg(Opts);
+  SessionError Err;
+  ASSERT_TRUE(Agg.start(Err)) << Err.message();
+
+  std::uint64_t SentA = runForwardingClient(Opts.SocketPath, "team-a");
+  std::uint64_t SentB = runForwardingClient(Opts.SocketPath, "team-b");
+  EXPECT_GT(SentA, 0u);
+  EXPECT_EQ(SentA, SentB);
+
+  Agg.requestStop();
+  Agg.wait();
+  AggregatorStats Stats = Agg.stats();
+  EXPECT_EQ(Stats.ConnectionsAccepted, 2u);
+  EXPECT_EQ(Stats.CleanStreams, 2u);
+  EXPECT_EQ(Stats.CorruptStreams, 0u);
+
+  // The comparator: the same workload, same tool, no forwarding.
+  std::unique_ptr<Session> Ref = SessionBuilder()
+                                     .tool("kernel_frequency")
+                                     .backend("cs-gpu")
+                                     .model("alexnet")
+                                     .build(Err);
+  ASSERT_NE(Ref, nullptr) << Err.message();
+  Ref->run();
+  JsonReportSink RefSink;
+  Ref->writeReports(RefSink);
+
+  for (const char *TenantName : {"team-a", "team-b"}) {
+    std::vector<unsigned char> FileBytes = readFileBytes(
+        Opts.ReportDir + "/" + TenantName + std::string(".json"));
+    std::string FileText(FileBytes.begin(), FileBytes.end());
+    EXPECT_EQ(FileText, RefSink.str()) << "tenant " << TenantName;
+  }
+}
+
+TEST(AggregatorTest, TwoClientsOneTenantMergeAdditively) {
+  ServeOptions Opts = makeOpts();
+  Opts.SocketPath = tempPath("merge", ".sock");
+  Opts.ReportDir = tempPath("merge_reports", "");
+  Aggregator Agg(Opts);
+  SessionError Err;
+  ASSERT_TRUE(Agg.start(Err)) << Err.message();
+
+  std::uint64_t Sent1 = runForwardingClient(Opts.SocketPath, "shared");
+  std::uint64_t Sent2 = runForwardingClient(Opts.SocketPath, "shared");
+
+  Agg.requestStop();
+  Agg.wait();
+
+  Tenant *Shared = Agg.registry().getOrCreate("shared", Err);
+  ASSERT_NE(Shared, nullptr);
+  EXPECT_EQ(Shared->stats().Connections, 2u);
+  EXPECT_EQ(Shared->stats().CleanStreams, 2u);
+  EXPECT_EQ(Shared->stats().EventsAdmitted, Sent1 + Sent2);
+}
+
+TEST(AggregatorTest, RequestStopDrainsInFlightConnection) {
+  ServeOptions Opts = makeOpts();
+  Opts.SocketPath = tempPath("drain", ".sock");
+  Opts.ReportDir = tempPath("drain_reports", "");
+  Aggregator Agg(Opts);
+  SessionError Err;
+  ASSERT_TRUE(Agg.start(Err)) << Err.message();
+
+  // A client that connected and sent a partial stream, then stalled
+  // (never finishes, never closes) — the SIGTERM scenario.
+  TraceStreamSink Sink;
+  ASSERT_TRUE(Sink.connect(Opts.SocketPath, "stalled", Err))
+      << Err.message();
+  Sink.setFlushThreshold(1); // every write becomes a frame immediately
+  std::string Stream = traceBytes(makeEvents(9));
+  std::string Partial = Stream.substr(0, Stream.size() - 10);
+  ASSERT_TRUE(Sink.write(Partial.data(), Partial.size()));
+
+  // Wait until the daemon has accepted the connection.
+  for (int Tries = 0; Tries < 500; ++Tries) {
+    if (Agg.stats().ConnectionsAccepted == 1)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(Agg.stats().ConnectionsAccepted, 1u);
+
+  // SIGTERM-style stop: wait() must return even though the client never
+  // finished, and the socket file must be gone afterwards.
+  Agg.requestStop();
+  Agg.wait();
+  AggregatorStats Stats = Agg.stats();
+  EXPECT_EQ(Stats.ConnectionsAccepted, 1u);
+  EXPECT_EQ(Stats.CleanStreams, 0u);
+  EXPECT_NE(::access(Opts.SocketPath.c_str(), F_OK), 0)
+      << "socket file survived shutdown";
+}
+
+//===----------------------------------------------------------------------===//
+// Session/builder integration
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSessionTest, TenantWithoutConnectRejected) {
+  SessionError Err;
+  EXPECT_EQ(SessionBuilder().model("alexnet").tenant("team-a").build(Err),
+            nullptr);
+  EXPECT_NE(Err.message().find("--connect"), std::string::npos)
+      << Err.message();
+}
+
+TEST(ServeSessionTest, InvalidTenantNameRejected) {
+  SessionError Err;
+  EXPECT_EQ(SessionBuilder()
+                .model("alexnet")
+                .connect("/tmp/ignored.sock")
+                .tenant("bad tenant!")
+                .build(Err),
+            nullptr);
+  EXPECT_NE(Err.message().find("invalid tenant name"), std::string::npos)
+      << Err.message();
+}
+
+TEST(ServeSessionTest, DeadAggregatorFailsAtBuildTime) {
+  std::string Missing = tempPath("nobody_listening", ".sock");
+  SessionError Err;
+  EXPECT_EQ(SessionBuilder()
+                .tool("kernel_frequency")
+                .model("alexnet")
+                .connect(Missing)
+                .build(Err),
+            nullptr);
+  EXPECT_NE(Err.message().find(Missing), std::string::npos)
+      << Err.message();
+}
+
+TEST(ServeSessionTest, RegistryForwarderWithoutSocketRunsUnstreamed) {
+  // "-t stream_forward" with no PASTA_CONNECT: warn once, profile
+  // normally — losing the aggregator never kills the workload.
+  ::unsetenv("PASTA_CONNECT");
+  ::unsetenv("PASTA_TENANT");
+  SessionError Err;
+  std::unique_ptr<Session> S = SessionBuilder()
+                                   .tool("stream_forward")
+                                   .backend("cs-gpu")
+                                   .model("alexnet")
+                                   .build(Err);
+  ASSERT_NE(S, nullptr) << Err.message();
+  SessionResult Result = S->run();
+  EXPECT_GT(Result.Stats.KernelsLaunched, 0u);
+  auto *Forward =
+      static_cast<tools::StreamForwardTool *>(S->tool("stream_forward"));
+  ASSERT_NE(Forward, nullptr);
+  EXPECT_EQ(Forward->writerStats().Events, 0u);
+}
+
+TEST(ServeSessionTest, AggregatorRejectsUnknownToolAtStart) {
+  ServeOptions Opts;
+  Opts.SocketPath = tempPath("badtool", ".sock");
+  Opts.ToolNames = {"no_such_tool"};
+  Aggregator Agg(Opts);
+  SessionError Err;
+  EXPECT_FALSE(Agg.start(Err));
+  EXPECT_NE(Err.message().find("no_such_tool"), std::string::npos)
+      << Err.message();
+}
+
+} // namespace

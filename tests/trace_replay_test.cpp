@@ -372,7 +372,7 @@ TEST(TraceRobustnessTest, HeaderBitFlipFuzzNeverCrashesOrLoads) {
         EXPECT_NE(Err.message().find("PASTATRC"), std::string::npos)
             << Err.message();
       else if (Byte < 12)
-        EXPECT_NE(Err.message().find("expected version 1"),
+        EXPECT_NE(Err.message().find("expected version 2"),
                   std::string::npos)
             << Err.message();
       else
