@@ -4,11 +4,19 @@
 # The corpus is the regression anchor for the binary trace format
 # (docs/TRACE_FORMAT.md): the capture pipeline is deterministic (the
 # simulator runs on virtual time, the workload generators are seeded),
-# so the trace bytes and the replayed report are stable across runs and
-# machines. CI replays the checked-in trace and diffs the report
-# against the checked-in golden (see check_corpus.sh); any wire-format
-# or tool-output change must regenerate both files in the same commit
-# and explain the diff in review.
+# so the trace bytes and the replayed reports are stable across runs
+# and machines. CI replays every checked-in trace and byte-diffs each
+# report against its checked-in golden (see check_corpus.sh); any
+# wire-format or tool-output change must regenerate the corpus in the
+# same commit and explain the diff in review.
+#
+# Corpus membership (tests/corpus/README.md documents the growth
+# workflow): one small CNN, two transformer workloads (bert, and gpt2
+# standing in for the Megatron-class decoders built by
+# src/dl/Megatron.cpp), and a UVM-heavy managed capture. Every trace
+# carries goldens for at least two tools; the first tool of each trace
+# additionally pins the csv and text sinks so all three ReportSink
+# formats are regression-anchored.
 #
 # Usage: scripts/capture_corpus.sh [path/to/accelprof]
 set -eu
@@ -24,19 +32,55 @@ fi
 
 mkdir -p "$CORPUS"
 
-# One standard workload: AlexNet inference, 2 iterations, on the A100
-# model of the cs-gpu backend. Small enough to check in (~40 KiB),
+# capture <name> "<tool> <tool>..." <capture flags and model...>
+#
+# Captures tests/corpus/<name>.trace and writes
+# <name>.<tool>.golden.json for every listed tool, plus
+# <name>.<first-tool>.golden.{csv,txt} so the non-JSON sinks stay
+# anchored too. The gate (check_corpus.sh) discovers goldens by
+# filename, so adding a workload here is the whole corpus-growth step.
+capture() {
+  NAME=$1
+  TOOLS=$2
+  shift 2
+  # (--capture attaches the trace_capture tool itself; no -t needed.)
+  "$ACCELPROF" -b cs-gpu -g A100 \
+    --capture "$CORPUS/$NAME.trace" "$@" >/dev/null
+  FIRST=1
+  for TOOL in $TOOLS; do
+    "$ACCELPROF" -t "$TOOL" -b replay --trace "$CORPUS/$NAME.trace" \
+      --format json >"$CORPUS/$NAME.$TOOL.golden.json"
+    if [ "$FIRST" = 1 ]; then
+      "$ACCELPROF" -t "$TOOL" -b replay --trace "$CORPUS/$NAME.trace" \
+        --format csv >"$CORPUS/$NAME.$TOOL.golden.csv"
+      "$ACCELPROF" -t "$TOOL" -b replay --trace "$CORPUS/$NAME.trace" \
+        --format text >"$CORPUS/$NAME.$TOOL.golden.txt"
+      FIRST=0
+    fi
+  done
+}
+
+# AlexNet inference, 2 iterations: small enough to check in (~40 KiB),
 # rich enough to exercise every payload table (kernels, op names,
 # layer names).
-# (--capture attaches the trace_capture tool itself; no -t needed.)
-"$ACCELPROF" -b cs-gpu -g A100 --iters 2 \
-  --capture "$CORPUS/alexnet_a100_2iter.trace" alexnet >/dev/null
+capture alexnet_a100_2iter "kernel_frequency op_kernel_map" \
+  --iters 2 alexnet
 
-# Golden report: replay the trace through kernel_frequency. The JSON
-# metrics are integers (launch counts), so the diff is byte-exact.
-"$ACCELPROF" -t kernel_frequency -b replay \
-  --trace "$CORPUS/alexnet_a100_2iter.trace" --format json \
-  >"$CORPUS/alexnet_a100_2iter.kernel_frequency.golden.json"
+# BERT inference: the encoder-transformer workload from the model zoo
+# (deep schedule, many distinct kernels).
+capture bert_a100_1iter "kernel_frequency op_kernel_map" \
+  --iters 1 bert
+
+# GPT-2 inference: decoder transformer, standing in for the
+# Megatron-class workloads (the Megatron schedule builder reuses the
+# same GPT-2 blocks).
+capture gpt2_a100_1iter "kernel_frequency op_kernel_map" \
+  --iters 1 gpt2
+
+# UVM-heavy: managed allocations route through the UVM model, so this
+# trace carries migration/advice traffic the flat captures never see.
+capture alexnet_a100_uvm "mem_usage_timeline barrier_stall" \
+  --iters 2 --managed alexnet
 
 echo "corpus regenerated:"
 ls -l "$CORPUS"

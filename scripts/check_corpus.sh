@@ -1,40 +1,67 @@
 #!/bin/sh
 # Trace-corpus regression gate (wired into CTest as trace_corpus_gate).
 #
-# Replays the checked-in corpus trace and byte-diffs the report
-# against the checked-in golden. A failure means either the wire
-# format changed (reader decodes the old bytes differently) or a tool
-# changed its output — both must be intentional, reviewed, and
-# accompanied by a regenerated corpus (scripts/capture_corpus.sh).
+# Discovers every golden next to the checked-in traces
+# (tests/corpus/<trace>.<tool>.golden.<fmt> where <fmt> selects the
+# report sink: json, csv, or txt), replays the trace through the tool
+# with that sink, and byte-diffs the output against the golden. A
+# failure means either the wire format changed (reader decodes the old
+# bytes differently) or a tool/sink changed its output — both must be
+# intentional, reviewed, and accompanied by a regenerated corpus
+# (scripts/capture_corpus.sh).
 #
-# Usage: scripts/check_corpus.sh path/to/accelprof
+# Usage: check_corpus.sh path/to/accelprof
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 ACCELPROF=${1:?usage: check_corpus.sh path/to/accelprof}
 CORPUS="$REPO_ROOT/tests/corpus"
-TRACE="$CORPUS/alexnet_a100_2iter.trace"
-GOLDEN="$CORPUS/alexnet_a100_2iter.kernel_frequency.golden.json"
-
-for F in "$TRACE" "$GOLDEN"; do
-  if [ ! -f "$F" ]; then
-    echo "error: missing corpus file $F (run scripts/capture_corpus.sh)" >&2
-    exit 1
-  fi
-done
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
-"$ACCELPROF" -t kernel_frequency -b replay --trace "$TRACE" \
-  --format json >"$OUT"
+CHECKED=0
+for GOLDEN in "$CORPUS"/*.golden.*; do
+  [ -f "$GOLDEN" ] || continue
+  BASE=$(basename "$GOLDEN")
+  # <stem>.<tool>.golden.<ext> — stems and tool names carry no dots.
+  STEM=${BASE%%.*}
+  REST=${BASE#"$STEM".}
+  TOOL=${REST%%.*}
+  EXT=${BASE##*.}
+  TRACE="$CORPUS/$STEM.trace"
+  if [ ! -f "$TRACE" ]; then
+    echo "error: golden $BASE has no trace $STEM.trace" \
+      "(run scripts/capture_corpus.sh)" >&2
+    exit 1
+  fi
+  case "$EXT" in
+    json) FORMAT=json ;;
+    csv) FORMAT=csv ;;
+    txt) FORMAT=text ;;
+    *)
+      echo "error: golden $BASE has unknown format extension .$EXT" >&2
+      exit 1
+      ;;
+  esac
 
-if ! cmp -s "$OUT" "$GOLDEN"; then
-  echo "trace_corpus_gate: replayed report diverges from golden" >&2
-  echo "--- diff (replayed vs golden) ---" >&2
-  diff -u "$GOLDEN" "$OUT" >&2 || true
-  echo "If the change is intentional, regenerate with" \
-    "scripts/capture_corpus.sh and commit both files." >&2
+  "$ACCELPROF" -t "$TOOL" -b replay --trace "$TRACE" \
+    --format "$FORMAT" >"$OUT"
+
+  if ! cmp -s "$OUT" "$GOLDEN"; then
+    echo "trace_corpus_gate: $BASE diverges from replayed report" >&2
+    echo "--- diff (golden vs replayed) ---" >&2
+    diff -u "$GOLDEN" "$OUT" >&2 || true
+    echo "If the change is intentional, regenerate with" \
+      "scripts/capture_corpus.sh and commit the corpus." >&2
+    exit 1
+  fi
+  CHECKED=$((CHECKED + 1))
+done
+
+if [ "$CHECKED" -lt 4 ]; then
+  echo "error: only $CHECKED goldens checked — corpus incomplete" \
+    "(run scripts/capture_corpus.sh)" >&2
   exit 1
 fi
-echo "trace_corpus_gate: replayed report matches golden"
+echo "trace_corpus_gate: $CHECKED replayed reports match their goldens"

@@ -1,23 +1,24 @@
 #!/usr/bin/env python3
 """Run the ablation benches and record the per-PR perf trajectory.
 
-Produces a JSON artifact (default BENCH_pr8.json, checked in at the repo
+Produces a JSON artifact (default BENCH_pr9.json, checked in at the repo
 root) with the admission-path throughput sweep from
 bench_ablation_admission, the capture/replay throughput figures from
 bench_ablation_replay, the fleet-aggregation producer-overhead matrix
-from bench_ablation_serve, the machine's hardware-thread count, plus
-pass/fail for the other ablation benches' structural gates — so every
-PR leaves a comparable perf record instead of a table that scrolls away
-in a terminal.
+from bench_ablation_serve, the epoch-routing steady-state overhead and
+swap latency from bench_ablation_reconfig, the machine's
+hardware-thread count, plus pass/fail for the other ablation benches'
+structural gates — so every PR leaves a comparable perf record instead
+of a table that scrolls away in a terminal.
 
 Usage:
-  scripts/run_benches.py [--build-dir build] [--out BENCH_pr8.json]
+  scripts/run_benches.py [--build-dir build] [--out BENCH_pr9.json]
                          [--smoke]
 
 --smoke runs one small repetition (500 events/producer for admission,
-2000 events for replay and serve; no gated benches) — CI uses it so
-this script cannot rot; the numbers it records are for harness
-verification, not measurement.
+2000 events for replay and serve, 20000 for reconfig; no gated
+benches) — CI uses it so this script cannot rot; the numbers it
+records are for harness verification, not measurement.
 """
 
 import argparse
@@ -74,7 +75,7 @@ def run_gated(build_dir):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_pr8.json")
+    parser.add_argument("--out", default="BENCH_pr9.json")
     parser.add_argument("--smoke", action="store_true",
                         help="one small repetition, admission + replay + "
                              "serve benches only (CI harness check, not a "
@@ -84,8 +85,9 @@ def main():
     admission_events = 500 if args.smoke else 20000
     replay_events = 2000 if args.smoke else 200000
     serve_events = 2000 if args.smoke else 50000
+    reconfig_events = 20000 if args.smoke else 2000000
     record = {
-        "pr": 8,
+        "pr": 9,
         "smoke": args.smoke,
         "hardware_threads": os.cpu_count(),
         "admission": run_json_bench(args.build_dir,
@@ -95,6 +97,9 @@ def main():
                                  ["--events", str(replay_events)]),
         "serve": run_json_bench(args.build_dir, "bench_ablation_serve",
                                 ["--events", str(serve_events)]),
+        "reconfig": run_json_bench(args.build_dir,
+                                   "bench_ablation_reconfig",
+                                   ["--events", str(reconfig_events)]),
         "gated_benches": {} if args.smoke else run_gated(args.build_dir),
     }
 

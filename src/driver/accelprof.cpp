@@ -16,6 +16,7 @@
 //   accelprof -t <tool> -b replay --trace FILE [--replay-speed S]
 //   accelprof --serve SOCKET [-t <tool>]... [--report-dir DIR]
 //             [--report-every SECONDS]
+//   accelprof --control SOCKET <verb> [args...]
 //
 // e.g.  accelprof -t working_set -b cs-gpu bert
 //       accelprof -t kernel_frequency --train resnet18
@@ -28,6 +29,8 @@
 //       accelprof --serve /tmp/pasta.sock --report-dir reports &
 //       accelprof -t kernel_frequency --connect /tmp/pasta.sock \
 //                 --tenant team-a bert
+//       accelprof -t kernel_frequency --async --lanes-auto --max-lanes 8 bert
+//       accelprof --control /tmp/pasta.sock attach-tool team-a working_set
 //
 // <model> is a Table IV zoo entry (alexnet, resnet18, resnet34, gpt2,
 // bert, whisper). Tools: see `accelprof --list-tools`; backends:
@@ -37,6 +40,7 @@
 
 #include "pasta/Session.h"
 #include "serve/Aggregator.h"
+#include "serve/Control.h"
 #include "support/Env.h"
 #include "support/Format.h"
 #include "support/ReportSink.h"
@@ -67,17 +71,21 @@ int usage(const char *Argv0) {
       "          [--async] [--queue-depth N]\n"
       "          [--overflow block|drop|sample[:N]]\n"
       "          [--dispatch-threads N] [--arena-shards N]\n"
+      "          [--lanes-auto] [--min-lanes N] [--max-lanes N]\n"
       "          [--arena-max-bytes BYTES] [--validate]\n"
       "          [--capture FILE] [--connect SOCKET [--tenant NAME]]\n"
       "          <model>\n"
       "       %s -t <tool> -b replay --trace FILE [--replay-speed S]\n"
       "       %s --serve SOCKET [-t <tool>]... [--format text|json|csv]\n"
       "          [--report-dir DIR] [--report-every SECONDS] [--validate]\n"
+      "       %s --control SOCKET <verb> [args...]\n"
+      "          (verbs: attach-tool <tenant> <tool>,\n"
+      "           detach-tool <tenant> <tool>, list-tenants)\n"
       "       %s --list-tools | --list-backends\n"
       "\n"
       "Every knob (flags, PASTA_* environment variables, SessionBuilder\n"
       "equivalents) is documented with tuning guidance in docs/TUNING.md.\n",
-      Argv0, Argv0, Argv0, Argv0);
+      Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -187,6 +195,8 @@ int main(int Argc, char **Argv) {
   std::string Model;
   std::string BackendName = "none";
   std::string ServeSocket;
+  std::string ControlSocket;
+  std::vector<std::string> ControlWords;
   std::string ReportDir;
   std::string GpuName = "A100";
   std::string FormatName = "text";
@@ -232,6 +242,8 @@ int main(int Argc, char **Argv) {
       Builder.replaySpeed(Speed);
     } else if (Arg == "--serve") {
       ServeSocket = NextValue("--serve");
+    } else if (Arg == "--control") {
+      ControlSocket = NextValue("--control");
     } else if (Arg == "--connect") {
       Builder.connect(NextValue("--connect"));
     } else if (Arg == "--tenant") {
@@ -314,6 +326,32 @@ int main(int Argc, char **Argv) {
       Builder.arenaShards(static_cast<std::size_t>(Shards));
       Builder.asyncEvents();
       Async = true;
+    } else if (Arg == "--lanes-auto") {
+      // Lane auto-scaling only means something on the async dispatch
+      // unit; imply --async like the other lane knobs.
+      Builder.lanesAuto();
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--min-lanes") {
+      long long Lanes = std::atoll(NextValue("--min-lanes"));
+      if (Lanes <= 0 || Lanes > 64) {
+        std::fprintf(stderr, "error: --min-lanes must be in [1, 64]\n");
+        return 2;
+      }
+      Builder.minLanes(static_cast<std::size_t>(Lanes));
+      Builder.lanesAuto();
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--max-lanes") {
+      long long Lanes = std::atoll(NextValue("--max-lanes"));
+      if (Lanes <= 0 || Lanes > 64) {
+        std::fprintf(stderr, "error: --max-lanes must be in [1, 64]\n");
+        return 2;
+      }
+      Builder.maxLanes(static_cast<std::size_t>(Lanes));
+      Builder.lanesAuto();
+      Builder.asyncEvents();
+      Async = true;
     } else if (Arg == "--arena-max-bytes") {
       long long Bytes = std::atoll(NextValue("--arena-max-bytes"));
       if (Bytes <= 0) {
@@ -369,9 +407,42 @@ int main(int Argc, char **Argv) {
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage(Argv[0]);
+    } else if (!ControlSocket.empty()) {
+      // In --control mode the positionals are the command words
+      // ("attach-tool team-a working_set"), not a model.
+      ControlWords.push_back(Arg);
     } else {
       Model = Arg;
     }
+  }
+
+  // Control-client mode: one request to a running daemon, print the
+  // response, exit with the daemon's verdict.
+  if (!ControlSocket.empty()) {
+    if (ControlWords.empty()) {
+      std::fprintf(stderr, "error: --control needs a command, e.g. "
+                           "'--control SOCKET list-tenants'\n");
+      return 2;
+    }
+    std::string Command;
+    for (const std::string &Word : ControlWords) {
+      if (!Command.empty())
+        Command += ' ';
+      Command += Word;
+    }
+    std::string Response;
+    SessionError CtlErr;
+    if (!serve::sendControlCommand(ControlSocket, Command, Response,
+                                   CtlErr)) {
+      std::fprintf(stderr, "error: %s\n", CtlErr.message().c_str());
+      return 2;
+    }
+    if (!Response.empty()) {
+      std::fputs(Response.c_str(), stdout);
+      if (Response.back() != '\n')
+        std::fputc('\n', stdout);
+    }
+    return 0;
   }
 
   // Daemon mode: no model, no workload — just the aggregation loop.

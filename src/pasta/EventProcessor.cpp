@@ -3,6 +3,19 @@
 // Part of the PASTA reproduction, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Live reconfiguration mechanics (see the header overview): producers
+// admit under the routing table published by the RoutingEpoch, holding
+// a striped admission-gate slot for the duration of one process() call
+// (or one record delivery). A reconfigurer raises the Reconfiguring
+// flag (seq_cst), waits for every gate stripe to hit zero — the
+// Dekker-style handshake with the producers' bump-then-check — drains
+// every lane so the old epoch is fully dispatched under its own table,
+// then builds, registers, and publishes the next table and releases
+// the gate. Producers that lose the handshake back out of their slot
+// and park on a condvar until the flag drops.
+//
+//===----------------------------------------------------------------------===//
 
 #include "pasta/EventProcessor.h"
 
@@ -11,6 +24,8 @@
 #include "support/ReportSink.h"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
 #include <utility>
 
 using namespace pasta;
@@ -26,9 +41,15 @@ struct LaneTag {
 };
 thread_local LaneTag CurrentLane;
 
-} // namespace
-
-namespace {
+/// Marks a thread that is inside an admission guard of some processor
+/// (process() or a record delivery), so a tool hook running under it
+/// cannot re-enter reconfiguration on the same processor — the hook is
+/// the work the reconfiguration barrier waits on.
+struct AdmissionTag {
+  const EventProcessor *Owner = nullptr;
+  int Depth = 0;
+};
+thread_local AdmissionTag CurrentAdmission;
 
 EventArenaOptions arenaOptionsOf(const ProcessorOptions &Opts) {
   EventArenaOptions ArenaOpts;
@@ -40,12 +61,80 @@ EventArenaOptions arenaOptionsOf(const ProcessorOptions &Opts) {
 
 } // namespace
 
+namespace pasta {
+
+/// RAII admission-gate entry: one uncontended seq_cst RMW on the
+/// per-thread stripe plus one flag load on the fast path. Re-entrant
+/// per processor (a tool hook admitting into its own processor rides
+/// the outer guard's handshake — it must not park, the reconfigurer is
+/// waiting on its slot).
+class ProcessorAdmissionGuard {
+public:
+  explicit ProcessorAdmissionGuard(EventProcessor &P)
+      : Slot(P.admissionSlot()) {
+    if (CurrentAdmission.Owner == &P && CurrentAdmission.Depth > 0) {
+      Slot.fetch_add(1, std::memory_order_seq_cst);
+      ++CurrentAdmission.Depth;
+      Nested = true;
+      return;
+    }
+    for (;;) {
+      Slot.fetch_add(1, std::memory_order_seq_cst);
+      if (!P.Reconfiguring.load(std::memory_order_seq_cst))
+        break;
+      // Lost the handshake: back out (the reconfigurer is scanning the
+      // stripes) and park until the swap completes.
+      Slot.fetch_sub(1, std::memory_order_seq_cst);
+      std::unique_lock<std::mutex> Lock(P.ReconfigMutex);
+      P.ReconfigCv.wait(Lock, [&P] {
+        return !P.Reconfiguring.load(std::memory_order_seq_cst);
+      });
+    }
+    Saved = CurrentAdmission;
+    CurrentAdmission = {&P, 1};
+  }
+
+  ~ProcessorAdmissionGuard() {
+    Slot.fetch_sub(1, std::memory_order_seq_cst);
+    if (Nested) {
+      --CurrentAdmission.Depth;
+      return;
+    }
+    CurrentAdmission = Saved;
+  }
+
+  ProcessorAdmissionGuard(const ProcessorAdmissionGuard &) = delete;
+  ProcessorAdmissionGuard &
+  operator=(const ProcessorAdmissionGuard &) = delete;
+
+private:
+  std::atomic<std::uint64_t> &Slot;
+  AdmissionTag Saved;
+  bool Nested = false;
+};
+
+} // namespace pasta
+
+std::atomic<std::uint64_t> &EventProcessor::admissionSlot() {
+  thread_local std::size_t Stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      AdmissionSlots;
+  return Gate[Stripe].Entries;
+}
+
+bool EventProcessor::inDispatchContext() const {
+  return CurrentLane.Owner == this ||
+         (CurrentAdmission.Owner == this && CurrentAdmission.Depth > 0);
+}
+
 EventProcessor::EventProcessor(std::size_t DeviceAnalysisThreads)
     : AnalysisThreads(DeviceAnalysisThreads) {
   if (ProcessorOptions().Validate) {
     Val = std::make_unique<Validator>();
     Arena.setValidator(Val.get());
   }
+  Tables.push_back(buildTable(1));
+  Epoch.publish(Tables.back().get());
 }
 
 EventProcessor::EventProcessor(const ProcessorOptions &Opts)
@@ -54,10 +143,31 @@ EventProcessor::EventProcessor(const ProcessorOptions &Opts)
     Val = std::make_unique<Validator>();
     Arena.setValidator(Val.get());
   }
+  std::size_t Requested = std::min<std::size_t>(
+      std::max<std::size_t>(Opts.DispatchThreads, 1), 64);
+  std::size_t Active = Requested;
+  std::size_t Constructed = Requested;
+  if (Opts.AsyncEvents && Opts.LanesAuto) {
+    MinLanesEff =
+        Opts.MinLanes ? std::min<std::size_t>(Opts.MinLanes, 64) : 1;
+    MaxLanesEff = Opts.MaxLanes
+                      ? std::min<std::size_t>(Opts.MaxLanes, 64)
+                      : std::min<std::size_t>(
+                            std::max<std::size_t>(Requested, 4), 64);
+    if (MaxLanesEff < MinLanesEff)
+      MaxLanesEff = MinLanesEff;
+    Constructed = MaxLanesEff;
+    Active = std::min(std::max(Requested, MinLanesEff), MaxLanesEff);
+    ControllerIntervalMs =
+        std::max<std::size_t>(Opts.LanesAutoIntervalMs, 1);
+  } else {
+    MinLanesEff = MaxLanesEff = Requested;
+  }
   if (Opts.AsyncEvents) {
-    std::size_t LaneCount = std::min<std::size_t>(
-        std::max<std::size_t>(Opts.DispatchThreads, 1), 64);
-    for (std::size_t I = 0; I < LaneCount; ++I) {
+    // The lane vector is sized once, to the scaling ceiling: inactive
+    // lanes park cheaply on their empty rings, and a fixed vector means
+    // stats()/laneStats()/callStacks() never race a reallocation.
+    for (std::size_t I = 0; I < Constructed; ++I) {
       auto L = std::make_unique<Lane>();
       L->Queue = std::make_unique<EventQueue>(
           std::max<std::size_t>(Opts.QueueDepth, 1), Opts.Overflow,
@@ -65,12 +175,24 @@ EventProcessor::EventProcessor(const ProcessorOptions &Opts)
           Opts.QueueSpinIterations);
       Lanes.push_back(std::move(L));
     }
-    for (std::size_t I = 0; I < LaneCount; ++I)
-      Lanes[I]->Thread = std::thread([this, I] { laneLoop(I); });
   }
+  Tables.push_back(buildTable(Active));
+  Epoch.publish(Tables.back().get());
+  for (std::size_t I = 0; I < Lanes.size(); ++I)
+    Lanes[I]->Thread = std::thread([this, I] { laneLoop(I); });
+  if (Opts.AsyncEvents && Opts.LanesAuto)
+    Controller = std::thread([this] { controllerLoop(); });
 }
 
 EventProcessor::~EventProcessor() {
+  if (Controller.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(ControllerMutex);
+      ControllerStop = true;
+    }
+    ControllerCv.notify_all();
+    Controller.join();
+  }
   for (auto &L : Lanes)
     L->Queue->close();
   for (auto &L : Lanes)
@@ -78,83 +200,118 @@ EventProcessor::~EventProcessor() {
 }
 
 bool EventProcessor::addTool(Tool *T) {
-  // AttachMutex makes the seal race-free against a concurrent first
-  // admission: ensureStarted() flips Started under the same lock, so
-  // either this mutation completes before any event is admitted or the
-  // Started check below observes the flip and rejects.
-  std::unique_lock<std::mutex> Lock(AttachMutex);
-  if (!Lanes.empty() && Started.load(std::memory_order_acquire)) {
-    // The lanes read the routing tables lock-free; mutating them now
-    // would race. Drain what is in flight, then refuse.
-    Lock.unlock();
-    flush();
-    logWarning("EventProcessor: tool '" + T->name() +
-               "' attached after pipeline start; rejected (the tool set "
-               "is sealed by the first admitted event or record "
-               "delivery)");
+  if (inDispatchContext()) {
+    logWarning("EventProcessor: addTool('" + T->name() +
+               "') called from a dispatch-lane thread or a tool hook; "
+               "rejected (the caller is work the reconfiguration "
+               "barrier would wait on — reconfigure from outside the "
+               "pipeline)");
     return false;
   }
-  Tools.push_back(T);
-  Entries.push_back(ToolEntry{T, T->subscription(), 0});
-  rebuildRoutes();
-  Lock.unlock();
+  {
+    std::lock_guard<std::mutex> Lock(AttachMutex);
+    Tools.push_back(T);
+    swapTable(Epoch.current()->ActiveLanes);
+  }
   T->onAttach(*this);
   return true;
 }
 
-bool EventProcessor::clearTools() {
-  std::unique_lock<std::mutex> Lock(AttachMutex);
-  if (!Lanes.empty() && Started.load(std::memory_order_acquire)) {
-    Lock.unlock();
-    flush();
-    logWarning("EventProcessor: clearTools() after pipeline start; "
+bool EventProcessor::removeTool(Tool *T) {
+  if (inDispatchContext()) {
+    logWarning("EventProcessor: removeTool('" + T->name() +
+               "') called from a dispatch-lane thread or a tool hook; "
                "rejected");
     return false;
   }
-  Tools.clear();
-  Entries.clear();
-  rebuildRoutes();
+  std::lock_guard<std::mutex> Lock(AttachMutex);
+  auto It = std::find(Tools.begin(), Tools.end(), T);
+  if (It == Tools.end())
+    return false;
+  Tools.erase(It);
+  swapTable(Epoch.current()->ActiveLanes);
   return true;
+}
+
+bool EventProcessor::clearTools() {
+  if (inDispatchContext()) {
+    logWarning("EventProcessor: clearTools() called from a "
+               "dispatch-lane thread or a tool hook; rejected");
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(AttachMutex);
+  Tools.clear();
+  swapTable(Epoch.current()->ActiveLanes);
+  return true;
+}
+
+bool EventProcessor::setLaneCount(std::size_t Count) {
+  if (Lanes.empty())
+    return false;
+  if (inDispatchContext()) {
+    logWarning("EventProcessor: setLaneCount() called from a "
+               "dispatch-lane thread or a tool hook; rejected");
+    return false;
+  }
+  if (Count == 0 || Count > Lanes.size())
+    return false;
+  std::lock_guard<std::mutex> Lock(AttachMutex);
+  if (Count == Epoch.current()->ActiveLanes)
+    return true;
+  swapTable(Count);
+  return true;
+}
+
+std::size_t EventProcessor::laneCount() const {
+  return Lanes.empty() ? 0 : Epoch.current()->ActiveLanes;
 }
 
 std::optional<Subscription>
 EventProcessor::subscriptionOf(const Tool *T) const {
-  for (const ToolEntry &Entry : Entries)
+  const RoutingTable *Table = Epoch.current();
+  for (const ToolRouteEntry &Entry : Table->Entries)
     if (Entry.T == T)
       return Entry.Sub;
   return std::nullopt;
 }
 
-void EventProcessor::rebuildRoutes() {
-  // Serial tools are pinned round-robin across the lanes; sharded and
+std::unique_ptr<RoutingTable>
+EventProcessor::buildTable(std::size_t ActiveLanes) {
+  auto Table = std::make_unique<RoutingTable>();
+  Table->Epoch = Tables.size();
+  Table->ActiveLanes =
+      Lanes.empty()
+          ? 1
+          : std::min(std::max<std::size_t>(ActiveLanes, 1), Lanes.size());
+  const std::size_t LaneCount = Table->ActiveLanes;
+
+  // Serial tools are pinned round-robin across the *active* lanes in
+  // attach order — recomputed per table, so a session that reaches a
+  // tool set through any sequence of reconfigurations pins exactly like
+  // a session built with that set from the start. Sharded and
   // concurrent tools float to each event's home lane.
-  const std::size_t LaneCount = std::max<std::size_t>(Lanes.size(), 1);
   std::size_t NextSerialLane = 0;
-  for (ToolEntry &Entry : Entries)
+  Table->Entries.reserve(Tools.size());
+  for (Tool *T : Tools) {
+    ToolRouteEntry Entry;
+    Entry.T = T;
+    Entry.Sub = T->subscription();
     Entry.Lane = Entry.Sub.Model == ExecutionModel::Serial
                      ? NextSerialLane++ % LaneCount
                      : 0;
-
-  for (KindRoute &Route : Routes) {
-    Route.Pinned.clear();
-    Route.Floating.clear();
-    Route.PinnedLaneMask = 0;
+    Table->Entries.push_back(std::move(Entry));
   }
-  RecordEntries.clear();
-  MixEntries.clear();
-  TraceEntries.clear();
-  StackLaneMask = 0;
 
-  for (std::uint32_t I = 0; I < Entries.size(); ++I) {
-    ToolEntry &Entry = Entries[I];
+  for (std::uint32_t I = 0; I < Table->Entries.size(); ++I) {
+    ToolRouteEntry &Entry = Table->Entries[I];
     if (Entry.Sub.CapturesStacks)
-      StackLaneMask |= Entry.Sub.Model == ExecutionModel::Serial
-                           ? std::uint64_t(1) << Entry.Lane
-                           : allLanesMask();
+      Table->StackLaneMask |= Entry.Sub.Model == ExecutionModel::Serial
+                                  ? std::uint64_t(1) << Entry.Lane
+                                  : lanesMask(LaneCount);
     for (std::size_t K = 0; K < NumEventKinds; ++K) {
       if (!Entry.Sub.Kinds.has(static_cast<EventKind>(K)))
         continue;
-      KindRoute &Route = Routes[K];
+      KindRoute &Route = Table->Routes[K];
       if (Entry.Sub.Model == ExecutionModel::Serial) {
         Route.Pinned.push_back(I);
         Route.PinnedLaneMask |= std::uint64_t(1) << Entry.Lane;
@@ -163,22 +320,77 @@ void EventProcessor::rebuildRoutes() {
       }
     }
     if (Entry.Sub.AccessRecords || Entry.T->deviceAnalysis())
-      RecordEntries.push_back(I);
+      Table->RecordEntries.push_back(I);
     if (Entry.Sub.InstrMix)
-      MixEntries.push_back(I);
+      Table->MixEntries.push_back(I);
     if (Entry.Sub.KernelTrace)
-      TraceEntries.push_back(I);
+      Table->TraceEntries.push_back(I);
+  }
+  return Table;
+}
+
+void EventProcessor::swapTable(std::size_t ActiveLanes) {
+  // Engage the gate. seq_cst on both sides of the handshake: a producer
+  // that missed this store is visible in its stripe counter; a producer
+  // that saw it has backed out or never entered.
+  Reconfiguring.store(true, std::memory_order_seq_cst);
+  for (const AdmissionSlot &S : Gate)
+    while (S.Entries.load(std::memory_order_seq_cst) != 0)
+      std::this_thread::yield();
+
+  // Flush the draining epoch: with admission quiesced, every ticket in
+  // every ring was admitted under the old table, and the lanes read the
+  // epoch once per batch — waitDrained() returns only with the ring
+  // empty and the consumer parked between batches, so publication below
+  // cannot land mid-batch. Not counted in FlushCount: that metric
+  // tracks event-plane barriers, reconfigurations have their own.
+  if (!Lanes.empty()) {
+    std::vector<std::uint64_t> Admitted;
+    if (Val) {
+      Admitted.resize(Lanes.size());
+      for (std::size_t I = 0; I < Lanes.size(); ++I)
+        Admitted[I] = Lanes[I]->Queue->admittedTickets();
+    }
+    for (std::size_t I = 0; I < Lanes.size(); ++I) {
+      Lanes[I]->Queue->waitDrained();
+      if (Val)
+        Val->onFlushBarrier(I, Admitted[I],
+                            Lanes[I]->Queue->consumedTickets());
+    }
   }
 
-  // Validation: mirror the compiled contracts into the validator and
-  // run the subscription-drift watchdog. Both callers (addTool,
-  // clearTools) hold AttachMutex, matching registerTool's contract for
-  // re-querying user subscription() code.
+  std::unique_ptr<RoutingTable> Table = buildTable(ActiveLanes);
+
+  // Mirror the new contracts into the validator. Tools that survive
+  // the swap keep their state (a changed pinned lane is counted as a
+  // sanctioned migration, not a lane-affinity violation); tools absent
+  // from the new table are retired.
   if (Val) {
-    Val->unregisterTools();
-    for (const ToolEntry &Entry : Entries)
+    Val->beginReconfiguration();
+    for (const ToolRouteEntry &Entry : Table->Entries)
       Val->registerTool(*Entry.T, Entry.Sub, Entry.Lane);
+    Val->endReconfiguration();
   }
+
+  // Seed every lane's stack context from the admission-time shared
+  // context, so a lane activated (or newly targeted) by this epoch
+  // resolves the same Python stack a from-start pipeline would have
+  // routed to it.
+  PayloadStack Context = SharedStacks.pythonStack();
+  for (auto &L : Lanes)
+    L->Stacks.setPythonStack(Context);
+
+  Tables.push_back(std::move(Table));
+  Epoch.publish(Tables.back().get());
+  Core.Reconfigurations.fetch_add(1, std::memory_order_relaxed);
+
+  // Release the gate under the mutex so a parked producer cannot miss
+  // the flag drop between its predicate check and its wait.
+  {
+    std::lock_guard<std::mutex> Lock(ReconfigMutex);
+    Reconfiguring.store(false, std::memory_order_seq_cst);
+  }
+  ReconfigCv.notify_all();
 }
 
 CallStackBuilder &EventProcessor::callStacks() {
@@ -188,7 +400,8 @@ CallStackBuilder &EventProcessor::callStacks() {
     // Subscription::CapturesStacks. Warn once instead of failing
     // silently — the usual cause is a tool with an explicit
     // subscription() that forgot to declare the bit.
-    if (!(StackLaneMask & (std::uint64_t(1) << CurrentLane.Lane)) &&
+    const RoutingTable &Table = *Epoch.current();
+    if (!(Table.StackLaneMask & (std::uint64_t(1) << CurrentLane.Lane)) &&
         !StaleStackWarned.exchange(true, std::memory_order_relaxed))
       logWarning("EventProcessor::callStacks() called from a dispatch "
                  "lane hosting no stack-capturing tool; declare "
@@ -228,17 +441,19 @@ bool EventProcessor::admit(Event &E) {
 }
 
 void EventProcessor::process(Event E) {
-  // Filtered events never touch the routing tables, so they do not
-  // seal the tool set; the seal lands right before the first dispatch
-  // or enqueue (which do read the tables).
+  // The guard pins the routing epoch logically: a reconfiguration
+  // either completed before this admission (we route with the new
+  // table) or waits for it (we route with the old one, and the swap's
+  // drain barrier delivers this event under it).
+  ProcessorAdmissionGuard AdmissionGuard(*this);
   if (!admit(E))
     return;
-  ensureStarted();
+  const RoutingTable &Table = *Epoch.current();
 
   if (Lanes.empty()) {
     // Same semantics as the lanes: only passes that reached a tool
     // count, so events_processed stays comparable across modes.
-    if (dispatchOn(E, 0))
+    if (dispatchOn(E, 0, Table))
       Core.EventsProcessed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -247,23 +462,23 @@ void EventProcessor::process(Event E) {
   // preceding effect to be visible when the sync call returns, so the
   // matching analysis must be complete too (and reports deterministic).
   bool Barrier = E.Kind == EventKind::Synchronization;
-  const KindRoute &Route = Routes[static_cast<std::size_t>(E.Kind)];
+  const KindRoute &Route = Table.Routes[static_cast<std::size_t>(E.Kind)];
   std::uint64_t LaneMask = Route.PinnedLaneMask;
   if (!Route.Floating.empty())
-    LaneMask |= std::uint64_t(1) << homeLane(E);
+    LaneMask |= std::uint64_t(1) << homeLane(E, Table);
   // Python-context updates ride only to the lanes hosting tools that
   // declared CapturesStacks — their builders must stay consistent with
   // their own event order; every other lane's builder is unreachable
   // from its tools, so feeding it would be pure fan-out overhead.
   if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
-    LaneMask |= StackLaneMask;
+    LaneMask |= Table.StackLaneMask;
 
   if (LaneMask != 0) {
     bool Critical =
         eventAdmissionClass(E.Kind) != AdmissionClass::Standard;
     std::size_t Last = 0;
     std::size_t Fanout = 0;
-    for (std::size_t L = 0; L < Lanes.size(); ++L)
+    for (std::size_t L = 0; L < Table.ActiveLanes; ++L)
       if (LaneMask & (std::uint64_t(1) << L)) {
         Last = L;
         ++Fanout;
@@ -284,7 +499,7 @@ void EventProcessor::process(Event E) {
     if (!DeferIntern)
       Arena.intern(E);
     EventArena *InternOnAdmit = DeferIntern ? &Arena : nullptr;
-    for (std::size_t L = 0; L < Lanes.size(); ++L) {
+    for (std::size_t L = 0; L < Table.ActiveLanes; ++L) {
       if (!(LaneMask & (std::uint64_t(1) << L)))
         continue;
       if (L == Last) {
@@ -298,33 +513,34 @@ void EventProcessor::process(Event E) {
     flush();
 }
 
-bool EventProcessor::dispatchOn(const Event &E, std::size_t LaneIndex) {
-  const KindRoute &Route = Routes[static_cast<std::size_t>(E.Kind)];
+bool EventProcessor::dispatchOn(const Event &E, std::size_t LaneIndex,
+                                const RoutingTable &Table) {
+  const KindRoute &Route = Table.Routes[static_cast<std::size_t>(E.Kind)];
   bool Delivered = false;
   // Synchronous dispatch runs on the producer's thread outside any
   // lane; the validator's lane-affinity checks don't apply there.
   const std::size_t ValidateLane =
       Lanes.empty() ? Validator::InlineDelivery : LaneIndex;
   for (std::uint32_t I : Route.Pinned) {
-    if (Entries[I].Lane != LaneIndex)
+    if (Table.Entries[I].Lane != LaneIndex)
       continue;
     if (Val) {
-      Val->beforeDelivery(*Entries[I].T, E, ValidateLane);
-      invoke(*Entries[I].T, E);
-      Val->afterDelivery(*Entries[I].T);
+      Val->beforeDelivery(*Table.Entries[I].T, E, ValidateLane);
+      invoke(*Table.Entries[I].T, E);
+      Val->afterDelivery(*Table.Entries[I].T);
     } else {
-      invoke(*Entries[I].T, E);
+      invoke(*Table.Entries[I].T, E);
     }
     Delivered = true;
   }
-  if (!Route.Floating.empty() && LaneIndex == homeLane(E)) {
+  if (!Route.Floating.empty() && LaneIndex == homeLane(E, Table)) {
     for (std::uint32_t I : Route.Floating) {
       if (Val) {
-        Val->beforeDelivery(*Entries[I].T, E, ValidateLane);
-        invoke(*Entries[I].T, E);
-        Val->afterDelivery(*Entries[I].T);
+        Val->beforeDelivery(*Table.Entries[I].T, E, ValidateLane);
+        invoke(*Table.Entries[I].T, E);
+        Val->afterDelivery(*Table.Entries[I].T);
       } else {
-        invoke(*Entries[I].T, E);
+        invoke(*Table.Entries[I].T, E);
       }
     }
     Delivered = true;
@@ -392,16 +608,63 @@ void EventProcessor::laneLoop(std::size_t LaneIndex) {
   Lane &L = *Lanes[LaneIndex];
   std::vector<Event> Batch;
   while (L.Queue->dequeueBatch(Batch)) {
+    // One epoch read per batch: a table swap can only happen while this
+    // consumer is parked between batches (the swap's drain barrier
+    // demands ring-empty AND consumer-idle), so every event in this
+    // batch was admitted — and is dispatched — under this table.
+    const RoutingTable &Table = *Epoch.current();
     for (Event &E : Batch) {
       // Lane-local stack context, updated in this lane's event order so
       // Serial tools capture the same stacks as synchronous dispatch.
       if (E.Kind == EventKind::OperatorStart && !E.PythonStack.empty())
         L.Stacks.setPythonStack(E.PythonStack);
-      if (dispatchOn(E, LaneIndex)) {
+      if (dispatchOn(E, LaneIndex, Table)) {
         Core.EventsProcessed.fetch_add(1, std::memory_order_relaxed);
         L.Dispatched.fetch_add(1, std::memory_order_relaxed);
       }
     }
+  }
+}
+
+void EventProcessor::controllerLoop() {
+  std::uint64_t LastParks = 0;
+  std::uint64_t LastEnqueued = 0;
+  int IdleTicks = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(ControllerMutex);
+      ControllerCv.wait_for(
+          Lock, std::chrono::milliseconds(ControllerIntervalMs),
+          [this] { return ControllerStop; });
+      if (ControllerStop)
+        return;
+    }
+    std::uint64_t Parks = 0;
+    std::uint64_t Enqueued = 0;
+    for (const auto &L : Lanes) {
+      EventQueueCounters Counters = L->Queue->counters();
+      Parks += Counters.Parks;
+      Enqueued += Counters.Enqueued;
+    }
+    std::size_t Active = laneCount();
+    if (Parks > LastParks && Active < MaxLanesEff) {
+      // Producers parked on a full ring since the last tick: real
+      // back-pressure, add a lane.
+      if (setLaneCount(Active + 1))
+        Core.LaneScaleUps.fetch_add(1, std::memory_order_relaxed);
+      IdleTicks = 0;
+    } else if (Enqueued == LastEnqueued && Active > MinLanesEff) {
+      // No admissions at all for several ticks: give a lane back.
+      if (++IdleTicks >= 3) {
+        if (setLaneCount(Active - 1))
+          Core.LaneScaleDowns.fetch_add(1, std::memory_order_relaxed);
+        IdleTicks = 0;
+      }
+    } else {
+      IdleTicks = 0;
+    }
+    LastParks = Parks;
+    LastEnqueued = Enqueued;
   }
 }
 
@@ -463,7 +726,13 @@ ProcessorStats EventProcessor::stats() const {
   Snapshot.HostAnalyzedRecords =
       Core.HostAnalyzedRecords.load(std::memory_order_relaxed);
   Snapshot.FlushCount = Core.FlushCount.load(std::memory_order_relaxed);
-  Snapshot.DispatchLanes = Lanes.size();
+  Snapshot.Reconfigurations =
+      Core.Reconfigurations.load(std::memory_order_relaxed);
+  Snapshot.LaneScaleUps =
+      Core.LaneScaleUps.load(std::memory_order_relaxed);
+  Snapshot.LaneScaleDowns =
+      Core.LaneScaleDowns.load(std::memory_order_relaxed);
+  Snapshot.DispatchLanes = laneCount();
   EventArenaStats ArenaSnapshot = Arena.stats();
   Snapshot.ArenaPayloads = ArenaSnapshot.payloads();
   Snapshot.ArenaBytes = ArenaSnapshot.Bytes;
@@ -510,6 +779,7 @@ void EventProcessor::reportPipeline(ReportSink &Sink) const {
                 std::string(overflowPolicyName(Q.policy())));
     Sink.metric("queue_depth", static_cast<std::uint64_t>(Q.capacity()));
     Sink.metric("dispatch_lanes", Snapshot.DispatchLanes);
+    Sink.metric("reconfigurations", Snapshot.Reconfigurations);
   }
   Sink.metric("events_processed", Snapshot.EventsProcessed);
   Sink.metric("events_filtered", Snapshot.EventsFiltered);
@@ -522,6 +792,10 @@ void EventProcessor::reportPipeline(ReportSink &Sink) const {
     // spin window was not enough and a producer actually blocked.
     Sink.metric("queue.spins", Snapshot.QueueSpins);
     Sink.metric("queue.parks", Snapshot.QueueParks);
+    if (Snapshot.LaneScaleUps + Snapshot.LaneScaleDowns > 0) {
+      Sink.metric("lane_scale_ups", Snapshot.LaneScaleUps);
+      Sink.metric("lane_scale_downs", Snapshot.LaneScaleDowns);
+    }
     // The shared payload arena only runs in async mode; its hit count
     // is the number of payload allocations (and their per-lane copies)
     // the interning avoided.
@@ -548,22 +822,27 @@ void EventProcessor::reportPipeline(ReportSink &Sink) const {
 
 void EventProcessor::onKernelBegin(const sim::LaunchInfo &Info) {
   (void)Info;
-  ensureStarted();
+  ProcessorAdmissionGuard AdmissionGuard(*this);
   flush();
 }
 
 void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
                                    const sim::MemAccessRecord *Records,
                                    std::size_t Count) {
-  ensureStarted();
+  // The guard spans the whole delivery: record routing reads the
+  // current table, and the tools' record hooks must not observe a
+  // tool-set swap mid-batch. The reconfigurer waits on our gate slot;
+  // we only wait on lane drains, which progress independently.
+  ProcessorAdmissionGuard AdmissionGuard(*this);
   flush(); // records must not run ahead of their coarse events
   if (!Filter.kernelActive(Info.GridId))
     return;
   Core.RecordBatches.fetch_add(1, std::memory_order_relaxed);
   Core.RecordsDelivered.fetch_add(Count, std::memory_order_relaxed);
 
-  for (std::uint32_t I : RecordEntries) {
-    Tool *T = Entries[I].T;
+  const RoutingTable &Table = *Epoch.current();
+  for (std::uint32_t I : Table.RecordEntries) {
+    Tool *T = Table.Entries[I].T;
     if (DeviceAnalysis *Analysis = T->deviceAnalysis()) {
       // GPU-resident model: reduce the batch concurrently on the device
       // analysis threads (paper Fig. 2b).
@@ -582,20 +861,22 @@ void EventProcessor::onAccessBatch(const sim::LaunchInfo &Info,
 
 void EventProcessor::onInstrMix(const sim::LaunchInfo &Info,
                                 const sim::InstrMix &Mix) {
-  ensureStarted();
+  ProcessorAdmissionGuard AdmissionGuard(*this);
   flush();
   if (!Filter.kernelActive(Info.GridId))
     return;
-  for (std::uint32_t I : MixEntries)
-    Entries[I].T->onInstrMix(Info, Mix);
+  const RoutingTable &Table = *Epoch.current();
+  for (std::uint32_t I : Table.MixEntries)
+    Table.Entries[I].T->onInstrMix(Info, Mix);
 }
 
 void EventProcessor::onKernelEnd(const sim::LaunchInfo &Info,
                                  const sim::TraceTimeBreakdown &Breakdown) {
-  ensureStarted();
+  ProcessorAdmissionGuard AdmissionGuard(*this);
   flush();
   if (!Filter.kernelActive(Info.GridId))
     return;
-  for (std::uint32_t I : TraceEntries)
-    Entries[I].T->onKernelTraceEnd(Info, Breakdown);
+  const RoutingTable &Table = *Epoch.current();
+  for (std::uint32_t I : Table.TraceEntries)
+    Table.Entries[I].T->onKernelTraceEnd(Info, Breakdown);
 }

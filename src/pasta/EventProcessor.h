@@ -11,11 +11,11 @@
 /// tools. It implements sim::TraceSink so vendor profiling layers stream
 /// device records straight into it.
 ///
-/// Dispatch is subscription-driven: at attach time each tool's declared
-/// Subscription (EventKind mask + fine-grained interests + concurrency
-/// contract) is compiled into per-kind routing tables, so an event only
-/// reaches the tools that asked for its kind — including the generic
-/// onEvent hook, which non-subscribers no longer see.
+/// Dispatch is subscription-driven: each tool's declared Subscription
+/// (EventKind mask + fine-grained interests + concurrency contract) is
+/// compiled into an immutable, epoch-versioned RoutingTable, so an event
+/// only reaches the tools that asked for its kind — including the
+/// generic onEvent hook, which non-subscribers never see.
 ///
 /// The dispatch unit runs in one of two modes:
 ///
@@ -27,8 +27,8 @@
 ///    application's critical path. An event is routed to the pinned lane
 ///    of every Serial subscriber, plus — when it has ShardByDevice or
 ///    Concurrent subscribers — the event's home lane (DeviceIndex modulo
-///    lane count), so per-device ordering holds for sharded tools and
-///    Serial tools keep today's exactly-one-thread contract.
+///    the active lane count), so per-device ordering holds for sharded
+///    tools and Serial tools keep today's exactly-one-thread contract.
 ///
 ///    Admission classes: resource events (allocations, frees, tensors,
 ///    streams) are never dropped or sampled by the lossy overflow
@@ -60,20 +60,38 @@
 ///    hit counters surface through stats() and the event_pipeline
 ///    report (arena.* metrics).
 ///
-///    Threading contract (asynchronous mode): any number of threads may
-///    call process() concurrently, but annotation toggles and TraceSink
-///    record deliveries are flush-then-proceed operations, not mutual
-///    exclusion — they assume no *other* producer enqueues while they
-///    run (true for the simulated runtimes, which deliver records from
-///    the same thread that issued the launch). Synchronous mode runs
-///    tool hooks on the producing thread, so — exactly as before the
-///    lanes existed — concurrent producers and tool/route mutation
-///    require external serialization there.
+/// Live reconfiguration (epoch-swapped routing tables): the tool set is
+/// NOT sealed at the first admitted event. Every producer admits under
+/// the routing table published by the RoutingEpoch (a single acquire
+/// load on the event path); addTool()/removeTool()/clearTools()/
+/// setLaneCount() quiesce admission behind a 64-slot entry-counter gate
+/// (a Dekker-style handshake: producers bump a striped counter and
+/// re-check the Reconfiguring flag, the reconfigurer sets the flag and
+/// waits for every counter to reach zero), flush the draining epoch
+/// through every lane (so every event admitted under epoch N is fully
+/// dispatched under epoch N's table), then build and publish table N+1
+/// and release the gate. Retired tables stay resident until the
+/// processor is destroyed, so a reader that loaded table N is always
+/// safe to finish with it. Serial tools are re-pinned round-robin over
+/// the *active* lanes of the new table only at this barrier — the
+/// sanctioned-migration point PASTA_VALIDATE's lane-affinity checker is
+/// taught about.
 ///
-///    The tool set is sealed once the asynchronous pipeline starts:
-///    addTool() / clearTools() after the first admitted event (or
-///    record delivery) are rejected, because the dispatch lanes read
-///    the routing tables without locks.
+/// Reconfiguration entry points must not be called from a dispatch-lane
+/// thread or from inside a tool hook running under an admission guard
+/// (synchronous dispatch, record deliveries): the calling hook is part
+/// of the work the gate waits on, so the call is rejected with a
+/// diagnostic instead of self-deadlocking (the same contract flush()
+/// enforces for lane threads).
+///
+/// Lane auto-scaling: with ProcessorOptions::LanesAuto, the lane vector
+/// is preallocated to MaxLanes (threads park cheaply on their empty
+/// rings) and a controller thread samples the queues' park/enqueue
+/// counters every LanesAutoIntervalMs, growing the active lane set when
+/// producers park on a full ring and shrinking it after idle intervals,
+/// always within [MinLanes, MaxLanes] and always through the same epoch
+/// swap — so Serial digests stay byte-identical at any active lane
+/// count.
 ///
 /// The GPU-resident collect-and-analyze model (paper Fig. 2b) is realized
 /// by a host thread pool standing in for device analysis warps: tools
@@ -97,6 +115,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -142,8 +161,15 @@ struct ProcessorStats {
   /// Hard flush barriers taken (Synchronization events, record
   /// deliveries, annotation toggles, finish).
   std::uint64_t FlushCount = 0;
-  /// Dispatch lanes running (0 = synchronous inline dispatch).
+  /// Active dispatch lanes (0 = synchronous inline dispatch).
   std::uint64_t DispatchLanes = 0;
+  /// Routing-table swaps published so far (tool attach/detach/clear and
+  /// lane-count changes all count; the initial empty table does not).
+  std::uint64_t Reconfigurations = 0;
+  /// Auto-scaler grow decisions (LanesAuto).
+  std::uint64_t LaneScaleUps = 0;
+  /// Auto-scaler shrink decisions (LanesAuto).
+  std::uint64_t LaneScaleDowns = 0;
   /// Async pipeline: enqueues that found a lane's ring full and spun
   /// for space (summed over lanes).
   std::uint64_t QueueSpins = 0;
@@ -195,7 +221,8 @@ struct ProcessorOptions {
   std::uint64_t SampleEveryN = 8;
   /// Dispatch lanes when AsyncEvents is on (clamped to [1, 64]). Serial
   /// tools are pinned round-robin; ShardByDevice/Concurrent tools run on
-  /// each event's home lane.
+  /// each event's home lane. With LanesAuto this is the *initial* active
+  /// lane count (clamped into [MinLanes, MaxLanes]).
   std::size_t DispatchThreads = 1;
   /// Iterations a full-ring producer (or empty-ring lane consumer)
   /// spins before parking; 0 parks immediately — the default on
@@ -210,12 +237,92 @@ struct ProcessorOptions {
   /// Resident arena payload byte cap, 0 = unlimited
   /// (PASTA_ARENA_MAX_BYTES); past it, new payloads are per-event pins.
   std::uint64_t ArenaMaxBytes = 0;
+  /// Lane auto-scaling (PASTA_LANES_AUTO, --lanes-auto): a controller
+  /// thread grows the active lane set when producers park on full rings
+  /// and shrinks it across idle intervals, within [MinLanes, MaxLanes].
+  /// Only meaningful with AsyncEvents.
+  bool LanesAuto = false;
+  /// Auto-scaling floor (PASTA_MIN_LANES; 0 = 1).
+  std::size_t MinLanes = 0;
+  /// Auto-scaling ceiling (PASTA_MAX_LANES; 0 = max(DispatchThreads, 4),
+  /// clamped to 64). The lane vector is preallocated to this size.
+  std::size_t MaxLanes = 0;
+  /// Controller sampling interval in milliseconds.
+  std::size_t LanesAutoIntervalMs = 20;
   /// Runtime contract validation (see pasta/Validate.h): Serial
   /// overlap/lane-affinity watchdogs, subscription-mask and -drift
   /// checks, arena payload canaries, flush-barrier assertions. Off by
   /// default (one null check per dispatch); PASTA_VALIDATE env and the
   /// -DPASTA_VALIDATE=ON build flip it.
   bool Validate = validateDefault();
+};
+
+/// One tool as compiled into a routing table.
+struct ToolRouteEntry {
+  Tool *T = nullptr;
+  Subscription Sub;
+  /// Pinned lane for Serial contracts (0 in synchronous mode).
+  std::size_t Lane = 0;
+};
+
+/// Per-kind routing: which entries to invoke, split by placement.
+struct KindRoute {
+  /// Serial subscribers — invoked on their pinned lane.
+  std::vector<std::uint32_t> Pinned;
+  /// ShardByDevice/Concurrent subscribers — invoked on the event's
+  /// home lane.
+  std::vector<std::uint32_t> Floating;
+  /// Bitmask of lanes with pinned subscribers (fan-out set).
+  std::uint64_t PinnedLaneMask = 0;
+};
+
+/// One immutable, epoch-versioned compilation of the attached tools'
+/// subscriptions. Producers and lanes read it lock-free through the
+/// RoutingEpoch; it is never mutated after publication, and retired
+/// tables outlive every reader (they are retained until the processor
+/// is destroyed).
+struct RoutingTable {
+  /// Publication sequence number (0 = the initial empty table).
+  std::uint64_t Epoch = 0;
+  /// Lanes this table routes to (<= the constructed lane vector; the
+  /// auto-scaler moves this between MinLanes and MaxLanes).
+  std::size_t ActiveLanes = 1;
+  std::vector<ToolRouteEntry> Entries;
+  std::array<KindRoute, NumEventKinds> Routes;
+  /// Lanes hosting stack-capturing tools (Subscription::CapturesStacks):
+  /// the pinned lane of each capturing Serial tool, widened to every
+  /// active lane when a capturing ShardByDevice/Concurrent tool exists
+  /// (any lane can be its home lane). Python-stack context updates fan
+  /// out to exactly this set.
+  std::uint64_t StackLaneMask = 0;
+  /// Entry indices with fine-grained interests (record batches,
+  /// instruction mixes, per-launch trace breakdowns).
+  std::vector<std::uint32_t> RecordEntries;
+  std::vector<std::uint32_t> MixEntries;
+  std::vector<std::uint32_t> TraceEntries;
+};
+
+/// The single authorized window onto the current routing table. Every
+/// reader MUST go through current() — pasta-lint's routing-epoch rule
+/// rejects any other reference to the underlying pointer — so the
+/// acquire/release pairing that makes table publication safe cannot be
+/// bypassed by a relaxed load sneaking into a hot path.
+class RoutingEpoch {
+public:
+  /// The currently published table (acquire: a reader sees every write
+  /// that built the table it observes).
+  const RoutingTable *current() const {
+    return EpochTablePtr.load(std::memory_order_acquire);
+  }
+  /// Publishes \p Table (release). Caller owns quiescence: the
+  /// processor's admission gate guarantees no producer is mid-admission
+  /// and every lane has drained the previous epoch.
+  void publish(const RoutingTable *Table) {
+    EpochTablePtr.store(Table, std::memory_order_release);
+  }
+
+private:
+  std::atomic<const RoutingTable *> EpochTablePtr{nullptr};
 };
 
 /// Preprocessing + dispatch layer between the event handler and tools.
@@ -227,18 +334,33 @@ public:
   explicit EventProcessor(const ProcessorOptions &Opts);
   ~EventProcessor() override;
 
-  /// Adds a tool (not owned) and compiles its subscription into the
-  /// routing tables. Returns false — after flushing, without mutating —
-  /// when the pipeline already started with live dispatch lanes: the
-  /// lanes read the tables without locks, so the tool set is sealed by
-  /// the first admitted event.
+  /// Adds a tool (not owned) and publishes a new routing-table epoch —
+  /// on a live pipeline this quiesces admission, drains every lane, and
+  /// swaps tables, so the tool sees exactly the events admitted after
+  /// the call returns. Returns false (without mutating) only when
+  /// called from a dispatch-lane thread or from inside a tool hook
+  /// running under an admission guard — the caller is part of the work
+  /// the reconfiguration barrier waits on.
   bool addTool(Tool *T);
-  /// Removes every tool. Same sealing rule as addTool.
+  /// Detaches \p T from the routing tables at an epoch boundary: events
+  /// admitted after the call returns never reach it, and every event
+  /// admitted before is fully delivered first. False when \p T is not
+  /// attached or under the same dispatch-context rule as addTool.
+  bool removeTool(Tool *T);
+  /// Removes every tool. Same dispatch-context rule as addTool.
   bool clearTools();
   const std::vector<Tool *> &tools() const { return Tools; }
   /// The subscription \p T was attached with (as compiled into the
-  /// routing tables); nullopt when \p T is not attached.
+  /// current routing table); nullopt when \p T is not attached.
   std::optional<Subscription> subscriptionOf(const Tool *T) const;
+
+  /// Repins the active lane set to \p Count at an epoch boundary;
+  /// Serial tools migrate to their new round-robin home as part of the
+  /// swap. False in synchronous mode and when \p Count is outside
+  /// [1, constructed lanes]. Same dispatch-context rule as addTool. The
+  /// auto-scaler calls this; it is public so tests and embedders can
+  /// drive scaling directly.
+  bool setLaneCount(std::size_t Count);
 
   RangeFilter &rangeFilter() { return Filter; }
   /// The shared immutable payload arena events are interned into at
@@ -254,10 +376,13 @@ public:
   /// atomically), but only quiescent pipelines (after flush()/finish,
   /// or in synchronous mode) yield a mutually consistent snapshot.
   ProcessorStats stats() const;
-  /// Per-lane snapshots (empty in synchronous mode).
+  /// Per-constructed-lane snapshots (empty in synchronous mode; with
+  /// LanesAuto, includes currently inactive lanes).
   std::vector<DispatchLaneStats> laneStats() const;
   bool asyncEvents() const { return !Lanes.empty(); }
-  std::size_t laneCount() const { return Lanes.size(); }
+  /// Active dispatch lanes (0 in synchronous mode). With LanesAuto this
+  /// moves at epoch boundaries; without, it equals DispatchThreads.
+  std::size_t laneCount() const;
   /// The runtime contract validator, or null when validation is off
   /// (ProcessorOptions::Validate). Tests install collecting handlers
   /// and drive the payload ledger through this.
@@ -292,7 +417,9 @@ public:
   // inline on the delivering thread; in async mode each delivery first
   // flushes every lane so records never observe tool state older than
   // the coarse events preceding them. Only tools whose subscription
-  // declares the matching interest are invoked.
+  // declares the matching interest are invoked. Deliveries hold an
+  // admission guard for their duration, so a reconfiguration either
+  // completes before a batch starts or waits until it finishes.
   void onKernelBegin(const sim::LaunchInfo &Info) override;
   void onAccessBatch(const sim::LaunchInfo &Info,
                      const sim::MemAccessRecord *Records,
@@ -303,27 +430,13 @@ public:
                    const sim::TraceTimeBreakdown &Breakdown) override;
 
 private:
-  /// One tool as compiled into the routing tables.
-  struct ToolEntry {
-    Tool *T = nullptr;
-    Subscription Sub;
-    /// Pinned lane for Serial contracts (0 in synchronous mode).
-    std::size_t Lane = 0;
-  };
-
-  /// Per-kind routing: which entries to invoke, split by placement.
-  struct KindRoute {
-    /// Serial subscribers — invoked on their pinned lane.
-    std::vector<std::uint32_t> Pinned;
-    /// ShardByDevice/Concurrent subscribers — invoked on the event's
-    /// home lane.
-    std::vector<std::uint32_t> Floating;
-    /// Bitmask of lanes with pinned subscribers (fan-out set).
-    std::uint64_t PinnedLaneMask = 0;
-  };
+  friend class ProcessorAdmissionGuard;
 
   /// One dispatch lane: bounded queue, draining thread, lane-local
-  /// stack context and counters.
+  /// stack context and counters. The lane vector is sized once at
+  /// construction (to MaxLanes under LanesAuto) and never reallocated —
+  /// scaling moves RoutingTable::ActiveLanes, not this vector — so
+  /// stats()/laneStats()/callStacks() never race a vector resize.
   struct Lane {
     std::unique_ptr<EventQueue> Queue;
     std::thread Thread;
@@ -331,42 +444,56 @@ private:
     std::atomic<std::uint64_t> Dispatched{0};
   };
 
-  /// Marks the pipeline started (seals the tool set). The transition
-  /// happens under AttachMutex, so an addTool racing with the very
-  /// first admitted event either completes before it or is rejected —
-  /// the lock-free routing tables are never mutated after any event
-  /// has been admitted. Steady state costs one atomic load.
-  void ensureStarted() {
-    if (Started.load(std::memory_order_acquire))
-      return;
-    std::lock_guard<std::mutex> Lock(AttachMutex);
-    Started.store(true, std::memory_order_release);
-  }
+  /// Producer-side entry counters for the reconfiguration gate, striped
+  /// across cache lines to keep the per-event cost one uncontended RMW.
+  static constexpr std::size_t AdmissionSlots = 64;
+  struct alignas(64) AdmissionSlot {
+    std::atomic<std::uint64_t> Entries{0};
+  };
 
-  /// Bitmask of every dispatch lane (safe at the 64-lane maximum).
-  std::uint64_t allLanesMask() const {
-    return Lanes.size() >= 64 ? ~std::uint64_t(0)
-                              : (std::uint64_t(1) << Lanes.size()) - 1;
+  /// This thread's gate stripe (hash of the thread id).
+  std::atomic<std::uint64_t> &admissionSlot();
+
+  /// True when the calling thread must not reconfigure this processor:
+  /// it is a dispatch-lane thread, or it is inside a tool hook running
+  /// under an admission guard (synchronous dispatch, record delivery) —
+  /// either way it is work the reconfiguration barrier would wait on.
+  bool inDispatchContext() const;
+
+  /// Bitmask of the first \p Count lanes.
+  static std::uint64_t lanesMask(std::size_t Count) {
+    return Count >= 64 ? ~std::uint64_t(0)
+                       : (std::uint64_t(1) << Count) - 1;
   }
 
   /// Admission-side preprocessing on the producer's thread: range
   /// filtering and shared Python-stack context. False when filtered.
   bool admit(Event &E);
 
-  /// Recompiles the per-kind routing tables and fine-grained interest
-  /// lists from the attached tools' subscriptions.
-  void rebuildRoutes();
+  /// Compiles the attached tools into a fresh routing table for
+  /// \p ActiveLanes lanes (caller holds AttachMutex).
+  std::unique_ptr<RoutingTable> buildTable(std::size_t ActiveLanes);
 
-  /// The lane an event's ShardByDevice/Concurrent subscribers run on.
-  std::size_t homeLane(const Event &E) const {
-    return Lanes.size() <= 1
+  /// The epoch swap (caller holds AttachMutex): engage the admission
+  /// gate, wait for in-flight admissions, drain every lane (flushing
+  /// epoch N completely under table N), register the new contracts with
+  /// the validator, publish table N+1, release the gate.
+  void swapTable(std::size_t ActiveLanes);
+
+  /// The lane an event's ShardByDevice/Concurrent subscribers run on
+  /// under \p Table.
+  static std::size_t homeLane(const Event &E, const RoutingTable &Table) {
+    return Table.ActiveLanes <= 1
                ? 0
-               : static_cast<std::size_t>(E.DeviceIndex) % Lanes.size();
+               : static_cast<std::size_t>(E.DeviceIndex) %
+                     Table.ActiveLanes;
   }
 
   /// Dispatch-unit core: routes \p E to the hooks of every subscriber
-  /// placed on \p LaneIndex. Returns true when any tool was invoked.
-  bool dispatchOn(const Event &E, std::size_t LaneIndex);
+  /// \p Table places on \p LaneIndex. Returns true when any tool was
+  /// invoked.
+  bool dispatchOn(const Event &E, std::size_t LaneIndex,
+                  const RoutingTable &Table);
 
   /// Calls the kind-specific hook, then the generic hook.
   static void invoke(Tool &T, const Event &E);
@@ -374,21 +501,20 @@ private:
   /// Lane thread main: drains the lane's queue until close().
   void laneLoop(std::size_t LaneIndex);
 
+  /// Auto-scaler main: samples queue pressure every interval and moves
+  /// the active lane count through setLaneCount().
+  void controllerLoop();
+
+  /// Attached tools in attach order (mutated under AttachMutex; the
+  /// compiled per-epoch view lives in the routing tables).
   std::vector<Tool *> Tools;
-  std::vector<ToolEntry> Entries;
-  std::array<KindRoute, NumEventKinds> Routes;
-  /// Lanes hosting stack-capturing tools (Subscription::CapturesStacks):
-  /// the pinned lane of each capturing Serial tool, widened to every
-  /// lane when a capturing ShardByDevice/Concurrent tool exists (any
-  /// lane can be its home lane). Python-stack context updates fan out
-  /// to exactly this set — other lanes' CallStackBuilders are never
-  /// consulted by their tools, so feeding them would be pure overhead.
-  std::uint64_t StackLaneMask = 0;
-  /// Entry indices with fine-grained interests (record batches,
-  /// instruction mixes, per-launch trace breakdowns).
-  std::vector<std::uint32_t> RecordEntries;
-  std::vector<std::uint32_t> MixEntries;
-  std::vector<std::uint32_t> TraceEntries;
+  /// Every routing table ever published, oldest first; the current one
+  /// is Tables.back(). Retired tables are deliberately retained (a few
+  /// KB each) so readers that loaded an old epoch are always safe —
+  /// reclamation would need hazard tracking on the per-event path.
+  std::vector<std::unique_ptr<const RoutingTable>> Tables;
+  /// The published-table window every reader goes through.
+  RoutingEpoch Epoch;
 
   RangeFilter Filter;
   /// Shared immutable payload arena; producers intern admitted events'
@@ -409,17 +535,38 @@ private:
     std::atomic<std::uint64_t> DeviceAnalyzedRecords{0};
     std::atomic<std::uint64_t> HostAnalyzedRecords{0};
     std::atomic<std::uint64_t> FlushCount{0};
+    std::atomic<std::uint64_t> Reconfigurations{0};
+    std::atomic<std::uint64_t> LaneScaleUps{0};
+    std::atomic<std::uint64_t> LaneScaleDowns{0};
   } Core;
   std::vector<std::unique_ptr<Lane>> Lanes;
-  /// Serializes tool-set mutation against the first admission (see
-  /// ensureStarted); never taken on the steady-state event path.
+
+  /// Reconfiguration gate. Producers enter by bumping their stripe and
+  /// re-checking Reconfiguring (both seq_cst — the Dekker handshake
+  /// with the reconfigurer's flag-store + counter-scan); when the flag
+  /// is up they back out and park on ReconfigCv.
+  std::array<AdmissionSlot, AdmissionSlots> Gate;
+  std::atomic<bool> Reconfiguring{false};
+  std::mutex ReconfigMutex;
+  std::condition_variable ReconfigCv;
+
+  /// Serializes reconfigurations (tool-set mutation, lane scaling)
+  /// against each other; never taken on the steady-state event path.
   std::mutex AttachMutex;
+
+  /// Auto-scaler state (LanesAuto only).
+  std::size_t MinLanesEff = 1;
+  std::size_t MaxLanesEff = 1;
+  std::size_t ControllerIntervalMs = 20;
+  std::thread Controller;
+  std::mutex ControllerMutex;
+  std::condition_variable ControllerCv;
+  bool ControllerStop = false;
+
   /// Runtime contract checks (null when ProcessorOptions::Validate is
   /// off — the entire validation plane then costs one null test per
   /// dispatch).
   std::unique_ptr<Validator> Val;
-  /// Set by the first admitted event; seals the tool set in async mode.
-  std::atomic<bool> Started{false};
   /// One-shot guard for the callStacks()-without-CapturesStacks
   /// diagnostic.
   std::atomic<bool> StaleStackWarned{false};

@@ -74,6 +74,15 @@ std::size_t roundUpPow2(std::size_t Value) {
 /// overflow for (the EventArena intern-memo pattern).
 std::atomic<std::uint64_t> NextQueueId{1};
 
+/// Bumped by every ~EventQueue: a memo that last synced under an older
+/// generation may hold entries for destroyed queues, so it drops them
+/// all before serving (sampleMemoFor). Without this, the thread-local
+/// entries outlive their queues — a workload that creates and destroys
+/// many sessions on one thread accumulates dead cadence state that a
+/// later id collision would resurrect mid-count instead of starting the
+/// fresh queue's 1/N cadence at zero.
+std::atomic<std::uint64_t> MemoGeneration{1};
+
 /// Per-producer Sample-policy state: each producer thread counts the
 /// overflow *it* sees for each queue, so the sampled-out fast path is
 /// write-free outside the thread (only the SampledOut accounting counter
@@ -90,6 +99,15 @@ constexpr std::size_t SampleMemoSlots = 16;
 
 SampleMemoEntry &sampleMemoFor(std::uint64_t QueueId) {
   thread_local std::array<SampleMemoEntry, SampleMemoSlots> Memo;
+  thread_local std::uint64_t SeenGeneration = 0;
+  // Acquire pairs with the destructor's release bump: stale entries are
+  // flushed before any queue constructed after a destruction is served.
+  std::uint64_t Generation =
+      MemoGeneration.load(std::memory_order_acquire);
+  if (SeenGeneration != Generation) {
+    SeenGeneration = Generation;
+    Memo.fill(SampleMemoEntry{});
+  }
   SampleMemoEntry &Entry = Memo[QueueId % SampleMemoSlots];
   if (Entry.QueueId != QueueId) {
     Entry.QueueId = QueueId;
@@ -117,7 +135,11 @@ EventQueue::EventQueue(std::size_t Capacity, OverflowPolicy Policy,
     Ring[I].Seq.store(I, std::memory_order_relaxed);
 }
 
-EventQueue::~EventQueue() = default;
+EventQueue::~EventQueue() {
+  // Invalidate every producer's thread-local Sample memo: entries for
+  // this queue must not survive into a future queue's cadence.
+  MemoGeneration.fetch_add(1, std::memory_order_release);
+}
 
 std::optional<std::uint64_t> EventQueue::claimTicket() {
   std::uint64_t Claim = Tail.fetch_add(1, std::memory_order_seq_cst);

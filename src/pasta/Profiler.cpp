@@ -71,6 +71,12 @@ ProfilerOptions ProfilerOptions::fromEnv() {
       std::max<std::int64_t>(getEnvInt("PASTA_ARENA_MAX_BYTES", 0), 0));
   Opts.Processor.Validate =
       getEnvBool("PASTA_VALIDATE", Opts.Processor.Validate);
+  Opts.Processor.LanesAuto =
+      getEnvBool("PASTA_LANES_AUTO", Opts.Processor.LanesAuto);
+  Opts.Processor.MinLanes = static_cast<std::size_t>(std::min<std::int64_t>(
+      std::max<std::int64_t>(getEnvInt("PASTA_MIN_LANES", 0), 0), 64));
+  Opts.Processor.MaxLanes = static_cast<std::size_t>(std::min<std::int64_t>(
+      std::max<std::int64_t>(getEnvInt("PASTA_MAX_LANES", 0), 0), 64));
   return Opts;
 }
 
@@ -87,7 +93,7 @@ Tool *Profiler::addTool(std::unique_ptr<Tool> T) {
   assert(T && "null tool");
   Tool *Raw = T.get();
   if (!Processor.addTool(Raw))
-    return nullptr; // pipeline already started; tool set is sealed
+    return nullptr; // rejected: called from inside a dispatch context
   Tools.push_back(std::move(T));
   Raw->onStart();
   return Raw;
@@ -108,6 +114,42 @@ Tool *Profiler::addToolFromEnv() {
   if (!Name)
     return nullptr;
   return addToolByName(*Name);
+}
+
+bool Profiler::detachTool(Tool *T) {
+  if (!T)
+    return false;
+  auto Owned = std::find_if(Tools.begin(), Tools.end(),
+                            [T](const std::unique_ptr<Tool> &P) {
+                              return P.get() == T;
+                            });
+  if (Owned == Tools.end())
+    return false;
+  if (std::find(Detached.begin(), Detached.end(), T) != Detached.end())
+    return false; // already detached
+  if (!Processor.removeTool(T))
+    return false; // rejected: called from inside a dispatch context
+  // The swap's drain barrier delivered every pre-detach admission; the
+  // tool's report is now a frozen snapshot of its attached window.
+  T->onFinish();
+  Detached.push_back(T);
+  return true;
+}
+
+bool Profiler::isDetached(const Tool *T) const {
+  return std::find(Detached.begin(), Detached.end(), T) != Detached.end();
+}
+
+bool Profiler::detachToolByName(const std::string &Name) {
+  for (auto &T : Tools) {
+    if (T->name() != Name)
+      continue;
+    if (std::find(Detached.begin(), Detached.end(), T.get()) !=
+        Detached.end())
+      continue; // keep scanning: an earlier same-name tool was detached
+    return detachTool(T.get());
+  }
+  return false;
 }
 
 void Profiler::attachCuda(cuda::CudaRuntime &Runtime, int DeviceIndex) {
@@ -131,7 +173,9 @@ void Profiler::finish() {
   // onFinish snapshots their state (async reports stay deterministic).
   Processor.flush();
   for (auto &T : Tools)
-    T->onFinish();
+    if (std::find(Detached.begin(), Detached.end(), T.get()) ==
+        Detached.end())
+      T->onFinish();
 }
 
 void Profiler::writeReports(std::FILE *Out) {

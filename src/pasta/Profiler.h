@@ -40,7 +40,8 @@ namespace pasta {
 /// variables (PASTA_TOOL, ACCEL_PROF_ENV_SAMPLE_RATE,
 /// PASTA_TRACE_GRANULARITY, PASTA_ASYNC_EVENTS, PASTA_QUEUE_DEPTH,
 /// PASTA_OVERFLOW_POLICY, PASTA_DISPATCH_THREADS, PASTA_QUEUE_SPINS,
-/// PASTA_ARENA_SHARDS, PASTA_ARENA_MEMO, PASTA_ARENA_MAX_BYTES;
+/// PASTA_ARENA_SHARDS, PASTA_ARENA_MEMO, PASTA_ARENA_MAX_BYTES,
+/// PASTA_LANES_AUTO, PASTA_MIN_LANES, PASTA_MAX_LANES;
 /// START_GRID_ID / END_GRID_ID are read by the range filter itself).
 struct ProfilerOptions {
   TraceOptions Trace;
@@ -68,14 +69,29 @@ public:
   //===--------------------------------------------------------------------===
   // Tool management
   //===--------------------------------------------------------------------===
-  /// Adds a tool instance; the profiler owns it. Returns the raw pointer
-  /// for convenience, or null when the asynchronous pipeline already
-  /// started (the dispatch lanes seal the tool set at the first event).
+  /// Adds a tool instance; the profiler owns it. Works on a running
+  /// pipeline — the processor publishes a new routing epoch and the
+  /// tool sees every event admitted after the swap. Returns the raw
+  /// pointer for convenience, or null when called from inside a
+  /// dispatch-lane thread or tool hook (reconfiguring from the work the
+  /// swap barrier waits on would deadlock, so it is rejected).
   Tool *addTool(std::unique_ptr<Tool> T);
   /// Creates a tool from the global registry; null when unknown.
   Tool *addToolByName(const std::string &Name);
   /// Adds the tool named by the PASTA_TOOL environment variable, if set.
   Tool *addToolFromEnv();
+  /// Detaches \p T from the live pipeline: the routing swap drains every
+  /// event admitted before the detach into the tool, then its onFinish
+  /// runs and its report freezes. The profiler keeps owning the tool —
+  /// writeReports() still includes it — but finish() will not run its
+  /// onFinish again. Returns false when \p T is not an attached tool of
+  /// this profiler or when called from a dispatch context.
+  bool detachTool(Tool *T);
+  /// Detaches the first attached tool whose name() is \p Name.
+  bool detachToolByName(const std::string &Name);
+  /// True when \p T was detached from the live pipeline (it still
+  /// appears in tools() because its frozen report stays in the output).
+  bool isDetached(const Tool *T) const;
   const std::vector<std::unique_ptr<Tool>> &tools() const { return Tools; }
 
   //===--------------------------------------------------------------------===
@@ -121,6 +137,10 @@ private:
   EventProcessor Processor;
   EventHandler Handler;
   std::vector<std::unique_ptr<Tool>> Tools;
+  /// Tools detached from the live pipeline: onFinish already ran at
+  /// detach (their reports are frozen snapshots of the attached window),
+  /// so finish() must not run it again.
+  std::vector<const Tool *> Detached;
   bool Finished = false;
 };
 

@@ -41,6 +41,9 @@ ProfilerOptions profilerOptions(const SessionOptions &Opts) {
   ProfOpts.Processor.ArenaShards = Opts.ArenaShards;
   ProfOpts.Processor.ArenaMemo = Opts.ArenaMemo;
   ProfOpts.Processor.ArenaMaxBytes = Opts.ArenaMaxBytes;
+  ProfOpts.Processor.LanesAuto = Opts.LanesAuto;
+  ProfOpts.Processor.MinLanes = Opts.MinLanes;
+  ProfOpts.Processor.MaxLanes = Opts.MaxLanes;
   ProfOpts.Processor.Validate = Opts.Validate;
   return ProfOpts;
 }
@@ -197,10 +200,18 @@ void Session::writePipelineReport(ReportSink &Sink) {
 }
 
 Tool *Session::tool(const std::string &Name) const {
+  // Detached tools stay in tools() (their frozen reports remain in the
+  // output) but are no longer part of the live tool set this accessor
+  // answers for — so detach-then-reattach round-trips work.
   for (const std::unique_ptr<Tool> &T : Prof.tools())
-    if (T->name() == Name)
+    if (T->name() == Name && !Prof.isDetached(T.get()))
       return T.get();
   return nullptr;
+}
+
+Tool *Session::addToolByName(const std::string &Name) {
+  tools::registerBuiltinTools();
+  return Prof.addToolByName(Name);
 }
 
 std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
@@ -260,6 +271,19 @@ std::unique_ptr<Session> SessionBuilder::build(SessionError &Err) {
   }
   if (Opts.ArenaShards > 64) {
     Err.assign("arena shard count must be in [1, 64] (0 = auto)");
+    return nullptr;
+  }
+  if (Opts.MaxLanes > 64) {
+    Err.assign("max lane count must be in [1, 64] (0 = auto)");
+    return nullptr;
+  }
+  if (Opts.MinLanes > 64) {
+    Err.assign("min lane count must be in [1, 64] (0 = auto)");
+    return nullptr;
+  }
+  if (Opts.MinLanes != 0 && Opts.MaxLanes != 0 &&
+      Opts.MinLanes > Opts.MaxLanes) {
+    Err.assign("min lane count must not exceed max lane count");
     return nullptr;
   }
   if (Opts.ReplaySpeed < 0.0) {

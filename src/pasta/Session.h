@@ -104,6 +104,14 @@ struct SessionOptions {
   /// Resident arena payload byte cap (0 = unlimited); past it, new
   /// payloads fall back to per-event owned pins and are counted.
   std::uint64_t ArenaMaxBytes = ProcessorOptions().ArenaMaxBytes;
+  /// Lane auto-scaling: a controller samples queue back-pressure
+  /// (parks/enqueue deltas) and grows or shrinks the active lane set
+  /// within [MinLanes, MaxLanes] at epoch boundaries.
+  bool LanesAuto = ProcessorOptions().LanesAuto;
+  /// Auto-scaling floor (0 = 1). Only meaningful with LanesAuto.
+  std::size_t MinLanes = ProcessorOptions().MinLanes;
+  /// Auto-scaling ceiling (0 = max(DispatchThreads, 4), capped at 64).
+  std::size_t MaxLanes = ProcessorOptions().MaxLanes;
   /// Runtime contract validation (pasta/Validate.h): Serial overlap and
   /// lane-affinity watchdogs, subscription checks, payload canaries,
   /// flush-barrier assertions.
@@ -204,6 +212,25 @@ public:
   }
   const std::vector<std::unique_ptr<Tool>> &tools() const {
     return Prof.tools();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Live reconfiguration
+  //===--------------------------------------------------------------------===
+  /// Attaches \p T to the *running* session: the pipeline publishes a
+  /// new routing epoch behind a flush barrier and the tool sees every
+  /// event admitted afterwards. Returns the raw pointer, or null when
+  /// called from inside a dispatch context (a tool hook cannot
+  /// reconfigure the pipeline that is delivering to it).
+  Tool *addTool(std::unique_ptr<Tool> T) { return Prof.addTool(std::move(T)); }
+  /// Registry-name variant of the live addTool.
+  Tool *addToolByName(const std::string &Name);
+  /// Detaches the named tool from the running session: pre-detach
+  /// admissions drain into it, its onFinish runs, and its report
+  /// freezes — it still appears in writeReports(). Returns false when
+  /// no attached tool has that name.
+  bool detachTool(const std::string &Name) {
+    return Prof.detachToolByName(Name);
   }
 
 private:
@@ -342,6 +369,25 @@ public:
   /// arena.evicted_fallbacks.
   SessionBuilder &arenaMaxBytes(std::uint64_t Bytes) {
     Opts.ArenaMaxBytes = Bytes;
+    return *this;
+  }
+  /// Lets the pipeline grow/shrink its dispatch-lane set from observed
+  /// queue back-pressure, within [minLanes, maxLanes]. Serial tools
+  /// migrate between lanes only at epoch boundaries, so their reports
+  /// stay byte-identical at any lane count. Implies nothing about
+  /// asyncEvents — auto-scaling without the async pipeline is inert.
+  SessionBuilder &lanesAuto(bool Enabled = true) {
+    Opts.LanesAuto = Enabled;
+    return *this;
+  }
+  /// Auto-scaling floor (0 = 1 lane).
+  SessionBuilder &minLanes(std::size_t Count) {
+    Opts.MinLanes = Count;
+    return *this;
+  }
+  /// Auto-scaling ceiling (0 = max(dispatchThreads, 4), capped at 64).
+  SessionBuilder &maxLanes(std::size_t Count) {
+    Opts.MaxLanes = Count;
     return *this;
   }
   /// Turns on the runtime contract validator (docs/VALIDATION.md): the

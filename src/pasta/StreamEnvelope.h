@@ -102,6 +102,49 @@ inline void encodeStreamFrameHeader(std::string &Out, std::uint64_t Sequence,
   appendU32(Out, PayloadSize);
 }
 
+//===----------------------------------------------------------------------===//
+// Control channel
+//===----------------------------------------------------------------------===//
+//
+// A control connection speaks to the same socket as the trace streams;
+// the daemon disambiguates on the first eight bytes ("PASTACTL" vs
+// "PASTASTM"). One request, one response, then the connection closes:
+//   request:  magic(8) + u32 protocol version + u32 length + command text
+//   response: u32 status (0 = ok) + u32 length + message text
+// Commands are whitespace-separated words ("attach-tool <tenant>
+// <tool>", "detach-tool <tenant> <tool>", "list-tenants") — the verbs
+// behind `accelprof --control SOCKET <command>`, the path that live-
+// reconfigures a running daemon's tenant sessions.
+
+/// First eight bytes of every control connection ("PASTACTL").
+inline constexpr char ControlMagic[8] = {'P', 'A', 'S', 'T', 'A', 'C', 'T',
+                                         'L'};
+
+/// Control protocol version; servers reject other versions outright.
+inline constexpr std::uint32_t ControlProtocolVersion = 1;
+
+/// Ceiling on a control command's text (and a response message).
+inline constexpr std::uint32_t ControlMaxCommandBytes = 4096;
+
+/// Response status words.
+inline constexpr std::uint32_t ControlStatusOk = 0;
+inline constexpr std::uint32_t ControlStatusError = 1;
+
+/// Serializes a control request.
+inline void encodeControlRequest(std::string &Out,
+                                 const std::string &Command) {
+  Out.append(ControlMagic, sizeof(ControlMagic));
+  appendU32(Out, ControlProtocolVersion);
+  appendString(Out, Command);
+}
+
+/// Serializes a control response.
+inline void encodeControlResponse(std::string &Out, std::uint32_t Status,
+                                  const std::string &Message) {
+  appendU32(Out, Status);
+  appendString(Out, Message);
+}
+
 } // namespace trace
 } // namespace pasta
 

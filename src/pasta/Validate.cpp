@@ -95,11 +95,20 @@ void Validator::registerTool(Tool &T, const Subscription &Compiled,
     std::unique_ptr<ToolState> &Slot = Tools[&T];
     if (!Slot)
       Slot = std::make_unique<ToolState>();
+    else if (Reconfiguring && Slot->Stale &&
+             Compiled.Model == ExecutionModel::Serial &&
+             Slot->Model == ExecutionModel::Serial &&
+             Slot->PinnedLane != PinnedLane)
+      // Epoch boundary: the swap drained the old epoch before this
+      // re-registration, so moving the pin is the sanctioned migration
+      // path, not a lane-affinity break.
+      SanctionedMigrations.fetch_add(1, std::memory_order_relaxed);
     Slot->T = &T;
     Slot->Name = T.name();
     Slot->Kinds = Compiled.Kinds;
     Slot->Model = Compiled.Model;
     Slot->PinnedLane = PinnedLane;
+    Slot->Stale = false;
   }
 
   // Drift watchdog: the routing tables were compiled from one answer;
@@ -122,6 +131,24 @@ void Validator::registerTool(Tool &T, const Subscription &Compiled,
 void Validator::unregisterTools() {
   std::lock_guard<std::mutex> Lock(StateMutex);
   Tools.clear();
+}
+
+void Validator::beginReconfiguration() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  Reconfiguring = true;
+  for (auto &Entry : Tools)
+    Entry.second->Stale = true;
+}
+
+void Validator::endReconfiguration() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  Reconfiguring = false;
+  for (auto It = Tools.begin(); It != Tools.end();) {
+    if (It->second->Stale)
+      It = Tools.erase(It);
+    else
+      ++It;
+  }
 }
 
 Validator::ToolState *Validator::stateOf(Tool &T) {
@@ -306,6 +333,8 @@ ValidatorStats Validator::stats() const {
   S.DeliveriesChecked = DeliveriesChecked.load(std::memory_order_relaxed);
   S.PayloadsTracked = PayloadsTracked.load(std::memory_order_relaxed);
   S.Violations = Violations.load(std::memory_order_relaxed);
+  S.SanctionedMigrations =
+      SanctionedMigrations.load(std::memory_order_relaxed);
   return S;
 }
 

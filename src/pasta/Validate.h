@@ -97,6 +97,11 @@ struct ValidatorStats {
   std::uint64_t DeliveriesChecked = 0;
   std::uint64_t PayloadsTracked = 0;
   std::uint64_t Violations = 0;
+  /// Serial tools whose pinned lane legitimately changed across an
+  /// epoch swap (beginReconfiguration/endReconfiguration bracket). Not
+  /// violations: migrations at an epoch boundary are the sanctioned way
+  /// lane auto-scaling rebalances Serial tools.
+  std::uint64_t SanctionedMigrations = 0;
 };
 
 /// The runtime contract checker. One Validator per EventProcessor,
@@ -130,11 +135,25 @@ public:
   /// compiled from and its pinned lane. Also re-queries
   /// T.subscription() and reports SubscriptionDrift when the answer no
   /// longer matches \p Compiled — the caller must hold its attach lock
-  /// (single-threaded, like the compile itself).
+  /// (single-threaded, like the compile itself). Inside a
+  /// beginReconfiguration/endReconfiguration bracket, re-registering a
+  /// known Serial tool with a different pinned lane counts a sanctioned
+  /// migration instead of arming the lane-affinity check against the
+  /// stale lane.
   void registerTool(Tool &T, const Subscription &Compiled,
                     std::size_t PinnedLane);
   /// Forgets every registered tool (clearTools on the processor).
   void unregisterTools();
+
+  /// Brackets an epoch swap. beginReconfiguration() marks every
+  /// registered tool stale; the registerTool() calls that follow
+  /// re-adopt survivors in place (their in-flight Active counters are
+  /// preserved — the pipeline is quiesced, but a collecting-handler
+  /// test may hold state across the swap); endReconfiguration()
+  /// retires tools the new table no longer routes to. The caller holds
+  /// the processor's attach lock for the whole bracket.
+  void beginReconfiguration();
+  void endReconfiguration();
 
   /// Delivery-time checks, wrapped around the hook invocation:
   /// subscription-mask watchdog, Serial overlap/lane-affinity, payload
@@ -194,6 +213,10 @@ private:
     std::atomic<int> Active{0};
     /// Hash of the thread id currently inside a hook (diagnostics).
     std::atomic<std::uint64_t> ActiveThread{0};
+    /// Set by beginReconfiguration(), cleared when registerTool()
+    /// re-adopts the tool; still-stale entries are retired by
+    /// endReconfiguration().
+    bool Stale = false;
   };
 
   struct PayloadEntry {
@@ -229,6 +252,11 @@ private:
   std::atomic<std::uint64_t> DeliveriesChecked{0};
   std::atomic<std::uint64_t> PayloadsTracked{0};
   std::atomic<std::uint64_t> Violations{0};
+  std::atomic<std::uint64_t> SanctionedMigrations{0};
+
+  /// True between beginReconfiguration() and endReconfiguration()
+  /// (guarded by StateMutex alongside the Stale flags it governs).
+  bool Reconfiguring = false;
 };
 
 } // namespace pasta

@@ -94,7 +94,10 @@ void Aggregator::acceptLoop() {
     };
     auto Conn = std::make_unique<Connection>(
         Client, NextConnId++, StopPipe[0], Binder,
-        [this](Connection &C) { onConnectionDone(C); });
+        [this](Connection &C) { onConnectionDone(C); },
+        [this](const std::string &Command, bool &Ok) {
+          return executeControl(Command, Ok);
+        });
     Connection *Started = Conn.get();
     {
       std::lock_guard<std::mutex> Lock(Mu);
@@ -230,4 +233,68 @@ void Aggregator::wait() {
 AggregatorStats Aggregator::stats() {
   std::lock_guard<std::mutex> Lock(Mu);
   return Stats;
+}
+
+std::string Aggregator::executeControl(const std::string &Command,
+                                       bool &Ok) {
+  Ok = false;
+  std::vector<std::string> Words;
+  std::string Word;
+  for (char C : Command) {
+    if (C == ' ' || C == '\t' || C == '\n') {
+      if (!Word.empty())
+        Words.push_back(std::move(Word));
+      Word.clear();
+    } else {
+      Word.push_back(C);
+    }
+  }
+  if (!Word.empty())
+    Words.push_back(std::move(Word));
+  if (Words.empty())
+    return "empty control command";
+
+  const std::string &Verb = Words[0];
+  if (Verb == "list-tenants") {
+    std::string Out;
+    for (Tenant *T : Registry.tenants()) {
+      std::lock_guard<std::mutex> Lock(T->mutex());
+      Out += T->name() + " connections=" +
+             std::to_string(T->stats().Connections) + " events=" +
+             std::to_string(T->stats().EventsAdmitted) + " tools=" +
+             std::to_string(T->session().tools().size()) + "\n";
+    }
+    Ok = true;
+    return Out.empty() ? "no tenants\n" : Out;
+  }
+
+  if (Verb == "attach-tool" || Verb == "detach-tool") {
+    if (Words.size() != 3)
+      return "usage: " + Verb + " <tenant> <tool>";
+    Tenant *T = Registry.find(Words[1]);
+    if (!T)
+      return "unknown tenant '" + Words[1] +
+             "' (tenants are created by their first client stream)";
+    // The tenant lock serializes the reconfiguration against the
+    // tenant's stream admissions: the epoch swap happens between
+    // decoded chunks, never mid-chunk.
+    std::lock_guard<std::mutex> Lock(T->mutex());
+    if (Verb == "attach-tool") {
+      if (T->session().tool(Words[2]))
+        return "tool '" + Words[2] + "' is already attached to tenant '" +
+               Words[1] + "'";
+      if (!T->session().addToolByName(Words[2]))
+        return "cannot attach tool '" + Words[2] + "' (unknown tool?)";
+      Ok = true;
+      return "attached '" + Words[2] + "' to tenant '" + Words[1] + "'";
+    }
+    if (!T->session().detachTool(Words[2]))
+      return "tool '" + Words[2] + "' is not attached to tenant '" +
+             Words[1] + "'";
+    Ok = true;
+    return "detached '" + Words[2] + "' from tenant '" + Words[1] + "'";
+  }
+
+  return "unknown control verb '" + Verb +
+         "' (try attach-tool, detach-tool, list-tenants)";
 }

@@ -75,6 +75,12 @@ public:
   TenantRegistry &registry() { return Registry; }
   AggregatorStats stats();
 
+  /// Executes one control command ("attach-tool <tenant> <tool>",
+  /// "detach-tool <tenant> <tool>", "list-tenants"). Public so tests
+  /// can drive the verbs without a socket; the control connections
+  /// route here via the ControlExecutor injected into each Connection.
+  std::string executeControl(const std::string &Command, bool &Ok);
+
 private:
   void acceptLoop();
   void timerLoop();

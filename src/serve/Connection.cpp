@@ -218,9 +218,10 @@ bool ClientStream::finishEof(SessionError &Err) {
 
 Connection::Connection(int Fd, std::uint64_t Id, int StopFd,
                        ClientStream::TenantBinder Binder,
-                       std::function<void(Connection &)> OnDone)
+                       std::function<void(Connection &)> OnDone,
+                       ControlExecutor Control)
     : Fd(Fd), ConnId(Id), StopFd(StopFd), Stream(std::move(Binder)),
-      OnDone(std::move(OnDone)) {}
+      OnDone(std::move(OnDone)), Control(std::move(Control)) {}
 
 Connection::~Connection() {
   join();
@@ -278,6 +279,191 @@ void Connection::drainPending() {
 }
 
 void Connection::run() {
+  // Protocol sniff: buffer the first eight bytes to pick stream vs
+  // control mode. Both magics share the "PASTA" prefix, so the decision
+  // waits for the full eight; a client that hangs up earlier is judged
+  // as a (truncated) stream, exactly as before the control channel
+  // existed.
+  unsigned char Buf[1 << 16];
+  std::string Sniff;
+  bool IsControl = false;
+  bool Decided = false;
+  while (!Decided && Outcome == StreamOutcome::Active) {
+    pollfd Fds[2];
+    Fds[0].fd = Fd;
+    Fds[0].events = POLLIN;
+    Fds[0].revents = 0;
+    Fds[1].fd = StopFd;
+    Fds[1].events = POLLIN;
+    Fds[1].revents = 0;
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      Outcome = StreamOutcome::Aborted;
+      break;
+    }
+    if (Fds[1].revents != 0) {
+      // Shutdown mid-sniff: drain as a stream (an aborted control
+      // handshake gets no response — its client sees EOF).
+      SessionError Err;
+      if (!Sniff.empty() &&
+          !Stream.feed(reinterpret_cast<const unsigned char *>(Sniff.data()),
+                       Sniff.size(), Err)) {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message() + "; disconnecting");
+        Outcome = StreamOutcome::Corrupt;
+        break;
+      }
+      drainPending();
+      break;
+    }
+    if (Fds[0].revents == 0)
+      continue;
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      logWarning("serve: connection #" + std::to_string(ConnId) +
+                 ": read error: " + std::strerror(errno));
+      Outcome = StreamOutcome::Aborted;
+      break;
+    }
+    if (N == 0) {
+      SessionError Err;
+      if (!Sniff.empty() &&
+          !Stream.feed(reinterpret_cast<const unsigned char *>(Sniff.data()),
+                       Sniff.size(), Err)) {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message() + "; disconnecting");
+        Outcome = StreamOutcome::Corrupt;
+        break;
+      }
+      if (Stream.finishEof(Err)) {
+        Outcome = StreamOutcome::Clean;
+      } else {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message());
+        Outcome = StreamOutcome::Corrupt;
+      }
+      break;
+    }
+    Sniff.append(reinterpret_cast<const char *>(Buf),
+                 static_cast<std::size_t>(N));
+    if (Sniff.size() < sizeof(ControlMagic))
+      continue;
+    Decided = true;
+    IsControl =
+        std::memcmp(Sniff.data(), ControlMagic, sizeof(ControlMagic)) == 0;
+  }
+
+  if (Decided) {
+    if (IsControl) {
+      runControl(Sniff.substr(sizeof(ControlMagic)));
+    } else {
+      SessionError Err;
+      if (!Stream.feed(reinterpret_cast<const unsigned char *>(Sniff.data()),
+                       Sniff.size(), Err)) {
+        logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
+                   Err.message() + "; disconnecting");
+        Outcome = StreamOutcome::Corrupt;
+      } else {
+        runStream();
+      }
+    }
+  }
+
+  ::close(Fd);
+  Fd = -1;
+  Done.store(true, std::memory_order_release);
+  if (OnDone)
+    OnDone(*this);
+}
+
+void Connection::runControl(std::string Pending) {
+  // One request, one response: u32 version + u32 length + command text
+  // (the magic was consumed by the sniff), answered with u32 status +
+  // u32 length + message, then EOF.
+  auto Fail = [this](const std::string &Message) {
+    logWarning("serve: connection #" + std::to_string(ConnId) +
+               ": control: " + Message + "; disconnecting");
+    Outcome = StreamOutcome::Corrupt;
+  };
+  unsigned char Buf[1 << 12];
+  std::string Request = std::move(Pending);
+  std::size_t CommandLength = 0;
+  for (;;) {
+    if (Request.size() >= 8 && CommandLength == 0) {
+      ByteReader Cursor(
+          reinterpret_cast<const unsigned char *>(Request.data()), 8);
+      std::uint32_t Proto = 0;
+      std::uint32_t Length = 0;
+      Cursor.readU32(Proto);
+      Cursor.readU32(Length);
+      if (Proto != ControlProtocolVersion)
+        return Fail("unsupported control protocol version " +
+                    std::to_string(Proto));
+      if (Length == 0 || Length > ControlMaxCommandBytes)
+        return Fail("invalid command length " + std::to_string(Length));
+      CommandLength = Length;
+    }
+    if (CommandLength != 0 && Request.size() >= 8 + CommandLength)
+      break;
+    pollfd Fds[2];
+    Fds[0].fd = Fd;
+    Fds[0].events = POLLIN;
+    Fds[0].revents = 0;
+    Fds[1].fd = StopFd;
+    Fds[1].events = POLLIN;
+    Fds[1].revents = 0;
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      Outcome = StreamOutcome::Aborted;
+      return;
+    }
+    if (Fds[1].revents != 0) {
+      Outcome = StreamOutcome::Aborted;
+      return;
+    }
+    if (Fds[0].revents == 0)
+      continue;
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return Fail(std::string("read error: ") + std::strerror(errno));
+    }
+    if (N == 0)
+      return Fail("connection closed before a complete control request");
+    Request.append(reinterpret_cast<const char *>(Buf),
+                   static_cast<std::size_t>(N));
+  }
+
+  std::string Command = Request.substr(8, CommandLength);
+  bool Ok = false;
+  std::string Message =
+      Control ? Control(Command, Ok) : "daemon accepts no control commands";
+  if (Message.size() > ControlMaxCommandBytes)
+    Message.resize(ControlMaxCommandBytes);
+
+  std::string Response;
+  encodeControlResponse(Response, Ok ? ControlStatusOk : ControlStatusError,
+                        Message);
+  std::size_t Written = 0;
+  while (Written < Response.size()) {
+    ssize_t N = ::write(Fd, Response.data() + Written,
+                        Response.size() - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Fail(std::string("write error: ") + std::strerror(errno));
+    }
+    Written += static_cast<std::size_t>(N);
+  }
+  Outcome = StreamOutcome::Clean;
+}
+
+void Connection::runStream() {
   unsigned char Buf[1 << 16];
   while (Outcome == StreamOutcome::Active) {
     pollfd Fds[2];
@@ -327,9 +513,4 @@ void Connection::run() {
       break;
     }
   }
-  ::close(Fd);
-  Fd = -1;
-  Done.store(true, std::memory_order_release);
-  if (OnDone)
-    OnDone(*this);
 }

@@ -102,7 +102,20 @@ private:
   bool Dead = false;
 };
 
+/// Executes one control command ("attach-tool <tenant> <tool>", ...).
+/// Returns the response message; \p Ok reports success. Injected by the
+/// Aggregator — the Connection only speaks the wire protocol.
+using ControlExecutor =
+    std::function<std::string(const std::string &Command, bool &Ok)>;
+
 /// Socket + reader thread around a ClientStream.
+///
+/// The first eight bytes of an accepted connection pick its protocol:
+/// trace::StreamMagic starts a trace stream (the ClientStream state
+/// machine), trace::ControlMagic a one-shot control request serviced by
+/// the injected ControlExecutor. Sniffing happens fd-side, not in
+/// ClientStream, because a control response must be written back on the
+/// same socket and ClientStream is deliberately transport-free.
 class Connection {
 public:
   /// Takes ownership of \p Fd. \p StopFd becomes readable when the
@@ -110,7 +123,8 @@ public:
   /// reader thread, when the stream ends.
   Connection(int Fd, std::uint64_t Id, int StopFd,
              ClientStream::TenantBinder Binder,
-             std::function<void(Connection &)> OnDone);
+             std::function<void(Connection &)> OnDone,
+             ControlExecutor Control = {});
   ~Connection();
   Connection(const Connection &) = delete;
   Connection &operator=(const Connection &) = delete;
@@ -126,6 +140,11 @@ public:
 
 private:
   void run();
+  /// The trace-stream read loop (after the sniff chose stream mode).
+  void runStream();
+  /// Services one control request whose magic was already consumed;
+  /// \p Pending holds any bytes read past it.
+  void runControl(std::string Pending);
   /// Reads until EAGAIN/EOF, feeding the stream — the shutdown drain.
   void drainPending();
 
@@ -134,6 +153,7 @@ private:
   int StopFd;
   ClientStream Stream;
   std::function<void(Connection &)> OnDone;
+  ControlExecutor Control;
   std::thread Reader;
   std::atomic<bool> Done{false};
   StreamOutcome Outcome = StreamOutcome::Active;

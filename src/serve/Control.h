@@ -1,0 +1,45 @@
+//===- serve/Control.h - Daemon control client ------------------*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the aggregator's control channel (the `accelprof
+/// --control SOCKET <command>` verb; wire format in StreamEnvelope.h).
+/// One connect, one request, one response: the way an operator
+/// live-reconfigures a running daemon's tenant sessions — attaching or
+/// detaching tools mid-stream — without restarting it or its clients.
+///
+/// Commands the daemon understands (executed under the tenant lock):
+///   attach-tool <tenant> <tool>   publish a new routing epoch with the
+///                                 registry tool added to the tenant
+///   detach-tool <tenant> <tool>   drain, freeze, and detach the tool
+///                                 (its report stays in the rollup)
+///   list-tenants                  one "name connections=N events=M"
+///                                 line per tenant
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SERVE_CONTROL_H
+#define PASTA_SERVE_CONTROL_H
+
+#include "pasta/SessionError.h"
+
+#include <string>
+
+namespace pasta {
+namespace serve {
+
+/// Sends \p Command to the aggregator listening on \p SocketPath and
+/// waits for the response. True when the daemon reported success, with
+/// the response text in \p Response; false with \p Err on transport
+/// failure or a daemon-side error (whose message lands in \p Err).
+bool sendControlCommand(const std::string &SocketPath,
+                        const std::string &Command, std::string &Response,
+                        SessionError &Err);
+
+} // namespace serve
+} // namespace pasta
+
+#endif // PASTA_SERVE_CONTROL_H

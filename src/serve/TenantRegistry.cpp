@@ -34,6 +34,14 @@ Tenant *TenantRegistry::getOrCreate(const std::string &Name,
   return Tenants.back().get();
 }
 
+Tenant *TenantRegistry::find(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (std::unique_ptr<Tenant> &T : Tenants)
+    if (T->name() == Name)
+      return T.get();
+  return nullptr;
+}
+
 std::vector<Tenant *> TenantRegistry::tenants() {
   std::lock_guard<std::mutex> Lock(Mu);
   std::vector<Tenant *> Out;

@@ -104,6 +104,10 @@ public:
   /// Stable pointers, first-Hello order.
   std::vector<Tenant *> tenants();
 
+  /// Existing tenant by name; null when absent (never creates — the
+  /// control verbs reconfigure tenants, they must not mint them).
+  Tenant *find(const std::string &Name);
+
   /// Emits \p T's tool reports through \p Sink (takes the tenant lock).
   /// \p Final additionally finishes the session first (tool onFinish) —
   /// shutdown only; finish() is idempotent but seals the pipeline.

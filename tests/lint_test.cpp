@@ -261,6 +261,66 @@ TEST(LintRules, UsingNamespaceInCppAllowed) {
 }
 
 //===----------------------------------------------------------------------===//
+// routing-epoch
+//===----------------------------------------------------------------------===//
+
+TEST(LintRules, DirectEpochPointerReadFlagged) {
+  // A relaxed load sneaking past the accessor is exactly the bug the
+  // rule exists for: the table's construction writes would be unfenced.
+  auto Diags = lintRule(
+      "EventProcessor.cpp",
+      "void f(EventProcessor &P) {\n"
+      "  const RoutingTable *T =\n"
+      "      P.Epoch.EpochTablePtr.load(std::memory_order_relaxed);\n"
+      "  (void)T;\n"
+      "}\n",
+      "routing-epoch");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Line, 3u);
+  EXPECT_NE(Diags[0].Message.find("current()"), std::string::npos);
+}
+
+TEST(LintRules, EpochPointerInsideRoutingEpochClean) {
+  // The class body owns the atomic; current()/publish() touch it there.
+  auto Diags = lintRule(
+      "EventProcessor.h",
+      "class RoutingEpoch {\n"
+      "public:\n"
+      "  const RoutingTable *current() const {\n"
+      "    return EpochTablePtr.load(std::memory_order_acquire);\n"
+      "  }\n"
+      "  void publish(const RoutingTable *T) {\n"
+      "    EpochTablePtr.store(T, std::memory_order_release);\n"
+      "  }\n"
+      "private:\n"
+      "  std::atomic<const RoutingTable *> EpochTablePtr{nullptr};\n"
+      "};\n",
+      "routing-epoch");
+  EXPECT_TRUE(Diags.empty());
+}
+
+TEST(LintRules, EpochPointerAfterClassBodyFlagged) {
+  // Same file, but the touch happens after the class closes.
+  auto Diags = lintRule(
+      "EventProcessor.h",
+      "class RoutingEpoch {\n"
+      "  std::atomic<const RoutingTable *> EpochTablePtr{nullptr};\n"
+      "};\n"
+      "auto *Sneak = Epoch.EpochTablePtr.load();\n",
+      "routing-epoch");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Line, 4u);
+}
+
+TEST(LintRules, AccessorCallsClean) {
+  EXPECT_TRUE(lintRule("EventProcessor.cpp",
+                       "const RoutingTable &T = *Epoch.current();\n"
+                       "Epoch.publish(Table.get());\n",
+                       "routing-epoch")
+                  .empty());
+}
+
+//===----------------------------------------------------------------------===//
 // wire-format
 //===----------------------------------------------------------------------===//
 
@@ -362,8 +422,9 @@ TEST(LintEngine, RuleTableIsStable) {
     EXPECT_TRUE(R.Check) << R.Id;
   }
   std::vector<std::string> Expected = {
-      "tool-subscription",    "tool-payload-handles", "no-nondeterminism",
-      "hot-path-memory-order", "header-hygiene",      "wire-format"};
+      "tool-subscription",     "tool-payload-handles", "no-nondeterminism",
+      "hot-path-memory-order", "routing-epoch",        "header-hygiene",
+      "wire-format"};
   EXPECT_EQ(Ids, Expected);
 }
 

@@ -704,7 +704,7 @@ TEST(AsyncPipeline, SerialToolsKeepPinnedLaneOrderAcrossManyLanes) {
   EXPECT_EQ(Concurrent.Copies.load(), Sent);
 }
 
-TEST(AsyncPipeline, AddToolAfterPipelineStartIsRejected) {
+TEST(AsyncPipeline, AddToolAfterPipelineStartPublishesNewEpoch) {
   EventProcessor Processor(asyncOptions(64, OverflowPolicy::Block));
   CollectTool Tool;
   ASSERT_TRUE(Processor.addTool(&Tool));
@@ -712,19 +712,28 @@ TEST(AsyncPipeline, AddToolAfterPipelineStartIsRejected) {
   Processor.process(copyEvent(1));
   Processor.flush();
 
-  // The pipeline started: the tool set is sealed while dispatch lanes
-  // read the routing tables (this test runs under TSan in CI — a racy
-  // mutation would be caught there).
+  // The pipeline started, but the tool set is not sealed: addTool drains
+  // the current epoch behind a flush barrier and publishes a new routing
+  // table (this test runs under TSan in CI — a racy swap would be caught
+  // there). The late tool only sees events admitted after its epoch.
   CollectTool Late;
-  EXPECT_FALSE(Processor.addTool(&Late));
-  EXPECT_FALSE(Processor.clearTools());
-  ASSERT_EQ(Processor.tools().size(), 1u);
+  EXPECT_TRUE(Processor.addTool(&Late));
+  ASSERT_EQ(Processor.tools().size(), 2u);
   EXPECT_EQ(Processor.tools().front(), &Tool);
+  EXPECT_GE(Processor.stats().Reconfigurations, 1u);
 
   Processor.process(copyEvent(2));
   Processor.flush();
   EXPECT_EQ(Tool.Addresses.size(), 2u);
-  EXPECT_TRUE(Late.Addresses.empty());
+  ASSERT_EQ(Late.Addresses.size(), 1u);
+  EXPECT_EQ(Late.Addresses[0], 2u);
+
+  // Removal works live too and the removed tool's view is frozen.
+  EXPECT_TRUE(Processor.removeTool(&Late));
+  Processor.process(copyEvent(3));
+  Processor.flush();
+  EXPECT_EQ(Tool.Addresses.size(), 3u);
+  EXPECT_EQ(Late.Addresses.size(), 1u);
 }
 
 TEST(AsyncPipeline, SubscriptionOfReportsAttachedContracts) {

@@ -1,0 +1,600 @@
+//===- tests/reconfig_test.cpp - live pipeline reconfiguration ------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Epoch-swapped routing tables and lane auto-scaling: tools attach and
+// detach on a *running* pipeline by publishing a new immutable routing
+// table behind a flush barrier. The tests pin down the contract:
+//
+//  * a Serial tool present across any number of reconfigurations sees
+//    exactly the events a never-reconfigured pipeline would deliver, in
+//    the same order, at any lane count;
+//  * a late-attached tool sees only events admitted under its epoch, a
+//    detached tool's view freezes at its last epoch;
+//  * random reconfiguration schedules never drop or duplicate events;
+//  * detach racing flush and concurrent producers is safe (this suite
+//    runs under TSan in CI);
+//  * the auto-scaler grows the active lane set under queue back-pressure
+//    and shrinks it across idle intervals, inside [MinLanes, MaxLanes];
+//  * the Sample policy's per-producer memo restarts its 1/N cadence for
+//    every fresh queue, even when one thread creates and destroys many
+//    queues whose ids collide in the thread-local memo;
+//  * the daemon's control verbs (attach-tool / detach-tool /
+//    list-tenants) reconfigure tenant sessions end to end, including
+//    over the control socket.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/EventProcessor.h"
+#include "pasta/EventQueue.h"
+#include "pasta/Session.h"
+#include "serve/Aggregator.h"
+#include "serve/Control.h"
+#include "support/ReportSink.h"
+#include "tools/RegisterTools.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pasta;
+
+namespace {
+
+// pasta-lint: allow(tool-subscription) — reconfiguration tests route
+// through the probe-based migration default on purpose (epoch swaps of
+// defaulted subscriptions are part of the surface under test).
+
+/// Serial recorder: delivery order *is* the assertion.
+class CollectTool : public Tool {
+public:
+  std::string name() const override { return "collect"; }
+  void onEvent(const Event &E) override { Addresses.push_back(E.Address); }
+  std::vector<sim::DeviceAddr> Addresses;
+};
+
+/// Concurrent counter (atomic: may run on any lane).
+class CountTool : public Tool {
+public:
+  std::string name() const override { return "count"; }
+  Subscription subscription() override {
+    Subscription Sub;
+    Sub.Kinds = EventKindMask::all();
+    Sub.Model = ExecutionModel::Concurrent;
+    return Sub;
+  }
+  void onEvent(const Event &) override {
+    Seen.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> Seen{0};
+};
+
+/// Sleeps per event so a small ring backs up and producers park — the
+/// signal the auto-scaler grows on.
+class SlowTool : public Tool {
+public:
+  std::string name() const override { return "slow"; }
+  Subscription subscription() override {
+    Subscription Sub;
+    Sub.Kinds = EventKindMask::all();
+    Sub.Model = ExecutionModel::Concurrent;
+    return Sub;
+  }
+  void onEvent(const Event &) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+};
+
+/// Calls back into its own processor from the dispatch hook; every
+/// reconfiguration attempt must be rejected there (a swap would drain
+/// the lane currently executing this hook — self-deadlock).
+class ReentrantReconfigTool : public Tool {
+public:
+  explicit ReentrantReconfigTool(EventProcessor &P) : Processor(P) {}
+  std::string name() const override { return "reentrant"; }
+  void onEvent(const Event &) override {
+    AddRejected = !Processor.addTool(&Victim);
+    RemoveRejected = !Processor.removeTool(this);
+    ScaleRejected = !Processor.setLaneCount(2);
+    Ran = true;
+  }
+  EventProcessor &Processor;
+  CollectTool Victim;
+  bool Ran = false;
+  bool AddRejected = false;
+  bool RemoveRejected = false;
+  bool ScaleRejected = false;
+};
+
+Event allocEvent(sim::DeviceAddr Address) {
+  Event E;
+  E.Kind = EventKind::MemoryAlloc;
+  E.Address = Address;
+  E.Bytes = 64;
+  return E;
+}
+
+Event copyEvent(sim::DeviceAddr Address, int Device = 0) {
+  Event E;
+  E.Kind = EventKind::MemoryCopy;
+  E.Address = Address;
+  E.Bytes = 64;
+  E.DeviceIndex = Device;
+  return E;
+}
+
+ProcessorOptions asyncOptions(std::size_t Depth, std::size_t Threads = 1) {
+  ProcessorOptions Opts;
+  Opts.AnalysisThreads = 1;
+  Opts.AsyncEvents = true;
+  Opts.QueueDepth = Depth;
+  Opts.Overflow = OverflowPolicy::Block;
+  Opts.DispatchThreads = Threads;
+  return Opts;
+}
+
+std::string tempPath(const std::string &Stem, const std::string &Ext) {
+  static int Counter = 0;
+  return ::testing::TempDir() + "pasta_reconfig_" + Stem + "_" +
+         std::to_string(++Counter) + Ext;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Epoch semantics: attach / detach on a running pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(Reconfig, SerialViewIdenticalAcrossReconfigurationCount) {
+  // The always-present Serial tool's delivery must not depend on how
+  // many times *other* tools came and went: compare runs with 0, 1 and
+  // 8 reconfiguration cycles against each other, at 1 and 4 lanes.
+  for (std::size_t Lanes : {1u, 4u}) {
+    std::vector<sim::DeviceAddr> Baseline;
+    for (int Cycles : {0, 1, 8}) {
+      EventProcessor Processor(asyncOptions(64, Lanes));
+      CollectTool Stable;
+      ASSERT_TRUE(Processor.addTool(&Stable));
+
+      std::vector<CollectTool> Guests(8);
+      sim::DeviceAddr Next = 0;
+      constexpr std::uint64_t Chunk = 300;
+      for (int C = 0; C < Cycles; ++C) {
+        for (std::uint64_t I = 0; I < Chunk; ++I)
+          Processor.process(copyEvent(Next++, static_cast<int>(I % 4)));
+        ASSERT_TRUE(Processor.addTool(&Guests[static_cast<std::size_t>(C)]));
+        for (std::uint64_t I = 0; I < Chunk; ++I)
+          Processor.process(copyEvent(Next++, static_cast<int>(I % 4)));
+        ASSERT_TRUE(
+            Processor.removeTool(&Guests[static_cast<std::size_t>(C)]));
+      }
+      while (Next < 8 * 2 * Chunk) {
+        Processor.process(copyEvent(Next, static_cast<int>(Next % 4)));
+        ++Next;
+      }
+      Processor.flush();
+
+      ASSERT_EQ(Stable.Addresses.size(), 8 * 2 * Chunk)
+          << Lanes << " lanes, " << Cycles << " cycles";
+      if (Baseline.empty())
+        Baseline = Stable.Addresses;
+      else
+        EXPECT_EQ(Stable.Addresses, Baseline)
+            << Lanes << " lanes, " << Cycles << " cycles";
+      EXPECT_EQ(Processor.stats().Reconfigurations,
+                // addTool at construction time counts too: one setup
+                // swap plus attach+detach per cycle.
+                static_cast<std::uint64_t>(1 + 2 * Cycles));
+    }
+  }
+}
+
+TEST(Reconfig, GuestSeesExactlyItsEpochsAndFreezesOnDetach) {
+  EventProcessor Processor(asyncOptions(64, 2));
+  CollectTool Stable;
+  ASSERT_TRUE(Processor.addTool(&Stable));
+
+  for (sim::DeviceAddr A = 0; A < 100; ++A)
+    Processor.process(copyEvent(A));
+
+  CollectTool Guest;
+  ASSERT_TRUE(Processor.addTool(&Guest));
+  for (sim::DeviceAddr A = 100; A < 200; ++A)
+    Processor.process(copyEvent(A));
+  ASSERT_TRUE(Processor.removeTool(&Guest));
+
+  for (sim::DeviceAddr A = 200; A < 300; ++A)
+    Processor.process(copyEvent(A));
+  Processor.flush();
+
+  // The attach barrier drained epoch N before publishing N+1, so the
+  // guest's window is exactly [100, 200) — no pre-attach stragglers, no
+  // post-detach deliveries.
+  ASSERT_EQ(Guest.Addresses.size(), 100u);
+  for (sim::DeviceAddr A = 0; A < 100; ++A)
+    ASSERT_EQ(Guest.Addresses[A], A + 100);
+  EXPECT_EQ(Stable.Addresses.size(), 300u);
+}
+
+TEST(Reconfig, ReconfigurationFromDispatchHookIsRejected) {
+  EventProcessor Processor(asyncOptions(64, 1));
+  ReentrantReconfigTool Hook(Processor);
+  ASSERT_TRUE(Processor.addTool(&Hook));
+
+  Processor.process(copyEvent(1));
+  Processor.flush();
+
+  ASSERT_TRUE(Hook.Ran);
+  EXPECT_TRUE(Hook.AddRejected);
+  EXPECT_TRUE(Hook.RemoveRejected);
+  EXPECT_TRUE(Hook.ScaleRejected);
+  // The pipeline survived the rejection: still one tool, still running.
+  ASSERT_EQ(Processor.tools().size(), 1u);
+  Processor.process(copyEvent(2));
+  Processor.flush();
+}
+
+//===----------------------------------------------------------------------===//
+// Lane-count changes
+//===----------------------------------------------------------------------===//
+
+TEST(Reconfig, SerialOrderSurvivesExplicitLaneResizes) {
+  EventProcessor Processor(asyncOptions(128, 4));
+  CollectTool Serial;
+  CountTool Concurrent;
+  ASSERT_TRUE(Processor.addTool(&Serial));
+  ASSERT_TRUE(Processor.addTool(&Concurrent));
+  ASSERT_EQ(Processor.laneCount(), 4u);
+
+  sim::DeviceAddr Next = 0;
+  for (std::size_t Lanes : {1u, 4u, 2u, 3u}) {
+    ASSERT_TRUE(Processor.setLaneCount(Lanes));
+    EXPECT_EQ(Processor.laneCount(), Lanes);
+    for (std::uint64_t I = 0; I < 400; ++I)
+      Processor.process(copyEvent(Next++, static_cast<int>(I % 8)));
+  }
+  Processor.flush();
+
+  // The Serial tool migrated lanes at epoch boundaries only: admission
+  // order is intact through every resize.
+  ASSERT_EQ(Serial.Addresses.size(), 4 * 400u);
+  for (sim::DeviceAddr A = 0; A < 4 * 400u; ++A)
+    ASSERT_EQ(Serial.Addresses[A], A);
+  EXPECT_EQ(Concurrent.Seen.load(), 4 * 400u);
+
+  // Resizing to the current count publishes nothing new.
+  std::uint64_t Before = Processor.stats().Reconfigurations;
+  ASSERT_TRUE(Processor.setLaneCount(3));
+  EXPECT_EQ(Processor.stats().Reconfigurations, Before);
+  // Out-of-range and sync-mode requests are rejected.
+  EXPECT_FALSE(Processor.setLaneCount(0));
+  EXPECT_FALSE(Processor.setLaneCount(5));
+  EventProcessor Sync(2);
+  EXPECT_FALSE(Sync.setLaneCount(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Auto-scaling
+//===----------------------------------------------------------------------===//
+
+TEST(Reconfig, AutoScalerGrowsUnderBackpressureAndShrinksWhenIdle) {
+  ProcessorOptions Opts = asyncOptions(/*Depth=*/4, /*Threads=*/1);
+  Opts.LanesAuto = true;
+  Opts.MinLanes = 1;
+  Opts.MaxLanes = 4;
+  Opts.LanesAutoIntervalMs = 2;
+  Opts.QueueSpinIterations = 0; // park immediately: the grow signal
+  EventProcessor Processor(Opts);
+  SlowTool Slow;
+  CollectTool Serial;
+  ASSERT_TRUE(Processor.addTool(&Slow));
+  ASSERT_TRUE(Processor.addTool(&Serial));
+  ASSERT_EQ(Processor.laneCount(), 1u);
+
+  // Two bursty producers against a depth-4 ring with a 50us/event tool:
+  // producers park, the controller grows the active set.
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Producers;
+  for (std::uint64_t P = 0; P < 2; ++P)
+    Producers.emplace_back([&Processor, &Stop, P] {
+      for (std::uint64_t Seq = 0; !Stop.load(); ++Seq)
+        Processor.process(allocEvent((P << 32) | Seq));
+    });
+
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Processor.stats().LaneScaleUps == 0 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Stop.store(true);
+  for (std::thread &T : Producers)
+    T.join();
+  EXPECT_GE(Processor.stats().LaneScaleUps, 1u);
+  EXPECT_GT(Processor.laneCount(), 1u);
+  EXPECT_LE(Processor.laneCount(), 4u);
+
+  // Idle now: enqueues stopped, so consecutive idle ticks shrink the
+  // set back toward MinLanes.
+  Processor.flush();
+  Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Processor.stats().LaneScaleDowns == 0 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(Processor.stats().LaneScaleDowns, 1u);
+  EXPECT_LT(Processor.laneCount(), 4u);
+
+  // Nothing was lost while the lane set moved (Block policy + critical
+  // admission class).
+  Processor.flush();
+  ProcessorStats Stats = Processor.stats();
+  EXPECT_EQ(Stats.EventsDropped, 0u);
+  std::uint64_t Produced = 0;
+  for (const DispatchLaneStats &Lane : Processor.laneStats())
+    Produced += Lane.Enqueued;
+  EXPECT_EQ(Serial.Addresses.size(), Produced);
+}
+
+TEST(Reconfig, AutoScaleSessionKeepsSerialReportsByteIdentical) {
+  // End to end through the Session layer: an auto-scaling session's
+  // Serial tool reports are byte-identical to a fixed single-lane run.
+  tools::registerBuiltinTools();
+  auto RunWorkload = [](bool Auto) {
+    SessionError Err;
+    SessionBuilder Builder;
+    Builder.tool("kernel_frequency")
+        .tool("working_set")
+        .backend("cs-gpu")
+        .gpu("A100")
+        .model("alexnet")
+        .iterations(1)
+        .recordGranularity(1u << 20)
+        .asyncEvents()
+        .queueDepth(64);
+    if (Auto)
+      Builder.lanesAuto().minLanes(1).maxLanes(4);
+    std::unique_ptr<Session> S = Builder.build(Err);
+    EXPECT_NE(S, nullptr) << Err.message();
+    if (!S)
+      return std::string("<build failed>");
+    S->run();
+    JsonReportSink Sink;
+    S->writeReports(Sink);
+    return Sink.str();
+  };
+  EXPECT_EQ(RunWorkload(false), RunWorkload(true));
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial schedules
+//===----------------------------------------------------------------------===//
+
+TEST(Reconfig, RandomScheduleNeverDropsOrDuplicates) {
+  // Property: under Block admission, whatever interleaving of attach /
+  // detach / resize / flush happens between events, the always-present
+  // Serial tool sees every admitted event exactly once, in order.
+  for (std::uint32_t Seed : {1u, 7u, 1234u}) {
+    std::mt19937 Rng(Seed);
+    EventProcessor Processor(asyncOptions(32, 4));
+    CollectTool Stable;
+    ASSERT_TRUE(Processor.addTool(&Stable));
+
+    std::vector<std::unique_ptr<CollectTool>> Guests;
+    std::vector<CollectTool *> Attached;
+    sim::DeviceAddr Next = 0;
+    for (int Op = 0; Op < 2000; ++Op) {
+      switch (Rng() % 16) {
+      case 0: { // attach a fresh guest
+        Guests.push_back(std::make_unique<CollectTool>());
+        ASSERT_TRUE(Processor.addTool(Guests.back().get()));
+        Attached.push_back(Guests.back().get());
+        break;
+      }
+      case 1: { // detach a random guest
+        if (!Attached.empty()) {
+          std::size_t I = Rng() % Attached.size();
+          ASSERT_TRUE(Processor.removeTool(Attached[I]));
+          Attached.erase(Attached.begin() +
+                         static_cast<std::ptrdiff_t>(I));
+        }
+        break;
+      }
+      case 2: // resize
+        ASSERT_TRUE(Processor.setLaneCount(1 + Rng() % 4));
+        break;
+      case 3:
+        Processor.flush();
+        break;
+      default:
+        Processor.process(copyEvent(Next++, static_cast<int>(Rng() % 4)));
+        break;
+      }
+    }
+    Processor.flush();
+
+    ASSERT_EQ(Stable.Addresses.size(), Next) << "seed " << Seed;
+    for (sim::DeviceAddr A = 0; A < Next; ++A)
+      ASSERT_EQ(Stable.Addresses[A], A) << "seed " << Seed;
+    // Guests never skip inside their window either: each saw a
+    // contiguous run of addresses.
+    for (const std::unique_ptr<CollectTool> &G : Guests)
+      for (std::size_t I = 1; I < G->Addresses.size(); ++I)
+        ASSERT_EQ(G->Addresses[I], G->Addresses[I - 1] + 1)
+            << "seed " << Seed;
+  }
+}
+
+TEST(Reconfig, DetachRacingFlushAndProducersIsSafe) {
+  // Three-way race, TSan-covered in CI: producers admitting, a flusher
+  // hammering the barrier, a reconfigurer cycling attach/detach and
+  // resizes. The stable Serial tool must still see every event exactly
+  // once, in per-producer order.
+  EventProcessor Processor(asyncOptions(64, 4));
+  CollectTool Stable;
+  CountTool Counter;
+  ASSERT_TRUE(Processor.addTool(&Stable));
+  ASSERT_TRUE(Processor.addTool(&Counter));
+
+  constexpr std::uint64_t PerProducer = 4000;
+  constexpr std::uint64_t ProducerCount = 2;
+  std::vector<std::thread> Threads;
+  for (std::uint64_t P = 0; P < ProducerCount; ++P)
+    Threads.emplace_back([&Processor, P] {
+      for (std::uint64_t Seq = 0; Seq < PerProducer; ++Seq)
+        Processor.process(allocEvent((P << 32) | Seq));
+    });
+
+  std::atomic<bool> Stop{false};
+  std::thread Flusher([&Processor, &Stop] {
+    while (!Stop.load())
+      Processor.flush();
+  });
+  std::thread Reconfigurer([&Processor, &Stop] {
+    CollectTool Guest;
+    std::size_t Lanes = 1;
+    while (!Stop.load()) {
+      EXPECT_TRUE(Processor.addTool(&Guest));
+      EXPECT_TRUE(Processor.setLaneCount(1 + Lanes++ % 4));
+      EXPECT_TRUE(Processor.removeTool(&Guest));
+    }
+  });
+
+  for (std::uint64_t P = 0; P < ProducerCount; ++P)
+    Threads[static_cast<std::size_t>(P)].join();
+  Stop.store(true);
+  Flusher.join();
+  Reconfigurer.join();
+  Processor.flush();
+
+  ASSERT_EQ(Stable.Addresses.size(), ProducerCount * PerProducer);
+  EXPECT_EQ(Counter.Seen.load(), ProducerCount * PerProducer);
+  std::uint64_t NextSeq[ProducerCount] = {0, 0};
+  for (sim::DeviceAddr Address : Stable.Addresses) {
+    std::uint64_t P = Address >> 32;
+    std::uint64_t Seq = Address & 0xffffffffu;
+    ASSERT_LT(P, ProducerCount);
+    ASSERT_EQ(Seq, NextSeq[P]) << "producer " << P;
+    ++NextSeq[P];
+  }
+  EXPECT_EQ(Processor.stats().EventsDropped, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sample-policy memo lifetime
+//===----------------------------------------------------------------------===//
+
+TEST(Reconfig, SampleMemoRestartsCadenceForEveryFreshQueue) {
+  // One thread creating and destroying many queues: each fresh queue's
+  // 1/N overflow cadence must start at zero. 40 iterations walk the
+  // queue id across every slot of the thread-local memo, so a stale
+  // entry surviving destruction (the historical bug) would be
+  // resurrected mid-count and admit an event early — observable as a
+  // SampledOut undercount (and a producer wedged in awaitSpace).
+  for (int Iteration = 0; Iteration < 40; ++Iteration) {
+    EventQueue Queue(/*Capacity=*/1, OverflowPolicy::Sample,
+                     /*SampleEveryN=*/4, /*SpinIterations=*/0);
+    // Fill the ring so every standard-class enqueue below overflows.
+    Queue.enqueue(allocEvent(0), /*Critical=*/true);
+    // A fresh cadence counts these as Seen == 1 and 2: both sampled out
+    // (the first admit would be Seen == 4).
+    Queue.enqueue(copyEvent(1));
+    Queue.enqueue(copyEvent(2));
+    EventQueueCounters Counters = Queue.counters();
+    ASSERT_EQ(Counters.SampledOut, 2u) << "iteration " << Iteration;
+    ASSERT_EQ(Counters.Enqueued, 1u) << "iteration " << Iteration;
+    ASSERT_EQ(Counters.Dropped, 0u) << "iteration " << Iteration;
+    Queue.close();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon control plane
+//===----------------------------------------------------------------------===//
+
+TEST(Reconfig, ControlVerbsReconfigureTenantSessions) {
+  tools::registerBuiltinTools();
+  serve::ServeOptions Opts;
+  Opts.ToolNames = {"kernel_frequency"};
+  serve::Aggregator Agg(Opts);
+
+  bool Ok = false;
+  EXPECT_EQ(Agg.executeControl("list-tenants", Ok), "no tenants\n");
+  EXPECT_TRUE(Ok);
+
+  SessionError Err;
+  serve::Tenant *T = Agg.registry().getOrCreate("team-a", Err);
+  ASSERT_NE(T, nullptr) << Err.message();
+  ASSERT_EQ(T->session().tools().size(), 1u);
+
+  // Live attach onto the running tenant session.
+  std::string Response =
+      Agg.executeControl("attach-tool team-a working_set", Ok);
+  EXPECT_TRUE(Ok) << Response;
+  EXPECT_NE(T->session().tool("working_set"), nullptr);
+  ASSERT_EQ(T->session().tools().size(), 2u);
+
+  // Duplicate attach, unknown tenant, unknown tool, bad arity, unknown
+  // verb: all rejected with a message, none crash the daemon.
+  EXPECT_FALSE(
+      Agg.executeControl("attach-tool team-a working_set", Ok).empty());
+  EXPECT_FALSE(Ok);
+  Agg.executeControl("attach-tool team-z working_set", Ok);
+  EXPECT_FALSE(Ok);
+  Agg.executeControl("attach-tool team-a no_such_tool", Ok);
+  EXPECT_FALSE(Ok);
+  Agg.executeControl("attach-tool team-a", Ok);
+  EXPECT_FALSE(Ok);
+  Agg.executeControl("self-destruct", Ok);
+  EXPECT_FALSE(Ok);
+  Agg.executeControl("", Ok);
+  EXPECT_FALSE(Ok);
+
+  // Detach freezes the tool's report but keeps it in the rollup.
+  Response = Agg.executeControl("detach-tool team-a working_set", Ok);
+  EXPECT_TRUE(Ok) << Response;
+  EXPECT_EQ(T->session().tool("working_set"), nullptr);
+  Agg.executeControl("detach-tool team-a working_set", Ok);
+  EXPECT_FALSE(Ok);
+
+  Response = Agg.executeControl("list-tenants", Ok);
+  EXPECT_TRUE(Ok);
+  EXPECT_NE(Response.find("team-a"), std::string::npos);
+}
+
+TEST(Reconfig, ControlSocketRoundTrip) {
+  tools::registerBuiltinTools();
+  serve::ServeOptions Opts;
+  Opts.SocketPath = tempPath("ctl", ".sock");
+  serve::Aggregator Agg(Opts);
+  SessionError StartErr;
+  ASSERT_TRUE(Agg.start(StartErr)) << StartErr.message();
+
+  // The daemon sniffs the 8-byte magic to tell control requests from
+  // trace streams on the same socket.
+  std::string Response;
+  SessionError Err;
+  ASSERT_TRUE(serve::sendControlCommand(Opts.SocketPath, "list-tenants",
+                                        Response, Err))
+      << Err.message();
+  EXPECT_EQ(Response, "no tenants\n");
+
+  // Daemon-side errors come back as the client's Err message.
+  Response.clear();
+  EXPECT_FALSE(serve::sendControlCommand(
+      Opts.SocketPath, "attach-tool ghost working_set", Response, Err));
+  EXPECT_NE(Err.message().find("unknown tenant"), std::string::npos);
+
+  Agg.requestStop();
+  Agg.wait();
+
+  // Transport errors are client-side failures, not hangs.
+  EXPECT_FALSE(serve::sendControlCommand(tempPath("gone", ".sock"),
+                                         "list-tenants", Response, Err));
+}
