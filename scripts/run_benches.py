@@ -1,23 +1,25 @@
 #!/usr/bin/env python3
 """Run the ablation benches and record the per-PR perf trajectory.
 
-Produces a JSON artifact (default BENCH_pr9.json, checked in at the repo
+Produces a JSON artifact (default BENCH_pr10.json, checked in at the repo
 root) with the admission-path throughput sweep from
 bench_ablation_admission, the capture/replay throughput figures from
 bench_ablation_replay, the fleet-aggregation producer-overhead matrix
 from bench_ablation_serve, the epoch-routing steady-state overhead and
-swap latency from bench_ablation_reconfig, the machine's
+swap latency from bench_ablation_reconfig, the fault-tolerance
+producer-overhead and chaos exactly-once record from
+bench_ablation_faults, the machine's
 hardware-thread count, plus pass/fail for the other ablation benches'
 structural gates — so every PR leaves a comparable perf record instead
 of a table that scrolls away in a terminal.
 
 Usage:
-  scripts/run_benches.py [--build-dir build] [--out BENCH_pr9.json]
+  scripts/run_benches.py [--build-dir build] [--out BENCH_pr10.json]
                          [--smoke]
 
 --smoke runs one small repetition (500 events/producer for admission,
-2000 events for replay and serve, 20000 for reconfig; no gated
-benches) — CI uses it so this script cannot rot; the numbers it
+2000 events for replay, serve, and faults, 20000 for reconfig; no
+gated benches) — CI uses it so this script cannot rot; the numbers it
 records are for harness verification, not measurement.
 """
 
@@ -75,7 +77,7 @@ def run_gated(build_dir):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_pr9.json")
+    parser.add_argument("--out", default="BENCH_pr10.json")
     parser.add_argument("--smoke", action="store_true",
                         help="one small repetition, admission + replay + "
                              "serve benches only (CI harness check, not a "
@@ -85,9 +87,10 @@ def main():
     admission_events = 500 if args.smoke else 20000
     replay_events = 2000 if args.smoke else 200000
     serve_events = 2000 if args.smoke else 50000
+    faults_events = 2000 if args.smoke else 50000
     reconfig_events = 20000 if args.smoke else 2000000
     record = {
-        "pr": 9,
+        "pr": 10,
         "smoke": args.smoke,
         "hardware_threads": os.cpu_count(),
         "admission": run_json_bench(args.build_dir,
@@ -97,6 +100,8 @@ def main():
                                  ["--events", str(replay_events)]),
         "serve": run_json_bench(args.build_dir, "bench_ablation_serve",
                                 ["--events", str(serve_events)]),
+        "faults": run_json_bench(args.build_dir, "bench_ablation_faults",
+                                 ["--events", str(faults_events)]),
         "reconfig": run_json_bench(args.build_dir,
                                    "bench_ablation_reconfig",
                                    ["--events", str(reconfig_events)]),

@@ -74,13 +74,19 @@ int usage(const char *Argv0) {
       "          [--lanes-auto] [--min-lanes N] [--max-lanes N]\n"
       "          [--arena-max-bytes BYTES] [--validate]\n"
       "          [--capture FILE] [--connect SOCKET [--tenant NAME]]\n"
+      "          [--connect-timeout S] [--connect-retries N]\n"
+      "          [--reconnect [--reconnect-max N] [--spill-max-bytes B]]\n"
       "          <model>\n"
       "       %s -t <tool> -b replay --trace FILE [--replay-speed S]\n"
       "       %s --serve SOCKET [-t <tool>]... [--format text|json|csv]\n"
       "          [--report-dir DIR] [--report-every SECONDS] [--validate]\n"
+      "          [--lanes N] [--pipeline-report] [--idle-timeout S]\n"
+      "          [--quota-max-connections N] [--quota-events-per-sec R]\n"
+      "          [--quota-bytes-per-sec R] [--quota-policy throttle|shed]\n"
       "       %s --control SOCKET <verb> [args...]\n"
       "          (verbs: attach-tool <tenant> <tool>,\n"
-      "           detach-tool <tenant> <tool>, list-tenants)\n"
+      "           detach-tool <tenant> <tool>, set-lanes <tenant> <n>,\n"
+      "           list-tenants)\n"
       "       %s --list-tools | --list-backends\n"
       "\n"
       "Every knob (flags, PASTA_* environment variables, SessionBuilder\n"
@@ -201,6 +207,13 @@ int main(int Argc, char **Argv) {
   std::string GpuName = "A100";
   std::string FormatName = "text";
   double ReportEvery = 0.0;
+  std::size_t ServeLanes = 0;
+  std::uint64_t QuotaMaxConnections = 0;
+  double QuotaEventsPerSec = 0.0;
+  double QuotaBytesPerSec = 0.0;
+  std::string QuotaPolicy = "throttle";
+  double IdleTimeout = 0.0;
+  bool PipelineReport = false;
   bool Validate = false;
   bool Verbose = false;
   bool Async = false;
@@ -248,6 +261,92 @@ int main(int Argc, char **Argv) {
       Builder.connect(NextValue("--connect"));
     } else if (Arg == "--tenant") {
       Builder.tenant(NextValue("--tenant"));
+    } else if (Arg == "--connect-timeout") {
+      double Seconds = std::atof(NextValue("--connect-timeout"));
+      if (Seconds <= 0.0) {
+        std::fprintf(stderr, "error: --connect-timeout needs a positive "
+                             "number of seconds\n");
+        return 2;
+      }
+      Builder.connectTimeout(Seconds);
+    } else if (Arg == "--connect-retries") {
+      long long Retries = std::atoll(NextValue("--connect-retries"));
+      if (Retries < 0 || Retries > 1000) {
+        std::fprintf(stderr,
+                     "error: --connect-retries must be in [0, 1000]\n");
+        return 2;
+      }
+      Builder.connectRetries(static_cast<int>(Retries));
+    } else if (Arg == "--reconnect") {
+      Builder.reconnect();
+    } else if (Arg == "--reconnect-max") {
+      long long Attempts = std::atoll(NextValue("--reconnect-max"));
+      if (Attempts <= 0 || Attempts > 1000) {
+        std::fprintf(stderr,
+                     "error: --reconnect-max must be in [1, 1000]\n");
+        return 2;
+      }
+      Builder.reconnectMax(static_cast<int>(Attempts));
+      Builder.reconnect();
+    } else if (Arg == "--spill-max-bytes") {
+      long long Bytes = std::atoll(NextValue("--spill-max-bytes"));
+      if (Bytes <= 0) {
+        std::fprintf(stderr, "error: --spill-max-bytes must be positive\n");
+        return 2;
+      }
+      Builder.spillMaxBytes(Bytes);
+      Builder.reconnect();
+    } else if (Arg == "--lanes") {
+      // Serve mode: tenant sessions dispatch on N lanes (enables the
+      // set-lanes control verb). Client mode: same as --dispatch-threads
+      // would be, a fixed lane count on the async pipeline.
+      long long N = std::atoll(NextValue("--lanes"));
+      if (N <= 0 || N > 64) {
+        std::fprintf(stderr, "error: --lanes must be in [1, 64]\n");
+        return 2;
+      }
+      ServeLanes = static_cast<std::size_t>(N);
+      Builder.dispatchThreads(static_cast<std::size_t>(N));
+      Builder.asyncEvents();
+      Async = true;
+    } else if (Arg == "--quota-max-connections") {
+      long long N = std::atoll(NextValue("--quota-max-connections"));
+      if (N <= 0) {
+        std::fprintf(stderr,
+                     "error: --quota-max-connections must be positive\n");
+        return 2;
+      }
+      QuotaMaxConnections = static_cast<std::uint64_t>(N);
+    } else if (Arg == "--quota-events-per-sec") {
+      QuotaEventsPerSec = std::atof(NextValue("--quota-events-per-sec"));
+      if (QuotaEventsPerSec <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --quota-events-per-sec must be positive\n");
+        return 2;
+      }
+    } else if (Arg == "--quota-bytes-per-sec") {
+      QuotaBytesPerSec = std::atof(NextValue("--quota-bytes-per-sec"));
+      if (QuotaBytesPerSec <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --quota-bytes-per-sec must be positive\n");
+        return 2;
+      }
+    } else if (Arg == "--quota-policy") {
+      QuotaPolicy = NextValue("--quota-policy");
+      if (QuotaPolicy != "throttle" && QuotaPolicy != "shed") {
+        std::fprintf(stderr, "error: --quota-policy must be 'throttle' "
+                             "or 'shed'\n");
+        return 2;
+      }
+    } else if (Arg == "--idle-timeout") {
+      IdleTimeout = std::atof(NextValue("--idle-timeout"));
+      if (IdleTimeout <= 0.0) {
+        std::fprintf(stderr, "error: --idle-timeout needs a positive "
+                             "number of seconds\n");
+        return 2;
+      }
+    } else if (Arg == "--pipeline-report") {
+      PipelineReport = true;
     } else if (Arg == "--report-dir") {
       ReportDir = NextValue("--report-dir");
     } else if (Arg == "--report-every") {
@@ -455,6 +554,13 @@ int main(int Argc, char **Argv) {
     ServeOpts.Format = FormatName;
     ServeOpts.ReportEverySeconds = ReportEvery;
     ServeOpts.Gpu = GpuName;
+    ServeOpts.Lanes = ServeLanes;
+    ServeOpts.QuotaMaxConnections = QuotaMaxConnections;
+    ServeOpts.QuotaEventsPerSec = QuotaEventsPerSec;
+    ServeOpts.QuotaBytesPerSec = QuotaBytesPerSec;
+    ServeOpts.QuotaPolicy = QuotaPolicy;
+    ServeOpts.IdleTimeoutSeconds = IdleTimeout;
+    ServeOpts.PipelineRollup = PipelineReport;
     if (Validate)
       ServeOpts.Validate = true;
     return runServe(ServeOpts, Verbose);

@@ -123,8 +123,11 @@ struct LintContext {
   /// The wire-format manifest path (root-relative default:
   /// src/lint/trace_format.manifest).
   std::string ManifestPath;
-  /// When set, the wire-format rule rewrites the manifest instead of
-  /// diffing against it (pasta-lint --update-manifest).
+  /// The stream-envelope manifest path (root-relative default:
+  /// src/lint/stream_envelope.manifest).
+  std::string StreamManifestPath;
+  /// When set, the manifest rules rewrite their manifests instead of
+  /// diffing against them (pasta-lint --update-manifest).
   bool UpdateManifest = false;
 };
 
@@ -159,6 +162,13 @@ std::vector<Diagnostic> lintString(const std::string &Path,
 /// the wire-format rule diffs against. Empty string when the file does
 /// not look like the trace-format header (missing constants).
 std::string traceFormatManifest(const SourceFile &File);
+
+/// Serializes the normative constants of a lexed StreamEnvelope.h
+/// (magics, protocol versions, frame/message sizes, message and reject
+/// codes) into the canonical manifest text the stream-envelope rule
+/// diffs against. Empty string when the file does not look like the
+/// stream-envelope header (missing constants).
+std::string streamEnvelopeManifest(const SourceFile &File);
 
 //===----------------------------------------------------------------------===//
 // Driver entry point

@@ -419,6 +419,51 @@ std::uint64_t tokenFingerprint(const std::vector<Token> &Toks) {
   return H;
 }
 
+/// The `Name = <n> (+ <n>)*` constant, evaluated; empty when absent or
+/// not a plain additive literal expression. Covers derived sizes like
+/// `StreamHelloFixedSize = 8 + 4 + ...` that constantValue cannot read.
+std::string constantSum(const std::vector<Token> &Toks,
+                        const char *Name) {
+  for (std::size_t I = 0; I + 2 < Toks.size(); ++I) {
+    if (!Toks[I].isIdent(Name) || !Toks[I + 1].is("="))
+      continue;
+    if (Toks[I + 2].Kind != TokenKind::Number)
+      return std::string();
+    long Sum = std::strtol(Toks[I + 2].Text.c_str(), nullptr, 0);
+    std::size_t J = I + 3;
+    while (J + 1 < Toks.size() && Toks[J].is("+") &&
+           Toks[J + 1].Kind == TokenKind::Number) {
+      Sum += std::strtol(Toks[J + 1].Text.c_str(), nullptr, 0);
+      J += 2;
+    }
+    if (J < Toks.size() && !Toks[J].is(";"))
+      return std::string(); // a non-additive expression; fingerprint covers it
+    return std::to_string(Sum);
+  }
+  return std::string();
+}
+
+/// The char literals of `<ArrayName>[8] = {'P',...}`, concatenated;
+/// empty when absent. The lexer collapses char literals, so this reads
+/// the raw content like traceFormatManifest does for Magic[8].
+std::string magicByteList(const std::string &Content,
+                          const char *ArrayName) {
+  std::string Bytes;
+  std::size_t At = Content.find(std::string(ArrayName) + "[8]");
+  if (At == std::string::npos)
+    return Bytes;
+  std::size_t Open = Content.find('{', At);
+  std::size_t Close = Content.find('}', At);
+  if (Open == std::string::npos || Close == std::string::npos)
+    return Bytes;
+  for (std::size_t I = Open; I < Close; ++I)
+    if (Content[I] == '\'' && I + 2 < Close) {
+      Bytes.push_back(Content[I + 1]);
+      I += 2; // past the closing quote
+    }
+  return Bytes;
+}
+
 } // namespace
 
 std::string traceFormatManifest(const SourceFile &File) {
@@ -483,6 +528,64 @@ std::string traceFormatManifest(const SourceFile &File) {
       << "record_prefix_size " << PrefixSize << "\n"
       << "magic " << MagicBytes << "\n"
       << Tags.str();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(tokenFingerprint(Toks)));
+  Out << "token_fingerprint " << Buf << "\n";
+  return Out.str();
+}
+
+std::string streamEnvelopeManifest(const SourceFile &File) {
+  const std::vector<Token> &Toks = File.Tokens;
+  std::string Version = constantValue(Toks, "StreamProtocolVersion");
+  std::string HelloFlags = constantValue(Toks, "StreamHelloFlags");
+  std::string HelloFixed = constantSum(Toks, "StreamHelloFixedSize");
+  std::string FrameHeader = constantValue(Toks, "StreamFrameHeaderSize");
+  if (Version.empty() || HelloFlags.empty() || HelloFixed.empty() ||
+      FrameHeader.empty())
+    return std::string();
+
+  std::ostringstream Out;
+  Out << "# pasta stream-envelope wire-format manifest - regenerate "
+         "with: pasta-lint --update-manifest\n"
+      << "version " << Version << "\n"
+      << "hello_flags " << HelloFlags << "\n"
+      << "hello_fixed_size " << HelloFixed << "\n"
+      << "frame_header_size " << FrameHeader << "\n";
+
+  // Every other normative constant that is a plain literal (or additive
+  // expression). Absent names are simply omitted — the fingerprint
+  // still trips on their removal.
+  static const struct {
+    const char *Label;
+    const char *Name;
+  } Entries[] = {
+      {"max_tenant_bytes", "StreamMaxTenantBytes"},
+      {"server_msg_size", "StreamServerMsgSize"},
+      {"msg_resume", "StreamMsgResume"},
+      {"msg_ack", "StreamMsgAck"},
+      {"msg_reject", "StreamMsgReject"},
+      {"reject_resume_unavailable", "StreamRejectResumeUnavailable"},
+      {"reject_stream_busy", "StreamRejectStreamBusy"},
+      {"reject_connection_quota", "StreamRejectConnectionQuota"},
+      {"reject_poisoned", "StreamRejectPoisoned"},
+      {"ack_interval", "StreamAckInterval"},
+      {"meta_max_key", "StreamMetaMaxKey"},
+      {"control_version", "ControlProtocolVersion"},
+      {"control_max_command_bytes", "ControlMaxCommandBytes"},
+      {"control_status_ok", "ControlStatusOk"},
+      {"control_status_error", "ControlStatusError"},
+  };
+  for (const auto &E : Entries) {
+    std::string Value = constantSum(Toks, E.Name);
+    if (!Value.empty())
+      Out << E.Label << " " << Value << "\n";
+  }
+
+  Out << "magic " << magicByteList(File.Content, "StreamMagic") << "\n"
+      << "control_magic "
+      << magicByteList(File.Content, "ControlMagic") << "\n";
+
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "0x%016llx",
                 static_cast<unsigned long long>(tokenFingerprint(Toks)));
@@ -557,6 +660,62 @@ void checkWireFormat(const SourceFile &File, const LintContext &Ctx,
         "the new layout in alongside the bump"});
 }
 
+void checkStreamEnvelope(const SourceFile &File, const LintContext &Ctx,
+                         std::vector<Diagnostic> &Out) {
+  if (File.baseName() != "StreamEnvelope.h")
+    return;
+  std::string Current = streamEnvelopeManifest(File);
+  if (Current.empty()) {
+    Out.push_back(Diagnostic{
+        File.Path, 1, "stream-envelope",
+        "StreamEnvelope.h no longer defines the normative constants "
+        "(StreamProtocolVersion/StreamHelloFlags/StreamHelloFixedSize/"
+        "StreamFrameHeaderSize) the stream-envelope manifest asserts"});
+    return;
+  }
+
+  std::string ManifestPath = Ctx.StreamManifestPath.empty()
+                                 ? "src/lint/stream_envelope.manifest"
+                                 : Ctx.StreamManifestPath;
+  if (!Ctx.Root.empty() && ManifestPath.front() != '/')
+    ManifestPath = Ctx.Root + "/" + ManifestPath;
+
+  if (Ctx.UpdateManifest) {
+    std::ofstream OutFile(ManifestPath, std::ios::trunc);
+    OutFile << Current;
+    return;
+  }
+
+  std::ifstream In(ManifestPath);
+  if (!In) {
+    Out.push_back(Diagnostic{
+        File.Path, 1, "stream-envelope",
+        "stream-envelope manifest '" + ManifestPath +
+            "' is missing; generate it with pasta-lint "
+            "--update-manifest and check it in"});
+    return;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Checked = Buf.str();
+  if (Checked == Current)
+    return;
+
+  if (manifestVersion(Checked) == manifestVersion(Current))
+    Out.push_back(Diagnostic{
+        File.Path, 1, "stream-envelope",
+        "StreamEnvelope.h changed without a version bump: peers "
+        "already deployed would reject or misread the session framing "
+        "— bump serve::StreamProtocolVersion, then regenerate the "
+        "manifest with pasta-lint --update-manifest"});
+  else
+    Out.push_back(Diagnostic{
+        File.Path, 1, "stream-envelope",
+        "serve::StreamProtocolVersion was bumped but the manifest is "
+        "stale; regenerate it with pasta-lint --update-manifest and "
+        "check the new layout in alongside the bump"});
+}
+
 } // namespace
 
 const std::vector<Rule> &rules() {
@@ -591,6 +750,10 @@ const std::vector<Rule> &rules() {
        "TraceFormat.h must match the checked-in wire-format manifest; "
        "layout changes require a version bump",
        checkWireFormat},
+      {"stream-envelope",
+       "StreamEnvelope.h must match the checked-in stream-envelope "
+       "manifest; framing changes require a protocol version bump",
+       checkStreamEnvelope},
   };
   return Table;
 }

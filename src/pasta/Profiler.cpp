@@ -183,8 +183,11 @@ void Profiler::writeReports(std::FILE *Out) {
     T->writeReport(Out);
 }
 
-void Profiler::writeReports(ReportSink &Sink) {
+void Profiler::writeReports(ReportSink &Sink) { writeReports(Sink, true); }
+
+void Profiler::writeReports(ReportSink &Sink, bool Close) {
   for (auto &T : Tools)
     T->report(Sink);
-  Sink.close();
+  if (Close)
+    Sink.close();
 }

@@ -123,6 +123,10 @@ public:
   void writeReports(std::FILE *Out);
   /// Emits every tool's report into \p Sink (and closes it).
   void writeReports(ReportSink &Sink);
+  /// Same, but leaves the sink open when \p Close is false so the
+  /// caller can append further report sections (the serve daemon's
+  /// per-tenant rollups) before closing once.
+  void writeReports(ReportSink &Sink, bool Close);
 
   EventProcessor &processor() { return Processor; }
   EventHandler &handler() { return Handler; }

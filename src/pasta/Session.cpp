@@ -96,15 +96,39 @@ bool Session::initialize(std::vector<std::unique_ptr<Tool>> ExtraTools,
       return false;
     Prof.addTool(std::move(Capture));
   }
+  // Transport knobs: env-resolved defaults, overridden by any builder
+  // knob the caller actually set (sentinels mean "inherit").
+  serve::StreamClientOptions ClientOpts = serve::StreamClientOptions::fromEnv();
+  if (Opts.ConnectTimeoutSeconds >= 0.0)
+    ClientOpts.ConnectTimeoutSeconds = Opts.ConnectTimeoutSeconds;
+  if (Opts.ConnectRetries >= 0)
+    ClientOpts.ConnectRetries = Opts.ConnectRetries;
+  if (Opts.ReconnectMode >= 0)
+    ClientOpts.Reconnect = Opts.ReconnectMode != 0;
+  if (Opts.ReconnectMax >= 0)
+    ClientOpts.ReconnectMax = Opts.ReconnectMax;
+  if (Opts.SpillMaxBytes >= 0)
+    ClientOpts.SpillMaxBytes = static_cast<std::uint64_t>(Opts.SpillMaxBytes);
   // Like capture, the forwarder connects now so a dead aggregator or a
   // rejected tenant fails at build() time, not mid-workload.
   if (!Opts.ConnectPath.empty()) {
     auto Forward = std::make_unique<tools::StreamForwardTool>(
         Opts.ConnectPath,
         Opts.TenantName.empty() ? "default" : Opts.TenantName);
+    Forward->setClientOptions(ClientOpts);
     if (!Forward->openNow(Err))
       return false;
     Prof.addTool(std::move(Forward));
+  }
+  // Every forwarder — --connect's and registry-created ("--tool
+  // stream_forward") alike — gets the resolved transport knobs and the
+  // pipeline-counter source for its finish-time meta frame.
+  for (const std::unique_ptr<Tool> &T : Prof.tools()) {
+    if (auto *Forward = dynamic_cast<tools::StreamForwardTool *>(T.get())) {
+      Forward->setClientOptions(ClientOpts);
+      Forward->setPipelineStatsProvider(
+          [this] { return Prof.processor().stats(); });
+    }
   }
 
   // Capability negotiation: enable only the instrumentation some tool
@@ -189,6 +213,10 @@ void Session::finish() {
 }
 
 void Session::writeReports(ReportSink &Sink) { Prof.writeReports(Sink); }
+
+void Session::writeReports(ReportSink &Sink, bool Close) {
+  Prof.writeReports(Sink, Close);
+}
 
 void Session::writeReports(std::FILE *Out) {
   TextReportSink Sink(Out);

@@ -136,6 +136,18 @@ struct SessionOptions {
   /// Tenant name the aggregator merges this session's stream under
   /// (only with ConnectPath; empty = "default").
   std::string TenantName;
+  /// Stream transport fault-tolerance knobs (only with ConnectPath or a
+  /// registry-created stream_forward tool). Sentinels (-1) defer to the
+  /// PASTA_CONNECT_TIMEOUT / PASTA_CONNECT_RETRIES / PASTA_RECONNECT /
+  /// PASTA_RECONNECT_MAX / PASTA_SPILL_MAX_BYTES environment, which in
+  /// turn defaults to serve::StreamClientOptions.
+  double ConnectTimeoutSeconds = -1.0;
+  int ConnectRetries = -1;
+  /// -1 = env, 0 = fail-fast on disconnect, 1 = reconnect + replay.
+  int ReconnectMode = -1;
+  int ReconnectMax = -1;
+  /// Spill-buffer cap (bytes) for unacked frames under ReconnectMode=1.
+  long long SpillMaxBytes = -1;
 };
 
 /// One profiling session: system + backend + pipeline + tools + workload.
@@ -175,6 +187,9 @@ public:
   void finish();
   /// Emits every tool's report into \p Sink (and closes it).
   void writeReports(ReportSink &Sink);
+  /// Same, but leaves the sink open when \p Close is false so callers
+  /// can append further report sections before closing once.
+  void writeReports(ReportSink &Sink, bool Close);
   /// Convenience: text sink over \p Out.
   void writeReports(std::FILE *Out);
   /// Emits the dispatch-unit counters (EventsDropped, MaxQueueDepth,
@@ -423,6 +438,36 @@ public:
   /// Tenant name the aggregator merges this session's stream under.
   SessionBuilder &tenant(const std::string &Name) {
     Opts.TenantName = Name;
+    return *this;
+  }
+  /// Seconds each aggregator connect attempt may take before it fails
+  /// (handshake included). Overrides PASTA_CONNECT_TIMEOUT.
+  SessionBuilder &connectTimeout(double Seconds) {
+    Opts.ConnectTimeoutSeconds = Seconds;
+    return *this;
+  }
+  /// Extra connect attempts (with backoff) before the initial connect
+  /// gives up. Overrides PASTA_CONNECT_RETRIES.
+  SessionBuilder &connectRetries(int Retries) {
+    Opts.ConnectRetries = Retries;
+    return *this;
+  }
+  /// Survive aggregator disconnects: buffer unacked frames and replay
+  /// them over a resumed connection. Overrides PASTA_RECONNECT.
+  SessionBuilder &reconnect(bool Enabled = true) {
+    Opts.ReconnectMode = Enabled ? 1 : 0;
+    return *this;
+  }
+  /// Consecutive failed reconnect attempts before the stream is
+  /// abandoned. Overrides PASTA_RECONNECT_MAX.
+  SessionBuilder &reconnectMax(int Attempts) {
+    Opts.ReconnectMax = Attempts;
+    return *this;
+  }
+  /// Spill-buffer cap (bytes) for unacked frames while reconnecting.
+  /// Overrides PASTA_SPILL_MAX_BYTES.
+  SessionBuilder &spillMaxBytes(long long Bytes) {
+    Opts.SpillMaxBytes = Bytes;
     return *this;
   }
   /// Replay pacing: 0 = full speed, 1.0 = captured spacing, 2.0 = twice

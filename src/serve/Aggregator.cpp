@@ -6,12 +6,14 @@
 
 #include "serve/Aggregator.h"
 
+#include "pasta/EventProcessor.h"
 #include "support/Logging.h"
 #include "support/ReportSink.h"
 
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -52,12 +54,20 @@ bool Aggregator::start(SessionError &Err) {
     }
   }
 
+  if (Opts.QuotaPolicy != "throttle" && Opts.QuotaPolicy != "shed") {
+    Err.assign("invalid --quota-policy '" + Opts.QuotaPolicy +
+               "': expected 'throttle' or 'shed'");
+    return false;
+  }
+
   // Fail fast on a bad tool set: building a throwaway tenant session
   // here surfaces an unknown tool name at startup instead of at the
   // first client's Hello.
   {
     SessionBuilder Probe;
     Probe.backend("none").gpu(Opts.Gpu);
+    if (Opts.Lanes > 0)
+      Probe.asyncEvents(true).dispatchThreads(Opts.Lanes);
     for (const std::string &ToolName : Opts.ToolNames)
       Probe.tool(ToolName);
     if (!Probe.build(Err))
@@ -92,12 +102,17 @@ void Aggregator::acceptLoop() {
                          SessionError &Err) -> Tenant * {
       return Registry.getOrCreate(Hello.Tenant, Err);
     };
+    ConnectionTuning Tuning;
+    if (Opts.IdleTimeoutSeconds > 0.0)
+      Tuning.IdleTimeoutMs =
+          static_cast<int>(Opts.IdleTimeoutSeconds * 1000.0);
     auto Conn = std::make_unique<Connection>(
         Client, NextConnId++, StopPipe[0], Binder,
         [this](Connection &C) { onConnectionDone(C); },
         [this](const std::string &Command, bool &Ok) {
           return executeControl(Command, Ok);
-        });
+        },
+        Tuning);
     Connection *Started = Conn.get();
     {
       std::lock_guard<std::mutex> Lock(Mu);
@@ -139,14 +154,23 @@ void Aggregator::onConnectionDone(Connection &Conn) {
     case StreamOutcome::Corrupt:
       ++Stats.CorruptStreams;
       break;
+    case StreamOutcome::Suspended:
+      ++Stats.SuspendedStreams;
+      break;
+    case StreamOutcome::Rejected:
+      ++Stats.RejectedStreams;
+      break;
     default:
       ++Stats.AbortedStreams;
       break;
     }
   }
   // Disconnect rollup: the tenant's merged view right after this client
-  // finished. Shutdown aborts skip it — the final rollup is imminent.
-  if (Outcome != StreamOutcome::Aborted && Conn.tenant())
+  // finished — including suspended partials, whose salvaged events are
+  // already merged. Shutdown aborts skip it (the final rollup is
+  // imminent), and rejected Hellos contributed nothing.
+  if (Outcome != StreamOutcome::Aborted &&
+      Outcome != StreamOutcome::Rejected && Conn.tenant())
     writeRollup(*Conn.tenant(), /*Final=*/false);
 }
 
@@ -295,6 +319,28 @@ std::string Aggregator::executeControl(const std::string &Command,
     return "detached '" + Words[2] + "' from tenant '" + Words[1] + "'";
   }
 
+  if (Verb == "set-lanes") {
+    if (Words.size() != 3)
+      return "usage: set-lanes <tenant> <n>";
+    Tenant *T = Registry.find(Words[1]);
+    if (!T)
+      return "unknown tenant '" + Words[1] +
+             "' (tenants are created by their first client stream)";
+    char *End = nullptr;
+    unsigned long Lanes = std::strtoul(Words[2].c_str(), &End, 10);
+    if (Words[2].empty() || *End != '\0')
+      return "invalid lane count '" + Words[2] + "': expected a number";
+    std::lock_guard<std::mutex> Lock(T->mutex());
+    if (!T->session().processor().setLaneCount(
+            static_cast<std::size_t>(Lanes)))
+      return "cannot set " + Words[2] + " lanes for tenant '" + Words[1] +
+             "': out of range, or the tenant pipeline is synchronous "
+             "(start the daemon with --lanes to enable lane dispatch)";
+    Ok = true;
+    return "tenant '" + Words[1] + "' now dispatches on " + Words[2] +
+           " lanes";
+  }
+
   return "unknown control verb '" + Verb +
-         "' (try attach-tool, detach-tool, list-tenants)";
+         "' (try attach-tool, detach-tool, set-lanes, list-tenants)";
 }

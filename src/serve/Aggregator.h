@@ -43,6 +43,11 @@ struct AggregatorStats {
   std::uint64_t ConnectionsAccepted = 0;
   std::uint64_t CleanStreams = 0;
   std::uint64_t CorruptStreams = 0;
+  /// Disconnects that suspended a resumable stream (salvaged partials,
+  /// idle timeouts).
+  std::uint64_t SuspendedStreams = 0;
+  /// Hellos answered with a Reject (busy/poisoned/quota).
+  std::uint64_t RejectedStreams = 0;
   /// Connections cut short by daemon shutdown.
   std::uint64_t AbortedStreams = 0;
   std::uint64_t RollupsWritten = 0;

@@ -7,14 +7,17 @@
 #include "serve/Connection.h"
 
 #include "pasta/EventProcessor.h"
+#include "support/FaultInjector.h"
 #include "support/Logging.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace pasta;
@@ -38,8 +41,199 @@ bool ClientStream::fail(SessionError &Err, const std::string &Message) {
   if (BoundTenant) {
     std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
     ++BoundTenant->stats().CorruptStreams;
+    if (SS)
+      SS->Poisoned = true;
   }
   return false;
+}
+
+bool ClientStream::reject(SessionError &Err, std::uint64_t Code,
+                          const std::string &Message) {
+  if (Reply) {
+    std::string Answer;
+    encodeStreamServerMessage(Answer, StreamMsgReject, Code);
+    Reply(Answer, /*Reliable=*/true);
+  }
+  Dead = true;
+  Rejected = true;
+  Err.assign(who() + ": rejected: " + Message);
+  return false;
+}
+
+void ClientStream::sendAck(std::uint64_t Watermark) {
+  if (!Reply)
+    return;
+  std::string Msg;
+  encodeStreamServerMessage(Msg, StreamMsgAck, Watermark);
+  Reply(Msg, /*Reliable=*/false);
+}
+
+bool ClientStream::bindStream(SessionError &Err) {
+  std::uint64_t Code = 0;
+  std::string Reason;
+  std::uint64_t Watermark = 0;
+  {
+    std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+    StreamState &S = BoundTenant->streamState(Hello.StreamId);
+    const TenantQuota &Q = BoundTenant->quota();
+    if (S.Busy) {
+      Code = StreamRejectStreamBusy;
+      Reason = "stream id " + std::to_string(Hello.StreamId) +
+               " already has a live connection";
+    } else if (S.Poisoned) {
+      Code = StreamRejectPoisoned;
+      Reason = "stream id " + std::to_string(Hello.StreamId) +
+               " previously failed decoding";
+    } else if (Hello.FirstRetainedSeq > S.NextExpected) {
+      Code = StreamRejectResumeUnavailable;
+      Reason = "client retains frames from " +
+               std::to_string(Hello.FirstRetainedSeq) +
+               " but the stream watermark is " +
+               std::to_string(S.NextExpected);
+    } else if (Q.MaxConnections != 0 &&
+               BoundTenant->activeConnections() >= Q.MaxConnections) {
+      Code = StreamRejectConnectionQuota;
+      Reason = "tenant connection quota (" +
+               std::to_string(Q.MaxConnections) + ") exhausted";
+      ++BoundTenant->stats().QuotaRejectedConnections;
+    } else {
+      if (!S.Decoder)
+        S.Decoder = std::make_unique<TraceStreamDecoder>(
+            &BoundTenant->session().processor().arena());
+      S.Busy = true;
+      if (S.EverConnected)
+        ++BoundTenant->stats().ResumedStreams;
+      S.EverConnected = true;
+      ++BoundTenant->stats().Connections;
+      ++BoundTenant->activeConnections();
+      SS = &S;
+      Watermark = S.NextExpected;
+    }
+  }
+  if (Code != 0)
+    return reject(Err, Code, Reason);
+  if (Reply) {
+    std::string Answer;
+    encodeStreamServerMessage(Answer, StreamMsgResume, Watermark);
+    Reply(Answer, /*Reliable=*/true);
+  }
+  return true;
+}
+
+bool ClientStream::completeFrame(SessionError &Err) {
+  auto Now = std::chrono::steady_clock::now();
+  double Wait = 0.0;
+  std::string FailMsg;
+  std::uint64_t AckMark = 0;
+  bool DoAck = false;
+  {
+    std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+    TenantStats &St = BoundTenant->stats();
+    if (CurIsDup) {
+      // A replayed frame below the watermark: already admitted, consume
+      // without decoding — the exactly-once guarantee.
+      ++St.DuplicateFrames;
+    } else if (CurIsMeta) {
+      // u32 count + count x (u32 key + u64 value), keys ascending.
+      ByteReader Cursor(
+          reinterpret_cast<const unsigned char *>(PayloadBuf.data()),
+          PayloadBuf.size());
+      std::uint32_t Count = 0;
+      bool Ok = Cursor.readU32(Count) &&
+                PayloadBuf.size() == 4 + static_cast<std::size_t>(Count) * 12;
+      std::uint32_t PrevKey = 0;
+      for (std::uint32_t I = 0; Ok && I < Count; ++I) {
+        std::uint32_t Key = 0;
+        std::uint64_t Value = 0;
+        Cursor.readU32(Key);
+        Cursor.readU64(Value);
+        if (Key <= PrevKey || Key > StreamMetaMaxKey) {
+          Ok = false;
+          break;
+        }
+        PrevKey = Key;
+        BoundTenant->mergeMeta(Key, Value);
+      }
+      if (!Ok) {
+        ++St.CorruptStreams;
+        SS->Poisoned = true;
+        FailMsg = "malformed meta frame " + std::to_string(CurSequence) +
+                  ": expected ascending keys 1-" +
+                  std::to_string(StreamMetaMaxKey);
+      } else {
+        ++St.MetaFrames;
+        SS->NextExpected = CurSequence + 1;
+      }
+    } else {
+      // Bytes always throttle — a byte cannot be shed without
+      // corrupting the stream.
+      Wait = BoundTenant->byteBucket().charge(
+          static_cast<double>(PayloadBuf.size()), Now);
+      bool Shed = BoundTenant->quota().Shed;
+      TokenBucket &EventBucket = BoundTenant->eventBucket();
+      EventProcessor &Processor = BoundTenant->session().processor();
+      std::uint64_t Admitted = 0;
+      std::uint64_t ShedCount = 0;
+      SessionError DecodeErr;
+      bool Ok = SS->Decoder->feed(
+          reinterpret_cast<const unsigned char *>(PayloadBuf.data()),
+          PayloadBuf.size(),
+          [&](Event &E) {
+            if (Shed && !EventBucket.tryCharge(1.0, Now)) {
+              ++ShedCount;
+              return;
+            }
+            Processor.process(std::move(E));
+            ++Admitted;
+          },
+          DecodeErr);
+      St.EventsAdmitted += Admitted;
+      St.QuotaShedEvents += ShedCount;
+      EventsAdmitted += Admitted;
+      if (!Ok) {
+        ++St.CorruptStreams;
+        SS->Poisoned = true;
+        FailMsg = DecodeErr.message();
+      } else {
+        if (!Shed)
+          Wait = std::max(
+              Wait, EventBucket.charge(static_cast<double>(Admitted), Now));
+        SS->NextExpected = CurSequence + 1;
+        if (SS->Decoder->finished() && !SS->Complete) {
+          SessionError FinErr;
+          if (SS->Decoder->finish(FinErr)) {
+            SS->Complete = true;
+            ++St.CleanStreams;
+          } else {
+            ++St.CorruptStreams;
+            SS->Poisoned = true;
+            FailMsg = FinErr.message();
+          }
+        }
+      }
+    }
+    if (FailMsg.empty()) {
+      ++FramesSinceAck;
+      if (SS->Complete || FramesSinceAck >= StreamAckInterval) {
+        AckMark = SS->NextExpected;
+        DoAck = true;
+        FramesSinceAck = 0;
+      }
+      if (Wait > 0.0)
+        ++St.ThrottledWaits;
+    }
+  }
+  PayloadBuf.clear();
+  if (!FailMsg.empty()) {
+    Dead = true;
+    Err.assign(who() + ": " + FailMsg);
+    return false;
+  }
+  if (DoAck)
+    sendAck(AckMark);
+  if (Wait > 0.0 && Throttle)
+    Throttle(Wait);
+  return true;
 }
 
 bool ClientStream::feed(const unsigned char *Data, std::size_t Size,
@@ -71,6 +265,8 @@ bool ClientStream::feed(const unsigned char *Data, std::size_t Size,
       Cursor.readU32(Proto);
       Cursor.readU32(Flags);
       Cursor.readU64(Hello.ProcessId);
+      Cursor.readU64(Hello.StreamId);
+      Cursor.readU64(Hello.FirstRetainedSeq);
       Cursor.readU32(Length);
       if (Proto != StreamProtocolVersion)
         return fail(Err, "unsupported stream protocol version " +
@@ -79,9 +275,12 @@ bool ClientStream::feed(const unsigned char *Data, std::size_t Size,
                              std::to_string(StreamProtocolVersion));
       if (Flags != StreamHelloFlags)
         return fail(Err, "unsupported hello flags at offset 12");
+      if (Hello.StreamId == 0)
+        return fail(Err, "invalid stream id 0 at offset 24: must be "
+                         "nonzero");
       if (Length == 0 || Length > StreamMaxTenantBytes)
         return fail(Err, "invalid tenant-name length " +
-                             std::to_string(Length) + " at offset 24: "
+                             std::to_string(Length) + " at offset 40: "
                              "expected 1-" +
                              std::to_string(StreamMaxTenantBytes));
       TenantLength = Length;
@@ -113,12 +312,8 @@ bool ClientStream::feed(const unsigned char *Data, std::size_t Size,
                    (BindErr.ok() ? "no tenant binder" : BindErr.message()));
         return false;
       }
-      {
-        std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
-        ++BoundTenant->stats().Connections;
-        Decoder = std::make_unique<TraceStreamDecoder>(
-            &BoundTenant->session().processor().arena());
-      }
+      if (!bindStream(Err))
+        return false;
       Parse = State::FrameHeader;
       break;
     }
@@ -133,50 +328,51 @@ bool ClientStream::feed(const unsigned char *Data, std::size_t Size,
       ByteReader Cursor(reinterpret_cast<const unsigned char *>(Head.data()),
                         Head.size());
       std::uint64_t Sequence = 0;
-      std::uint32_t Length = 0;
+      std::uint32_t LenWord = 0;
       Cursor.readU64(Sequence);
-      Cursor.readU32(Length);
+      Cursor.readU32(LenWord);
       Head.clear();
-      if (Sequence != NextSequence)
+      bool IsMeta = (LenWord & StreamFrameMetaBit) != 0;
+      std::uint32_t Length = LenWord & ~StreamFrameMetaBit;
+      if (ConnNextValid && Sequence != ConnNext)
         return fail(Err, "out-of-order frame: sequence " +
                              std::to_string(Sequence) + ", expected " +
-                             std::to_string(NextSequence));
+                             std::to_string(ConnNext));
+      std::uint64_t Watermark;
+      {
+        std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+        Watermark = SS->NextExpected;
+      }
+      if (Sequence > Watermark)
+        return fail(Err, "out-of-order frame: sequence " +
+                             std::to_string(Sequence) +
+                             " ahead of the stream watermark " +
+                             std::to_string(Watermark));
+      CurIsDup = Sequence < Watermark;
       if (Length == 0 || Length > StreamMaxFramePayload)
         return fail(Err, "invalid frame payload length " +
                              std::to_string(Length) + " in frame " +
                              std::to_string(Sequence) + ": expected 1-" +
                              std::to_string(StreamMaxFramePayload));
-      ++NextSequence;
+      ConnNext = Sequence + 1;
+      ConnNextValid = true;
+      CurSequence = Sequence;
+      CurIsMeta = IsMeta;
+      PayloadBuf.clear();
+      PayloadBuf.reserve(Length);
       PayloadRemaining = Length;
       Parse = State::FramePayload;
       break;
     }
     case State::FramePayload: {
       std::size_t Take = Size < PayloadRemaining ? Size : PayloadRemaining;
-      SessionError DecodeErr;
-      bool Ok;
-      std::uint64_t Admitted = 0;
-      {
-        // One lock per chunk, not per event: the tenant pipeline is
-        // synchronous, and admission order within a stream is the wire
-        // order either way.
-        std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
-        EventProcessor &Processor = BoundTenant->session().processor();
-        Ok = Decoder->feed(Data, Take,
-                           [&](Event &E) {
-                             Processor.process(std::move(E));
-                             ++Admitted;
-                           },
-                           DecodeErr);
-        BoundTenant->stats().EventsAdmitted += Admitted;
-      }
-      EventsAdmitted += Admitted;
-      if (!Ok)
-        return fail(Err, DecodeErr.message());
+      PayloadBuf.append(reinterpret_cast<const char *>(Data), Take);
       Data += Take;
       Size -= Take;
       PayloadRemaining -= Take;
       if (PayloadRemaining == 0) {
+        if (!completeFrame(Err))
+          return false;
         ++FramesReceived;
         Parse = State::FrameHeader;
       }
@@ -192,24 +388,34 @@ bool ClientStream::finishEof(SessionError &Err) {
     Err.assign(who() + ": stream already failed");
     return false;
   }
-  if (Parse == State::HelloFixed || Parse == State::HelloTenant)
+  if (!BoundTenant || !SS)
     return fail(Err, "connection closed before a complete hello");
-  if (Parse == State::FramePayload || !Head.empty())
-    return fail(Err, "connection closed mid-frame (frame " +
-                         std::to_string(NextSequence - 1) + ", " +
-                         std::to_string(PayloadRemaining) +
-                         " payload bytes missing)");
-  SessionError DecodeErr;
-  bool Complete;
+  if (SS->Complete)
+    return true;
+  // Incomplete but valid: salvage. Admitted events stay merged, the
+  // decoder state survives in the tenant's StreamState, and a
+  // reconnect with the same stream id resumes from the watermark.
+  Suspended = true;
+  std::uint64_t Watermark;
   {
     std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
-    Complete = Decoder->finish(DecodeErr);
-    if (Complete)
-      ++BoundTenant->stats().CleanStreams;
+    ++BoundTenant->stats().SuspendedStreams;
+    Watermark = SS->NextExpected;
   }
-  if (!Complete)
-    return fail(Err, DecodeErr.message());
-  return true;
+  Err.assign(who() + ": connection closed before the stream completed "
+                     "(watermark " +
+             std::to_string(Watermark) + "); suspended for resume");
+  return false;
+}
+
+void ClientStream::release() {
+  if (Released || !BoundTenant || !SS)
+    return;
+  Released = true;
+  std::lock_guard<std::mutex> Lock(BoundTenant->mutex());
+  SS->Busy = false;
+  if (BoundTenant->activeConnections() > 0)
+    --BoundTenant->activeConnections();
 }
 
 //===----------------------------------------------------------------------===//
@@ -219,9 +425,16 @@ bool ClientStream::finishEof(SessionError &Err) {
 Connection::Connection(int Fd, std::uint64_t Id, int StopFd,
                        ClientStream::TenantBinder Binder,
                        std::function<void(Connection &)> OnDone,
-                       ControlExecutor Control)
+                       ControlExecutor Control, ConnectionTuning Tuning)
     : Fd(Fd), ConnId(Id), StopFd(StopFd), Stream(std::move(Binder)),
-      OnDone(std::move(OnDone)), Control(std::move(Control)) {}
+      OnDone(std::move(OnDone)), Control(std::move(Control)),
+      Tuning(Tuning) {
+  Stream.setReplyWriter(
+      [this](const std::string &Bytes, bool Reliable) {
+        writeReply(Bytes, Reliable);
+      });
+  Stream.setThrottler([this](double Seconds) { throttleWait(Seconds); });
+}
 
 Connection::~Connection() {
   join();
@@ -238,6 +451,49 @@ void Connection::join() {
     Reader.join();
 }
 
+void Connection::writeReply(const std::string &Bytes, bool Reliable) {
+  // Best-effort messages (acks) may be dropped whole, but never sent
+  // partially — a half message would desync the client's reply parser.
+  std::size_t Written = 0;
+  while (Written < Bytes.size()) {
+    int Flags = MSG_NOSIGNAL;
+    if (!Reliable && Written == 0)
+      Flags |= MSG_DONTWAIT;
+    ssize_t N = faultSend(Fd, Bytes.data() + Written,
+                          Bytes.size() - Written, Flags);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && Written > 0)
+        continue; // finish the message on the blocking path
+      return; // dropped ack, or a dead peer the read loop will notice
+    }
+    Written += static_cast<std::size_t>(N);
+  }
+}
+
+void Connection::throttleWait(double Seconds) {
+  if (Seconds <= 0.0)
+    return;
+  int Ms = static_cast<int>(Seconds * 1000.0);
+  if (Ms < 1)
+    Ms = 1;
+  // Sleep on the stop fd so a daemon shutdown cuts the stall short.
+  pollfd Pfd;
+  Pfd.fd = StopFd;
+  Pfd.events = POLLIN;
+  Pfd.revents = 0;
+  ::poll(&Pfd, 1, Ms);
+}
+
+StreamOutcome Connection::failureOutcome() const {
+  if (Stream.rejected())
+    return StreamOutcome::Rejected;
+  if (Stream.suspended())
+    return StreamOutcome::Suspended;
+  return StreamOutcome::Corrupt;
+}
+
 void Connection::drainPending() {
   // Shutdown drain: whatever the client already sent is processed, then
   // the connection closes. The socket is switched non-blocking so a
@@ -247,13 +503,13 @@ void Connection::drainPending() {
     ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
   unsigned char Buf[1 << 16];
   for (;;) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t N = faultRead(Fd, Buf, sizeof(Buf));
     if (N > 0) {
       SessionError Err;
       if (!Stream.feed(Buf, static_cast<std::size_t>(N), Err)) {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message() + "; disconnecting");
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
         return;
       }
       continue;
@@ -266,7 +522,7 @@ void Connection::drainPending() {
       } else {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message());
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
       }
       return;
     }
@@ -311,7 +567,7 @@ void Connection::run() {
                        Sniff.size(), Err)) {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message() + "; disconnecting");
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
         break;
       }
       drainPending();
@@ -319,7 +575,7 @@ void Connection::run() {
     }
     if (Fds[0].revents == 0)
       continue;
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t N = faultRead(Fd, Buf, sizeof(Buf));
     if (N < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
         continue;
@@ -335,7 +591,7 @@ void Connection::run() {
                        Sniff.size(), Err)) {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message() + "; disconnecting");
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
         break;
       }
       if (Stream.finishEof(Err)) {
@@ -343,7 +599,7 @@ void Connection::run() {
       } else {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message());
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
       }
       break;
     }
@@ -365,13 +621,14 @@ void Connection::run() {
                        Sniff.size(), Err)) {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message() + "; disconnecting");
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
       } else {
         runStream();
       }
     }
   }
 
+  Stream.release();
   ::close(Fd);
   Fd = -1;
   Done.store(true, std::memory_order_release);
@@ -473,10 +730,29 @@ void Connection::runStream() {
     Fds[1].fd = StopFd;
     Fds[1].events = POLLIN;
     Fds[1].revents = 0;
-    if (::poll(Fds, 2, -1) < 0) {
+    int R = ::poll(Fds, 2, Tuning.IdleTimeoutMs);
+    if (R < 0) {
       if (errno == EINTR)
         continue;
       Outcome = StreamOutcome::Aborted;
+      break;
+    }
+    if (R == 0) {
+      // Idle timeout: salvage the partial stream. Admitted events stay
+      // merged and the stream state survives for a later resume — the
+      // same semantics as the client hanging up here.
+      Tenant *T = Stream.tenant();
+      if (T) {
+        {
+          std::lock_guard<std::mutex> Lock(T->mutex());
+          ++T->stats().TimedOutStreams;
+        }
+        logWarning("serve: connection #" + std::to_string(ConnId) +
+                   ": idle timeout; suspending stream");
+        Outcome = StreamOutcome::Suspended;
+      } else {
+        Outcome = StreamOutcome::Aborted;
+      }
       break;
     }
     if (Fds[1].revents != 0) {
@@ -485,13 +761,23 @@ void Connection::runStream() {
     }
     if (Fds[0].revents == 0)
       continue;
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t N = faultRead(Fd, Buf, sizeof(Buf));
     if (N < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
         continue;
-      logWarning("serve: connection #" + std::to_string(ConnId) +
-                 ": read error: " + std::strerror(errno));
-      Outcome = StreamOutcome::Aborted;
+      // A reset is a close we learned about the hard way — commonly a
+      // client that exited without draining its ack queue. The stream
+      // decides the outcome exactly as on EOF: complete verifies
+      // clean, incomplete suspends for a resume.
+      SessionError ResetErr;
+      if (Stream.finishEof(ResetErr)) {
+        Outcome = StreamOutcome::Clean;
+      } else {
+        logWarning("serve: connection #" + std::to_string(ConnId) +
+                   ": read error: " + std::strerror(errno) + "; " +
+                   ResetErr.message());
+        Outcome = failureOutcome();
+      }
       break;
     }
     if (N == 0) {
@@ -501,7 +787,7 @@ void Connection::runStream() {
       } else {
         logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                    Err.message());
-        Outcome = StreamOutcome::Corrupt;
+        Outcome = failureOutcome();
       }
       break;
     }
@@ -509,7 +795,7 @@ void Connection::runStream() {
     if (!Stream.feed(Buf, static_cast<std::size_t>(N), Err)) {
       logWarning("serve: connection #" + std::to_string(ConnId) + ": " +
                  Err.message() + "; disconnecting");
-      Outcome = StreamOutcome::Corrupt;
+      Outcome = failureOutcome();
       break;
     }
   }

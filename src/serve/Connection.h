@@ -9,18 +9,27 @@
 ///
 /// ClientStream is the transport-free core — a byte-in state machine
 /// over the StreamEnvelope grammar (Hello → sequence-checked frames)
-/// that routes frame payloads into a TraceStreamDecoder and admits
-/// every decoded event into the bound tenant's session under the
-/// tenant lock. The fuzz tests drive it directly with byte arrays; no
-/// socket required.
+/// that binds the Hello's resume token to the tenant's StreamState,
+/// answers it (Resume/Reject), routes frame payloads into the state's
+/// TraceStreamDecoder and admits every decoded event into the bound
+/// tenant's session under the tenant lock. Replies go through an
+/// injected ReplyWriter (acks are best-effort; the handshake answer is
+/// reliable), so the fuzz tests drive it directly with byte arrays and
+/// capture replies in a string; no socket required.
+///
+/// Exactly-once admission: frame payloads are buffered whole and fed to
+/// the decoder transactionally, so a disconnect mid-frame leaves the
+/// decoder exactly at the watermark and the client's replay of that
+/// frame is not a double-feed. Replayed frames below the watermark are
+/// consumed without decoding (counted DuplicateFrames).
 ///
 /// Connection wraps a ClientStream around an accepted socket fd with a
 /// reader thread. Its failure domain is one client: an envelope or
 /// trace violation logs a file-offset-style diagnostic naming the
 /// client and disconnects it, leaving every other connection — and the
-/// partial events this client already contributed — untouched. Events
-/// admitted before the violation stay in the tenant merge (the same
-/// semantics as a tool observing a live process that crashed mid-run).
+/// partial events this client already contributed — untouched. A
+/// disconnect before the stream completed is not a violation: the
+/// stream suspends (salvaging admitted events) and can resume later.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +59,11 @@ enum class StreamOutcome {
   Clean,
   /// Envelope or trace violation; client was disconnected.
   Corrupt,
+  /// Disconnect (or idle timeout) before the stream completed; the
+  /// partial stream is salvaged and resumable.
+  Suspended,
+  /// Hello refused (busy stream id, poisoned stream, quota).
+  Rejected,
   /// Daemon shutdown closed the connection before the stream finished.
   Aborted,
 };
@@ -61,45 +75,91 @@ public:
   /// set) rejects the client.
   using TenantBinder =
       std::function<Tenant *(const trace::StreamHello &, SessionError &)>;
+  /// Ships server->client bytes. \p Reliable distinguishes the
+  /// handshake answer (must arrive) from acks (best-effort — an ack
+  /// send may never block the daemon on a slow client).
+  using ReplyWriter =
+      std::function<void(const std::string &Bytes, bool Reliable)>;
+  /// Stalls the connection \p Seconds for the throttle quota policy.
+  using Throttler = std::function<void(double Seconds)>;
 
   explicit ClientStream(TenantBinder Binder) : Binder(std::move(Binder)) {}
+
+  void setReplyWriter(ReplyWriter W) { Reply = std::move(W); }
+  void setThrottler(Throttler T) { Throttle = std::move(T); }
 
   /// Consumes \p Size connection bytes. False on the first violation,
   /// with \p Err naming the client (once known) and the stream offset;
   /// the stream is then dead and the tenant's CorruptStreams counter
-  /// has been bumped.
+  /// has been bumped (and the stream state poisoned).
   bool feed(const unsigned char *Data, std::size_t Size, SessionError &Err);
 
-  /// Declares EOF. True only for a complete stream: Hello seen, final
-  /// frame ended on a frame boundary, End record arrived and verified.
+  /// Declares EOF. True only for a complete stream: Hello seen, End
+  /// record arrived and verified. An incomplete-but-valid stream
+  /// returns false with suspended() set — resumable, not corrupt.
   bool finishEof(SessionError &Err);
+
+  /// Releases the stream state (Busy flag, connection count) so a
+  /// reconnect can bind it. Idempotent; Connection calls it when the
+  /// socket closes. Tests driving ClientStream directly call it to
+  /// simulate a disconnect.
+  void release();
 
   /// Bound tenant (null until the Hello resolves).
   Tenant *tenant() const { return BoundTenant; }
   const trace::StreamHello &hello() const { return Hello; }
   std::uint64_t framesReceived() const { return FramesReceived; }
   std::uint64_t eventsAdmitted() const { return EventsAdmitted; }
+  /// EOF left a resumable partial stream (finishEof returned false).
+  bool suspended() const { return Suspended; }
+  /// The Hello was answered with a Reject message.
+  bool rejected() const { return Rejected; }
 
 private:
   bool fail(SessionError &Err, const std::string &Message);
+  bool reject(SessionError &Err, std::uint64_t Code,
+              const std::string &Message);
+  /// Binds the parsed Hello to tenant + stream state; sends the
+  /// Resume/Reject answer. False ⇒ the connection is dead.
+  bool bindStream(SessionError &Err);
+  /// Processes one complete frame payload (PayloadBuf) under the
+  /// tenant lock: decode + admit, or merge meta counters.
+  bool completeFrame(SessionError &Err);
+  void sendAck(std::uint64_t Watermark);
   /// "client pid N tenant 'x'" once the Hello is parsed.
   std::string who() const;
 
   enum class State { HelloFixed, HelloTenant, FrameHeader, FramePayload };
 
   TenantBinder Binder;
+  ReplyWriter Reply;
+  Throttler Throttle;
   State Parse = State::HelloFixed;
   /// Reassembly buffer for the fixed-size pieces (hello, frame header).
   std::string Head;
   std::size_t TenantLength = 0;
   trace::StreamHello Hello;
   Tenant *BoundTenant = nullptr;
-  std::unique_ptr<TraceStreamDecoder> Decoder;
-  std::uint64_t NextSequence = 0;
+  /// Resume state this connection owns (Busy) once bound.
+  StreamState *SS = nullptr;
+  /// Frame sequencing within this connection: the next sequence this
+  /// connection must send (valid after its first frame).
+  std::uint64_t ConnNext = 0;
+  bool ConnNextValid = false;
+  /// Current frame, filled by the FrameHeader state.
+  std::uint64_t CurSequence = 0;
+  bool CurIsMeta = false;
+  bool CurIsDup = false;
+  /// Whole-payload reassembly (transactional decoder feeds).
+  std::string PayloadBuf;
   std::size_t PayloadRemaining = 0;
   std::uint64_t FramesReceived = 0;
   std::uint64_t EventsAdmitted = 0;
+  std::uint32_t FramesSinceAck = 0;
   bool Dead = false;
+  bool Suspended = false;
+  bool Rejected = false;
+  bool Released = false;
 };
 
 /// Executes one control command ("attach-tool <tenant> <tool>", ...).
@@ -107,6 +167,13 @@ private:
 /// Aggregator — the Connection only speaks the wire protocol.
 using ControlExecutor =
     std::function<std::string(const std::string &Command, bool &Ok)>;
+
+/// Per-connection knobs the Aggregator passes down.
+struct ConnectionTuning {
+  /// Close a stream connection idle this long, suspending (salvaging)
+  /// the stream. -1 = never.
+  int IdleTimeoutMs = -1;
+};
 
 /// Socket + reader thread around a ClientStream.
 ///
@@ -124,7 +191,8 @@ public:
   Connection(int Fd, std::uint64_t Id, int StopFd,
              ClientStream::TenantBinder Binder,
              std::function<void(Connection &)> OnDone,
-             ControlExecutor Control = {});
+             ControlExecutor Control = {},
+             ConnectionTuning Tuning = ConnectionTuning());
   ~Connection();
   Connection(const Connection &) = delete;
   Connection &operator=(const Connection &) = delete;
@@ -147,6 +215,13 @@ private:
   void runControl(std::string Pending);
   /// Reads until EAGAIN/EOF, feeding the stream — the shutdown drain.
   void drainPending();
+  /// ReplyWriter wired into the ClientStream.
+  void writeReply(const std::string &Bytes, bool Reliable);
+  /// Throttler wired into the ClientStream: sleeps, abandoning the
+  /// stall early when the daemon shuts down.
+  void throttleWait(double Seconds);
+  /// Maps a failed feed/finishEof to the right outcome.
+  StreamOutcome failureOutcome() const;
 
   int Fd;
   std::uint64_t ConnId;
@@ -154,6 +229,7 @@ private:
   ClientStream Stream;
   std::function<void(Connection &)> OnDone;
   ControlExecutor Control;
+  ConnectionTuning Tuning;
   std::thread Reader;
   std::atomic<bool> Done{false};
   StreamOutcome Outcome = StreamOutcome::Active;

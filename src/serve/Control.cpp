@@ -8,6 +8,7 @@
 
 #include "pasta/StreamEnvelope.h"
 #include "pasta/TraceReader.h"
+#include "support/FaultInjector.h"
 
 #include <cerrno>
 #include <cstring>
@@ -89,7 +90,8 @@ bool serve::sendControlCommand(const std::string &SocketPath,
                std::strerror(errno));
     return false;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+  if (faultConnect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
     Err.assign("control: cannot connect to '" + SocketPath +
                "': " + std::strerror(errno));
     ::close(Fd);

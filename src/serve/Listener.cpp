@@ -6,6 +6,8 @@
 
 #include "serve/Listener.h"
 
+#include "support/FaultInjector.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -81,7 +83,7 @@ int Listener::acceptOrStop(int StopFd) {
       return -1;
     if (Fds[0].revents == 0)
       continue;
-    int Client = ::accept(Fd, nullptr, nullptr);
+    int Client = faultAccept(Fd, nullptr, nullptr);
     if (Client >= 0)
       return Client;
     if (errno == EINTR || errno == ECONNABORTED)

@@ -1,0 +1,295 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Env.h"
+#include "support/Logging.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace pasta;
+
+namespace {
+
+/// How long a Stall decision sleeps. Small enough for tests, large
+/// enough to open real reordering windows under TSan.
+constexpr std::chrono::milliseconds StallDuration(2);
+
+bool parseRate(const std::string &Text, double &Rate) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Rate = std::strtod(Text.c_str(), &End);
+  return End && *End == '\0' && Rate >= 0.0 && Rate <= 1.0;
+}
+
+bool kindForName(const std::string &Name, FaultKind &Kind) {
+  if (Name == "short-write")
+    Kind = FaultKind::ShortWrite;
+  else if (Name == "eintr")
+    Kind = FaultKind::Eintr;
+  else if (Name == "reset")
+    Kind = FaultKind::Reset;
+  else if (Name == "refuse")
+    Kind = FaultKind::Refuse;
+  else if (Name == "stall")
+    Kind = FaultKind::Stall;
+  else
+    return false;
+  return true;
+}
+
+/// Which fault kinds make sense for which operation.
+bool applies(FaultOp Op, FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::ShortWrite:
+    return Op == FaultOp::Write;
+  case FaultKind::Eintr:
+    return Op == FaultOp::Read || Op == FaultOp::Write ||
+           Op == FaultOp::Accept;
+  case FaultKind::Reset:
+    return Op == FaultOp::Read || Op == FaultOp::Write;
+  case FaultKind::Refuse:
+    return Op == FaultOp::Connect;
+  case FaultKind::Stall:
+    return Op == FaultOp::Read || Op == FaultOp::Write ||
+           Op == FaultOp::Connect;
+  case FaultKind::None:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Singleton;
+  return Singleton;
+}
+
+bool FaultInjector::configure(const std::string &Spec, std::string &Error) {
+  if (Spec.empty()) {
+    disarm();
+    return true;
+  }
+  std::size_t Colon = Spec.find(':');
+  if (Colon == std::string::npos) {
+    Error = "fault spec '" + Spec + "': expected 'seed:fault=rate,...'";
+    return false;
+  }
+  std::string SeedText = Spec.substr(0, Colon);
+  char *End = nullptr;
+  unsigned long long Seed = std::strtoull(SeedText.c_str(), &End, 10);
+  if (!End || *End != '\0' || SeedText.empty()) {
+    Error = "fault spec '" + Spec + "': seed is not a number";
+    return false;
+  }
+  double NewRates[6] = {0, 0, 0, 0, 0, 0};
+  std::string Rest = Spec.substr(Colon + 1);
+  std::size_t Pos = 0;
+  while (Pos < Rest.size()) {
+    std::size_t Comma = Rest.find(',', Pos);
+    std::string Item = Rest.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Rest.size() : Comma + 1;
+    std::size_t Eq = Item.find('=');
+    FaultKind Kind = FaultKind::None;
+    double Rate = 0.0;
+    if (Eq == std::string::npos || !kindForName(Item.substr(0, Eq), Kind) ||
+        !parseRate(Item.substr(Eq + 1), Rate)) {
+      Error = "fault spec '" + Spec + "': bad entry '" + Item +
+              "' (expected short-write|eintr|reset|refuse|stall=0..1)";
+      return false;
+    }
+    NewRates[static_cast<unsigned>(Kind)] = Rate;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Rng = SplitMix64(static_cast<std::uint64_t>(Seed));
+    for (unsigned I = 0; I < 6; ++I)
+      Rates[I] = NewRates[I];
+    for (std::deque<FaultKind> &Script : Scripts)
+      Script.clear();
+  }
+  Armed.store(true, std::memory_order_release);
+  return true;
+}
+
+void FaultInjector::configureFromEnv() {
+  std::call_once(EnvOnce, [this] {
+    std::string Spec = getEnvString("PASTA_FAULTS", "");
+    if (Spec.empty())
+      return;
+    std::string Error;
+    if (!configure(Spec, Error))
+      logWarning("PASTA_FAULTS ignored: " + Error);
+  });
+}
+
+void FaultInjector::disarm() {
+  Armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (unsigned I = 0; I < 6; ++I)
+    Rates[I] = 0.0;
+  for (std::deque<FaultKind> &Script : Scripts)
+    Script.clear();
+}
+
+void FaultInjector::push(FaultOp Op, FaultKind Kind) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Scripts[static_cast<unsigned>(Op)].push_back(Kind);
+  }
+  Armed.store(true, std::memory_order_release);
+}
+
+FaultKind FaultInjector::decide(FaultOp Op) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Decisions;
+  FaultKind Kind = FaultKind::None;
+  std::deque<FaultKind> &Script = Scripts[static_cast<unsigned>(Op)];
+  if (!Script.empty()) {
+    Kind = Script.front();
+    Script.pop_front();
+  } else {
+    for (unsigned I = 1; I < 6; ++I) {
+      FaultKind Candidate = static_cast<FaultKind>(I);
+      if (!applies(Op, Candidate) || Rates[I] <= 0.0)
+        continue;
+      if (Rng.nextDouble() < Rates[I]) {
+        Kind = Candidate;
+        break;
+      }
+    }
+  }
+  switch (Kind) {
+  case FaultKind::ShortWrite:
+    ++Stats.ShortWrites;
+    break;
+  case FaultKind::Eintr:
+    ++Stats.Eintrs;
+    break;
+  case FaultKind::Reset:
+    ++Stats.Resets;
+    break;
+  case FaultKind::Refuse:
+    ++Stats.Refusals;
+    break;
+  case FaultKind::Stall:
+    ++Stats.Stalls;
+    break;
+  case FaultKind::None:
+    break;
+  }
+  return Kind;
+}
+
+FaultInjectorStats FaultInjector::stats() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+void FaultInjector::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats = FaultInjectorStats();
+}
+
+//===----------------------------------------------------------------------===//
+// Wrappers
+//===----------------------------------------------------------------------===//
+
+namespace pasta {
+
+ssize_t faultRead(int Fd, void *Buf, std::size_t Len) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.configureFromEnv();
+  if (Inj.armed()) {
+    switch (Inj.decide(FaultOp::Read)) {
+    case FaultKind::Eintr:
+      errno = EINTR;
+      return -1;
+    case FaultKind::Reset:
+      ::shutdown(Fd, SHUT_RDWR);
+      errno = ECONNRESET;
+      return -1;
+    case FaultKind::Stall:
+      std::this_thread::sleep_for(StallDuration);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::read(Fd, Buf, Len);
+}
+
+ssize_t faultSend(int Fd, const void *Buf, std::size_t Len, int Flags) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.configureFromEnv();
+  if (Inj.armed()) {
+    switch (Inj.decide(FaultOp::Write)) {
+    case FaultKind::ShortWrite:
+      // Transfer a prefix: at least one byte so retry loops make
+      // progress, at most half the buffer so the short path is real.
+      if (Len > 1)
+        Len = 1 + Len / 2 - 1;
+      break;
+    case FaultKind::Eintr:
+      errno = EINTR;
+      return -1;
+    case FaultKind::Reset:
+      ::shutdown(Fd, SHUT_RDWR);
+      errno = ECONNRESET;
+      return -1;
+    case FaultKind::Stall:
+      std::this_thread::sleep_for(StallDuration);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::send(Fd, Buf, Len, Flags);
+}
+
+int faultConnect(int Fd, const struct sockaddr *Addr, socklen_t AddrLen) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.configureFromEnv();
+  if (Inj.armed()) {
+    switch (Inj.decide(FaultOp::Connect)) {
+    case FaultKind::Refuse:
+      errno = ECONNREFUSED;
+      return -1;
+    case FaultKind::Stall:
+      std::this_thread::sleep_for(StallDuration);
+      break;
+    default:
+      break;
+    }
+  }
+  return ::connect(Fd, Addr, AddrLen);
+}
+
+int faultAccept(int Fd, struct sockaddr *Addr, socklen_t *AddrLen) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.configureFromEnv();
+  if (Inj.armed()) {
+    switch (Inj.decide(FaultOp::Accept)) {
+    case FaultKind::Eintr:
+      errno = EINTR;
+      return -1;
+    default:
+      break;
+    }
+  }
+  return ::accept(Fd, Addr, AddrLen);
+}
+
+} // namespace pasta

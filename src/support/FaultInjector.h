@@ -1,0 +1,129 @@
+//===- support/FaultInjector.h - Deterministic socket faults ----*- C++ -*-===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection seam for the streaming plane
+/// (docs/SERVE.md). Every socket operation the fleet transport performs
+/// — connect, accept, read, write — goes through the fault* wrappers
+/// below instead of calling the syscall directly. When the injector is
+/// disarmed (the default) a wrapper is one relaxed atomic load away
+/// from the real syscall; when armed, each call consults a seeded
+/// schedule that can surface the failures production networks produce:
+/// short writes, EINTR, connection resets, stalls, and refused
+/// connects.
+///
+/// The schedule is deterministic: `PASTA_FAULTS=seed:spec` (e.g.
+/// `PASTA_FAULTS=42:reset=0.01,short-write=0.2,eintr=0.1`) seeds one
+/// SplitMix64 stream, so a failing chaos run reproduces from its seed.
+/// Tests that need an exact script instead of probabilities push
+/// per-operation decisions with push(), consumed FIFO before the
+/// probabilistic schedule.
+///
+/// This follows the Injection.h design: model the hazardous behaviour
+/// behind a small policy object so the recovery paths are testable
+/// without real networks, kernels, or flaky CI machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PASTA_SUPPORT_FAULTINJECTOR_H
+#define PASTA_SUPPORT_FAULTINJECTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "support/Rng.h"
+
+namespace pasta {
+
+/// Socket operations the injector can intercept.
+enum class FaultOp : unsigned { Connect = 0, Accept = 1, Read = 2, Write = 3 };
+
+/// What a wrapper does instead of (or around) the real syscall.
+enum class FaultKind : unsigned {
+  None = 0,
+  /// Write only: transfer a deterministic prefix of the buffer.
+  ShortWrite,
+  /// Fail with EINTR without touching the socket.
+  Eintr,
+  /// Shut the socket down both ways, then fail with ECONNRESET — the
+  /// peer observes a mid-stream cut.
+  Reset,
+  /// Connect only: fail with ECONNREFUSED without dialing.
+  Refuse,
+  /// Sleep a few milliseconds, then perform the real operation.
+  Stall,
+};
+
+/// Injection counters (what the schedule actually fired).
+struct FaultInjectorStats {
+  std::uint64_t ShortWrites = 0;
+  std::uint64_t Eintrs = 0;
+  std::uint64_t Resets = 0;
+  std::uint64_t Refusals = 0;
+  std::uint64_t Stalls = 0;
+  /// Intercepted operations while armed (faulted or not).
+  std::uint64_t Decisions = 0;
+};
+
+/// Process-wide fault schedule. Thread-safe; decisions are serialized
+/// so one seed yields one deterministic decision sequence.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Parses "seed:fault=rate[,fault=rate...]" and arms the injector.
+  /// Faults: short-write, eintr, reset, refuse, stall; rates in [0, 1].
+  /// An empty \p Spec disarms. False with \p Error on a malformed spec.
+  bool configure(const std::string &Spec, std::string &Error);
+
+  /// Arms from PASTA_FAULTS when set (malformed values log one warning
+  /// and leave the injector disarmed). Called lazily by the wrappers;
+  /// cheap after the first call.
+  void configureFromEnv();
+
+  void disarm();
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Scripts the next decision for \p Op exactly (FIFO, consumed before
+  /// the probabilistic schedule). Arms the injector.
+  void push(FaultOp Op, FaultKind Kind);
+
+  /// Draws the next decision for \p Op from the script/schedule and
+  /// counts it. Only meaningful while armed.
+  FaultKind decide(FaultOp Op);
+
+  FaultInjectorStats stats();
+  void resetStats();
+
+private:
+  FaultInjector() = default;
+
+  std::atomic<bool> Armed{false};
+  std::once_flag EnvOnce;
+  std::mutex Mu;
+  SplitMix64 Rng{0};
+  /// Probability of each FaultKind (index) firing, per applicable op.
+  double Rates[6] = {0, 0, 0, 0, 0, 0};
+  std::deque<FaultKind> Scripts[4];
+  FaultInjectorStats Stats;
+};
+
+/// The wrappers the streaming plane calls in place of the syscalls.
+/// Identical contracts to read(2)/send(2)/connect(2)/accept(2).
+ssize_t faultRead(int Fd, void *Buf, std::size_t Len);
+ssize_t faultSend(int Fd, const void *Buf, std::size_t Len, int Flags);
+int faultConnect(int Fd, const struct sockaddr *Addr, socklen_t AddrLen);
+int faultAccept(int Fd, struct sockaddr *Addr, socklen_t *AddrLen);
+
+} // namespace pasta
+
+#endif // PASTA_SUPPORT_FAULTINJECTOR_H

@@ -27,6 +27,12 @@ Subscription StreamForwardTool::subscription() {
   return Sub;
 }
 
+void StreamForwardTool::setClientOptions(
+    const serve::StreamClientOptions &O) {
+  Opts = O;
+  OptsSet = true;
+}
+
 bool StreamForwardTool::openNow(SessionError &Err) {
   if (Sink.isConnected())
     return true;
@@ -34,6 +40,9 @@ bool StreamForwardTool::openNow(SessionError &Err) {
     SocketPath = getEnvString("PASTA_CONNECT", "");
   if (Tenant.empty())
     Tenant = getEnvString("PASTA_TENANT", "default");
+  // Env resolution happens at open time, not construction, so tests
+  // (and late exports) see the current PASTA_* values.
+  Sink.setOptions(OptsSet ? Opts : serve::StreamClientOptions::fromEnv());
   if (SocketPath.empty()) {
     Err.assign("stream_forward has no aggregator socket; pass "
                "--connect <socket> (SessionBuilder::connect) or set "
@@ -66,8 +75,29 @@ void StreamForwardTool::onFinish() {
   if (!Sink.isConnected())
     return;
   SessionError Err;
-  // End record into the frame buffer, then the final frame + EOF.
+  // End record into the frame buffer, then the pipeline-counter meta
+  // frame, then the final frame + EOF.
   bool Ok = Writer.finalize(Err);
+  if (Ok && StatsProvider) {
+    ProcessorStats S = StatsProvider();
+    std::vector<trace::StreamMetaCounter> Counters = {
+        {trace::StreamMetaEventsProcessed, S.EventsProcessed},
+        {trace::StreamMetaEventsFiltered, S.EventsFiltered},
+        {trace::StreamMetaEventsDropped, S.EventsDropped},
+        {trace::StreamMetaEventsSampledOut, S.EventsSampledOut},
+        {trace::StreamMetaMaxQueueDepth, S.MaxQueueDepth},
+        {trace::StreamMetaFlushCount, S.FlushCount},
+        {trace::StreamMetaQueueSpins, S.QueueSpins},
+        {trace::StreamMetaQueueParks, S.QueueParks},
+        {trace::StreamMetaArenaPayloads, S.ArenaPayloads},
+        {trace::StreamMetaArenaBytes, S.ArenaBytes},
+        {trace::StreamMetaArenaHits, S.ArenaHits},
+        {trace::StreamMetaArenaMemoHits, S.ArenaMemoHits},
+    };
+    std::string Payload;
+    trace::encodeStreamMeta(Payload, Counters);
+    Sink.appendMeta(Payload);
+  }
   if (!Sink.finish(Err))
     Ok = false;
   if (!Ok)

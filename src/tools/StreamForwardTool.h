@@ -18,21 +18,32 @@
 /// The socket path and tenant come from the constructor
 /// (SessionBuilder::connect / accelprof --connect/--tenant) or, for
 /// registry-created instances ("stream_forward" via --tool/PASTA_TOOL),
-/// the PASTA_CONNECT / PASTA_TENANT environment variables.
+/// the PASTA_CONNECT / PASTA_TENANT environment variables. Transport
+/// fault-tolerance knobs (connect timeout/retries, reconnect with
+/// spill replay) ride in StreamClientOptions — driver flags override
+/// PASTA_* env, env overrides defaults.
 ///
-/// A transport failure after connect (daemon died mid-run) is logged
-/// once and the session keeps running unstreamed — losing the
-/// aggregator must never take the profiled process down with it.
+/// A transport failure after connect (daemon died mid-run) is handled
+/// per the options: with --reconnect the sink retries with backoff and
+/// replays unacked frames; otherwise it is logged once and the session
+/// keeps running unstreamed — losing the aggregator must never take
+/// the profiled process down with it.
+///
+/// At finish, the tool ships the session's ProcessorStats as one meta
+/// frame so the daemon can merge a fleet-wide event_pipeline rollup
+/// (--pipeline-report).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PASTA_TOOLS_STREAMFORWARDTOOL_H
 #define PASTA_TOOLS_STREAMFORWARDTOOL_H
 
+#include "pasta/EventProcessor.h"
 #include "pasta/Tool.h"
 #include "pasta/TraceWriter.h"
 #include "serve/TraceStreamSink.h"
 
+#include <functional>
 #include <string>
 
 namespace pasta {
@@ -52,6 +63,17 @@ public:
   /// Every kind, Serial — the wire stream is the admission order.
   Subscription subscription() override;
 
+  /// Overrides the env-resolved transport options; call before the
+  /// connection opens (Session::initialize does, from builder knobs).
+  void setClientOptions(const serve::StreamClientOptions &O);
+
+  /// Source of the client pipeline counters shipped as a meta frame at
+  /// finish (Session::initialize wires processor().stats() in). Unset =
+  /// no meta frame.
+  void setPipelineStatsProvider(std::function<ProcessorStats()> Provider) {
+    StatsProvider = std::move(Provider);
+  }
+
   /// Connects now instead of at onStart(), so Session::initialize
   /// surfaces a dead daemon or bad tenant name at build time. False
   /// with \p Err on failure.
@@ -62,9 +84,9 @@ public:
   void onFinish() override;
 
   /// Writer counters only — everything deterministic for a
-  /// deterministic workload. Transport counters (frames, blocked sends)
-  /// are timing-dependent and stay out, same reasoning as the capture
-  /// report omitting its path.
+  /// deterministic workload. Transport counters (frames, blocked sends,
+  /// reconnects, replays) are timing-dependent and stay out, same
+  /// reasoning as the capture report omitting its path.
   void report(ReportSink &Sink) override;
 
   const TraceWriterStats &writerStats() const { return Writer.stats(); }
@@ -77,6 +99,9 @@ private:
   std::string Tenant;
   serve::TraceStreamSink Sink;
   TraceWriter Writer;
+  serve::StreamClientOptions Opts;
+  bool OptsSet = false;
+  std::function<ProcessorStats()> StatsProvider;
   bool OpenFailed = false;
 };
 

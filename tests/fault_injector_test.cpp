@@ -1,0 +1,282 @@
+//===- tests/fault_injector_test.cpp - deterministic socket faults --------===//
+//
+// Part of the PASTA reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The FaultInjector seam (support/FaultInjector.h): spec parsing,
+// seeded determinism, scripted FIFO decisions, the syscall-shaped
+// wrapper contracts over a real socketpair, and the end-to-end recovery
+// property the seam exists to prove — a client streaming to an
+// aggregator through injected short writes, EINTRs, and resets still
+// produces a merged report byte-identical to the fault-free run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pasta/Session.h"
+#include "pasta/TraceWriter.h"
+#include "serve/Aggregator.h"
+#include "serve/TraceStreamSink.h"
+#include "support/FaultInjector.h"
+#include "support/ReportSink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pasta;
+using namespace pasta::serve;
+
+namespace {
+
+/// Every test leaves the process-global injector disarmed: an armed
+/// schedule would leak faults into unrelated tests.
+class FaultInjectorTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm();
+    FaultInjector::instance().resetStats();
+  }
+  void TearDown() override {
+    FaultInjector::instance().disarm();
+    FaultInjector::instance().resetStats();
+  }
+};
+
+TEST_F(FaultInjectorTest, SpecParsing) {
+  FaultInjector &Inj = FaultInjector::instance();
+  std::string Error;
+  EXPECT_TRUE(Inj.configure("42:reset=0.01,short-write=0.2,eintr=0.1",
+                            Error))
+      << Error;
+  EXPECT_TRUE(Inj.armed());
+
+  // Empty spec disarms.
+  EXPECT_TRUE(Inj.configure("", Error)) << Error;
+  EXPECT_FALSE(Inj.armed());
+
+  for (const char *Bad :
+       {"no-colon", "x:reset=0.5", "42:bogus=0.5", "42:reset=1.5",
+        "42:reset=-0.1", "42:reset", "42:reset=abc", "42:=0.5"}) {
+    Error.clear();
+    EXPECT_FALSE(Inj.configure(Bad, Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+    EXPECT_FALSE(Inj.armed()) << Bad;
+  }
+}
+
+TEST_F(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultInjector &Inj = FaultInjector::instance();
+  std::string Error;
+  auto drawSequence = [&](const std::string &Spec) {
+    EXPECT_TRUE(Inj.configure(Spec, Error)) << Error;
+    std::vector<FaultKind> Seq;
+    for (int I = 0; I < 200; ++I)
+      Seq.push_back(Inj.decide(FaultOp::Write));
+    return Seq;
+  };
+  std::vector<FaultKind> First =
+      drawSequence("7:short-write=0.3,eintr=0.2,reset=0.05");
+  std::vector<FaultKind> Second =
+      drawSequence("7:short-write=0.3,eintr=0.2,reset=0.05");
+  EXPECT_EQ(First, Second) << "one seed must reproduce one schedule";
+  std::vector<FaultKind> Other =
+      drawSequence("8:short-write=0.3,eintr=0.2,reset=0.05");
+  EXPECT_NE(First, Other);
+  // The schedule actually fires: not every decision is None.
+  EXPECT_LT(std::count(First.begin(), First.end(), FaultKind::None), 200);
+}
+
+TEST_F(FaultInjectorTest, ScriptedDecisionsConsumeFifoFirst) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.push(FaultOp::Write, FaultKind::ShortWrite);
+  Inj.push(FaultOp::Write, FaultKind::Eintr);
+  Inj.push(FaultOp::Read, FaultKind::Reset);
+  EXPECT_TRUE(Inj.armed());
+  // Scripts are per-op FIFOs, consumed before any probabilistic draw.
+  EXPECT_EQ(Inj.decide(FaultOp::Write), FaultKind::ShortWrite);
+  EXPECT_EQ(Inj.decide(FaultOp::Read), FaultKind::Reset);
+  EXPECT_EQ(Inj.decide(FaultOp::Write), FaultKind::Eintr);
+  EXPECT_EQ(Inj.decide(FaultOp::Write), FaultKind::None);
+
+  FaultInjectorStats Stats = Inj.stats();
+  EXPECT_EQ(Stats.ShortWrites, 1u);
+  EXPECT_EQ(Stats.Eintrs, 1u);
+  EXPECT_EQ(Stats.Resets, 1u);
+  EXPECT_EQ(Stats.Decisions, 4u);
+  Inj.resetStats();
+  EXPECT_EQ(Inj.stats().Decisions, 0u);
+}
+
+TEST_F(FaultInjectorTest, WrappersKeepSyscallContracts) {
+  int Pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  FaultInjector &Inj = FaultInjector::instance();
+  const char Payload[] = "0123456789abcdef";
+  std::size_t Len = sizeof(Payload) - 1;
+
+  // Disarmed: plain passthrough.
+  ASSERT_EQ(faultSend(Pair[0], Payload, Len, 0),
+            static_cast<ssize_t>(Len));
+  char Buf[64] = {0};
+  ASSERT_EQ(faultRead(Pair[1], Buf, sizeof(Buf)),
+            static_cast<ssize_t>(Len));
+  EXPECT_EQ(std::memcmp(Buf, Payload, Len), 0);
+
+  // EINTR: fails without touching the socket.
+  Inj.push(FaultOp::Write, FaultKind::Eintr);
+  errno = 0;
+  EXPECT_EQ(faultSend(Pair[0], Payload, Len, 0), -1);
+  EXPECT_EQ(errno, EINTR);
+
+  // Short write: a nonzero prefix strictly shorter than the buffer —
+  // exactly what a full socket buffer produces, so caller retry loops
+  // are exercised for real.
+  Inj.push(FaultOp::Write, FaultKind::ShortWrite);
+  ssize_t Short = faultSend(Pair[0], Payload, Len, 0);
+  ASSERT_GT(Short, 0);
+  ASSERT_LT(Short, static_cast<ssize_t>(Len));
+  // A caller retry loop still delivers every byte in order.
+  std::size_t Sent = static_cast<std::size_t>(Short);
+  while (Sent < Len) {
+    ssize_t N = faultSend(Pair[0], Payload + Sent, Len - Sent, 0);
+    ASSERT_GT(N, 0);
+    Sent += static_cast<std::size_t>(N);
+  }
+  std::string Got;
+  while (Got.size() < Len) {
+    ssize_t N = faultRead(Pair[1], Buf, sizeof(Buf));
+    ASSERT_GT(N, 0);
+    Got.append(Buf, static_cast<std::size_t>(N));
+  }
+  EXPECT_EQ(Got, std::string(Payload, Len));
+
+  // Reset: the peer observes a hard cut.
+  Inj.push(FaultOp::Read, FaultKind::Reset);
+  errno = 0;
+  EXPECT_EQ(faultRead(Pair[1], Buf, sizeof(Buf)), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+
+  ::close(Pair[0]);
+  ::close(Pair[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end recovery under a probabilistic schedule
+//===----------------------------------------------------------------------===//
+
+std::string chaosTempPath(const std::string &Stem, const std::string &Ext) {
+  static int Counter = 0;
+  return ::testing::TempDir() + "pasta_faults_" + Stem + "_" +
+         std::to_string(++Counter) + Ext;
+}
+
+/// TraceOutput capturing the byte stream in memory.
+class StringTraceOutput : public TraceOutput {
+public:
+  bool write(const char *Data, std::size_t Size) override {
+    Bytes.append(Data, Size);
+    return true;
+  }
+  std::string describe() const override { return "memory"; }
+  std::string Bytes;
+};
+
+std::vector<Event> chaosEvents(std::size_t Count) {
+  std::vector<Event> Events;
+  sim::KernelDesc K;
+  K.Name = "chaos_kernel";
+  K.Grid = {4, 2, 1};
+  K.Block = {64, 1, 1};
+  auto Desc = std::make_shared<const sim::KernelDesc>(K);
+  for (std::size_t I = 0; I < Count; ++I) {
+    Event E;
+    if (I % 2 == 0) {
+      E.Kind = EventKind::KernelLaunch;
+      E.GridId = I + 1;
+      E.adoptKernel(Desc);
+    } else {
+      E.Kind = EventKind::OperatorStart;
+      E.OpName = "aten::mm";
+    }
+    E.Timestamp = static_cast<SimTime>(100 * I);
+    Events.push_back(E);
+  }
+  return Events;
+}
+
+std::string chaosTraceBytes(const std::vector<Event> &Events) {
+  StringTraceOutput Out;
+  TraceWriter Writer;
+  SessionError Err;
+  EXPECT_TRUE(Writer.openSink(Out, trace::kFlagStreamed, Err))
+      << Err.message();
+  for (const Event &E : Events)
+    Writer.append(E);
+  EXPECT_TRUE(Writer.finalize(Err)) << Err.message();
+  return Out.Bytes;
+}
+
+/// Streams \p Trace to a fresh aggregator in small writes and returns
+/// the tenant's final JSON report.
+std::string streamedReport(const std::string &Trace, bool Reconnect) {
+  ServeOptions Opts;
+  Opts.ToolNames = {"kernel_frequency"};
+  Opts.SocketPath = chaosTempPath("sock", ".sock");
+  Opts.ReportDir = chaosTempPath("reports", "");
+  Opts.Format = "json";
+  Aggregator Agg(Opts);
+  SessionError Err;
+  EXPECT_TRUE(Agg.start(Err)) << Err.message();
+
+  StreamClientOptions ClientOpts;
+  ClientOpts.Reconnect = Reconnect;
+  ClientOpts.ReconnectMax = 1000;
+  TraceStreamSink Sink;
+  Sink.setOptions(ClientOpts);
+  EXPECT_TRUE(Sink.connect(Opts.SocketPath, "chaos", Err))
+      << Err.message();
+  Sink.setFlushThreshold(64);
+  for (std::size_t Pos = 0; Pos < Trace.size(); Pos += 96) {
+    std::size_t Len = std::min<std::size_t>(96, Trace.size() - Pos);
+    EXPECT_TRUE(Sink.write(Trace.data() + Pos, Len));
+  }
+  EXPECT_TRUE(Sink.finish(Err)) << Err.message();
+  Agg.requestStop();
+  Agg.wait();
+
+  std::ifstream In(Opts.ReportDir + "/chaos.json", std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(FaultInjectorTest, StreamSurvivesChaosScheduleByteIdentical) {
+  std::string Trace = chaosTraceBytes(chaosEvents(36));
+  // Golden: the same stream with no faults.
+  std::string Golden = streamedReport(Trace, /*Reconnect=*/false);
+  ASSERT_FALSE(Golden.empty());
+
+  // Chaos: every socket op risks a short write, EINTR, or hard reset.
+  // Exactly-once admission must hold — the report is byte-identical.
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::instance().configure(
+      "1337:short-write=0.25,eintr=0.15,reset=0.02", Error))
+      << Error;
+  std::string Chaos = streamedReport(Trace, /*Reconnect=*/true);
+  FaultInjectorStats Stats = FaultInjector::instance().stats();
+  FaultInjector::instance().disarm();
+  EXPECT_GT(Stats.Decisions, 0u);
+  EXPECT_GT(Stats.ShortWrites + Stats.Eintrs + Stats.Resets, 0u)
+      << "the schedule never fired; the run proved nothing";
+  EXPECT_EQ(Chaos, Golden);
+}
+
+} // namespace

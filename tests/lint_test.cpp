@@ -411,6 +411,103 @@ TEST_F(WireFormatTest, OtherFilesNeverChecked) {
 }
 
 //===----------------------------------------------------------------------===//
+// stream-envelope
+//===----------------------------------------------------------------------===//
+
+std::string streamHeader(const char *Version, const char *FrameHeaderSize) {
+  std::string Src;
+  Src += "#pragma once\n";
+  Src += "constexpr char StreamMagic[8] = "
+         "{'P','A','S','T','A','S','T','M'};\n";
+  Src += "constexpr std::uint32_t StreamProtocolVersion = ";
+  Src += Version;
+  Src += ";\n";
+  Src += "constexpr std::uint32_t StreamHelloFlags = 0;\n";
+  Src += "constexpr std::size_t StreamHelloFixedSize = "
+         "8 + 4 + 4 + 8 + 8 + 8 + 4;\n";
+  Src += "constexpr std::size_t StreamFrameHeaderSize = ";
+  Src += FrameHeaderSize;
+  Src += ";\n";
+  Src += "constexpr std::uint32_t StreamMsgAck = 2;\n";
+  Src += "constexpr char ControlMagic[8] = "
+         "{'P','A','S','T','A','C','T','L'};\n";
+  return Src;
+}
+
+class StreamEnvelopeRuleTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Ctx.StreamManifestPath = "lint_test_stream_manifest.tmp";
+  }
+  void TearDown() override {
+    std::remove(Ctx.StreamManifestPath.c_str());
+  }
+  LintContext Ctx;
+};
+
+TEST_F(StreamEnvelopeRuleTest, ManifestExtraction) {
+  SourceFile F = lex("StreamEnvelope.h", streamHeader("2", "12"));
+  std::string Manifest = streamEnvelopeManifest(F);
+  EXPECT_NE(Manifest.find("version 2\n"), std::string::npos);
+  EXPECT_NE(Manifest.find("hello_fixed_size 44\n"), std::string::npos)
+      << "the additive size expression must be evaluated";
+  EXPECT_NE(Manifest.find("frame_header_size 12\n"), std::string::npos);
+  EXPECT_NE(Manifest.find("msg_ack 2\n"), std::string::npos);
+  EXPECT_NE(Manifest.find("magic PASTASTM\n"), std::string::npos);
+  EXPECT_NE(Manifest.find("control_magic PASTACTL\n"), std::string::npos);
+  EXPECT_NE(Manifest.find("token_fingerprint 0x"), std::string::npos);
+}
+
+TEST_F(StreamEnvelopeRuleTest, UpdateThenLintRoundTrips) {
+  std::string Src = streamHeader("2", "12");
+  LintContext Update = Ctx;
+  Update.UpdateManifest = true;
+  EXPECT_TRUE(lintString("StreamEnvelope.h", Src, Update).empty());
+  EXPECT_TRUE(
+      byRule(lintString("StreamEnvelope.h", Src, Ctx), "stream-envelope")
+          .empty());
+}
+
+TEST_F(StreamEnvelopeRuleTest, SilentFramingChangeDemandsVersionBump) {
+  LintContext Update = Ctx;
+  Update.UpdateManifest = true;
+  lintString("StreamEnvelope.h", streamHeader("2", "12"), Update);
+  // Same version, different frame layout: deployed peers would misread
+  // the session framing.
+  auto Diags = byRule(
+      lintString("StreamEnvelope.h", streamHeader("2", "16"), Ctx),
+      "stream-envelope");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Message.find("version bump"), std::string::npos);
+}
+
+TEST_F(StreamEnvelopeRuleTest, VersionBumpDemandsManifestRegeneration) {
+  LintContext Update = Ctx;
+  Update.UpdateManifest = true;
+  lintString("StreamEnvelope.h", streamHeader("2", "12"), Update);
+  auto Diags = byRule(
+      lintString("StreamEnvelope.h", streamHeader("3", "16"), Ctx),
+      "stream-envelope");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Message.find("regenerate"), std::string::npos);
+}
+
+TEST_F(StreamEnvelopeRuleTest, MissingManifestReported) {
+  auto Diags = byRule(
+      lintString("StreamEnvelope.h", streamHeader("2", "12"), Ctx),
+      "stream-envelope");
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Message.find("missing"), std::string::npos);
+}
+
+TEST_F(StreamEnvelopeRuleTest, OtherFilesNeverChecked) {
+  EXPECT_TRUE(
+      byRule(lintString("NotEnvelope.h", streamHeader("2", "12"), Ctx),
+             "stream-envelope")
+          .empty());
+}
+
+//===----------------------------------------------------------------------===//
 // Engine surface
 //===----------------------------------------------------------------------===//
 
@@ -424,7 +521,7 @@ TEST(LintEngine, RuleTableIsStable) {
   std::vector<std::string> Expected = {
       "tool-subscription",     "tool-payload-handles", "no-nondeterminism",
       "hot-path-memory-order", "routing-epoch",        "header-hygiene",
-      "wire-format"};
+      "wire-format",           "stream-envelope"};
   EXPECT_EQ(Ids, Expected);
 }
 

@@ -24,8 +24,10 @@
 #include "pasta/TraceWriter.h"
 #include "serve/Aggregator.h"
 #include "serve/Connection.h"
+#include "serve/Control.h"
 #include "serve/TenantRegistry.h"
 #include "serve/TraceStreamSink.h"
+#include "support/Env.h"
 #include "support/ReportSink.h"
 #include "tools/StreamForwardTool.h"
 
@@ -35,6 +37,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -134,13 +137,18 @@ std::string traceBytes(const std::vector<Event> &Events) {
 }
 
 /// Full client connection bytes: Hello + the trace stream cut into
-/// frames of \p FramePayload bytes.
+/// frames of \p FramePayload bytes. The default stream id has many set
+/// bits so a single bit flip in the fuzz tests cannot zero it.
 std::string clientBytes(const std::string &Tenant, std::uint64_t Pid,
-                        const std::string &Trace, std::size_t FramePayload) {
+                        const std::string &Trace, std::size_t FramePayload,
+                        std::uint64_t StreamId = 0x5a5a5a5aull,
+                        std::uint64_t FirstRetainedSeq = 0) {
   std::string Wire;
   trace::StreamHello Hello;
   Hello.Tenant = Tenant;
   Hello.ProcessId = Pid;
+  Hello.StreamId = StreamId;
+  Hello.FirstRetainedSeq = FirstRetainedSeq;
   trace::encodeStreamHello(Wire, Hello);
   std::uint64_t Sequence = 0;
   for (std::size_t Pos = 0; Pos < Trace.size(); Pos += FramePayload) {
@@ -358,6 +366,9 @@ TEST(ClientStreamTest, EveryPrefixTruncationFails) {
         << "silent partial stream: " << Keep << " of " << Wire.size()
         << " bytes was accepted as complete";
     EXPECT_FALSE(Err.ok());
+    // Free the (tenant, stream id) Busy slot — each prefix is a
+    // disconnect the next iteration resumes from.
+    Stream.release();
   }
   // The whole stream still verifies — the loop above proves *only* the
   // whole stream does.
@@ -368,14 +379,11 @@ TEST(ClientStreamTest, EveryPrefixTruncationFails) {
 
 TEST(ClientStreamTest, BitFlipFuzzNeverCrashesOrAcceptsCorruption) {
   ServeOptions Opts = makeOpts();
-  TenantRegistry Registry(Opts);
   std::string Wire =
       clientBytes("fuzzer", 99, traceBytes(makeEvents(6)), 48);
-  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
-    return Registry.getOrCreate(Hello.Tenant, Err);
-  };
 
-  // Structural region: the whole hello, the first frame header, and the
+  // Structural region: the whole hello (v2: magic, version, flags, pid,
+  // stream id, resume token, tenant), the first frame header, and the
   // trace header at the start of the first payload.
   std::size_t HelloSize = trace::StreamHelloFixedSize + 6;
   std::size_t Structural =
@@ -383,22 +391,35 @@ TEST(ClientStreamTest, BitFlipFuzzNeverCrashesOrAcceptsCorruption) {
   ASSERT_LE(Structural, Wire.size());
   for (std::size_t Byte = 0; Byte < Structural; ++Byte) {
     // The pid field is identity metadata; flipping it yields a valid
-    // stream from a different pid. Tenant-name bytes are identity too:
-    // a flip that lands on another allowed character is a valid stream
-    // for a *different* tenant — only flips to disallowed characters
-    // must be rejected. Everything else is load-bearing.
+    // stream from a different pid. The stream id is identity too: any
+    // flip names a different (still nonzero — the default id is
+    // multi-bit) resumable stream. Tenant-name bytes: a flip that lands
+    // on another allowed character is a valid stream for a *different*
+    // tenant — only flips to disallowed characters must be rejected.
+    // Everything else — magic, version, flags, the FirstRetainedSeq
+    // resume token (any set bit claims frames ahead of the fresh
+    // stream's watermark), frame header, trace header — is
+    // load-bearing.
     bool PidByte = Byte >= 16 && Byte < 24;
+    bool StreamIdByte = Byte >= 24 && Byte < 32;
     bool TenantByte = Byte >= trace::StreamHelloFixedSize && Byte < HelloSize;
     for (int Bit = 0; Bit < 8; ++Bit) {
       std::string Mutated = Wire;
       Mutated[Byte] = static_cast<char>(
           static_cast<unsigned char>(Mutated[Byte]) ^ (1u << Bit));
-      bool ExpectOk = PidByte;
+      bool ExpectOk = PidByte || StreamIdByte;
       if (TenantByte) {
         std::string MutatedTenant =
             Mutated.substr(trace::StreamHelloFixedSize, 6);
         ExpectOk = trace::isValidTenantName(MutatedTenant);
       }
+      // A fresh registry per mutation: stream state must not leak
+      // between iterations (a poisoned or Busy id from one flip would
+      // shadow the verdict of the next).
+      TenantRegistry Registry(Opts);
+      auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      };
       ClientStream Stream(Binder);
       SessionError Err;
       bool Ok = driveStream(Stream, Mutated, 41, Err);
@@ -459,6 +480,376 @@ TEST(ClientStreamTest, CorruptClientIsolatedFromOtherTenant) {
   JsonReportSink GoodSink;
   Registry.writeTenantReport(*Good, GoodSink, /*Final=*/true);
   EXPECT_EQ(GoodSink.str(), directAdmissionJson(GoodEvents));
+}
+
+//===----------------------------------------------------------------------===//
+// ClientStream: resume, exactly-once, quotas (protocol v2)
+//===----------------------------------------------------------------------===//
+
+/// Decodes the \p Index'th server->client message in \p Replies.
+void parseServerMsg(const std::string &Replies, std::size_t Index,
+                    std::uint32_t &Type, std::uint64_t &Value) {
+  ASSERT_GE(Replies.size(), (Index + 1) * trace::StreamServerMsgSize);
+  trace::ByteReader Cursor(
+      reinterpret_cast<const unsigned char *>(Replies.data()) +
+          Index * trace::StreamServerMsgSize,
+      trace::StreamServerMsgSize);
+  ASSERT_TRUE(Cursor.readU32(Type));
+  ASSERT_TRUE(Cursor.readU64(Value));
+}
+
+TEST(ClientStreamTest, HelloAnsweredWithResumeAndFinalAck) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::vector<Event> Events = makeEvents(12);
+  std::string Wire = clientBytes("ack", 1, traceBytes(Events), 64);
+
+  std::string Replies;
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  Stream.setReplyWriter(
+      [&](const std::string &Bytes, bool) { Replies += Bytes; });
+  SessionError Err;
+  ASSERT_TRUE(driveStream(Stream, Wire, 23, Err)) << Err.message();
+
+  // First reply: Resume from watermark 0 (a fresh stream).
+  std::uint32_t Type = 0;
+  std::uint64_t Value = 0;
+  parseServerMsg(Replies, 0, Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgResume);
+  EXPECT_EQ(Value, 0u);
+  // Last reply: the End-record ack carrying the full watermark, so a
+  // finishing client learns its stream is durable without waiting an
+  // ack interval out.
+  ASSERT_EQ(Replies.size() % trace::StreamServerMsgSize, 0u);
+  parseServerMsg(Replies, Replies.size() / trace::StreamServerMsgSize - 1,
+                 Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgAck);
+  EXPECT_EQ(Value, Stream.framesReceived());
+}
+
+TEST(ClientStreamTest, ReconnectReplayAdmitsExactlyOnce) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+  std::vector<Event> Events = makeEvents(18);
+  std::string Wire = clientBytes("once", 7, traceBytes(Events), 48);
+
+  // First connection dies mid-stream (two thirds in, mid-frame).
+  {
+    ClientStream First(Binder);
+    SessionError Err;
+    std::string Partial = Wire.substr(0, Wire.size() * 2 / 3);
+    const unsigned char *Data =
+        reinterpret_cast<const unsigned char *>(Partial.data());
+    ASSERT_TRUE(First.feed(Data, Partial.size(), Err)) << Err.message();
+    EXPECT_FALSE(First.finishEof(Err));
+    EXPECT_TRUE(First.suspended());
+    First.release();
+  }
+  // The reconnect replays the whole stream from sequence 0 — the spill
+  // buffer retains acked frames so a restarted daemon can be replayed
+  // from scratch; a surviving daemon must skip the duplicates.
+  std::string Replies;
+  {
+    ClientStream Second(Binder);
+    Second.setReplyWriter(
+        [&](const std::string &Bytes, bool) { Replies += Bytes; });
+    SessionError Err;
+    ASSERT_TRUE(driveStream(Second, Wire, 31, Err)) << Err.message();
+    Second.release();
+  }
+  // The Resume answer named the watermark, not zero.
+  std::uint32_t Type = 0;
+  std::uint64_t Value = 0;
+  parseServerMsg(Replies, 0, Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgResume);
+  EXPECT_GT(Value, 0u);
+
+  SessionError Err;
+  Tenant *T = Registry.getOrCreate("once", Err);
+  ASSERT_NE(T, nullptr);
+  TenantStats Stats = T->stats();
+  EXPECT_EQ(Stats.CleanStreams, 1u);
+  EXPECT_EQ(Stats.CorruptStreams, 0u);
+  EXPECT_EQ(Stats.SuspendedStreams, 1u);
+  EXPECT_EQ(Stats.ResumedStreams, 1u);
+  EXPECT_GT(Stats.DuplicateFrames, 0u);
+  // Exactly-once: every event admitted once despite the full replay.
+  EXPECT_EQ(Stats.EventsAdmitted, Events.size());
+  JsonReportSink Sink;
+  Registry.writeTenantReport(*T, Sink, /*Final=*/true);
+  EXPECT_EQ(Sink.str(), directAdmissionJson(Events));
+}
+
+TEST(ClientStreamTest, BusyStreamIdRejected) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+  std::string Wire = clientBytes("busy", 1, traceBytes(makeEvents(6)), 64);
+  std::size_t HelloSize = trace::StreamHelloFixedSize + 4;
+
+  ClientStream First(Binder);
+  SessionError Err;
+  ASSERT_TRUE(First.feed(
+      reinterpret_cast<const unsigned char *>(Wire.data()), HelloSize, Err))
+      << Err.message();
+  // Same (tenant, stream id) while the first connection is live.
+  std::string Replies;
+  ClientStream Second(Binder);
+  Second.setReplyWriter(
+      [&](const std::string &Bytes, bool) { Replies += Bytes; });
+  SessionError SecondErr;
+  EXPECT_FALSE(driveStream(Second, Wire, Wire.size(), SecondErr));
+  EXPECT_TRUE(Second.rejected());
+  EXPECT_NE(SecondErr.message().find("live connection"), std::string::npos)
+      << SecondErr.message();
+  std::uint32_t Type = 0;
+  std::uint64_t Value = 0;
+  parseServerMsg(Replies, 0, Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgReject);
+  EXPECT_EQ(Value, trace::StreamRejectStreamBusy);
+  // A rejected Hello is not a corrupt stream.
+  EXPECT_EQ(Second.tenant()->stats().CorruptStreams, 0u);
+  // Releasing the first connection frees the id for a resume.
+  First.release();
+  ClientStream Third(Binder);
+  SessionError ThirdErr;
+  EXPECT_TRUE(driveStream(Third, Wire, 40, ThirdErr)) << ThirdErr.message();
+}
+
+TEST(ClientStreamTest, PoisonedStreamCannotResume) {
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+  std::string Trace = traceBytes(makeEvents(6));
+  Trace[Trace.size() - 20] = '\xee'; // clobber the End record's count
+  std::string Wire = clientBytes("poison", 1, Trace, 64);
+  {
+    ClientStream First(Binder);
+    SessionError Err;
+    EXPECT_FALSE(driveStream(First, Wire, Wire.size(), Err));
+    First.release();
+  }
+  std::string Replies;
+  ClientStream Second(Binder);
+  Second.setReplyWriter(
+      [&](const std::string &Bytes, bool) { Replies += Bytes; });
+  SessionError Err;
+  EXPECT_FALSE(driveStream(Second, Wire, Wire.size(), Err));
+  EXPECT_TRUE(Second.rejected());
+  std::uint32_t Type = 0;
+  std::uint64_t Value = 0;
+  parseServerMsg(Replies, 0, Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgReject);
+  EXPECT_EQ(Value, trace::StreamRejectPoisoned);
+}
+
+TEST(ClientStreamTest, ResumeTokenAheadOfWatermarkRejected) {
+  // A daemon restart lost the stream state; a client whose spill buffer
+  // already evicted frame 0 cannot be resumed exactly-once.
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::string Wire = clientBytes("ahead", 1, traceBytes(makeEvents(6)), 64,
+                                 0x5a5a5a5aull, /*FirstRetainedSeq=*/5);
+  std::string Replies;
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  Stream.setReplyWriter(
+      [&](const std::string &Bytes, bool) { Replies += Bytes; });
+  SessionError Err;
+  EXPECT_FALSE(driveStream(Stream, Wire, Wire.size(), Err));
+  EXPECT_TRUE(Stream.rejected());
+  EXPECT_NE(Err.message().find("watermark"), std::string::npos)
+      << Err.message();
+  std::uint32_t Type = 0;
+  std::uint64_t Value = 0;
+  parseServerMsg(Replies, 0, Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgReject);
+  EXPECT_EQ(Value, trace::StreamRejectResumeUnavailable);
+}
+
+TEST(ClientStreamTest, ConnectionQuotaRejectsExcessClients) {
+  ServeOptions Opts = makeOpts();
+  Opts.QuotaMaxConnections = 1;
+  TenantRegistry Registry(Opts);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+  std::string Trace = traceBytes(makeEvents(6));
+  std::string WireA = clientBytes("capped", 1, Trace, 64, 0x1111ull);
+  std::string WireB = clientBytes("capped", 2, Trace, 64, 0x2222ull);
+  std::size_t HelloSize = trace::StreamHelloFixedSize + 6;
+
+  ClientStream First(Binder);
+  SessionError Err;
+  ASSERT_TRUE(First.feed(
+      reinterpret_cast<const unsigned char *>(WireA.data()), HelloSize, Err))
+      << Err.message();
+  std::string Replies;
+  ClientStream Second(Binder);
+  Second.setReplyWriter(
+      [&](const std::string &Bytes, bool) { Replies += Bytes; });
+  SessionError SecondErr;
+  EXPECT_FALSE(driveStream(Second, WireB, WireB.size(), SecondErr));
+  EXPECT_TRUE(Second.rejected());
+  std::uint32_t Type = 0;
+  std::uint64_t Value = 0;
+  parseServerMsg(Replies, 0, Type, Value);
+  EXPECT_EQ(Type, trace::StreamMsgReject);
+  EXPECT_EQ(Value, trace::StreamRejectConnectionQuota);
+  Tenant *T = First.tenant();
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->stats().QuotaRejectedConnections, 1u);
+  // Releasing the slot readmits the second client.
+  First.release();
+  ClientStream Third(Binder);
+  SessionError ThirdErr;
+  EXPECT_TRUE(driveStream(Third, WireB, 40, ThirdErr)) << ThirdErr.message();
+}
+
+TEST(ClientStreamTest, ShedPolicyDropsExcessEventsCounted) {
+  ServeOptions Opts = makeOpts();
+  Opts.QuotaEventsPerSec = 4.0;
+  Opts.QuotaPolicy = "shed";
+  TenantRegistry Registry(Opts);
+  std::vector<Event> Events = makeEvents(30);
+  std::string Wire = clientBytes("shedder", 1, traceBytes(Events), 64);
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  SessionError Err;
+  // Shedding degrades, never corrupts: the stream still verifies.
+  ASSERT_TRUE(driveStream(Stream, Wire, 57, Err)) << Err.message();
+  TenantStats Stats = Stream.tenant()->stats();
+  EXPECT_GT(Stats.QuotaShedEvents, 0u);
+  EXPECT_EQ(Stats.EventsAdmitted + Stats.QuotaShedEvents, Events.size());
+  EXPECT_EQ(Stats.CleanStreams, 1u);
+  // The quota bite is reported, so shed degradation is never silent —
+  // and the extra section lands INSIDE the JSON document (a closed
+  // sink would emit it past the array terminator).
+  JsonReportSink Sink;
+  Registry.writeTenantReport(*Stream.tenant(), Sink, /*Final=*/true);
+  std::string Report = Sink.str();
+  std::size_t QuotaAt = Report.find("quota_shed");
+  EXPECT_NE(QuotaAt, std::string::npos) << Report;
+  std::size_t LastBracket = Report.find_last_of(']');
+  ASSERT_NE(LastBracket, std::string::npos) << Report;
+  EXPECT_LT(QuotaAt, LastBracket) << "quota section outside the JSON "
+                                     "document:\n"
+                                  << Report;
+  EXPECT_EQ(Report.find_first_not_of(" \t\r\n", LastBracket + 1),
+            std::string::npos)
+      << "trailing bytes after the JSON document:\n"
+      << Report;
+}
+
+TEST(ClientStreamTest, ThrottlePolicyStallsInsteadOfDropping) {
+  ServeOptions Opts = makeOpts();
+  Opts.QuotaEventsPerSec = 4.0; // default policy: throttle
+  TenantRegistry Registry(Opts);
+  std::vector<Event> Events = makeEvents(30);
+  std::string Wire = clientBytes("slowpoke", 1, traceBytes(Events), 64);
+  double StalledSeconds = 0.0;
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  Stream.setThrottler([&](double Seconds) { StalledSeconds += Seconds; });
+  SessionError Err;
+  ASSERT_TRUE(driveStream(Stream, Wire, 57, Err)) << Err.message();
+  TenantStats Stats = Stream.tenant()->stats();
+  EXPECT_GT(Stats.ThrottledWaits, 0u);
+  EXPECT_GT(StalledSeconds, 0.0);
+  // Back-pressure loses nothing.
+  EXPECT_EQ(Stats.QuotaShedEvents, 0u);
+  EXPECT_EQ(Stats.EventsAdmitted, Events.size());
+}
+
+TEST(ClientStreamTest, MetaFramesMergePipelineRollup) {
+  ServeOptions Opts = makeOpts();
+  Opts.PipelineRollup = true;
+  TenantRegistry Registry(Opts);
+  auto Binder = [&](const trace::StreamHello &Hello, SessionError &Err) {
+    return Registry.getOrCreate(Hello.Tenant, Err);
+  };
+  std::string Trace = traceBytes(makeEvents(6));
+
+  auto wireWithMeta = [&](std::uint64_t StreamId, std::uint64_t Processed,
+                          std::uint64_t Depth) {
+    std::string Wire = clientBytes("fleet", 1, Trace, 64, StreamId);
+    std::uint64_t Frames = (Trace.size() + 63) / 64;
+    std::string Payload;
+    trace::encodeStreamMeta(
+        Payload, {{trace::StreamMetaEventsProcessed, Processed},
+                  {trace::StreamMetaMaxQueueDepth, Depth}});
+    trace::encodeStreamFrameHeader(
+        Wire, Frames,
+        static_cast<std::uint32_t>(Payload.size()) |
+            trace::StreamFrameMetaBit);
+    Wire += Payload;
+    return Wire;
+  };
+  for (int Client = 0; Client < 2; ++Client) {
+    ClientStream Stream(Binder);
+    SessionError Err;
+    std::string Wire = wireWithMeta(0x100ull + Client,
+                                    Client == 0 ? 100 : 40,
+                                    Client == 0 ? 7 : 9);
+    ASSERT_TRUE(driveStream(Stream, Wire, 33, Err)) << Err.message();
+    Stream.release();
+  }
+
+  SessionError Err;
+  Tenant *T = Registry.getOrCreate("fleet", Err);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->stats().MetaFrames, 2u);
+  // Sums for counters, max for the high-water mark.
+  EXPECT_EQ(T->metaTotal(trace::StreamMetaEventsProcessed), 140u);
+  EXPECT_EQ(T->metaTotal(trace::StreamMetaMaxQueueDepth), 9u);
+  JsonReportSink Sink;
+  Registry.writeTenantReport(*T, Sink, /*Final=*/true);
+  std::string Report = Sink.str();
+  std::size_t RollupAt = Report.find("event_pipeline");
+  EXPECT_NE(RollupAt, std::string::npos) << Report;
+  // Inside the document, not appended past the array terminator.
+  EXPECT_LT(RollupAt, Report.find_last_of(']')) << Report;
+}
+
+TEST(ClientStreamTest, UnknownMetaKeyRejected) {
+  // Same posture as unknown header flags: an envelope from the future
+  // is refused, not half-understood.
+  ServeOptions Opts = makeOpts();
+  TenantRegistry Registry(Opts);
+  std::string Trace = traceBytes(makeEvents(6));
+  std::string Wire = clientBytes("future", 1, Trace, 64);
+  std::uint64_t Frames = (Trace.size() + 63) / 64;
+  std::string Payload;
+  trace::encodeStreamMeta(Payload, {{trace::StreamMetaMaxKey + 1, 1}});
+  trace::encodeStreamFrameHeader(
+      Wire, Frames,
+      static_cast<std::uint32_t>(Payload.size()) | trace::StreamFrameMetaBit);
+  Wire += Payload;
+
+  ClientStream Stream(
+      [&](const trace::StreamHello &Hello, SessionError &Err) {
+        return Registry.getOrCreate(Hello.Tenant, Err);
+      });
+  SessionError Err;
+  EXPECT_FALSE(driveStream(Stream, Wire, Wire.size(), Err));
+  EXPECT_NE(Err.message().find("malformed meta frame"), std::string::npos)
+      << Err.message();
 }
 
 //===----------------------------------------------------------------------===//
@@ -584,6 +975,192 @@ TEST(AggregatorTest, RequestStopDrainsInFlightConnection) {
   EXPECT_EQ(Stats.CleanStreams, 0u);
   EXPECT_NE(::access(Opts.SocketPath.c_str(), F_OK), 0)
       << "socket file survived shutdown";
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregator: fault tolerance, quotas, control verbs
+//===----------------------------------------------------------------------===//
+
+TEST(AggregatorTest, DaemonRestartMidStreamByteIdenticalReport) {
+  // The headline fault-tolerance gate: the daemon is stopped mid-stream
+  // (all stream state lost), a fresh daemon takes over the same socket,
+  // and the client's spill-buffer replay still yields a merged report
+  // byte-identical to an uninterrupted run.
+  std::string Socket = tempPath("restart", ".sock");
+  std::vector<Event> Events = makeEvents(42);
+  std::string Stream = traceBytes(Events);
+
+  ServeOptions OptsA = makeOpts();
+  OptsA.SocketPath = Socket;
+  OptsA.ReportDir = tempPath("restart_a", "");
+  OptsA.Format = "json";
+  auto AggA = std::make_unique<Aggregator>(OptsA);
+  SessionError Err;
+  ASSERT_TRUE(AggA->start(Err)) << Err.message();
+
+  StreamClientOptions ClientOpts;
+  ClientOpts.Reconnect = true;
+  ClientOpts.ReconnectMax = 1000;
+  TraceStreamSink Sink;
+  Sink.setOptions(ClientOpts);
+  ASSERT_TRUE(Sink.connect(Socket, "phoenix", Err)) << Err.message();
+  Sink.setFlushThreshold(64);
+
+  std::size_t Half = Stream.size() / 2;
+  ASSERT_TRUE(Sink.write(Stream.data(), Half));
+
+  // Kill the daemon. Everything it knew about the stream dies with it.
+  AggA->requestStop();
+  AggA->wait();
+  AggA.reset();
+
+  // Writes during the outage land in the spill buffer.
+  std::size_t Pos = Half;
+  std::size_t Quarter = Stream.size() / 4;
+  std::size_t OutageLen = std::min(Quarter, Stream.size() - Pos);
+  ASSERT_TRUE(Sink.write(Stream.data() + Pos, OutageLen));
+  Pos += OutageLen;
+
+  ServeOptions OptsB = OptsA;
+  OptsB.ReportDir = tempPath("restart_b", "");
+  Aggregator AggB(OptsB);
+  ASSERT_TRUE(AggB.start(Err)) << Err.message();
+
+  while (Pos < Stream.size()) {
+    std::size_t Len = std::min<std::size_t>(128, Stream.size() - Pos);
+    ASSERT_TRUE(Sink.write(Stream.data() + Pos, Len));
+    Pos += Len;
+  }
+  // finish() drives the reconnect + full replay (the fresh daemon's
+  // Resume watermark is 0) and waits for the final ack.
+  ASSERT_TRUE(Sink.finish(Err)) << Err.message();
+  EXPECT_GE(Sink.stats().Reconnects, 1u);
+  EXPECT_GT(Sink.stats().FramesReplayed, 0u);
+
+  AggB.requestStop();
+  AggB.wait();
+  EXPECT_EQ(AggB.stats().CleanStreams, 1u);
+  EXPECT_EQ(AggB.stats().CorruptStreams, 0u);
+  std::vector<unsigned char> FileBytes =
+      readFileBytes(OptsB.ReportDir + "/phoenix.json");
+  std::string FileText(FileBytes.begin(), FileBytes.end());
+  EXPECT_EQ(FileText, directAdmissionJson(Events));
+}
+
+TEST(AggregatorTest, IdleTimeoutSalvagesPartialStream) {
+  ServeOptions Opts = makeOpts();
+  Opts.SocketPath = tempPath("idle", ".sock");
+  Opts.ReportDir = tempPath("idle_reports", "");
+  Opts.IdleTimeoutSeconds = 0.1;
+  Aggregator Agg(Opts);
+  SessionError Err;
+  ASSERT_TRUE(Agg.start(Err)) << Err.message();
+
+  // Half a stream, then silence: the daemon must not hold the
+  // connection slot forever, and must keep the salvaged prefix.
+  TraceStreamSink Sink;
+  ASSERT_TRUE(Sink.connect(Opts.SocketPath, "sleepy", Err))
+      << Err.message();
+  Sink.setFlushThreshold(1);
+  std::string Stream = traceBytes(makeEvents(12));
+  ASSERT_TRUE(Sink.write(Stream.data(), Stream.size() / 2));
+
+  for (int Tries = 0;
+       Tries < 2500 && Agg.stats().SuspendedStreams == 0; ++Tries)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(Agg.stats().SuspendedStreams, 1u);
+
+  SessionError FindErr;
+  Tenant *T = Agg.registry().getOrCreate("sleepy", FindErr);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->stats().TimedOutStreams, 1u);
+  EXPECT_EQ(T->stats().CorruptStreams, 0u);
+  EXPECT_GT(T->stats().EventsAdmitted, 0u) << "partial stream not salvaged";
+  Agg.requestStop();
+  Agg.wait();
+}
+
+TEST(AggregatorTest, SetLanesControlVerb) {
+  ServeOptions Opts = makeOpts();
+  Opts.SocketPath = tempPath("lanes", ".sock");
+  Opts.ReportDir = tempPath("lanes_reports", "");
+  Opts.Lanes = 4;
+  Aggregator Agg(Opts);
+  SessionError Err;
+  ASSERT_TRUE(Agg.start(Err)) << Err.message();
+  EXPECT_GT(runForwardingClient(Opts.SocketPath, "pool"), 0u);
+
+  std::string Response;
+  ASSERT_TRUE(sendControlCommand(Opts.SocketPath, "set-lanes pool 2",
+                                 Response, Err))
+      << Err.message();
+  EXPECT_NE(Response.find("2 lanes"), std::string::npos) << Response;
+
+  // Out-of-range counts answer with a status line, not a disconnect.
+  SessionError RangeErr;
+  EXPECT_FALSE(sendControlCommand(Opts.SocketPath, "set-lanes pool 9",
+                                  Response, RangeErr));
+  EXPECT_NE(RangeErr.message().find("cannot set"), std::string::npos)
+      << RangeErr.message();
+  SessionError ZeroErr;
+  EXPECT_FALSE(sendControlCommand(Opts.SocketPath, "set-lanes pool 0",
+                                  Response, ZeroErr));
+  SessionError BadErr;
+  EXPECT_FALSE(sendControlCommand(Opts.SocketPath, "set-lanes pool much",
+                                  Response, BadErr));
+  EXPECT_NE(BadErr.message().find("expected a number"), std::string::npos)
+      << BadErr.message();
+  SessionError GhostErr;
+  EXPECT_FALSE(sendControlCommand(Opts.SocketPath, "set-lanes ghost 2",
+                                  Response, GhostErr));
+  EXPECT_NE(GhostErr.message().find("unknown tenant"), std::string::npos)
+      << GhostErr.message();
+
+  // The daemon survived every rejected command.
+  ASSERT_TRUE(
+      sendControlCommand(Opts.SocketPath, "list-tenants", Response, Err))
+      << Err.message();
+  EXPECT_NE(Response.find("pool"), std::string::npos) << Response;
+  Agg.requestStop();
+  Agg.wait();
+}
+
+TEST(AggregatorTest, QuotaPolicyValidatedAtStart) {
+  ServeOptions Opts = makeOpts();
+  Opts.SocketPath = tempPath("policy", ".sock");
+  Opts.QuotaPolicy = "bogus";
+  Aggregator Agg(Opts);
+  SessionError Err;
+  EXPECT_FALSE(Agg.start(Err));
+  EXPECT_NE(Err.message().find("quota-policy"), std::string::npos)
+      << Err.message();
+}
+
+TEST(StreamClientOptionsTest, FromEnvOverridesDefaults) {
+  setEnvOverride("PASTA_CONNECT_TIMEOUT", "2.5");
+  setEnvOverride("PASTA_CONNECT_RETRIES", "3");
+  setEnvOverride("PASTA_RECONNECT", "1");
+  setEnvOverride("PASTA_RECONNECT_MAX", "17");
+  setEnvOverride("PASTA_SPILL_MAX_BYTES", "1048576");
+  setEnvOverride("PASTA_SPILL_DIR", "/tmp/pasta_spill_test");
+  StreamClientOptions O = StreamClientOptions::fromEnv();
+  clearEnvOverride("PASTA_CONNECT_TIMEOUT");
+  clearEnvOverride("PASTA_CONNECT_RETRIES");
+  clearEnvOverride("PASTA_RECONNECT");
+  clearEnvOverride("PASTA_RECONNECT_MAX");
+  clearEnvOverride("PASTA_SPILL_MAX_BYTES");
+  clearEnvOverride("PASTA_SPILL_DIR");
+  EXPECT_EQ(O.ConnectTimeoutSeconds, 2.5);
+  EXPECT_EQ(O.ConnectRetries, 3);
+  EXPECT_TRUE(O.Reconnect);
+  EXPECT_EQ(O.ReconnectMax, 17);
+  EXPECT_EQ(O.SpillMaxBytes, 1048576u);
+  EXPECT_EQ(O.SpillDir, "/tmp/pasta_spill_test");
+
+  StreamClientOptions Defaults = StreamClientOptions::fromEnv();
+  EXPECT_EQ(Defaults.ConnectTimeoutSeconds, 5.0);
+  EXPECT_EQ(Defaults.ConnectRetries, 0);
+  EXPECT_FALSE(Defaults.Reconnect);
 }
 
 //===----------------------------------------------------------------------===//

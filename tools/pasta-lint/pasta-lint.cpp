@@ -6,8 +6,8 @@
 //
 // pasta-lint — the project's contract-enforcement static checker.
 //
-//   pasta-lint [--root DIR] [--manifest FILE] [--update-manifest]
-//              [--list-rules] PATH...
+//   pasta-lint [--root DIR] [--manifest FILE] [--stream-manifest FILE]
+//              [--update-manifest] [--list-rules] PATH...
 //
 // PATHs are files or directories (resolved against --root when
 // relative); every .h/.cpp underneath is linted. Exit status: 0 clean,
@@ -38,8 +38,11 @@ void printUsage() {
       "                     against DIR; report DIR-relative paths\n"
       "  --manifest FILE    wire-format manifest location (default:\n"
       "                     src/lint/trace_format.manifest)\n"
-      "  --update-manifest  rewrite the manifest from TraceFormat.h\n"
-      "                     instead of diffing against it\n"
+      "  --stream-manifest FILE\n"
+      "                     stream-envelope manifest location (default:\n"
+      "                     src/lint/stream_envelope.manifest)\n"
+      "  --update-manifest  rewrite the manifests from TraceFormat.h /\n"
+      "                     StreamEnvelope.h instead of diffing\n"
       "  --list-rules       print the rule table and exit\n");
 }
 
@@ -64,13 +67,16 @@ int main(int argc, char **argv) {
       Ctx.UpdateManifest = true;
       continue;
     }
-    if (Arg == "--root" || Arg == "--manifest") {
+    if (Arg == "--root" || Arg == "--manifest" ||
+        Arg == "--stream-manifest") {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "pasta-lint: %s requires a value\n",
                      Arg.c_str());
         return 2;
       }
-      (Arg == "--root" ? Ctx.Root : Ctx.ManifestPath) = argv[++I];
+      (Arg == "--root"       ? Ctx.Root
+       : Arg == "--manifest" ? Ctx.ManifestPath
+                             : Ctx.StreamManifestPath) = argv[++I];
       continue;
     }
     if (Arg.size() >= 2 && Arg.compare(0, 2, "--") == 0) {
